@@ -1,0 +1,56 @@
+package parclust
+
+import (
+	"io"
+	"testing"
+
+	"parclust/internal/bench"
+)
+
+// One testing.B benchmark per experiment table/figure (DESIGN.md §5).
+// Each iteration runs the experiment end to end in quick mode; the full
+// configurations behind EXPERIMENTS.md are produced by
+//
+//	go run ./cmd/mpcbench -exp <id>
+//
+// Reported ns/op is the wall-clock of one full experiment run.
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := bench.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab, err := e.Run(bench.RunConfig{Seed: 42, Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tab.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkT1KCenterQuality(b *testing.B)      { runExperiment(b, "T1") }
+func BenchmarkT2DiversityQuality(b *testing.B)    { runExperiment(b, "T2") }
+func BenchmarkT3SupplierQuality(b *testing.B)     { runExperiment(b, "T3") }
+func BenchmarkT4Rounds(b *testing.B)              { runExperiment(b, "T4") }
+func BenchmarkT5Communication(b *testing.B)       { runExperiment(b, "T5") }
+func BenchmarkT6Pruning(b *testing.B)             { runExperiment(b, "T6") }
+func BenchmarkT7Memory(b *testing.B)              { runExperiment(b, "T7") }
+func BenchmarkT8SeedVariance(b *testing.B)        { runExperiment(b, "T8") }
+func BenchmarkF1EpsilonSweep(b *testing.B)        { runExperiment(b, "F1") }
+func BenchmarkF2EdgeDecay(b *testing.B)           { runExperiment(b, "F2") }
+func BenchmarkF3DegreeApprox(b *testing.B)        { runExperiment(b, "F3") }
+func BenchmarkF4Scaling(b *testing.B)             { runExperiment(b, "F4") }
+func BenchmarkF5TwoRound(b *testing.B)            { runExperiment(b, "F5") }
+func BenchmarkF6DomSet(b *testing.B)              { runExperiment(b, "F6") }
+func BenchmarkF7Outliers(b *testing.B)            { runExperiment(b, "F7") }
+func BenchmarkF8RemoteClique(b *testing.B)        { runExperiment(b, "F8") }
+func BenchmarkF9Streaming(b *testing.B)           { runExperiment(b, "F9") }
+func BenchmarkA1TrimTieBreak(b *testing.B)        { runExperiment(b, "A1") }
+func BenchmarkA2DegreeExactVsApprox(b *testing.B) { runExperiment(b, "A2") }
+func BenchmarkA3SearchStrategy(b *testing.B)      { runExperiment(b, "A3") }
+func BenchmarkA4LubyBaseline(b *testing.B)        { runExperiment(b, "A4") }

@@ -1,0 +1,215 @@
+// Command kcluster is the end-user CLI: it loads a point set from a CSV
+// or JSON file (see internal/dataio for the formats), runs one
+// of the paper's MPC algorithms on a simulated cluster, and prints the
+// solution as JSON.
+//
+// Usage:
+//
+//	kcluster -algo kcenter   -k 10 -m 8 -input points.csv
+//	kcluster -algo diversity -k 10 -m 8 -input points.csv -metric angular
+//	kcluster -algo ksupplier -k 5  -m 4 -input customers.csv -suppliers sites.csv
+//	kcluster -algo outliers  -k 10 -z 20 -m 8 -input noisy.csv
+//	kcluster -algo remoteclique -k 10 -m 8 -input points.csv
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"parclust/internal/dataio"
+	"parclust/internal/diversity"
+	"parclust/internal/instance"
+	"parclust/internal/kcenter"
+	"parclust/internal/kdtree"
+	"parclust/internal/ksupplier"
+	"parclust/internal/metric"
+	"parclust/internal/mpc"
+	"parclust/internal/outliers"
+	"parclust/internal/remoteclique"
+	"parclust/internal/rng"
+	"parclust/internal/workload"
+)
+
+type output struct {
+	Algo      string         `json:"algo"`
+	Assign    []int          `json:"assignments,omitempty"`
+	K         int            `json:"k"`
+	Machines  int            `json:"machines"`
+	N         int            `json:"n"`
+	Selected  [][]float64    `json:"selected"`
+	IDs       []int          `json:"ids"`
+	Objective float64        `json:"objective"`
+	Bound     float64        `json:"certified_bound,omitempty"`
+	Rounds    int            `json:"mpc_rounds"`
+	MaxComm   int64          `json:"max_round_comm_words"`
+	Extra     map[string]any `json:"extra,omitempty"`
+}
+
+func main() {
+	var (
+		algo     = flag.String("algo", "kcenter", "kcenter | diversity | ksupplier | outliers | remoteclique")
+		k        = flag.Int("k", 5, "solution size")
+		z        = flag.Int("z", 0, "permitted outliers (outliers algo only)")
+		m        = flag.Int("m", 4, "simulated machines")
+		eps      = flag.Float64("eps", 0.1, "ladder resolution ε")
+		input    = flag.String("input", "", "CSV of points (customers for ksupplier); '-' for stdin")
+		supFile  = flag.String("suppliers", "", "CSV of supplier points (ksupplier only)")
+		metricID = flag.String("metric", "l2", "l2 | l1 | linf | angular | hamming")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		trace    = flag.Bool("trace", false, "log every MPC round to stderr")
+		assign   = flag.Bool("assign", false, "include per-point nearest-selected assignments in the output")
+		verify   = flag.Bool("verify", false, "recompute the objective sequentially and fail on mismatch")
+	)
+	flag.Parse()
+
+	space, err := spaceByName(*metricID)
+	if err != nil {
+		fail(err)
+	}
+	pts, err := dataio.ReadFile(*input)
+	if err != nil {
+		fail(fmt.Errorf("loading -input: %w", err))
+	}
+	r := rng.New(*seed)
+	in := instance.New(space, workload.PartitionRandom(r, pts, *m))
+	var opts []mpc.Option
+	if *trace {
+		opts = append(opts, mpc.WithTracer(func(round int, rs mpc.RoundStats) {
+			fmt.Fprintf(os.Stderr, "round %3d %-28s maxSent=%-8d maxRecv=%-8d total=%d\n",
+				round, rs.Name, rs.MaxSent, rs.MaxRecv, rs.TotalWords)
+		}))
+	}
+	c := mpc.NewCluster(*m, *seed, opts...)
+
+	out := output{Algo: *algo, K: *k, Machines: *m, N: len(pts)}
+	switch *algo {
+	case "kcenter":
+		res, err := kcenter.Solve(c, in, kcenter.Config{K: *k, Eps: *eps})
+		if err != nil {
+			fail(err)
+		}
+		out.Selected, out.IDs = toRaw(res.Centers), res.IDs
+		out.Objective, out.Bound = res.Radius, res.RadiusBound
+		out.Extra = map[string]any{"r4": res.R4, "ladder_index": res.LadderIndex}
+	case "diversity":
+		res, err := diversity.Maximize(c, in, diversity.Config{K: *k, Eps: *eps})
+		if err != nil {
+			fail(err)
+		}
+		out.Selected, out.IDs = toRaw(res.Points), res.IDs
+		out.Objective = res.Diversity
+		out.Extra = map[string]any{"r4": res.R4, "ladder_index": res.LadderIndex}
+	case "ksupplier":
+		sup, err := dataio.ReadFile(*supFile)
+		if err != nil {
+			fail(fmt.Errorf("loading -suppliers: %w", err))
+		}
+		inS := instance.New(space, workload.PartitionRandom(r, sup, *m))
+		res, err := ksupplier.Solve(c, in, inS, ksupplier.Config{K: *k, Eps: *eps})
+		if err != nil {
+			fail(err)
+		}
+		out.Selected, out.IDs = toRaw(res.Suppliers), res.IDs
+		out.Objective, out.Bound = res.Radius, res.RadiusBound
+		out.Extra = map[string]any{"r9": res.R9, "ladder_index": res.LadderIndex}
+	case "outliers":
+		res, err := outliers.MPC(c, in, *k, *z)
+		if err != nil {
+			fail(err)
+		}
+		out.Selected = toRaw(res.Centers)
+		out.Objective = res.Radius
+		out.Extra = map[string]any{"z": *z, "coreset_size": res.CoresetSize}
+	case "remoteclique":
+		res, err := remoteclique.MPCCoreset(c, in, *k)
+		if err != nil {
+			fail(err)
+		}
+		out.Selected, out.IDs = toRaw(res.Points), res.IDs
+		out.Objective = res.Sum
+	default:
+		fail(fmt.Errorf("unknown -algo %q", *algo))
+	}
+	st := c.Stats()
+	out.Rounds = st.Rounds
+	out.MaxComm = st.MaxRoundComm()
+
+	if *assign && len(out.Selected) > 0 {
+		selected := make([]metric.Point, len(out.Selected))
+		for i, raw := range out.Selected {
+			selected[i] = metric.Point(raw)
+		}
+		out.Assign = make([]int, len(pts))
+		if *metricID == "l2" {
+			tree := kdtree.Build(selected)
+			for i, p := range pts {
+				out.Assign[i], _ = tree.Nearest(p)
+			}
+		} else {
+			for i, p := range pts {
+				out.Assign[i], _ = metric.Nearest(space, p, selected)
+			}
+		}
+	}
+
+	if *verify {
+		selected := make([]metric.Point, len(out.Selected))
+		for i, raw := range out.Selected {
+			selected[i] = metric.Point(raw)
+		}
+		var recomputed float64
+		switch *algo {
+		case "kcenter", "ksupplier":
+			recomputed = metric.Radius(space, pts, selected)
+		case "diversity":
+			recomputed = metric.Diversity(space, selected)
+		case "outliers":
+			recomputed = outliers.RadiusWithOutliers(space, pts, selected, *z)
+		case "remoteclique":
+			recomputed = remoteclique.SumDiversity(space, selected)
+		}
+		if math.Abs(recomputed-out.Objective) > 1e-9*(1+math.Abs(out.Objective)) {
+			fail(fmt.Errorf("verification failed: reported objective %v, sequential recomputation %v",
+				out.Objective, recomputed))
+		}
+		fmt.Fprintf(os.Stderr, "verified: objective %.6g matches sequential recomputation\n", out.Objective)
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "kcluster:", err)
+	os.Exit(1)
+}
+
+func spaceByName(name string) (metric.Space, error) {
+	switch name {
+	case "l2":
+		return metric.L2{}, nil
+	case "l1":
+		return metric.L1{}, nil
+	case "linf":
+		return metric.LInf{}, nil
+	case "angular":
+		return metric.Angular{}, nil
+	case "hamming":
+		return metric.Hamming{}, nil
+	}
+	return nil, fmt.Errorf("unknown metric %q", name)
+}
+
+func toRaw(pts []metric.Point) [][]float64 {
+	out := make([][]float64, len(pts))
+	for i, p := range pts {
+		out[i] = p
+	}
+	return out
+}

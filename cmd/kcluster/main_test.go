@@ -1,0 +1,26 @@
+package main
+
+import (
+	"testing"
+
+	"parclust/internal/metric"
+)
+
+func TestSpaceByName(t *testing.T) {
+	for _, name := range []string{"l2", "l1", "linf", "angular", "hamming"} {
+		s, err := spaceByName(name)
+		if err != nil || s.Name() != name {
+			t.Fatalf("spaceByName(%q) = %v, %v", name, s, err)
+		}
+	}
+	if _, err := spaceByName("nope"); err == nil {
+		t.Fatal("unknown metric accepted")
+	}
+}
+
+func TestToRaw(t *testing.T) {
+	raw := toRaw([]metric.Point{{1, 2}, {3}})
+	if len(raw) != 2 || raw[0][1] != 2 || raw[1][0] != 3 {
+		t.Fatalf("toRaw = %v", raw)
+	}
+}

@@ -1,0 +1,34 @@
+// Package parclust reproduces "Almost Optimal Massively Parallel
+// Algorithms for k-Center Clustering and Diversity Maximization"
+// (Haqi, Zarrabi-Zadeh; SPAA 2023) as a complete Go library.
+//
+// The public surface lives in the internal packages of this module (the
+// module is self-contained and ships its own MPC substrate, so every
+// consumer-facing type is reachable from the packages below):
+//
+//   - internal/mpc        — deterministic MPC-model simulator (machines as
+//     goroutines, superstep rounds, communication metering)
+//   - internal/kbmis      — k-bounded maximal independent set (Algorithm 4),
+//     the paper's primary contribution
+//   - internal/degree     — MPC vertex-degree approximation (Algorithm 3)
+//   - internal/diversity  — (2+ε)-approx k-diversity maximization (Algorithm 2)
+//   - internal/kcenter    — (2+ε)-approx k-center clustering (Algorithm 5)
+//   - internal/ksupplier  — (3+ε)-approx k-supplier (Algorithm 6)
+//   - internal/domset     — dominating-set extension (Section 7)
+//   - internal/outliers   — k-center with outliers (Charikar / Malkomes)
+//   - internal/remoteclique — sum-dispersion diversity (coresets)
+//   - internal/streaming  — one-pass doubling k-center (8-approx)
+//   - internal/lubymis    — classic Luby MIS baseline
+//   - internal/baselines  — prior-art comparators (Malkomes 4-approx,
+//     Indyk 6-approx)
+//   - internal/bench      — the claim-validation experiment harness
+//
+// Start with examples/quickstart, or run the experiment suite with
+//
+//	go run ./cmd/mpcbench -exp all
+//
+// The benchmarks in bench_test.go regenerate every table/figure recorded
+// in EXPERIMENTS.md:
+//
+//	go test -bench=. -benchmem
+package parclust

@@ -1,0 +1,64 @@
+// Streaming telemetry: one-pass k-center with O(k) memory.
+//
+// A collector receives telemetry points one at a time and can keep only a
+// handful in memory, yet must maintain k representative "profile" centers
+// such that every event seen so far is close to one — the incremental
+// k-center problem. The doubling algorithm (internal/streaming) maintains
+// an 8-approximation; this example feeds a drifting workload (clusters
+// appear over time) and prints how the phase radius R and the centers
+// evolve, then compares the final result with the offline MPC algorithm
+// that sees all points at once.
+//
+//	go run ./examples/streaming-telemetry
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"parclust/internal/instance"
+	"parclust/internal/kcenter"
+	"parclust/internal/metric"
+	"parclust/internal/mpc"
+	"parclust/internal/rng"
+	"parclust/internal/streaming"
+	"parclust/internal/workload"
+)
+
+func main() {
+	r := rng.New(2718)
+	const k = 5
+
+	// The stream drifts: each fifth of it comes from one new region.
+	regions := []metric.Point{{0, 0}, {5000, 0}, {0, 5000}, {5000, 5000}, {2500, 2500}}
+	var all []metric.Point
+	s := streaming.New(metric.L2{}, k)
+
+	fmt.Printf("%-8s %-10s %-12s %s\n", "events", "centers", "R", "certified radius 8R")
+	for phase, ctr := range regions {
+		for i := 0; i < 800; i++ {
+			p := metric.Point{ctr[0] + 30*r.NormFloat64(), ctr[1] + 30*r.NormFloat64()}
+			all = append(all, p)
+			s.Add(p)
+		}
+		fmt.Printf("%-8d %-10d %-12.1f %.1f\n",
+			s.Seen(), len(s.Centers()), s.R(), s.RadiusBound())
+		_ = phase
+	}
+
+	streamRadius := metric.Radius(metric.L2{}, all, s.Centers())
+	fmt.Printf("\nfinal one-pass radius (measured): %.1f (certified ≤ %.1f)\n",
+		streamRadius, s.RadiusBound())
+
+	// Offline comparison: the MPC algorithm sees the whole dataset.
+	const machines = 4
+	in := instance.New(metric.L2{}, workload.PartitionRandom(r, all, machines))
+	c := mpc.NewCluster(machines, 1)
+	off, err := kcenter.Solve(c, in, kcenter.Config{K: k, Eps: 0.1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("offline (2+ε) MPC radius        : %.1f\n", off.Radius)
+	fmt.Printf("stream memory footprint         : %d points (vs %d in the full set)\n",
+		len(s.Centers()), len(all))
+}

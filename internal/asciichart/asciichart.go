@@ -1,0 +1,135 @@
+// Package asciichart renders small numeric series as fixed-width text
+// charts — the terminal-native way this repository draws its "figures"
+// (experiment series like edge decay or ε sweeps) without any plotting
+// dependency.
+package asciichart
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Bars renders a horizontal bar chart: one row per (label, value), bars
+// scaled to width characters. Negative and NaN values render as empty
+// bars with the numeric value still printed.
+func Bars(labels []string, values []float64, width int) string {
+	if width < 1 {
+		width = 40
+	}
+	max := 0.0
+	for _, v := range values {
+		if !math.IsNaN(v) && v > max {
+			max = v
+		}
+	}
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	var b strings.Builder
+	for i, v := range values {
+		label := ""
+		if i < len(labels) {
+			label = labels[i]
+		}
+		n := 0
+		if max > 0 && !math.IsNaN(v) && v > 0 {
+			n = int(math.Round(v / max * float64(width)))
+			if n > width {
+				n = width
+			}
+		}
+		fmt.Fprintf(&b, "%-*s |%-*s %.4g\n", labelW, label, width, strings.Repeat("█", n), v)
+	}
+	return b.String()
+}
+
+// Line renders a y-against-index line chart with the given height in
+// rows. Values map linearly onto rows between min and max; NaN values
+// leave gaps. The y-axis prints the max and min.
+func Line(values []float64, height int) string {
+	if len(values) == 0 {
+		return "(no data)\n"
+	}
+	if height < 2 {
+		height = 8
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		if math.IsNaN(v) {
+			continue
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return "(no data)\n"
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", len(values)))
+	}
+	rowOf := func(v float64) int {
+		frac := (v - lo) / (hi - lo)
+		r := int(math.Round(frac * float64(height-1)))
+		return height - 1 - r // row 0 on top
+	}
+	for i, v := range values {
+		if math.IsNaN(v) {
+			continue
+		}
+		grid[rowOf(v)][i] = '*'
+	}
+	var b strings.Builder
+	for r, row := range grid {
+		prefix := "        "
+		switch r {
+		case 0:
+			prefix = fmt.Sprintf("%-8.3g", hi)
+		case height - 1:
+			prefix = fmt.Sprintf("%-8.3g", lo)
+		}
+		fmt.Fprintf(&b, "%s|%s\n", prefix, string(row))
+	}
+	fmt.Fprintf(&b, "        +%s\n", strings.Repeat("-", len(values)))
+	return b.String()
+}
+
+// LogBars renders Bars on log10-transformed positive values, for series
+// spanning orders of magnitude (edge decay, planted-noise radii). Zero or
+// negative values render as empty bars.
+func LogBars(labels []string, values []float64, width int) string {
+	logs := make([]float64, len(values))
+	for i, v := range values {
+		if v > 0 {
+			logs[i] = math.Log10(v) + 1 // keep 1..10 visible
+			if logs[i] < 0 {
+				logs[i] = 0.1
+			}
+		} else {
+			logs[i] = math.NaN()
+		}
+	}
+	chart := Bars(labels, logs, width)
+	// Re-print true values instead of the transformed ones.
+	lines := strings.Split(strings.TrimRight(chart, "\n"), "\n")
+	var b strings.Builder
+	for i, line := range lines {
+		if idx := strings.LastIndex(line, " "); idx >= 0 && i < len(values) {
+			fmt.Fprintf(&b, "%s %.4g\n", line[:idx], values[i])
+		} else {
+			b.WriteString(line + "\n")
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,106 @@
+package asciichart
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestBarsBasic(t *testing.T) {
+	out := Bars([]string{"a", "bb"}, []float64{1, 2}, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	// The max value fills the width; half value fills half.
+	if !strings.Contains(lines[1], strings.Repeat("█", 10)) {
+		t.Fatalf("max bar not full: %q", lines[1])
+	}
+	if !strings.Contains(lines[0], strings.Repeat("█", 5)) {
+		t.Fatalf("half bar wrong: %q", lines[0])
+	}
+	if !strings.Contains(lines[0], "1") || !strings.Contains(lines[1], "2") {
+		t.Fatal("values not printed")
+	}
+}
+
+func TestBarsEdge(t *testing.T) {
+	// All zeros: no bars, no panic.
+	out := Bars([]string{"x"}, []float64{0}, 5)
+	if strings.Contains(out, "█") {
+		t.Fatalf("zero value drew a bar: %q", out)
+	}
+	// NaN and negative render without bars.
+	out = Bars([]string{"n", "m"}, []float64{math.NaN(), -3}, 5)
+	if strings.Contains(out, "█") {
+		t.Fatalf("NaN/negative drew bars: %q", out)
+	}
+	// Width clamp.
+	out = Bars([]string{"a"}, []float64{1}, 0)
+	if !strings.Contains(out, "█") {
+		t.Fatal("default width failed")
+	}
+	// More values than labels.
+	out = Bars(nil, []float64{1, 2}, 5)
+	if len(strings.Split(strings.TrimRight(out, "\n"), "\n")) != 2 {
+		t.Fatal("rows wrong without labels")
+	}
+}
+
+func TestLineBasic(t *testing.T) {
+	out := Line([]float64{0, 1, 2, 3}, 4)
+	if !strings.Contains(out, "*") {
+		t.Fatalf("no points plotted: %q", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // 4 rows + axis
+		t.Fatalf("line rows = %d", len(lines))
+	}
+	// Max labeled on top row, min on bottom data row.
+	if !strings.HasPrefix(lines[0], "3") {
+		t.Fatalf("top label: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[3], "0") {
+		t.Fatalf("bottom label: %q", lines[3])
+	}
+}
+
+func TestLineEdge(t *testing.T) {
+	if out := Line(nil, 5); out != "(no data)\n" {
+		t.Fatalf("empty: %q", out)
+	}
+	if out := Line([]float64{math.NaN()}, 5); out != "(no data)\n" {
+		t.Fatalf("all-NaN: %q", out)
+	}
+	// Constant series must not divide by zero.
+	out := Line([]float64{5, 5, 5}, 3)
+	if !strings.Contains(out, "*") {
+		t.Fatalf("constant series: %q", out)
+	}
+	// Tiny height clamps.
+	out = Line([]float64{1, 2}, 1)
+	if !strings.Contains(out, "*") {
+		t.Fatal("height clamp failed")
+	}
+}
+
+func TestLogBars(t *testing.T) {
+	out := LogBars([]string{"a", "b", "c"}, []float64{1, 1000, 0}, 20)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("rows = %d", len(lines))
+	}
+	// True values printed, not logs.
+	if !strings.Contains(lines[1], "1000") {
+		t.Fatalf("true value missing: %q", lines[1])
+	}
+	// Zero renders without a bar.
+	if strings.Contains(lines[2], "█") {
+		t.Fatalf("zero drew bar: %q", lines[2])
+	}
+	// Log scaling: the 1000 bar is at most ~4x the 1 bar, not 1000x.
+	count := func(s string) int { return strings.Count(s, "█") }
+	if count(lines[1]) > 10*count(lines[0])+10 {
+		t.Fatalf("log scaling off: %d vs %d", count(lines[1]), count(lines[0]))
+	}
+}

@@ -1,0 +1,122 @@
+// Package baselines implements the prior state-of-the-art MPC algorithms
+// the paper improves on, used by the benchmark harness to reproduce the
+// paper's headline comparisons:
+//
+//   - Malkomes et al. (NeurIPS 2015) [22]: two-round 4-approximation for
+//     k-center via GMM composable coresets.
+//   - Indyk et al. (PODC 2014) [19]: two-round 6-approximation for
+//     k-diversity via 3-composable coresets (GMM per machine, GMM again
+//     centrally).
+//   - A uniform random k-subset, the sanity-check strawman.
+//
+// Both coreset baselines reuse the shared two-round distributed GMM step
+// (package coreset); they genuinely are the same communication pattern as
+// the paper's lines 1–2, differing only in what is done with the result.
+package baselines
+
+import (
+	"fmt"
+
+	"parclust/internal/coreset"
+	"parclust/internal/instance"
+	"parclust/internal/metric"
+	"parclust/internal/mpc"
+)
+
+// KCenterResult is a baseline k-center solution.
+type KCenterResult struct {
+	Centers []metric.Point
+	IDs     []int
+	// Radius is the measured covering radius r(V, Centers).
+	Radius float64
+}
+
+// MalkomesKCenter runs the two-round composable-coreset k-center
+// algorithm of Malkomes et al.: GMM locally, GMM on the union centrally.
+// Guaranteed 4-approximate; measured radius is returned.
+func MalkomesKCenter(c *mpc.Cluster, in *instance.Instance, k int) (*KCenterResult, error) {
+	cs, err := coreset.Collect(c, in, k)
+	if err != nil {
+		return nil, err
+	}
+	radius, err := coreset.BroadcastRadius(c, in, cs.Central)
+	if err != nil {
+		return nil, err
+	}
+	return &KCenterResult{Centers: cs.Central, IDs: cs.CentralIDs, Radius: radius}, nil
+}
+
+// DiversityResult is a baseline diversity solution.
+type DiversityResult struct {
+	Points    []metric.Point
+	IDs       []int
+	Diversity float64
+}
+
+// IndykDiversity runs the two-round composable-coreset diversity
+// algorithm of Indyk et al.: GMM per machine yields a 3-composable
+// coreset, and GMM over the union yields a 6-approximate k-diverse
+// subset.
+func IndykDiversity(c *mpc.Cluster, in *instance.Instance, k int) (*DiversityResult, error) {
+	cs, err := coreset.Collect(c, in, k)
+	if err != nil {
+		return nil, err
+	}
+	return &DiversityResult{
+		Points:    cs.Central,
+		IDs:       cs.CentralIDs,
+		Diversity: metric.Diversity(in.Space, cs.Central),
+	}, nil
+}
+
+// RandomSubset selects k points uniformly at random: every machine ships
+// min(k, |V_i|) random local points to the central machine, which picks k
+// uniformly from the union. A strawman lower bar for both objectives.
+func RandomSubset(c *mpc.Cluster, in *instance.Instance, k int) ([]metric.Point, []int, error) {
+	if k < 1 {
+		return nil, nil, fmt.Errorf("baselines: k = %d, need k >= 1", k)
+	}
+	if c.NumMachines() != in.Machines() {
+		return nil, nil, fmt.Errorf("baselines: cluster/instance machine counts disagree")
+	}
+	err := c.Superstep("baseline/random-ship", func(mc *mpc.Machine) error {
+		i := mc.ID()
+		n := len(in.Parts[i])
+		take := k
+		if take > n {
+			take = n
+		}
+		var pts []metric.Point
+		var ids []int
+		for _, j := range mc.RNG.Sample(n, take) {
+			pts = append(pts, in.Parts[i][j])
+			ids = append(ids, in.IDs[i][j])
+		}
+		mc.SendCentral(mpc.IndexedPoints{IDs: ids, Pts: pts})
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	var outP []metric.Point
+	var outI []int
+	err = c.Superstep("baseline/random-pick", func(mc *mpc.Machine) error {
+		if !mc.IsCentral() {
+			return nil
+		}
+		ids, pts := mpc.CollectIndexed(mc.Inbox())
+		take := k
+		if take > len(pts) {
+			take = len(pts)
+		}
+		for _, j := range mc.RNG.Sample(len(pts), take) {
+			outP = append(outP, pts[j])
+			outI = append(outI, ids[j])
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return outP, outI, nil
+}

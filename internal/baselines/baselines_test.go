@@ -1,0 +1,116 @@
+package baselines
+
+import (
+	"testing"
+
+	"parclust/internal/instance"
+	"parclust/internal/metric"
+	"parclust/internal/mpc"
+	"parclust/internal/rng"
+	"parclust/internal/seq"
+	"parclust/internal/workload"
+)
+
+func makeInstance(pts []metric.Point, m int) *instance.Instance {
+	return instance.New(metric.L2{}, workload.PartitionRoundRobin(nil, pts, m))
+}
+
+func TestMalkomesFourApprox(t *testing.T) {
+	r := rng.New(1)
+	for trial := 0; trial < 20; trial++ {
+		pts := workload.UniformCube(r, 12, 2, 100)
+		in := makeInstance(pts, 3)
+		c := mpc.NewCluster(3, uint64(trial))
+		res, err := MalkomesKCenter(c, in, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Centers) != 3 {
+			t.Fatalf("center count %d", len(res.Centers))
+		}
+		opt, _ := seq.ExactKCenter(metric.L2{}, pts, 3)
+		if res.Radius > 4*opt+1e-9 {
+			t.Fatalf("trial %d: Malkomes radius %v > 4·opt %v", trial, res.Radius, opt)
+		}
+	}
+}
+
+func TestMalkomesTwoRoundsPlusRadius(t *testing.T) {
+	r := rng.New(2)
+	pts := workload.UniformCube(r, 100, 2, 50)
+	in := makeInstance(pts, 4)
+	c := mpc.NewCluster(4, 5)
+	if _, err := MalkomesKCenter(c, in, 4); err != nil {
+		t.Fatal(err)
+	}
+	// 2 coreset rounds + 3 radius-measurement rounds.
+	if got := c.Stats().Rounds; got != 5 {
+		t.Fatalf("rounds = %d, want 5", got)
+	}
+}
+
+func TestIndykSixApprox(t *testing.T) {
+	r := rng.New(3)
+	for trial := 0; trial < 20; trial++ {
+		pts := workload.UniformCube(r, 12, 2, 100)
+		in := makeInstance(pts, 3)
+		c := mpc.NewCluster(3, uint64(trial))
+		res, err := IndykDiversity(c, in, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Points) != 4 {
+			t.Fatalf("selection size %d", len(res.Points))
+		}
+		opt, _ := seq.ExactDiversity(metric.L2{}, pts, 4)
+		if res.Diversity < opt/6-1e-9 {
+			t.Fatalf("trial %d: Indyk diversity %v < opt/6 %v", trial, res.Diversity, opt/6)
+		}
+	}
+}
+
+func TestRandomSubset(t *testing.T) {
+	r := rng.New(4)
+	pts := workload.UniformCube(r, 100, 2, 50)
+	in := makeInstance(pts, 4)
+	c := mpc.NewCluster(4, 7)
+	sel, ids, err := RandomSubset(c, in, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 6 || len(ids) != 6 {
+		t.Fatalf("selection size %d", len(sel))
+	}
+	seen := map[int]bool{}
+	for i, id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate id %d", id)
+		}
+		seen[id] = true
+		if p := in.PointByID(id); p == nil || !p.Equal(sel[i]) {
+			t.Fatalf("id %d does not match point", id)
+		}
+	}
+}
+
+func TestRandomSubsetSmallInput(t *testing.T) {
+	in := makeInstance(workload.Line(3), 2)
+	c := mpc.NewCluster(2, 1)
+	sel, _, err := RandomSubset(c, in, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 3 {
+		t.Fatalf("k>n selection size %d, want 3", len(sel))
+	}
+}
+
+func TestRandomSubsetRejects(t *testing.T) {
+	in := makeInstance(workload.Line(3), 2)
+	if _, _, err := RandomSubset(mpc.NewCluster(2, 1), in, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, _, err := RandomSubset(mpc.NewCluster(3, 1), in, 2); err == nil {
+		t.Fatal("mismatch accepted")
+	}
+}

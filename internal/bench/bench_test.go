@@ -1,0 +1,272 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8",
+		"F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "A1", "A2", "A3", "A4"}
+	got := Registry()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(got), len(want))
+	}
+	for i, id := range want {
+		if got[i].ID != id {
+			t.Fatalf("registry[%d] = %s, want %s", i, got[i].ID, id)
+		}
+		if got[i].Title == "" || got[i].Claim == "" || got[i].Run == nil {
+			t.Fatalf("experiment %s incomplete", id)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, err := ByID("T1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+// Every experiment must run to completion in quick mode and produce a
+// non-empty table with consistent row widths.
+func TestAllExperimentsQuick(t *testing.T) {
+	for _, e := range Registry() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			tab, err := e.Run(RunConfig{Seed: 42, Quick: true})
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(tab.Rows) == 0 {
+				t.Fatalf("%s produced no rows", e.ID)
+			}
+			for _, row := range tab.Rows {
+				if len(row) != len(tab.Columns) {
+					t.Fatalf("%s row width %d != %d columns", e.ID, len(row), len(tab.Columns))
+				}
+			}
+			var buf bytes.Buffer
+			if err := tab.Render(&buf); err != nil {
+				t.Fatalf("%s render: %v", e.ID, err)
+			}
+			if !strings.Contains(buf.String(), e.ID) {
+				t.Fatalf("%s render missing id header", e.ID)
+			}
+			var csvBuf bytes.Buffer
+			if err := tab.WriteCSV(&csvBuf); err != nil {
+				t.Fatalf("%s csv: %v", e.ID, err)
+			}
+		})
+	}
+}
+
+// T1's headline shape: our (2+ε) algorithm beats the 4-approx baseline on
+// structured (well-separated) data — the malk/ours column must be ≥ 1 on
+// at least one gauss-sep row, and never collapse below ~0.5 anywhere.
+func TestT1Shape(t *testing.T) {
+	tab, err := mustRun(t, "T1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := colIndex(tab, "malk/ours")
+	anyImprovement := false
+	for _, row := range tab.Rows {
+		v, err := strconv.ParseFloat(row[col], 64)
+		if err != nil {
+			t.Fatalf("bad cell %q", row[col])
+		}
+		if v >= 1 {
+			anyImprovement = true
+		}
+		if v < 0.5 {
+			t.Fatalf("ours more than 2x worse than the 4-approx baseline: %v (row %v)", v, row)
+		}
+	}
+	if !anyImprovement {
+		t.Fatal("(2+ε) never matched or beat the 4-approx baseline")
+	}
+}
+
+// T2's shape: certified ratio ub/ours stays within the theoretical
+// 4(1+ε) envelope (ub is itself a 2-overestimate).
+func TestT2Shape(t *testing.T) {
+	tab, err := mustRun(t, "T2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := colIndex(tab, "ub/ours")
+	for _, row := range tab.Rows {
+		v, err := strconv.ParseFloat(row[col], 64)
+		if err != nil {
+			t.Fatalf("bad cell %q", row[col])
+		}
+		if v > 4*(1+0.1)+0.01 {
+			t.Fatalf("ub/ours = %v exceeds the 4(1+ε) envelope (row %v)", v, row)
+		}
+	}
+}
+
+// T4's shape: constant rounds — the largest-n row must not use more than
+// 3x the rounds of the smallest-n row.
+func TestT4Shape(t *testing.T) {
+	tab, err := mustRun(t, "T4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := colIndex(tab, "rounds")
+	first, _ := strconv.Atoi(tab.Rows[0][col])
+	last, _ := strconv.Atoi(tab.Rows[len(tab.Rows)-1][col])
+	if last > 3*first {
+		t.Fatalf("rounds grew from %d to %d across n sweep", first, last)
+	}
+}
+
+func mustRun(t *testing.T, id string) (*Table, error) {
+	t.Helper()
+	e, err := ByID(id)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(RunConfig{Seed: 42, Quick: true})
+}
+
+func colIndex(tab *Table, name string) int {
+	for i, c := range tab.Columns {
+		if c == name {
+			return i
+		}
+	}
+	panic("missing column " + name)
+}
+
+func TestTableAddPanicsOnWidthMismatch(t *testing.T) {
+	tab := &Table{ID: "X", Columns: []string{"a", "b"}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on width mismatch")
+		}
+	}()
+	tab.Add("only-one")
+}
+
+func TestTableRenderAndCSV(t *testing.T) {
+	tab := &Table{ID: "X", Title: "demo", Columns: []string{"col", "val"}}
+	tab.Add("a", "1")
+	tab.Add("bb", "22")
+	tab.AddNote("hello %d", 7)
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "note: hello 7") {
+		t.Fatalf("note missing: %s", out)
+	}
+	var csvBuf bytes.Buffer
+	if err := tab.WriteCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(csvBuf.String(), "\n"); got != 3 {
+		t.Fatalf("csv has %d lines, want 3", got)
+	}
+}
+
+func TestTableWriteJSON(t *testing.T) {
+	tab := &Table{ID: "X", Title: "demo", Columns: []string{"a"}, Notes: []string{"n1"}}
+	tab.Add("1")
+	var buf bytes.Buffer
+	if err := tab.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back struct {
+		ID      string     `json:"id"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+		Notes   []string   `json:"notes"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != "X" || len(back.Rows) != 1 || back.Rows[0][0] != "1" || back.Notes[0] != "n1" {
+		t.Fatalf("json roundtrip: %+v", back)
+	}
+}
+
+// Identical seeds must reproduce experiment tables bit for bit.
+func TestExperimentsDeterministic(t *testing.T) {
+	for _, id := range []string{"T5", "F2", "A3"} {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := func() string {
+			tab, err := e.Run(RunConfig{Seed: 7, Quick: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := tab.Render(&buf); err != nil {
+				t.Fatal(err)
+			}
+			return buf.String()
+		}
+		if a, b := run(), run(); a != b {
+			t.Fatalf("%s not deterministic:\n%s\nvs\n%s", id, a, b)
+		}
+	}
+}
+
+func TestTableChart(t *testing.T) {
+	tab := &Table{
+		ID: "X", Columns: []string{"lab", "val"},
+		ChartColumn: "val", ChartLabel: "lab",
+	}
+	tab.Add("a", "10")
+	tab.Add("b", "20")
+	out := tab.Chart(20)
+	if !strings.Contains(out, "█") || !strings.Contains(out, "a") {
+		t.Fatalf("chart output: %q", out)
+	}
+	// No chart column configured → empty.
+	plain := &Table{ID: "Y", Columns: []string{"v"}}
+	plain.Add("1")
+	if plain.Chart(20) != "" {
+		t.Fatal("unconfigured chart rendered")
+	}
+	// Missing column name → empty.
+	bad := &Table{ID: "Z", Columns: []string{"v"}, ChartColumn: "nope"}
+	bad.Add("1")
+	if bad.Chart(20) != "" {
+		t.Fatal("missing column rendered")
+	}
+	// Non-numeric rows are skipped.
+	mixed := &Table{ID: "W", Columns: []string{"v"}, ChartColumn: "v"}
+	mixed.Add("abc")
+	if mixed.Chart(20) != "" {
+		t.Fatal("non-numeric rendered")
+	}
+}
+
+func TestTableWriteMarkdown(t *testing.T) {
+	tab := &Table{ID: "X", Title: "demo", Columns: []string{"a", "b"}}
+	tab.Add("1", "2")
+	tab.AddNote("watch out")
+	var buf bytes.Buffer
+	if err := tab.WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"### X — demo", "| a | b |", "| --- | --- |", "| 1 | 2 |", "> watch out"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"parclust/internal/kcenter"
+	"parclust/internal/mpc"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "T7",
+		Title: "per-machine memory vs machine count at fixed n",
+		Claim: "Theorems 15, 17: Õ(n/m + mk) memory per machine",
+		Run:   runT7,
+	})
+}
+
+func runT7(cfg RunConfig) (*Table, error) {
+	tab := &Table{
+		ID:    "T7",
+		Title: "k-center end to end: input share + peak transient memory per machine (words)",
+		Columns: []string{"n", "m", "k", "input/machine", "peak-noted", "bound n/m + 20·mk·ln n",
+			"peak/bound"},
+	}
+	n, k := 4000, 8
+	ms := []int{4, 8, 16, 32}
+	if cfg.Quick {
+		n = 800
+		ms = []int{4, 8}
+	}
+	fam := qualityFamilies(true)[0]
+	for _, m := range ms {
+		in, _ := buildInstance(fam, n, m, cfg.Seed)
+		c := mpc.NewCluster(m, cfg.Seed+17)
+		if _, err := kcenter.Solve(c, in, kcenter.Config{K: k, Eps: 0.1}); err != nil {
+			return nil, fmt.Errorf("T7 m=%d: %w", m, err)
+		}
+		st := c.Stats()
+		// Input share: the largest partition in words (dim coordinates
+		// per point).
+		dim := 0
+		for _, part := range in.Parts {
+			if len(part) > 0 {
+				dim = len(part[0])
+				break
+			}
+		}
+		inputWords := int64(in.MaxPartSize() * dim)
+		bound := float64(n)/float64(m)*float64(dim) +
+			20*float64(m)*float64(k)*math.Log(float64(n))
+		peak := st.MaxMemoryWords
+		total := float64(inputWords) + float64(peak)
+		tab.Add(d(n), d(m), d(k), d(int(inputWords)), d(int(peak)), f(bound),
+			ratio(total, bound))
+	}
+	tab.AddNote("peak-noted is the largest transient buffer any machine reported (inbound samples, light broadcasts, central unions); the Õ(n/m + mk) claim holds when peak/bound stays O(polylog)")
+	return tab, nil
+}

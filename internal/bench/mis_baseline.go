@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"parclust/internal/kbmis"
+	"parclust/internal/lubymis"
+	"parclust/internal/mpc"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "A4",
+		Title: "k-bounded MIS vs classic Luby MIS: rounds and communication",
+		Claim: "the motivation for Algorithm 4 — classic Luby needs Θ(log n) rounds and Θ(n)-word broadcasts",
+		Run:   runA4,
+	})
+}
+
+func runA4(cfg RunConfig) (*Table, error) {
+	tab := &Table{
+		ID:    "A4",
+		Title: "full MIS on G_τ: Algorithm 4 (k = n) vs classic Luby, as n grows",
+		Columns: []string{"n", "m", "algo", "iterations", "mpc-rounds", "maxRoundComm(words)",
+			"totalWords", "mis-size"},
+	}
+	ns := []int{400, 800, 1600}
+	if cfg.Quick {
+		ns = []int{200, 400}
+	}
+	fam := qualityFamilies(true)[0]
+	for _, n := range ns {
+		m := int(math.Ceil(math.Sqrt(float64(n)) / 2))
+		in, pts := buildInstance(fam, n, m, cfg.Seed)
+		tau := diameterOf(in.Space, pts) / 6
+
+		// δ = 0.5 keeps the heavy/light machinery active (DESIGN.md
+		// deviation 2); with the paper's δ the all-light broadcast
+		// dominates both columns at laptop n and hides the contrast.
+		c1 := mpc.NewCluster(m, cfg.Seed+15)
+		ours, err := kbmis.Run(c1, in, tau, kbmis.Config{K: n + 1, Delta: 0.5})
+		if err != nil {
+			return nil, fmt.Errorf("A4 kbmis n=%d: %w", n, err)
+		}
+		st1 := c1.Stats()
+		tab.Add(d(n), d(m), "kbmis(Alg.4)", d(ours.Iterations), d(st1.Rounds),
+			d(int(st1.MaxRoundComm())), d(int(st1.TotalWords)), d(len(ours.IDs)))
+
+		c2 := mpc.NewCluster(m, cfg.Seed+16)
+		luby, err := lubymis.Run(c2, in, tau, 0)
+		if err != nil {
+			return nil, fmt.Errorf("A4 luby n=%d: %w", n, err)
+		}
+		st2 := c2.Stats()
+		tab.Add(d(n), d(m), "luby(1986)", d(luby.Rounds), d(st2.Rounds),
+			d(int(st2.MaxRoundComm())), d(int(st2.TotalWords)), d(len(luby.IDs)))
+	}
+	tab.AddNote("both produce maximal independent sets; Algorithm 4's iteration count stays flat while Luby's grows ~log n and Luby's per-round broadcast grows Θ(n·d)")
+	tab.AddNote("with the bound disabled (k = n) Algorithm 4's Õ(mk) budget degenerates to Õ(mn), so classic Luby can move fewer absolute words here; the paper's regime is k ≪ n (see T5), where the k-bounded early exits keep communication at Õ(mk)")
+	return tab, nil
+}

@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+)
+
+// RunConfig controls an experiment run.
+type RunConfig struct {
+	// Seed drives every random choice; identical seeds reproduce tables
+	// exactly.
+	Seed uint64
+	// Quick shrinks sweeps for CI and testing.B use; the full
+	// configuration is what EXPERIMENTS.md records.
+	Quick bool
+}
+
+// Experiment is a registered claim-validation experiment.
+type Experiment struct {
+	// ID is the experiment identifier from DESIGN.md (T1..T7, F1..F8,
+	// A1..A4).
+	ID string
+	// Title is the one-line description.
+	Title string
+	// Claim cites the paper statement the experiment validates.
+	Claim string
+	// Run executes the experiment and returns its table.
+	Run func(cfg RunConfig) (*Table, error)
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("bench: duplicate experiment id " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// Registry returns all experiments sorted by id (T before F before A is
+// not alphabetical, so sort by the DESIGN.md ordering: T*, F*, A*).
+func Registry() []Experiment {
+	var out []Experiment
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	rank := func(id string) string {
+		switch id[0] {
+		case 'T':
+			return "0" + id
+		case 'F':
+			return "1" + id
+		default:
+			return "2" + id
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return rank(out[i].ID) < rank(out[j].ID) })
+	return out
+}
+
+// ByID looks up one experiment.
+func ByID(id string) (Experiment, error) {
+	e, ok := registry[id]
+	if !ok {
+		return Experiment{}, fmt.Errorf("bench: unknown experiment %q", id)
+	}
+	return e, nil
+}

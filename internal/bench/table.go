@@ -1,0 +1,213 @@
+// Package bench is the experiment harness: it regenerates, as measurable
+// tables and figure series, every claim of the paper (which, being a pure
+// theory paper, has no experimental section of its own — see DESIGN.md
+// §2 and §5 for the experiment index T1–T8, F1–F9, A1–A4).
+package bench
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"parclust/internal/asciichart"
+)
+
+// Table is a rendered experiment result: an ordered set of columns and
+// rows of formatted cells. Tables print as aligned text (the harness's
+// "figures" are series tables whose rows are the plotted points).
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	// Notes are free-form observations appended under the table.
+	Notes []string
+	// ChartColumn / ChartLabel optionally designate a figure series for
+	// Chart (value and label columns); ChartLog selects a log scale.
+	ChartColumn string
+	ChartLabel  string
+	ChartLog    bool
+}
+
+// Add appends a row. The number of cells must match the column count.
+func (t *Table) Add(cells ...string) {
+	if len(cells) != len(t.Columns) {
+		panic(fmt.Sprintf("bench: row has %d cells, table %s has %d columns",
+			len(cells), t.ID, len(t.Columns)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddNote appends an observation line.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s — %s\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			parts[i] = pad(cell, widths[i])
+		}
+		return strings.Join(parts, "  ")
+	}
+	header := line(t.Columns)
+	if _, err := fmt.Fprintln(w, header); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", len(header))); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// WriteCSV writes the table in CSV form (columns, then rows).
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// f formats a float compactly for table cells.
+func f(v float64) string {
+	return fmt.Sprintf("%.4g", v)
+}
+
+// d formats an int for table cells.
+func d(v int) string {
+	return fmt.Sprintf("%d", v)
+}
+
+// WriteJSON writes the table as a JSON object with id, title, columns,
+// rows, and notes — the machine-readable form of the same data Render
+// prints.
+func (t *Table) WriteJSON(w io.Writer) error {
+	type payload struct {
+		ID      string     `json:"id"`
+		Title   string     `json:"title"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+		Notes   []string   `json:"notes,omitempty"`
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(payload{
+		ID: t.ID, Title: t.Title, Columns: t.Columns, Rows: t.Rows, Notes: t.Notes,
+	})
+}
+
+// Chart renders the table's designated figure series as an ASCII bar
+// chart (log scale if ChartLog). It returns "" when the table has no
+// chart column configured or the column is missing/non-numeric.
+func (t *Table) Chart(width int) string {
+	if t.ChartColumn == "" {
+		return ""
+	}
+	valCol, labCol := -1, -1
+	for i, c := range t.Columns {
+		if c == t.ChartColumn {
+			valCol = i
+		}
+		if c == t.ChartLabel {
+			labCol = i
+		}
+	}
+	if valCol < 0 {
+		return ""
+	}
+	var labels []string
+	var values []float64
+	for _, row := range t.Rows {
+		v, err := strconv.ParseFloat(row[valCol], 64)
+		if err != nil {
+			continue
+		}
+		values = append(values, v)
+		label := ""
+		if labCol >= 0 {
+			label = row[labCol]
+		}
+		labels = append(labels, label)
+	}
+	if len(values) == 0 {
+		return ""
+	}
+	header := fmt.Sprintf("%s by %s:\n", t.ChartColumn, t.ChartLabel)
+	if t.ChartLog {
+		return header + asciichart.LogBars(labels, values, width)
+	}
+	return header + asciichart.Bars(labels, values, width)
+}
+
+// WriteMarkdown writes the table as GitHub-flavoured markdown (header,
+// separator, rows, then notes as blockquotes).
+func (t *Table) WriteMarkdown(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "### %s — %s\n\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(t.Columns, " | ")); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(sep, " | ")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | ")); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "\n> %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}

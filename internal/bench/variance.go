@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"fmt"
+
+	"parclust/internal/diversity"
+	"parclust/internal/kcenter"
+	"parclust/internal/mpc"
+	"parclust/internal/seq"
+	"parclust/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "T8",
+		Title: "quality stability across random seeds",
+		Claim: "w.h.p. guarantees in practice: seed-to-seed quality variance is negligible",
+		Run:   runT8,
+	})
+}
+
+func runT8(cfg RunConfig) (*Table, error) {
+	tab := &Table{
+		ID:    "T8",
+		Title: "ratio-to-bound across seeds (fixed dataset, algorithm randomness only)",
+		Columns: []string{"algo", "seeds", "mean", "std", "min", "max", "p99",
+			"std/mean"},
+	}
+	n, m, k := 1500, 8, 10
+	seeds := 20
+	if cfg.Quick {
+		n, seeds = 400, 8
+	}
+	fam := qualityFamilies(true)[0]
+	in, pts := buildInstance(fam, n, m, cfg.Seed)
+	lbC := seq.KCenterLowerBound(in.Space, pts, k)
+	ubD := seq.DiversityUpperBound(in.Space, pts, k)
+
+	var kcRatios, dvRatios []float64
+	for s := 0; s < seeds; s++ {
+		c := mpc.NewCluster(m, cfg.Seed+uint64(1000+s))
+		kc, err := kcenter.Solve(c, in, kcenter.Config{K: k, Eps: 0.1})
+		if err != nil {
+			return nil, fmt.Errorf("T8 kcenter seed %d: %w", s, err)
+		}
+		kcRatios = append(kcRatios, kc.Radius/lbC)
+
+		c2 := mpc.NewCluster(m, cfg.Seed+uint64(2000+s))
+		dv, err := diversity.Maximize(c2, in, diversity.Config{K: k, Eps: 0.1})
+		if err != nil {
+			return nil, fmt.Errorf("T8 diversity seed %d: %w", s, err)
+		}
+		dvRatios = append(dvRatios, ubD/dv.Diversity)
+	}
+	for _, row := range []struct {
+		name   string
+		ratios []float64
+	}{
+		{"kcenter radius/lb", kcRatios},
+		{"diversity ub/achieved", dvRatios},
+	} {
+		sm := stats.Summarize(row.ratios)
+		cv := "-"
+		if sm.Mean != 0 {
+			cv = f(sm.Std / sm.Mean)
+		}
+		tab.Add(row.name, d(sm.N), f(sm.Mean), f(sm.Std), f(sm.Min), f(sm.Max), f(sm.P99), cv)
+	}
+	tab.AddNote("every seed must stay inside its certified envelope; a coefficient of variation of a few percent shows the w.h.p. analysis is not hiding heavy tails")
+	return tab, nil
+}

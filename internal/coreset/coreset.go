@@ -1,0 +1,147 @@
+// Package coreset implements the two-round distributed GMM step shared by
+// all three application algorithms (lines 1–2 of Algorithms 2, 5 and 6)
+// and by the composable-coreset baselines: every machine runs GMM on its
+// local partition and ships the k selected points to the central machine,
+// which runs GMM again on the union.
+package coreset
+
+import (
+	"fmt"
+	"math"
+
+	"parclust/internal/gmm"
+	"parclust/internal/instance"
+	"parclust/internal/metric"
+	"parclust/internal/mpc"
+)
+
+// Result holds the outcome of the two GMM rounds.
+type Result struct {
+	// Union is T = ∪ T_i, the concatenated local GMM selections, with
+	// UnionIDs the matching global ids.
+	Union    []metric.Point
+	UnionIDs []int
+	// Central is S = GMM(T, k), the central selection over the union,
+	// with CentralIDs the matching global ids.
+	Central    []metric.Point
+	CentralIDs []int
+	// CentralDiv is div(S) (+Inf for fewer than two points).
+	CentralDiv float64
+	// MachineSets[i] is T_i = GMM(V_i, k); MachineSetIDs the ids;
+	// MachineDivs[i] is div(T_i) when |T_i| = k and NaN otherwise (a
+	// selection smaller than k is the whole partition and its diversity
+	// is not a candidate in the max of Algorithm 2, line 3).
+	MachineSets   [][]metric.Point
+	MachineSetIDs [][]int
+	MachineDivs   []float64
+}
+
+// Collect runs the two distributed GMM rounds for parameter k over in.
+func Collect(c *mpc.Cluster, in *instance.Instance, k int) (*Result, error) {
+	m := in.Machines()
+	if c.NumMachines() != m {
+		return nil, fmt.Errorf("coreset: cluster has %d machines, instance has %d parts",
+			c.NumMachines(), m)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("coreset: k = %d, need k >= 1", k)
+	}
+	res := &Result{
+		MachineSets:   make([][]metric.Point, m),
+		MachineSetIDs: make([][]int, m),
+		MachineDivs:   make([]float64, m),
+	}
+
+	// Round 1: local GMM selections travel to the central machine.
+	err := c.Superstep("coreset/local-gmm", func(mc *mpc.Machine) error {
+		i := mc.ID()
+		idx := gmm.RunIndices(in.Space, in.Parts[i], k, 0)
+		pts := make([]metric.Point, len(idx))
+		ids := make([]int, len(idx))
+		for t, j := range idx {
+			pts[t] = in.Parts[i][j]
+			ids[t] = in.IDs[i][j]
+		}
+		res.MachineSets[i] = pts
+		res.MachineSetIDs[i] = ids
+		if len(pts) == k {
+			res.MachineDivs[i] = metric.Diversity(in.Space, pts)
+		} else {
+			res.MachineDivs[i] = math.NaN()
+		}
+		mc.SendCentral(mpc.IndexedPoints{IDs: ids, Pts: pts})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Round 2: central GMM over the union.
+	err = c.Superstep("coreset/central-gmm", func(mc *mpc.Machine) error {
+		if !mc.IsCentral() {
+			return nil
+		}
+		ids, pts := mpc.CollectIndexed(mc.Inbox())
+		mc.NoteMemory(int64(len(ids) + metric.TotalWords(pts)))
+		res.Union = pts
+		res.UnionIDs = ids
+		idx := gmm.RunIndices(in.Space, pts, k, 0)
+		res.Central = make([]metric.Point, len(idx))
+		res.CentralIDs = make([]int, len(idx))
+		for t, j := range idx {
+			res.Central[t] = pts[j]
+			res.CentralIDs[t] = ids[j]
+		}
+		res.CentralDiv = metric.Diversity(in.Space, res.Central)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// BroadcastRadius computes r(V, Q) in two rounds: the central machine
+// broadcasts Q, every machine reports its local covering radius, and the
+// maximum is returned (and re-broadcast so all machines know it, matching
+// the model's accounting).
+func BroadcastRadius(c *mpc.Cluster, in *instance.Instance, q []metric.Point) (float64, error) {
+	err := c.Superstep("coreset/radius-bcast", func(mc *mpc.Machine) error {
+		if mc.IsCentral() {
+			mc.BroadcastAll(mpc.Points{Pts: q})
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	var radius float64
+	err = c.Superstep("coreset/radius-report", func(mc *mpc.Machine) error {
+		qq := mpc.CollectPoints(mc.Inbox())
+		local := metric.Radius(in.Space, in.Parts[mc.ID()], qq)
+		if len(in.Parts[mc.ID()]) == 0 {
+			local = 0
+		}
+		mc.SendCentral(mpc.Float(local))
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	err = c.Superstep("coreset/radius-max", func(mc *mpc.Machine) error {
+		if !mc.IsCentral() {
+			return nil
+		}
+		for _, v := range mpc.CollectFloats(mc.Inbox()) {
+			if v > radius {
+				radius = v
+			}
+		}
+		mc.Broadcast(mpc.Float(radius))
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return radius, nil
+}

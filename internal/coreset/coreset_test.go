@@ -1,0 +1,167 @@
+package coreset
+
+import (
+	"math"
+	"testing"
+
+	"parclust/internal/instance"
+	"parclust/internal/metric"
+	"parclust/internal/mpc"
+	"parclust/internal/rng"
+	"parclust/internal/workload"
+)
+
+func makeInstance(pts []metric.Point, m int) *instance.Instance {
+	return instance.New(metric.L2{}, workload.PartitionRoundRobin(nil, pts, m))
+}
+
+func TestCollectShapes(t *testing.T) {
+	r := rng.New(1)
+	pts := workload.UniformCube(r, 200, 2, 100)
+	in := makeInstance(pts, 4)
+	c := mpc.NewCluster(4, 9)
+	res, err := Collect(c, in, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Union) != 20 || len(res.UnionIDs) != 20 {
+		t.Fatalf("union size %d, want 20", len(res.Union))
+	}
+	if len(res.Central) != 5 || len(res.CentralIDs) != 5 {
+		t.Fatalf("central size %d, want 5", len(res.Central))
+	}
+	for i := 0; i < 4; i++ {
+		if len(res.MachineSets[i]) != 5 {
+			t.Fatalf("machine %d set size %d", i, len(res.MachineSets[i]))
+		}
+		if math.IsNaN(res.MachineDivs[i]) {
+			t.Fatalf("machine %d div NaN for full-size set", i)
+		}
+	}
+	if math.IsInf(res.CentralDiv, 1) || res.CentralDiv <= 0 {
+		t.Fatalf("central div %v", res.CentralDiv)
+	}
+	// Two rounds exactly.
+	if c.Stats().Rounds != 2 {
+		t.Fatalf("rounds = %d, want 2", c.Stats().Rounds)
+	}
+}
+
+func TestCollectSmallPartitions(t *testing.T) {
+	// Partitions smaller than k: T_i = V_i and MachineDivs NaN.
+	pts := workload.Line(6)
+	in := makeInstance(pts, 3) // 2 points per machine
+	c := mpc.NewCluster(3, 1)
+	res, err := Collect(c, in, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Union) != 6 {
+		t.Fatalf("union %d, want all 6", len(res.Union))
+	}
+	for i := 0; i < 3; i++ {
+		if !math.IsNaN(res.MachineDivs[i]) {
+			t.Fatalf("machine %d div should be NaN (|T_i| < k)", i)
+		}
+	}
+	if len(res.Central) != 4 {
+		t.Fatalf("central %d, want 4", len(res.Central))
+	}
+}
+
+func TestCollectRejectsBadK(t *testing.T) {
+	in := makeInstance(workload.Line(4), 2)
+	c := mpc.NewCluster(2, 1)
+	if _, err := Collect(c, in, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestCollectRejectsMismatch(t *testing.T) {
+	in := makeInstance(workload.Line(4), 2)
+	c := mpc.NewCluster(3, 1)
+	if _, err := Collect(c, in, 2); err == nil {
+		t.Fatal("mismatch accepted")
+	}
+}
+
+func TestCollectIDsMatchPoints(t *testing.T) {
+	r := rng.New(2)
+	pts := workload.UniformCube(r, 100, 2, 50)
+	in := makeInstance(pts, 5)
+	c := mpc.NewCluster(5, 3)
+	res, err := Collect(c, in, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for t2, id := range res.CentralIDs {
+		if !in.PointByID(id).Equal(res.Central[t2]) {
+			t.Fatalf("central id %d does not match point", id)
+		}
+	}
+	for t2, id := range res.UnionIDs {
+		if !in.PointByID(id).Equal(res.Union[t2]) {
+			t.Fatalf("union id %d does not match point", id)
+		}
+	}
+}
+
+func TestBroadcastRadius(t *testing.T) {
+	pts := workload.Line(10) // 0..9
+	in := makeInstance(pts, 2)
+	c := mpc.NewCluster(2, 1)
+	q := []metric.Point{{0}}
+	r, err := BroadcastRadius(c, in, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 9 {
+		t.Fatalf("radius = %v, want 9", r)
+	}
+	if c.Stats().Rounds != 3 {
+		t.Fatalf("rounds = %d, want 3", c.Stats().Rounds)
+	}
+}
+
+func TestBroadcastRadiusEmptyMachine(t *testing.T) {
+	parts := [][]metric.Point{{{0}}, {}}
+	in := instance.New(metric.L2{}, parts)
+	c := mpc.NewCluster(2, 1)
+	r, err := BroadcastRadius(c, in, []metric.Point{{5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 5 {
+		t.Fatalf("radius = %v, want 5", r)
+	}
+}
+
+// Communication accounting: round 1 moves exactly m selections of k
+// points (dim words each) plus k ids from every machine to the center.
+func TestCollectCommAccounting(t *testing.T) {
+	r := rng.New(7)
+	const n, m, k, dim = 120, 4, 5, 3
+	pts := make([]metric.Point, n)
+	for i := range pts {
+		p := make(metric.Point, dim)
+		for j := range p {
+			p[j] = r.Float64()
+		}
+		pts[i] = p
+	}
+	in := instance.New(metric.L2{}, workload.PartitionRoundRobin(nil, pts, m))
+	c := mpc.NewCluster(m, 3)
+	if _, err := Collect(c, in, k); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	wantPerMachine := int64(k * (dim + 1)) // k points + k ids
+	for i, sent := range st.SentWords {
+		if sent != wantPerMachine {
+			t.Fatalf("machine %d sent %d words, want %d", i, sent, wantPerMachine)
+		}
+	}
+	if st.RecvWords[0] != int64(m)*wantPerMachine {
+		t.Fatalf("central received %d words, want %d", st.RecvWords[0], int64(m)*wantPerMachine)
+	}
+}

@@ -1,0 +1,142 @@
+// Package dataio reads and writes point sets in the two interchange
+// formats the CLIs speak: CSV (one comma-separated point per line; blank
+// lines and '#' comments skipped) and JSON (an array of coordinate
+// arrays). All points in a file must share one dimensionality.
+package dataio
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"parclust/internal/metric"
+)
+
+// ReadCSV parses points from r.
+func ReadCSV(r io.Reader) ([]metric.Point, error) {
+	var pts []metric.Point
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		p := make(metric.Point, len(fields))
+		for i, f := range fields {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataio: line %d: %w", lineNo, err)
+			}
+			p[i] = v
+		}
+		if len(pts) > 0 && len(p) != len(pts[0]) {
+			return nil, fmt.Errorf("dataio: line %d: dimension %d, expected %d",
+				lineNo, len(p), len(pts[0]))
+		}
+		pts = append(pts, p)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("dataio: no points")
+	}
+	return pts, nil
+}
+
+// WriteCSV writes points to w, one line per point, full float precision.
+func WriteCSV(w io.Writer, pts []metric.Point) error {
+	bw := bufio.NewWriter(w)
+	for _, p := range pts {
+		for i, v := range p {
+			if i > 0 {
+				if err := bw.WriteByte(','); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.FormatFloat(v, 'g', -1, 64)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSON parses a JSON array of coordinate arrays.
+func ReadJSON(r io.Reader) ([]metric.Point, error) {
+	var raw [][]float64
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&raw); err != nil {
+		return nil, fmt.Errorf("dataio: %w", err)
+	}
+	if len(raw) == 0 {
+		return nil, fmt.Errorf("dataio: no points")
+	}
+	pts := make([]metric.Point, len(raw))
+	for i, c := range raw {
+		if len(c) != len(raw[0]) {
+			return nil, fmt.Errorf("dataio: point %d has dimension %d, expected %d",
+				i, len(c), len(raw[0]))
+		}
+		pts[i] = metric.Point(c)
+	}
+	return pts, nil
+}
+
+// WriteJSON writes points as a JSON array of coordinate arrays.
+func WriteJSON(w io.Writer, pts []metric.Point) error {
+	raw := make([][]float64, len(pts))
+	for i, p := range pts {
+		raw[i] = p
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(raw)
+}
+
+// ReadFile loads points from path, dispatching on the extension (.json →
+// JSON, anything else → CSV). "-" reads CSV from stdin.
+func ReadFile(path string) ([]metric.Point, error) {
+	if path == "" {
+		return nil, fmt.Errorf("dataio: no file given")
+	}
+	if path == "-" {
+		return ReadCSV(os.Stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(strings.ToLower(path), ".json") {
+		return ReadJSON(f)
+	}
+	return ReadCSV(f)
+}
+
+// WriteFile writes points to path, dispatching on the extension like
+// ReadFile. "-" writes CSV to stdout.
+func WriteFile(path string, pts []metric.Point) error {
+	if path == "-" {
+		return WriteCSV(os.Stdout, pts)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(strings.ToLower(path), ".json") {
+		return WriteJSON(f, pts)
+	}
+	return WriteCSV(f, pts)
+}

@@ -1,0 +1,180 @@
+package dataio
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"parclust/internal/metric"
+	"parclust/internal/rng"
+)
+
+func TestReadCSVBasic(t *testing.T) {
+	in := "1,2,3\n# comment\n\n4,5,6\n"
+	pts, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 || !pts[0].Equal(metric.Point{1, 2, 3}) || !pts[1].Equal(metric.Point{4, 5, 6}) {
+		t.Fatalf("pts = %v", pts)
+	}
+}
+
+func TestReadCSVWhitespace(t *testing.T) {
+	pts, err := ReadCSV(strings.NewReader("  1 , 2 \n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pts[0].Equal(metric.Point{1, 2}) {
+		t.Fatalf("pts = %v", pts)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("1,x\n")); err == nil {
+		t.Fatal("bad float accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("1,2\n3\n")); err == nil {
+		t.Fatal("ragged dimensions accepted")
+	}
+}
+
+func TestReadJSONBasic(t *testing.T) {
+	pts, err := ReadJSON(strings.NewReader(`[[1,2],[3,4]]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 || !pts[1].Equal(metric.Point{3, 4}) {
+		t.Fatalf("pts = %v", pts)
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader(`[]`)); err == nil {
+		t.Fatal("empty array accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{`)); err == nil {
+		t.Fatal("malformed json accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`[[1,2],[3]]`)); err == nil {
+		t.Fatal("ragged dimensions accepted")
+	}
+}
+
+// Round-trip property for both formats.
+func TestRoundTrip(t *testing.T) {
+	r := rng.New(1)
+	f := func(nRaw, dimRaw uint8) bool {
+		n := int(nRaw%20) + 1
+		dim := int(dimRaw%5) + 1
+		pts := make([]metric.Point, n)
+		for i := range pts {
+			p := make(metric.Point, dim)
+			for j := range p {
+				p[j] = r.NormFloat64() * 1e3
+			}
+			pts[i] = p
+		}
+		var csvBuf bytes.Buffer
+		if err := WriteCSV(&csvBuf, pts); err != nil {
+			return false
+		}
+		back, err := ReadCSV(&csvBuf)
+		if err != nil || !equalPts(back, pts) {
+			return false
+		}
+		var jsonBuf bytes.Buffer
+		if err := WriteJSON(&jsonBuf, pts); err != nil {
+			return false
+		}
+		back, err = ReadJSON(&jsonBuf)
+		return err == nil && equalPts(back, pts)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func equalPts(a, b []metric.Point) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestReadWriteFile(t *testing.T) {
+	dir := t.TempDir()
+	pts := []metric.Point{{1, 2}, {3, 4}}
+
+	csvPath := filepath.Join(dir, "pts.csv")
+	if err := WriteFile(csvPath, pts); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(csvPath)
+	if err != nil || !equalPts(back, pts) {
+		t.Fatalf("csv roundtrip: %v %v", back, err)
+	}
+
+	jsonPath := filepath.Join(dir, "pts.json")
+	if err := WriteFile(jsonPath, pts); err != nil {
+		t.Fatal(err)
+	}
+	back, err = ReadFile(jsonPath)
+	if err != nil || !equalPts(back, pts) {
+		t.Fatalf("json roundtrip: %v %v", back, err)
+	}
+	// Verify the JSON file actually contains JSON.
+	raw, _ := os.ReadFile(jsonPath)
+	if !strings.HasPrefix(strings.TrimSpace(string(raw)), "[[") {
+		t.Fatalf("json file content: %s", raw)
+	}
+
+	if _, err := ReadFile(""); err == nil {
+		t.Fatal("empty path accepted")
+	}
+	if _, err := ReadFile(filepath.Join(dir, "missing.csv")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+// Robustness: arbitrary byte soup must never panic — only parse or error.
+func TestReadCSVNeverPanics(t *testing.T) {
+	f := func(raw []byte) bool {
+		defer func() {
+			if recover() != nil {
+				t.Fatal("ReadCSV panicked")
+			}
+		}()
+		_, _ = ReadCSV(bytes.NewReader(raw))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadJSONNeverPanics(t *testing.T) {
+	f := func(raw []byte) bool {
+		defer func() {
+			if recover() != nil {
+				t.Fatal("ReadJSON panicked")
+			}
+		}()
+		_, _ = ReadJSON(bytes.NewReader(raw))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

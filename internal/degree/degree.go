@@ -1,0 +1,338 @@
+// Package degree implements Algorithm 3 of the paper: constant-round MPC
+// approximation of vertex degrees in a threshold graph.
+//
+// Each machine samples its vertices with probability 1/m and broadcasts
+// the sample. Vertices whose sampled-neighbor count reaches δ·ln(n) are
+// "heavy" and their degree is estimated as m·|N(v) ∩ S|, accurate to
+// 1 ± ε w.h.p. (Lemma 8). The remaining "light" vertices have true degree
+// < 2δm·ln(n) w.h.p. (Lemma 5), so their exact degrees are affordable —
+// unless there are too many light vertices, in which case an independent
+// set of size k can be extracted from them directly (Lemma 6) and the
+// caller is done.
+package degree
+
+import (
+	"fmt"
+	"math"
+
+	"parclust/internal/instance"
+	"parclust/internal/metric"
+	"parclust/internal/mpc"
+)
+
+// Config parameterizes Algorithm 3.
+type Config struct {
+	// Eps is the degree-approximation accuracy (the paper later fixes
+	// ε = 1/6 for the k-bounded MIS analysis). Defaults to 1/6.
+	Eps float64
+	// Delta overrides the sampling constant δ. Zero selects the paper's
+	// max(18, 12/ε²), which at laptop-scale n classifies every vertex as
+	// light (the algorithm is then exact); tests and benchmarks lower it
+	// to exercise the heavy path.
+	Delta float64
+	// K is the bounded-MIS parameter: when light vertices overflow, an
+	// independent set of size K is extracted from them directly.
+	K int
+	// LogN overrides the ln(n) term, letting an outer algorithm pin the
+	// thresholds to the original input size while iterating on shrinking
+	// sub-instances. Zero derives it from the instance.
+	LogN float64
+}
+
+func (c Config) withDefaults(n int) Config {
+	if c.Eps <= 0 {
+		c.Eps = 1.0 / 6
+	}
+	if c.Delta <= 0 {
+		c.Delta = math.Max(18, 12/(c.Eps*c.Eps))
+	}
+	if c.K <= 0 {
+		c.K = 1
+	}
+	if c.LogN <= 0 {
+		c.LogN = math.Log(math.Max(float64(n), 2))
+	}
+	return c
+}
+
+// Result is the outcome of one degree-approximation run. Exactly one of
+// Estimates and IS is meaningful: if IS is non-nil the light vertices
+// overflowed and an independent set was extracted (the caller terminates);
+// otherwise Estimates[i][j] approximates the degree of instance point
+// (i, j) within 1 ± ε w.h.p.
+type Result struct {
+	// Estimates are per-machine degree estimates aligned with the
+	// instance's Parts. Nil when the overflow path fired.
+	Estimates [][]float64
+	// IS holds the global ids of an independent set extracted from the
+	// light vertices (overflow path); ISPoints are the matching points.
+	IS       []int
+	ISPoints []metric.Point
+	// LightCount and HeavyCount report the classification split.
+	LightCount int
+	HeavyCount int
+	// Exact reports that every estimate is an exact degree (all vertices
+	// were light).
+	Exact bool
+}
+
+// Approximate runs Algorithm 3 on the threshold graph G_tau over in,
+// using c for the MPC rounds. The cluster must have as many machines as
+// the instance has parts.
+func Approximate(c *mpc.Cluster, in *instance.Instance, tau float64, cfg Config) (*Result, error) {
+	m := in.Machines()
+	if c.NumMachines() != m {
+		return nil, fmt.Errorf("degree: cluster has %d machines, instance has %d parts", c.NumMachines(), m)
+	}
+	cfg = cfg.withDefaults(in.N)
+	threshold := cfg.Delta * cfg.LogN // heavy iff |N(v) ∩ S| ≥ δ ln n
+
+	owner := in.Owner()
+
+	// Per-machine scratch, each slot written only by its machine.
+	sampleCnt := make([][]int, m)  // |N(v) ∩ S| per local vertex
+	lightLocal := make([][]int, m) // local indices of light vertices
+	estimates := make([][]float64, m)
+	for i := range estimates {
+		estimates[i] = make([]float64, len(in.Parts[i]))
+	}
+
+	// Round 1: sample with probability 1/m and broadcast the sample.
+	p := 1.0 / float64(m)
+	err := c.Superstep("degree/sample", func(mc *mpc.Machine) error {
+		i := mc.ID()
+		var ids []int
+		var pts []metric.Point
+		for j, pt := range in.Parts[i] {
+			if mc.RNG.Bernoulli(p) {
+				ids = append(ids, in.IDs[i][j])
+				pts = append(pts, pt)
+			}
+		}
+		mc.BroadcastAll(mpc.IndexedPoints{IDs: ids, Pts: pts})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Round 2: classify vertices against the sample; report light count.
+	err = c.Superstep("degree/classify", func(mc *mpc.Machine) error {
+		i := mc.ID()
+		sIDs, sPts := mpc.CollectIndexed(mc.Inbox())
+		mc.NoteMemory(int64(len(sIDs) + metric.TotalWords(sPts)))
+		cnts := make([]int, len(in.Parts[i]))
+		var lights []int
+		for j, v := range in.Parts[i] {
+			id := in.IDs[i][j]
+			cnt := 0
+			for t, u := range sPts {
+				if sIDs[t] != id && in.Space.Dist(v, u) <= tau {
+					cnt++
+				}
+			}
+			cnts[j] = cnt
+			if float64(cnt) < threshold {
+				lights = append(lights, j)
+			}
+		}
+		sampleCnt[i] = cnts
+		lightLocal[i] = lights
+		mc.SendCentral(mpc.Int(len(lights)))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Round 3: the central machine decides between the overflow path and
+	// the exact-light path, and broadcasts the decision.
+	overflowCap := 2 * cfg.Delta * float64(m) * float64(cfg.K) * cfg.LogN
+	var totalLight int
+	err = c.Superstep("degree/decide", func(mc *mpc.Machine) error {
+		if !mc.IsCentral() {
+			return nil
+		}
+		for _, cnt := range mpc.CollectInts(mc.Inbox()) {
+			totalLight += cnt
+		}
+		flag := 0
+		if float64(totalLight) > overflowCap {
+			flag = 1
+		}
+		mc.BroadcastAll(mpc.Ints{flag, totalLight})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{LightCount: totalLight}
+	for i := range in.Parts {
+		res.HeavyCount += len(in.Parts[i]) - len(lightLocal[i])
+	}
+
+	if float64(totalLight) > overflowCap {
+		return overflowPath(c, in, tau, cfg, lightLocal, totalLight, res)
+	}
+	return exactLightPath(c, in, tau, cfg, owner, sampleCnt, lightLocal, estimates, res)
+}
+
+// overflowPath implements Lemma 6: each machine sends a ρ fraction of its
+// light vertices to the central machine, which extracts an independent
+// set of size k greedily. If randomness lets us down and fewer than k
+// independent vertices exist in the shipped set, IS holds what was found
+// and the caller decides how to proceed (k-bounded MIS falls back to the
+// normal path).
+func overflowPath(c *mpc.Cluster, in *instance.Instance, tau float64, cfg Config,
+	lightLocal [][]int, totalLight int, res *Result) (*Result, error) {
+
+	rho := 2 * cfg.Delta * float64(in.Machines()) * float64(cfg.K) * cfg.LogN / float64(totalLight)
+	if rho > 1 {
+		rho = 1
+	}
+	err := c.Superstep("degree/overflow-ship", func(mc *mpc.Machine) error {
+		i := mc.ID()
+		var ids []int
+		var pts []metric.Point
+		for _, j := range lightLocal[i] {
+			if mc.RNG.Bernoulli(rho) {
+				ids = append(ids, in.IDs[i][j])
+				pts = append(pts, in.Parts[i][j])
+			}
+		}
+		mc.SendCentral(mpc.IndexedPoints{IDs: ids, Pts: pts})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var isIDs []int
+	var isPts []metric.Point
+	err = c.Superstep("degree/overflow-extract", func(mc *mpc.Machine) error {
+		if !mc.IsCentral() {
+			return nil
+		}
+		ids, pts := mpc.CollectIndexed(mc.Inbox())
+		mc.NoteMemory(int64(len(ids) + metric.TotalWords(pts)))
+		// Greedy independent set over the shipped light vertices.
+		for t, pt := range pts {
+			if len(isIDs) >= cfg.K {
+				break
+			}
+			indep := true
+			for _, q := range isPts {
+				if in.Space.Dist(pt, q) <= tau {
+					indep = false
+					break
+				}
+			}
+			if indep {
+				isIDs = append(isIDs, ids[t])
+				isPts = append(isPts, pts[t])
+			}
+		}
+		mc.Broadcast(mpc.IndexedPoints{IDs: isIDs, Pts: isPts})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.IS = isIDs
+	res.ISPoints = isPts
+	return res, nil
+}
+
+// exactLightPath implements lines 7–13 of Algorithm 3: light vertices are
+// broadcast, every machine reports its local adjacency counts d_i(v) to
+// the owner of v, and owners assemble exact light degrees while heavy
+// vertices take the sampled estimate m·|N(v) ∩ S|.
+func exactLightPath(c *mpc.Cluster, in *instance.Instance, tau float64, cfg Config,
+	owner map[int]int, sampleCnt, lightLocal [][]int, estimates [][]float64, res *Result) (*Result, error) {
+
+	m := in.Machines()
+
+	// Round 4: broadcast light vertices.
+	err := c.Superstep("degree/light-bcast", func(mc *mpc.Machine) error {
+		i := mc.ID()
+		var ids []int
+		var pts []metric.Point
+		for _, j := range lightLocal[i] {
+			ids = append(ids, in.IDs[i][j])
+			pts = append(pts, in.Parts[i][j])
+		}
+		mc.BroadcastAll(mpc.IndexedPoints{IDs: ids, Pts: pts})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Round 5: compute local adjacency counts for every light vertex and
+	// send them to the vertex's owner.
+	err = c.Superstep("degree/light-count", func(mc *mpc.Machine) error {
+		i := mc.ID()
+		lIDs, lPts := mpc.CollectIndexed(mc.Inbox())
+		mc.NoteMemory(int64(len(lIDs) + metric.TotalWords(lPts)))
+		perOwner := make(map[int]*mpc.KeyedFloats)
+		for t, lp := range lPts {
+			id := lIDs[t]
+			cnt := 0
+			for j, v := range in.Parts[i] {
+				if in.IDs[i][j] != id && in.Space.Dist(lp, v) <= tau {
+					cnt++
+				}
+			}
+			o := owner[id]
+			kf := perOwner[o]
+			if kf == nil {
+				kf = &mpc.KeyedFloats{}
+				perOwner[o] = kf
+			}
+			kf.Keys = append(kf.Keys, id)
+			kf.Vals = append(kf.Vals, float64(cnt))
+		}
+		for o, kf := range perOwner {
+			mc.Send(o, *kf)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Round 6: owners sum the per-machine counts for their light vertices
+	// and set heavy estimates from the sample counts.
+	err = c.Superstep("degree/assemble", func(mc *mpc.Machine) error {
+		i := mc.ID()
+		sums := make(map[int]float64)
+		for _, msg := range mc.Inbox() {
+			if kf, ok := msg.Payload.(mpc.KeyedFloats); ok {
+				for t, key := range kf.Keys {
+					sums[key] += kf.Vals[t]
+				}
+			}
+		}
+		light := make(map[int]bool, len(lightLocal[i]))
+		for _, j := range lightLocal[i] {
+			light[j] = true
+		}
+		for j := range in.Parts[i] {
+			id := in.IDs[i][j]
+			if light[j] {
+				estimates[i][j] = sums[id]
+			} else {
+				estimates[i][j] = float64(sampleCnt[i][j]) * float64(m)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res.Estimates = estimates
+	res.Exact = res.HeavyCount == 0
+	return res, nil
+}

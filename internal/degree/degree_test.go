@@ -1,0 +1,303 @@
+package degree
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"parclust/internal/instance"
+	"parclust/internal/metric"
+	"parclust/internal/mpc"
+	"parclust/internal/rng"
+	"parclust/internal/workload"
+)
+
+// makeInstance partitions pts round-robin over m machines.
+func makeInstance(pts []metric.Point, m int) *instance.Instance {
+	parts := workload.PartitionRoundRobin(nil, pts, m)
+	return instance.New(metric.L2{}, parts)
+}
+
+// exactDegrees computes ground-truth degrees keyed by global id.
+func exactDegrees(in *instance.Instance, tau float64) map[int]int {
+	g, ids := in.Graph(tau)
+	out := make(map[int]int, in.N)
+	for v := 0; v < g.N(); v++ {
+		out[ids[v]] = g.Degree(v)
+	}
+	return out
+}
+
+func TestDefaultsAreExactAtSmallN(t *testing.T) {
+	r := rng.New(1)
+	pts := workload.UniformCube(r, 120, 2, 10)
+	in := makeInstance(pts, 4)
+	c := mpc.NewCluster(4, 7)
+	res, err := Approximate(c, in, 2.0, Config{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IS != nil {
+		t.Fatalf("overflow path fired unexpectedly (light=%d)", res.LightCount)
+	}
+	if !res.Exact {
+		t.Fatalf("expected all-light exact run at small n, heavy=%d", res.HeavyCount)
+	}
+	want := exactDegrees(in, 2.0)
+	for i := range in.Parts {
+		for j := range in.Parts[i] {
+			id := in.IDs[i][j]
+			if got := res.Estimates[i][j]; got != float64(want[id]) {
+				t.Fatalf("vertex %d: estimate %v, exact %d", id, got, want[id])
+			}
+		}
+	}
+}
+
+func TestHeavyPathApproximation(t *testing.T) {
+	r := rng.New(2)
+	// Dense instance: everything within tau of everything.
+	pts := workload.UniformCube(r, 400, 2, 1)
+	const m = 8
+	in := makeInstance(pts, m)
+	c := mpc.NewCluster(m, 99)
+	// Small delta so the sampled-neighbor threshold is reachable.
+	cfg := Config{K: 5, Delta: 0.5, Eps: 0.5}
+	res, err := Approximate(c, in, 10.0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IS != nil {
+		t.Fatalf("overflow path fired (light=%d)", res.LightCount)
+	}
+	if res.HeavyCount == 0 {
+		t.Fatal("no heavy vertices; test not exercising the heavy path")
+	}
+	want := exactDegrees(in, 10.0)
+	// Complete graph: every degree is n-1 = 399. The estimate is
+	// m * Binomial(399, 1/m), concentrated around 399. Allow generous
+	// slack — the w.h.p. bound needs larger n; determinism (fixed seeds)
+	// keeps this test stable.
+	for i := range in.Parts {
+		for j := range in.Parts[i] {
+			id := in.IDs[i][j]
+			exact := float64(want[id])
+			got := res.Estimates[i][j]
+			if got < exact*0.4 || got > exact*1.6 {
+				t.Fatalf("vertex %d: estimate %v too far from exact %v", id, got, exact)
+			}
+		}
+	}
+}
+
+func TestLightVerticesExactEvenWithHeavyPath(t *testing.T) {
+	r := rng.New(3)
+	// Two populations: a dense clump (heavy) and isolated far points (light).
+	clump := workload.UniformCube(r, 300, 2, 1)
+	iso := make([]metric.Point, 20)
+	for i := range iso {
+		iso[i] = metric.Point{1000 + 50*float64(i), 0}
+	}
+	pts := append(clump, iso...)
+	const m = 6
+	in := makeInstance(pts, m)
+	c := mpc.NewCluster(m, 5)
+	res, err := Approximate(c, in, 5.0, Config{K: 3, Delta: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IS != nil {
+		t.Fatalf("overflow fired (light=%d)", res.LightCount)
+	}
+	want := exactDegrees(in, 5.0)
+	// Isolated points have degree 0 and must be light, hence exact.
+	for i := range in.Parts {
+		for j, p := range in.Parts[i] {
+			if p[0] >= 1000 {
+				id := in.IDs[i][j]
+				if want[id] != 0 {
+					t.Fatalf("test setup wrong: isolated point has degree %d", want[id])
+				}
+				if res.Estimates[i][j] != 0 {
+					t.Fatalf("light isolated vertex %d estimate %v, want 0", id, res.Estimates[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestOverflowPathExtractsIndependentSet(t *testing.T) {
+	r := rng.New(4)
+	// Sparse graph (tiny tau): every vertex light with count 0; small
+	// delta keeps the overflow cap below n.
+	pts := workload.UniformCube(r, 300, 2, 1000)
+	const m = 4
+	const k = 6
+	in := makeInstance(pts, m)
+	c := mpc.NewCluster(m, 11)
+	// δ = 0.3 keeps the overflow cap (2δmk·ln n ≈ 82) far below n = 300 so
+	// the overflow path fires, while the expected number of shipped light
+	// vertices (≈ 82) dwarfs k, the margin the paper's analysis assumes.
+	cfg := Config{K: k, Delta: 0.3}
+	tau := 0.0001
+	res, err := Approximate(c, in, tau, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IS == nil {
+		t.Fatalf("overflow path did not fire (light=%d, cap=%v)", res.LightCount,
+			2*cfg.Delta*float64(m)*float64(k)*math.Log(300))
+	}
+	if len(res.IS) != k {
+		t.Fatalf("extracted IS size %d, want %d", len(res.IS), k)
+	}
+	// Verify independence in G_tau.
+	g, ids := in.Graph(tau)
+	pos := make(map[int]int)
+	for v, id := range ids {
+		pos[id] = v
+	}
+	var verts []int
+	for _, id := range res.IS {
+		verts = append(verts, pos[id])
+	}
+	if !g.IsIndependent(verts) {
+		t.Fatalf("extracted set not independent: %v", res.IS)
+	}
+}
+
+func TestMachineMismatchRejected(t *testing.T) {
+	r := rng.New(5)
+	pts := workload.UniformCube(r, 20, 2, 10)
+	in := makeInstance(pts, 4)
+	c := mpc.NewCluster(3, 1)
+	if _, err := Approximate(c, in, 1.0, Config{K: 2}); err == nil {
+		t.Fatal("machine-count mismatch not rejected")
+	}
+}
+
+func TestConstantRounds(t *testing.T) {
+	r := rng.New(6)
+	for _, n := range []int{50, 200, 800} {
+		pts := workload.UniformCube(r, n, 2, 10)
+		in := makeInstance(pts, 4)
+		c := mpc.NewCluster(4, 3)
+		if _, err := Approximate(c, in, 2.0, Config{K: 3}); err != nil {
+			t.Fatal(err)
+		}
+		if rounds := c.Stats().Rounds; rounds > 6 {
+			t.Fatalf("n=%d used %d rounds; want O(1) ≤ 6", n, rounds)
+		}
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	r := rng.New(7)
+	pts := workload.UniformCube(r, 150, 2, 5)
+	run := func() []float64 {
+		in := makeInstance(pts, 5)
+		c := mpc.NewCluster(5, 42)
+		res, err := Approximate(c, in, 1.0, Config{K: 3, Delta: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var flat []float64
+		for _, e := range res.Estimates {
+			flat = append(flat, e...)
+		}
+		return flat
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("estimate %d differs across identical runs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults(100)
+	if cfg.Eps != 1.0/6 {
+		t.Fatalf("default eps = %v", cfg.Eps)
+	}
+	// max(18, 12/(1/6)^2) = max(18, 432) = 432.
+	if cfg.Delta != 432 {
+		t.Fatalf("default delta = %v, want 432", cfg.Delta)
+	}
+	if cfg.K != 1 {
+		t.Fatalf("default k = %v", cfg.K)
+	}
+	if math.Abs(cfg.LogN-math.Log(100)) > 1e-12 {
+		t.Fatalf("default logN = %v", cfg.LogN)
+	}
+	// Large eps keeps delta at the 18 floor.
+	cfg = Config{Eps: 1}.withDefaults(100)
+	if cfg.Delta != 18 {
+		t.Fatalf("delta floor = %v, want 18", cfg.Delta)
+	}
+}
+
+func TestSingleMachine(t *testing.T) {
+	r := rng.New(8)
+	pts := workload.UniformCube(r, 40, 2, 10)
+	in := makeInstance(pts, 1)
+	c := mpc.NewCluster(1, 1)
+	res, err := Approximate(c, in, 3.0, Config{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IS != nil {
+		t.Fatal("overflow on single machine")
+	}
+	want := exactDegrees(in, 3.0)
+	for j := range in.Parts[0] {
+		if res.Estimates[0][j] != float64(want[in.IDs[0][j]]) {
+			t.Fatalf("single machine estimate mismatch at %d", j)
+		}
+	}
+}
+
+// Properties across random configurations: estimates are non-negative,
+// never exceed n-1, and heavy+light counts account for every vertex.
+func TestDegreeInvariantsProperty(t *testing.T) {
+	r := rng.New(90)
+	f := func(nRaw, mRaw, tauRaw uint8, seed uint16) bool {
+		n := int(nRaw)%150 + 10
+		m := int(mRaw)%5 + 1
+		tau := float64(tauRaw%40)/10 + 0.1
+		pts := workload.UniformCube(r, n, 2, 10)
+		in := makeInstance(pts, m)
+		c := mpc.NewCluster(m, uint64(seed))
+		res, err := Approximate(c, in, tau, Config{K: 3, Delta: 0.8})
+		if err != nil {
+			return false
+		}
+		if res.IS != nil {
+			// Overflow path: the IS must be independent.
+			g, ids := in.Graph(tau)
+			pos := map[int]int{}
+			for v, id := range ids {
+				pos[id] = v
+			}
+			verts := make([]int, len(res.IS))
+			for i, id := range res.IS {
+				verts[i] = pos[id]
+			}
+			return g.IsIndependent(verts)
+		}
+		if res.LightCount+res.HeavyCount != n {
+			return false
+		}
+		for i := range res.Estimates {
+			for _, e := range res.Estimates[i] {
+				if e < 0 || e > float64((n-1)*m) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,246 @@
+package diversity
+
+import (
+	"math"
+	"testing"
+
+	"parclust/internal/instance"
+	"parclust/internal/metric"
+	"parclust/internal/mpc"
+	"parclust/internal/rng"
+	"parclust/internal/seq"
+	"parclust/internal/workload"
+)
+
+func makeInstance(pts []metric.Point, m int) *instance.Instance {
+	return instance.New(metric.L2{}, workload.PartitionRoundRobin(nil, pts, m))
+}
+
+func TestRejectsBadInput(t *testing.T) {
+	in := makeInstance(workload.Line(5), 2)
+	c := mpc.NewCluster(2, 1)
+	if _, err := Maximize(c, in, Config{K: 0}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	empty := makeInstance(nil, 2)
+	if _, err := Maximize(c, empty, Config{K: 2}); err == nil {
+		t.Fatal("empty instance accepted")
+	}
+}
+
+func TestKOne(t *testing.T) {
+	in := makeInstance(workload.Line(10), 2)
+	c := mpc.NewCluster(2, 1)
+	res, err := Maximize(c, in, Config{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 1 || !math.IsInf(res.Diversity, 1) {
+		t.Fatalf("k=1: %+v", res)
+	}
+}
+
+func TestKGEN(t *testing.T) {
+	in := makeInstance(workload.Line(6), 2)
+	c := mpc.NewCluster(2, 1)
+	res, err := Maximize(c, in, Config{K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 6 {
+		t.Fatalf("k >= n should return all points, got %d", len(res.Points))
+	}
+	if math.Abs(res.Diversity-1) > 1e-12 {
+		t.Fatalf("diversity of full line = %v, want 1", res.Diversity)
+	}
+}
+
+func TestAllDuplicates(t *testing.T) {
+	pts := make([]metric.Point, 12)
+	for i := range pts {
+		pts[i] = metric.Point{7, 7}
+	}
+	in := makeInstance(pts, 3)
+	c := mpc.NewCluster(3, 1)
+	res, err := Maximize(c, in, Config{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 || res.Diversity != 0 {
+		t.Fatalf("duplicates: %+v", res)
+	}
+}
+
+func TestResultSizeAndDistinctIDs(t *testing.T) {
+	r := rng.New(1)
+	pts := workload.UniformCube(r, 300, 2, 100)
+	in := makeInstance(pts, 4)
+	c := mpc.NewCluster(4, 9)
+	res, err := Maximize(c, in, Config{K: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 7 || len(res.IDs) != 7 {
+		t.Fatalf("result size %d, want 7", len(res.Points))
+	}
+	seen := map[int]bool{}
+	for _, id := range res.IDs {
+		if seen[id] {
+			t.Fatalf("duplicate id %d", id)
+		}
+		seen[id] = true
+	}
+}
+
+// Theorem 3: the result is within 2(1+ε) of optimal. Verified against
+// brute force on tiny instances across seeds and metrics.
+func TestApproximationFactorTiny(t *testing.T) {
+	r := rng.New(2)
+	spaces := []metric.Space{metric.L2{}, metric.L1{}, metric.LInf{}}
+	for trial := 0; trial < 25; trial++ {
+		space := spaces[trial%len(spaces)]
+		pts := workload.UniformCube(r, 12, 2, 100)
+		in := instance.New(space, workload.PartitionRoundRobin(nil, pts, 3))
+		c := mpc.NewCluster(3, uint64(trial))
+		eps := 0.2
+		res, err := Maximize(c, in, Config{K: 4, Eps: eps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, _ := seq.ExactDiversity(space, pts, 4)
+		if res.Diversity < opt/(2*(1+eps))-1e-9 {
+			t.Fatalf("trial %d (%s): diversity %v < opt/(2(1+ε)) = %v",
+				trial, space.Name(), res.Diversity, opt/(2*(1+eps)))
+		}
+		// R4 certificate: r ≤ opt ≤ 4r.
+		if res.R4 > opt+1e-9 || opt > 4*res.R4+1e-9 {
+			t.Fatalf("trial %d: R4 certificate broken: r=%v opt=%v", trial, res.R4, opt)
+		}
+	}
+}
+
+// On well-separated Gaussian mixtures the ladder should land close to the
+// true structure: the ratio opt-upper-bound / achieved stays below
+// 2(1+ε) with slack.
+func TestSeparatedClustersQuality(t *testing.T) {
+	r := rng.New(3)
+	pts := workload.GaussianMixture(r, 400, 2, 6, 5000, 1)
+	in := makeInstance(pts, 4)
+	c := mpc.NewCluster(4, 5)
+	eps := 0.1
+	res, err := Maximize(c, in, Config{K: 6, Eps: eps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ub := seq.DiversityUpperBound(metric.L2{}, pts, 6)
+	if res.Diversity <= 0 {
+		t.Fatalf("no diversity achieved: %v", res.Diversity)
+	}
+	ratio := ub / res.Diversity // ub ≥ opt, so ratio bounds opt/achieved · 2
+	if ratio > 2*2*(1+eps)+1e-9 {
+		t.Fatalf("quality ratio %v too large (ub=%v achieved=%v)", ratio, ub, res.Diversity)
+	}
+}
+
+func TestTwoRound4Approx(t *testing.T) {
+	r := rng.New(4)
+	for trial := 0; trial < 20; trial++ {
+		pts := workload.UniformCube(r, 12, 2, 100)
+		in := makeInstance(pts, 3)
+		c := mpc.NewCluster(3, uint64(trial))
+		sel, ids, rEst, err := TwoRound4Approx(c, in, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sel) != 4 || len(ids) != 4 {
+			t.Fatalf("selection size %d", len(sel))
+		}
+		if c.Stats().Rounds != 2 {
+			t.Fatalf("TwoRound4Approx used %d rounds", c.Stats().Rounds)
+		}
+		opt, _ := seq.ExactDiversity(metric.L2{}, pts, 4)
+		got := metric.Diversity(metric.L2{}, sel)
+		if got < opt/4-1e-9 {
+			t.Fatalf("trial %d: two-round result %v < opt/4 = %v", trial, got, opt/4)
+		}
+		if rEst > got+1e-9 {
+			t.Fatalf("estimate r=%v exceeds achieved diversity %v", rEst, got)
+		}
+	}
+}
+
+func TestTwoRoundEdgeCases(t *testing.T) {
+	c := mpc.NewCluster(2, 1)
+	in := makeInstance(workload.Line(5), 2)
+	if _, _, _, err := TwoRound4Approx(c, in, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, _, _, err := TwoRound4Approx(c, makeInstance(nil, 2), 3); err == nil {
+		t.Fatal("empty accepted")
+	}
+	sel, _, _, err := TwoRound4Approx(mpc.NewCluster(2, 1), makeInstance(workload.Line(3), 2), 5)
+	if err != nil || len(sel) != 3 {
+		t.Fatalf("k>=n: %v %v", sel, err)
+	}
+	sel, _, div, err := TwoRound4Approx(mpc.NewCluster(2, 1), makeInstance(workload.Line(5), 2), 1)
+	if err != nil || len(sel) != 1 || !math.IsInf(div, 1) {
+		t.Fatalf("k=1: %v %v %v", sel, div, err)
+	}
+}
+
+func TestDiversityExceedsLadderThreshold(t *testing.T) {
+	// The returned set at ladder index j ≥ 1 must have pairwise distances
+	// strictly above τ_j = R4·(1+ε)^j.
+	r := rng.New(5)
+	pts := workload.UniformCube(r, 200, 2, 100)
+	in := makeInstance(pts, 4)
+	c := mpc.NewCluster(4, 7)
+	eps := 0.15
+	res, err := Maximize(c, in, Config{K: 5, Eps: eps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tauJ := res.R4 * math.Pow(1+eps, float64(res.LadderIndex))
+	if res.LadderIndex >= 1 && res.Diversity <= tauJ-1e-9 {
+		t.Fatalf("diversity %v ≤ τ_j %v at index %d", res.Diversity, tauJ, res.LadderIndex)
+	}
+	if res.LadderIndex == 0 && res.Diversity < res.R4-1e-9 {
+		t.Fatalf("diversity %v below R4 %v at index 0", res.Diversity, res.R4)
+	}
+}
+
+func TestProbesLogarithmic(t *testing.T) {
+	r := rng.New(6)
+	pts := workload.UniformCube(r, 250, 2, 100)
+	in := makeInstance(pts, 4)
+	c := mpc.NewCluster(4, 3)
+	res, err := Maximize(c, in, Config{K: 5, Eps: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// t = ceil(log_{1.1} 4) + 1 = 16; binary search probes ≤ log2(16)+1
+	// plus the endpoint probe.
+	if res.Probes > 7 {
+		t.Fatalf("%d probes for a 16-rung ladder", res.Probes)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	r := rng.New(7)
+	pts := workload.UniformCube(r, 150, 2, 50)
+	run := func() []int {
+		in := makeInstance(pts, 3)
+		c := mpc.NewCluster(3, 123)
+		res, err := Maximize(c, in, Config{K: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.IDs
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic at %d", i)
+		}
+	}
+}

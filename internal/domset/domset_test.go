@@ -1,0 +1,136 @@
+package domset
+
+import (
+	"testing"
+
+	"parclust/internal/instance"
+	"parclust/internal/kbmis"
+	"parclust/internal/metric"
+	"parclust/internal/mpc"
+	"parclust/internal/rng"
+	"parclust/internal/tgraph"
+	"parclust/internal/workload"
+)
+
+func makeInstance(pts []metric.Point, m int) *instance.Instance {
+	return instance.New(metric.L2{}, workload.PartitionRoundRobin(nil, pts, m))
+}
+
+func toVerts(in *instance.Instance, tau float64, ids []int) (*tgraph.Graph, []int) {
+	g, gids := in.Graph(tau)
+	pos := make(map[int]int, len(gids))
+	for v, id := range gids {
+		pos[id] = v
+	}
+	verts := make([]int, len(ids))
+	for i, id := range ids {
+		verts[i] = pos[id]
+	}
+	return g, verts
+}
+
+func TestSolveProducesDominatingMIS(t *testing.T) {
+	r := rng.New(1)
+	for _, tau := range []float64{1, 3, 8} {
+		pts := workload.UniformCube(r, 200, 2, 30)
+		in := makeInstance(pts, 4)
+		c := mpc.NewCluster(4, 9)
+		res, err := Solve(c, in, tau, kbmis.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, verts := toVerts(in, tau, res.IDs)
+		if !g.IsDominating(verts) {
+			t.Fatalf("tau=%v: result not dominating", tau)
+		}
+		if !g.IsMaximalIndependent(verts) {
+			t.Fatalf("tau=%v: result not a maximal IS", tau)
+		}
+	}
+}
+
+func TestApproximationViaNeighborhoodIndependence(t *testing.T) {
+	r := rng.New(2)
+	pts := workload.UniformCube(r, 150, 2, 20)
+	tau := 3.0
+	in := makeInstance(pts, 3)
+	c := mpc.NewCluster(3, 5)
+	res, err := Solve(c, in, tau, kbmis.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := in.Graph(tau)
+	ni := g.NeighborhoodIndependence(nil)
+	greedy := SequentialGreedy(metric.L2{}, pts, tau)
+	// Greedy is a feasible dominating set, so |greedy| ≥ γ(G) is NOT
+	// guaranteed — it's an upper bound on γ. The MIS bound |MIS| ≤
+	// (c+1)·γ(G) ≤ (c+1)·|greedy| must hold.
+	if len(res.IDs) > (ni+1)*len(greedy) {
+		t.Fatalf("MIS size %d > (c+1)·|greedy| = %d·%d", len(res.IDs), ni+1, len(greedy))
+	}
+}
+
+func TestSequentialGreedyDominates(t *testing.T) {
+	r := rng.New(3)
+	pts := workload.UniformCube(r, 80, 2, 10)
+	tau := 2.0
+	sel := SequentialGreedy(metric.L2{}, pts, tau)
+	g := tgraph.New(metric.L2{}, pts, tau)
+	if !g.IsDominating(sel) {
+		t.Fatal("greedy output not dominating")
+	}
+}
+
+func TestSequentialGreedyEmptyInput(t *testing.T) {
+	if sel := SequentialGreedy(metric.L2{}, nil, 1.0); len(sel) != 0 {
+		t.Fatalf("greedy on empty = %v", sel)
+	}
+}
+
+func TestSequentialGreedySingleton(t *testing.T) {
+	sel := SequentialGreedy(metric.L2{}, []metric.Point{{0}}, 1.0)
+	if len(sel) != 1 || sel[0] != 0 {
+		t.Fatalf("greedy singleton = %v", sel)
+	}
+}
+
+func TestIsDominatingUnit(t *testing.T) {
+	g := tgraph.New(metric.L2{}, workload.Line(5), 1.0)
+	if !g.IsDominating([]int{1, 3}) {
+		t.Fatal("{1,3} dominates the 5-path")
+	}
+	if g.IsDominating([]int{0}) {
+		t.Fatal("{0} does not dominate the 5-path")
+	}
+	if !g.IsDominating([]int{0, 1, 2, 3, 4}) {
+		t.Fatal("full vertex set must dominate")
+	}
+}
+
+func TestNeighborhoodIndependenceUnit(t *testing.T) {
+	// Star: center 0 at origin, leaves on a circle of radius 1, pairwise
+	// distance > 1 between leaves.
+	pts := []metric.Point{{0, 0}, {1, 0}, {-1, 0}, {0, 1}, {0, -1}}
+	g := tgraph.New(metric.L2{}, pts, 1.0)
+	// Center's neighborhood = 4 leaves, pairwise distance √2 or 2 > 1:
+	// all independent.
+	if ni := g.NeighborhoodIndependence([]int{0}); ni != 4 {
+		t.Fatalf("star center neighborhood independence = %d, want 4", ni)
+	}
+	// A leaf's neighborhood is just the center.
+	if ni := g.NeighborhoodIndependence([]int{1}); ni != 1 {
+		t.Fatalf("leaf neighborhood independence = %d, want 1", ni)
+	}
+}
+
+func TestPlanarThresholdIndependenceBounded(t *testing.T) {
+	// In the Euclidean plane, at most 5 points pairwise > τ apart can lie
+	// within distance τ of a vertex (packing bound; 5 is achievable with
+	// angles ≥ 60°+ε). Verify on random instances.
+	r := rng.New(4)
+	pts := workload.UniformCube(r, 300, 2, 10)
+	g := tgraph.New(metric.L2{}, pts, 1.5)
+	if ni := g.NeighborhoodIndependence(nil); ni > 5 {
+		t.Fatalf("planar neighborhood independence %d > 5", ni)
+	}
+}

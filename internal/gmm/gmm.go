@@ -1,0 +1,108 @@
+// Package gmm implements the greedy GMM algorithm (Algorithm 1 of the
+// paper; Gonzalez 1985, Ravi–Rosenkrantz–Tayi 1994): repeatedly pick the
+// point furthest from the set already chosen. GMM is a 2-approximation for
+// both k-center clustering and k-diversity maximization in any metric
+// space, and is the local building block of every distributed algorithm in
+// this repository.
+package gmm
+
+import (
+	"math"
+
+	"parclust/internal/metric"
+)
+
+// RunIndices runs GMM on s and returns the indices of the chosen points,
+// in selection order. It starts from the point at index start and selects
+// min(k, len(s)) points. Ties in the farthest-point rule resolve to the
+// lowest index, so the output is deterministic. It runs in O(len(s)·k)
+// distance-oracle calls using the classic distance-to-set maintenance.
+func RunIndices(space metric.Space, s []metric.Point, k, start int) []int {
+	n := len(s)
+	if n == 0 || k <= 0 {
+		return nil
+	}
+	if k > n {
+		k = n
+	}
+	if start < 0 || start >= n {
+		start = 0
+	}
+	chosen := make([]int, 0, k)
+	chosen = append(chosen, start)
+	// dist[i] = d(s[i], T) for the current prefix T.
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = space.Dist(s[i], s[start])
+	}
+	for len(chosen) < k {
+		far, farD := 0, math.Inf(-1)
+		for i, d := range dist {
+			if d > farD {
+				far, farD = i, d
+			}
+		}
+		chosen = append(chosen, far)
+		for i := range dist {
+			if d := space.Dist(s[i], s[far]); d < dist[i] {
+				dist[i] = d
+			}
+		}
+	}
+	return chosen
+}
+
+// Run returns the GMM selection as points, starting from s[0].
+func Run(space metric.Space, s []metric.Point, k int) []metric.Point {
+	idx := RunIndices(space, s, k, 0)
+	out := make([]metric.Point, len(idx))
+	for i, j := range idx {
+		out[i] = s[j]
+	}
+	return out
+}
+
+// Result bundles a GMM selection with the two radii the analyses use.
+type Result struct {
+	// Indices of the selected points in s, in selection order.
+	Indices []int
+	// Points are the selected points.
+	Points []metric.Point
+	// Div is div(T): the minimum pairwise distance within the selection
+	// (+Inf for fewer than two points).
+	Div float64
+	// Radius is r(S, T): the covering radius of the input by the
+	// selection (0 when the selection covers s exactly).
+	Radius float64
+}
+
+// RunFull runs GMM and computes both quality measures of the output.
+func RunFull(space metric.Space, s []metric.Point, k int) Result {
+	idx := RunIndices(space, s, k, 0)
+	pts := make([]metric.Point, len(idx))
+	for i, j := range idx {
+		pts[i] = s[j]
+	}
+	return Result{
+		Indices: idx,
+		Points:  pts,
+		Div:     metric.Diversity(space, pts),
+		Radius:  metric.Radius(space, s, pts),
+	}
+}
+
+// AntiCover checks the two anti-cover properties of a GMM output T over
+// input S (Section 2.2 of the paper) for a given r:
+//
+//	∀p ∈ T: d(p, T \ {p}) ≥ r   and   ∀p ∈ S: d(p, T) ≤ r
+//
+// It returns the largest r for which both hold, which for T = GMM(S) is
+// exactly min pairwise distance of T when the next farthest point is
+// closer than that. Specifically it returns (div(T), r(S,T), ok) where ok
+// reports div(T) ≥ r(S,T) — the canonical certificate that T is a valid
+// GMM-style anti-cover.
+func AntiCover(space metric.Space, s, t []metric.Point) (div, radius float64, ok bool) {
+	div = metric.Diversity(space, t)
+	radius = metric.Radius(space, s, t)
+	return div, radius, div >= radius || len(t) == len(s)
+}

@@ -1,0 +1,249 @@
+package gmm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"parclust/internal/metric"
+	"parclust/internal/rng"
+)
+
+func randomPoints(r *rng.RNG, n, dim int) []metric.Point {
+	pts := make([]metric.Point, n)
+	for i := range pts {
+		p := make(metric.Point, dim)
+		for j := range p {
+			p[j] = r.Float64() * 100
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func TestRunLine(t *testing.T) {
+	s := metric.L2{}
+	pts := []metric.Point{{0}, {1}, {2}, {10}}
+	got := RunIndices(s, pts, 2, 0)
+	// Start at 0, farthest point is 10.
+	if len(got) != 2 || got[0] != 0 || got[1] != 3 {
+		t.Fatalf("RunIndices = %v, want [0 3]", got)
+	}
+	got3 := RunIndices(s, pts, 3, 0)
+	// Next farthest from {0, 10}: point 2 (dist 2) over point 1 (dist 1).
+	if got3[2] != 2 {
+		t.Fatalf("third pick = %d, want 2", got3[2])
+	}
+}
+
+func TestRunEdgeCases(t *testing.T) {
+	s := metric.L2{}
+	pts := []metric.Point{{0}, {5}}
+	if got := RunIndices(s, nil, 3, 0); got != nil {
+		t.Fatalf("empty input returned %v", got)
+	}
+	if got := RunIndices(s, pts, 0, 0); got != nil {
+		t.Fatalf("k=0 returned %v", got)
+	}
+	if got := RunIndices(s, pts, -1, 0); got != nil {
+		t.Fatalf("k<0 returned %v", got)
+	}
+	// k > n returns all points.
+	if got := RunIndices(s, pts, 10, 0); len(got) != 2 {
+		t.Fatalf("k>n returned %v", got)
+	}
+	// Invalid start falls back to 0.
+	if got := RunIndices(s, pts, 1, 99); got[0] != 0 {
+		t.Fatalf("invalid start returned %v", got)
+	}
+	// Start respected when valid.
+	if got := RunIndices(s, pts, 1, 1); got[0] != 1 {
+		t.Fatalf("start=1 returned %v", got)
+	}
+}
+
+func TestRunReturnsPoints(t *testing.T) {
+	s := metric.L2{}
+	pts := []metric.Point{{0}, {1}, {9}}
+	out := Run(s, pts, 2)
+	if len(out) != 2 || out[0][0] != 0 || out[1][0] != 9 {
+		t.Fatalf("Run = %v", out)
+	}
+}
+
+func TestRunFull(t *testing.T) {
+	s := metric.L2{}
+	pts := []metric.Point{{0}, {1}, {2}, {3}, {4}}
+	res := RunFull(s, pts, 2)
+	if len(res.Points) != 2 || len(res.Indices) != 2 {
+		t.Fatalf("RunFull sizes wrong: %+v", res)
+	}
+	// T = {0, 4}; div = 4; radius = max over pts of dist to T = 2.
+	if math.Abs(res.Div-4) > 1e-12 {
+		t.Fatalf("Div = %v, want 4", res.Div)
+	}
+	if math.Abs(res.Radius-2) > 1e-12 {
+		t.Fatalf("Radius = %v, want 2", res.Radius)
+	}
+}
+
+func TestDuplicatePoints(t *testing.T) {
+	s := metric.L2{}
+	pts := []metric.Point{{1}, {1}, {1}}
+	got := RunIndices(s, pts, 3, 0)
+	if len(got) != 3 {
+		t.Fatalf("duplicates: got %v", got)
+	}
+	res := RunFull(s, pts, 2)
+	if res.Div != 0 || res.Radius != 0 {
+		t.Fatalf("duplicates: div=%v radius=%v", res.Div, res.Radius)
+	}
+}
+
+// Property (anti-cover): for T = GMM(S), div(T) ≥ r(S, T). This is the
+// certificate both approximation proofs rest on.
+func TestAntiCoverProperty(t *testing.T) {
+	r := rng.New(17)
+	space := metric.L2{}
+	f := func(nRaw, kRaw uint8) bool {
+		n := int(nRaw%40) + 1
+		k := int(kRaw%10) + 1
+		pts := randomPoints(r, n, 3)
+		tset := Run(space, pts, k)
+		_, _, ok := AntiCover(space, pts, tset)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: selection distances are non-increasing — each newly selected
+// point is no farther from the prefix than the previous selection was.
+func TestSelectionDistancesMonotone(t *testing.T) {
+	r := rng.New(23)
+	space := metric.L1{}
+	for trial := 0; trial < 50; trial++ {
+		pts := randomPoints(r, 30, 2)
+		idx := RunIndices(space, pts, 8, 0)
+		prev := math.Inf(1)
+		for i := 1; i < len(idx); i++ {
+			prefix := make([]metric.Point, i)
+			for j := 0; j < i; j++ {
+				prefix[j] = pts[idx[j]]
+			}
+			d := metric.DistToSet(space, pts[idx[i]], prefix)
+			if d > prev+1e-9 {
+				t.Fatalf("selection distance increased: %v after %v", d, prev)
+			}
+			prev = d
+		}
+	}
+}
+
+// GMM is a 2-approximation for k-center: its covering radius is at most
+// twice the optimum. We verify against brute force on tiny instances.
+func TestTwoApproxKCenterTiny(t *testing.T) {
+	r := rng.New(31)
+	space := metric.L2{}
+	for trial := 0; trial < 30; trial++ {
+		n := 8
+		k := 2
+		pts := randomPoints(r, n, 2)
+		res := RunFull(space, pts, k)
+		opt := bruteForceKCenter(space, pts, k)
+		if res.Radius > 2*opt+1e-9 {
+			t.Fatalf("GMM radius %v > 2*opt %v", res.Radius, opt)
+		}
+	}
+}
+
+// GMM is a 2-approximation for k-diversity: its diversity is at least half
+// the optimum.
+func TestTwoApproxDiversityTiny(t *testing.T) {
+	r := rng.New(37)
+	space := metric.L2{}
+	for trial := 0; trial < 30; trial++ {
+		n := 8
+		k := 3
+		pts := randomPoints(r, n, 2)
+		res := RunFull(space, pts, k)
+		opt := bruteForceDiversity(space, pts, k)
+		if res.Div < opt/2-1e-9 {
+			t.Fatalf("GMM diversity %v < opt/2 = %v", res.Div, opt/2)
+		}
+	}
+}
+
+// bruteForceKCenter returns the optimal k-center radius by enumerating all
+// k-subsets. Exponential; for tiny tests only.
+func bruteForceKCenter(space metric.Space, pts []metric.Point, k int) float64 {
+	best := math.Inf(1)
+	forEachSubset(len(pts), k, func(idx []int) {
+		centers := make([]metric.Point, len(idx))
+		for i, j := range idx {
+			centers[i] = pts[j]
+		}
+		if r := metric.Radius(space, pts, centers); r < best {
+			best = r
+		}
+	})
+	return best
+}
+
+// bruteForceDiversity returns the optimal k-diversity by enumeration.
+func bruteForceDiversity(space metric.Space, pts []metric.Point, k int) float64 {
+	best := math.Inf(-1)
+	forEachSubset(len(pts), k, func(idx []int) {
+		sel := make([]metric.Point, len(idx))
+		for i, j := range idx {
+			sel[i] = pts[j]
+		}
+		if d := metric.Diversity(space, sel); d > best {
+			best = d
+		}
+	})
+	return best
+}
+
+// forEachSubset enumerates all k-subsets of [0, n).
+func forEachSubset(n, k int, fn func([]int)) {
+	idx := make([]int, k)
+	var rec func(start, depth int)
+	rec = func(start, depth int) {
+		if depth == k {
+			fn(idx)
+			return
+		}
+		for i := start; i < n; i++ {
+			idx[depth] = i
+			rec(i+1, depth+1)
+		}
+	}
+	rec(0, 0)
+}
+
+func BenchmarkGMM(b *testing.B) {
+	r := rng.New(1)
+	pts := randomPoints(r, 2000, 8)
+	space := metric.L2{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = RunIndices(space, pts, 20, 0)
+	}
+}
+
+// The classic GMM implementation must make exactly n·k distance calls
+// (n initialization + n·(k-1) updates + n·(k-1) scans are distance-free).
+func TestOracleCallBudget(t *testing.T) {
+	r := rng.New(99)
+	pts := randomPoints(r, 500, 3)
+	counter := metric.NewCounting(metric.L2{})
+	k := 10
+	_ = RunIndices(counter, pts, k, 0)
+	calls := counter.Calls()
+	want := int64(500 * k) // n calls per selected point (init + k-1 updates)
+	if calls != want {
+		t.Fatalf("oracle calls = %d, want %d", calls, want)
+	}
+}

@@ -1,0 +1,125 @@
+// Package instance represents a dataset distributed across the machines
+// of an MPC cluster: per-machine point slices plus a stable global vertex
+// numbering. The MPC algorithms treat an Instance the way a Spark job
+// treats a partitioned RDD — machine i computes on Parts[i] and refers to
+// vertices by their global ids when communicating.
+package instance
+
+import (
+	"fmt"
+
+	"parclust/internal/metric"
+	"parclust/internal/tgraph"
+)
+
+// Instance is a point set partitioned over m machines. IDs assigns every
+// point a unique global id; algorithms that shrink the active vertex set
+// (k-bounded MIS) derive sub-instances preserving the original ids.
+type Instance struct {
+	Space metric.Space
+	// Parts[i] holds the points stored on machine i.
+	Parts [][]metric.Point
+	// IDs[i][j] is the global id of Parts[i][j].
+	IDs [][]int
+	// N is the total number of points.
+	N int
+}
+
+// New builds an instance over parts, assigning contiguous global ids in
+// machine order (machine 0's points first).
+func New(space metric.Space, parts [][]metric.Point) *Instance {
+	ids := make([][]int, len(parts))
+	next := 0
+	for i, p := range parts {
+		ids[i] = make([]int, len(p))
+		for j := range p {
+			ids[i][j] = next
+			next++
+		}
+	}
+	return &Instance{Space: space, Parts: parts, IDs: ids, N: next}
+}
+
+// NewWithIDs builds an instance with caller-provided global ids, used for
+// sub-instances of a shrinking vertex set. It validates shape and id
+// uniqueness.
+func NewWithIDs(space metric.Space, parts [][]metric.Point, ids [][]int) (*Instance, error) {
+	if len(parts) != len(ids) {
+		return nil, fmt.Errorf("instance: %d part slices vs %d id slices", len(parts), len(ids))
+	}
+	seen := make(map[int]bool)
+	n := 0
+	for i := range parts {
+		if len(parts[i]) != len(ids[i]) {
+			return nil, fmt.Errorf("instance: machine %d has %d points vs %d ids", i, len(parts[i]), len(ids[i]))
+		}
+		for _, id := range ids[i] {
+			if seen[id] {
+				return nil, fmt.Errorf("instance: duplicate global id %d", id)
+			}
+			seen[id] = true
+			n++
+		}
+	}
+	return &Instance{Space: space, Parts: parts, IDs: ids, N: n}, nil
+}
+
+// Machines returns the number of machines the instance spans.
+func (in *Instance) Machines() int { return len(in.Parts) }
+
+// Owner returns a map from global id to owning machine.
+func (in *Instance) Owner() map[int]int {
+	owner := make(map[int]int, in.N)
+	for i, ids := range in.IDs {
+		for _, id := range ids {
+			owner[id] = i
+		}
+	}
+	return owner
+}
+
+// All returns all points concatenated in machine order, with the parallel
+// id slice. Intended for verification and sequential baselines, not for
+// use inside simulated machines (a real machine cannot see other
+// machines' memory).
+func (in *Instance) All() ([]metric.Point, []int) {
+	pts := make([]metric.Point, 0, in.N)
+	ids := make([]int, 0, in.N)
+	for i := range in.Parts {
+		pts = append(pts, in.Parts[i]...)
+		ids = append(ids, in.IDs[i]...)
+	}
+	return pts, ids
+}
+
+// Graph materializes the threshold graph G_τ over the whole instance
+// (verification only). Vertex v of the graph is the v-th point of All().
+func (in *Instance) Graph(tau float64) (*tgraph.Graph, []int) {
+	pts, ids := in.All()
+	return tgraph.New(in.Space, pts, tau), ids
+}
+
+// PointByID returns the point with the given global id, or nil if absent.
+// O(n); for tests and verification.
+func (in *Instance) PointByID(id int) metric.Point {
+	for i, ids := range in.IDs {
+		for j, v := range ids {
+			if v == id {
+				return in.Parts[i][j]
+			}
+		}
+	}
+	return nil
+}
+
+// MaxPartSize returns the largest per-machine point count, the n/m term
+// of the memory bound.
+func (in *Instance) MaxPartSize() int {
+	max := 0
+	for _, p := range in.Parts {
+		if len(p) > max {
+			max = len(p)
+		}
+	}
+	return max
+}

@@ -1,0 +1,84 @@
+package instance
+
+import (
+	"testing"
+
+	"parclust/internal/metric"
+)
+
+func parts3() [][]metric.Point {
+	return [][]metric.Point{
+		{{0}, {1}},
+		{{2}},
+		{{3}, {4}, {5}},
+	}
+}
+
+func TestNewAssignsContiguousIDs(t *testing.T) {
+	in := New(metric.L2{}, parts3())
+	if in.N != 6 || in.Machines() != 3 {
+		t.Fatalf("N=%d machines=%d", in.N, in.Machines())
+	}
+	if in.IDs[0][0] != 0 || in.IDs[0][1] != 1 || in.IDs[1][0] != 2 || in.IDs[2][2] != 5 {
+		t.Fatalf("IDs = %v", in.IDs)
+	}
+}
+
+func TestNewWithIDsValidation(t *testing.T) {
+	parts := parts3()
+	good := [][]int{{10, 11}, {20}, {30, 31, 32}}
+	in, err := NewWithIDs(metric.L2{}, parts, good)
+	if err != nil || in.N != 6 {
+		t.Fatalf("valid ids rejected: %v", err)
+	}
+	if _, err := NewWithIDs(metric.L2{}, parts, [][]int{{1, 2}, {3}}); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+	if _, err := NewWithIDs(metric.L2{}, parts, [][]int{{1, 2}, {3}, {4, 5}}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := NewWithIDs(metric.L2{}, parts, [][]int{{1, 2}, {1}, {4, 5, 6}}); err == nil {
+		t.Fatal("duplicate id accepted")
+	}
+}
+
+func TestOwnerAndPointByID(t *testing.T) {
+	in := New(metric.L2{}, parts3())
+	owner := in.Owner()
+	if owner[0] != 0 || owner[2] != 1 || owner[5] != 2 {
+		t.Fatalf("owner = %v", owner)
+	}
+	if p := in.PointByID(3); p == nil || p[0] != 3 {
+		t.Fatalf("PointByID(3) = %v", p)
+	}
+	if p := in.PointByID(99); p != nil {
+		t.Fatalf("PointByID(99) = %v, want nil", p)
+	}
+}
+
+func TestAllAndGraph(t *testing.T) {
+	in := New(metric.L2{}, parts3())
+	pts, ids := in.All()
+	if len(pts) != 6 || len(ids) != 6 {
+		t.Fatalf("All sizes %d %d", len(pts), len(ids))
+	}
+	for i := range pts {
+		if int(pts[i][0]) != i || ids[i] != i {
+			t.Fatalf("All order wrong at %d: %v %d", i, pts[i], ids[i])
+		}
+	}
+	g, gids := in.Graph(1.0)
+	if g.N() != 6 || len(gids) != 6 {
+		t.Fatalf("Graph size %d", g.N())
+	}
+	if g.Degree(0) != 1 || g.Degree(1) != 2 {
+		t.Fatalf("graph degrees wrong: %d %d", g.Degree(0), g.Degree(1))
+	}
+}
+
+func TestMaxPartSize(t *testing.T) {
+	in := New(metric.L2{}, parts3())
+	if got := in.MaxPartSize(); got != 3 {
+		t.Fatalf("MaxPartSize = %d, want 3", got)
+	}
+}

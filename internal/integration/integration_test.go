@@ -1,0 +1,364 @@
+// Package integration_test exercises full MPC pipelines across modules:
+// every algorithm on every workload family, partition strategy and metric,
+// with invariants checked against the sequential references — plus
+// failure injection through communication caps.
+package integration_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"parclust/internal/baselines"
+	"parclust/internal/diversity"
+	"parclust/internal/gmm"
+	"parclust/internal/instance"
+	"parclust/internal/kbmis"
+	"parclust/internal/kcenter"
+	"parclust/internal/ksupplier"
+	"parclust/internal/metric"
+	"parclust/internal/mpc"
+	"parclust/internal/rng"
+	"parclust/internal/seq"
+	"parclust/internal/workload"
+)
+
+// TestKCenterAcrossFamiliesAndPartitions: the (2+ε) radius must stay
+// within the certified envelope for every family × partition strategy.
+func TestKCenterAcrossFamiliesAndPartitions(t *testing.T) {
+	const n, m, k = 300, 4, 6
+	eps := 0.1
+	for _, fam := range workload.Families() {
+		for pname, part := range workload.Partitioners() {
+			r := rng.New(11)
+			pts := fam.Gen(r, n)
+			in := instance.New(metric.L2{}, part(r, pts, m))
+			c := mpc.NewCluster(m, 7)
+			res, err := kcenter.Solve(c, in, kcenter.Config{K: k, Eps: eps})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", fam.Name, pname, err)
+			}
+			// Envelope: measured radius within 2(1+ε)·opt where opt ≤ R4
+			// and opt ≥ R4/4; so radius ≤ 2(1+ε)·R4 always.
+			if res.Radius > 2*(1+eps)*res.R4+1e-9 {
+				t.Fatalf("%s/%s: radius %v breaks the 2(1+ε)·R4 envelope (R4=%v)",
+					fam.Name, pname, res.Radius, res.R4)
+			}
+			if len(res.Centers) > k {
+				t.Fatalf("%s/%s: %d centers", fam.Name, pname, len(res.Centers))
+			}
+			// Centers must be input points.
+			for i, id := range res.IDs {
+				if p := in.PointByID(id); p == nil || !p.Equal(res.Centers[i]) {
+					t.Fatalf("%s/%s: center id %d not an input point", fam.Name, pname, id)
+				}
+			}
+		}
+	}
+}
+
+// TestDiversityAcrossMetrics: the (2+ε)-diversity result must respect its
+// certificate in every vector metric.
+func TestDiversityAcrossMetrics(t *testing.T) {
+	const n, m, k = 250, 4, 5
+	spaces := []metric.Space{metric.L2{}, metric.L1{}, metric.LInf{}, metric.Angular{}}
+	r := rng.New(3)
+	base := workload.UniformCube(r, n, 4, 10)
+	for _, space := range spaces {
+		pts := base
+		if space.Name() == "angular" {
+			// Keep away from the zero vector.
+			pts = make([]metric.Point, n)
+			for i, p := range base {
+				q := p.Clone()
+				q[0] += 1
+				pts[i] = q
+			}
+		}
+		in := instance.New(space, workload.PartitionRoundRobin(nil, pts, m))
+		c := mpc.NewCluster(m, 5)
+		res, err := diversity.Maximize(c, in, diversity.Config{K: k, Eps: 0.1})
+		if err != nil {
+			t.Fatalf("%s: %v", space.Name(), err)
+		}
+		// The result's diversity can never exceed the certified optimum
+		// window upper end 4·R4, and must reach at least R4/... the
+		// achieved diversity is at least τ_0 = R4 by construction.
+		if res.Diversity < res.R4-1e-9 {
+			t.Fatalf("%s: diversity %v below R4 %v", space.Name(), res.Diversity, res.R4)
+		}
+		if res.Diversity > 4*res.R4*(1+0.1)+1e-9 {
+			t.Fatalf("%s: diversity %v above 4(1+ε)R4 %v — certificate broken",
+				space.Name(), res.Diversity, 4*res.R4)
+		}
+	}
+}
+
+// TestMatrixSpacePipeline runs the k-bounded MIS over a hand-crafted
+// explicit metric — the adversarial path none of the vector families
+// exercise.
+func TestMatrixSpacePipeline(t *testing.T) {
+	// A 8-point metric: two tight cliques of 4, far apart.
+	const n = 8
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			same := (i < 4) == (j < 4)
+			if same {
+				d[i][j] = 1
+			} else {
+				d[i][j] = 100
+			}
+		}
+	}
+	space, err := metric.NewMatrixSpace(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := space.Points()
+	in := instance.New(space, workload.PartitionRoundRobin(nil, pts, 2))
+	c := mpc.NewCluster(2, 9)
+	res, err := kbmis.Run(c, in, 1.5, kbmis.Config{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At τ=1.5 the graph is two 4-cliques: the unique MIS size is 2.
+	if !res.Maximal || len(res.IDs) != 2 {
+		t.Fatalf("two-clique MIS: %+v", res)
+	}
+	g, _ := in.Graph(1.5)
+	pos := map[int]int{}
+	_, ids := in.All()
+	for v, id := range ids {
+		pos[id] = v
+	}
+	verts := []int{pos[res.IDs[0]], pos[res.IDs[1]]}
+	if !g.IsMaximalIndependent(verts) {
+		t.Fatal("result not a maximal IS")
+	}
+}
+
+// TestCommCapViolatedByGather: a deliberately tiny cap makes the
+// light-vertex broadcast round exceed it and the algorithm surfaces
+// ErrCommCap instead of silently blowing the model's budget.
+func TestCommCapViolatedByGather(t *testing.T) {
+	r := rng.New(13)
+	pts := workload.UniformCube(r, 400, 2, 10)
+	in := instance.New(metric.L2{}, workload.PartitionRoundRobin(nil, pts, 4))
+	c := mpc.NewCluster(4, 3, mpc.WithCommCap(50))
+	_, err := kcenter.Solve(c, in, kcenter.Config{K: 5})
+	if !errors.Is(err, mpc.ErrCommCap) {
+		t.Fatalf("tiny cap not enforced: %v", err)
+	}
+}
+
+// TestCommCapGenerousPasses: with a cap sized to the theory's Õ(n/m + mk)
+// budget the whole pipeline completes.
+func TestCommCapGenerousPasses(t *testing.T) {
+	r := rng.New(13)
+	const n, m, k = 400, 4, 5
+	pts := workload.UniformCube(r, n, 2, 10)
+	in := instance.New(metric.L2{}, workload.PartitionRoundRobin(nil, pts, m))
+	// Budget: every round moves at most O(n·dim) words in the degenerate
+	// all-light regime at this scale.
+	c := mpc.NewCluster(m, 3, mpc.WithCommCap(int64(8*n)))
+	if _, err := kcenter.Solve(c, in, kcenter.Config{K: k}); err != nil {
+		t.Fatalf("generous cap tripped: %v", err)
+	}
+}
+
+// TestSupplierPipelineAdversarialPartition: sorted (contiguous) partitions
+// put each customer cluster on one machine; the algorithm must still meet
+// its envelope.
+func TestSupplierPipelineAdversarialPartition(t *testing.T) {
+	r := rng.New(17)
+	cust := workload.GaussianMixture(r, 400, 2, 4, 2000, 5)
+	sup := workload.UniformCube(r, 100, 2, 2000)
+	const m, k = 4, 4
+	inC := instance.New(metric.L2{}, workload.PartitionSorted(nil, cust, m))
+	inS := instance.New(metric.L2{}, workload.PartitionSorted(nil, sup, m))
+	c := mpc.NewCluster(m, 23)
+	res, err := ksupplier.Solve(c, inC, inS, ksupplier.Config{K: k, Eps: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sequential reference on the same data.
+	_, hs := seq.HSKSupplier(metric.L2{}, cust, sup, k)
+	if res.Radius > 3*hs+1e-9 {
+		t.Fatalf("MPC radius %v vs sequential 3-approx %v: too far", res.Radius, hs)
+	}
+}
+
+// TestAllAlgorithmsAgreeOnDegenerateInputs: k=1 and k≥n must work
+// end-to-end everywhere.
+func TestAllAlgorithmsAgreeOnDegenerateInputs(t *testing.T) {
+	pts := workload.Line(7)
+	const m = 3
+	in := instance.New(metric.L2{}, workload.PartitionRoundRobin(nil, pts, m))
+
+	c := mpc.NewCluster(m, 1)
+	kc, err := kcenter.Solve(c, in, kcenter.Config{K: 1})
+	if err != nil || len(kc.Centers) != 1 {
+		t.Fatalf("kcenter k=1: %v %v", kc, err)
+	}
+	// Optimal 1-center of 0..6 is any point within distance 6; the
+	// algorithm is (2+ε)-approximate so radius ≤ 2.2·3 + slack.
+	if kc.Radius > 6.6+1e-9 {
+		t.Fatalf("kcenter k=1 radius %v", kc.Radius)
+	}
+
+	c2 := mpc.NewCluster(m, 1)
+	dv, err := diversity.Maximize(c2, in, diversity.Config{K: 7})
+	if err != nil || len(dv.Points) != 7 {
+		t.Fatalf("diversity k=n: %v %v", dv, err)
+	}
+	if math.Abs(dv.Diversity-1) > 1e-9 {
+		t.Fatalf("diversity of full line = %v", dv.Diversity)
+	}
+
+	c3 := mpc.NewCluster(m, 1)
+	ks, err := ksupplier.Solve(c3, in, in, ksupplier.Config{K: 7})
+	if err != nil || ks.Radius != 0 {
+		t.Fatalf("ksupplier C=S k=n: %+v %v", ks, err)
+	}
+}
+
+// TestOursNeverWorseThanBaselinesBeyondNoise: across seeds, the paper's
+// algorithms must not lose more than a hair to the coreset baselines they
+// theoretically dominate.
+func TestOursNeverWorseThanBaselinesBeyondNoise(t *testing.T) {
+	const n, m, k = 400, 4, 8
+	for seed := uint64(0); seed < 5; seed++ {
+		fam := workload.Families()[int(seed)%len(workload.Families())]
+		r := rng.New(seed + 31)
+		pts := fam.Gen(r, n)
+		in := instance.New(metric.L2{}, workload.PartitionRandom(r, pts, m))
+
+		c1 := mpc.NewCluster(m, seed)
+		ours, err := kcenter.Solve(c1, in, kcenter.Config{K: k, Eps: 0.1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c2 := mpc.NewCluster(m, seed)
+		malk, err := baselines.MalkomesKCenter(c2, in, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ours.Radius > malk.Radius*1.15+1e-9 {
+			t.Fatalf("seed %d %s: ours %v vs malkomes %v", seed, fam.Name, ours.Radius, malk.Radius)
+		}
+
+		c3 := mpc.NewCluster(m, seed)
+		dv, err := diversity.Maximize(c3, in, diversity.Config{K: k, Eps: 0.1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c4 := mpc.NewCluster(m, seed)
+		indyk, err := baselines.IndykDiversity(c4, in, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dv.Diversity < indyk.Diversity*0.85-1e-9 {
+			t.Fatalf("seed %d %s: ours %v vs indyk %v", seed, fam.Name, dv.Diversity, indyk.Diversity)
+		}
+	}
+}
+
+// TestGMMComposabilityInvariant: the distributed pipeline's certified
+// estimate R4 must bracket the sequential GMM value — lines 1–3 of
+// Algorithm 2 are exactly a composable-coreset argument.
+func TestGMMComposabilityInvariant(t *testing.T) {
+	const n, m, k = 300, 5, 6
+	r := rng.New(41)
+	pts := workload.UniformCube(r, n, 3, 50)
+	in := instance.New(metric.L2{}, workload.PartitionRandom(r, pts, m))
+	c := mpc.NewCluster(m, 2)
+	res, err := diversity.Maximize(c, in, diversity.Config{K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqDiv := gmm.RunFull(metric.L2{}, pts, k).Div
+	// seqDiv is a 2-approx from below, R4 a 4-approx from below:
+	// R4 ≤ opt ≤ 2·seqDiv, so R4 ≤ 2·seqDiv.
+	if res.R4 > 2*seqDiv+1e-9 {
+		t.Fatalf("R4 %v exceeds 2× sequential GMM diversity %v", res.R4, seqDiv)
+	}
+}
+
+// TestKBMISUnderExoticMetrics runs the core contribution under the
+// snowflake, Jaccard and weighted-L2 oracles — metrics with no Euclidean
+// structure — and validates Definition 1 each time.
+func TestKBMISUnderExoticMetrics(t *testing.T) {
+	r := rng.New(51)
+	base := workload.UniformCube(r, 120, 4, 10)
+	binary := make([]metric.Point, 120)
+	for i := range binary {
+		p := make(metric.Point, 10)
+		for j := range p {
+			if r.Bernoulli(0.3) {
+				p[j] = 1
+			}
+		}
+		binary[i] = p
+	}
+	cases := []struct {
+		name  string
+		space metric.Space
+		pts   []metric.Point
+		tau   float64
+	}{
+		{"snowflake", metric.NewSnowflake(metric.L2{}, 0.5), base, 1.5},
+		{"jaccard", metric.Jaccard{}, binary, 0.5},
+		{"weighted-l2", metric.WeightedL2{W: []float64{4, 1, 0.25, 1}}, base, 3},
+	}
+	for _, tc := range cases {
+		in := instance.New(tc.space, workload.PartitionRoundRobin(nil, tc.pts, 4))
+		c := mpc.NewCluster(4, 13)
+		res, err := kbmis.Run(c, in, tc.tau, kbmis.Config{K: 6})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		g, ids := in.Graph(tc.tau)
+		pos := map[int]int{}
+		for v, id := range ids {
+			pos[id] = v
+		}
+		verts := make([]int, len(res.IDs))
+		for i, id := range res.IDs {
+			verts[i] = pos[id]
+		}
+		if res.SizeK {
+			if len(verts) != 6 || !g.IsIndependent(verts) {
+				t.Fatalf("%s: invalid size-k result", tc.name)
+			}
+		} else if !res.Maximal || !g.IsMaximalIndependent(verts) {
+			t.Fatalf("%s: invalid maximal result", tc.name)
+		}
+	}
+}
+
+// TestDiversityUnderSnowflake: the approximation guarantee is
+// metric-agnostic; verify against brute force under the snowflake
+// transform on a tiny instance.
+func TestDiversityUnderSnowflake(t *testing.T) {
+	r := rng.New(53)
+	space := metric.NewSnowflake(metric.L1{}, 0.5)
+	pts := workload.UniformCube(r, 12, 2, 100)
+	in := instance.New(space, workload.PartitionRoundRobin(nil, pts, 3))
+	c := mpc.NewCluster(3, 17)
+	eps := 0.2
+	res, err := diversity.Maximize(c, in, diversity.Config{K: 4, Eps: eps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, _ := seq.ExactDiversity(space, pts, 4)
+	if res.Diversity < opt/(2*(1+eps))-1e-9 {
+		t.Fatalf("snowflake diversity %v < opt/(2(1+ε)) = %v", res.Diversity, opt/(2*(1+eps)))
+	}
+}

@@ -1,0 +1,667 @@
+package kbmis
+
+import (
+	"fmt"
+	"math"
+
+	"parclust/internal/degree"
+	"parclust/internal/instance"
+	"parclust/internal/metric"
+	"parclust/internal/mpc"
+)
+
+// ExitPath identifies how a k-bounded MIS run terminated; the paper's
+// correctness proof (Theorem 15) is a case analysis over exactly these.
+type ExitPath string
+
+const (
+	// ExitDegreeOverflow: the degree primitive found too many light
+	// vertices and extracted an independent set of the required size
+	// directly (Lemma 6, line 4 of Algorithm 4).
+	ExitDegreeOverflow ExitPath = "degree-overflow"
+	// ExitPruning: the expected sample volume exceeded the Õ(mk) budget
+	// and a size-k independent set was harvested from the trimmed
+	// samples (Theorem 14, line 8 of Algorithm 4).
+	ExitPruning ExitPath = "pruning"
+	// ExitSizeK: the accumulated MIS reached size k (line 20).
+	ExitSizeK ExitPath = "size-k"
+	// ExitMaximal: the graph emptied; the accumulated set is a maximal
+	// independent set of size < k (line 20).
+	ExitMaximal ExitPath = "maximal"
+	// ExitFallbackGather: the iteration or failure budget was exhausted
+	// and the remaining active vertices were gathered centrally to finish
+	// greedily. Correct but outside the paper's communication bound;
+	// recorded so benchmarks can report how often randomness required it
+	// (never, at the scales we run).
+	ExitFallbackGather ExitPath = "fallback-gather"
+)
+
+// Config parameterizes a k-bounded MIS computation.
+type Config struct {
+	// K bounds the independent set (Definition 1).
+	K int
+	// Eps is the degree-approximation accuracy; the analysis fixes 1/6.
+	Eps float64
+	// Delta overrides the degree-approximation constant δ (see package
+	// degree); zero selects the paper's value.
+	Delta float64
+	// LogN overrides the ln(n) in thresholds; zero derives it from the
+	// instance. The outer loop pins it to the original input size while
+	// the active set shrinks.
+	LogN float64
+	// MaxIterations bounds the outer while loop before the gather
+	// fallback engages. Zero means 60.
+	MaxIterations int
+	// UseExactDegrees replaces the Algorithm 3 estimates with exact
+	// degrees computed by the driver (ablation A2: isolates the effect of
+	// degree-approximation error on progress).
+	UseExactDegrees bool
+	// StrictTrim uses the paper's literal trim rule without id
+	// tie-breaking (ablation A1).
+	StrictTrim bool
+	// TrackEdges records the number of edges among active vertices at
+	// the start of every iteration (drives experiment F2). Verification
+	// only: it inspects global state and costs O(n²) oracle calls per
+	// iteration.
+	TrackEdges bool
+}
+
+func (c Config) withDefaults(n int) Config {
+	if c.Eps <= 0 {
+		c.Eps = 1.0 / 6
+	}
+	if c.MaxIterations <= 0 {
+		c.MaxIterations = 60
+	}
+	if c.LogN <= 0 {
+		c.LogN = math.Log(math.Max(float64(n), 2))
+	}
+	return c
+}
+
+// Result is the outcome of a k-bounded MIS computation.
+type Result struct {
+	// IDs are the global ids of the returned set; Points the matching
+	// points. The set is independent in G_tau; it is a maximal IS when
+	// Maximal, and has size exactly K when SizeK.
+	IDs     []int
+	Points  []metric.Point
+	SizeK   bool
+	Maximal bool
+	Exit    ExitPath
+	// Iterations counts outer while-loop iterations executed.
+	Iterations int
+	// PruningAttempts / PruningFailures count pruning-step activations
+	// and the (w.h.p.-rare) activations that failed to produce k
+	// independent vertices.
+	PruningAttempts int
+	PruningFailures int
+	// EdgeHistory, when TrackEdges is set, holds |E| of the active
+	// subgraph at the start of each iteration.
+	EdgeHistory []int
+}
+
+type runner struct {
+	c     *mpc.Cluster
+	in    *instance.Instance
+	tau   float64
+	cfg   Config
+	m     int
+	k     int
+	parts [][]metric.Point // active points per machine
+	ids   [][]int          // active ids per machine
+	mis   []weighted       // accumulated MIS
+	res   *Result
+}
+
+// sampleProb returns the clamped sampling probability min(1, 1/(2p)).
+// Near-isolated vertices (p < 1/2, including estimate 0) are always
+// sampled, matching the paper's implicit p_v ≥ 1 assumption on vertices
+// that matter.
+func sampleProb(p float64) float64 {
+	if p < 0.5 {
+		return 1
+	}
+	return 1 / (2 * p)
+}
+
+// Run computes a k-bounded MIS of the threshold graph G_tau over in using
+// cluster c (one machine per instance part).
+func Run(c *mpc.Cluster, in *instance.Instance, tau float64, cfg Config) (*Result, error) {
+	if c.NumMachines() != in.Machines() {
+		return nil, fmt.Errorf("kbmis: cluster has %d machines, instance has %d parts",
+			c.NumMachines(), in.Machines())
+	}
+	cfg = cfg.withDefaults(in.N)
+	r := &runner{
+		c:   c,
+		in:  in,
+		tau: tau,
+		cfg: cfg,
+		m:   in.Machines(),
+		k:   cfg.K,
+		res: &Result{},
+	}
+	if r.k <= 0 {
+		// The empty set is an independent set of size exactly 0.
+		r.res.SizeK = true
+		r.res.Exit = ExitSizeK
+		return r.res, nil
+	}
+	r.parts = make([][]metric.Point, r.m)
+	r.ids = make([][]int, r.m)
+	for i := range in.Parts {
+		r.parts[i] = append([]metric.Point(nil), in.Parts[i]...)
+		r.ids[i] = append([]int(nil), in.IDs[i]...)
+	}
+	return r.run()
+}
+
+func (r *runner) run() (*Result, error) {
+	overflowFailures := 0
+	for iter := 0; ; iter++ {
+		if len(r.mis) >= r.k {
+			return r.finish(ExitSizeK)
+		}
+		if r.activeCount() == 0 {
+			return r.finish(ExitMaximal)
+		}
+		if iter >= r.cfg.MaxIterations || overflowFailures >= 3 {
+			return r.fallbackGather()
+		}
+		r.res.Iterations = iter + 1
+		if r.cfg.TrackEdges {
+			r.res.EdgeHistory = append(r.res.EdgeHistory, r.activeEdges())
+		}
+
+		sub, err := instance.NewWithIDs(r.in.Space, r.parts, r.ids)
+		if err != nil {
+			return nil, err
+		}
+		need := r.k - len(r.mis)
+
+		// Line 3: degree estimates for every active vertex, or a direct
+		// independent set if light vertices overflow (line 4).
+		est, overflowIS, err := r.degreeEstimates(sub, need)
+		if err != nil {
+			return nil, err
+		}
+		if overflowIS != nil {
+			if len(overflowIS) >= need {
+				r.mis = append(r.mis, overflowIS[:need]...)
+				return r.finish(ExitDegreeOverflow)
+			}
+			// The w.h.p. extraction fell short; retry with fresh
+			// randomness, bounded by overflowFailures.
+			overflowFailures++
+			continue
+		}
+		overflowFailures = 0
+
+		// Line 5: every machine draws m independent samples, keeping each
+		// vertex with probability 1/(2 p_v); machines also report the
+		// expected sample volume for the pruning decision (line 6).
+		samples, err := r.drawSamples(est)
+		if err != nil {
+			return nil, err
+		}
+		prune, err := r.pruneDecision(est)
+		if err != nil {
+			return nil, err
+		}
+		if prune {
+			r.res.PruningAttempts++
+			done, err := r.pruneHarvest(samples, need)
+			if err != nil {
+				return nil, err
+			}
+			if done {
+				return r.finish(ExitPruning)
+			}
+			r.res.PruningFailures++
+			continue
+		}
+
+		// Lines 10–18: ship samples to the central machine, run the
+		// localized Luby iterations there, broadcast the additions, and
+		// remove their closed neighborhoods everywhere.
+		if err := r.centralLuby(samples); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// activeCount returns the number of active vertices across machines.
+// In a physical deployment this is a piggybacked one-word converge-cast
+// on the round that broadcasts MIS additions; the simulator driver reads
+// it directly and does not charge a separate round.
+func (r *runner) activeCount() int {
+	n := 0
+	for _, p := range r.parts {
+		n += len(p)
+	}
+	return n
+}
+
+// activeEdges counts edges of the active subgraph (verification only).
+func (r *runner) activeEdges() int {
+	var all []weighted
+	for i := range r.parts {
+		for j := range r.parts[i] {
+			all = append(all, weighted{id: r.ids[i][j], pt: r.parts[i][j]})
+		}
+	}
+	e := 0
+	for i := 0; i < len(all); i++ {
+		for j := i + 1; j < len(all); j++ {
+			if r.in.Space.Dist(all[i].pt, all[j].pt) <= r.tau {
+				e++
+			}
+		}
+	}
+	return e
+}
+
+// degreeEstimates returns per-machine degree estimates for the active
+// sub-instance, or an overflow independent set (as weighted vertices).
+func (r *runner) degreeEstimates(sub *instance.Instance, need int) ([][]float64, []weighted, error) {
+	if r.cfg.UseExactDegrees {
+		// Ablation A2: the driver computes exact degrees directly.
+		g, gids := sub.Graph(r.tau)
+		deg := make(map[int]int, sub.N)
+		for v := 0; v < g.N(); v++ {
+			deg[gids[v]] = g.Degree(v)
+		}
+		est := make([][]float64, r.m)
+		for i := range r.parts {
+			est[i] = make([]float64, len(r.parts[i]))
+			for j := range r.parts[i] {
+				est[i][j] = float64(deg[r.ids[i][j]])
+			}
+		}
+		return est, nil, nil
+	}
+	dres, err := degree.Approximate(r.c, sub, r.tau, degree.Config{
+		Eps:   r.cfg.Eps,
+		Delta: r.cfg.Delta,
+		K:     need,
+		LogN:  r.cfg.LogN,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if dres.IS != nil {
+		ws := make([]weighted, len(dres.IS))
+		for i := range dres.IS {
+			ws[i] = weighted{id: dres.IS[i], pt: dres.ISPoints[i]}
+		}
+		return nil, ws, nil
+	}
+	return dres.Estimates, nil, nil
+}
+
+// drawSamples has every machine draw m independent samples of its active
+// vertices (line 5). The samples stay machine-local; only the pruning
+// decision and the later shipping round move data.
+func (r *runner) drawSamples(est [][]float64) ([][][]weighted, error) {
+	samples := make([][][]weighted, r.m) // samples[i][j] = S_i^j
+	err := r.c.Superstep("kbmis/sample", func(mc *mpc.Machine) error {
+		i := mc.ID()
+		samples[i] = make([][]weighted, r.m)
+		for j := 0; j < r.m; j++ {
+			for t, pt := range r.parts[i] {
+				if mc.RNG.Bernoulli(sampleProb(est[i][t])) {
+					samples[i][j] = append(samples[i][j], weighted{
+						id: r.ids[i][t], pt: pt, w: est[i][t],
+					})
+				}
+			}
+		}
+		// Report the local expected sample volume for the prune check.
+		sum := 0.0
+		for t := range r.parts[i] {
+			sum += sampleProb(est[i][t])
+		}
+		mc.SendCentral(mpc.Float(sum))
+		return nil
+	})
+	return samples, err
+}
+
+// pruneDecision aggregates Σ_v 1/(2p_v) at the central machine and
+// broadcasts whether it exceeds 10·k·ln n (line 6).
+func (r *runner) pruneDecision(est [][]float64) (bool, error) {
+	threshold := 10 * float64(r.k) * r.cfg.LogN
+	var decision bool
+	err := r.c.Superstep("kbmis/prune-decide", func(mc *mpc.Machine) error {
+		if !mc.IsCentral() {
+			return nil
+		}
+		total := 0.0
+		for _, v := range mpc.CollectFloats(mc.Inbox()) {
+			total += v
+		}
+		d := 0
+		if total > threshold {
+			d = 1
+			decision = true
+		}
+		mc.BroadcastAll(mpc.Int(d))
+		return nil
+	})
+	return decision, err
+}
+
+// pruneHarvest implements lines 7–8 and Theorem 14: machines trim their
+// samples locally, trimmed pieces for stream j are unioned and re-trimmed
+// on machine j, and the central machine returns a k-subset of the largest
+// T_j. Returns true when `need` independent vertices were secured.
+func (r *runner) pruneHarvest(samples [][][]weighted, need int) (bool, error) {
+	// Round 1: local trims. A machine whose local trim already reaches
+	// `need` short-circuits by sending that subset straight to the
+	// central machine (the optimization noted in the proof of Theorem 14).
+	err := r.c.Superstep("kbmis/prune-local", func(mc *mpc.Machine) error {
+		i := mc.ID()
+		for j := 0; j < r.m; j++ {
+			t := r.localTrim(samples[i][j])
+			if len(t) >= need {
+				mc.SendCentral(toWeightedPayload(t[:need], -1))
+				return nil
+			}
+			mc.Send(j, toWeightedPayload(t, j))
+		}
+		return nil
+	})
+	if err != nil {
+		return false, err
+	}
+
+	// Round 2: machine j unions the stream-j pieces and trims again,
+	// sending at most `need` vertices to the central machine. Fast-path
+	// subsets (tag -1) pass through central's inbox from round 1; central
+	// re-broadcasts nothing yet.
+	var fastPath []weighted
+	err = r.c.Superstep("kbmis/prune-union", func(mc *mpc.Machine) error {
+		var pieces []weighted
+		for _, msg := range mc.Inbox() {
+			wp, ok := msg.Payload.(mpc.WeightedPoints)
+			if !ok {
+				continue
+			}
+			if wp.Tag == -1 {
+				if mc.IsCentral() && fastPath == nil {
+					fastPath = fromWeightedPayload(wp)
+				}
+				continue
+			}
+			pieces = append(pieces, fromWeightedPayload(wp)...)
+		}
+		mc.NoteMemory(int64(3 * len(pieces)))
+		tj := r.localTrim(pieces)
+		if len(tj) > need {
+			tj = tj[:need]
+		}
+		mc.SendCentral(toWeightedPayload(tj, mc.ID()))
+		return nil
+	})
+	if err != nil {
+		return false, err
+	}
+
+	// Round 3: central picks the fast-path set or the largest T_j and
+	// broadcasts the outcome; machines only need the verdict, the winning
+	// set joins the accumulated MIS in the driver.
+	var winner []weighted
+	err = r.c.Superstep("kbmis/prune-collect", func(mc *mpc.Machine) error {
+		if !mc.IsCentral() {
+			return nil
+		}
+		best := fastPath
+		for _, msg := range mc.Inbox() {
+			if wp, ok := msg.Payload.(mpc.WeightedPoints); ok {
+				cand := fromWeightedPayload(wp)
+				if len(cand) > len(best) {
+					best = cand
+				}
+			}
+		}
+		if len(best) > need {
+			best = best[:need]
+		}
+		if len(best) == need {
+			winner = best
+		}
+		mc.Broadcast(toWeightedPayload(winner, -2))
+		return nil
+	})
+	if err != nil {
+		return false, err
+	}
+	if winner == nil {
+		return false, nil
+	}
+	r.mis = append(r.mis, winner...)
+	return true, nil
+}
+
+// localTrim dispatches between the tie-broken and strict trim rules.
+func (r *runner) localTrim(s []weighted) []weighted {
+	if r.cfg.StrictTrim {
+		return trimStrict(r.in.Space, r.tau, s)
+	}
+	return trim(r.in.Space, r.tau, s)
+}
+
+// centralLuby implements lines 10–18: all samples go to the central
+// machine, which peels independent sets M_j = trim(S_j) stream by stream,
+// removing each M_j's closed neighborhood from its sample-local view of
+// the graph; the additions are then broadcast and every machine removes
+// their closed neighborhood from its active vertices.
+func (r *runner) centralLuby(samples [][][]weighted) error {
+	err := r.c.Superstep("kbmis/ship-samples", func(mc *mpc.Machine) error {
+		i := mc.ID()
+		for j := 0; j < r.m; j++ {
+			mc.SendCentral(toWeightedPayload(samples[i][j], j))
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	var additions []weighted
+	err = r.c.Superstep("kbmis/central-luby", func(mc *mpc.Machine) error {
+		if !mc.IsCentral() {
+			return nil
+		}
+		streams := make([][]weighted, r.m)
+		words := 0
+		for _, msg := range mc.Inbox() {
+			if wp, ok := msg.Payload.(mpc.WeightedPoints); ok && wp.Tag >= 0 && wp.Tag < r.m {
+				streams[wp.Tag] = append(streams[wp.Tag], fromWeightedPayload(wp)...)
+				words += wp.Words()
+			}
+		}
+		mc.NoteMemory(int64(words))
+		removed := make(map[int]bool)
+		for j := 0; j < r.m && len(r.mis)+len(additions) < r.k; j++ {
+			// S_j ∩ V(G): drop vertices removed by earlier streams this
+			// round — by id, or by adjacency to an earlier addition.
+			var sj []weighted
+			for _, v := range streams[j] {
+				if removed[v.id] {
+					continue
+				}
+				adj := false
+				for _, a := range additions {
+					if v.id != a.id && r.in.Space.Dist(v.pt, a.pt) <= r.tau {
+						adj = true
+						break
+					}
+				}
+				if !adj {
+					sj = append(sj, v)
+				}
+			}
+			mj := r.localTrim(sj)
+			if rem := r.k - len(r.mis) - len(additions); len(mj) > rem {
+				mj = mj[:rem]
+			}
+			for _, v := range mj {
+				removed[v.id] = true
+			}
+			additions = append(additions, mj...)
+		}
+		mc.Broadcast(toWeightedPayload(additions, -3))
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// Line 18: every machine removes MIS ∪ N(MIS) from its vertices. The
+	// broadcast is consumed here; removal is local computation.
+	err = r.c.Superstep("kbmis/remove", func(mc *mpc.Machine) error {
+		i := mc.ID()
+		adds := additions
+		if !mc.IsCentral() {
+			adds = nil
+			for _, msg := range mc.Inbox() {
+				if wp, ok := msg.Payload.(mpc.WeightedPoints); ok && wp.Tag == -3 {
+					adds = append(adds, fromWeightedPayload(wp)...)
+				}
+			}
+		}
+		r.removeClosedNeighborhood(i, adds)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	r.mis = append(r.mis, additions...)
+	return nil
+}
+
+// removeClosedNeighborhood drops from machine i's active set every vertex
+// that is in adds or adjacent to a member of adds.
+func (r *runner) removeClosedNeighborhood(i int, adds []weighted) {
+	if len(adds) == 0 {
+		return
+	}
+	keptP := r.parts[i][:0]
+	keptI := r.ids[i][:0]
+	for t, pt := range r.parts[i] {
+		id := r.ids[i][t]
+		drop := false
+		for _, a := range adds {
+			if id == a.id || r.in.Space.Dist(pt, a.pt) <= r.tau {
+				drop = true
+				break
+			}
+		}
+		if !drop {
+			keptP = append(keptP, pt)
+			keptI = append(keptI, id)
+		}
+	}
+	r.parts[i] = keptP
+	r.ids[i] = keptI
+}
+
+// fallbackGather ships every remaining active vertex to the central
+// machine and finishes greedily. Correct in all cases; outside the Õ(mk)
+// budget, hence recorded as its own exit path.
+func (r *runner) fallbackGather() (*Result, error) {
+	err := r.c.Superstep("kbmis/fallback-gather", func(mc *mpc.Machine) error {
+		i := mc.ID()
+		var ids []int
+		var pts []metric.Point
+		for t, pt := range r.parts[i] {
+			ids = append(ids, r.ids[i][t])
+			pts = append(pts, pt)
+		}
+		mc.SendCentral(mpc.IndexedPoints{IDs: ids, Pts: pts})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	err = r.c.Superstep("kbmis/fallback-finish", func(mc *mpc.Machine) error {
+		if !mc.IsCentral() {
+			return nil
+		}
+		ids, pts := mpc.CollectIndexed(mc.Inbox())
+		mc.NoteMemory(int64(len(ids) + metric.TotalWords(pts)))
+		for t := range ids {
+			if len(r.mis) >= r.k {
+				break
+			}
+			v := weighted{id: ids[t], pt: pts[t]}
+			indep := true
+			for _, u := range r.mis {
+				if v.id != u.id && r.in.Space.Dist(v.pt, u.pt) <= r.tau {
+					indep = false
+					break
+				}
+			}
+			if indep {
+				r.mis = append(r.mis, v)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(r.mis) >= r.k {
+		return r.finish2(ExitFallbackGather, true, false)
+	}
+	return r.finish2(ExitFallbackGather, false, true)
+}
+
+func (r *runner) finish(exit ExitPath) (*Result, error) {
+	switch exit {
+	case ExitMaximal:
+		return r.finish2(exit, false, true)
+	default:
+		return r.finish2(exit, true, false)
+	}
+}
+
+func (r *runner) finish2(exit ExitPath, sizeK, maximal bool) (*Result, error) {
+	set := r.mis
+	if sizeK && len(set) > r.k {
+		set = set[:r.k]
+	}
+	r.res.Exit = exit
+	r.res.SizeK = sizeK
+	r.res.Maximal = maximal
+	r.res.IDs = make([]int, len(set))
+	r.res.Points = make([]metric.Point, len(set))
+	for i, v := range set {
+		r.res.IDs[i] = v.id
+		r.res.Points[i] = v.pt
+	}
+	return r.res, nil
+}
+
+// toWeightedPayload converts trim-domain vertices to a wire payload.
+func toWeightedPayload(s []weighted, tag int) mpc.WeightedPoints {
+	wp := mpc.WeightedPoints{Tag: tag}
+	for _, v := range s {
+		wp.IDs = append(wp.IDs, v.id)
+		wp.Pts = append(wp.Pts, v.pt)
+		wp.Ws = append(wp.Ws, v.w)
+	}
+	return wp
+}
+
+// fromWeightedPayload converts a wire payload back to trim-domain
+// vertices.
+func fromWeightedPayload(wp mpc.WeightedPoints) []weighted {
+	out := make([]weighted, len(wp.IDs))
+	for i := range wp.IDs {
+		out[i] = weighted{id: wp.IDs[i], pt: wp.Pts[i], w: wp.Ws[i]}
+	}
+	return out
+}

@@ -1,0 +1,430 @@
+package kbmis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"parclust/internal/instance"
+	"parclust/internal/metric"
+	"parclust/internal/mpc"
+	"parclust/internal/rng"
+	"parclust/internal/workload"
+)
+
+func makeInstance(pts []metric.Point, m int) *instance.Instance {
+	parts := workload.PartitionRoundRobin(nil, pts, m)
+	return instance.New(metric.L2{}, parts)
+}
+
+// verifyKBounded checks the result against Definition 1 on the
+// materialized global graph.
+func verifyKBounded(t *testing.T, in *instance.Instance, tau float64, k int, res *Result) {
+	t.Helper()
+	g, ids := in.Graph(tau)
+	pos := make(map[int]int, len(ids))
+	for v, id := range ids {
+		pos[id] = v
+	}
+	verts := make([]int, len(res.IDs))
+	seen := map[int]bool{}
+	for i, id := range res.IDs {
+		v, ok := pos[id]
+		if !ok {
+			t.Fatalf("result id %d not in instance", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %d in result", id)
+		}
+		seen[id] = true
+		verts[i] = v
+	}
+	switch {
+	case res.SizeK:
+		if len(verts) != k {
+			t.Fatalf("SizeK result has %d vertices, want %d (exit %s)", len(verts), k, res.Exit)
+		}
+		if !g.IsIndependent(verts) {
+			t.Fatalf("SizeK result not independent (exit %s)", res.Exit)
+		}
+	case res.Maximal:
+		if len(verts) > k {
+			t.Fatalf("maximal result has %d > k=%d vertices", len(verts), k)
+		}
+		if !g.IsMaximalIndependent(verts) {
+			t.Fatalf("maximal result is not a maximal IS (exit %s)", res.Exit)
+		}
+	default:
+		t.Fatalf("result claims neither SizeK nor Maximal (exit %s)", res.Exit)
+	}
+}
+
+func TestKZeroReturnsEmpty(t *testing.T) {
+	in := makeInstance(workload.Line(10), 2)
+	c := mpc.NewCluster(2, 1)
+	res, err := Run(c, in, 1.0, Config{K: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.SizeK || len(res.IDs) != 0 {
+		t.Fatalf("k=0: %+v", res)
+	}
+}
+
+func TestEmptyInstance(t *testing.T) {
+	in := makeInstance(nil, 3)
+	c := mpc.NewCluster(3, 1)
+	res, err := Run(c, in, 1.0, Config{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Maximal || len(res.IDs) != 0 {
+		t.Fatalf("empty instance: %+v", res)
+	}
+}
+
+func TestMachineMismatch(t *testing.T) {
+	in := makeInstance(workload.Line(10), 2)
+	c := mpc.NewCluster(3, 1)
+	if _, err := Run(c, in, 1.0, Config{K: 2}); err == nil {
+		t.Fatal("mismatch not rejected")
+	}
+}
+
+func TestCompleteGraphYieldsSingleton(t *testing.T) {
+	// Huge tau: the graph is complete; any MIS is one vertex.
+	r := rng.New(1)
+	pts := workload.UniformCube(r, 60, 2, 1)
+	in := makeInstance(pts, 4)
+	c := mpc.NewCluster(4, 9)
+	res, err := Run(c, in, 1000, Config{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyKBounded(t, in, 1000, 5, res)
+	if len(res.IDs) != 1 || !res.Maximal {
+		t.Fatalf("complete graph MIS = %v (exit %s)", res.IDs, res.Exit)
+	}
+}
+
+func TestSparseGraphPruningExit(t *testing.T) {
+	// Tiny tau, n >> 10k·ln n: every vertex is isolated, the expected
+	// sample volume is n, and the pruning step must fire and succeed.
+	r := rng.New(2)
+	pts := workload.UniformCube(r, 1000, 2, 1e6)
+	in := makeInstance(pts, 4)
+	c := mpc.NewCluster(4, 5)
+	res, err := Run(c, in, 1e-6, Config{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyKBounded(t, in, 1e-6, 3, res)
+	if res.Exit != ExitPruning {
+		t.Fatalf("exit = %s, want pruning (attempts=%d)", res.Exit, res.PruningAttempts)
+	}
+	if res.PruningAttempts != 1 || res.PruningFailures != 0 {
+		t.Fatalf("pruning attempts=%d failures=%d", res.PruningAttempts, res.PruningFailures)
+	}
+}
+
+func TestDegreeOverflowExit(t *testing.T) {
+	// Small delta makes the light-vertex cap tiny; a sparse graph then
+	// terminates inside the degree primitive (Lemma 6).
+	r := rng.New(3)
+	pts := workload.UniformCube(r, 1000, 2, 1e6)
+	in := makeInstance(pts, 4)
+	c := mpc.NewCluster(4, 7)
+	res, err := Run(c, in, 1e-6, Config{K: 3, Delta: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyKBounded(t, in, 1e-6, 3, res)
+	if res.Exit != ExitDegreeOverflow {
+		t.Fatalf("exit = %s, want degree-overflow", res.Exit)
+	}
+}
+
+func TestModerateGraphLubyPath(t *testing.T) {
+	// A unit-distance path graph with k larger than reachable via the
+	// short-circuit exits: the central Luby loop must do the work.
+	pts := workload.Line(200)
+	in := makeInstance(pts, 4)
+	c := mpc.NewCluster(4, 11)
+	res, err := Run(c, in, 1.0, Config{K: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyKBounded(t, in, 1.0, 20, res)
+	if !res.SizeK {
+		// A MIS of the 200-path has ≥ 67 vertices, so k=20 must be met.
+		t.Fatalf("expected size-k result, got %+v", res)
+	}
+}
+
+func TestMaximalWhenKUnreachable(t *testing.T) {
+	// k exceeds the size of any independent set: must return a maximal IS.
+	pts := workload.Line(12)
+	in := makeInstance(pts, 3)
+	c := mpc.NewCluster(3, 13)
+	res, err := Run(c, in, 1.0, Config{K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyKBounded(t, in, 1.0, 10, res)
+	if !res.Maximal {
+		t.Fatalf("expected maximal result: %+v", res)
+	}
+	// The 12-path MIS has between 4 and 6 vertices.
+	if len(res.IDs) < 4 || len(res.IDs) > 6 {
+		t.Fatalf("12-path MIS size %d out of [4,6]", len(res.IDs))
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	r := rng.New(5)
+	pts := workload.UniformCube(r, 300, 2, 100)
+	run := func() []int {
+		in := makeInstance(pts, 5)
+		c := mpc.NewCluster(5, 77)
+		res, err := Run(c, in, 5.0, Config{K: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.IDs
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("nondeterministic sizes %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: across workloads, thresholds, machine counts and seeds, the
+// output always satisfies Definition 1.
+func TestAlwaysKBoundedProperty(t *testing.T) {
+	r := rng.New(6)
+	f := func(nRaw, mRaw, kRaw, tauRaw uint8, seed uint16) bool {
+		n := int(nRaw)%120 + 5
+		m := int(mRaw)%5 + 1
+		k := int(kRaw)%10 + 1
+		tau := float64(tauRaw%50)/10 + 0.05
+		pts := workload.UniformCube(r, n, 2, 10)
+		in := makeInstance(pts, m)
+		c := mpc.NewCluster(m, uint64(seed))
+		res, err := Run(c, in, tau, Config{K: k})
+		if err != nil {
+			return false
+		}
+		g, ids := in.Graph(tau)
+		pos := make(map[int]int, len(ids))
+		for v, id := range ids {
+			pos[id] = v
+		}
+		verts := make([]int, len(res.IDs))
+		for i, id := range res.IDs {
+			verts[i] = pos[id]
+		}
+		if res.SizeK {
+			return len(verts) == k && g.IsIndependent(verts)
+		}
+		return res.Maximal && g.IsMaximalIndependent(verts)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStrictTrimAblationStillValid(t *testing.T) {
+	r := rng.New(7)
+	pts := workload.UniformCube(r, 200, 2, 40)
+	in := makeInstance(pts, 4)
+	c := mpc.NewCluster(4, 21)
+	res, err := Run(c, in, 3.0, Config{K: 6, StrictTrim: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyKBounded(t, in, 3.0, 6, res)
+}
+
+func TestExactDegreesAblation(t *testing.T) {
+	r := rng.New(8)
+	pts := workload.UniformCube(r, 200, 2, 40)
+	in := makeInstance(pts, 4)
+	c := mpc.NewCluster(4, 23)
+	res, err := Run(c, in, 3.0, Config{K: 6, UseExactDegrees: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyKBounded(t, in, 3.0, 6, res)
+}
+
+func TestEdgeHistoryDecreases(t *testing.T) {
+	r := rng.New(9)
+	pts := workload.UniformCube(r, 250, 2, 20)
+	in := makeInstance(pts, 4)
+	c := mpc.NewCluster(4, 31)
+	res, err := Run(c, in, 2.0, Config{K: 100, TrackEdges: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyKBounded(t, in, 2.0, 100, res)
+	if len(res.EdgeHistory) == 0 {
+		t.Fatal("no edge history recorded")
+	}
+	for i := 1; i < len(res.EdgeHistory); i++ {
+		if res.EdgeHistory[i] > res.EdgeHistory[i-1] {
+			t.Fatalf("edge count increased: %v", res.EdgeHistory)
+		}
+	}
+}
+
+func TestSingleMachine(t *testing.T) {
+	r := rng.New(10)
+	pts := workload.UniformCube(r, 80, 2, 10)
+	in := makeInstance(pts, 1)
+	c := mpc.NewCluster(1, 1)
+	res, err := Run(c, in, 1.0, Config{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyKBounded(t, in, 1.0, 5, res)
+}
+
+func TestTrimUnit(t *testing.T) {
+	space := metric.L2{}
+	s := []weighted{
+		{id: 0, pt: metric.Point{0}, w: 3},
+		{id: 1, pt: metric.Point{0.5}, w: 1},
+		{id: 2, pt: metric.Point{10}, w: 2},
+	}
+	out := trim(space, 1.0, s)
+	// Vertex 0 beats vertex 1 (adjacent, higher weight); vertex 2 isolated.
+	if len(out) != 2 || out[0].id != 0 || out[1].id != 2 {
+		t.Fatalf("trim = %+v", out)
+	}
+}
+
+func TestTrimTieBreak(t *testing.T) {
+	space := metric.L2{}
+	s := []weighted{
+		{id: 0, pt: metric.Point{0}, w: 5},
+		{id: 1, pt: metric.Point{0.5}, w: 5},
+	}
+	// Strict rule: both eliminated.
+	if out := trimStrict(space, 1.0, s); len(out) != 0 {
+		t.Fatalf("trimStrict on tie = %+v", out)
+	}
+	// Tie-broken rule: the larger id survives.
+	out := trim(space, 1.0, s)
+	if len(out) != 1 || out[0].id != 1 {
+		t.Fatalf("trim on tie = %+v", out)
+	}
+}
+
+func TestTrimOutputIndependent(t *testing.T) {
+	r := rng.New(11)
+	space := metric.L2{}
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%20) + 1
+		s := make([]weighted, n)
+		for i := range s {
+			s[i] = weighted{
+				id: i,
+				pt: metric.Point{r.Float64() * 4, r.Float64() * 4},
+				w:  float64(r.Intn(5)),
+			}
+		}
+		return independentIn(space, 1.0, trim(space, 1.0, s)) &&
+			independentIn(space, 1.0, trimStrict(space, 1.0, s))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrimDedupsIDs(t *testing.T) {
+	space := metric.L2{}
+	s := []weighted{
+		{id: 3, pt: metric.Point{0}, w: 2},
+		{id: 3, pt: metric.Point{0}, w: 2},
+	}
+	out := trim(space, 1.0, s)
+	if len(out) != 1 {
+		t.Fatalf("duplicate ids not collapsed: %+v", out)
+	}
+}
+
+func TestSampleProb(t *testing.T) {
+	if p := sampleProb(0); p != 1 {
+		t.Fatalf("sampleProb(0) = %v", p)
+	}
+	if p := sampleProb(0.4); p != 1 {
+		t.Fatalf("sampleProb(0.4) = %v", p)
+	}
+	if p := sampleProb(2); p != 0.25 {
+		t.Fatalf("sampleProb(2) = %v", p)
+	}
+}
+
+func TestConstantIterations(t *testing.T) {
+	// Theorem 13: the while loop finishes in O(1/γ) iterations. At these
+	// scales a handful suffices; assert a generous constant.
+	r := rng.New(12)
+	for _, n := range []int{200, 400, 800} {
+		pts := workload.UniformCube(r, n, 2, 50)
+		in := makeInstance(pts, 4)
+		c := mpc.NewCluster(4, 3)
+		res, err := Run(c, in, 2.0, Config{K: n}) // force full MIS
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Exit == ExitFallbackGather {
+			t.Fatalf("n=%d hit the fallback", n)
+		}
+		if res.Iterations > 25 {
+			t.Fatalf("n=%d took %d iterations", n, res.Iterations)
+		}
+	}
+}
+
+// With k ≪ n and the heavy/light machinery active, the whole k-bounded
+// MIS run must fit under a Õ(n/m + mk) per-round communication cap — the
+// hard enforcement of Theorem 15's bound.
+func TestCommunicationWithinTheoremBound(t *testing.T) {
+	r := rng.New(13)
+	const n, m, k = 2000, 8, 8
+	pts := workload.UniformCube(r, n, 4, 100)
+	in := makeInstance(pts, m)
+	// Budget: the Θ(n)-word degree-sample broadcast term (5 words per
+	// 4-d point, expected n/m sampled per machine, received by all) plus
+	// 30·mk·ln n for the sample shipping — the constants observed in
+	// experiment T5, with 2× slack.
+	cap := int64(3*n) + int64(30*float64(m)*float64(k)*math.Log(float64(n)))
+	c := mpc.NewCluster(m, 3, mpc.WithCommCap(cap))
+	res, err := Run(c, in, 12.0, Config{K: k, Delta: 0.5})
+	if err != nil {
+		t.Fatalf("k-bounded MIS exceeded the Õ(n/m + mk) communication cap (%d words): %v", cap, err)
+	}
+	verifyKBounded(t, in, 12.0, k, res)
+}
+
+// Exhausting the iteration budget must engage the gather fallback and
+// still return a valid k-bounded MIS.
+func TestFallbackGatherStillCorrect(t *testing.T) {
+	pts := workload.Line(300)
+	in := makeInstance(pts, 4)
+	c := mpc.NewCluster(4, 3)
+	k := 300 // force a full MIS, unreachable in one iteration
+	res, err := Run(c, in, 1.0, Config{K: k, MaxIterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exit != ExitFallbackGather {
+		t.Fatalf("exit = %s, want fallback-gather", res.Exit)
+	}
+	verifyKBounded(t, in, 1.0, k, res)
+}

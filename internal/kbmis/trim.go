@@ -1,0 +1,118 @@
+// Package kbmis implements Algorithm 4 of the paper: computing a
+// k-bounded maximal independent set (Definition 1) in a threshold graph in
+// a constant number of MPC rounds — the paper's primary contribution.
+//
+// A k-bounded MIS is either a maximal independent set of size at most k,
+// or an independent set of size exactly k. The algorithm interleaves the
+// degree-approximation primitive (Algorithm 3, package degree) with a
+// localized variant of Luby's algorithm: every machine draws m independent
+// samples, keeping each vertex v with probability 1/(2p_v); the central
+// machine repeatedly trims a sample down to its local maxima and removes
+// the resulting independent set together with its neighborhood. A pruning
+// step (Theorem 14) guards the Õ(mk) communication bound: when the
+// expected sample size is large, an independent set of size k already
+// exists inside the trimmed samples w.h.p. and the run terminates without
+// shipping them.
+package kbmis
+
+import (
+	"parclust/internal/metric"
+)
+
+// weighted is a vertex with its degree estimate, the unit the trim
+// operator works on.
+type weighted struct {
+	id int
+	pt metric.Point
+	w  float64
+}
+
+// trim implements the paper's local Luby step:
+//
+//	trim(S) = { v ∈ S : p_v > p_u for all u ∈ N(v) ∩ S }
+//
+// with ties broken by global id (a vertex survives against an equal-weight
+// neighbor iff its id is larger). The paper's strict rule can return the
+// empty set on equal-weight cliques, stalling the outer loop; the
+// tie-break preserves the independence of the output — two adjacent
+// survivors would each need the (strictly) greater (w, id) pair — and
+// guarantees a non-empty result on non-empty input. Ablation A1 measures
+// the difference. Duplicate ids in s are collapsed (first occurrence wins).
+func trim(space metric.Space, tau float64, s []weighted) []weighted {
+	s = dedupByID(s)
+	var out []weighted
+	for i, v := range s {
+		keep := true
+		for j, u := range s {
+			if i == j {
+				continue
+			}
+			if space.Dist(v.pt, u.pt) <= tau && !beats(v, u) {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// trimStrict is the paper's literal rule (strictly greater weight, no
+// tie-break), kept for ablation A1.
+func trimStrict(space metric.Space, tau float64, s []weighted) []weighted {
+	s = dedupByID(s)
+	var out []weighted
+	for i, v := range s {
+		keep := true
+		for j, u := range s {
+			if i == j {
+				continue
+			}
+			if space.Dist(v.pt, u.pt) <= tau && v.w <= u.w {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// beats reports whether v survives against adjacent u under the
+// tie-broken ordering.
+func beats(v, u weighted) bool {
+	if v.w != u.w {
+		return v.w > u.w
+	}
+	return v.id > u.id
+}
+
+// dedupByID removes duplicate vertex ids, keeping first occurrences.
+func dedupByID(s []weighted) []weighted {
+	seen := make(map[int]bool, len(s))
+	out := s[:0:0]
+	for _, v := range s {
+		if !seen[v.id] {
+			seen[v.id] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// independentIn reports whether the vertices form an independent set in
+// G_tau (used by internal assertions and tests).
+func independentIn(space metric.Space, tau float64, s []weighted) bool {
+	for i := 0; i < len(s); i++ {
+		for j := i + 1; j < len(s); j++ {
+			if s[i].id != s[j].id && space.Dist(s[i].pt, s[j].pt) <= tau {
+				return false
+			}
+		}
+	}
+	return true
+}

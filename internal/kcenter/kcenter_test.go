@@ -1,0 +1,191 @@
+package kcenter
+
+import (
+	"testing"
+
+	"parclust/internal/instance"
+	"parclust/internal/metric"
+	"parclust/internal/mpc"
+	"parclust/internal/rng"
+	"parclust/internal/seq"
+	"parclust/internal/workload"
+)
+
+func makeInstance(pts []metric.Point, m int) *instance.Instance {
+	return instance.New(metric.L2{}, workload.PartitionRoundRobin(nil, pts, m))
+}
+
+func TestRejectsBadInput(t *testing.T) {
+	c := mpc.NewCluster(2, 1)
+	if _, err := Solve(c, makeInstance(workload.Line(5), 2), Config{K: 0}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := Solve(c, makeInstance(nil, 2), Config{K: 2}); err == nil {
+		t.Fatal("empty accepted")
+	}
+}
+
+func TestKGEN(t *testing.T) {
+	in := makeInstance(workload.Line(5), 2)
+	c := mpc.NewCluster(2, 1)
+	res, err := Solve(c, in, Config{K: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centers) != 5 || res.Radius != 0 {
+		t.Fatalf("k>=n: %+v", res)
+	}
+}
+
+func TestAllDuplicates(t *testing.T) {
+	pts := make([]metric.Point, 10)
+	for i := range pts {
+		pts[i] = metric.Point{3}
+	}
+	in := makeInstance(pts, 2)
+	c := mpc.NewCluster(2, 1)
+	res, err := Solve(c, in, Config{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Radius != 0 {
+		t.Fatalf("duplicates radius %v", res.Radius)
+	}
+}
+
+func TestCentersWithinK(t *testing.T) {
+	r := rng.New(1)
+	pts := workload.UniformCube(r, 300, 2, 100)
+	in := makeInstance(pts, 4)
+	c := mpc.NewCluster(4, 9)
+	res, err := Solve(c, in, Config{K: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centers) == 0 || len(res.Centers) > 6 {
+		t.Fatalf("center count %d", len(res.Centers))
+	}
+	if res.Radius > res.RadiusBound+1e-9 {
+		t.Fatalf("measured radius %v exceeds certified bound %v", res.Radius, res.RadiusBound)
+	}
+}
+
+// Theorem 17: radius ≤ 2(1+ε)·opt, verified by brute force on tiny
+// instances across seeds and metrics.
+func TestApproximationFactorTiny(t *testing.T) {
+	r := rng.New(2)
+	spaces := []metric.Space{metric.L2{}, metric.L1{}, metric.LInf{}}
+	for trial := 0; trial < 25; trial++ {
+		space := spaces[trial%len(spaces)]
+		pts := workload.UniformCube(r, 12, 2, 100)
+		in := instance.New(space, workload.PartitionRoundRobin(nil, pts, 3))
+		c := mpc.NewCluster(3, uint64(trial))
+		eps := 0.2
+		res, err := Solve(c, in, Config{K: 3, Eps: eps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, _ := seq.ExactKCenter(space, pts, 3)
+		if res.Radius > 2*(1+eps)*opt+1e-9 {
+			t.Fatalf("trial %d (%s): radius %v > 2(1+ε)·opt = %v",
+				trial, space.Name(), res.Radius, 2*(1+eps)*opt)
+		}
+		// R4 certificate: opt ∈ [r/4, r].
+		if opt > res.R4+1e-9 || opt < res.R4/4-1e-9 {
+			t.Fatalf("trial %d: R4 certificate broken: r=%v opt=%v", trial, res.R4, opt)
+		}
+	}
+}
+
+// Against the certified lower bound at larger scale: the measured radius
+// never exceeds 2(1+ε) times the GMM-based lower bound times 2 (the bound
+// itself is a 2-approximation of opt from below).
+func TestQualityAgainstLowerBound(t *testing.T) {
+	r := rng.New(3)
+	for _, fam := range workload.Families() {
+		pts := fam.Gen(r, 400)
+		in := makeInstance(pts, 4)
+		c := mpc.NewCluster(4, 7)
+		eps := 0.1
+		res, err := Solve(c, in, Config{K: 8, Eps: eps})
+		if err != nil {
+			t.Fatalf("%s: %v", fam.Name, err)
+		}
+		lb := seq.KCenterLowerBound(metric.L2{}, pts, 8)
+		if lb > 0 && res.Radius > 2*(1+eps)*2*lb+1e-9 {
+			t.Fatalf("%s: radius %v > 4(1+ε)·lb = %v", fam.Name, res.Radius, 4*(1+eps)*lb)
+		}
+	}
+}
+
+func TestSeparatedClustersFindStructure(t *testing.T) {
+	// k well-separated unit-σ Gaussians: the optimal radius is a few σ;
+	// any correct (2+ε)-approximation must land well under the cluster
+	// separation.
+	r := rng.New(4)
+	pts := workload.GaussianMixture(r, 500, 2, 5, 100000, 1)
+	in := makeInstance(pts, 5)
+	c := mpc.NewCluster(5, 11)
+	res, err := Solve(c, in, Config{K: 5, Eps: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Optimal radius is O(σ·√log n) ≈ single digits; separation is ~10^5.
+	if res.Radius > 100 {
+		t.Fatalf("radius %v on well-separated mixture; clustering failed", res.Radius)
+	}
+}
+
+func TestProbesLogarithmic(t *testing.T) {
+	r := rng.New(5)
+	pts := workload.UniformCube(r, 250, 2, 100)
+	in := makeInstance(pts, 4)
+	c := mpc.NewCluster(4, 3)
+	res, err := Solve(c, in, Config{K: 5, Eps: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Probes > 7 {
+		t.Fatalf("%d probes", res.Probes)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	r := rng.New(6)
+	pts := workload.UniformCube(r, 150, 2, 50)
+	run := func() ([]int, float64) {
+		in := makeInstance(pts, 3)
+		c := mpc.NewCluster(3, 55)
+		res, err := Solve(c, in, Config{K: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.IDs, res.Radius
+	}
+	aIDs, aR := run()
+	bIDs, bR := run()
+	if aR != bR || len(aIDs) != len(bIDs) {
+		t.Fatal("nondeterministic")
+	}
+	for i := range aIDs {
+		if aIDs[i] != bIDs[i] {
+			t.Fatal("nondeterministic ids")
+		}
+	}
+}
+
+func TestSingleMachine(t *testing.T) {
+	r := rng.New(7)
+	pts := workload.UniformCube(r, 60, 2, 10)
+	in := makeInstance(pts, 1)
+	c := mpc.NewCluster(1, 1)
+	res, err := Solve(c, in, Config{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, _ := seq.ExactKCenter(metric.L2{}, pts[:0:0], 3)
+	_ = opt // brute force over 60 points is too slow; just sanity-check shape
+	if len(res.Centers) > 3 || res.Radius <= 0 {
+		t.Fatalf("single machine: %+v", res)
+	}
+}

@@ -1,0 +1,239 @@
+// Package kdtree provides a k-d tree over Euclidean points: exact
+// nearest-neighbor, k-nearest and range queries in expected O(log n) per
+// query on low-dimensional data.
+//
+// The MPC algorithms themselves only use the abstract distance oracle
+// (they must work in any metric), but the surrounding tooling — assigning
+// points to centers in examples, weighting outlier coresets, analysis
+// scripts — does many L2 nearest queries over static point sets, where a
+// k-d tree replaces O(n) scans.
+package kdtree
+
+import (
+	"math"
+	"sort"
+
+	"parclust/internal/metric"
+)
+
+// Tree is an immutable k-d tree over a fixed point slice. It stores
+// indices into the original slice; queries return those indices.
+type Tree struct {
+	pts  []metric.Point
+	dim  int
+	root *node
+}
+
+type node struct {
+	idx         int // index of the splitting point
+	axis        int
+	left, right *node
+}
+
+// Build constructs a tree over pts (which must be non-empty and share one
+// dimensionality; Build panics otherwise, matching slice-index behaviour
+// of misuse elsewhere). The input slice is not modified.
+func Build(pts []metric.Point) *Tree {
+	if len(pts) == 0 {
+		panic("kdtree: empty point set")
+	}
+	dim := len(pts[0])
+	for _, p := range pts {
+		if len(p) != dim {
+			panic("kdtree: ragged dimensions")
+		}
+	}
+	idx := make([]int, len(pts))
+	for i := range idx {
+		idx[i] = i
+	}
+	t := &Tree{pts: pts, dim: dim}
+	t.root = t.build(idx, 0)
+	return t
+}
+
+func (t *Tree) build(idx []int, depth int) *node {
+	if len(idx) == 0 {
+		return nil
+	}
+	axis := depth % t.dim
+	sort.Slice(idx, func(a, b int) bool {
+		pa, pb := t.pts[idx[a]], t.pts[idx[b]]
+		if pa[axis] != pb[axis] {
+			return pa[axis] < pb[axis]
+		}
+		return idx[a] < idx[b] // stable, deterministic layout
+	})
+	mid := len(idx) / 2
+	n := &node{idx: idx[mid], axis: axis}
+	left := append([]int(nil), idx[:mid]...)
+	right := append([]int(nil), idx[mid+1:]...)
+	n.left = t.build(left, depth+1)
+	n.right = t.build(right, depth+1)
+	return n
+}
+
+// Len returns the number of indexed points.
+func (t *Tree) Len() int { return len(t.pts) }
+
+// Nearest returns the index of the point closest to q and its distance.
+func (t *Tree) Nearest(q metric.Point) (int, float64) {
+	best, bestD := -1, math.Inf(1)
+	t.nearest(t.root, q, &best, &bestD)
+	return best, bestD
+}
+
+func (t *Tree) nearest(n *node, q metric.Point, best *int, bestD *float64) {
+	if n == nil {
+		return
+	}
+	d := (metric.L2{}).Dist(q, t.pts[n.idx])
+	if d < *bestD || (d == *bestD && (*best == -1 || n.idx < *best)) {
+		*best, *bestD = n.idx, d
+	}
+	diff := q[n.axis] - t.pts[n.idx][n.axis]
+	near, far := n.left, n.right
+	if diff > 0 {
+		near, far = n.right, n.left
+	}
+	t.nearest(near, q, best, bestD)
+	if math.Abs(diff) <= *bestD {
+		t.nearest(far, q, best, bestD)
+	}
+}
+
+// KNearest returns the k nearest indices to q in ascending distance
+// order, with their distances (fewer if the tree holds fewer points).
+func (t *Tree) KNearest(q metric.Point, k int) ([]int, []float64) {
+	if k <= 0 {
+		return nil, nil
+	}
+	h := &maxHeap{}
+	t.knearest(t.root, q, k, h)
+	// Drain the max-heap into ascending order.
+	out := make([]heapItem, len(h.items))
+	copy(out, h.items)
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].dist != out[b].dist {
+			return out[a].dist < out[b].dist
+		}
+		return out[a].idx < out[b].idx
+	})
+	idxs := make([]int, len(out))
+	dists := make([]float64, len(out))
+	for i, it := range out {
+		idxs[i] = it.idx
+		dists[i] = it.dist
+	}
+	return idxs, dists
+}
+
+func (t *Tree) knearest(n *node, q metric.Point, k int, h *maxHeap) {
+	if n == nil {
+		return
+	}
+	d := (metric.L2{}).Dist(q, t.pts[n.idx])
+	if h.Len() < k {
+		h.Push(heapItem{idx: n.idx, dist: d})
+	} else if top := h.Peek(); d < top.dist || (d == top.dist && n.idx < top.idx) {
+		h.Pop()
+		h.Push(heapItem{idx: n.idx, dist: d})
+	}
+	diff := q[n.axis] - t.pts[n.idx][n.axis]
+	near, far := n.left, n.right
+	if diff > 0 {
+		near, far = n.right, n.left
+	}
+	t.knearest(near, q, k, h)
+	if h.Len() < k || math.Abs(diff) <= h.Peek().dist {
+		t.knearest(far, q, k, h)
+	}
+}
+
+// InRange returns the indices of all points within distance r of q, in
+// ascending index order.
+func (t *Tree) InRange(q metric.Point, r float64) []int {
+	var out []int
+	t.inRange(t.root, q, r, &out)
+	sort.Ints(out)
+	return out
+}
+
+func (t *Tree) inRange(n *node, q metric.Point, r float64, out *[]int) {
+	if n == nil {
+		return
+	}
+	if (metric.L2{}).Dist(q, t.pts[n.idx]) <= r {
+		*out = append(*out, n.idx)
+	}
+	diff := q[n.axis] - t.pts[n.idx][n.axis]
+	if diff <= r {
+		t.inRange(n.left, q, r, out)
+	}
+	if -diff <= r {
+		t.inRange(n.right, q, r, out)
+	}
+}
+
+// heapItem / maxHeap: a tiny max-heap on distance for KNearest.
+type heapItem struct {
+	idx  int
+	dist float64
+}
+
+type maxHeap struct {
+	items []heapItem
+}
+
+// Len returns the heap size.
+func (h *maxHeap) Len() int { return len(h.items) }
+
+// Peek returns the current farthest item without removing it.
+func (h *maxHeap) Peek() heapItem { return h.items[0] }
+
+func (h *maxHeap) less(a, b int) bool {
+	if h.items[a].dist != h.items[b].dist {
+		return h.items[a].dist > h.items[b].dist // max-heap on distance
+	}
+	return h.items[a].idx > h.items[b].idx
+}
+
+// Push inserts an item, sifting up.
+func (h *maxHeap) Push(it heapItem) {
+	h.items = append(h.items, it)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.less(i, parent) {
+			h.items[i], h.items[parent] = h.items[parent], h.items[i]
+			i = parent
+		} else {
+			break
+		}
+	}
+}
+
+// Pop removes and returns the farthest item, sifting down.
+func (h *maxHeap) Pop() heapItem {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < len(h.items) && h.less(l, largest) {
+			largest = l
+		}
+		if r < len(h.items) && h.less(r, largest) {
+			largest = r
+		}
+		if largest == i {
+			break
+		}
+		h.items[i], h.items[largest] = h.items[largest], h.items[i]
+		i = largest
+	}
+	return top
+}

@@ -1,0 +1,197 @@
+package kdtree
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"parclust/internal/metric"
+	"parclust/internal/rng"
+	"parclust/internal/workload"
+)
+
+func bruteNearest(pts []metric.Point, q metric.Point) (int, float64) {
+	best, bestD := -1, math.Inf(1)
+	for i, p := range pts {
+		if d := (metric.L2{}).Dist(q, p); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best, bestD
+}
+
+func bruteRange(pts []metric.Point, q metric.Point, r float64) []int {
+	var out []int
+	for i, p := range pts {
+		if (metric.L2{}).Dist(q, p) <= r {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func TestBuildPanics(t *testing.T) {
+	assertPanics := func(fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		fn()
+	}
+	assertPanics(func() { Build(nil) })
+	assertPanics(func() { Build([]metric.Point{{1, 2}, {3}}) })
+}
+
+func TestNearestSmall(t *testing.T) {
+	pts := []metric.Point{{0, 0}, {10, 0}, {0, 10}, {10, 10}}
+	tree := Build(pts)
+	if tree.Len() != 4 {
+		t.Fatalf("Len = %d", tree.Len())
+	}
+	idx, d := tree.Nearest(metric.Point{9, 9})
+	if idx != 3 || math.Abs(d-math.Sqrt2) > 1e-12 {
+		t.Fatalf("Nearest = (%d, %v)", idx, d)
+	}
+	// Query exactly on a point.
+	idx, d = tree.Nearest(metric.Point{10, 0})
+	if idx != 1 || d != 0 {
+		t.Fatalf("exact-hit Nearest = (%d, %v)", idx, d)
+	}
+}
+
+func TestNearestMatchesBrute(t *testing.T) {
+	r := rng.New(1)
+	pts := workload.UniformCube(r, 500, 3, 100)
+	tree := Build(pts)
+	for trial := 0; trial < 300; trial++ {
+		q := metric.Point{r.Float64() * 100, r.Float64() * 100, r.Float64() * 100}
+		gi, gd := tree.Nearest(q)
+		bi, bd := bruteNearest(pts, q)
+		if math.Abs(gd-bd) > 1e-9 {
+			t.Fatalf("trial %d: tree dist %v vs brute %v (idx %d vs %d)", trial, gd, bd, gi, bi)
+		}
+	}
+}
+
+func TestInRangeMatchesBrute(t *testing.T) {
+	r := rng.New(2)
+	pts := workload.UniformCube(r, 300, 2, 50)
+	tree := Build(pts)
+	for trial := 0; trial < 100; trial++ {
+		q := metric.Point{r.Float64() * 50, r.Float64() * 50}
+		radius := r.Float64() * 20
+		got := tree.InRange(q, radius)
+		want := bruteRange(pts, q, radius)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: range sizes %d vs %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: range sets differ at %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestKNearestMatchesBrute(t *testing.T) {
+	r := rng.New(3)
+	pts := workload.UniformCube(r, 200, 2, 50)
+	tree := Build(pts)
+	for trial := 0; trial < 100; trial++ {
+		q := metric.Point{r.Float64() * 50, r.Float64() * 50}
+		k := 1 + r.Intn(10)
+		idxs, dists := tree.KNearest(q, k)
+		if len(idxs) != k {
+			t.Fatalf("trial %d: got %d results for k=%d", trial, len(idxs), k)
+		}
+		// Distances must be ascending and match the brute-force k-th
+		// order statistic.
+		var all []float64
+		for _, p := range pts {
+			all = append(all, (metric.L2{}).Dist(q, p))
+		}
+		sort.Float64s(all)
+		for i := 0; i < k; i++ {
+			if i > 0 && dists[i] < dists[i-1]-1e-12 {
+				t.Fatalf("trial %d: distances not ascending: %v", trial, dists)
+			}
+			if math.Abs(dists[i]-all[i]) > 1e-9 {
+				t.Fatalf("trial %d: k-nearest[%d] = %v, brute %v", trial, i, dists[i], all[i])
+			}
+		}
+	}
+}
+
+func TestKNearestEdge(t *testing.T) {
+	pts := []metric.Point{{0}, {1}, {2}}
+	tree := Build(pts)
+	if idxs, _ := tree.KNearest(metric.Point{0}, 0); idxs != nil {
+		t.Fatalf("k=0 returned %v", idxs)
+	}
+	idxs, _ := tree.KNearest(metric.Point{0}, 10)
+	if len(idxs) != 3 {
+		t.Fatalf("k>n returned %d results", len(idxs))
+	}
+}
+
+func TestDuplicatePoints(t *testing.T) {
+	pts := []metric.Point{{5, 5}, {5, 5}, {5, 5}, {1, 1}}
+	tree := Build(pts)
+	idx, d := tree.Nearest(metric.Point{5, 5})
+	if d != 0 {
+		t.Fatalf("duplicate nearest dist %v", d)
+	}
+	_ = idx
+	in := tree.InRange(metric.Point{5, 5}, 0)
+	if len(in) != 3 {
+		t.Fatalf("duplicates in range: %v", in)
+	}
+}
+
+func TestSingleton(t *testing.T) {
+	tree := Build([]metric.Point{{7}})
+	idx, d := tree.Nearest(metric.Point{10})
+	if idx != 0 || d != 3 {
+		t.Fatalf("singleton: (%d, %v)", idx, d)
+	}
+}
+
+// Property: Nearest always agrees with brute force on distance.
+func TestNearestProperty(t *testing.T) {
+	r := rng.New(4)
+	f := func(nRaw, dimRaw uint8) bool {
+		n := int(nRaw%60) + 1
+		dim := int(dimRaw%4) + 1
+		pts := workload.UniformCube(r, n, dim, 10)
+		tree := Build(pts)
+		q := make(metric.Point, dim)
+		for i := range q {
+			q[i] = r.Float64() * 10
+		}
+		_, gd := tree.Nearest(q)
+		_, bd := bruteNearest(pts, q)
+		return math.Abs(gd-bd) <= 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkNearestTreeVsBrute(b *testing.B) {
+	r := rng.New(1)
+	pts := workload.UniformCube(r, 20000, 3, 100)
+	tree := Build(pts)
+	queries := workload.UniformCube(r, 1000, 3, 100)
+	b.Run("kdtree", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tree.Nearest(queries[i%len(queries)])
+		}
+	})
+	b.Run("brute", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			bruteNearest(pts, queries[i%len(queries)])
+		}
+	})
+}

@@ -1,0 +1,288 @@
+// Package ksupplier implements Algorithm 6 of the paper: a (3+ε)-approx
+// MPC algorithm for the k-supplier problem in any metric space, in
+// O(log 1/ε) MPC rounds — essentially optimal given the approximability
+// lower bound of 3 (Hochbaum–Shmoys).
+//
+// Customers C and suppliers S are both partitioned over the machines.
+// Two rounds of distributed GMM over the customers plus a supplier probe
+// give a 9-approximation r = r(C,Q) + r(Q,S); ascending the ladder
+// τ_i = (r/9)(1+ε)^i, the algorithm finds the smallest threshold at which
+// a (k+1)-bounded MIS of the customer graph G_{2τ} is both small enough
+// (≤ k) and fully serviceable by suppliers within τ. Opening the nearest
+// supplier to each MIS member covers every customer within 3τ_j ≤
+// 3(1+ε)·opt.
+package ksupplier
+
+import (
+	"fmt"
+	"math"
+
+	"parclust/internal/coreset"
+	"parclust/internal/instance"
+	"parclust/internal/kbmis"
+	"parclust/internal/metric"
+	"parclust/internal/mpc"
+	"parclust/internal/search"
+)
+
+// Config parameterizes the k-supplier algorithm.
+type Config struct {
+	// K is the number of suppliers to open.
+	K int
+	// Eps is the ladder resolution: the approximation factor is 3(1+Eps).
+	// Defaults to 0.1.
+	Eps float64
+	// MIS configures the inner k-bounded MIS runs; its K field is
+	// overwritten with k+1.
+	MIS kbmis.Config
+}
+
+func (c Config) withDefaults() Config {
+	if c.Eps <= 0 {
+		c.Eps = 0.1
+	}
+	return c
+}
+
+// Result is a k-supplier solution.
+type Result struct {
+	// Suppliers is the set of opened suppliers (size ≤ K); IDs the
+	// matching global supplier ids.
+	Suppliers []metric.Point
+	IDs       []int
+	// Radius is the measured covering radius r(C, Suppliers).
+	Radius float64
+	// RadiusBound is the certified bound 3·τ_j.
+	RadiusBound float64
+	// R9 is the 9-approximation r = r(C,Q) + r(Q,S): the optimum lies in
+	// [R9/9, R9].
+	R9 float64
+	// LadderIndex is the chosen index j; LadderSize is t.
+	LadderIndex int
+	LadderSize  int
+	// Probes counts ladder probes (each a (k+1)-bounded MIS plus a
+	// supplier-distance check).
+	Probes int
+}
+
+// Solve runs Algorithm 6 with customers inC and suppliers inS, both
+// partitioned over the machines of c.
+func Solve(c *mpc.Cluster, inC, inS *instance.Instance, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	k := cfg.K
+	if k < 1 {
+		return nil, fmt.Errorf("ksupplier: k = %d, need k >= 1", k)
+	}
+	if inS.N == 0 {
+		return nil, fmt.Errorf("ksupplier: no suppliers")
+	}
+	if c.NumMachines() != inC.Machines() || c.NumMachines() != inS.Machines() {
+		return nil, fmt.Errorf("ksupplier: cluster/instance machine counts disagree")
+	}
+	if inC.N == 0 {
+		// No customers: any single supplier is an optimal (radius-0)
+		// solution.
+		for i := range inS.Parts {
+			if len(inS.Parts[i]) > 0 {
+				return &Result{
+					Suppliers: inS.Parts[i][:1],
+					IDs:       inS.IDs[i][:1],
+				}, nil
+			}
+		}
+	}
+
+	// Lines 1–2: distributed GMM over the customers.
+	cs, err := coreset.Collect(c, inC, k)
+	if err != nil {
+		return nil, err
+	}
+	q := cs.Central
+
+	// Line 3: r = r(C, Q) + r(Q, S).
+	rCQ, err := coreset.BroadcastRadius(c, inC, q)
+	if err != nil {
+		return nil, err
+	}
+	qDists, qSup, qSupIDs, err := nearestSuppliers(c, inS, q)
+	if err != nil {
+		return nil, err
+	}
+	rQS := 0.0
+	for _, d := range qDists {
+		if d > rQS {
+			rQS = d
+		}
+	}
+	r := rCQ + rQS
+	res := &Result{R9: r}
+	if r == 0 {
+		// Every customer coincides with Q and Q with suppliers: radius 0.
+		res.Suppliers, res.IDs = dedupSuppliers(qSup, qSupIDs)
+		return res, nil
+	}
+
+	// Line 4: ascending ladder τ_i = (r/9)·(1+ε)^i, i = 0..t.
+	t := int(math.Ceil(math.Log(9) / math.Log(1+cfg.Eps)))
+	res.LadderSize = t
+	tau := func(i int) float64 { return r / 9 * math.Pow(1+cfg.Eps, float64(i)) }
+
+	// Lines 5–6: probe(i) checks |M_i| ≤ k and r(M_i, S) ≤ τ_i, where
+	// M_i is a (k+1)-bounded MIS of the customer graph G_{2τ_i}
+	// (M_t = Q, which always qualifies: |Q| ≤ k and r(Q,S) ≤ r ≤ τ_t).
+	type probeHit struct {
+		supPts []metric.Point
+		supIDs []int
+	}
+	hits := make(map[int]probeHit)
+	hits[t] = probeHit{supPts: qSup, supIDs: qSupIDs}
+	probe := func(i int) (bool, error) {
+		if i == t {
+			return true, nil
+		}
+		misCfg := cfg.MIS
+		misCfg.K = k + 1
+		mres, err := kbmis.Run(c, inC, 2*tau(i), misCfg)
+		if err != nil {
+			return false, err
+		}
+		res.Probes++
+		if !(mres.Maximal && len(mres.IDs) <= k) {
+			return false, nil
+		}
+		dists, supPts, supIDs, err := nearestSuppliers(c, inS, mres.Points)
+		if err != nil {
+			return false, err
+		}
+		for _, d := range dists {
+			if d > tau(i) {
+				return false, nil
+			}
+		}
+		hits[i] = probeHit{supPts: supPts, supIDs: supIDs}
+		return true, nil
+	}
+
+	// Line 6: smallest qualifying j, found by boundary search.
+	j := t
+	ok0, err := probe(0)
+	if err != nil {
+		return nil, err
+	}
+	if ok0 {
+		j = 0
+	} else if t > 0 {
+		j, err = search.BoundaryUp(0, t, probe)
+		if err != nil {
+			return nil, err
+		}
+	}
+	res.LadderIndex = j
+	res.RadiusBound = 3 * tau(j)
+
+	// Line 8: open the suppliers realizing r(M_j, S) ≤ τ_j.
+	hit := hits[j]
+	res.Suppliers, res.IDs = dedupSuppliers(hit.supPts, hit.supIDs)
+	radius, err := coreset.BroadcastRadius(c, inC, res.Suppliers)
+	if err != nil {
+		return nil, err
+	}
+	res.Radius = radius
+	return res, nil
+}
+
+// nearestSuppliers finds, for every query point, the globally nearest
+// supplier, in three MPC rounds: the central machine broadcasts the
+// queries, every machine answers with its local per-query nearest
+// supplier, and the central machine reduces. It returns the per-query
+// distances and the matching supplier points/ids.
+func nearestSuppliers(c *mpc.Cluster, inS *instance.Instance, queries []metric.Point) ([]float64, []metric.Point, []int, error) {
+	err := c.Superstep("ksupplier/query-bcast", func(mc *mpc.Machine) error {
+		if mc.IsCentral() {
+			mc.BroadcastAll(mpc.Points{Pts: queries})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	err = c.Superstep("ksupplier/local-nearest", func(mc *mpc.Machine) error {
+		i := mc.ID()
+		qs := mpc.CollectPoints(mc.Inbox())
+		wp := mpc.WeightedPoints{Tag: i}
+		for _, qp := range qs {
+			best := math.Inf(1)
+			bestJ := -1
+			for j, sp := range inS.Parts[i] {
+				if d := inS.Space.Dist(qp, sp); d < best {
+					best = d
+					bestJ = j
+				}
+			}
+			wp.Ws = append(wp.Ws, best)
+			if bestJ >= 0 {
+				wp.IDs = append(wp.IDs, inS.IDs[i][bestJ])
+				wp.Pts = append(wp.Pts, inS.Parts[i][bestJ])
+			} else {
+				wp.IDs = append(wp.IDs, -1)
+				wp.Pts = append(wp.Pts, nil)
+			}
+		}
+		mc.SendCentral(wp)
+		return nil
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	nq := len(queries)
+	dists := make([]float64, nq)
+	supPts := make([]metric.Point, nq)
+	supIDs := make([]int, nq)
+	for t := range dists {
+		dists[t] = math.Inf(1)
+		supIDs[t] = -1
+	}
+	err = c.Superstep("ksupplier/reduce-nearest", func(mc *mpc.Machine) error {
+		if !mc.IsCentral() {
+			return nil
+		}
+		for _, msg := range mc.Inbox() {
+			wp, ok := msg.Payload.(mpc.WeightedPoints)
+			if !ok || len(wp.Ws) != nq {
+				continue
+			}
+			for t := 0; t < nq; t++ {
+				if wp.Ws[t] < dists[t] {
+					dists[t] = wp.Ws[t]
+					supPts[t] = wp.Pts[t]
+					supIDs[t] = wp.IDs[t]
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	for t := 0; t < nq; t++ {
+		if supIDs[t] == -1 {
+			return nil, nil, nil, fmt.Errorf("ksupplier: no supplier found for query %d", t)
+		}
+	}
+	return dists, supPts, supIDs, nil
+}
+
+// dedupSuppliers removes duplicate supplier ids, preserving order.
+func dedupSuppliers(pts []metric.Point, ids []int) ([]metric.Point, []int) {
+	seen := make(map[int]bool, len(ids))
+	var outP []metric.Point
+	var outI []int
+	for t, id := range ids {
+		if !seen[id] {
+			seen[id] = true
+			outP = append(outP, pts[t])
+			outI = append(outI, id)
+		}
+	}
+	return outP, outI
+}

@@ -1,0 +1,230 @@
+package ksupplier
+
+import (
+	"testing"
+	"testing/quick"
+
+	"parclust/internal/instance"
+	"parclust/internal/metric"
+	"parclust/internal/mpc"
+	"parclust/internal/rng"
+	"parclust/internal/seq"
+	"parclust/internal/workload"
+)
+
+func makeInstance(pts []metric.Point, m int) *instance.Instance {
+	return instance.New(metric.L2{}, workload.PartitionRoundRobin(nil, pts, m))
+}
+
+func TestRejectsBadInput(t *testing.T) {
+	c := mpc.NewCluster(2, 1)
+	cust := makeInstance(workload.Line(6), 2)
+	sup := makeInstance(workload.Line(4), 2)
+	if _, err := Solve(c, cust, sup, Config{K: 0}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := Solve(c, cust, makeInstance(nil, 2), Config{K: 2}); err == nil {
+		t.Fatal("no suppliers accepted")
+	}
+	if _, err := Solve(mpc.NewCluster(3, 1), cust, sup, Config{K: 2}); err == nil {
+		t.Fatal("machine mismatch accepted")
+	}
+}
+
+func TestNoCustomers(t *testing.T) {
+	c := mpc.NewCluster(2, 1)
+	res, err := Solve(c, makeInstance(nil, 2), makeInstance(workload.Line(4), 2), Config{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Suppliers) != 1 || res.Radius != 0 {
+		t.Fatalf("no customers: %+v", res)
+	}
+}
+
+func TestCoincidentCustomersSuppliers(t *testing.T) {
+	pts := workload.Line(8)
+	c := mpc.NewCluster(2, 1)
+	res, err := Solve(c, makeInstance(pts, 2), makeInstance(pts, 2), Config{K: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Radius != 0 {
+		t.Fatalf("coincident sets radius %v, want 0", res.Radius)
+	}
+}
+
+func TestSupplierCountWithinK(t *testing.T) {
+	r := rng.New(1)
+	cust := workload.UniformCube(r, 200, 2, 100)
+	sup := workload.UniformCube(r, 60, 2, 100)
+	c := mpc.NewCluster(4, 9)
+	res, err := Solve(c, makeInstance(cust, 4), makeInstance(sup, 4), Config{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Suppliers) == 0 || len(res.Suppliers) > 5 {
+		t.Fatalf("supplier count %d", len(res.Suppliers))
+	}
+	if res.Radius > res.RadiusBound+1e-9 {
+		t.Fatalf("radius %v exceeds certified bound %v", res.Radius, res.RadiusBound)
+	}
+	// Returned suppliers must be actual supplier points.
+	supIn := makeInstance(sup, 4)
+	for i, id := range res.IDs {
+		if p := supIn.PointByID(id); p == nil || !p.Equal(res.Suppliers[i]) {
+			t.Fatalf("returned supplier id %d is not a supplier point", id)
+		}
+	}
+}
+
+// Theorem 18: radius ≤ 3(1+ε)·opt, verified against brute force on tiny
+// instances.
+func TestApproximationFactorTiny(t *testing.T) {
+	r := rng.New(2)
+	for trial := 0; trial < 25; trial++ {
+		cust := workload.UniformCube(r, 10, 2, 100)
+		sup := workload.UniformCube(r, 8, 2, 100)
+		cIn := makeInstance(cust, 2)
+		sIn := makeInstance(sup, 2)
+		c := mpc.NewCluster(2, uint64(trial))
+		eps := 0.2
+		res, err := Solve(c, cIn, sIn, Config{K: 3, Eps: eps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, _ := seq.ExactKSupplier(metric.L2{}, cust, sup, 3)
+		if res.Radius > 3*(1+eps)*opt+1e-9 {
+			t.Fatalf("trial %d: radius %v > 3(1+ε)·opt = %v", trial, res.Radius, 3*(1+eps)*opt)
+		}
+		// R9 certificate: opt ∈ [r/9, r] — r/9 ≤ opt uses r ≤ 9·opt.
+		if res.R9 > 9*opt+1e-9 {
+			t.Fatalf("trial %d: R9=%v > 9·opt=%v", trial, res.R9, 9*opt)
+		}
+	}
+}
+
+func TestSeparatedStructure(t *testing.T) {
+	// Customers in 4 tight clusters; one supplier near each cluster and a
+	// few decoys far away. The algorithm must pick the near suppliers.
+	r := rng.New(3)
+	var cust []metric.Point
+	var sup []metric.Point
+	centers := []metric.Point{{0, 0}, {1000, 0}, {0, 1000}, {1000, 1000}}
+	for _, ctr := range centers {
+		for i := 0; i < 50; i++ {
+			cust = append(cust, metric.Point{ctr[0] + r.NormFloat64(), ctr[1] + r.NormFloat64()})
+		}
+		sup = append(sup, metric.Point{ctr[0] + 2, ctr[1] + 2})
+	}
+	// Decoy suppliers far from everything.
+	for i := 0; i < 10; i++ {
+		sup = append(sup, metric.Point{50000 + float64(i), 50000})
+	}
+	c := mpc.NewCluster(4, 7)
+	res, err := Solve(c, makeInstance(cust, 4), makeInstance(sup, 4), Config{K: 4, Eps: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Radius > 100 {
+		t.Fatalf("radius %v on separated instance; should be ~single digits", res.Radius)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	r := rng.New(4)
+	cust := workload.UniformCube(r, 120, 2, 50)
+	sup := workload.UniformCube(r, 40, 2, 50)
+	run := func() ([]int, float64) {
+		c := mpc.NewCluster(3, 77)
+		res, err := Solve(c, makeInstance(cust, 3), makeInstance(sup, 3), Config{K: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.IDs, res.Radius
+	}
+	aIDs, aR := run()
+	bIDs, bR := run()
+	if aR != bR || len(aIDs) != len(bIDs) {
+		t.Fatal("nondeterministic")
+	}
+	for i := range aIDs {
+		if aIDs[i] != bIDs[i] {
+			t.Fatal("nondeterministic ids")
+		}
+	}
+}
+
+func TestNearestSuppliersUnit(t *testing.T) {
+	sup := makeInstance([]metric.Point{{0}, {10}, {20}}, 2)
+	c := mpc.NewCluster(2, 1)
+	dists, pts, ids, err := nearestSuppliers(c, sup, []metric.Point{{1}, {19}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dists[0] != 1 || pts[0][0] != 0 {
+		t.Fatalf("query 0: %v %v", dists[0], pts[0])
+	}
+	if dists[1] != 1 || pts[1][0] != 20 {
+		t.Fatalf("query 1: %v %v", dists[1], pts[1])
+	}
+	if ids[0] == ids[1] {
+		t.Fatal("ids collide")
+	}
+}
+
+func TestNearestSuppliersEmptyMachine(t *testing.T) {
+	// One machine has no suppliers; the reduction must still find the
+	// global nearest.
+	parts := [][]metric.Point{{{5}}, {}}
+	sup := instance.New(metric.L2{}, parts)
+	c := mpc.NewCluster(2, 1)
+	dists, _, _, err := nearestSuppliers(c, sup, []metric.Point{{7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dists[0] != 2 {
+		t.Fatalf("dist = %v, want 2", dists[0])
+	}
+}
+
+func TestDedupSuppliers(t *testing.T) {
+	pts := []metric.Point{{1}, {2}, {1}}
+	ids := []int{10, 20, 10}
+	outP, outI := dedupSuppliers(pts, ids)
+	if len(outP) != 2 || outI[0] != 10 || outI[1] != 20 {
+		t.Fatalf("dedup: %v %v", outP, outI)
+	}
+}
+
+// Property: the distributed nearest-supplier reduction agrees with a
+// sequential scan for every query across random configurations.
+func TestNearestSuppliersMatchesBrute(t *testing.T) {
+	r := rng.New(61)
+	f := func(nsRaw, mRaw, nqRaw uint8, seed uint16) bool {
+		ns := int(nsRaw)%40 + 1
+		m := int(mRaw)%4 + 1
+		nq := int(nqRaw)%8 + 1
+		sup := workload.UniformCube(r, ns, 2, 50)
+		queries := workload.UniformCube(r, nq, 2, 50)
+		in := makeInstance(sup, m)
+		c := mpc.NewCluster(m, uint64(seed))
+		dists, pts, ids, err := nearestSuppliers(c, in, queries)
+		if err != nil {
+			return false
+		}
+		for t2, q := range queries {
+			_, want := metric.Nearest(metric.L2{}, q, sup)
+			if dists[t2] != want {
+				return false
+			}
+			if p := in.PointByID(ids[t2]); p == nil || !p.Equal(pts[t2]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

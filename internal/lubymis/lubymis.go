@@ -1,0 +1,180 @@
+// Package lubymis implements the classical distributed MIS algorithm of
+// Luby (1986) on threshold graphs, as a round-complexity baseline for the
+// paper's k-bounded MIS.
+//
+// Classic Luby runs O(log n) synchronous rounds: every active vertex
+// draws a random priority, joins the MIS if it beats all active
+// neighbors, and the closed neighborhood of joiners retires. Ported
+// naively to MPC over a threshold graph, every round must make all
+// active vertices visible to all machines (adjacency is a distance
+// computation, so a machine can only test its own vertices against
+// vertices it has seen), costing Θ(n·d) received words per machine per
+// round. That Θ(n) communication and Θ(log n) round bill is exactly what
+// Algorithm 4 of the paper eliminates — experiment A4 measures the
+// contrast.
+package lubymis
+
+import (
+	"fmt"
+
+	"parclust/internal/instance"
+	"parclust/internal/metric"
+	"parclust/internal/mpc"
+)
+
+// Result is a Luby MIS run.
+type Result struct {
+	// IDs / Points form a maximal independent set of G_tau.
+	IDs    []int
+	Points []metric.Point
+	// Rounds is the number of Luby iterations (each one MPC round here,
+	// since priorities piggyback on the vertex broadcast).
+	Rounds int
+}
+
+// Run computes a full maximal independent set of G_tau over in with the
+// classic Luby process. MaxRounds bounds the iterations (0 means 10·log₂ n
+// + 10, far beyond Luby's O(log n) w.h.p. bound); exceeding it returns an
+// error, which at these scales indicates a bug rather than bad luck.
+func Run(c *mpc.Cluster, in *instance.Instance, tau float64, maxRounds int) (*Result, error) {
+	if c.NumMachines() != in.Machines() {
+		return nil, fmt.Errorf("lubymis: cluster has %d machines, instance has %d parts",
+			c.NumMachines(), in.Machines())
+	}
+	if maxRounds <= 0 {
+		maxRounds = 10*log2ceil(in.N) + 10
+	}
+	m := in.Machines()
+
+	// Active vertices per machine (points + ids), shrinking in place.
+	parts := make([][]metric.Point, m)
+	ids := make([][]int, m)
+	for i := range in.Parts {
+		parts[i] = append([]metric.Point(nil), in.Parts[i]...)
+		ids[i] = append([]int(nil), in.IDs[i]...)
+	}
+	res := &Result{}
+
+	active := in.N
+	for round := 0; active > 0; round++ {
+		if round >= maxRounds {
+			return nil, fmt.Errorf("lubymis: did not converge in %d rounds", maxRounds)
+		}
+		res.Rounds++
+
+		// Each machine draws priorities for its active vertices and
+		// broadcasts (vertex, priority) to everyone.
+		prios := make([][]float64, m)
+		err := c.Superstep("luby/broadcast", func(mc *mpc.Machine) error {
+			i := mc.ID()
+			ps := make([]float64, len(parts[i]))
+			for t := range ps {
+				ps[t] = mc.RNG.Float64()
+			}
+			prios[i] = ps
+			mc.BroadcastAll(mpc.WeightedPoints{Tag: i, IDs: ids[i], Pts: parts[i], Ws: ps})
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		// Each machine decides, for its own vertices, whether they are
+		// local maxima among active neighbors, then removes the closed
+		// neighborhoods of the winners everywhere it can see them.
+		winnersPer := make([][]int, m)
+		winnerPtsPer := make([][]metric.Point, m)
+		err = c.Superstep("luby/decide", func(mc *mpc.Machine) error {
+			i := mc.ID()
+			var allIDs []int
+			var allPts []metric.Point
+			var allWs []float64
+			for _, msg := range mc.Inbox() {
+				if wp, ok := msg.Payload.(mpc.WeightedPoints); ok {
+					allIDs = append(allIDs, wp.IDs...)
+					allPts = append(allPts, wp.Pts...)
+					allWs = append(allWs, wp.Ws...)
+				}
+			}
+			mc.NoteMemory(int64(2*len(allIDs) + metric.TotalWords(allPts)))
+			for t, pt := range parts[i] {
+				id := ids[i][t]
+				prio := prios[i][t]
+				winner := true
+				for u := range allPts {
+					if allIDs[u] == id {
+						continue
+					}
+					if in.Space.Dist(pt, allPts[u]) <= tau &&
+						(allWs[u] > prio || (allWs[u] == prio && allIDs[u] > id)) {
+						winner = false
+						break
+					}
+				}
+				if winner {
+					winnersPer[i] = append(winnersPer[i], id)
+					winnerPtsPer[i] = append(winnerPtsPer[i], pt)
+				}
+			}
+			// Winners announce themselves for the removal step.
+			mc.BroadcastAll(mpc.IndexedPoints{IDs: winnersPer[i], Pts: winnerPtsPer[i]})
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		// Removal: every machine drops winners and their neighbors.
+		err = c.Superstep("luby/remove", func(mc *mpc.Machine) error {
+			i := mc.ID()
+			wIDs, wPts := mpc.CollectIndexed(mc.Inbox())
+			won := make(map[int]bool, len(wIDs))
+			for _, id := range wIDs {
+				won[id] = true
+			}
+			keptP := parts[i][:0]
+			keptI := ids[i][:0]
+			for t, pt := range parts[i] {
+				id := ids[i][t]
+				if won[id] {
+					continue
+				}
+				drop := false
+				for u, wp := range wPts {
+					if wIDs[u] != id && in.Space.Dist(pt, wp) <= tau {
+						drop = true
+						break
+					}
+				}
+				if !drop {
+					keptP = append(keptP, pt)
+					keptI = append(keptI, id)
+				}
+			}
+			parts[i] = keptP
+			ids[i] = keptI
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		for i := 0; i < m; i++ {
+			res.IDs = append(res.IDs, winnersPer[i]...)
+			res.Points = append(res.Points, winnerPtsPer[i]...)
+		}
+		active = 0
+		for i := 0; i < m; i++ {
+			active += len(parts[i])
+		}
+	}
+	return res, nil
+}
+
+func log2ceil(n int) int {
+	c := 0
+	for v := 1; v < n; v <<= 1 {
+		c++
+	}
+	return c
+}

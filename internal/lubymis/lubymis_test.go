@@ -1,0 +1,156 @@
+package lubymis
+
+import (
+	"testing"
+	"testing/quick"
+
+	"parclust/internal/instance"
+	"parclust/internal/metric"
+	"parclust/internal/mpc"
+	"parclust/internal/rng"
+	"parclust/internal/workload"
+)
+
+func makeInstance(pts []metric.Point, m int) *instance.Instance {
+	return instance.New(metric.L2{}, workload.PartitionRoundRobin(nil, pts, m))
+}
+
+func verifyMIS(t *testing.T, in *instance.Instance, tau float64, res *Result) {
+	t.Helper()
+	g, gids := in.Graph(tau)
+	pos := make(map[int]int, len(gids))
+	for v, id := range gids {
+		pos[id] = v
+	}
+	verts := make([]int, len(res.IDs))
+	seen := map[int]bool{}
+	for i, id := range res.IDs {
+		if seen[id] {
+			t.Fatalf("duplicate id %d", id)
+		}
+		seen[id] = true
+		verts[i] = pos[id]
+	}
+	if !g.IsMaximalIndependent(verts) {
+		t.Fatalf("Luby output not a maximal IS (size %d)", len(verts))
+	}
+}
+
+func TestLubyProducesMIS(t *testing.T) {
+	r := rng.New(1)
+	for _, tau := range []float64{0.5, 2, 8} {
+		pts := workload.UniformCube(r, 200, 2, 20)
+		in := makeInstance(pts, 4)
+		c := mpc.NewCluster(4, 9)
+		res, err := Run(c, in, tau, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		verifyMIS(t, in, tau, res)
+	}
+}
+
+func TestLubyEmptyGraph(t *testing.T) {
+	in := makeInstance(nil, 3)
+	c := mpc.NewCluster(3, 1)
+	res, err := Run(c, in, 1, 0)
+	if err != nil || len(res.IDs) != 0 || res.Rounds != 0 {
+		t.Fatalf("empty: %+v %v", res, err)
+	}
+}
+
+func TestLubyCompleteGraph(t *testing.T) {
+	r := rng.New(2)
+	pts := workload.UniformCube(r, 50, 2, 1)
+	in := makeInstance(pts, 4)
+	c := mpc.NewCluster(4, 3)
+	res, err := Run(c, in, 1000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IDs) != 1 {
+		t.Fatalf("complete graph MIS size %d", len(res.IDs))
+	}
+	if res.Rounds != 1 {
+		t.Fatalf("complete graph should finish in 1 round, took %d", res.Rounds)
+	}
+}
+
+func TestLubyMismatchRejected(t *testing.T) {
+	in := makeInstance(workload.Line(4), 2)
+	if _, err := Run(mpc.NewCluster(3, 1), in, 1, 0); err == nil {
+		t.Fatal("mismatch accepted")
+	}
+}
+
+func TestLubyLogarithmicRounds(t *testing.T) {
+	r := rng.New(4)
+	pts := workload.UniformCube(r, 600, 2, 30)
+	in := makeInstance(pts, 6)
+	c := mpc.NewCluster(6, 5)
+	res, err := Run(c, in, 2.0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyMIS(t, in, 2.0, res)
+	// O(log n) w.h.p.: log2(600) ≈ 9.2; allow a wide constant.
+	if res.Rounds > 30 {
+		t.Fatalf("Luby took %d rounds", res.Rounds)
+	}
+}
+
+func TestLubyDeterministic(t *testing.T) {
+	r := rng.New(5)
+	pts := workload.UniformCube(r, 150, 2, 10)
+	run := func() int {
+		in := makeInstance(pts, 3)
+		c := mpc.NewCluster(3, 77)
+		res, err := Run(c, in, 1.5, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(res.IDs)
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic: %d vs %d", a, b)
+	}
+}
+
+// Property: output is always a maximal IS across random configurations.
+func TestLubyAlwaysMISProperty(t *testing.T) {
+	r := rng.New(6)
+	f := func(nRaw, mRaw, tauRaw uint8, seed uint16) bool {
+		n := int(nRaw)%80 + 2
+		m := int(mRaw)%4 + 1
+		tau := float64(tauRaw%30)/10 + 0.1
+		pts := workload.UniformCube(r, n, 2, 8)
+		in := makeInstance(pts, m)
+		c := mpc.NewCluster(m, uint64(seed))
+		res, err := Run(c, in, tau, 0)
+		if err != nil {
+			return false
+		}
+		g, gids := in.Graph(tau)
+		pos := make(map[int]int, len(gids))
+		for v, id := range gids {
+			pos[id] = v
+		}
+		verts := make([]int, len(res.IDs))
+		for i, id := range res.IDs {
+			verts[i] = pos[id]
+		}
+		return g.IsMaximalIndependent(verts)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLog2Ceil(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 1024: 10, 1025: 11}
+	for n, want := range cases {
+		if got := log2ceil(n); got != want {
+			t.Fatalf("log2ceil(%d) = %d, want %d", n, got, want)
+		}
+	}
+}

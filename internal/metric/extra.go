@@ -1,0 +1,134 @@
+package metric
+
+import "math"
+
+// This file holds the additional metric spaces beyond the core set:
+// general Minkowski Lp, weighted L2, Jaccard over binary vectors, and
+// snowflake transforms. All satisfy the metric axioms (checked by the
+// property tests) and exercise the same oracle-only code paths.
+
+// Lp is the Minkowski metric with exponent P ≥ 1 (values below 1 do not
+// satisfy the triangle inequality and are rejected by NewLp).
+type Lp struct {
+	P float64
+}
+
+// NewLp returns the Lp metric, clamping exponents below 1 up to 1 so the
+// result is always a metric.
+func NewLp(p float64) Lp {
+	if p < 1 {
+		p = 1
+	}
+	return Lp{P: p}
+}
+
+// Dist returns (Σ |a_i − b_i|^p)^(1/p).
+func (l Lp) Dist(a, b Point) float64 {
+	if l.P == math.Inf(1) {
+		return LInf{}.Dist(a, b)
+	}
+	p := l.P
+	if p < 1 {
+		p = 1
+	}
+	var s float64
+	for i := range a {
+		s += math.Pow(math.Abs(a[i]-b[i]), p)
+	}
+	return math.Pow(s, 1/p)
+}
+
+// Name returns "lp(<exponent>)".
+func (l Lp) Name() string {
+	switch l.P {
+	case 1:
+		return "l1"
+	case 2:
+		return "l2"
+	}
+	return "lp"
+}
+
+// WeightedL2 is the Euclidean metric with per-dimension non-negative
+// weights: d(a,b) = sqrt(Σ w_i (a_i − b_i)²). With all weights 1 it is
+// plain L2; it models feature scaling in the retrieval use cases.
+type WeightedL2 struct {
+	W []float64
+}
+
+// Dist returns the weighted Euclidean distance (missing weights count as
+// 1; negative weights as 0).
+func (w WeightedL2) Dist(a, b Point) float64 {
+	var s float64
+	for i := range a {
+		wi := 1.0
+		if i < len(w.W) {
+			wi = w.W[i]
+			if wi < 0 {
+				wi = 0
+			}
+		}
+		d := a[i] - b[i]
+		s += wi * d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Name returns "weighted-l2".
+func (WeightedL2) Name() string { return "weighted-l2" }
+
+// Jaccard is the Jaccard distance over binary vectors (any non-zero
+// coordinate counts as membership): d = 1 − |A∩B| / |A∪B|, a metric
+// (Steinhaus). Two empty sets have distance 0.
+type Jaccard struct{}
+
+// Dist returns the Jaccard distance of the supports of a and b.
+func (Jaccard) Dist(a, b Point) float64 {
+	inter, union := 0, 0
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		av := i < len(a) && a[i] != 0
+		bv := i < len(b) && b[i] != 0
+		if av || bv {
+			union++
+			if av && bv {
+				inter++
+			}
+		}
+	}
+	if union == 0 {
+		return 0
+	}
+	return 1 - float64(inter)/float64(union)
+}
+
+// Name returns "jaccard".
+func (Jaccard) Name() string { return "jaccard" }
+
+// Snowflake wraps a metric with the α-snowflake transform d^α for
+// 0 < α ≤ 1, which preserves the metric axioms (concavity) while
+// compressing large distances — a standard stress test for algorithms
+// that must not assume Euclidean structure.
+type Snowflake struct {
+	Inner Space
+	Alpha float64
+}
+
+// NewSnowflake clamps alpha into (0, 1].
+func NewSnowflake(inner Space, alpha float64) Snowflake {
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.5
+	}
+	return Snowflake{Inner: inner, Alpha: alpha}
+}
+
+// Dist returns Inner.Dist(a,b)^Alpha.
+func (s Snowflake) Dist(a, b Point) float64 {
+	return math.Pow(s.Inner.Dist(a, b), s.Alpha)
+}
+
+// Name returns "snowflake(<inner>)".
+func (s Snowflake) Name() string { return "snowflake(" + s.Inner.Name() + ")" }

@@ -1,0 +1,117 @@
+package metric
+
+import (
+	"math"
+	"testing"
+
+	"parclust/internal/rng"
+)
+
+func TestLpAxioms(t *testing.T) {
+	for _, p := range []float64{1, 1.5, 2, 3, math.Inf(1)} {
+		checkAxioms(t, NewLp(p), func(r *rng.RNG) Point { return randomPoint(r, 4) })
+	}
+}
+
+func TestLpMatchesSpecialCases(t *testing.T) {
+	r := rng.New(1)
+	for trial := 0; trial < 100; trial++ {
+		a, b := randomPoint(r, 5), randomPoint(r, 5)
+		if d1, d2 := NewLp(1).Dist(a, b), (L1{}).Dist(a, b); math.Abs(d1-d2) > 1e-9 {
+			t.Fatalf("Lp(1) %v != L1 %v", d1, d2)
+		}
+		if d1, d2 := NewLp(2).Dist(a, b), (L2{}).Dist(a, b); math.Abs(d1-d2) > 1e-9 {
+			t.Fatalf("Lp(2) %v != L2 %v", d1, d2)
+		}
+		if d1, d2 := NewLp(math.Inf(1)).Dist(a, b), (LInf{}).Dist(a, b); math.Abs(d1-d2) > 1e-9 {
+			t.Fatalf("Lp(inf) %v != LInf %v", d1, d2)
+		}
+	}
+}
+
+func TestLpClampsBadExponent(t *testing.T) {
+	l := NewLp(0.3)
+	if l.P != 1 {
+		t.Fatalf("NewLp(0.3).P = %v", l.P)
+	}
+	if NewLp(1).Name() != "l1" || NewLp(2).Name() != "l2" || NewLp(3).Name() != "lp" {
+		t.Fatal("Lp names wrong")
+	}
+}
+
+func TestWeightedL2Axioms(t *testing.T) {
+	w := WeightedL2{W: []float64{1, 4, 0.25, 2}}
+	checkAxioms(t, w, func(r *rng.RNG) Point { return randomPoint(r, 4) })
+}
+
+func TestWeightedL2Known(t *testing.T) {
+	w := WeightedL2{W: []float64{4}}
+	if d := w.Dist(Point{0}, Point{3}); math.Abs(d-6) > 1e-12 {
+		t.Fatalf("weighted dist %v, want 6", d)
+	}
+	// Missing weights default to 1; negative weights clamp to 0.
+	w2 := WeightedL2{W: []float64{-5}}
+	if d := w2.Dist(Point{0, 0}, Point{3, 4}); math.Abs(d-4) > 1e-12 {
+		t.Fatalf("clamped dist %v, want 4", d)
+	}
+	if (WeightedL2{}).Name() != "weighted-l2" {
+		t.Fatal("name wrong")
+	}
+}
+
+func TestJaccardAxioms(t *testing.T) {
+	checkAxioms(t, Jaccard{}, func(r *rng.RNG) Point {
+		p := make(Point, 8)
+		for i := range p {
+			if r.Bernoulli(0.4) {
+				p[i] = 1
+			}
+		}
+		return p
+	})
+}
+
+func TestJaccardKnown(t *testing.T) {
+	j := Jaccard{}
+	if d := j.Dist(Point{1, 1, 0}, Point{1, 0, 1}); math.Abs(d-2.0/3) > 1e-12 {
+		t.Fatalf("jaccard %v, want 2/3", d)
+	}
+	if d := j.Dist(Point{0, 0}, Point{0, 0}); d != 0 {
+		t.Fatalf("jaccard empty-empty %v", d)
+	}
+	if d := j.Dist(Point{1}, Point{0}); d != 1 {
+		t.Fatalf("jaccard disjoint %v", d)
+	}
+	// Different lengths: shorter vector is zero-extended.
+	if d := j.Dist(Point{1}, Point{1, 1}); math.Abs(d-0.5) > 1e-12 {
+		t.Fatalf("jaccard ragged %v, want 0.5", d)
+	}
+}
+
+func TestSnowflakeAxioms(t *testing.T) {
+	for _, alpha := range []float64{0.25, 0.5, 1.0} {
+		s := NewSnowflake(L2{}, alpha)
+		checkAxioms(t, s, func(r *rng.RNG) Point { return randomPoint(r, 3) })
+	}
+}
+
+func TestSnowflakeClampAndName(t *testing.T) {
+	s := NewSnowflake(L1{}, -3)
+	if s.Alpha != 0.5 {
+		t.Fatalf("alpha clamp: %v", s.Alpha)
+	}
+	if s.Name() != "snowflake(l1)" {
+		t.Fatalf("name %q", s.Name())
+	}
+	s2 := NewSnowflake(L2{}, 2)
+	if s2.Alpha != 0.5 {
+		t.Fatalf("alpha>1 clamp: %v", s2.Alpha)
+	}
+}
+
+func TestSnowflakeCompresses(t *testing.T) {
+	s := NewSnowflake(L2{}, 0.5)
+	if d := s.Dist(Point{0}, Point{16}); math.Abs(d-4) > 1e-12 {
+		t.Fatalf("snowflake dist %v, want 4", d)
+	}
+}

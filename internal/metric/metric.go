@@ -1,0 +1,259 @@
+// Package metric defines the metric-space abstraction used by every
+// algorithm in this repository.
+//
+// The paper assumes an arbitrary metric space with an O(1) distance
+// oracle. We model a point as a dense float64 vector and a metric space as
+// an oracle over pairs of points. Algorithms never look inside points
+// except through a Space, so any oracle-backed metric (including an
+// explicit distance matrix, used for adversarial and exact tiny instances)
+// exercises the same code paths.
+package metric
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+// Point is a point of a metric space, represented as a dense vector.
+// For vector metrics (L1, L2, L∞, cosine, Hamming) the coordinates are the
+// usual ones; for MatrixSpace a point is a single coordinate holding the
+// row index of the distance matrix.
+type Point []float64
+
+// Clone returns a deep copy of p.
+func (p Point) Clone() Point {
+	q := make(Point, len(p))
+	copy(q, p)
+	return q
+}
+
+// Equal reports whether p and q have identical coordinates.
+func (p Point) Equal(q Point) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Words returns the size of the point in machine words, the unit in which
+// the MPC simulator meters communication.
+func (p Point) Words() int { return len(p) }
+
+// Space is a metric distance oracle. Implementations must satisfy the
+// metric axioms on the point sets they are used with: non-negativity,
+// identity of indiscernibles, symmetry and the triangle inequality.
+type Space interface {
+	// Dist returns the distance between a and b.
+	Dist(a, b Point) float64
+	// Name identifies the metric in logs and benchmark tables.
+	Name() string
+}
+
+// L2 is the Euclidean metric.
+type L2 struct{}
+
+// Dist returns the Euclidean distance between a and b.
+func (L2) Dist(a, b Point) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Name returns "l2".
+func (L2) Name() string { return "l2" }
+
+// L1 is the Manhattan metric.
+type L1 struct{}
+
+// Dist returns the L1 distance between a and b.
+func (L1) Dist(a, b Point) float64 {
+	var s float64
+	for i := range a {
+		s += math.Abs(a[i] - b[i])
+	}
+	return s
+}
+
+// Name returns "l1".
+func (L1) Name() string { return "l1" }
+
+// LInf is the Chebyshev metric.
+type LInf struct{}
+
+// Dist returns the L∞ distance between a and b.
+func (LInf) Dist(a, b Point) float64 {
+	var s float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > s {
+			s = d
+		}
+	}
+	return s
+}
+
+// Name returns "linf".
+func (LInf) Name() string { return "linf" }
+
+// Angular is the angular (great-circle on the unit sphere) metric:
+// d(a,b) = arccos(cos-similarity(a,b)). Unlike raw cosine dissimilarity it
+// satisfies the triangle inequality. Zero vectors are treated as distance
+// π/2 from every non-zero vector and 0 from each other.
+type Angular struct{}
+
+// Dist returns the angle between a and b in radians.
+func (Angular) Dist(a, b Point) float64 {
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 && nb == 0 {
+		return 0
+	}
+	if na == 0 || nb == 0 {
+		return math.Pi / 2
+	}
+	c := dot / math.Sqrt(na*nb)
+	// Clamp against floating-point drift before acos.
+	if c > 1 {
+		c = 1
+	} else if c < -1 {
+		c = -1
+	}
+	return math.Acos(c)
+}
+
+// Name returns "angular".
+func (Angular) Name() string { return "angular" }
+
+// Hamming counts coordinate positions where a and b differ. It is a metric
+// on any discrete coordinate alphabet.
+type Hamming struct{}
+
+// Dist returns the number of differing coordinates.
+func (Hamming) Dist(a, b Point) float64 {
+	var s float64
+	for i := range a {
+		if a[i] != b[i] {
+			s++
+		}
+	}
+	return s
+}
+
+// Name returns "hamming".
+func (Hamming) Name() string { return "hamming" }
+
+// MatrixSpace is an explicit finite metric given by a symmetric distance
+// matrix. A point of this space is a one-coordinate vector holding its row
+// index. MatrixSpace is how tests feed hand-crafted adversarial metrics to
+// the algorithms.
+type MatrixSpace struct {
+	D [][]float64
+}
+
+// NewMatrixSpace validates that d is square, symmetric, zero-diagonal,
+// non-negative, and satisfies the triangle inequality, then returns the
+// corresponding space.
+func NewMatrixSpace(d [][]float64) (*MatrixSpace, error) {
+	n := len(d)
+	for i, row := range d {
+		if len(row) != n {
+			return nil, fmt.Errorf("metric: row %d has length %d, want %d", i, len(row), n)
+		}
+		if row[i] != 0 {
+			return nil, fmt.Errorf("metric: diagonal entry (%d,%d) = %v, want 0", i, i, row[i])
+		}
+		for j, v := range row {
+			if v < 0 {
+				return nil, fmt.Errorf("metric: negative distance at (%d,%d)", i, j)
+			}
+			if v != d[j][i] {
+				return nil, fmt.Errorf("metric: asymmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				if d[i][j] > d[i][k]+d[k][j]+1e-12 {
+					return nil, fmt.Errorf("metric: triangle inequality violated at (%d,%d,%d)", i, j, k)
+				}
+			}
+		}
+	}
+	return &MatrixSpace{D: d}, nil
+}
+
+// PointOf returns the Point representing row i of the matrix.
+func (s *MatrixSpace) PointOf(i int) Point { return Point{float64(i)} }
+
+// Points returns all points of the finite space in index order.
+func (s *MatrixSpace) Points() []Point {
+	ps := make([]Point, len(s.D))
+	for i := range ps {
+		ps[i] = s.PointOf(i)
+	}
+	return ps
+}
+
+// Dist looks up the matrix entry for the two row-index points.
+func (s *MatrixSpace) Dist(a, b Point) float64 {
+	return s.D[int(a[0])][int(b[0])]
+}
+
+// Name returns "matrix".
+func (s *MatrixSpace) Name() string { return "matrix" }
+
+// Counting wraps a Space and counts oracle invocations. It is safe for
+// concurrent use and is how benchmarks report distance-oracle work.
+type Counting struct {
+	Inner Space
+	calls atomic.Int64
+}
+
+// NewCounting returns a counting wrapper around inner.
+func NewCounting(inner Space) *Counting { return &Counting{Inner: inner} }
+
+// Dist forwards to the wrapped space and increments the call counter.
+func (c *Counting) Dist(a, b Point) float64 {
+	c.calls.Add(1)
+	return c.Inner.Dist(a, b)
+}
+
+// Name returns the wrapped space's name.
+func (c *Counting) Name() string { return c.Inner.Name() }
+
+// Calls returns the number of Dist invocations so far.
+func (c *Counting) Calls() int64 { return c.calls.Load() }
+
+// Reset zeroes the call counter.
+func (c *Counting) Reset() { c.calls.Store(0) }
+
+// Materialize evaluates space over all pairs of pts and returns the
+// explicit MatrixSpace (validated), together with the row-index points.
+// O(n²) oracle calls; intended for tiny exact work and tests that need
+// to perturb a metric adversarially.
+func Materialize(space Space, pts []Point) (*MatrixSpace, error) {
+	n := len(pts)
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+		for j := range d[i] {
+			if i != j {
+				d[i][j] = space.Dist(pts[i], pts[j])
+			}
+		}
+	}
+	return NewMatrixSpace(d)
+}

@@ -1,0 +1,336 @@
+package metric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"parclust/internal/rng"
+)
+
+func randomPoint(r *rng.RNG, dim int) Point {
+	p := make(Point, dim)
+	for i := range p {
+		p[i] = r.NormFloat64() * 10
+	}
+	return p
+}
+
+// checkAxioms verifies the metric axioms on random triples.
+func checkAxioms(t *testing.T, s Space, gen func(r *rng.RNG) Point) {
+	t.Helper()
+	r := rng.New(1234)
+	for trial := 0; trial < 500; trial++ {
+		a, b, c := gen(r), gen(r), gen(r)
+		dab, dba := s.Dist(a, b), s.Dist(b, a)
+		if dab < 0 {
+			t.Fatalf("%s: negative distance %v", s.Name(), dab)
+		}
+		if math.Abs(dab-dba) > 1e-9 {
+			t.Fatalf("%s: asymmetric %v vs %v", s.Name(), dab, dba)
+		}
+		if d := s.Dist(a, a); d > 1e-9 {
+			t.Fatalf("%s: d(a,a) = %v", s.Name(), d)
+		}
+		dac, dcb := s.Dist(a, c), s.Dist(c, b)
+		if dab > dac+dcb+1e-9 {
+			t.Fatalf("%s: triangle violated: d(a,b)=%v > %v+%v", s.Name(), dab, dac, dcb)
+		}
+	}
+}
+
+func TestL2Axioms(t *testing.T) {
+	checkAxioms(t, L2{}, func(r *rng.RNG) Point { return randomPoint(r, 4) })
+}
+
+func TestL1Axioms(t *testing.T) {
+	checkAxioms(t, L1{}, func(r *rng.RNG) Point { return randomPoint(r, 4) })
+}
+
+func TestLInfAxioms(t *testing.T) {
+	checkAxioms(t, LInf{}, func(r *rng.RNG) Point { return randomPoint(r, 4) })
+}
+
+func TestAngularAxioms(t *testing.T) {
+	checkAxioms(t, Angular{}, func(r *rng.RNG) Point {
+		p := randomPoint(r, 4)
+		// keep away from the zero vector
+		p[0] += 1
+		return p
+	})
+}
+
+func TestHammingAxioms(t *testing.T) {
+	checkAxioms(t, Hamming{}, func(r *rng.RNG) Point {
+		p := make(Point, 6)
+		for i := range p {
+			p[i] = float64(r.Intn(3))
+		}
+		return p
+	})
+}
+
+func TestL2KnownValues(t *testing.T) {
+	d := L2{}.Dist(Point{0, 0}, Point{3, 4})
+	if math.Abs(d-5) > 1e-12 {
+		t.Fatalf("L2 (0,0)-(3,4) = %v, want 5", d)
+	}
+}
+
+func TestL1KnownValues(t *testing.T) {
+	d := L1{}.Dist(Point{1, 2}, Point{4, -2})
+	if math.Abs(d-7) > 1e-12 {
+		t.Fatalf("L1 = %v, want 7", d)
+	}
+}
+
+func TestLInfKnownValues(t *testing.T) {
+	d := LInf{}.Dist(Point{1, 2}, Point{4, -2})
+	if math.Abs(d-4) > 1e-12 {
+		t.Fatalf("LInf = %v, want 4", d)
+	}
+}
+
+func TestAngularKnownValues(t *testing.T) {
+	if d := (Angular{}).Dist(Point{1, 0}, Point{0, 1}); math.Abs(d-math.Pi/2) > 1e-9 {
+		t.Fatalf("angular orthogonal = %v, want pi/2", d)
+	}
+	if d := (Angular{}).Dist(Point{1, 0}, Point{-1, 0}); math.Abs(d-math.Pi) > 1e-9 {
+		t.Fatalf("angular antipodal = %v, want pi", d)
+	}
+	if d := (Angular{}).Dist(Point{2, 0}, Point{5, 0}); d > 1e-9 {
+		t.Fatalf("angular parallel = %v, want 0", d)
+	}
+	if d := (Angular{}).Dist(Point{0, 0}, Point{1, 0}); math.Abs(d-math.Pi/2) > 1e-9 {
+		t.Fatalf("angular zero-vs-nonzero = %v, want pi/2", d)
+	}
+	if d := (Angular{}).Dist(Point{0, 0}, Point{0, 0}); d != 0 {
+		t.Fatalf("angular zero-vs-zero = %v, want 0", d)
+	}
+}
+
+func TestHammingKnownValues(t *testing.T) {
+	if d := (Hamming{}).Dist(Point{1, 2, 3}, Point{1, 0, 3}); d != 1 {
+		t.Fatalf("hamming = %v, want 1", d)
+	}
+}
+
+func TestMatrixSpaceValidation(t *testing.T) {
+	ok := [][]float64{
+		{0, 1, 2},
+		{1, 0, 1},
+		{2, 1, 0},
+	}
+	s, err := NewMatrixSpace(ok)
+	if err != nil {
+		t.Fatalf("valid matrix rejected: %v", err)
+	}
+	if d := s.Dist(s.PointOf(0), s.PointOf(2)); d != 2 {
+		t.Fatalf("matrix dist = %v, want 2", d)
+	}
+	if got := len(s.Points()); got != 3 {
+		t.Fatalf("Points() length %d, want 3", got)
+	}
+
+	bad := [][]float64{
+		{0, 10},
+		{10, 0, 0},
+	}
+	if _, err := NewMatrixSpace(bad); err == nil {
+		t.Fatal("ragged matrix accepted")
+	}
+
+	asym := [][]float64{
+		{0, 1},
+		{2, 0},
+	}
+	if _, err := NewMatrixSpace(asym); err == nil {
+		t.Fatal("asymmetric matrix accepted")
+	}
+
+	tri := [][]float64{
+		{0, 1, 10},
+		{1, 0, 1},
+		{10, 1, 0},
+	}
+	if _, err := NewMatrixSpace(tri); err == nil {
+		t.Fatal("triangle-violating matrix accepted")
+	}
+
+	diag := [][]float64{
+		{1, 1},
+		{1, 0},
+	}
+	if _, err := NewMatrixSpace(diag); err == nil {
+		t.Fatal("nonzero-diagonal matrix accepted")
+	}
+
+	neg := [][]float64{
+		{0, -1},
+		{-1, 0},
+	}
+	if _, err := NewMatrixSpace(neg); err == nil {
+		t.Fatal("negative matrix accepted")
+	}
+}
+
+func TestCountingSpace(t *testing.T) {
+	c := NewCounting(L2{})
+	if c.Name() != "l2" {
+		t.Fatalf("counting name %q", c.Name())
+	}
+	a, b := Point{0, 0}, Point{1, 1}
+	for i := 0; i < 10; i++ {
+		c.Dist(a, b)
+	}
+	if c.Calls() != 10 {
+		t.Fatalf("calls = %d, want 10", c.Calls())
+	}
+	c.Reset()
+	if c.Calls() != 0 {
+		t.Fatalf("calls after reset = %d", c.Calls())
+	}
+}
+
+func TestPointCloneEqual(t *testing.T) {
+	p := Point{1, 2, 3}
+	q := p.Clone()
+	if !p.Equal(q) {
+		t.Fatal("clone not equal")
+	}
+	q[0] = 9
+	if p.Equal(q) {
+		t.Fatal("clone aliases original")
+	}
+	if p.Equal(Point{1, 2}) {
+		t.Fatal("points of different dimensions reported equal")
+	}
+	if p.Words() != 3 {
+		t.Fatalf("Words = %d", p.Words())
+	}
+}
+
+func TestDistToSetAndNearest(t *testing.T) {
+	s := L2{}
+	set := []Point{{0, 0}, {10, 0}, {0, 10}}
+	p := Point{1, 0}
+	if d := DistToSet(s, p, set); math.Abs(d-1) > 1e-12 {
+		t.Fatalf("DistToSet = %v, want 1", d)
+	}
+	idx, d := Nearest(s, p, set)
+	if idx != 0 || math.Abs(d-1) > 1e-12 {
+		t.Fatalf("Nearest = (%d, %v), want (0, 1)", idx, d)
+	}
+	if d := DistToSet(s, p, nil); !math.IsInf(d, 1) {
+		t.Fatalf("DistToSet empty = %v, want +Inf", d)
+	}
+	idx, d = Nearest(s, p, nil)
+	if idx != -1 || !math.IsInf(d, 1) {
+		t.Fatalf("Nearest empty = (%d, %v)", idx, d)
+	}
+}
+
+func TestRadius(t *testing.T) {
+	s := L2{}
+	x := []Point{{0, 0}, {4, 0}}
+	y := []Point{{0, 0}}
+	if r := Radius(s, x, y); math.Abs(r-4) > 1e-12 {
+		t.Fatalf("Radius = %v, want 4", r)
+	}
+	if r := Radius(s, nil, y); r != 0 {
+		t.Fatalf("Radius empty X = %v, want 0", r)
+	}
+	if r := Radius(s, x, nil); !math.IsInf(r, 1) {
+		t.Fatalf("Radius empty Y = %v, want +Inf", r)
+	}
+}
+
+func TestDiversityAndDiameter(t *testing.T) {
+	s := L2{}
+	set := []Point{{0, 0}, {1, 0}, {5, 0}}
+	if d := Diversity(s, set); math.Abs(d-1) > 1e-12 {
+		t.Fatalf("Diversity = %v, want 1", d)
+	}
+	if d := Diameter(s, set); math.Abs(d-5) > 1e-12 {
+		t.Fatalf("Diameter = %v, want 5", d)
+	}
+	if d := Diversity(s, set[:1]); !math.IsInf(d, 1) {
+		t.Fatalf("Diversity singleton = %v, want +Inf", d)
+	}
+	if d := Diameter(s, nil); d != 0 {
+		t.Fatalf("Diameter empty = %v, want 0", d)
+	}
+}
+
+func TestFarthest(t *testing.T) {
+	s := L2{}
+	cands := []Point{{1, 0}, {9, 0}, {3, 0}}
+	set := []Point{{0, 0}}
+	idx, d := Farthest(s, cands, set)
+	if idx != 1 || math.Abs(d-9) > 1e-12 {
+		t.Fatalf("Farthest = (%d, %v), want (1, 9)", idx, d)
+	}
+	idx, _ = Farthest(s, nil, set)
+	if idx != -1 {
+		t.Fatalf("Farthest empty candidates = %d, want -1", idx)
+	}
+}
+
+func TestDedup(t *testing.T) {
+	pts := []Point{{1, 1}, {2, 2}, {1, 1}, {3, 3}, {2, 2}}
+	out := Dedup(pts)
+	if len(out) != 3 {
+		t.Fatalf("Dedup kept %d, want 3", len(out))
+	}
+	if !out[0].Equal(Point{1, 1}) || !out[1].Equal(Point{2, 2}) || !out[2].Equal(Point{3, 3}) {
+		t.Fatalf("Dedup order wrong: %v", out)
+	}
+}
+
+func TestTotalWords(t *testing.T) {
+	pts := []Point{{1, 2}, {3, 4, 5}}
+	if w := TotalWords(pts); w != 5 {
+		t.Fatalf("TotalWords = %d, want 5", w)
+	}
+}
+
+// Property: DistToSet is never larger than the distance to any individual
+// member, and Radius(X, X) == 0.
+func TestOpsProperties(t *testing.T) {
+	r := rng.New(99)
+	s := L2{}
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%8) + 1
+		set := make([]Point, n)
+		for i := range set {
+			set[i] = randomPoint(r, 3)
+		}
+		p := randomPoint(r, 3)
+		d := DistToSet(s, p, set)
+		for _, q := range set {
+			if d > s.Dist(p, q)+1e-9 {
+				return false
+			}
+		}
+		return Radius(s, set, set) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaterialize(t *testing.T) {
+	pts := []Point{{0}, {3}, {7}}
+	ms, err := Materialize(L2{}, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := ms.Dist(ms.PointOf(0), ms.PointOf(2)); d != 7 {
+		t.Fatalf("materialized dist %v, want 7", d)
+	}
+	// Asymmetric-by-construction impossible; validation must pass for any
+	// true metric — check a second one.
+	if _, err := Materialize(L1{}, pts); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,117 @@
+package metric
+
+import "math"
+
+// DistToSet returns d(p, set) = min over q in set of d(p, q).
+// It returns +Inf for an empty set, matching the convention that an empty
+// center set covers nothing.
+func DistToSet(s Space, p Point, set []Point) float64 {
+	best := math.Inf(1)
+	for _, q := range set {
+		if d := s.Dist(p, q); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// Nearest returns the index in set of the point closest to p and the
+// distance to it. It returns (-1, +Inf) for an empty set.
+func Nearest(s Space, p Point, set []Point) (int, float64) {
+	best := math.Inf(1)
+	arg := -1
+	for i, q := range set {
+		if d := s.Dist(p, q); d < best {
+			best = d
+			arg = i
+		}
+	}
+	return arg, best
+}
+
+// Radius returns r(X, Y) = max over x in X of d(x, Y): the covering radius
+// of X by Y. It returns 0 for empty X and +Inf for non-empty X with empty Y.
+func Radius(s Space, x, y []Point) float64 {
+	var r float64
+	for _, p := range x {
+		if d := DistToSet(s, p, y); d > r {
+			r = d
+		}
+	}
+	return r
+}
+
+// Diversity returns div(set): the minimum pairwise distance in set.
+// By convention it returns +Inf for sets with fewer than two points
+// (every subset of size < 2 is vacuously maximally diverse).
+func Diversity(s Space, set []Point) float64 {
+	best := math.Inf(1)
+	for i := 0; i < len(set); i++ {
+		for j := i + 1; j < len(set); j++ {
+			if d := s.Dist(set[i], set[j]); d < best {
+				best = d
+			}
+		}
+	}
+	return best
+}
+
+// Diameter returns the maximum pairwise distance in set (0 for fewer than
+// two points).
+func Diameter(s Space, set []Point) float64 {
+	var best float64
+	for i := 0; i < len(set); i++ {
+		for j := i + 1; j < len(set); j++ {
+			if d := s.Dist(set[i], set[j]); d > best {
+				best = d
+			}
+		}
+	}
+	return best
+}
+
+// Farthest returns the index in candidates of a point maximizing the
+// distance to set, together with that distance. Ties resolve to the lowest
+// index so results are deterministic. It returns (-1, -Inf) for empty
+// candidates and (0 index rules, +Inf) semantics follow DistToSet for an
+// empty set.
+func Farthest(s Space, candidates []Point, set []Point) (int, float64) {
+	best := math.Inf(-1)
+	arg := -1
+	for i, p := range candidates {
+		if d := DistToSet(s, p, set); d > best {
+			best = d
+			arg = i
+		}
+	}
+	return arg, best
+}
+
+// Dedup returns points with exact coordinate duplicates removed, keeping
+// first occurrences in order. It runs in O(n^2 d) and is intended for
+// small sets (test fixtures, tiny exact instances).
+func Dedup(points []Point) []Point {
+	var out []Point
+	for _, p := range points {
+		dup := false
+		for _, q := range out {
+			if p.Equal(q) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// TotalWords returns the communication size of a point slice in words.
+func TotalWords(points []Point) int {
+	w := 0
+	for _, p := range points {
+		w += p.Words()
+	}
+	return w
+}

@@ -1,0 +1,132 @@
+package mpc
+
+// Collective operations built from supersteps. Each helper charges the
+// rounds it actually uses, so algorithm code that adopts them keeps
+// honest accounting. Per-machine inputs are supplied by a closure, the
+// idiom used throughout the algorithm packages (the closure reads the
+// machine's shard of driver-held state).
+
+// GatherFloats runs one round in which every machine contributes one
+// float64 to the central machine; the values are returned indexed by
+// machine id.
+func GatherFloats(c *Cluster, name string, fn func(m *Machine) float64) ([]float64, error) {
+	out := make([]float64, c.NumMachines())
+	err := c.Superstep(name, func(mc *Machine) error {
+		mc.SendCentral(Float(fn(mc)))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	err = c.Superstep(name+"/collect", func(mc *Machine) error {
+		if !mc.IsCentral() {
+			return nil
+		}
+		for _, msg := range mc.Inbox() {
+			if v, ok := msg.Payload.(Float); ok {
+				out[msg.From] = float64(v)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// AllReduceMax gathers one float per machine, takes the maximum, and
+// broadcasts it back so every machine (and the driver) knows it. Three
+// rounds.
+func AllReduceMax(c *Cluster, name string, fn func(m *Machine) float64) (float64, error) {
+	var max float64
+	first := true
+	err := c.Superstep(name, func(mc *Machine) error {
+		mc.SendCentral(Float(fn(mc)))
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	err = c.Superstep(name+"/reduce", func(mc *Machine) error {
+		if !mc.IsCentral() {
+			return nil
+		}
+		for _, v := range CollectFloats(mc.Inbox()) {
+			if first || v > max {
+				max = v
+				first = false
+			}
+		}
+		mc.Broadcast(Float(max))
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	// Consume the broadcast so machine-side state is consistent.
+	err = c.Superstep(name+"/settle", func(mc *Machine) error { return nil })
+	if err != nil {
+		return 0, err
+	}
+	return max, nil
+}
+
+// AllReduceSum gathers one float per machine, sums, and broadcasts the
+// total. Three rounds.
+func AllReduceSum(c *Cluster, name string, fn func(m *Machine) float64) (float64, error) {
+	var sum float64
+	err := c.Superstep(name, func(mc *Machine) error {
+		mc.SendCentral(Float(fn(mc)))
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	err = c.Superstep(name+"/reduce", func(mc *Machine) error {
+		if !mc.IsCentral() {
+			return nil
+		}
+		for _, v := range CollectFloats(mc.Inbox()) {
+			sum += v
+		}
+		mc.Broadcast(Float(sum))
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	err = c.Superstep(name+"/settle", func(mc *Machine) error { return nil })
+	if err != nil {
+		return 0, err
+	}
+	return sum, nil
+}
+
+// GatherPoints runs one round in which every machine contributes a point
+// batch to the central machine; the concatenation (sender order) is
+// returned with the matching ids.
+func GatherPoints(c *Cluster, name string, fn func(m *Machine) IndexedPoints) ([]int, []Message, error) {
+	var ids []int
+	var msgs []Message
+	err := c.Superstep(name, func(mc *Machine) error {
+		mc.SendCentral(fn(mc))
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	err = c.Superstep(name+"/collect", func(mc *Machine) error {
+		if !mc.IsCentral() {
+			return nil
+		}
+		msgs = mc.Inbox()
+		collected, _ := CollectIndexed(msgs)
+		ids = collected
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return ids, msgs, nil
+}

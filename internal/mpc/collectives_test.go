@@ -1,0 +1,86 @@
+package mpc
+
+import (
+	"testing"
+
+	"parclust/internal/metric"
+)
+
+func TestGatherFloats(t *testing.T) {
+	c := NewCluster(4, 1)
+	vals, err := GatherFloats(c, "g", func(m *Machine) float64 {
+		return float64(m.ID() * 10)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if v != float64(i*10) {
+			t.Fatalf("vals = %v", vals)
+		}
+	}
+	if c.Stats().Rounds != 2 {
+		t.Fatalf("rounds = %d, want 2", c.Stats().Rounds)
+	}
+}
+
+func TestAllReduceMax(t *testing.T) {
+	c := NewCluster(5, 1)
+	max, err := AllReduceMax(c, "m", func(m *Machine) float64 {
+		return float64(m.ID()) - 2 // values -2..2
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if max != 2 {
+		t.Fatalf("max = %v", max)
+	}
+	if c.Stats().Rounds != 3 {
+		t.Fatalf("rounds = %d, want 3", c.Stats().Rounds)
+	}
+}
+
+func TestAllReduceMaxNegativeValues(t *testing.T) {
+	c := NewCluster(3, 1)
+	max, err := AllReduceMax(c, "m", func(m *Machine) float64 {
+		return -float64(m.ID()) - 1 // -1, -2, -3
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if max != -1 {
+		t.Fatalf("negative max = %v", max)
+	}
+}
+
+func TestAllReduceSum(t *testing.T) {
+	c := NewCluster(4, 1)
+	sum, err := AllReduceSum(c, "s", func(m *Machine) float64 {
+		return 1.5
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != 6 {
+		t.Fatalf("sum = %v", sum)
+	}
+}
+
+func TestGatherPoints(t *testing.T) {
+	c := NewCluster(3, 1)
+	ids, msgs, err := GatherPoints(c, "gp", func(m *Machine) IndexedPoints {
+		return IndexedPoints{
+			IDs: []int{m.ID()},
+			Pts: []metric.Point{{float64(m.ID())}},
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 3 || ids[0] != 0 || ids[2] != 2 {
+		t.Fatalf("ids = %v", ids)
+	}
+	if len(msgs) != 3 {
+		t.Fatalf("messages = %d", len(msgs))
+	}
+}

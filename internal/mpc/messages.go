@@ -1,0 +1,156 @@
+package mpc
+
+import "parclust/internal/metric"
+
+// This file defines the payload vocabulary shared by the algorithms:
+// points, scalars and vectors, each metering its own size in words.
+
+// Points carries a slice of metric points.
+type Points struct {
+	Pts []metric.Point
+}
+
+// Words sums the dimensions of the carried points.
+func (p Points) Words() int { return metric.TotalWords(p.Pts) }
+
+// TaggedPoints carries points together with a small integer tag, used when
+// one round multiplexes several logical streams (e.g. the m independent
+// samples S_i^1..S_i^m of Algorithm 4).
+type TaggedPoints struct {
+	Tag int
+	Pts []metric.Point
+}
+
+// Words counts the tag word plus the carried points.
+func (p TaggedPoints) Words() int { return 1 + metric.TotalWords(p.Pts) }
+
+// IndexedPoints carries points tagged with their global vertex ids, the
+// lingua franca of the threshold-graph algorithms. Ids and Pts are
+// parallel slices.
+type IndexedPoints struct {
+	IDs []int
+	Pts []metric.Point
+}
+
+// Words counts one word per id plus the carried points.
+func (p IndexedPoints) Words() int { return len(p.IDs) + metric.TotalWords(p.Pts) }
+
+// CollectIndexed flattens every IndexedPoints payload in the inbox, in
+// sender order, into parallel id/point slices.
+func CollectIndexed(inbox []Message) ([]int, []metric.Point) {
+	var ids []int
+	var pts []metric.Point
+	for _, msg := range inbox {
+		if p, ok := msg.Payload.(IndexedPoints); ok {
+			ids = append(ids, p.IDs...)
+			pts = append(pts, p.Pts...)
+		}
+	}
+	return ids, pts
+}
+
+// WeightedPoints carries points with their global ids and a per-point
+// weight (the degree estimates p_v of Algorithm 4). IDs, Pts and Ws are
+// parallel slices. Tag multiplexes logical streams like TaggedPoints.
+type WeightedPoints struct {
+	Tag int
+	IDs []int
+	Pts []metric.Point
+	Ws  []float64
+}
+
+// Words counts the tag, ids, weights and points.
+func (p WeightedPoints) Words() int {
+	return 1 + len(p.IDs) + len(p.Ws) + metric.TotalWords(p.Pts)
+}
+
+// Ints carries a vector of integers (one word each).
+type Ints []int
+
+// Words returns the vector length.
+func (v Ints) Words() int { return len(v) }
+
+// Floats carries a vector of float64 values (one word each).
+type Floats []float64
+
+// Words returns the vector length.
+func (v Floats) Words() int { return len(v) }
+
+// Int carries a single integer.
+type Int int
+
+// Words returns 1.
+func (Int) Words() int { return 1 }
+
+// Float carries a single float64.
+type Float float64
+
+// Words returns 1.
+func (Float) Words() int { return 1 }
+
+// KeyedFloats carries (key, value) pairs, e.g. per-vertex degree reports
+// keyed by global vertex index.
+type KeyedFloats struct {
+	Keys []int
+	Vals []float64
+}
+
+// Words counts both the keys and the values.
+func (k KeyedFloats) Words() int { return len(k.Keys) + len(k.Vals) }
+
+// CollectPoints flattens every Points and TaggedPoints payload in the
+// inbox, in sender order, into one slice.
+func CollectPoints(inbox []Message) []metric.Point {
+	var out []metric.Point
+	for _, msg := range inbox {
+		switch p := msg.Payload.(type) {
+		case Points:
+			out = append(out, p.Pts...)
+		case TaggedPoints:
+			out = append(out, p.Pts...)
+		}
+	}
+	return out
+}
+
+// CollectTagged groups TaggedPoints payloads in the inbox by tag; the
+// result maps tag -> concatenated points in sender order.
+func CollectTagged(inbox []Message) map[int][]metric.Point {
+	out := make(map[int][]metric.Point)
+	for _, msg := range inbox {
+		if p, ok := msg.Payload.(TaggedPoints); ok {
+			out[p.Tag] = append(out[p.Tag], p.Pts...)
+		}
+	}
+	return out
+}
+
+// CollectFloats flattens every Float and Floats payload in the inbox, in
+// sender order.
+func CollectFloats(inbox []Message) []float64 {
+	var out []float64
+	for _, msg := range inbox {
+		switch v := msg.Payload.(type) {
+		case Float:
+			out = append(out, float64(v))
+		case Floats:
+			out = append(out, v...)
+		}
+	}
+	return out
+}
+
+// CollectInts flattens every Int and Ints payload in the inbox, in sender
+// order.
+func CollectInts(inbox []Message) []int {
+	var out []int
+	for _, msg := range inbox {
+		switch v := msg.Payload.(type) {
+		case Int:
+			out = append(out, int(v))
+		case Ints:
+			out = append(out, v...)
+		}
+	}
+	return out
+}

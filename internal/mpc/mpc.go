@@ -1,0 +1,341 @@
+// Package mpc implements a deterministic in-process simulator of the
+// Massively Parallel Computation model (Karloff, Suri, Vassilvitskii,
+// SODA 2010), the abstraction of MapReduce/Hadoop/Spark assumed by the
+// paper.
+//
+// A Cluster owns m machines. Computation proceeds in supersteps (MPC
+// rounds): within a round every machine runs arbitrary local computation
+// concurrently — each machine executes on its own goroutine — and queues
+// messages to other machines; messages are delivered at the beginning of
+// the next round. The simulator meters exactly the quantities the theory
+// constrains: the number of rounds, the words sent and received by each
+// machine per round, and (optionally, via notes) local memory. An optional
+// per-round communication cap turns the model's "messages must fit in
+// local memory" constraint into a hard runtime error.
+//
+// Determinism: every machine derives an independent RNG stream from the
+// cluster seed and its machine index, and inboxes are sorted by sender, so
+// a simulated run produces identical results regardless of goroutine
+// scheduling.
+package mpc
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"parclust/internal/rng"
+)
+
+// Payload is any value that can be sent between machines. Words reports
+// its size in machine words, the unit in which communication is metered
+// (one word = one float64/int payload coordinate).
+type Payload interface {
+	Words() int
+}
+
+// Message is a payload tagged with its sender.
+type Message struct {
+	From    int
+	Payload Payload
+}
+
+// Machine is the per-machine execution context passed to superstep
+// functions. Methods on Machine must only be called from the superstep
+// function currently executing for that machine.
+type Machine struct {
+	id      int
+	cluster *Cluster
+
+	// RNG is this machine's private random stream, derived
+	// deterministically from the cluster seed and the machine id.
+	RNG *rng.RNG
+
+	inbox  []Message
+	outbox []outMsg
+
+	sentWords int64
+	err       error
+}
+
+type outMsg struct {
+	dst     int
+	payload Payload
+}
+
+// ID returns the machine's index in [0, NumMachines).
+func (m *Machine) ID() int { return m.id }
+
+// NumMachines returns the cluster size.
+func (m *Machine) NumMachines() int { return m.cluster.m }
+
+// IsCentral reports whether this machine is the designated central
+// (coordinator) machine, machine 0.
+func (m *Machine) IsCentral() bool { return m.id == CentralID }
+
+// Send queues p for delivery to machine dst at the start of the next
+// round. Sending to yourself is allowed and still metered.
+func (m *Machine) Send(dst int, p Payload) {
+	if dst < 0 || dst >= m.cluster.m {
+		m.fail(fmt.Errorf("mpc: machine %d sent to invalid destination %d", m.id, dst))
+		return
+	}
+	m.outbox = append(m.outbox, outMsg{dst: dst, payload: p})
+	m.sentWords += int64(p.Words())
+}
+
+// Broadcast queues p for delivery to every machine except the sender.
+func (m *Machine) Broadcast(p Payload) {
+	for dst := 0; dst < m.cluster.m; dst++ {
+		if dst != m.id {
+			m.Send(dst, p)
+		}
+	}
+}
+
+// BroadcastAll queues p for delivery to every machine including the
+// sender. Useful when the next superstep treats all machines uniformly.
+func (m *Machine) BroadcastAll(p Payload) {
+	for dst := 0; dst < m.cluster.m; dst++ {
+		m.Send(dst, p)
+	}
+}
+
+// SendCentral queues p for delivery to the central machine.
+func (m *Machine) SendCentral(p Payload) { m.Send(CentralID, p) }
+
+// Inbox returns the messages delivered to this machine this round, sorted
+// by sender id (stable within a sender). The slice is owned by the machine
+// for the duration of the superstep.
+func (m *Machine) Inbox() []Message { return m.inbox }
+
+// NoteMemory records a local-memory high-water mark in words. Algorithms
+// call it at their peak allocation points; the cluster keeps the maximum.
+func (m *Machine) NoteMemory(words int64) {
+	m.cluster.noteMemory(words)
+}
+
+func (m *Machine) fail(err error) {
+	if m.err == nil {
+		m.err = err
+	}
+}
+
+// CentralID is the index of the designated coordinator machine.
+const CentralID = 0
+
+// Option configures a Cluster.
+type Option func(*Cluster)
+
+// WithCommCap enforces that no machine sends or receives more than cap
+// words in any single round; a violation makes the offending Superstep
+// return ErrCommCap (wrapped with details).
+func WithCommCap(cap int64) Option {
+	return func(c *Cluster) { c.commCap = cap }
+}
+
+// ErrCommCap is returned (wrapped) when a machine exceeds the configured
+// per-round communication cap.
+var ErrCommCap = errors.New("mpc: per-round communication cap exceeded")
+
+// Tracer observes every completed round. It runs synchronously on the
+// driver after the round's machines have finished, so it may read the
+// stats but must not block for long.
+type Tracer func(round int, rs RoundStats)
+
+// WithTracer installs a per-round observer, e.g. for CLI -trace output.
+func WithTracer(t Tracer) Option {
+	return func(c *Cluster) { c.tracer = t }
+}
+
+// Cluster is a simulated MPC cluster of m machines.
+type Cluster struct {
+	m        int
+	machines []*Machine
+	pending  [][]Message // pending[dst]: messages to deliver next round
+	stats    Stats
+	commCap  int64
+	tracer   Tracer
+
+	memMu sync.Mutex
+}
+
+// NewCluster creates a cluster of m machines whose random streams derive
+// from seed. It panics if m < 1.
+func NewCluster(m int, seed uint64, opts ...Option) *Cluster {
+	if m < 1 {
+		panic("mpc: cluster needs at least one machine")
+	}
+	c := &Cluster{
+		m:       m,
+		pending: make([][]Message, m),
+		stats: Stats{
+			SentWords: make([]int64, m),
+			RecvWords: make([]int64, m),
+		},
+	}
+	base := rng.New(seed)
+	c.machines = make([]*Machine, m)
+	for i := 0; i < m; i++ {
+		c.machines[i] = &Machine{
+			id:      i,
+			cluster: c,
+			RNG:     base.SplitAt(uint64(i)),
+		}
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// NumMachines returns the cluster size m.
+func (c *Cluster) NumMachines() int { return c.m }
+
+// Stats returns a copy of the accumulated statistics.
+func (c *Cluster) Stats() Stats { return c.stats.clone() }
+
+// ResetStats zeroes all accumulated statistics (rounds, communication,
+// memory notes) without touching machine RNG streams or pending messages.
+func (c *Cluster) ResetStats() {
+	c.stats = Stats{
+		SentWords: make([]int64, c.m),
+		RecvWords: make([]int64, c.m),
+	}
+}
+
+func (c *Cluster) noteMemory(words int64) {
+	c.memMu.Lock()
+	if words > c.stats.MaxMemoryWords {
+		c.stats.MaxMemoryWords = words
+	}
+	c.memMu.Unlock()
+}
+
+// Superstep runs one MPC round: it delivers all messages queued in the
+// previous round, executes fn concurrently on every machine, collects the
+// messages they queue, and updates statistics. name labels the round in
+// per-round stats. The first error (by machine id) reported by fn or by
+// the communication-cap check is returned; on error the round still counts
+// and queued messages are discarded.
+func (c *Cluster) Superstep(name string, fn func(m *Machine) error) error {
+	// Deliver pending messages.
+	for i, mach := range c.machines {
+		msgs := c.pending[i]
+		sort.SliceStable(msgs, func(a, b int) bool { return msgs[a].From < msgs[b].From })
+		mach.inbox = msgs
+		mach.outbox = nil
+		mach.sentWords = 0
+		mach.err = nil
+		c.pending[i] = nil
+	}
+
+	// Run all machines concurrently. A panic inside one machine is
+	// converted to that machine's error so a bug in algorithm code fails
+	// the round instead of killing the whole simulated cluster.
+	var wg sync.WaitGroup
+	wg.Add(c.m)
+	for _, mach := range c.machines {
+		go func(mc *Machine) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					mc.fail(fmt.Errorf("panic: %v", r))
+				}
+			}()
+			if err := fn(mc); err != nil {
+				mc.fail(err)
+			}
+		}(mach)
+	}
+	wg.Wait()
+
+	// Account the round.
+	rs := RoundStats{Name: name}
+	recvWords := make([]int64, c.m)
+	for _, mach := range c.machines {
+		for _, om := range mach.outbox {
+			recvWords[om.dst] += int64(om.payload.Words())
+		}
+	}
+	var firstErr error
+	for i, mach := range c.machines {
+		c.stats.SentWords[i] += mach.sentWords
+		c.stats.RecvWords[i] += recvWords[i]
+		rs.TotalWords += mach.sentWords
+		if mach.sentWords > rs.MaxSent {
+			rs.MaxSent = mach.sentWords
+		}
+		if recvWords[i] > rs.MaxRecv {
+			rs.MaxRecv = recvWords[i]
+		}
+		if mach.err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("mpc: machine %d in round %q: %w", i, name, mach.err)
+		}
+		if c.commCap > 0 && firstErr == nil {
+			if mach.sentWords > c.commCap {
+				firstErr = fmt.Errorf("machine %d sent %d words in round %q (cap %d): %w",
+					i, mach.sentWords, name, c.commCap, ErrCommCap)
+			} else if recvWords[i] > c.commCap {
+				firstErr = fmt.Errorf("machine %d received %d words in round %q (cap %d): %w",
+					i, recvWords[i], name, c.commCap, ErrCommCap)
+			}
+		}
+	}
+	c.stats.Rounds++
+	c.stats.TotalWords += rs.TotalWords
+	if m := rs.MaxSent; m > c.stats.MaxRoundSent {
+		c.stats.MaxRoundSent = m
+	}
+	if m := rs.MaxRecv; m > c.stats.MaxRoundRecv {
+		c.stats.MaxRoundRecv = m
+	}
+	c.stats.PerRound = append(c.stats.PerRound, rs)
+	if c.tracer != nil {
+		c.tracer(c.stats.Rounds-1, rs)
+	}
+
+	if firstErr != nil {
+		return firstErr
+	}
+
+	// Queue outboxes for the next round.
+	for _, mach := range c.machines {
+		for _, om := range mach.outbox {
+			c.pending[om.dst] = append(c.pending[om.dst], Message{From: mach.id, Payload: om.payload})
+		}
+		mach.outbox = nil
+	}
+	return nil
+}
+
+// Local runs fn concurrently on every machine without counting an MPC
+// round and without delivering or accepting messages; Send from within a
+// Local block is an error. It is intended for free local computation such
+// as loading input partitions, which the MPC model does not charge for.
+func (c *Cluster) Local(fn func(m *Machine) error) error {
+	var wg sync.WaitGroup
+	errs := make([]error, c.m)
+	wg.Add(c.m)
+	for i, mach := range c.machines {
+		go func(i int, mc *Machine) {
+			defer wg.Done()
+			saved := mc.outbox
+			mc.outbox = nil
+			if err := fn(mc); err != nil {
+				errs[i] = err
+			} else if len(mc.outbox) > 0 {
+				errs[i] = fmt.Errorf("mpc: machine %d called Send inside Local", i)
+			}
+			mc.outbox = saved
+		}(i, mach)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("mpc: machine %d in Local: %w", i, err)
+		}
+	}
+	return nil
+}

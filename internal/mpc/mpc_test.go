@@ -1,0 +1,500 @@
+package mpc
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"parclust/internal/metric"
+)
+
+func TestClusterBasics(t *testing.T) {
+	c := NewCluster(4, 1)
+	if c.NumMachines() != 4 {
+		t.Fatalf("NumMachines = %d", c.NumMachines())
+	}
+	err := c.Superstep("ids", func(m *Machine) error {
+		if m.NumMachines() != 4 {
+			return fmt.Errorf("machine sees %d machines", m.NumMachines())
+		}
+		if (m.ID() == 0) != m.IsCentral() {
+			return fmt.Errorf("IsCentral wrong for machine %d", m.ID())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Stats(); s.Rounds != 1 {
+		t.Fatalf("rounds = %d, want 1", s.Rounds)
+	}
+}
+
+func TestNewClusterPanicsOnZeroMachines(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewCluster(0) did not panic")
+		}
+	}()
+	NewCluster(0, 1)
+}
+
+func TestMessageDeliveryNextRound(t *testing.T) {
+	c := NewCluster(3, 7)
+	if err := c.Superstep("send", func(m *Machine) error {
+		if len(m.Inbox()) != 0 {
+			return fmt.Errorf("machine %d has mail before anything was sent", m.ID())
+		}
+		m.Send((m.ID()+1)%3, Int(m.ID()))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Superstep("recv", func(m *Machine) error {
+		in := m.Inbox()
+		if len(in) != 1 {
+			return fmt.Errorf("machine %d inbox size %d", m.ID(), len(in))
+		}
+		want := (m.ID() + 2) % 3
+		if in[0].From != want || int(in[0].Payload.(Int)) != want {
+			return fmt.Errorf("machine %d got %v from %d, want %d", m.ID(), in[0].Payload, in[0].From, want)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInboxSortedBySender(t *testing.T) {
+	c := NewCluster(5, 3)
+	if err := c.Superstep("fanin", func(m *Machine) error {
+		m.SendCentral(Int(m.ID()))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Superstep("check", func(m *Machine) error {
+		if !m.IsCentral() {
+			return nil
+		}
+		in := m.Inbox()
+		if len(in) != 5 {
+			return fmt.Errorf("central inbox size %d, want 5", len(in))
+		}
+		for i, msg := range in {
+			if msg.From != i {
+				return fmt.Errorf("inbox not sorted: position %d from %d", i, msg.From)
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	c := NewCluster(4, 9)
+	if err := c.Superstep("bcast", func(m *Machine) error {
+		if m.ID() == 2 {
+			m.Broadcast(Int(42))
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Superstep("check", func(m *Machine) error {
+		in := m.Inbox()
+		if m.ID() == 2 {
+			if len(in) != 0 {
+				return errors.New("broadcaster received its own broadcast")
+			}
+			return nil
+		}
+		if len(in) != 1 || int(in[0].Payload.(Int)) != 42 {
+			return fmt.Errorf("machine %d inbox %v", m.ID(), in)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBroadcastAllIncludesSelf(t *testing.T) {
+	c := NewCluster(3, 9)
+	if err := c.Superstep("bcast", func(m *Machine) error {
+		if m.ID() == 1 {
+			m.BroadcastAll(Int(7))
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Superstep("check", func(m *Machine) error {
+		if len(m.Inbox()) != 1 {
+			return fmt.Errorf("machine %d inbox size %d, want 1", m.ID(), len(m.Inbox()))
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommAccounting(t *testing.T) {
+	c := NewCluster(2, 5)
+	if err := c.Superstep("send", func(m *Machine) error {
+		if m.ID() == 0 {
+			m.Send(1, Floats{1, 2, 3}) // 3 words
+			m.Send(1, Int(9))          // 1 word
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Stats()
+	if s.SentWords[0] != 4 || s.SentWords[1] != 0 {
+		t.Fatalf("SentWords = %v", s.SentWords)
+	}
+	if s.RecvWords[1] != 4 || s.RecvWords[0] != 0 {
+		t.Fatalf("RecvWords = %v", s.RecvWords)
+	}
+	if s.TotalWords != 4 {
+		t.Fatalf("TotalWords = %d", s.TotalWords)
+	}
+	if s.MaxRoundSent != 4 || s.MaxRoundRecv != 4 {
+		t.Fatalf("MaxRoundSent=%d MaxRoundRecv=%d", s.MaxRoundSent, s.MaxRoundRecv)
+	}
+	if len(s.PerRound) != 1 || s.PerRound[0].Name != "send" || s.PerRound[0].MaxComm() != 4 {
+		t.Fatalf("PerRound = %+v", s.PerRound)
+	}
+}
+
+// Property: total sent always equals total received across any pattern.
+func TestConservationProperty(t *testing.T) {
+	f := func(seed uint16, mRaw uint8) bool {
+		m := int(mRaw%6) + 2
+		c := NewCluster(m, uint64(seed))
+		for round := 0; round < 3; round++ {
+			if err := c.Superstep("x", func(mc *Machine) error {
+				n := mc.RNG.Intn(4)
+				for i := 0; i < n; i++ {
+					dst := mc.RNG.Intn(mc.NumMachines())
+					sz := mc.RNG.Intn(5) + 1
+					mc.Send(dst, Floats(make([]float64, sz)))
+				}
+				return nil
+			}); err != nil {
+				return false
+			}
+		}
+		s := c.Stats()
+		var sent, recv int64
+		for i := range s.SentWords {
+			sent += s.SentWords[i]
+			recv += s.RecvWords[i]
+		}
+		return sent == recv && sent == s.TotalWords
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() []int64 {
+		c := NewCluster(8, 1234)
+		for round := 0; round < 5; round++ {
+			if err := c.Superstep("r", func(m *Machine) error {
+				// Random communication pattern driven by machine RNGs.
+				k := m.RNG.Intn(3) + 1
+				for i := 0; i < k; i++ {
+					m.Send(m.RNG.Intn(m.NumMachines()), Int(m.RNG.Intn(100)))
+				}
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return c.Stats().SentWords
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic: machine %d sent %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSendInvalidDestination(t *testing.T) {
+	c := NewCluster(2, 1)
+	err := c.Superstep("bad", func(m *Machine) error {
+		if m.ID() == 0 {
+			m.Send(7, Int(1))
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("send to invalid destination not reported")
+	}
+}
+
+func TestSuperstepErrorPropagation(t *testing.T) {
+	c := NewCluster(3, 1)
+	sentinel := errors.New("boom")
+	err := c.Superstep("err", func(m *Machine) error {
+		if m.ID() == 1 {
+			return sentinel
+		}
+		m.Send(0, Int(1))
+		return nil
+	})
+	if err == nil || !errors.Is(err, sentinel) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+	// Messages queued in a failed round are discarded.
+	if err := c.Superstep("after", func(m *Machine) error {
+		if len(m.Inbox()) != 0 {
+			return fmt.Errorf("machine %d received mail from failed round", m.ID())
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommCapSent(t *testing.T) {
+	c := NewCluster(2, 1, WithCommCap(3))
+	err := c.Superstep("over", func(m *Machine) error {
+		if m.ID() == 0 {
+			m.Send(1, Floats{1, 2, 3, 4})
+		}
+		return nil
+	})
+	if !errors.Is(err, ErrCommCap) {
+		t.Fatalf("want ErrCommCap, got %v", err)
+	}
+}
+
+func TestCommCapRecv(t *testing.T) {
+	c := NewCluster(4, 1, WithCommCap(3))
+	// Each sender stays under the cap, but the receiver aggregates over it.
+	err := c.Superstep("fanin", func(m *Machine) error {
+		if m.ID() != 0 {
+			m.Send(0, Floats{1, 2})
+		}
+		return nil
+	})
+	if !errors.Is(err, ErrCommCap) {
+		t.Fatalf("want ErrCommCap on receive side, got %v", err)
+	}
+}
+
+func TestCommCapUnderLimitOK(t *testing.T) {
+	c := NewCluster(2, 1, WithCommCap(10))
+	if err := c.Superstep("ok", func(m *Machine) error {
+		m.Send(1-m.ID(), Floats{1, 2, 3})
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLocalDoesNotCountRound(t *testing.T) {
+	c := NewCluster(3, 1)
+	var touched atomic.Int32
+	if err := c.Local(func(m *Machine) error {
+		touched.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if touched.Load() != 3 {
+		t.Fatalf("Local ran on %d machines", touched.Load())
+	}
+	if c.Stats().Rounds != 0 {
+		t.Fatalf("Local counted a round: %d", c.Stats().Rounds)
+	}
+}
+
+func TestLocalForbidsSend(t *testing.T) {
+	c := NewCluster(2, 1)
+	err := c.Local(func(m *Machine) error {
+		m.Send(0, Int(1))
+		return nil
+	})
+	if err == nil {
+		t.Fatal("Send inside Local not rejected")
+	}
+}
+
+func TestNoteMemory(t *testing.T) {
+	c := NewCluster(3, 1)
+	if err := c.Superstep("mem", func(m *Machine) error {
+		m.NoteMemory(int64(100 * (m.ID() + 1)))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats().MaxMemoryWords; got != 300 {
+		t.Fatalf("MaxMemoryWords = %d, want 300", got)
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	c := NewCluster(2, 1)
+	_ = c.Superstep("a", func(m *Machine) error { m.Send(0, Int(1)); return nil })
+	c.ResetStats()
+	s := c.Stats()
+	if s.Rounds != 0 || s.TotalWords != 0 || len(s.PerRound) != 0 {
+		t.Fatalf("ResetStats incomplete: %+v", s)
+	}
+}
+
+func TestStatsMerge(t *testing.T) {
+	a := Stats{Rounds: 2, TotalWords: 10, MaxRoundSent: 5, MaxRoundRecv: 4,
+		SentWords: []int64{3, 7}, RecvWords: []int64{7, 3},
+		PerRound: []RoundStats{{Name: "x"}}}
+	b := Stats{Rounds: 1, TotalWords: 6, MaxRoundSent: 6, MaxRoundRecv: 2,
+		SentWords: []int64{1, 5}, RecvWords: []int64{5, 1}, MaxMemoryWords: 44,
+		PerRound: []RoundStats{{Name: "y"}}}
+	a.Merge(b)
+	if a.Rounds != 3 || a.TotalWords != 16 || a.MaxRoundSent != 6 || a.MaxRoundRecv != 4 {
+		t.Fatalf("merge wrong: %+v", a)
+	}
+	if a.SentWords[0] != 4 || a.SentWords[1] != 12 {
+		t.Fatalf("merge sent wrong: %v", a.SentWords)
+	}
+	if a.MaxMemoryWords != 44 {
+		t.Fatalf("merge memory wrong: %d", a.MaxMemoryWords)
+	}
+	if len(a.PerRound) != 2 {
+		t.Fatalf("merge perround wrong: %v", a.PerRound)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	s := Stats{Rounds: 3, TotalWords: 12, MaxMemoryWords: 7}
+	str := s.String()
+	if str == "" {
+		t.Fatal("empty Stats.String")
+	}
+}
+
+func TestStatsCloneIsolation(t *testing.T) {
+	c := NewCluster(2, 1)
+	_ = c.Superstep("a", func(m *Machine) error { m.Send(0, Int(1)); return nil })
+	s := c.Stats()
+	s.SentWords[0] = 999
+	if c.Stats().SentWords[0] == 999 {
+		t.Fatal("Stats() returned aliased slice")
+	}
+}
+
+func TestPayloadWords(t *testing.T) {
+	cases := []struct {
+		p    Payload
+		want int
+	}{
+		{Int(5), 1},
+		{Float(2.5), 1},
+		{Ints{1, 2, 3}, 3},
+		{Floats{1, 2}, 2},
+		{Points{Pts: []metric.Point{{1, 2}, {3, 4, 5}}}, 5},
+		{TaggedPoints{Tag: 1, Pts: []metric.Point{{1, 2}}}, 3},
+		{KeyedFloats{Keys: []int{1, 2}, Vals: []float64{0.5, 0.5}}, 4},
+	}
+	for _, c := range cases {
+		if got := c.p.Words(); got != c.want {
+			t.Fatalf("%T.Words() = %d, want %d", c.p, got, c.want)
+		}
+	}
+}
+
+func TestCollectHelpers(t *testing.T) {
+	inbox := []Message{
+		{From: 0, Payload: Points{Pts: []metric.Point{{1}}}},
+		{From: 1, Payload: TaggedPoints{Tag: 2, Pts: []metric.Point{{2}, {3}}}},
+		{From: 2, Payload: Float(1.5)},
+		{From: 3, Payload: Floats{2.5, 3.5}},
+		{From: 4, Payload: Int(7)},
+		{From: 5, Payload: Ints{8, 9}},
+	}
+	pts := CollectPoints(inbox)
+	if len(pts) != 3 || pts[0][0] != 1 || pts[2][0] != 3 {
+		t.Fatalf("CollectPoints = %v", pts)
+	}
+	tagged := CollectTagged(inbox)
+	if len(tagged) != 1 || len(tagged[2]) != 2 {
+		t.Fatalf("CollectTagged = %v", tagged)
+	}
+	fs := CollectFloats(inbox)
+	if len(fs) != 3 || fs[0] != 1.5 || fs[2] != 3.5 {
+		t.Fatalf("CollectFloats = %v", fs)
+	}
+	is := CollectInts(inbox)
+	if len(is) != 3 || is[0] != 7 || is[2] != 9 {
+		t.Fatalf("CollectInts = %v", is)
+	}
+}
+
+func BenchmarkSuperstepOverhead(b *testing.B) {
+	for _, m := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			c := NewCluster(m, 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = c.Superstep("noop", func(mc *Machine) error { return nil })
+			}
+		})
+	}
+}
+
+func TestTracerObservesRounds(t *testing.T) {
+	var rounds []int
+	var names []string
+	c := NewCluster(2, 1, WithTracer(func(round int, rs RoundStats) {
+		rounds = append(rounds, round)
+		names = append(names, rs.Name)
+	}))
+	_ = c.Superstep("alpha", func(m *Machine) error { m.Send(0, Int(1)); return nil })
+	_ = c.Superstep("beta", func(m *Machine) error { return nil })
+	if len(rounds) != 2 || rounds[0] != 0 || rounds[1] != 1 {
+		t.Fatalf("tracer rounds %v", rounds)
+	}
+	if names[0] != "alpha" || names[1] != "beta" {
+		t.Fatalf("tracer names %v", names)
+	}
+}
+
+func TestTracerSeesCommTotals(t *testing.T) {
+	var got int64
+	c := NewCluster(2, 1, WithTracer(func(_ int, rs RoundStats) { got = rs.TotalWords }))
+	_ = c.Superstep("x", func(m *Machine) error {
+		if m.ID() == 0 {
+			m.Send(1, Floats{1, 2, 3})
+		}
+		return nil
+	})
+	if got != 3 {
+		t.Fatalf("tracer total words %d", got)
+	}
+}
+
+func TestSuperstepPanicRecovered(t *testing.T) {
+	c := NewCluster(3, 1)
+	err := c.Superstep("boom", func(m *Machine) error {
+		if m.ID() == 1 {
+			panic("machine exploded")
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "machine exploded") {
+		t.Fatalf("panic not converted to error: %v", err)
+	}
+	// The cluster stays usable.
+	if err := c.Superstep("after", func(m *Machine) error { return nil }); err != nil {
+		t.Fatalf("cluster unusable after panic: %v", err)
+	}
+}

@@ -1,0 +1,100 @@
+package mpc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RoundStats records communication for one superstep.
+type RoundStats struct {
+	// Name is the label passed to Superstep.
+	Name string
+	// MaxSent is the maximum words sent by any single machine this round.
+	MaxSent int64
+	// MaxRecv is the maximum words received by any single machine this round.
+	MaxRecv int64
+	// TotalWords is the total words sent by all machines this round.
+	TotalWords int64
+}
+
+// MaxComm returns the larger of MaxSent and MaxRecv: the round's
+// per-machine communication bottleneck.
+func (r RoundStats) MaxComm() int64 {
+	if r.MaxSent > r.MaxRecv {
+		return r.MaxSent
+	}
+	return r.MaxRecv
+}
+
+// Stats accumulates simulator metrics across rounds. All communication is
+// in words (one float64/int payload coordinate = one word).
+type Stats struct {
+	// Rounds is the number of supersteps executed.
+	Rounds int
+	// SentWords and RecvWords are cumulative per-machine totals.
+	SentWords []int64
+	RecvWords []int64
+	// MaxRoundSent/MaxRoundRecv are maxima over machines and rounds of
+	// per-round sent/received words — the quantity bounded by Õ(mk) in
+	// the paper.
+	MaxRoundSent int64
+	MaxRoundRecv int64
+	// TotalWords is the total communication volume of the run.
+	TotalWords int64
+	// MaxMemoryWords is the largest memory note recorded by any machine.
+	MaxMemoryWords int64
+	// PerRound holds one entry per superstep, in order.
+	PerRound []RoundStats
+}
+
+func (s Stats) clone() Stats {
+	out := s
+	out.SentWords = append([]int64(nil), s.SentWords...)
+	out.RecvWords = append([]int64(nil), s.RecvWords...)
+	out.PerRound = append([]RoundStats(nil), s.PerRound...)
+	return out
+}
+
+// MaxRoundComm returns the per-machine per-round communication bottleneck:
+// the maximum over rounds and machines of words sent or received.
+func (s Stats) MaxRoundComm() int64 {
+	if s.MaxRoundSent > s.MaxRoundRecv {
+		return s.MaxRoundSent
+	}
+	return s.MaxRoundRecv
+}
+
+// String renders a compact human-readable summary.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "rounds=%d totalWords=%d maxRoundSent=%d maxRoundRecv=%d",
+		s.Rounds, s.TotalWords, s.MaxRoundSent, s.MaxRoundRecv)
+	if s.MaxMemoryWords > 0 {
+		fmt.Fprintf(&b, " maxMemWords=%d", s.MaxMemoryWords)
+	}
+	return b.String()
+}
+
+// Merge folds other into s (element-wise sums and maxima), used when an
+// algorithm runs several sub-phases on distinct clusters and wants one
+// aggregate report. Per-machine slices must have equal length.
+func (s *Stats) Merge(other Stats) {
+	s.Rounds += other.Rounds
+	s.TotalWords += other.TotalWords
+	if other.MaxRoundSent > s.MaxRoundSent {
+		s.MaxRoundSent = other.MaxRoundSent
+	}
+	if other.MaxRoundRecv > s.MaxRoundRecv {
+		s.MaxRoundRecv = other.MaxRoundRecv
+	}
+	if other.MaxMemoryWords > s.MaxMemoryWords {
+		s.MaxMemoryWords = other.MaxMemoryWords
+	}
+	for i := range other.SentWords {
+		if i < len(s.SentWords) {
+			s.SentWords[i] += other.SentWords[i]
+			s.RecvWords[i] += other.RecvWords[i]
+		}
+	}
+	s.PerRound = append(s.PerRound, other.PerRound...)
+}

@@ -1,0 +1,242 @@
+package outliers
+
+import (
+	"testing"
+
+	"parclust/internal/instance"
+	"parclust/internal/kcenter"
+	"parclust/internal/metric"
+	"parclust/internal/mpc"
+	"parclust/internal/rng"
+	"parclust/internal/workload"
+)
+
+func makeInstance(pts []metric.Point, m int) *instance.Instance {
+	return instance.New(metric.L2{}, workload.PartitionRoundRobin(nil, pts, m))
+}
+
+// plantOutliers returns clustered data plus z far-away noise points.
+func plantOutliers(r *rng.RNG, n, z int) []metric.Point {
+	pts := workload.GaussianMixture(r, n, 2, 4, 200, 1)
+	for i := 0; i < z; i++ {
+		pts = append(pts, metric.Point{1e6 + float64(i)*1e5, 1e6})
+	}
+	return pts
+}
+
+func TestRadiusWithOutliers(t *testing.T) {
+	space := metric.L2{}
+	pts := []metric.Point{{0}, {1}, {2}, {100}}
+	centers := []metric.Point{{0}}
+	if r := RadiusWithOutliers(space, pts, centers, 0); r != 100 {
+		t.Fatalf("z=0 radius %v", r)
+	}
+	if r := RadiusWithOutliers(space, pts, centers, 1); r != 2 {
+		t.Fatalf("z=1 radius %v", r)
+	}
+	if r := RadiusWithOutliers(space, pts, centers, 10); r != 0 {
+		t.Fatalf("z>=n radius %v", r)
+	}
+}
+
+func TestSequentialThreeApproxTiny(t *testing.T) {
+	r := rng.New(1)
+	for trial := 0; trial < 25; trial++ {
+		pts := make([]metric.Point, 10)
+		for i := range pts {
+			pts[i] = metric.Point{r.Float64() * 100, r.Float64() * 100}
+		}
+		k, z := 2, 2
+		centers, radius, err := Sequential(metric.L2{}, pts, k, z)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(centers) > k {
+			t.Fatalf("%d centers", len(centers))
+		}
+		opt := ExactTiny(metric.L2{}, pts, k, z)
+		if radius > 3*opt+1e-9 {
+			t.Fatalf("trial %d: radius %v > 3·opt %v", trial, radius, opt)
+		}
+	}
+}
+
+func TestSequentialRejects(t *testing.T) {
+	if _, _, err := Sequential(metric.L2{}, []metric.Point{{0}}, 0, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, _, err := Sequential(metric.L2{}, nil, 1, 0); err == nil {
+		t.Fatal("empty accepted")
+	}
+}
+
+func TestSequentialZeroOutliersMatchesPlainKCenter(t *testing.T) {
+	r := rng.New(2)
+	pts := make([]metric.Point, 12)
+	for i := range pts {
+		pts[i] = metric.Point{r.Float64() * 50}
+	}
+	_, radius, err := Sequential(metric.L2{}, pts, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := ExactTiny(metric.L2{}, pts, 3, 0)
+	if radius > 3*opt+1e-9 {
+		t.Fatalf("z=0 radius %v vs opt %v", radius, opt)
+	}
+}
+
+func TestMPCThirteenApproxTiny(t *testing.T) {
+	r := rng.New(3)
+	for trial := 0; trial < 15; trial++ {
+		pts := make([]metric.Point, 12)
+		for i := range pts {
+			pts[i] = metric.Point{r.Float64() * 100, r.Float64() * 100}
+		}
+		k, z := 2, 2
+		in := makeInstance(pts, 3)
+		c := mpc.NewCluster(3, uint64(trial))
+		res, err := MPC(c, in, k, z)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Centers) > k {
+			t.Fatalf("%d centers", len(res.Centers))
+		}
+		opt := ExactTiny(metric.L2{}, pts, k, z)
+		if res.Radius > 13*opt+1e-9 {
+			t.Fatalf("trial %d: radius %v > 13·opt %v", trial, res.Radius, opt)
+		}
+	}
+}
+
+func TestMPCRejects(t *testing.T) {
+	in := makeInstance(workload.Line(6), 2)
+	c := mpc.NewCluster(2, 1)
+	if _, err := MPC(c, in, 0, 1); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := MPC(c, in, 2, -1); err == nil {
+		t.Fatal("z<0 accepted")
+	}
+	if _, err := MPC(c, makeInstance(nil, 2), 2, 1); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := MPC(mpc.NewCluster(3, 1), in, 2, 1); err == nil {
+		t.Fatal("mismatch accepted")
+	}
+}
+
+// The robustness story: planted far-away noise wrecks plain k-center but
+// not the outlier variant.
+func TestOutliersAbsorbNoise(t *testing.T) {
+	r := rng.New(4)
+	const n, z, k, m = 400, 5, 4, 4
+	pts := plantOutliers(r, n, z)
+	in := makeInstance(pts, m)
+
+	c1 := mpc.NewCluster(m, 7)
+	plain, err := kcenter.Solve(c1, in, kcenter.Config{K: k, Eps: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := mpc.NewCluster(m, 7)
+	robust, err := MPC(c2, in, k, z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The noise sits ~1e6 away; plain k-center must either burn centers
+	// on it or blow its radius, while the outlier variant stays at the
+	// cluster scale (couple hundred).
+	if robust.Radius > 1000 {
+		t.Fatalf("outlier-aware radius %v still noise-dominated", robust.Radius)
+	}
+	if plain.Radius < 10*robust.Radius {
+		// plain either blew up (usual) or spent centers on noise leaving
+		// real clusters merged — both inflate its radius vs robust.
+		t.Fatalf("plain radius %v vs robust %v: noise did not separate them",
+			plain.Radius, robust.Radius)
+	}
+}
+
+func TestMPCCoresetSizeBounded(t *testing.T) {
+	r := rng.New(5)
+	pts := workload.UniformCube(r, 300, 2, 100)
+	const m, k, z = 4, 3, 5
+	in := makeInstance(pts, m)
+	c := mpc.NewCluster(m, 1)
+	res, err := MPC(c, in, k, z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CoresetSize > m*(k+z+1) {
+		t.Fatalf("coreset size %d > m(k+z+1) = %d", res.CoresetSize, m*(k+z+1))
+	}
+}
+
+func TestMPCDeterministic(t *testing.T) {
+	r := rng.New(6)
+	pts := workload.UniformCube(r, 200, 2, 50)
+	run := func() float64 {
+		in := makeInstance(pts, 3)
+		c := mpc.NewCluster(3, 11)
+		res, err := MPC(c, in, 3, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Radius
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic: %v vs %v", a, b)
+	}
+}
+
+func TestExactTinyEdge(t *testing.T) {
+	space := metric.L2{}
+	pts := []metric.Point{{0}, {10}}
+	if opt := ExactTiny(space, pts, 5, 0); opt != 0 {
+		t.Fatalf("k>n opt %v", opt)
+	}
+	if opt := ExactTiny(space, pts, 1, 1); opt != 0 {
+		t.Fatalf("k=1 z=1 opt %v", opt)
+	}
+	if opt := ExactTiny(space, pts, 1, 0); opt != 10 {
+		t.Fatalf("k=1 z=0 opt %v", opt)
+	}
+}
+
+func TestCharikarWeightedRespectsWeights(t *testing.T) {
+	space := metric.L2{}
+	// One heavy point far away, several unit points together: with k=1
+	// and r small, the heavy point's disk wins.
+	wp := []weightedPoint{
+		{pt: metric.Point{0}, w: 1},
+		{pt: metric.Point{0.1}, w: 1},
+		{pt: metric.Point{100}, w: 10},
+	}
+	centers, uncovered := charikarWeighted(space, wp, 1, 0.5)
+	if len(centers) != 1 || centers[0][0] != 100 {
+		t.Fatalf("centers %v", centers)
+	}
+	if uncovered != 2 {
+		t.Fatalf("uncovered %d", uncovered)
+	}
+}
+
+func TestSolveWeightedAllDuplicates(t *testing.T) {
+	space := metric.L2{}
+	wp := []weightedPoint{{pt: metric.Point{5}, w: 3}, {pt: metric.Point{5}, w: 2}}
+	centers := solveWeighted(space, wp, 1, 0)
+	if len(centers) != 1 {
+		t.Fatalf("centers %v", centers)
+	}
+	if r := RadiusWithOutliers(space, []metric.Point{{5}, {5}}, centers, 0); r != 0 {
+		t.Fatalf("radius %v", r)
+	}
+}
+
+func TestSolveWeightedEmpty(t *testing.T) {
+	if c := solveWeighted(metric.L2{}, nil, 2, 0); c != nil {
+		t.Fatalf("empty input centers %v", c)
+	}
+}

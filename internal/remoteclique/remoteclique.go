@@ -1,0 +1,287 @@
+// Package remoteclique implements remote-clique diversity maximization —
+// pick a k-subset maximizing the SUM of pairwise distances — the sibling
+// objective the paper's related-work section tracks (Indyk et al. [19],
+// Abbasi Zadeh et al. [1], Epasto et al. [13], Mirrokni–Zadimoghaddam
+// [23]).
+//
+// Three solvers:
+//
+//   - Greedy: repeatedly add the point with the largest total distance to
+//     the current selection (constant-factor sequentially).
+//   - LocalSearch: 1-swap hill climbing from the greedy start; the
+//     classical 2-approximation for dispersion-sum.
+//   - MPCCoreset: the composable-coreset distributed algorithm — every
+//     machine ships GMM(V_i, k) (Indyk et al. prove GMM cores compose
+//     within a constant factor for remote-clique), and the central
+//     machine runs LocalSearch on the union. Two MPC rounds.
+package remoteclique
+
+import (
+	"fmt"
+	"math"
+
+	"parclust/internal/gmm"
+	"parclust/internal/instance"
+	"parclust/internal/metric"
+	"parclust/internal/mpc"
+)
+
+// SumDiversity returns the sum of pairwise distances within set.
+func SumDiversity(space metric.Space, set []metric.Point) float64 {
+	var s float64
+	for i := 0; i < len(set); i++ {
+		for j := i + 1; j < len(set); j++ {
+			s += space.Dist(set[i], set[j])
+		}
+	}
+	return s
+}
+
+// Greedy selects min(k, len(pts)) indices: the farthest pair first, then
+// repeatedly the point maximizing its summed distance to the selection.
+// Ties resolve to the lowest index.
+func Greedy(space metric.Space, pts []metric.Point, k int) []int {
+	n := len(pts)
+	if n == 0 || k <= 0 {
+		return nil
+	}
+	if k > n {
+		k = n
+	}
+	if k == 1 {
+		return []int{0}
+	}
+	// Seed with the farthest pair.
+	bi, bj, best := 0, 0, -1.0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if d := space.Dist(pts[i], pts[j]); d > best {
+				bi, bj, best = i, j, d
+			}
+		}
+	}
+	chosen := []int{bi, bj}
+	in := make([]bool, n)
+	in[bi], in[bj] = true, true
+	// sumTo[i] = Σ_{c ∈ chosen} d(pts[i], c), maintained incrementally.
+	sumTo := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sumTo[i] = space.Dist(pts[i], pts[bi]) + space.Dist(pts[i], pts[bj])
+	}
+	for len(chosen) < k {
+		arg, argV := -1, math.Inf(-1)
+		for i := 0; i < n; i++ {
+			if !in[i] && sumTo[i] > argV {
+				arg, argV = i, sumTo[i]
+			}
+		}
+		chosen = append(chosen, arg)
+		in[arg] = true
+		for i := 0; i < n; i++ {
+			sumTo[i] += space.Dist(pts[i], pts[arg])
+		}
+	}
+	return chosen
+}
+
+// LocalSearch improves a greedy start by 1-swaps until no swap improves
+// the objective or maxIters passes complete (maxIters ≤ 0 means 50). It
+// returns selected indices.
+func LocalSearch(space metric.Space, pts []metric.Point, k, maxIters int) []int {
+	chosen := Greedy(space, pts, k)
+	if len(chosen) < 2 {
+		return chosen
+	}
+	if maxIters <= 0 {
+		maxIters = 50
+	}
+	n := len(pts)
+	in := make([]bool, n)
+	for _, c := range chosen {
+		in[c] = true
+	}
+	// contribution[t] = Σ_{s ∈ chosen, s ≠ chosen[t]} d(chosen[t], s).
+	contrib := func(t int) float64 {
+		var s float64
+		for u, c := range chosen {
+			if u != t {
+				s += space.Dist(pts[chosen[t]], pts[c])
+			}
+		}
+		return s
+	}
+	for pass := 0; pass < maxIters; pass++ {
+		improved := false
+		for t := range chosen {
+			out := contrib(t)
+			bestGain, bestCand := 1e-12, -1
+			for i := 0; i < n; i++ {
+				if in[i] {
+					continue
+				}
+				var inSum float64
+				for u, c := range chosen {
+					if u != t {
+						inSum += space.Dist(pts[i], pts[c])
+					}
+				}
+				if gain := inSum - out; gain > bestGain {
+					bestGain, bestCand = gain, i
+				}
+			}
+			if bestCand >= 0 {
+				in[chosen[t]] = false
+				in[bestCand] = true
+				chosen[t] = bestCand
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return chosen
+}
+
+// Result is an MPC remote-clique solution.
+type Result struct {
+	Points []metric.Point
+	IDs    []int
+	// Sum is the achieved sum of pairwise distances.
+	Sum float64
+}
+
+// MPCCoreset runs the two-round composable-coreset algorithm over in.
+func MPCCoreset(c *mpc.Cluster, in *instance.Instance, k int) (*Result, error) {
+	if c.NumMachines() != in.Machines() {
+		return nil, fmt.Errorf("remoteclique: cluster has %d machines, instance has %d parts",
+			c.NumMachines(), in.Machines())
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("remoteclique: k = %d, need k >= 1", k)
+	}
+	if in.N == 0 {
+		return nil, fmt.Errorf("remoteclique: empty instance")
+	}
+
+	err := c.Superstep("remoteclique/local-coreset", func(mc *mpc.Machine) error {
+		i := mc.ID()
+		idx := gmm.RunIndices(in.Space, in.Parts[i], k, 0)
+		pts := make([]metric.Point, len(idx))
+		ids := make([]int, len(idx))
+		for t, j := range idx {
+			pts[t] = in.Parts[i][j]
+			ids[t] = in.IDs[i][j]
+		}
+		mc.SendCentral(mpc.IndexedPoints{IDs: ids, Pts: pts})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{}
+	err = c.Superstep("remoteclique/central-solve", func(mc *mpc.Machine) error {
+		if !mc.IsCentral() {
+			return nil
+		}
+		ids, pts := mpc.CollectIndexed(mc.Inbox())
+		mc.NoteMemory(int64(len(ids) + metric.TotalWords(pts)))
+		sel := LocalSearch(in.Space, pts, k, 0)
+		for _, j := range sel {
+			res.Points = append(res.Points, pts[j])
+			res.IDs = append(res.IDs, ids[j])
+		}
+		res.Sum = SumDiversity(in.Space, res.Points)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// ExactTiny returns the optimal sum-diversity by enumerating all
+// k-subsets (exponential; test fixtures only).
+func ExactTiny(space metric.Space, pts []metric.Point, k int) float64 {
+	if k > len(pts) {
+		k = len(pts)
+	}
+	best := math.Inf(-1)
+	idx := make([]int, k)
+	var rec func(start, depth int)
+	rec = func(start, depth int) {
+		if depth == k {
+			sel := make([]metric.Point, k)
+			for i, j := range idx {
+				sel[i] = pts[j]
+			}
+			if s := SumDiversity(space, sel); s > best {
+				best = s
+			}
+			return
+		}
+		for i := start; i < len(pts); i++ {
+			idx[depth] = i
+			rec(i+1, depth+1)
+		}
+	}
+	if k >= 0 {
+		rec(0, 0)
+	}
+	return best
+}
+
+// MPCRandomizedCoreset runs the randomized-composable-coreset variant
+// (Mirrokni–Zadimoghaddam, STOC 2015): assuming the input was partitioned
+// uniformly at random (the paper's requirement — adversarial partitions
+// void its guarantee), each machine solves its shard with LocalSearch and
+// ships only that solution; the central machine runs LocalSearch over the
+// union of the m local solutions. Same two-round shape as MPCCoreset but
+// the local summary is an optimized solution rather than a GMM net.
+func MPCRandomizedCoreset(c *mpc.Cluster, in *instance.Instance, k int) (*Result, error) {
+	if c.NumMachines() != in.Machines() {
+		return nil, fmt.Errorf("remoteclique: cluster has %d machines, instance has %d parts",
+			c.NumMachines(), in.Machines())
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("remoteclique: k = %d, need k >= 1", k)
+	}
+	if in.N == 0 {
+		return nil, fmt.Errorf("remoteclique: empty instance")
+	}
+	err := c.Superstep("remoteclique/rand-local", func(mc *mpc.Machine) error {
+		i := mc.ID()
+		sel := LocalSearch(in.Space, in.Parts[i], k, 0)
+		pts := make([]metric.Point, len(sel))
+		ids := make([]int, len(sel))
+		for t, j := range sel {
+			pts[t] = in.Parts[i][j]
+			ids[t] = in.IDs[i][j]
+		}
+		mc.SendCentral(mpc.IndexedPoints{IDs: ids, Pts: pts})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	err = c.Superstep("remoteclique/rand-central", func(mc *mpc.Machine) error {
+		if !mc.IsCentral() {
+			return nil
+		}
+		ids, pts := mpc.CollectIndexed(mc.Inbox())
+		mc.NoteMemory(int64(len(ids) + metric.TotalWords(pts)))
+		sel := LocalSearch(in.Space, pts, k, 0)
+		for _, j := range sel {
+			res.Points = append(res.Points, pts[j])
+			res.IDs = append(res.IDs, ids[j])
+		}
+		res.Sum = SumDiversity(in.Space, res.Points)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,227 @@
+package remoteclique
+
+import (
+	"testing"
+
+	"parclust/internal/instance"
+	"parclust/internal/metric"
+	"parclust/internal/mpc"
+	"parclust/internal/rng"
+	"parclust/internal/workload"
+)
+
+func randomPoints(r *rng.RNG, n int) []metric.Point {
+	pts := make([]metric.Point, n)
+	for i := range pts {
+		pts[i] = metric.Point{r.Float64() * 100, r.Float64() * 100}
+	}
+	return pts
+}
+
+func TestSumDiversity(t *testing.T) {
+	space := metric.L2{}
+	set := []metric.Point{{0}, {1}, {3}}
+	// pairs: 1 + 3 + 2 = 6
+	if s := SumDiversity(space, set); s != 6 {
+		t.Fatalf("sum = %v, want 6", s)
+	}
+	if s := SumDiversity(space, set[:1]); s != 0 {
+		t.Fatalf("singleton sum = %v", s)
+	}
+}
+
+func TestGreedyBasics(t *testing.T) {
+	space := metric.L2{}
+	pts := []metric.Point{{0}, {5}, {10}, {5.1}}
+	sel := Greedy(space, pts, 2)
+	// Farthest pair is {0, 10}.
+	if len(sel) != 2 || sel[0] != 0 || sel[1] != 2 {
+		t.Fatalf("greedy pair = %v", sel)
+	}
+	if got := Greedy(space, nil, 3); got != nil {
+		t.Fatalf("empty input: %v", got)
+	}
+	if got := Greedy(space, pts, 0); got != nil {
+		t.Fatalf("k=0: %v", got)
+	}
+	if got := Greedy(space, pts, 1); len(got) != 1 {
+		t.Fatalf("k=1: %v", got)
+	}
+	if got := Greedy(space, pts, 99); len(got) != 4 {
+		t.Fatalf("k>n: %v", got)
+	}
+}
+
+func TestGreedyDistinctIndices(t *testing.T) {
+	r := rng.New(1)
+	pts := randomPoints(r, 30)
+	sel := Greedy(metric.L2{}, pts, 10)
+	seen := map[int]bool{}
+	for _, i := range sel {
+		if seen[i] {
+			t.Fatalf("duplicate index %d", i)
+		}
+		seen[i] = true
+	}
+}
+
+func TestLocalSearchNeverWorseThanGreedy(t *testing.T) {
+	r := rng.New(2)
+	space := metric.L2{}
+	for trial := 0; trial < 20; trial++ {
+		pts := randomPoints(r, 25)
+		k := 2 + r.Intn(5)
+		g := Greedy(space, pts, k)
+		ls := LocalSearch(space, pts, k, 0)
+		gSum := SumDiversity(space, indexPts(pts, g))
+		lsSum := SumDiversity(space, indexPts(pts, ls))
+		if lsSum < gSum-1e-9 {
+			t.Fatalf("trial %d: local search %v worse than greedy %v", trial, lsSum, gSum)
+		}
+	}
+}
+
+func TestLocalSearchNearOptimalTiny(t *testing.T) {
+	r := rng.New(3)
+	space := metric.L2{}
+	for trial := 0; trial < 20; trial++ {
+		pts := randomPoints(r, 10)
+		k := 3
+		ls := LocalSearch(space, pts, k, 0)
+		got := SumDiversity(space, indexPts(pts, ls))
+		opt := ExactTiny(space, pts, k)
+		// Local search is a 2-approximation; random instances land much
+		// closer, but assert only the certified envelope.
+		if got < opt/2-1e-9 {
+			t.Fatalf("trial %d: local search %v < opt/2 = %v", trial, got, opt/2)
+		}
+	}
+}
+
+func TestMPCCoresetFactorTiny(t *testing.T) {
+	r := rng.New(4)
+	space := metric.L2{}
+	for trial := 0; trial < 15; trial++ {
+		pts := randomPoints(r, 12)
+		k := 3
+		in := instance.New(space, workload.PartitionRoundRobin(nil, pts, 3))
+		c := mpc.NewCluster(3, uint64(trial))
+		res, err := MPCCoreset(c, in, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Points) != k {
+			t.Fatalf("selection size %d", len(res.Points))
+		}
+		opt := ExactTiny(space, pts, k)
+		// Composable-coreset constant factor; assert a conservative 3.
+		if res.Sum < opt/3-1e-9 {
+			t.Fatalf("trial %d: MPC sum %v < opt/3 = %v", trial, res.Sum, opt/3)
+		}
+		if c.Stats().Rounds != 2 {
+			t.Fatalf("rounds = %d, want 2", c.Stats().Rounds)
+		}
+	}
+}
+
+func TestMPCCoresetRejects(t *testing.T) {
+	in := instance.New(metric.L2{}, workload.PartitionRoundRobin(nil, workload.Line(6), 2))
+	if _, err := MPCCoreset(mpc.NewCluster(2, 1), in, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := MPCCoreset(mpc.NewCluster(3, 1), in, 2); err == nil {
+		t.Fatal("mismatch accepted")
+	}
+	empty := instance.New(metric.L2{}, workload.PartitionRoundRobin(nil, nil, 2))
+	if _, err := MPCCoreset(mpc.NewCluster(2, 1), empty, 2); err == nil {
+		t.Fatal("empty accepted")
+	}
+}
+
+func TestMPCIDsMatchPoints(t *testing.T) {
+	r := rng.New(5)
+	pts := randomPoints(r, 60)
+	in := instance.New(metric.L2{}, workload.PartitionRandom(r, pts, 4))
+	c := mpc.NewCluster(4, 9)
+	res, err := MPCCoreset(c, in, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range res.IDs {
+		if p := in.PointByID(id); p == nil || !p.Equal(res.Points[i]) {
+			t.Fatalf("id %d mismatched", id)
+		}
+	}
+}
+
+func TestExactTinyKnown(t *testing.T) {
+	space := metric.L2{}
+	pts := []metric.Point{{0}, {1}, {10}}
+	// k=2 best is {0,10} with sum 10.
+	if opt := ExactTiny(space, pts, 2); opt != 10 {
+		t.Fatalf("opt = %v", opt)
+	}
+	// k > n clamps to all points: 1+10+9 = 20.
+	if opt := ExactTiny(space, pts, 5); opt != 20 {
+		t.Fatalf("opt k>n = %v", opt)
+	}
+}
+
+func TestDuplicatePointsStable(t *testing.T) {
+	space := metric.L2{}
+	pts := []metric.Point{{3}, {3}, {3}, {3}}
+	sel := LocalSearch(space, pts, 2, 0)
+	if len(sel) != 2 {
+		t.Fatalf("duplicates selection %v", sel)
+	}
+	in := instance.New(space, workload.PartitionRoundRobin(nil, pts, 2))
+	c := mpc.NewCluster(2, 1)
+	res, err := MPCCoreset(c, in, 2)
+	if err != nil || len(res.Points) != 2 || res.Sum != 0 {
+		t.Fatalf("duplicates MPC: %+v %v", res, err)
+	}
+}
+
+func indexPts(pts []metric.Point, idx []int) []metric.Point {
+	out := make([]metric.Point, len(idx))
+	for i, j := range idx {
+		out[i] = pts[j]
+	}
+	return out
+}
+
+func TestMPCRandomizedCoreset(t *testing.T) {
+	r := rng.New(7)
+	pts := randomPoints(r, 200)
+	in := instance.New(metric.L2{}, workload.PartitionRandom(r, pts, 4))
+	c := mpc.NewCluster(4, 9)
+	res, err := MPCRandomizedCoreset(c, in, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 6 {
+		t.Fatalf("selection size %d", len(res.Points))
+	}
+	if c.Stats().Rounds != 2 {
+		t.Fatalf("rounds = %d", c.Stats().Rounds)
+	}
+	// Quality comparable to the GMM-coreset variant.
+	c2 := mpc.NewCluster(4, 9)
+	base, err := MPCCoreset(c2, in, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sum < base.Sum*0.7 {
+		t.Fatalf("randomized coreset sum %v far below GMM coreset %v", res.Sum, base.Sum)
+	}
+}
+
+func TestMPCRandomizedCoresetRejects(t *testing.T) {
+	in := instance.New(metric.L2{}, workload.PartitionRoundRobin(nil, workload.Line(6), 2))
+	if _, err := MPCRandomizedCoreset(mpc.NewCluster(2, 1), in, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := MPCRandomizedCoreset(mpc.NewCluster(3, 1), in, 2); err == nil {
+		t.Fatal("mismatch accepted")
+	}
+}

@@ -1,0 +1,213 @@
+// Package rng provides a small, fast, deterministic and splittable
+// pseudo-random number generator used throughout the MPC simulator.
+//
+// Determinism matters here more than statistical perfection: every machine
+// of a simulated cluster owns an independent stream derived from the
+// cluster seed and the machine index, so the outcome of a simulated run is
+// identical regardless of how the Go scheduler interleaves the machine
+// goroutines. The generator is SplitMix64 (Steele, Lea, Flood 2014), which
+// passes BigCrush when used as a 64-bit generator and supports O(1)
+// splitting by construction.
+package rng
+
+import "math"
+
+// goldenGamma is the SplitMix64 increment: 2^64 / phi, rounded to odd.
+const goldenGamma = 0x9E3779B97F4A7C15
+
+// RNG is a deterministic splittable pseudo-random generator. The zero
+// value is a valid generator seeded with 0; use New for an explicit seed.
+// RNG is not safe for concurrent use; split independent streams instead of
+// sharing one.
+type RNG struct {
+	state uint64
+	gamma uint64
+
+	// cached second normal variate from Box-Muller.
+	haveGauss bool
+	gauss     float64
+}
+
+// New returns a generator seeded with seed.
+func New(seed uint64) *RNG {
+	return &RNG{state: seed, gamma: goldenGamma}
+}
+
+// mix64 is the SplitMix64 output function (variant 13).
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// mixGamma derives a new odd gamma for a split stream.
+func mixGamma(z uint64) uint64 {
+	z = (z ^ (z >> 33)) * 0xFF51AFD7ED558CCD
+	z = (z ^ (z >> 33)) * 0xC4CEB9FE1A85EC53
+	z = (z ^ (z >> 33)) | 1
+	// SplitMix64 requires gammas with sufficiently many bit transitions;
+	// fix up weak gammas exactly as in the reference implementation.
+	if popcount(z^(z>>1)) < 24 {
+		z ^= 0xAAAAAAAAAAAAAAAA
+	}
+	return z
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	if r.gamma == 0 {
+		r.gamma = goldenGamma
+	}
+	r.state += r.gamma
+	return mix64(r.state)
+}
+
+// Split returns a new generator whose stream is statistically independent
+// of the receiver's. Both generators may be used afterwards.
+func (r *RNG) Split() *RNG {
+	seed := r.Uint64()
+	gamma := mixGamma(r.Uint64())
+	return &RNG{state: seed, gamma: gamma}
+}
+
+// SplitAt returns a stream deterministically derived from the receiver's
+// current seed and the given label, without advancing the receiver. Two
+// distinct labels always yield distinct, independent streams, making it
+// the right tool for deriving per-machine streams from a cluster seed.
+func (r *RNG) SplitAt(label uint64) *RNG {
+	seed := mix64(r.state ^ mix64(label*goldenGamma+1))
+	gamma := mixGamma(mix64(seed ^ label))
+	return &RNG{state: seed, gamma: gamma}
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with n <= 0")
+	}
+	return int(r.boundedUint64(uint64(n)))
+}
+
+// Int63 returns a uniform non-negative int64.
+func (r *RNG) Int63() int64 {
+	return int64(r.Uint64() >> 1)
+}
+
+// boundedUint64 returns a uniform value in [0, n) using Lemire's
+// multiply-shift rejection method.
+func (r *RNG) boundedUint64(n uint64) uint64 {
+	for {
+		v := r.Uint64()
+		hi, lo := mul64(v, n)
+		if lo >= n || lo >= -n%n {
+			return hi
+		}
+	}
+}
+
+// mul64 computes the 128-bit product of a and b.
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 0xFFFFFFFF
+	aLo, aHi := a&mask, a>>32
+	bLo, bHi := b&mask, b>>32
+	t := aLo*bHi + (aLo*bLo)>>32
+	w1 := t & mask
+	w2 := t >> 32
+	w1 += aHi * bLo
+	hi = aHi*bHi + w2 + (w1 >> 32)
+	lo = a * b
+	return hi, lo
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bernoulli returns true with probability p (clamped to [0,1]).
+func (r *RNG) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// NormFloat64 returns a standard normal variate via Box-Muller.
+func (r *RNG) NormFloat64() float64 {
+	if r.haveGauss {
+		r.haveGauss = false
+		return r.gauss
+	}
+	for {
+		u := r.Float64()
+		if u == 0 {
+			continue
+		}
+		v := r.Float64()
+		radius := math.Sqrt(-2 * math.Log(u))
+		theta := 2 * math.Pi * v
+		r.gauss = radius * math.Sin(theta)
+		r.haveGauss = true
+		return radius * math.Cos(theta)
+	}
+}
+
+// ExpFloat64 returns an exponential variate with rate 1.
+func (r *RNG) ExpFloat64() float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return -math.Log(u)
+		}
+	}
+}
+
+// Perm returns a uniform random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle permutes the n elements addressed by swap uniformly at random.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Sample returns a uniform random k-subset of [0, n) as indices in
+// selection order (partial Fisher-Yates). It panics if k > n or k < 0.
+func (r *RNG) Sample(n, k int) []int {
+	if k < 0 || k > n {
+		panic("rng: Sample requires 0 <= k <= n")
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < k; i++ {
+		j := i + r.Intn(n-i)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	return idx[:k]
+}

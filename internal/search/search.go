@@ -1,0 +1,48 @@
+// Package search provides the memoized boundary search the three
+// application algorithms use to locate the critical threshold in their
+// τ-ladders in O(log 1/ε) probes (each probe being a constant-round
+// k-bounded MIS computation).
+package search
+
+// Boundary finds an index j in [lo, hi) such that probe(j) is true and
+// probe(j+1) is false, given that probe(lo) is true and probe(hi) is
+// false. probe is called at most once per index (results are memoized by
+// the loop invariant: lo always probed true, hi always probed false), so
+// even when the underlying predicate is randomized and non-monotone the
+// returned bracket (j true, j+1 false) reflects actual probe outcomes —
+// exactly what the approximation proofs need.
+func Boundary(lo, hi int, probe func(int) (bool, error)) (int, error) {
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		ok, err := probe(mid)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}
+
+// BoundaryUp finds the mirrored bracket: an index j in (lo, hi] such that
+// probe(j) is true and probe(j-1) is false, given probe(lo) false and
+// probe(hi) true. Used by k-supplier, whose predicate turns true as the
+// threshold grows.
+func BoundaryUp(lo, hi int, probe func(int) (bool, error)) (int, error) {
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		ok, err := probe(mid)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}

@@ -1,0 +1,84 @@
+package search
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestBoundaryMonotone(t *testing.T) {
+	f := func(cutRaw, hiRaw uint8) bool {
+		hi := int(hiRaw)%50 + 2
+		cut := int(cutRaw) % hi // predicate true for i <= cut, false after
+		probes := 0
+		j, err := Boundary(0, hi, func(i int) (bool, error) {
+			probes++
+			return i <= cut, nil
+		})
+		if err != nil {
+			return false
+		}
+		// Probe count is logarithmic.
+		if probes > 10 {
+			return false
+		}
+		return j == cut
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoundaryUpMonotone(t *testing.T) {
+	f := func(cutRaw, hiRaw uint8) bool {
+		hi := int(hiRaw)%50 + 2
+		cut := int(cutRaw)%hi + 1 // predicate true for i >= cut
+		j, err := BoundaryUp(0, hi, func(i int) (bool, error) {
+			return i >= cut, nil
+		})
+		return err == nil && j == cut
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoundaryAdjacent(t *testing.T) {
+	// hi - lo == 1: nothing to probe; the bracket is (lo, hi) itself.
+	called := false
+	j, err := Boundary(3, 4, func(int) (bool, error) { called = true; return false, nil })
+	if err != nil || j != 3 || called {
+		t.Fatalf("adjacent: j=%d called=%v err=%v", j, called, err)
+	}
+}
+
+func TestBoundaryError(t *testing.T) {
+	sentinel := errors.New("probe failed")
+	if _, err := Boundary(0, 10, func(int) (bool, error) { return false, sentinel }); !errors.Is(err, sentinel) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+	if _, err := BoundaryUp(0, 10, func(int) (bool, error) { return false, sentinel }); !errors.Is(err, sentinel) {
+		t.Fatalf("BoundaryUp error not propagated: %v", err)
+	}
+}
+
+// Even with a non-monotone predicate, the returned j was actually probed
+// true and j+1 probed false (or is the never-probed endpoint).
+func TestBoundaryNonMonotoneBracketsProbes(t *testing.T) {
+	results := map[int]bool{0: true, 10: false} // endpoints by contract
+	vals := []bool{true, false, true, false, true, false, true, false, true}
+	j, err := Boundary(0, 10, func(i int) (bool, error) {
+		v := vals[i-1]
+		results[i] = v
+		return v, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, probed := results[j]; probed && !got {
+		t.Fatalf("returned j=%d probed false", j)
+	}
+	if got, probed := results[j+1]; probed && got {
+		t.Fatalf("returned j+1=%d probed true", j+1)
+	}
+}

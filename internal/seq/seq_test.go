@@ -1,0 +1,312 @@
+package seq
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"parclust/internal/metric"
+	"parclust/internal/rng"
+)
+
+func randomPoints(r *rng.RNG, n, dim int) []metric.Point {
+	pts := make([]metric.Point, n)
+	for i := range pts {
+		p := make(metric.Point, dim)
+		for j := range p {
+			p[j] = r.Float64() * 100
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func TestForEachSubsetCounts(t *testing.T) {
+	cases := []struct{ n, k, want int }{
+		{5, 2, 10},
+		{5, 0, 1},
+		{5, 5, 1},
+		{4, 3, 4},
+		{3, 4, 0},  // k > n: no subsets
+		{3, -1, 0}, // negative k: no subsets
+	}
+	for _, c := range cases {
+		count := 0
+		ForEachSubset(c.n, c.k, func(idx []int) {
+			if len(idx) != c.k {
+				t.Fatalf("subset size %d, want %d", len(idx), c.k)
+			}
+			count++
+		})
+		if count != c.want {
+			t.Fatalf("ForEachSubset(%d,%d) yielded %d, want %d", c.n, c.k, count, c.want)
+		}
+	}
+}
+
+func TestForEachSubsetDistinctSorted(t *testing.T) {
+	seen := map[[3]int]bool{}
+	ForEachSubset(6, 3, func(idx []int) {
+		var key [3]int
+		copy(key[:], idx)
+		if seen[key] {
+			t.Fatalf("duplicate subset %v", idx)
+		}
+		seen[key] = true
+		for i := 1; i < len(idx); i++ {
+			if idx[i] <= idx[i-1] {
+				t.Fatalf("subset not strictly increasing: %v", idx)
+			}
+		}
+	})
+}
+
+func TestExactKCenterKnown(t *testing.T) {
+	space := metric.L2{}
+	pts := []metric.Point{{0}, {1}, {10}, {11}}
+	r, centers := ExactKCenter(space, pts, 2)
+	// Centers are input points: one of {0,1} plus one of {10,11}, radius 1.
+	if math.Abs(r-1) > 1e-12 {
+		t.Fatalf("exact 2-center radius = %v, want 1", r)
+	}
+	if len(centers) != 2 {
+		t.Fatalf("centers = %v", centers)
+	}
+	// k >= n gives radius 0.
+	r, centers = ExactKCenter(space, pts, 4)
+	if r != 0 || len(centers) != 4 {
+		t.Fatalf("k=n: r=%v centers=%v", r, centers)
+	}
+}
+
+func TestExactDiversityKnown(t *testing.T) {
+	space := metric.L2{}
+	pts := []metric.Point{{0}, {1}, {5}, {10}}
+	d, sel := ExactDiversity(space, pts, 3)
+	// Best 3-subset: {0, 5, 10} with diversity 4... check: min pairwise of
+	// {0,5,10} = 5; {1,5,10} = 4; {0,1,..} ≤ 1. So optimum is 5.
+	if math.Abs(d-5) > 1e-12 {
+		t.Fatalf("exact 3-diversity = %v, want 5", d)
+	}
+	if len(sel) != 3 {
+		t.Fatalf("selection = %v", sel)
+	}
+	// k=1: +Inf by convention.
+	d, _ = ExactDiversity(space, pts, 1)
+	if !math.IsInf(d, 1) {
+		t.Fatalf("1-diversity = %v, want +Inf", d)
+	}
+	// k > n clamps.
+	d, sel = ExactDiversity(space, pts, 10)
+	if len(sel) != 4 {
+		t.Fatalf("k>n selection size = %d", len(sel))
+	}
+	_ = d
+}
+
+func TestExactKSupplierKnown(t *testing.T) {
+	space := metric.L2{}
+	customers := []metric.Point{{0}, {10}}
+	suppliers := []metric.Point{{1}, {4}, {9}}
+	r, q := ExactKSupplier(space, customers, suppliers, 2)
+	// Best: suppliers {1} and {9}: radius 1.
+	if math.Abs(r-1) > 1e-12 {
+		t.Fatalf("exact 2-supplier radius = %v, want 1", r)
+	}
+	if len(q) != 2 {
+		t.Fatalf("supplier set = %v", q)
+	}
+	// k=1: best single supplier is {4} with radius 6.
+	r, _ = ExactKSupplier(space, customers, suppliers, 1)
+	if math.Abs(r-6) > 1e-12 {
+		t.Fatalf("exact 1-supplier radius = %v, want 6", r)
+	}
+}
+
+func TestHSKCenterFactor(t *testing.T) {
+	r := rng.New(11)
+	space := metric.L2{}
+	for trial := 0; trial < 40; trial++ {
+		pts := randomPoints(r, 9, 2)
+		k := 1 + r.Intn(3)
+		centers, rad := HSKCenter(space, pts, k)
+		if len(centers) > k {
+			t.Fatalf("HSKCenter returned %d centers for k=%d", len(centers), k)
+		}
+		opt, _ := ExactKCenter(space, pts, k)
+		if rad > 2*opt+1e-9 {
+			t.Fatalf("HSKCenter radius %v > 2·opt %v", rad, opt)
+		}
+	}
+}
+
+func TestHSKCenterEdgeCases(t *testing.T) {
+	space := metric.L2{}
+	if c, r := HSKCenter(space, nil, 3); c != nil || !math.IsInf(r, 1) {
+		t.Fatalf("empty input: %v %v", c, r)
+	}
+	pts := []metric.Point{{0}, {1}}
+	if c, r := HSKCenter(space, pts, 0); c != nil || !math.IsInf(r, 1) {
+		t.Fatalf("k=0: %v %v", c, r)
+	}
+	c, r := HSKCenter(space, pts, 5)
+	if len(c) != 2 || r != 0 {
+		t.Fatalf("k>=n: %v %v", c, r)
+	}
+}
+
+func TestHSKSupplierFactor(t *testing.T) {
+	r := rng.New(13)
+	space := metric.L2{}
+	for trial := 0; trial < 40; trial++ {
+		customers := randomPoints(r, 7, 2)
+		suppliers := randomPoints(r, 6, 2)
+		k := 1 + r.Intn(3)
+		q, rad := HSKSupplier(space, customers, suppliers, k)
+		if len(q) > k {
+			t.Fatalf("HSKSupplier returned %d suppliers for k=%d", len(q), k)
+		}
+		opt, _ := ExactKSupplier(space, customers, suppliers, k)
+		if rad > 3*opt+1e-9 {
+			t.Fatalf("HSKSupplier radius %v > 3·opt %v", rad, opt)
+		}
+	}
+}
+
+func TestHSKSupplierEdgeCases(t *testing.T) {
+	space := metric.L2{}
+	if q, r := HSKSupplier(space, []metric.Point{{0}}, nil, 2); q != nil || !math.IsInf(r, 1) {
+		t.Fatalf("no suppliers: %v %v", q, r)
+	}
+	q, r := HSKSupplier(space, nil, []metric.Point{{0}}, 2)
+	if len(q) != 1 || r != 0 {
+		t.Fatalf("no customers: %v %v", q, r)
+	}
+	if q, r := HSKSupplier(space, []metric.Point{{0}}, []metric.Point{{5}}, 0); q != nil || !math.IsInf(r, 1) {
+		t.Fatalf("k=0: %v %v", q, r)
+	}
+}
+
+func TestKCenterLowerBoundValid(t *testing.T) {
+	r := rng.New(17)
+	space := metric.L2{}
+	f := func(nRaw, kRaw uint8) bool {
+		n := int(nRaw%8) + 3
+		k := int(kRaw%2) + 1
+		if k+1 > n {
+			return true
+		}
+		pts := randomPoints(r, n, 2)
+		lb := KCenterLowerBound(space, pts, k)
+		opt, _ := ExactKCenter(space, pts, k)
+		return lb <= opt+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiversityUpperBoundValid(t *testing.T) {
+	r := rng.New(19)
+	space := metric.L2{}
+	f := func(nRaw, kRaw uint8) bool {
+		n := int(nRaw%8) + 4
+		k := int(kRaw%3) + 2
+		if k > n {
+			return true
+		}
+		pts := randomPoints(r, n, 2)
+		ub := DiversityUpperBound(space, pts, k)
+		opt, _ := ExactDiversity(space, pts, k)
+		return opt <= ub+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKSupplierLowerBoundValid(t *testing.T) {
+	r := rng.New(23)
+	space := metric.L2{}
+	f := func(nRaw, kRaw uint8) bool {
+		nc := int(nRaw%6) + 3
+		k := int(kRaw%2) + 1
+		if k+1 > nc {
+			return true
+		}
+		customers := randomPoints(r, nc, 2)
+		suppliers := randomPoints(r, 5, 2)
+		lb := KSupplierLowerBound(space, customers, k)
+		opt, _ := ExactKSupplier(space, customers, suppliers, k)
+		return lb <= opt+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoundsDegenerate(t *testing.T) {
+	space := metric.L2{}
+	pts := []metric.Point{{0}, {1}}
+	if lb := KCenterLowerBound(space, pts, 5); lb != 0 {
+		t.Fatalf("lower bound with k+1 > n = %v, want 0", lb)
+	}
+	if lb := KSupplierLowerBound(space, pts, 5); lb != 0 {
+		t.Fatalf("supplier lower bound with k+1 > n = %v, want 0", lb)
+	}
+	if ub := DiversityUpperBound(space, pts, 1); !math.IsInf(ub, 1) {
+		t.Fatalf("diversity UB k=1 = %v, want +Inf", ub)
+	}
+	dup := []metric.Point{{3}, {3}, {3}}
+	if lb := KCenterLowerBound(space, dup, 1); lb != 0 {
+		t.Fatalf("all-duplicates lower bound = %v, want 0", lb)
+	}
+}
+
+func TestHSKCenterViaMISFactor(t *testing.T) {
+	r := rng.New(47)
+	space := metric.L2{}
+	for trial := 0; trial < 30; trial++ {
+		pts := randomPoints(r, 9, 2)
+		k := 1 + r.Intn(3)
+		centers, rad := HSKCenterViaMIS(space, pts, k)
+		if len(centers) > k {
+			t.Fatalf("HSKCenterViaMIS returned %d centers for k=%d", len(centers), k)
+		}
+		opt, _ := ExactKCenter(space, pts, k)
+		if rad > 2*opt+1e-9 {
+			t.Fatalf("trial %d: via-MIS radius %v > 2·opt %v", trial, rad, opt)
+		}
+	}
+}
+
+func TestHSKCenterViaMISEdgeCases(t *testing.T) {
+	space := metric.L2{}
+	if c, r := HSKCenterViaMIS(space, nil, 3); c != nil || !math.IsInf(r, 1) {
+		t.Fatalf("empty: %v %v", c, r)
+	}
+	pts := []metric.Point{{0}, {1}}
+	if c, r := HSKCenterViaMIS(space, pts, 0); c != nil || !math.IsInf(r, 1) {
+		t.Fatalf("k=0: %v %v", c, r)
+	}
+	c, r := HSKCenterViaMIS(space, pts, 5)
+	if len(c) != 2 || r != 0 {
+		t.Fatalf("k>=n: %v %v", c, r)
+	}
+}
+
+// Both HS variants are 2-approximations; neither should dominate wildly.
+func TestHSVariantsComparable(t *testing.T) {
+	r := rng.New(53)
+	space := metric.L2{}
+	for trial := 0; trial < 15; trial++ {
+		pts := randomPoints(r, 40, 2)
+		k := 4
+		_, r1 := HSKCenter(space, pts, k)
+		_, r2 := HSKCenterViaMIS(space, pts, k)
+		opt := KCenterLowerBound(space, pts, k)
+		if opt > 0 && (r1 > 4*opt || r2 > 4*opt) {
+			t.Fatalf("trial %d: variants r1=%v r2=%v vs lb %v", trial, r1, r2, opt)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+// Package stats provides the small summary-statistics helpers the
+// benchmark harness uses to aggregate repeated measurements.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary describes a sample of float64 measurements.
+type Summary struct {
+	N             int
+	Mean, Std     float64
+	Min, Max      float64
+	P50, P90, P99 float64
+}
+
+// Summarize computes a Summary of xs. An empty sample yields the zero
+// Summary with NaN moments.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if len(xs) == 0 {
+		s.Mean, s.Std = math.NaN(), math.NaN()
+		s.Min, s.Max = math.NaN(), math.NaN()
+		s.P50, s.P90, s.P99 = math.NaN(), math.NaN(), math.NaN()
+		return s
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Min, s.Max = sorted[0], sorted[len(sorted)-1]
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	s.Mean = sum / float64(len(xs))
+	var sq float64
+	for _, x := range xs {
+		d := x - s.Mean
+		sq += d * d
+	}
+	if len(xs) > 1 {
+		s.Std = math.Sqrt(sq / float64(len(xs)-1))
+	}
+	s.P50 = Quantile(sorted, 0.5)
+	s.P90 = Quantile(sorted, 0.9)
+	s.P99 = Quantile(sorted, 0.99)
+	return s
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of an ascending-sorted
+// sample, with linear interpolation between order statistics.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean (NaN for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of positive values (NaN if empty or
+// any value is non-positive), the right way to average ratios.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var logSum float64
+	for _, x := range xs {
+		if x <= 0 {
+			return math.NaN()
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs)))
+}
+
+// MaxInt returns the maximum of an int sample (0 for empty).
+func MaxInt(xs []int) int {
+	best := 0
+	for i, x := range xs {
+		if i == 0 || x > best {
+			best = x
+		}
+	}
+	return best
+}

@@ -1,0 +1,112 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.P50 != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+	// Sample std of 1..5 = sqrt(2.5).
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-12 {
+		t.Fatalf("std = %v", s.Std)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || !math.IsNaN(s.Mean) || !math.IsNaN(s.P50) {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeSingleton(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Mean != 7 || s.Std != 0 || s.P50 != 7 || s.P99 != 7 {
+		t.Fatalf("singleton summary = %+v", s)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{0, 10, 20, 30, 40}
+	if q := Quantile(sorted, 0); q != 0 {
+		t.Fatalf("q0 = %v", q)
+	}
+	if q := Quantile(sorted, 1); q != 40 {
+		t.Fatalf("q1 = %v", q)
+	}
+	if q := Quantile(sorted, 0.5); q != 20 {
+		t.Fatalf("q50 = %v", q)
+	}
+	if q := Quantile(sorted, 0.25); q != 10 {
+		t.Fatalf("q25 = %v", q)
+	}
+	// Interpolation: q=0.1 → pos 0.4 → 4.
+	if q := Quantile(sorted, 0.1); math.Abs(q-4) > 1e-12 {
+		t.Fatalf("q10 = %v", q)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("empty quantile not NaN")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if m := Mean([]float64{2, 4}); m != 3 {
+		t.Fatalf("mean = %v", m)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("empty mean not NaN")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 4}); math.Abs(g-2) > 1e-12 {
+		t.Fatalf("geomean = %v", g)
+	}
+	if !math.IsNaN(GeoMean([]float64{1, -1})) {
+		t.Fatal("geomean of negative not NaN")
+	}
+	if !math.IsNaN(GeoMean(nil)) {
+		t.Fatal("empty geomean not NaN")
+	}
+}
+
+func TestMaxInt(t *testing.T) {
+	if m := MaxInt([]int{3, 9, 1}); m != 9 {
+		t.Fatalf("max = %d", m)
+	}
+	if m := MaxInt(nil); m != 0 {
+		t.Fatalf("empty max = %d", m)
+	}
+	if m := MaxInt([]int{-5, -2}); m != -2 {
+		t.Fatalf("negative max = %d", m)
+	}
+}
+
+// Properties: min ≤ p50 ≤ max; mean within [min, max]; quantiles monotone.
+func TestSummaryProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		var xs []float64
+		for _, v := range raw {
+			// Keep magnitudes sane: summing values near MaxFloat64
+			// overflows, which is outside the harness's use cases.
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e100 {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		return s.Min <= s.P50+1e-9 && s.P50 <= s.Max+1e-9 &&
+			s.Mean >= s.Min-1e-9 && s.Mean <= s.Max+1e-9 &&
+			s.P50 <= s.P90+1e-9 && s.P90 <= s.P99+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

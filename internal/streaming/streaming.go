@@ -1,0 +1,141 @@
+// Package streaming implements the doubling algorithm for incremental
+// (streaming) k-center (Charikar, Chekuri, Feder, Motwani, STOC 1997):
+// a one-pass 8-approximation using O(k) memory.
+//
+// The paper's related work tracks the streaming sibling of the MPC story
+// (Ceccarello et al. [6] solve k-center in both models); this package
+// completes that axis: the same GMM/threshold intuitions, but points
+// arrive one at a time and may never be revisited.
+package streaming
+
+import (
+	"math"
+
+	"parclust/internal/metric"
+)
+
+// Stream is an incremental k-center clusterer. Create one with New, feed
+// points with Add, and read Centers/R at any time. Once more than k
+// points have been seen, the following invariants hold between Add calls:
+//
+//  1. at most k centers are stored;
+//  2. centers are pairwise further than 4R apart;
+//  3. every point seen so far is within 8R of some center;
+//  4. R is at most the optimal k-center radius of the points seen
+//     ((2) plus pigeonhole: k+1 points pairwise > 4R existed when R last
+//     doubled, so two of them share an optimal center).
+//
+// (3) + (4) give the 8-approximation.
+type Stream struct {
+	k       int
+	r       float64
+	centers []metric.Point
+	space   metric.Space
+	seen    int
+	// init reports the bootstrap (first k+1 points) is complete.
+	init bool
+}
+
+// New returns an empty stream clusterer for k ≥ 1 centers (k < 1 is
+// clamped to 1).
+func New(space metric.Space, k int) *Stream {
+	if k < 1 {
+		k = 1
+	}
+	return &Stream{k: k, space: space}
+}
+
+// Add feeds one point.
+func (s *Stream) Add(p metric.Point) {
+	s.seen++
+	if !s.init {
+		// Bootstrap: keep the first k+1 distinct-position points verbatim.
+		s.centers = append(s.centers, p.Clone())
+		if len(s.centers) == s.k+1 {
+			// Initialize R from the closest pair, then merge down.
+			s.r = s.closestPair() / 4
+			if s.r == 0 {
+				// Duplicates exist; drop one and stay in bootstrap with
+				// k centers at R = 0.
+				s.dropOneDuplicate()
+				return
+			}
+			s.init = true
+			s.merge()
+		}
+		return
+	}
+	if metric.DistToSet(s.space, p, s.centers) <= 4*s.r {
+		return // covered
+	}
+	s.centers = append(s.centers, p.Clone())
+	s.merge()
+}
+
+// merge restores |centers| ≤ k by doubling R and keeping a maximal
+// subset of centers pairwise further than 4R apart.
+func (s *Stream) merge() {
+	for len(s.centers) > s.k {
+		if s.r == 0 {
+			s.r = s.closestPair() / 4
+			if s.r == 0 {
+				s.dropOneDuplicate()
+				continue
+			}
+		}
+		s.r *= 2
+		kept := s.centers[:0:0]
+		for _, c := range s.centers {
+			if metric.DistToSet(s.space, c, kept) > 4*s.r {
+				kept = append(kept, c)
+			}
+		}
+		s.centers = kept
+	}
+}
+
+// closestPair returns the minimum pairwise distance among centers.
+func (s *Stream) closestPair() float64 {
+	best := math.Inf(1)
+	for i := 0; i < len(s.centers); i++ {
+		for j := i + 1; j < len(s.centers); j++ {
+			if d := s.space.Dist(s.centers[i], s.centers[j]); d < best {
+				best = d
+			}
+		}
+	}
+	if math.IsInf(best, 1) {
+		return 0
+	}
+	return best
+}
+
+// dropOneDuplicate removes one member of a zero-distance pair.
+func (s *Stream) dropOneDuplicate() {
+	for i := 0; i < len(s.centers); i++ {
+		for j := i + 1; j < len(s.centers); j++ {
+			if s.space.Dist(s.centers[i], s.centers[j]) == 0 {
+				s.centers = append(s.centers[:j], s.centers[j+1:]...)
+				return
+			}
+		}
+	}
+	// No duplicate found (cannot happen when called with r == 0 and
+	// > k centers); drop the last to guarantee progress.
+	s.centers = s.centers[:len(s.centers)-1]
+}
+
+// Centers returns the current centers (at most k once more than k points
+// have been seen). The returned slice is owned by the stream.
+func (s *Stream) Centers() []metric.Point { return s.centers }
+
+// R returns the current phase radius; every point seen is within 8R of a
+// center and R ≤ opt (see type docs).
+func (s *Stream) R() float64 { return s.r }
+
+// Seen returns the number of points fed so far.
+func (s *Stream) Seen() int { return s.seen }
+
+// RadiusBound returns the certified covering radius 8R (0 while still in
+// bootstrap, where the centers are the points themselves).
+func (s *Stream) RadiusBound() float64 { return 8 * s.r }

@@ -1,0 +1,199 @@
+package streaming
+
+import (
+	"testing"
+	"testing/quick"
+
+	"parclust/internal/metric"
+	"parclust/internal/rng"
+	"parclust/internal/seq"
+	"parclust/internal/workload"
+)
+
+func feed(s *Stream, pts []metric.Point) {
+	for _, p := range pts {
+		s.Add(p)
+	}
+}
+
+func TestBootstrapKeepsAllPoints(t *testing.T) {
+	s := New(metric.L2{}, 5)
+	feed(s, workload.Line(4))
+	if len(s.Centers()) != 4 || s.R() != 0 {
+		t.Fatalf("bootstrap: %d centers, R=%v", len(s.Centers()), s.R())
+	}
+	if s.Seen() != 4 {
+		t.Fatalf("seen = %d", s.Seen())
+	}
+}
+
+func TestAtMostKCentersAfterBootstrap(t *testing.T) {
+	r := rng.New(1)
+	pts := workload.UniformCube(r, 500, 2, 100)
+	s := New(metric.L2{}, 7)
+	feed(s, pts)
+	if len(s.Centers()) > 7 {
+		t.Fatalf("%d centers", len(s.Centers()))
+	}
+	if s.R() <= 0 {
+		t.Fatalf("R = %v", s.R())
+	}
+}
+
+func TestCoverageInvariant(t *testing.T) {
+	r := rng.New(2)
+	pts := workload.UniformCube(r, 400, 2, 50)
+	s := New(metric.L2{}, 5)
+	for i, p := range pts {
+		s.Add(p)
+		if i >= 5 {
+			// Every point seen so far within 8R.
+			for _, q := range pts[:i+1] {
+				if metric.DistToSet(metric.L2{}, q, s.Centers()) > s.RadiusBound()+1e-9 {
+					t.Fatalf("point %v outside 8R=%v after %d adds", q, s.RadiusBound(), i+1)
+				}
+			}
+		}
+	}
+}
+
+func TestCentersPairwiseSeparated(t *testing.T) {
+	r := rng.New(3)
+	pts := workload.UniformCube(r, 600, 2, 80)
+	s := New(metric.L2{}, 6)
+	feed(s, pts)
+	cs := s.Centers()
+	for i := 0; i < len(cs); i++ {
+		for j := i + 1; j < len(cs); j++ {
+			if d := (metric.L2{}).Dist(cs[i], cs[j]); d <= 4*s.R()-1e-9 {
+				t.Fatalf("centers %d,%d at distance %v ≤ 4R=%v", i, j, d, 4*s.R())
+			}
+		}
+	}
+}
+
+// Factor 8 against brute-force optima on tiny instances.
+func TestEightApproxTiny(t *testing.T) {
+	r := rng.New(4)
+	for trial := 0; trial < 30; trial++ {
+		pts := make([]metric.Point, 12)
+		for i := range pts {
+			pts[i] = metric.Point{r.Float64() * 100, r.Float64() * 100}
+		}
+		k := 2 + trial%2
+		s := New(metric.L2{}, k)
+		feed(s, pts)
+		radius := metric.Radius(metric.L2{}, pts, s.Centers())
+		opt, _ := seq.ExactKCenter(metric.L2{}, pts, k)
+		if radius > 8*opt+1e-9 {
+			t.Fatalf("trial %d: streaming radius %v > 8·opt %v", trial, radius, opt)
+		}
+	}
+}
+
+// R never exceeds the optimal radius (invariant 4).
+func TestRLowerBoundsOpt(t *testing.T) {
+	r := rng.New(5)
+	for trial := 0; trial < 20; trial++ {
+		pts := make([]metric.Point, 10)
+		for i := range pts {
+			pts[i] = metric.Point{r.Float64() * 50}
+		}
+		k := 2
+		s := New(metric.L2{}, k)
+		feed(s, pts)
+		opt, _ := seq.ExactKCenter(metric.L2{}, pts, k)
+		if s.R() > opt+1e-9 {
+			t.Fatalf("trial %d: R=%v exceeds opt=%v", trial, s.R(), opt)
+		}
+	}
+}
+
+func TestDuplicateStream(t *testing.T) {
+	s := New(metric.L2{}, 2)
+	for i := 0; i < 20; i++ {
+		s.Add(metric.Point{7, 7})
+	}
+	if len(s.Centers()) > 2 {
+		t.Fatalf("%d centers on constant stream", len(s.Centers()))
+	}
+	if r := metric.Radius(metric.L2{}, []metric.Point{{7, 7}}, s.Centers()); r != 0 {
+		t.Fatalf("radius %v on constant stream", r)
+	}
+}
+
+func TestMixedDuplicatesThenSpread(t *testing.T) {
+	s := New(metric.L2{}, 2)
+	for i := 0; i < 5; i++ {
+		s.Add(metric.Point{0})
+	}
+	s.Add(metric.Point{100})
+	s.Add(metric.Point{200})
+	s.Add(metric.Point{300})
+	if len(s.Centers()) > 2 {
+		t.Fatalf("%d centers", len(s.Centers()))
+	}
+	all := []metric.Point{{0}, {100}, {200}, {300}}
+	radius := metric.Radius(metric.L2{}, all, s.Centers())
+	opt, _ := seq.ExactKCenter(metric.L2{}, all, 2)
+	if radius > 8*opt+1e-9 {
+		t.Fatalf("radius %v > 8·opt %v", radius, opt)
+	}
+}
+
+func TestKClamped(t *testing.T) {
+	s := New(metric.L2{}, 0)
+	feed(s, workload.Line(10))
+	if len(s.Centers()) > 1 {
+		t.Fatalf("k clamp failed: %d centers", len(s.Centers()))
+	}
+}
+
+// Property: across random streams, the invariants hold at the end.
+func TestInvariantsProperty(t *testing.T) {
+	r := rng.New(6)
+	space := metric.L2{}
+	f := func(nRaw, kRaw uint8) bool {
+		n := int(nRaw)%100 + 1
+		k := int(kRaw)%6 + 1
+		pts := workload.UniformCube(r, n, 2, 30)
+		s := New(space, k)
+		feed(s, pts)
+		if n > k && len(s.Centers()) > k {
+			return false
+		}
+		for _, p := range pts {
+			bound := s.RadiusBound()
+			if n <= k || bound == 0 {
+				// Bootstrap regime: centers are the points themselves
+				// (minus dropped duplicates at distance 0).
+				if metric.DistToSet(space, p, s.Centers()) > 0 {
+					return false
+				}
+				continue
+			}
+			if metric.DistToSet(space, p, s.Centers()) > bound+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The stream's answer is comparable to offline GMM (within the 8/2 = 4×
+// certified gap) on large inputs.
+func TestComparableToGMMAtScale(t *testing.T) {
+	r := rng.New(7)
+	pts := workload.GaussianMixture(r, 2000, 2, 6, 1000, 2)
+	k := 6
+	s := New(metric.L2{}, k)
+	feed(s, pts)
+	streamRad := metric.Radius(metric.L2{}, pts, s.Centers())
+	lb := seq.KCenterLowerBound(metric.L2{}, pts, k)
+	if lb > 0 && streamRad > 8*2*lb+1e-9 {
+		t.Fatalf("stream radius %v vs lower bound %v: outside 16×", streamRad, lb)
+	}
+}

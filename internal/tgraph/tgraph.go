@@ -1,0 +1,309 @@
+// Package tgraph implements the threshold-graph view G_τ used throughout
+// the paper: given a point set V in a metric space and a real τ > 0, two
+// distinct vertices u, v are adjacent in G_τ iff d(u, v) ≤ τ. Adjacency is
+// answered in O(1) via the distance oracle; the graph is never
+// materialized. The package also provides the sequential independent-set
+// utilities the MPC algorithms are validated against.
+package tgraph
+
+import (
+	"parclust/internal/metric"
+)
+
+// Graph is a threshold graph over a fixed point set. Vertices are indices
+// into Pts. Graph is immutable and safe for concurrent reads.
+type Graph struct {
+	Space metric.Space
+	Pts   []metric.Point
+	Tau   float64
+}
+
+// New returns the threshold graph G_τ over pts.
+func New(space metric.Space, pts []metric.Point, tau float64) *Graph {
+	return &Graph{Space: space, Pts: pts, Tau: tau}
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.Pts) }
+
+// Adjacent reports whether distinct vertices u and v share an edge.
+// A vertex is never adjacent to itself.
+func (g *Graph) Adjacent(u, v int) bool {
+	if u == v {
+		return false
+	}
+	return g.Space.Dist(g.Pts[u], g.Pts[v]) <= g.Tau
+}
+
+// Degree returns the exact degree of u, in O(n) oracle calls.
+func (g *Graph) Degree(u int) int {
+	d := 0
+	for v := range g.Pts {
+		if g.Adjacent(u, v) {
+			d++
+		}
+	}
+	return d
+}
+
+// Neighbors returns the sorted neighbor list of u.
+func (g *Graph) Neighbors(u int) []int {
+	var out []int
+	for v := range g.Pts {
+		if g.Adjacent(u, v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// DegreeAmong returns |N(u) ∩ subset|: the number of vertices in subset
+// adjacent to u. subset holds vertex indices.
+func (g *Graph) DegreeAmong(u int, subset []int) int {
+	d := 0
+	for _, v := range subset {
+		if g.Adjacent(u, v) {
+			d++
+		}
+	}
+	return d
+}
+
+// Edges returns the exact edge count, in O(n^2) oracle calls.
+func (g *Graph) Edges() int {
+	e := 0
+	for u := 0; u < g.N(); u++ {
+		for v := u + 1; v < g.N(); v++ {
+			if g.Adjacent(u, v) {
+				e++
+			}
+		}
+	}
+	return e
+}
+
+// EdgesAmong returns the number of edges of the subgraph induced by the
+// given vertex subset.
+func (g *Graph) EdgesAmong(subset []int) int {
+	e := 0
+	for i := 0; i < len(subset); i++ {
+		for j := i + 1; j < len(subset); j++ {
+			if g.Adjacent(subset[i], subset[j]) {
+				e++
+			}
+		}
+	}
+	return e
+}
+
+// IsIndependent reports whether set (vertex indices) is an independent set.
+func (g *Graph) IsIndependent(set []int) bool {
+	for i := 0; i < len(set); i++ {
+		for j := i + 1; j < len(set); j++ {
+			if g.Adjacent(set[i], set[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsMaximalIndependent reports whether set is a maximal independent set:
+// independent, and every vertex outside it has a neighbor in it.
+func (g *Graph) IsMaximalIndependent(set []int) bool {
+	if !g.IsIndependent(set) {
+		return false
+	}
+	in := make(map[int]bool, len(set))
+	for _, v := range set {
+		in[v] = true
+	}
+	for v := 0; v < g.N(); v++ {
+		if in[v] {
+			continue
+		}
+		covered := false
+		for _, u := range set {
+			if g.Adjacent(v, u) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			return false
+		}
+	}
+	return true
+}
+
+// IsKBoundedMIS reports whether set satisfies Definition 1 of the paper:
+// either a maximal independent set of size at most k, or an independent
+// set of size exactly k.
+func (g *Graph) IsKBoundedMIS(set []int, k int) bool {
+	if len(set) == k {
+		return g.IsIndependent(set)
+	}
+	return len(set) <= k && g.IsMaximalIndependent(set)
+}
+
+// GreedyMIS computes a maximal independent set by scanning vertices in
+// the given order (all of [0,n) if order is nil) and keeping each vertex
+// not adjacent to one already kept.
+func (g *Graph) GreedyMIS(order []int) []int {
+	if order == nil {
+		order = make([]int, g.N())
+		for i := range order {
+			order[i] = i
+		}
+	}
+	var mis []int
+	for _, v := range order {
+		ok := true
+		for _, u := range mis {
+			if g.Adjacent(v, u) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			mis = append(mis, v)
+		}
+	}
+	return mis
+}
+
+// GreedyBoundedIS scans vertices in order and keeps independents until the
+// set reaches size k, returning early; the result is a k-bounded MIS when
+// the scan covers all vertices.
+func (g *Graph) GreedyBoundedIS(order []int, k int) []int {
+	if order == nil {
+		order = make([]int, g.N())
+		for i := range order {
+			order[i] = i
+		}
+	}
+	var set []int
+	for _, v := range order {
+		if len(set) >= k {
+			break
+		}
+		ok := true
+		for _, u := range set {
+			if g.Adjacent(v, u) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			set = append(set, v)
+		}
+	}
+	return set
+}
+
+// IsDominating reports whether every vertex is in set or adjacent to a
+// member of set.
+func (g *Graph) IsDominating(set []int) bool {
+	in := make(map[int]bool, len(set))
+	for _, v := range set {
+		in[v] = true
+	}
+	for v := 0; v < g.N(); v++ {
+		if in[v] {
+			continue
+		}
+		dominated := false
+		for _, u := range set {
+			if g.Adjacent(v, u) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			return false
+		}
+	}
+	return true
+}
+
+// NeighborhoodIndependence returns the maximum, over the given vertices
+// (all vertices if verts is nil), of the size of a greedily-built
+// independent set inside the vertex's neighborhood — a lower bound on the
+// graph's neighborhood-independence number, the parameter that controls
+// the dominating-set approximation factor of a maximal independent set.
+func (g *Graph) NeighborhoodIndependence(verts []int) int {
+	if verts == nil {
+		verts = make([]int, g.N())
+		for i := range verts {
+			verts[i] = i
+		}
+	}
+	best := 0
+	for _, v := range verts {
+		nb := g.Neighbors(v)
+		var is []int
+		for _, u := range nb {
+			ok := true
+			for _, w := range is {
+				if g.Adjacent(u, w) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				is = append(is, u)
+			}
+		}
+		if len(is) > best {
+			best = len(is)
+		}
+	}
+	return best
+}
+
+// Components returns the connected components of the graph as slices of
+// vertex indices, each sorted ascending, ordered by smallest member.
+// O(n²) oracle calls (BFS with oracle adjacency).
+func (g *Graph) Components() [][]int {
+	n := g.N()
+	visited := make([]bool, n)
+	var out [][]int
+	for s := 0; s < n; s++ {
+		if visited[s] {
+			continue
+		}
+		comp := []int{s}
+		visited[s] = true
+		for head := 0; head < len(comp); head++ {
+			u := comp[head]
+			for v := 0; v < n; v++ {
+				if !visited[v] && g.Adjacent(u, v) {
+					visited[v] = true
+					comp = append(comp, v)
+				}
+			}
+		}
+		sortInts(comp)
+		out = append(out, comp)
+	}
+	return out
+}
+
+// sortInts is a tiny insertion sort; component sizes here are small and
+// this avoids importing sort for one call site.
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// PointsOf maps vertex indices to their points.
+func (g *Graph) PointsOf(set []int) []metric.Point {
+	out := make([]metric.Point, len(set))
+	for i, v := range set {
+		out[i] = g.Pts[v]
+	}
+	return out
+}

@@ -1,0 +1,316 @@
+package tgraph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"parclust/internal/metric"
+	"parclust/internal/rng"
+)
+
+// line builds points 0,1,2,...,n-1 on a line.
+func line(n int) []metric.Point {
+	pts := make([]metric.Point, n)
+	for i := range pts {
+		pts[i] = metric.Point{float64(i)}
+	}
+	return pts
+}
+
+func TestAdjacency(t *testing.T) {
+	g := New(metric.L2{}, line(5), 1.5)
+	if g.N() != 5 {
+		t.Fatalf("N = %d", g.N())
+	}
+	if !g.Adjacent(0, 1) || !g.Adjacent(1, 0) {
+		t.Fatal("unit neighbors not adjacent at tau=1.5")
+	}
+	if g.Adjacent(0, 2) {
+		t.Fatal("distance-2 pair adjacent at tau=1.5")
+	}
+	if g.Adjacent(3, 3) {
+		t.Fatal("self loop")
+	}
+}
+
+func TestDegreeAndNeighbors(t *testing.T) {
+	g := New(metric.L2{}, line(5), 1.0)
+	// Path graph: degrees 1,2,2,2,1.
+	want := []int{1, 2, 2, 2, 1}
+	for v, w := range want {
+		if d := g.Degree(v); d != w {
+			t.Fatalf("deg(%d) = %d, want %d", v, d, w)
+		}
+	}
+	nb := g.Neighbors(2)
+	if len(nb) != 2 || nb[0] != 1 || nb[1] != 3 {
+		t.Fatalf("Neighbors(2) = %v", nb)
+	}
+}
+
+func TestDegreeAmong(t *testing.T) {
+	g := New(metric.L2{}, line(6), 1.0)
+	if d := g.DegreeAmong(2, []int{0, 1, 3, 5}); d != 2 {
+		t.Fatalf("DegreeAmong = %d, want 2", d)
+	}
+	if d := g.DegreeAmong(2, nil); d != 0 {
+		t.Fatalf("DegreeAmong empty = %d", d)
+	}
+	// Self in subset doesn't count.
+	if d := g.DegreeAmong(2, []int{2}); d != 0 {
+		t.Fatalf("DegreeAmong self = %d", d)
+	}
+}
+
+func TestEdges(t *testing.T) {
+	g := New(metric.L2{}, line(5), 1.0)
+	if e := g.Edges(); e != 4 {
+		t.Fatalf("path edges = %d, want 4", e)
+	}
+	gAll := New(metric.L2{}, line(5), 100)
+	if e := gAll.Edges(); e != 10 {
+		t.Fatalf("complete edges = %d, want 10", e)
+	}
+	if e := gAll.EdgesAmong([]int{0, 1, 2}); e != 3 {
+		t.Fatalf("EdgesAmong = %d, want 3", e)
+	}
+}
+
+func TestIndependenceChecks(t *testing.T) {
+	g := New(metric.L2{}, line(6), 1.0)
+	if !g.IsIndependent([]int{0, 2, 4}) {
+		t.Fatal("{0,2,4} should be independent in unit path")
+	}
+	if g.IsIndependent([]int{0, 1}) {
+		t.Fatal("{0,1} should not be independent")
+	}
+	if !g.IsMaximalIndependent([]int{0, 2, 4}) {
+		t.Fatal("{0,2,4} should be maximal: 5 is adjacent to 4")
+	}
+	if g.IsMaximalIndependent([]int{0, 3}) {
+		t.Fatal("{0,3} is not maximal (5 uncovered)")
+	}
+	if g.IsMaximalIndependent([]int{0, 1, 3}) {
+		t.Fatal("dependent set reported maximal")
+	}
+	if !g.IsIndependent(nil) {
+		t.Fatal("empty set should be independent")
+	}
+}
+
+func TestIsKBoundedMIS(t *testing.T) {
+	g := New(metric.L2{}, line(6), 1.0)
+	// Size exactly k, independent but not maximal: valid k-bounded MIS.
+	if !g.IsKBoundedMIS([]int{0, 3}, 2) {
+		t.Fatal("independent set of size exactly k rejected")
+	}
+	// Maximal of size < k: valid.
+	if !g.IsKBoundedMIS([]int{0, 2, 4}, 5) {
+		t.Fatal("maximal IS of size < k rejected")
+	}
+	// Size < k but not maximal: invalid.
+	if g.IsKBoundedMIS([]int{0, 3}, 4) {
+		t.Fatal("non-maximal small set accepted")
+	}
+	// Size k but dependent: invalid.
+	if g.IsKBoundedMIS([]int{0, 1}, 2) {
+		t.Fatal("dependent set of size k accepted")
+	}
+	// Size > k: invalid.
+	if g.IsKBoundedMIS([]int{0, 2, 4}, 2) {
+		t.Fatal("oversized set accepted")
+	}
+}
+
+func TestGreedyMIS(t *testing.T) {
+	g := New(metric.L2{}, line(6), 1.0)
+	mis := g.GreedyMIS(nil)
+	if !g.IsMaximalIndependent(mis) {
+		t.Fatalf("GreedyMIS output %v not a maximal IS", mis)
+	}
+	// Custom order.
+	mis2 := g.GreedyMIS([]int{5, 4, 3, 2, 1, 0})
+	if !g.IsMaximalIndependent(mis2) {
+		t.Fatalf("GreedyMIS reverse output %v not a maximal IS", mis2)
+	}
+	if mis2[0] != 5 {
+		t.Fatalf("order not respected: %v", mis2)
+	}
+}
+
+func TestGreedyBoundedIS(t *testing.T) {
+	g := New(metric.L2{}, line(10), 1.0)
+	set := g.GreedyBoundedIS(nil, 3)
+	if len(set) != 3 || !g.IsIndependent(set) {
+		t.Fatalf("GreedyBoundedIS = %v", set)
+	}
+	// k larger than any MIS: must return a maximal IS.
+	set = g.GreedyBoundedIS(nil, 100)
+	if !g.IsMaximalIndependent(set) {
+		t.Fatalf("GreedyBoundedIS with huge k = %v not maximal", set)
+	}
+}
+
+func TestPointsOf(t *testing.T) {
+	g := New(metric.L2{}, line(5), 1.0)
+	pts := g.PointsOf([]int{4, 0})
+	if len(pts) != 2 || pts[0][0] != 4 || pts[1][0] != 0 {
+		t.Fatalf("PointsOf = %v", pts)
+	}
+}
+
+// Property: GreedyMIS always returns a maximal independent set, and
+// GreedyBoundedIS always returns a k-bounded MIS, on random geometric
+// instances.
+func TestGreedyProperties(t *testing.T) {
+	r := rng.New(42)
+	f := func(nRaw, kRaw uint8, tauRaw uint8) bool {
+		n := int(nRaw%30) + 1
+		k := int(kRaw%10) + 1
+		tau := float64(tauRaw%40)/10 + 0.1
+		pts := make([]metric.Point, n)
+		for i := range pts {
+			pts[i] = metric.Point{r.Float64() * 10, r.Float64() * 10}
+		}
+		g := New(metric.L2{}, pts, tau)
+		if !g.IsMaximalIndependent(g.GreedyMIS(nil)) {
+			return false
+		}
+		return g.IsKBoundedMIS(g.GreedyBoundedIS(nil, k), k)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: sum of degrees equals twice the edge count.
+func TestHandshakeLemma(t *testing.T) {
+	r := rng.New(7)
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%25) + 2
+		pts := make([]metric.Point, n)
+		for i := range pts {
+			pts[i] = metric.Point{r.Float64() * 5}
+		}
+		g := New(metric.L2{}, pts, 1.0)
+		sum := 0
+		for v := 0; v < n; v++ {
+			sum += g.Degree(v)
+		}
+		return sum == 2*g.Edges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComponents(t *testing.T) {
+	// Two line segments far apart: {0,1,2} and {10,11}.
+	pts := []metric.Point{{0}, {1}, {2}, {100}, {101}}
+	g := New(metric.L2{}, pts, 1.0)
+	comps := g.Components()
+	if len(comps) != 2 {
+		t.Fatalf("components = %v", comps)
+	}
+	if len(comps[0]) != 3 || comps[0][0] != 0 || comps[0][2] != 2 {
+		t.Fatalf("first component = %v", comps[0])
+	}
+	if len(comps[1]) != 2 || comps[1][0] != 3 {
+		t.Fatalf("second component = %v", comps[1])
+	}
+}
+
+func TestComponentsEmptyAndSingleton(t *testing.T) {
+	g := New(metric.L2{}, nil, 1.0)
+	if comps := g.Components(); len(comps) != 0 {
+		t.Fatalf("empty graph components = %v", comps)
+	}
+	g = New(metric.L2{}, []metric.Point{{5}}, 1.0)
+	comps := g.Components()
+	if len(comps) != 1 || len(comps[0]) != 1 {
+		t.Fatalf("singleton components = %v", comps)
+	}
+}
+
+// Property: components partition the vertex set, and every MIS has at
+// least one vertex per component.
+func TestComponentsPartitionProperty(t *testing.T) {
+	r := rng.New(77)
+	f := func(nRaw, tauRaw uint8) bool {
+		n := int(nRaw%30) + 1
+		tau := float64(tauRaw%30)/10 + 0.1
+		pts := make([]metric.Point, n)
+		for i := range pts {
+			pts[i] = metric.Point{r.Float64() * 10}
+		}
+		g := New(metric.L2{}, pts, tau)
+		comps := g.Components()
+		seen := make([]bool, n)
+		total := 0
+		for _, comp := range comps {
+			for _, v := range comp {
+				if seen[v] {
+					return false
+				}
+				seen[v] = true
+				total++
+			}
+		}
+		if total != n {
+			return false
+		}
+		mis := g.GreedyMIS(nil)
+		inMIS := make(map[int]bool)
+		for _, v := range mis {
+			inMIS[v] = true
+		}
+		for _, comp := range comps {
+			hit := false
+			for _, v := range comp {
+				if inMIS[v] {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsDominatingDirect(t *testing.T) {
+	g := New(metric.L2{}, line(5), 1.0)
+	if !g.IsDominating([]int{1, 3}) {
+		t.Fatal("{1,3} dominates the 5-path")
+	}
+	if g.IsDominating([]int{0}) {
+		t.Fatal("{0} does not dominate the 5-path")
+	}
+	if !g.IsDominating([]int{0, 1, 2, 3, 4}) {
+		t.Fatal("full set must dominate")
+	}
+	empty := New(metric.L2{}, nil, 1.0)
+	if !empty.IsDominating(nil) {
+		t.Fatal("empty set dominates empty graph")
+	}
+}
+
+func TestNeighborhoodIndependenceDirect(t *testing.T) {
+	// 5-path at tau=1: every interior vertex has 2 non-adjacent neighbors.
+	g := New(metric.L2{}, line(5), 1.0)
+	if ni := g.NeighborhoodIndependence(nil); ni != 2 {
+		t.Fatalf("path neighborhood independence = %d, want 2", ni)
+	}
+	if ni := g.NeighborhoodIndependence([]int{0}); ni != 1 {
+		t.Fatalf("endpoint neighborhood independence = %d, want 1", ni)
+	}
+	lonely := New(metric.L2{}, []metric.Point{{0}, {100}}, 1.0)
+	if ni := lonely.NeighborhoodIndependence(nil); ni != 0 {
+		t.Fatalf("isolated vertices independence = %d, want 0", ni)
+	}
+}

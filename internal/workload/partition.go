@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"sort"
+
+	"parclust/internal/metric"
+	"parclust/internal/rng"
+)
+
+// Partitioner splits a dataset into m per-machine subsets. The paper
+// assumes the input "is initially partitioned among the machines" without
+// any distributional guarantee, so algorithms must be correct under every
+// strategy here; benchmarks sweep them.
+type Partitioner func(r *rng.RNG, pts []metric.Point, m int) [][]metric.Point
+
+// PartitionRandom assigns each point to a uniformly random machine.
+func PartitionRandom(r *rng.RNG, pts []metric.Point, m int) [][]metric.Point {
+	parts := make([][]metric.Point, m)
+	for _, p := range pts {
+		i := r.Intn(m)
+		parts[i] = append(parts[i], p)
+	}
+	return parts
+}
+
+// PartitionRoundRobin deals points to machines in rotation, giving
+// near-perfectly balanced loads.
+func PartitionRoundRobin(_ *rng.RNG, pts []metric.Point, m int) [][]metric.Point {
+	parts := make([][]metric.Point, m)
+	for i, p := range pts {
+		parts[i%m] = append(parts[i%m], p)
+	}
+	return parts
+}
+
+// PartitionSorted sorts points lexicographically and hands each machine a
+// contiguous block — the adversarial layout where each machine sees only
+// one region of space, defeating naive local-sample approaches.
+func PartitionSorted(_ *rng.RNG, pts []metric.Point, m int) [][]metric.Point {
+	sorted := append([]metric.Point(nil), pts...)
+	sort.SliceStable(sorted, func(a, b int) bool {
+		pa, pb := sorted[a], sorted[b]
+		for i := 0; i < len(pa) && i < len(pb); i++ {
+			if pa[i] != pb[i] {
+				return pa[i] < pb[i]
+			}
+		}
+		return len(pa) < len(pb)
+	})
+	parts := make([][]metric.Point, m)
+	n := len(sorted)
+	for i := 0; i < m; i++ {
+		lo := i * n / m
+		hi := (i + 1) * n / m
+		parts[i] = sorted[lo:hi]
+	}
+	return parts
+}
+
+// PartitionSkewed gives machine 0 half the data and spreads the rest
+// round-robin — stressing load imbalance.
+func PartitionSkewed(_ *rng.RNG, pts []metric.Point, m int) [][]metric.Point {
+	parts := make([][]metric.Point, m)
+	half := len(pts) / 2
+	parts[0] = append(parts[0], pts[:half]...)
+	if m == 1 {
+		parts[0] = append(parts[0], pts[half:]...)
+		return parts
+	}
+	for i, p := range pts[half:] {
+		dst := 1 + i%(m-1)
+		parts[dst] = append(parts[dst], p)
+	}
+	return parts
+}
+
+// Partitioners returns the named standard strategies for sweeps.
+func Partitioners() map[string]Partitioner {
+	return map[string]Partitioner{
+		"random":     PartitionRandom,
+		"roundrobin": PartitionRoundRobin,
+		"sorted":     PartitionSorted,
+		"skewed":     PartitionSkewed,
+	}
+}
+
+// Flatten concatenates a partition back into one slice, in machine order.
+func Flatten(parts [][]metric.Point) []metric.Point {
+	var out []metric.Point
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}

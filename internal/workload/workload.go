@@ -1,0 +1,201 @@
+// Package workload generates the synthetic datasets and input partitions
+// used by tests, examples and the benchmark harness.
+//
+// The paper's guarantees are worst-case over arbitrary metrics, so the
+// families here are chosen to stress the algorithms in different ways:
+// well-separated Gaussian mixtures make approximation factors observable
+// (the optimum is essentially the mixture structure), uniform data
+// stresses the degree-approximation machinery (all degrees comparable),
+// power-law cluster sizes break balanced-partition assumptions, annuli
+// create threshold graphs with long induced paths, and grids give exactly
+// reproducible geometry.
+package workload
+
+import (
+	"math"
+
+	"parclust/internal/metric"
+	"parclust/internal/rng"
+)
+
+// UniformCube samples n points uniformly from [0, side]^dim.
+func UniformCube(r *rng.RNG, n, dim int, side float64) []metric.Point {
+	pts := make([]metric.Point, n)
+	for i := range pts {
+		p := make(metric.Point, dim)
+		for j := range p {
+			p[j] = r.Float64() * side
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// GaussianMixture samples n points from clusters isotropic Gaussians with
+// standard deviation sigma whose centers are drawn uniformly from
+// [0, sep]^dim. With sep >> sigma the mixture is well-separated and the
+// optimal k-center/k-diversity structure is essentially the centers.
+func GaussianMixture(r *rng.RNG, n, dim, clusters int, sep, sigma float64) []metric.Point {
+	if clusters < 1 {
+		clusters = 1
+	}
+	centers := UniformCube(r, clusters, dim, sep)
+	pts := make([]metric.Point, n)
+	for i := range pts {
+		c := centers[i%clusters]
+		p := make(metric.Point, dim)
+		for j := range p {
+			p[j] = c[j] + r.NormFloat64()*sigma
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// PowerLawClusters samples n points from clusters Gaussians whose sizes
+// follow a Zipf-like distribution (cluster i receives mass ∝ 1/(i+1)),
+// producing a few huge clusters and a long tail of tiny ones.
+func PowerLawClusters(r *rng.RNG, n, dim, clusters int, sep, sigma float64) []metric.Point {
+	if clusters < 1 {
+		clusters = 1
+	}
+	centers := UniformCube(r, clusters, dim, sep)
+	weights := make([]float64, clusters)
+	total := 0.0
+	for i := range weights {
+		weights[i] = 1 / float64(i+1)
+		total += weights[i]
+	}
+	pts := make([]metric.Point, 0, n)
+	for i := 0; i < clusters && len(pts) < n; i++ {
+		cnt := int(math.Round(float64(n) * weights[i] / total))
+		if i == clusters-1 || len(pts)+cnt > n {
+			cnt = n - len(pts)
+		}
+		for j := 0; j < cnt; j++ {
+			p := make(metric.Point, dim)
+			for d := range p {
+				p[d] = centers[i][d] + r.NormFloat64()*sigma
+			}
+			pts = append(pts, p)
+		}
+	}
+	for len(pts) < n {
+		p := make(metric.Point, dim)
+		for d := range p {
+			p[d] = centers[0][d] + r.NormFloat64()*sigma
+		}
+		pts = append(pts, p)
+	}
+	return pts
+}
+
+// Annulus samples n points from a 2D ring with the given inner and outer
+// radii, a geometry whose threshold graphs contain long induced cycles.
+func Annulus(r *rng.RNG, n int, inner, outer float64) []metric.Point {
+	pts := make([]metric.Point, n)
+	for i := range pts {
+		theta := r.Float64() * 2 * math.Pi
+		// Area-uniform radius in [inner, outer].
+		u := r.Float64()
+		rad := math.Sqrt(inner*inner + u*(outer*outer-inner*inner))
+		pts[i] = metric.Point{rad * math.Cos(theta), rad * math.Sin(theta)}
+	}
+	return pts
+}
+
+// Grid returns the first n points of the integer grid {0..side-1}^dim in
+// row-major order, a fully deterministic fixture.
+func Grid(n, dim, side int) []metric.Point {
+	if side < 1 {
+		side = 1
+	}
+	pts := make([]metric.Point, 0, n)
+	idx := make([]int, dim)
+	for len(pts) < n {
+		p := make(metric.Point, dim)
+		for j, v := range idx {
+			p[j] = float64(v)
+		}
+		pts = append(pts, p)
+		// Increment mixed-radix counter; wrap silently if exhausted.
+		j := 0
+		for j < dim {
+			idx[j]++
+			if idx[j] < side {
+				break
+			}
+			idx[j] = 0
+			j++
+		}
+		if j == dim { // grid exhausted; restart (duplicates, still valid input)
+			for i := range idx {
+				idx[i] = 0
+			}
+		}
+	}
+	return pts
+}
+
+// Line returns n collinear points at unit spacing: the worst case for
+// greedy anti-cover slack and a handy exactly-solvable fixture.
+func Line(n int) []metric.Point {
+	pts := make([]metric.Point, n)
+	for i := range pts {
+		pts[i] = metric.Point{float64(i)}
+	}
+	return pts
+}
+
+// Moons returns n points on two interleaved half-circles ("two moons"),
+// the classic non-convex clustering shape: the upper moon is a half
+// circle of the given radius centered at the origin; the lower moon is
+// shifted right by radius and down by gap, opening upward. Points get
+// Gaussian jitter of scale noise.
+func Moons(r *rng.RNG, n int, radius, gap, noise float64) []metric.Point {
+	pts := make([]metric.Point, n)
+	for i := range pts {
+		theta := r.Float64() * math.Pi
+		var x, y float64
+		if i%2 == 0 {
+			x = radius * math.Cos(theta)
+			y = radius * math.Sin(theta)
+		} else {
+			x = radius - radius*math.Cos(theta)
+			y = -radius*math.Sin(theta) + gap
+		}
+		pts[i] = metric.Point{x + noise*r.NormFloat64(), y + noise*r.NormFloat64()}
+	}
+	return pts
+}
+
+// Family is a named dataset generator at a fixed dimensionality, used by
+// the benchmark harness to sweep workloads.
+type Family struct {
+	Name string
+	Gen  func(r *rng.RNG, n int) []metric.Point
+}
+
+// Families returns the standard benchmark families.
+func Families() []Family {
+	return []Family{
+		{Name: "uniform", Gen: func(r *rng.RNG, n int) []metric.Point {
+			return UniformCube(r, n, 4, 100)
+		}},
+		{Name: "gauss-sep", Gen: func(r *rng.RNG, n int) []metric.Point {
+			return GaussianMixture(r, n, 4, 10, 1000, 1)
+		}},
+		{Name: "gauss-overlap", Gen: func(r *rng.RNG, n int) []metric.Point {
+			return GaussianMixture(r, n, 4, 10, 50, 10)
+		}},
+		{Name: "powerlaw", Gen: func(r *rng.RNG, n int) []metric.Point {
+			return PowerLawClusters(r, n, 4, 20, 500, 2)
+		}},
+		{Name: "annulus", Gen: func(r *rng.RNG, n int) []metric.Point {
+			return Annulus(r, n, 80, 100)
+		}},
+		{Name: "moons", Gen: func(r *rng.RNG, n int) []metric.Point {
+			return Moons(r, n, 100, -20, 4)
+		}},
+	}
+}

@@ -1,0 +1,212 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"parclust/internal/metric"
+	"parclust/internal/rng"
+)
+
+func TestUniformCube(t *testing.T) {
+	r := rng.New(1)
+	pts := UniformCube(r, 500, 3, 10)
+	if len(pts) != 500 {
+		t.Fatalf("n = %d", len(pts))
+	}
+	for _, p := range pts {
+		if len(p) != 3 {
+			t.Fatalf("dim = %d", len(p))
+		}
+		for _, c := range p {
+			if c < 0 || c > 10 {
+				t.Fatalf("coordinate %v out of [0,10]", c)
+			}
+		}
+	}
+}
+
+func TestGaussianMixtureSeparation(t *testing.T) {
+	r := rng.New(2)
+	pts := GaussianMixture(r, 1000, 2, 5, 10000, 1)
+	if len(pts) != 1000 {
+		t.Fatalf("n = %d", len(pts))
+	}
+	// With sep=10000 and sigma=1, points from the same cluster index are
+	// within a few sigma; check points i and i+5 (same cluster).
+	d := metric.L2{}.Dist(pts[0], pts[5])
+	if d > 20 {
+		t.Fatalf("same-cluster points %v apart", d)
+	}
+	// Zero clusters clamps to one.
+	pts = GaussianMixture(r, 10, 2, 0, 10, 1)
+	if len(pts) != 10 {
+		t.Fatalf("clamped clusters n = %d", len(pts))
+	}
+}
+
+func TestPowerLawClusters(t *testing.T) {
+	r := rng.New(3)
+	for _, n := range []int{1, 10, 997} {
+		pts := PowerLawClusters(r, n, 3, 7, 100, 1)
+		if len(pts) != n {
+			t.Fatalf("PowerLawClusters(%d) returned %d points", n, len(pts))
+		}
+	}
+}
+
+func TestAnnulusRadii(t *testing.T) {
+	r := rng.New(4)
+	pts := Annulus(r, 2000, 5, 10)
+	for _, p := range pts {
+		rad := math.Hypot(p[0], p[1])
+		if rad < 5-1e-9 || rad > 10+1e-9 {
+			t.Fatalf("annulus point at radius %v", rad)
+		}
+	}
+}
+
+func TestGridDeterministic(t *testing.T) {
+	a := Grid(27, 3, 3)
+	b := Grid(27, 3, 3)
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatal("grid not deterministic")
+		}
+	}
+	if !a[0].Equal(metric.Point{0, 0, 0}) || !a[1].Equal(metric.Point{1, 0, 0}) {
+		t.Fatalf("grid order wrong: %v %v", a[0], a[1])
+	}
+	// Exhausted grid wraps with duplicates rather than failing.
+	small := Grid(5, 1, 2)
+	if len(small) != 5 {
+		t.Fatalf("wrapped grid length %d", len(small))
+	}
+	// Non-positive side clamps.
+	if got := Grid(3, 2, 0); len(got) != 3 {
+		t.Fatalf("side=0 length %d", len(got))
+	}
+}
+
+func TestLine(t *testing.T) {
+	pts := Line(4)
+	for i, p := range pts {
+		if p[0] != float64(i) {
+			t.Fatalf("Line[%d] = %v", i, p)
+		}
+	}
+}
+
+func TestFamiliesProduceRequestedSize(t *testing.T) {
+	for _, fam := range Families() {
+		r := rng.New(9)
+		pts := fam.Gen(r, 200)
+		if len(pts) != 200 {
+			t.Fatalf("family %s produced %d points", fam.Name, len(pts))
+		}
+	}
+}
+
+// Property: every partitioner is a partition — sizes sum to n and every
+// machine index is valid.
+func TestPartitionersPartition(t *testing.T) {
+	strategies := Partitioners()
+	if len(strategies) != 4 {
+		t.Fatalf("expected 4 partitioners, got %d", len(strategies))
+	}
+	f := func(nRaw, mRaw uint8, seed uint16) bool {
+		n := int(nRaw)%100 + 1
+		m := int(mRaw)%8 + 1
+		r := rng.New(uint64(seed))
+		pts := UniformCube(r, n, 2, 10)
+		for _, part := range strategies {
+			parts := part(r, pts, m)
+			if len(parts) != m {
+				return false
+			}
+			total := 0
+			for _, p := range parts {
+				total += len(p)
+			}
+			if total != n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionRoundRobinBalance(t *testing.T) {
+	pts := Line(10)
+	parts := PartitionRoundRobin(nil, pts, 3)
+	if len(parts[0]) != 4 || len(parts[1]) != 3 || len(parts[2]) != 3 {
+		t.Fatalf("round-robin sizes: %d %d %d", len(parts[0]), len(parts[1]), len(parts[2]))
+	}
+}
+
+func TestPartitionSortedIsContiguous(t *testing.T) {
+	r := rng.New(5)
+	pts := UniformCube(r, 100, 1, 100)
+	parts := PartitionSorted(nil, pts, 4)
+	prevMax := math.Inf(-1)
+	for _, part := range parts {
+		for _, p := range part {
+			if p[0] < prevMax-1e-12 {
+				t.Fatal("sorted partition not contiguous")
+			}
+		}
+		for _, p := range part {
+			if p[0] > prevMax {
+				prevMax = p[0]
+			}
+		}
+	}
+}
+
+func TestPartitionSkewed(t *testing.T) {
+	pts := Line(20)
+	parts := PartitionSkewed(nil, pts, 4)
+	if len(parts[0]) != 10 {
+		t.Fatalf("machine 0 got %d points, want 10", len(parts[0]))
+	}
+	// Single machine gets everything.
+	one := PartitionSkewed(nil, pts, 1)
+	if len(one[0]) != 20 {
+		t.Fatalf("single machine got %d", len(one[0]))
+	}
+}
+
+func TestFlatten(t *testing.T) {
+	pts := Line(7)
+	parts := PartitionRoundRobin(nil, pts, 3)
+	flat := Flatten(parts)
+	if len(flat) != 7 {
+		t.Fatalf("Flatten length %d", len(flat))
+	}
+}
+
+func TestMoons(t *testing.T) {
+	r := rng.New(8)
+	pts := Moons(r, 500, 100, -20, 0)
+	if len(pts) != 500 {
+		t.Fatalf("n = %d", len(pts))
+	}
+	// Noise-free upper-moon points lie on the circle of radius 100 around
+	// the origin with y >= 0.
+	for i := 0; i < len(pts); i += 2 {
+		rad := math.Hypot(pts[i][0], pts[i][1])
+		if math.Abs(rad-100) > 1e-9 || pts[i][1] < -1e-9 {
+			t.Fatalf("upper moon point %v off circle (r=%v)", pts[i], rad)
+		}
+	}
+	// Lower-moon points open upward below the gap line.
+	for i := 1; i < len(pts); i += 2 {
+		if pts[i][1] > -20+1e-9 {
+			t.Fatalf("lower moon point %v above gap", pts[i])
+		}
+	}
+}
