@@ -117,19 +117,25 @@ func Approximate(c *mpc.Cluster, in *instance.Instance, tau float64, cfg Config)
 	}
 
 	// Round 2: classify vertices against the sample; report light count.
+	// The per-vertex sampled-neighbor count runs on the batched sqrt-free
+	// CountWithin kernel; a vertex that sampled itself is corrected out
+	// (it is within its own ball at distance 0 but is not a neighbor).
 	err = c.Superstep("degree/classify", func(mc *mpc.Machine) error {
 		i := mc.ID()
 		sIDs, sPts := mpc.CollectIndexed(mc.Inbox())
 		mc.NoteMemory(int64(len(sIDs) + metric.TotalWords(sPts)))
+		sampleSet := metric.FromPoints(sPts)
+		sampled := make(map[int]bool, len(sIDs))
+		for _, id := range sIDs {
+			sampled[id] = true
+		}
 		cnts := make([]int, len(in.Parts[i]))
 		var lights []int
 		for j, v := range in.Parts[i] {
 			id := in.IDs[i][j]
-			cnt := 0
-			for t, u := range sPts {
-				if sIDs[t] != id && in.Space.Dist(v, u) <= tau {
-					cnt++
-				}
+			cnt := metric.CountWithin(in.Space, v, sampleSet, tau)
+			if tau >= 0 && sampled[id] {
+				cnt--
 			}
 			cnts[j] = cnt
 			if float64(cnt) < threshold {
@@ -223,7 +229,7 @@ func overflowPath(c *mpc.Cluster, in *instance.Instance, tau float64, cfg Config
 			}
 			indep := true
 			for _, q := range isPts {
-				if in.Space.Dist(pt, q) <= tau {
+				if metric.DistLE(in.Space, pt, q, tau) {
 					indep = false
 					break
 				}
@@ -270,21 +276,22 @@ func exactLightPath(c *mpc.Cluster, in *instance.Instance, tau float64, cfg Conf
 	}
 
 	// Round 5: compute local adjacency counts for every light vertex and
-	// send them to the vertex's owner.
+	// send them to the vertex's owner. Each count is one batched sweep
+	// over the machine's contiguous local points; a light vertex counted
+	// against its own machine is corrected out of its own ball.
 	err = c.Superstep("degree/light-count", func(mc *mpc.Machine) error {
 		i := mc.ID()
 		lIDs, lPts := mpc.CollectIndexed(mc.Inbox())
 		mc.NoteMemory(int64(len(lIDs) + metric.TotalWords(lPts)))
+		localSet := metric.FromPoints(in.Parts[i])
 		perOwner := make(map[int]*mpc.KeyedFloats)
 		for t, lp := range lPts {
 			id := lIDs[t]
-			cnt := 0
-			for j, v := range in.Parts[i] {
-				if in.IDs[i][j] != id && in.Space.Dist(lp, v) <= tau {
-					cnt++
-				}
-			}
+			cnt := metric.CountWithin(in.Space, lp, localSet, tau)
 			o := owner[id]
+			if tau >= 0 && o == i {
+				cnt--
+			}
 			kf := perOwner[o]
 			if kf == nil {
 				kf = &mpc.KeyedFloats{}

@@ -30,11 +30,12 @@ func RunIndices(space metric.Space, s []metric.Point, k, start int) []int {
 	}
 	chosen := make([]int, 0, k)
 	chosen = append(chosen, start)
-	// dist[i] = d(s[i], T) for the current prefix T.
+	// dist[i] = d(s[i], T) for the current prefix T, maintained with the
+	// batched kernels over contiguous point storage (one oracle call per
+	// point per round, exactly like the scalar loop).
+	ps := metric.FromPoints(s)
 	dist := make([]float64, n)
-	for i := range dist {
-		dist[i] = space.Dist(s[i], s[start])
-	}
+	metric.DistMany(space, s[start], ps, dist)
 	for len(chosen) < k {
 		far, farD := 0, math.Inf(-1)
 		for i, d := range dist {
@@ -43,11 +44,7 @@ func RunIndices(space metric.Space, s []metric.Point, k, start int) []int {
 			}
 		}
 		chosen = append(chosen, far)
-		for i := range dist {
-			if d := space.Dist(s[i], s[far]); d < dist[i] {
-				dist[i] = d
-			}
-		}
+		metric.UpdateMinDists(space, ps, s[far], dist)
 	}
 	return chosen
 }

@@ -244,22 +244,18 @@ func (r *runner) activeCount() int {
 }
 
 // activeEdges counts edges of the active subgraph (verification only).
+// The O(n²) pair sweep runs on the parallel pool with the batched
+// sqrt-free kernel.
 func (r *runner) activeEdges() int {
-	var all []weighted
+	var all []metric.Point
 	for i := range r.parts {
-		for j := range r.parts[i] {
-			all = append(all, weighted{id: r.ids[i][j], pt: r.parts[i][j]})
-		}
+		all = append(all, r.parts[i]...)
 	}
-	e := 0
-	for i := 0; i < len(all); i++ {
-		for j := i + 1; j < len(all); j++ {
-			if r.in.Space.Dist(all[i].pt, all[j].pt) <= r.tau {
-				e++
-			}
-		}
-	}
-	return e
+	n := len(all)
+	set := metric.FromPoints(all)
+	return metric.SweepSum(n, func(i int) int {
+		return metric.CountWithin(r.in.Space, all[i], set.Slice(i+1, n), r.tau)
+	})
 }
 
 // degreeEstimates returns per-machine degree estimates for the active
@@ -494,7 +490,7 @@ func (r *runner) centralLuby(samples [][][]weighted) error {
 				}
 				adj := false
 				for _, a := range additions {
-					if v.id != a.id && r.in.Space.Dist(v.pt, a.pt) <= r.tau {
+					if v.id != a.id && metric.DistLE(r.in.Space, v.pt, a.pt, r.tau) {
 						adj = true
 						break
 					}
@@ -554,7 +550,7 @@ func (r *runner) removeClosedNeighborhood(i int, adds []weighted) {
 		id := r.ids[i][t]
 		drop := false
 		for _, a := range adds {
-			if id == a.id || r.in.Space.Dist(pt, a.pt) <= r.tau {
+			if id == a.id || metric.DistLE(r.in.Space, pt, a.pt, r.tau) {
 				drop = true
 				break
 			}
@@ -599,7 +595,7 @@ func (r *runner) fallbackGather() (*Result, error) {
 			v := weighted{id: ids[t], pt: pts[t]}
 			indep := true
 			for _, u := range r.mis {
-				if v.id != u.id && r.in.Space.Dist(v.pt, u.pt) <= r.tau {
+				if v.id != u.id && metric.DistLE(r.in.Space, v.pt, u.pt, r.tau) {
 					indep = false
 					break
 				}

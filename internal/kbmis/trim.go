@@ -47,7 +47,7 @@ func trim(space metric.Space, tau float64, s []weighted) []weighted {
 			if i == j {
 				continue
 			}
-			if space.Dist(v.pt, u.pt) <= tau && !beats(v, u) {
+			if metric.DistLE(space, v.pt, u.pt, tau) && !beats(v, u) {
 				keep = false
 				break
 			}
@@ -70,7 +70,7 @@ func trimStrict(space metric.Space, tau float64, s []weighted) []weighted {
 			if i == j {
 				continue
 			}
-			if space.Dist(v.pt, u.pt) <= tau && v.w <= u.w {
+			if metric.DistLE(space, v.pt, u.pt, tau) && v.w <= u.w {
 				keep = false
 				break
 			}
@@ -109,7 +109,7 @@ func dedupByID(s []weighted) []weighted {
 func independentIn(space metric.Space, tau float64, s []weighted) bool {
 	for i := 0; i < len(s); i++ {
 		for j := i + 1; j < len(s); j++ {
-			if s[i].id != s[j].id && space.Dist(s[i].pt, s[j].pt) <= tau {
+			if s[i].id != s[j].id && metric.DistLE(space, s[i].pt, s[j].pt, tau) {
 				return false
 			}
 		}

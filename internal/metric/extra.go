@@ -77,6 +77,31 @@ func (w WeightedL2) Dist(a, b Point) float64 {
 // Name returns "weighted-l2".
 func (WeightedL2) Name() string { return "weighted-l2" }
 
+// DistLE compares the weighted squared distance against tau², sqrt-free
+// with early exit, mirroring L2.DistLE.
+func (w WeightedL2) DistLE(a, b Point, tau float64) bool {
+	if tau < 0 {
+		return false
+	}
+	tt := tau * tau
+	var s float64
+	for i := range a {
+		wi := 1.0
+		if i < len(w.W) {
+			wi = w.W[i]
+			if wi < 0 {
+				wi = 0
+			}
+		}
+		d := a[i] - b[i]
+		s += wi * d * d
+		if s > tt {
+			return false
+		}
+	}
+	return s <= tt
+}
+
 // Jaccard is the Jaccard distance over binary vectors (any non-zero
 // coordinate counts as membership): d = 1 − |A∩B| / |A∪B|, a metric
 // (Steinhaus). Two empty sets have distance 0.

@@ -1,0 +1,621 @@
+package metric
+
+import "math"
+
+// This file holds the batch distance kernels. Every kernel is equivalent
+// to the obvious scalar loop over Space.Dist (the property tests assert
+// agreement to ULP-scale tolerance) but avoids per-pair interface
+// dispatch, runs 4-wide unrolled inner loops over the contiguous storage
+// of a PointSet for the built-in vector metrics, and — for threshold
+// tests — skips math.Sqrt entirely via ThresholdComparer. Each
+// specialized helper processes the whole batch in one call so the
+// per-row cost is just the arithmetic.
+//
+// Oracle accounting is preserved: when the space is a *Counting wrapper,
+// a kernel over n rows charges exactly n oracle calls (one per pair, as
+// the scalar loop would), added in a single batched increment.
+
+// kernelKind selects a specialized inner loop.
+type kernelKind uint8
+
+const (
+	kGeneric kernelKind = iota
+	kL2
+	kL1
+	kLInf
+)
+
+// resolveKernel strips one Counting layer and classifies the underlying
+// space. The returned space is the one to evaluate distances with; the
+// returned counter (possibly nil) must be charged one call per pair.
+func resolveKernel(s Space) (Space, kernelKind, *Counting) {
+	cnt, _ := s.(*Counting)
+	inner := s
+	if cnt != nil {
+		inner = cnt.Inner
+	}
+	switch inner.(type) {
+	case L2:
+		return inner, kL2, cnt
+	case L1:
+		return inner, kL1, cnt
+	case LInf:
+		return inner, kLInf, cnt
+	}
+	return inner, kGeneric, cnt
+}
+
+// flatRows reports whether the kernels can run the specialized loops:
+// the set must be flat and the query must match its dimension.
+func flatRows(q Point, set *PointSet) ([]float64, bool) {
+	data, ok := set.Flat()
+	return data, ok && set.Dim() == len(q)
+}
+
+// DistMany computes out[i] = s.Dist(q, set.Row(i)) for every row of set.
+// out must have length ≥ set.Len().
+func DistMany(s Space, q Point, set *PointSet, out []float64) {
+	n := set.Len()
+	inner, kind, cnt := resolveKernel(s)
+	cnt.addCalls(q, int64(n))
+	if data, ok := flatRows(q, set); ok && kind != kGeneric {
+		switch kind {
+		case kL2:
+			distManyL2(q, data, out[:n])
+		case kL1:
+			distManyL1(q, data, out[:n])
+		case kLInf:
+			distManyLInf(q, data, out[:n])
+		}
+		return
+	}
+	for i := 0; i < n; i++ {
+		out[i] = inner.Dist(q, set.Row(i))
+	}
+}
+
+// UpdateMinDists lowers dist[i] to s.Dist(newCenter, set.Row(i)) wherever
+// that distance is smaller — the inner step of GMM's distance-to-set
+// maintenance. dist must have length ≥ set.Len().
+func UpdateMinDists(s Space, set *PointSet, newCenter Point, dist []float64) {
+	n := set.Len()
+	inner, kind, cnt := resolveKernel(s)
+	cnt.addCalls(newCenter, int64(n))
+	if data, ok := flatRows(newCenter, set); ok && kind != kGeneric {
+		switch kind {
+		case kL2:
+			updateMinL2(newCenter, data, dist[:n])
+		case kL1:
+			updateMinL1(newCenter, data, dist[:n])
+		case kLInf:
+			updateMinLInf(newCenter, data, dist[:n])
+		}
+		return
+	}
+	for i := 0; i < n; i++ {
+		if d := inner.Dist(newCenter, set.Row(i)); d < dist[i] {
+			dist[i] = d
+		}
+	}
+}
+
+// CountWithin returns |{i : s.Dist(q, set.Row(i)) ≤ tau}|. For L2 (and
+// any ThresholdComparer) the test is sqrt-free with early exit, but each
+// row still counts as one oracle call — an adjacency test is one
+// conceptual oracle query regardless of how it short-circuits.
+func CountWithin(s Space, q Point, set *PointSet, tau float64) int {
+	n := set.Len()
+	inner, kind, cnt := resolveKernel(s)
+	cnt.addCalls(q, int64(n))
+	if data, ok := flatRows(q, set); ok && kind != kGeneric {
+		switch kind {
+		case kL2:
+			if tau < 0 {
+				return 0
+			}
+			return countWithinL2(q, data, tau*tau)
+		case kL1:
+			return countWithinL1(q, data, tau)
+		case kLInf:
+			if tau < 0 {
+				return 0
+			}
+			return countWithinLInf(q, data, tau)
+		}
+	}
+	c := 0
+	if tc, ok := inner.(ThresholdComparer); ok {
+		for i := 0; i < n; i++ {
+			if tc.DistLE(q, set.Row(i), tau) {
+				c++
+			}
+		}
+		return c
+	}
+	for i := 0; i < n; i++ {
+		if inner.Dist(q, set.Row(i)) <= tau {
+			c++
+		}
+	}
+	return c
+}
+
+// NearestIn returns the index of the row of set closest to q and the
+// distance to it, resolving ties to the lowest index. It returns
+// (-1, +Inf) for an empty set.
+func NearestIn(s Space, q Point, set *PointSet) (int, float64) {
+	n := set.Len()
+	if n == 0 {
+		return -1, math.Inf(1)
+	}
+	inner, kind, cnt := resolveKernel(s)
+	cnt.addCalls(q, int64(n))
+	if data, ok := flatRows(q, set); ok && kind != kGeneric {
+		switch kind {
+		case kL2:
+			arg, sq := argMinL2(q, data)
+			return arg, math.Sqrt(sq)
+		case kL1:
+			return argMinL1(q, data)
+		case kLInf:
+			return argMinLInf(q, data)
+		}
+	}
+	best, arg := math.Inf(1), -1
+	for i := 0; i < n; i++ {
+		if d := inner.Dist(q, set.Row(i)); d < best {
+			best, arg = d, i
+		}
+	}
+	return arg, best
+}
+
+// MinDistTo returns min over rows of s.Dist(q, row), or +Inf for an empty
+// set: the PointSet counterpart of DistToSet.
+func MinDistTo(s Space, q Point, set *PointSet) float64 {
+	_, d := NearestIn(s, q, set)
+	return d
+}
+
+// MaxDistTo returns max over rows of s.Dist(q, row), or -Inf for an empty
+// set.
+func MaxDistTo(s Space, q Point, set *PointSet) float64 {
+	n := set.Len()
+	if n == 0 {
+		return math.Inf(-1)
+	}
+	inner, kind, cnt := resolveKernel(s)
+	cnt.addCalls(q, int64(n))
+	if data, ok := flatRows(q, set); ok && kind == kL2 {
+		dim := len(q)
+		best := math.Inf(-1)
+		for off := 0; off+dim <= len(data); off += dim {
+			if sq := sqDist(q, data[off:off+dim]); sq > best {
+				best = sq
+			}
+		}
+		return math.Sqrt(best)
+	}
+	best := math.Inf(-1)
+	if data, ok := flatRows(q, set); ok && kind != kGeneric {
+		dim := len(q)
+		for off := 0; off+dim <= len(data); off += dim {
+			var d float64
+			if kind == kL1 {
+				d = absDist(q, data[off:off+dim])
+			} else {
+				d = maxDist(q, data[off:off+dim])
+			}
+			if d > best {
+				best = d
+			}
+		}
+		return best
+	}
+	for i := 0; i < n; i++ {
+		if d := inner.Dist(q, set.Row(i)); d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// ---- L2 batch helpers -------------------------------------------------
+//
+// All helpers iterate the flat row-major buffer with a running offset and
+// 4-wide unrolled inner loops; four independent accumulators break the
+// floating-point dependency chain, so sums can differ from the sequential
+// oracle by a few ULPs (the tolerance the property tests assert).
+
+func distManyL2(q Point, data []float64, out []float64) {
+	dim := len(q)
+	// The low dimensions the experiments run at deserve fully unrolled
+	// bodies with the query hoisted into registers: the query is constant
+	// across the whole sweep, so reloading (and bounds-checking) it per
+	// row is pure overhead.
+	switch dim {
+	case 2:
+		q0, q1 := q[0], q[1]
+		for i, off := 0, 0; i < len(out); i, off = i+1, off+2 {
+			row := data[off : off+2]
+			d0 := q0 - row[0]
+			d1 := q1 - row[1]
+			out[i] = math.Sqrt(d0*d0 + d1*d1)
+		}
+		return
+	case 8:
+		q0, q1, q2, q3 := q[0], q[1], q[2], q[3]
+		q4, q5, q6, q7 := q[4], q[5], q[6], q[7]
+		for i, off := 0, 0; i < len(out); i, off = i+1, off+8 {
+			row := data[off : off+8]
+			d0 := q0 - row[0]
+			d1 := q1 - row[1]
+			d2 := q2 - row[2]
+			d3 := q3 - row[3]
+			d4 := q4 - row[4]
+			d5 := q5 - row[5]
+			d6 := q6 - row[6]
+			d7 := q7 - row[7]
+			out[i] = math.Sqrt((d0*d0 + d1*d1 + d2*d2 + d3*d3) +
+				(d4*d4 + d5*d5 + d6*d6 + d7*d7))
+		}
+		return
+	}
+	for i, off := 0, 0; i < len(out); i, off = i+1, off+dim {
+		row := data[off : off+dim]
+		var s0, s1, s2, s3 float64
+		j := 0
+		for ; j+4 <= dim; j += 4 {
+			d0 := q[j] - row[j]
+			d1 := q[j+1] - row[j+1]
+			d2 := q[j+2] - row[j+2]
+			d3 := q[j+3] - row[j+3]
+			s0 += d0 * d0
+			s1 += d1 * d1
+			s2 += d2 * d2
+			s3 += d3 * d3
+		}
+		for ; j < dim; j++ {
+			d := q[j] - row[j]
+			s0 += d * d
+		}
+		out[i] = math.Sqrt((s0 + s1) + (s2 + s3))
+	}
+}
+
+func updateMinL2(q Point, data []float64, dist []float64) {
+	dim := len(q)
+	// Compare in the squared domain and take the square root only for
+	// rows that actually improve; after the first few GMM rounds most
+	// rows do not.
+	switch dim {
+	case 2:
+		q0, q1 := q[0], q[1]
+		for i, off := 0, 0; i < len(dist); i, off = i+1, off+2 {
+			d0 := q0 - data[off]
+			d1 := q1 - data[off+1]
+			sq := d0*d0 + d1*d1
+			if d := dist[i]; sq < d*d {
+				dist[i] = math.Sqrt(sq)
+			}
+		}
+		return
+	case 8:
+		q0, q1, q2, q3 := q[0], q[1], q[2], q[3]
+		q4, q5, q6, q7 := q[4], q[5], q[6], q[7]
+		for i, off := 0, 0; i < len(dist); i, off = i+1, off+8 {
+			row := data[off : off+8]
+			d0 := q0 - row[0]
+			d1 := q1 - row[1]
+			d2 := q2 - row[2]
+			d3 := q3 - row[3]
+			d4 := q4 - row[4]
+			d5 := q5 - row[5]
+			d6 := q6 - row[6]
+			d7 := q7 - row[7]
+			sq := (d0*d0 + d1*d1 + d2*d2 + d3*d3) +
+				(d4*d4 + d5*d5 + d6*d6 + d7*d7)
+			if d := dist[i]; sq < d*d {
+				dist[i] = math.Sqrt(sq)
+			}
+		}
+		return
+	}
+	for i, off := 0, 0; i < len(dist); i, off = i+1, off+dim {
+		sq := sqDist(q, data[off:off+dim])
+		if d := dist[i]; sq < d*d {
+			dist[i] = math.Sqrt(sq)
+		}
+	}
+}
+
+func countWithinL2(q Point, data []float64, tt float64) int {
+	dim := len(q)
+	c := 0
+	switch dim {
+	case 2:
+		q0, q1 := q[0], q[1]
+		for off := 0; off+2 <= len(data); off += 2 {
+			d0 := q0 - data[off]
+			d1 := q1 - data[off+1]
+			if d0*d0+d1*d1 <= tt {
+				c++
+			}
+		}
+		return c
+	case 8:
+		q0, q1, q2, q3 := q[0], q[1], q[2], q[3]
+		q4, q5, q6, q7 := q[4], q[5], q[6], q[7]
+		for off := 0; off+8 <= len(data); off += 8 {
+			row := data[off : off+8]
+			d0 := q0 - row[0]
+			d1 := q1 - row[1]
+			d2 := q2 - row[2]
+			d3 := q3 - row[3]
+			d4 := q4 - row[4]
+			d5 := q5 - row[5]
+			d6 := q6 - row[6]
+			d7 := q7 - row[7]
+			if (d0*d0+d1*d1+d2*d2+d3*d3)+(d4*d4+d5*d5+d6*d6+d7*d7) <= tt {
+				c++
+			}
+		}
+		return c
+	}
+	for off := 0; off+dim <= len(data); off += dim {
+		if sqDistLE(q, data[off:off+dim], tt) {
+			c++
+		}
+	}
+	return c
+}
+
+func argMinL2(q Point, data []float64) (int, float64) {
+	dim := len(q)
+	best, arg := math.Inf(1), -1
+	for i, off := 0, 0; off+dim <= len(data); i, off = i+1, off+dim {
+		row := data[off : off+dim]
+		var s0, s1, s2, s3 float64
+		j := 0
+		for ; j+4 <= dim; j += 4 {
+			d0 := q[j] - row[j]
+			d1 := q[j+1] - row[j+1]
+			d2 := q[j+2] - row[j+2]
+			d3 := q[j+3] - row[j+3]
+			s0 += d0 * d0
+			s1 += d1 * d1
+			s2 += d2 * d2
+			s3 += d3 * d3
+		}
+		for ; j < dim; j++ {
+			d := q[j] - row[j]
+			s0 += d * d
+		}
+		if sq := (s0 + s1) + (s2 + s3); sq < best {
+			best, arg = sq, i
+		}
+	}
+	return arg, best
+}
+
+// ---- L1 batch helpers -------------------------------------------------
+
+func distManyL1(q Point, data []float64, out []float64) {
+	dim := len(q)
+	for i, off := 0, 0; i < len(out); i, off = i+1, off+dim {
+		out[i] = absDist(q, data[off:off+dim])
+	}
+}
+
+func updateMinL1(q Point, data []float64, dist []float64) {
+	dim := len(q)
+	for i, off := 0, 0; i < len(dist); i, off = i+1, off+dim {
+		if d := absDist(q, data[off:off+dim]); d < dist[i] {
+			dist[i] = d
+		}
+	}
+}
+
+func countWithinL1(q Point, data []float64, tau float64) int {
+	dim := len(q)
+	c := 0
+	for off := 0; off+dim <= len(data); off += dim {
+		if absDistLE(q, data[off:off+dim], tau) {
+			c++
+		}
+	}
+	return c
+}
+
+func argMinL1(q Point, data []float64) (int, float64) {
+	dim := len(q)
+	best, arg := math.Inf(1), -1
+	for i, off := 0, 0; off+dim <= len(data); i, off = i+1, off+dim {
+		if d := absDist(q, data[off:off+dim]); d < best {
+			best, arg = d, i
+		}
+	}
+	return arg, best
+}
+
+// ---- L∞ batch helpers -------------------------------------------------
+
+func distManyLInf(q Point, data []float64, out []float64) {
+	dim := len(q)
+	for i, off := 0, 0; i < len(out); i, off = i+1, off+dim {
+		out[i] = maxDist(q, data[off:off+dim])
+	}
+}
+
+func updateMinLInf(q Point, data []float64, dist []float64) {
+	dim := len(q)
+	for i, off := 0, 0; i < len(dist); i, off = i+1, off+dim {
+		if d := maxDist(q, data[off:off+dim]); d < dist[i] {
+			dist[i] = d
+		}
+	}
+}
+
+func countWithinLInf(q Point, data []float64, tau float64) int {
+	dim := len(q)
+	c := 0
+	for off := 0; off+dim <= len(data); off += dim {
+		if maxDistLE(q, data[off:off+dim], tau) {
+			c++
+		}
+	}
+	return c
+}
+
+func argMinLInf(q Point, data []float64) (int, float64) {
+	dim := len(q)
+	best, arg := math.Inf(1), -1
+	for i, off := 0, 0; off+dim <= len(data); i, off = i+1, off+dim {
+		if d := maxDist(q, data[off:off+dim]); d < best {
+			best, arg = d, i
+		}
+	}
+	return arg, best
+}
+
+// ---- shared pairwise primitives ---------------------------------------
+
+// sqDist is the 4-wide unrolled squared Euclidean distance over the
+// shorter of the two slices.
+func sqDist(a, b []float64) float64 {
+	if len(b) < len(a) {
+		a = a[:len(b)]
+	}
+	b = b[:len(a)]
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		d0 := a[i] - b[i]
+		d1 := a[i+1] - b[i+1]
+		d2 := a[i+2] - b[i+2]
+		d3 := a[i+3] - b[i+3]
+		s0 += d0 * d0
+		s1 += d1 * d1
+		s2 += d2 * d2
+		s3 += d3 * d3
+	}
+	for ; i < len(a); i++ {
+		d := a[i] - b[i]
+		s0 += d * d
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// sqDistLE reports sqDist(a, b) ≤ tt with a block-wise early exit: the
+// partial sum only grows, so once it exceeds tt the answer is known.
+func sqDistLE(a, b []float64, tt float64) bool {
+	if len(b) < len(a) {
+		a = a[:len(b)]
+	}
+	b = b[:len(a)]
+	var s float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		d0 := a[i] - b[i]
+		d1 := a[i+1] - b[i+1]
+		d2 := a[i+2] - b[i+2]
+		d3 := a[i+3] - b[i+3]
+		s += d0*d0 + d1*d1 + d2*d2 + d3*d3
+		if s > tt {
+			return false
+		}
+	}
+	for ; i < len(a); i++ {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s <= tt
+}
+
+// absDist is the 4-wide unrolled L1 distance.
+func absDist(a, b []float64) float64 {
+	if len(b) < len(a) {
+		a = a[:len(b)]
+	}
+	b = b[:len(a)]
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s0 += math.Abs(a[i] - b[i])
+		s1 += math.Abs(a[i+1] - b[i+1])
+		s2 += math.Abs(a[i+2] - b[i+2])
+		s3 += math.Abs(a[i+3] - b[i+3])
+	}
+	for ; i < len(a); i++ {
+		s0 += math.Abs(a[i] - b[i])
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// absDistLE reports absDist(a, b) ≤ tau with block-wise early exit.
+func absDistLE(a, b []float64, tau float64) bool {
+	if len(b) < len(a) {
+		a = a[:len(b)]
+	}
+	b = b[:len(a)]
+	var s float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s += math.Abs(a[i]-b[i]) + math.Abs(a[i+1]-b[i+1]) +
+			math.Abs(a[i+2]-b[i+2]) + math.Abs(a[i+3]-b[i+3])
+		if s > tau {
+			return false
+		}
+	}
+	for ; i < len(a); i++ {
+		s += math.Abs(a[i] - b[i])
+	}
+	return s <= tau
+}
+
+// maxDist is the unrolled L∞ distance.
+func maxDist(a, b []float64) float64 {
+	if len(b) < len(a) {
+		a = a[:len(b)]
+	}
+	b = b[:len(a)]
+	var m float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+		if d := math.Abs(a[i+1] - b[i+1]); d > m {
+			m = d
+		}
+		if d := math.Abs(a[i+2] - b[i+2]); d > m {
+			m = d
+		}
+		if d := math.Abs(a[i+3] - b[i+3]); d > m {
+			m = d
+		}
+	}
+	for ; i < len(a); i++ {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// maxDistLE reports maxDist(a, b) ≤ tau, exiting on the first coordinate
+// gap exceeding tau. NaN gaps are skipped by both comparisons, matching
+// LInf.Dist which ignores NaN coordinates in its running maximum.
+func maxDistLE(a, b []float64, tau float64) bool {
+	if len(b) < len(a) {
+		a = a[:len(b)]
+	}
+	b = b[:len(a)]
+	for i := 0; i < len(a); i++ {
+		d := a[i] - b[i]
+		if d > tau || -d > tau {
+			return false
+		}
+	}
+	return true
+}

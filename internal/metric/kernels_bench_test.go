@@ -1,0 +1,139 @@
+package metric
+
+import (
+	"fmt"
+	"testing"
+
+	"parclust/internal/rng"
+)
+
+// Sinks keep the compiler from dead-code-eliminating benchmark loops.
+var (
+	sinkF float64
+	sinkI int
+)
+
+// scalarDistLoop is the pre-kernel hot-loop shape: one dynamic Space.Dist
+// dispatch per pair. Marked noinline so the benchmark measures the real
+// interface-call cost the callers used to pay — inlined into the
+// benchmark body, the compiler devirtualizes the locally-constructed
+// interface and the "scalar" baseline stops resembling shipped code.
+//
+//go:noinline
+func scalarDistLoop(s Space, q Point, pts []Point, out []float64) {
+	for i, p := range pts {
+		out[i] = s.Dist(q, p)
+	}
+}
+
+//go:noinline
+func scalarCountLoop(s Space, q Point, pts []Point, tau float64) int {
+	c := 0
+	for _, p := range pts {
+		if s.Dist(q, p) <= tau {
+			c++
+		}
+	}
+	return c
+}
+
+//go:noinline
+func scalarUpdateMin(s Space, q Point, pts []Point, dist []float64) {
+	for i, p := range pts {
+		if d := s.Dist(q, p); d < dist[i] {
+			dist[i] = d
+		}
+	}
+}
+
+// BenchmarkDistKernels compares the scalar oracle loop against the
+// batched kernels and the sqrt-free threshold path at the dimensions the
+// workloads use. Results are recorded in BENCH_pr1.json (see
+// docs/PERFORMANCE.md for how to refresh them).
+func BenchmarkDistKernels(b *testing.B) {
+	const n = 1024
+	for _, dim := range []int{2, 8, 64} {
+		r := rng.New(uint64(dim))
+		pts := make([]Point, n)
+		for i := range pts {
+			p := make(Point, dim)
+			for j := range p {
+				p[j] = r.NormFloat64()
+			}
+			pts[i] = p
+		}
+		q := pts[0].Clone()
+		set := FromPoints(pts)
+		out := make([]float64, n)
+		space := Space(L2{})
+		tau := 0.5 * Diameter(L2{}, pts[:64])
+
+		b.Run(fmt.Sprintf("dim=%d/scalar", dim), func(b *testing.B) {
+			b.SetBytes(int64(n * dim * 8))
+			for i := 0; i < b.N; i++ {
+				scalarDistLoop(space, q, pts, out)
+			}
+			sinkF = out[n-1]
+		})
+		b.Run(fmt.Sprintf("dim=%d/batched", dim), func(b *testing.B) {
+			b.SetBytes(int64(n * dim * 8))
+			for i := 0; i < b.N; i++ {
+				DistMany(space, q, set, out)
+			}
+			sinkF = out[n-1]
+		})
+		b.Run(fmt.Sprintf("dim=%d/threshold-scalar", dim), func(b *testing.B) {
+			b.SetBytes(int64(n * dim * 8))
+			c := 0
+			for i := 0; i < b.N; i++ {
+				c += scalarCountLoop(space, q, pts, tau)
+			}
+			sinkI = c
+		})
+		b.Run(fmt.Sprintf("dim=%d/threshold-sqrtfree", dim), func(b *testing.B) {
+			b.SetBytes(int64(n * dim * 8))
+			c := 0
+			for i := 0; i < b.N; i++ {
+				c += CountWithin(space, q, set, tau)
+			}
+			sinkI = c
+		})
+	}
+}
+
+// BenchmarkGMMStyleSelection measures the GMM inner pattern (init +
+// repeated min-dist updates) end to end: scalar oracle loop vs kernels.
+func BenchmarkGMMStyleSelection(b *testing.B) {
+	const n, dim, k = 2048, 16, 16
+	r := rng.New(9)
+	pts := make([]Point, n)
+	for i := range pts {
+		p := make(Point, dim)
+		for j := range p {
+			p[j] = r.NormFloat64()
+		}
+		pts[i] = p
+	}
+	space := Space(L2{})
+	set := FromPoints(pts)
+	dist := make([]float64, n)
+
+	b.Run("scalar", func(b *testing.B) {
+		for it := 0; it < b.N; it++ {
+			scalarDistLoop(space, pts[0], pts, dist)
+			for c := 1; c < k; c++ {
+				scalarUpdateMin(space, pts[c], pts, dist)
+			}
+		}
+		sinkF = dist[n-1]
+	})
+	b.Run("kernels", func(b *testing.B) {
+		for it := 0; it < b.N; it++ {
+			DistMany(space, pts[0], set, dist)
+			for c := 1; c < k; c++ {
+				UpdateMinDists(space, set, pts[c], dist)
+			}
+		}
+		sinkF = dist[n-1]
+	})
+}

@@ -1,0 +1,305 @@
+package metric
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"parclust/internal/rng"
+)
+
+// kernelSpaces are the metrics the batch kernels must agree with the
+// scalar oracle on: the three specialized fast paths, a ThresholdComparer
+// without a flat kernel (Hamming), and a plain oracle-only space.
+var kernelSpaces = []Space{L2{}, L1{}, LInf{}, Hamming{}, Angular{}}
+
+// genPoints builds a deterministic random point set and query from a
+// quick-generated seed: dimension in [1, 19], size in [0, 39], and a mix
+// of continuous and small-integer coordinates so exact ties occur.
+func genPoints(seed uint64) (Point, []Point, float64) {
+	r := rng.New(seed)
+	dim := 1 + r.Intn(19)
+	n := r.Intn(40)
+	coord := func() float64 {
+		if r.Bernoulli(0.3) {
+			return float64(r.Intn(4)) // integer grid: forces exact ties
+		}
+		return r.NormFloat64()
+	}
+	mk := func() Point {
+		p := make(Point, dim)
+		for i := range p {
+			p[i] = coord()
+		}
+		return p
+	}
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = mk()
+	}
+	tau := math.Abs(r.NormFloat64()) * 2
+	return mk(), pts, tau
+}
+
+// near reports a and b agree to ULP-scale (relative 1e-12) tolerance.
+func near(a, b float64) bool {
+	if a == b || (math.IsInf(a, 1) && math.IsInf(b, 1)) {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= 1e-12*math.Max(scale, 1)
+}
+
+func TestDistManyMatchesScalar(t *testing.T) {
+	for _, s := range kernelSpaces {
+		s := s
+		prop := func(seed uint64) bool {
+			q, pts, _ := genPoints(seed)
+			set := FromPoints(pts)
+			out := make([]float64, len(pts))
+			DistMany(s, q, set, out)
+			for i, p := range pts {
+				if !near(out[i], s.Dist(q, p)) {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(prop, nil); err != nil {
+			t.Errorf("%s: %v", s.Name(), err)
+		}
+	}
+}
+
+func TestCountWithinAndDistLEMatchScalar(t *testing.T) {
+	for _, s := range kernelSpaces {
+		s := s
+		prop := func(seed uint64) bool {
+			q, pts, tau := genPoints(seed)
+			set := FromPoints(pts)
+			got := CountWithin(s, q, set, tau)
+			want := 0
+			boundary := 0
+			for _, p := range pts {
+				d := s.Dist(q, p)
+				if d <= tau {
+					want++
+				}
+				// The sqrt-free compare may flip pairs sitting exactly on
+				// the threshold boundary (ULP-scale rounding); count how
+				// much slack that allows.
+				if near(d, tau) {
+					boundary++
+				}
+				le := DistLE(s, q, p, tau)
+				if le != (d <= tau) && !near(d, tau) {
+					return false
+				}
+			}
+			diff := got - want
+			if diff < 0 {
+				diff = -diff
+			}
+			return diff <= boundary
+		}
+		if err := quick.Check(prop, nil); err != nil {
+			t.Errorf("%s: %v", s.Name(), err)
+		}
+	}
+}
+
+func TestNearestAndMinMaxMatchScalar(t *testing.T) {
+	for _, s := range kernelSpaces {
+		s := s
+		prop := func(seed uint64) bool {
+			q, pts, _ := genPoints(seed)
+			set := FromPoints(pts)
+			arg, d := NearestIn(s, q, set)
+			wantArg, wantD := Nearest(s, q, pts)
+			if !near(d, wantD) {
+				return false
+			}
+			// Index may differ only when two points are ULP-equidistant.
+			if arg != wantArg && !(arg >= 0 && near(s.Dist(q, pts[arg]), wantD)) {
+				return false
+			}
+			maxD := MaxDistTo(s, q, set)
+			wantMax := math.Inf(-1)
+			for _, p := range pts {
+				if dd := s.Dist(q, p); dd > wantMax {
+					wantMax = dd
+				}
+			}
+			if len(pts) > 0 && !near(maxD, wantMax) {
+				return false
+			}
+			return true
+		}
+		if err := quick.Check(prop, nil); err != nil {
+			t.Errorf("%s: %v", s.Name(), err)
+		}
+	}
+}
+
+func TestUpdateMinDistsMatchesScalar(t *testing.T) {
+	for _, s := range kernelSpaces {
+		s := s
+		prop := func(seed uint64) bool {
+			q, pts, _ := genPoints(seed)
+			if len(pts) == 0 {
+				return true
+			}
+			set := FromPoints(pts)
+			dist := make([]float64, len(pts))
+			DistMany(s, pts[0], set, dist)
+			want := append([]float64(nil), dist...)
+			UpdateMinDists(s, set, q, dist)
+			for i, p := range pts {
+				if d := s.Dist(q, p); d < want[i] {
+					want[i] = d
+				}
+			}
+			for i := range dist {
+				if !near(dist[i], want[i]) {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(prop, nil); err != nil {
+			t.Errorf("%s: %v", s.Name(), err)
+		}
+	}
+}
+
+// TestKernelsOnRaggedSet checks the generic fallback: mixed-dimension
+// point sets cannot be flattened, and Jaccard tolerates ragged inputs.
+func TestKernelsOnRaggedSet(t *testing.T) {
+	s := Jaccard{}
+	pts := []Point{{1, 0}, {1, 1, 1}, {0}}
+	set := FromPoints(pts)
+	if _, ok := set.Flat(); ok {
+		t.Fatal("ragged set reported flat")
+	}
+	q := Point{1, 1}
+	out := make([]float64, len(pts))
+	DistMany(s, q, set, out)
+	for i, p := range pts {
+		if out[i] != s.Dist(q, p) {
+			t.Fatalf("row %d: got %v want %v", i, out[i], s.Dist(q, p))
+		}
+	}
+}
+
+// TestCountingSharded hammers the sharded counter from many goroutines:
+// the total must be exact, and batch kernels must charge one call per row.
+func TestCountingSharded(t *testing.T) {
+	c := NewCounting(L2{})
+	const workers = 16
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rng.New(uint64(w + 1))
+			a := Point{r.Float64(), r.Float64()}
+			b := Point{r.Float64(), r.Float64()}
+			for i := 0; i < perWorker; i++ {
+				if i%2 == 0 {
+					c.Dist(a, b)
+				} else {
+					c.DistLE(a, b, 0.5)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Calls(); got != workers*perWorker {
+		t.Fatalf("calls = %d, want %d", got, workers*perWorker)
+	}
+	c.Reset()
+	if got := c.Calls(); got != 0 {
+		t.Fatalf("calls after reset = %d", got)
+	}
+
+	// Batch kernels charge exactly one call per row, concurrently.
+	pts := make([]Point, 100)
+	r := rng.New(7)
+	for i := range pts {
+		pts[i] = Point{r.Float64(), r.Float64()}
+	}
+	set := FromPoints(pts)
+	var wg2 sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg2.Add(1)
+		go func() {
+			defer wg2.Done()
+			out := make([]float64, set.Len())
+			DistMany(c, pts[0], set, out)
+			CountWithin(c, pts[1], set, 0.3)
+			NearestIn(c, pts[2], set)
+		}()
+	}
+	wg2.Wait()
+	if got, want := c.Calls(), int64(workers*3*len(pts)); got != want {
+		t.Fatalf("kernel calls = %d, want %d", got, want)
+	}
+}
+
+// TestSweepHelpers pins the parallel reductions to their serial meaning.
+func TestSweepHelpers(t *testing.T) {
+	vals := make([]float64, 5000)
+	r := rng.New(3)
+	for i := range vals {
+		vals[i] = r.NormFloat64()
+	}
+	serialMax, serialMin := math.Inf(-1), math.Inf(1)
+	serialArg := -1
+	for i, v := range vals {
+		if v > serialMax {
+			serialMax, serialArg = v, i
+		}
+		if v < serialMin {
+			serialMin = v
+		}
+	}
+	if got := SweepMax(len(vals), 0, func(i int) float64 { return vals[i] }); got != serialMax {
+		t.Fatalf("SweepMax = %v, want %v", got, serialMax)
+	}
+	if got := SweepMin(len(vals), 0, func(i int) float64 { return vals[i] }); got != serialMin {
+		t.Fatalf("SweepMin = %v, want %v", got, serialMin)
+	}
+	if arg, v := SweepArgMax(len(vals), func(i int) float64 { return vals[i] }); arg != serialArg || v != serialMax {
+		t.Fatalf("SweepArgMax = (%d, %v), want (%d, %v)", arg, v, serialArg, serialMax)
+	}
+	if got := SweepSum(len(vals), func(i int) int { return i }); got != len(vals)*(len(vals)-1)/2 {
+		t.Fatalf("SweepSum wrong: %d", got)
+	}
+	want := 0
+	for i := range vals {
+		if vals[i] > 0 {
+			want++
+		}
+	}
+	got := SweepFilter(len(vals), func(i int) bool { return vals[i] > 0 })
+	if len(got) != want {
+		t.Fatalf("SweepFilter length = %d, want %d", len(got), want)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatalf("SweepFilter not sorted at %d", i)
+		}
+	}
+}
+
+// TestSweepArgMaxTies: equal values must resolve to the lowest index no
+// matter how chunks are scheduled.
+func TestSweepArgMaxTies(t *testing.T) {
+	n := 10000
+	arg, v := SweepArgMax(n, func(i int) float64 { return 1 })
+	if arg != 0 || v != 1 {
+		t.Fatalf("tie resolution: got (%d, %v), want (0, 1)", arg, v)
+	}
+}

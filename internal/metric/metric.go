@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 	"sync/atomic"
+	"unsafe"
 )
 
 // Point is a point of a metric space, represented as a dense vector.
@@ -55,6 +56,25 @@ type Space interface {
 	Name() string
 }
 
+// ThresholdComparer is an optional fast path for threshold tests:
+// DistLE(a, b, tau) must agree with Dist(a, b) <= tau (up to ULP-scale
+// rounding at the exact boundary) while being cheaper — L2 compares the
+// squared distance against tau² and skips math.Sqrt entirely, and all
+// implementations exit early once the partial result already exceeds tau.
+// Threshold-graph adjacency and the batch CountWithin kernel use it.
+type ThresholdComparer interface {
+	DistLE(a, b Point, tau float64) bool
+}
+
+// DistLE reports s.Dist(a, b) <= tau, via the sqrt-free/early-exit fast
+// path when s implements ThresholdComparer and the oracle otherwise.
+func DistLE(s Space, a, b Point, tau float64) bool {
+	if tc, ok := s.(ThresholdComparer); ok {
+		return tc.DistLE(a, b, tau)
+	}
+	return s.Dist(a, b) <= tau
+}
+
 // L2 is the Euclidean metric.
 type L2 struct{}
 
@@ -71,6 +91,15 @@ func (L2) Dist(a, b Point) float64 {
 // Name returns "l2".
 func (L2) Name() string { return "l2" }
 
+// DistLE compares the squared distance against tau², avoiding the square
+// root of Dist and exiting early once the partial sum exceeds tau².
+func (L2) DistLE(a, b Point, tau float64) bool {
+	if tau < 0 {
+		return false
+	}
+	return sqDistLE(a, b, tau*tau)
+}
+
 // L1 is the Manhattan metric.
 type L1 struct{}
 
@@ -85,6 +114,12 @@ func (L1) Dist(a, b Point) float64 {
 
 // Name returns "l1".
 func (L1) Name() string { return "l1" }
+
+// DistLE reports the L1 distance is at most tau, exiting early once the
+// partial sum exceeds tau.
+func (L1) DistLE(a, b Point, tau float64) bool {
+	return absDistLE(a, b, tau)
+}
 
 // LInf is the Chebyshev metric.
 type LInf struct{}
@@ -102,6 +137,15 @@ func (LInf) Dist(a, b Point) float64 {
 
 // Name returns "linf".
 func (LInf) Name() string { return "linf" }
+
+// DistLE reports the L∞ distance is at most tau, exiting on the first
+// coordinate gap exceeding tau.
+func (LInf) DistLE(a, b Point, tau float64) bool {
+	if tau < 0 {
+		return false
+	}
+	return maxDistLE(a, b, tau)
+}
 
 // Angular is the angular (great-circle on the unit sphere) metric:
 // d(a,b) = arccos(cos-similarity(a,b)). Unlike raw cosine dissimilarity it
@@ -154,6 +198,21 @@ func (Hamming) Dist(a, b Point) float64 {
 // Name returns "hamming".
 func (Hamming) Name() string { return "hamming" }
 
+// DistLE reports that at most tau coordinates differ, exiting once the
+// running count exceeds tau.
+func (Hamming) DistLE(a, b Point, tau float64) bool {
+	var s float64
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			s++
+			if s > tau {
+				return false
+			}
+		}
+	}
+	return s <= tau
+}
+
 // MatrixSpace is an explicit finite metric given by a symmetric distance
 // matrix. A point of this space is a one-coordinate vector holding its row
 // index. MatrixSpace is how tests feed hand-crafted adversarial metrics to
@@ -195,6 +254,15 @@ func NewMatrixSpace(d [][]float64) (*MatrixSpace, error) {
 	return &MatrixSpace{D: d}, nil
 }
 
+// NewMatrixSpaceUnchecked wraps d without any validation. It is for
+// matrices that are metric by construction (e.g. Materialize evaluating a
+// Space over point pairs); user-supplied matrices should go through
+// NewMatrixSpace, which checks the axioms including the O(n³) triangle
+// inequality.
+func NewMatrixSpaceUnchecked(d [][]float64) *MatrixSpace {
+	return &MatrixSpace{D: d}
+}
+
 // PointOf returns the Point representing row i of the matrix.
 func (s *MatrixSpace) PointOf(i int) Point { return Point{float64(i)} }
 
@@ -215,45 +283,104 @@ func (s *MatrixSpace) Dist(a, b Point) float64 {
 // Name returns "matrix".
 func (s *MatrixSpace) Name() string { return "matrix" }
 
+// countShards is the number of independent counter stripes in Counting.
+// Must be a power of two.
+const countShards = 32
+
+// countShard is a cache-line-padded counter stripe, so concurrent
+// machines incrementing different stripes never contend on a line.
+type countShard struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
 // Counting wraps a Space and counts oracle invocations. It is safe for
-// concurrent use and is how benchmarks report distance-oracle work.
+// concurrent use and is how benchmarks report distance-oracle work. The
+// counter is sharded across padded cache lines, selected by the address
+// of the first query point, so the simulator's concurrent machines (which
+// own disjoint point storage) do not serialize on one atomic.
 type Counting struct {
-	Inner Space
-	calls atomic.Int64
+	Inner  Space
+	shards [countShards]countShard
 }
 
 // NewCounting returns a counting wrapper around inner.
 func NewCounting(inner Space) *Counting { return &Counting{Inner: inner} }
 
+// shardFor picks the counter stripe for a query point. Points allocated
+// by different machines live at different addresses, spreading their
+// increments over stripes; repeated queries from one goroutine hit the
+// same warm stripe.
+func (c *Counting) shardFor(a Point) *countShard {
+	if len(a) == 0 {
+		return &c.shards[0]
+	}
+	h := uint(uintptr(unsafe.Pointer(&a[0])) >> 4)
+	h ^= h >> 7
+	return &c.shards[h&(countShards-1)]
+}
+
 // Dist forwards to the wrapped space and increments the call counter.
 func (c *Counting) Dist(a, b Point) float64 {
-	c.calls.Add(1)
+	c.shardFor(a).v.Add(1)
 	return c.Inner.Dist(a, b)
+}
+
+// DistLE charges one oracle call and forwards to the wrapped space's
+// threshold fast path (or its oracle): a threshold test is one conceptual
+// oracle query however it is evaluated.
+func (c *Counting) DistLE(a, b Point, tau float64) bool {
+	c.shardFor(a).v.Add(1)
+	return DistLE(c.Inner, a, b, tau)
 }
 
 // Name returns the wrapped space's name.
 func (c *Counting) Name() string { return c.Inner.Name() }
 
 // Calls returns the number of Dist invocations so far.
-func (c *Counting) Calls() int64 { return c.calls.Load() }
+func (c *Counting) Calls() int64 {
+	var t int64
+	for i := range c.shards {
+		t += c.shards[i].v.Load()
+	}
+	return t
+}
 
 // Reset zeroes the call counter.
-func (c *Counting) Reset() { c.calls.Store(0) }
+func (c *Counting) Reset() {
+	for i := range c.shards {
+		c.shards[i].v.Store(0)
+	}
+}
+
+// addCalls charges n oracle calls in one increment against the stripe of
+// query point q; the batch kernels use it so a whole sweep costs a single
+// atomic operation. Safe on a nil receiver (kernels over non-counting
+// spaces pass nil).
+func (c *Counting) addCalls(q Point, n int64) {
+	if c == nil || n == 0 {
+		return
+	}
+	c.shardFor(q).v.Add(n)
+}
 
 // Materialize evaluates space over all pairs of pts and returns the
-// explicit MatrixSpace (validated), together with the row-index points.
-// O(n²) oracle calls; intended for tiny exact work and tests that need
-// to perturb a metric adversarially.
+// explicit MatrixSpace, together with the row-index points. O(n²) oracle
+// calls, swept in parallel; intended for tiny exact work and tests that
+// need to perturb a metric adversarially. The distances are metric by
+// construction (space is one), so no validation is re-run — in particular
+// not the O(n³) triangle-inequality check of NewMatrixSpace.
 func Materialize(space Space, pts []Point) (*MatrixSpace, error) {
 	n := len(pts)
 	d := make([][]float64, n)
-	for i := range d {
-		d[i] = make([]float64, n)
-		for j := range d[i] {
-			if i != j {
-				d[i][j] = space.Dist(pts[i], pts[j])
-			}
+	set := FromPoints(pts)
+	Sweep(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := make([]float64, n)
+			DistMany(space, pts[i], set, row)
+			row[i] = 0
+			d[i] = row
 		}
-	}
-	return NewMatrixSpace(d)
+	})
+	return NewMatrixSpaceUnchecked(d), nil
 }

@@ -31,43 +31,34 @@ func Nearest(s Space, p Point, set []Point) (int, float64) {
 
 // Radius returns r(X, Y) = max over x in X of d(x, Y): the covering radius
 // of X by Y. It returns 0 for empty X and +Inf for non-empty X with empty Y.
+// The sweep over X runs on the parallel pool with batched kernels over Y.
 func Radius(s Space, x, y []Point) float64 {
-	var r float64
-	for _, p := range x {
-		if d := DistToSet(s, p, y); d > r {
-			r = d
-		}
-	}
-	return r
+	ys := FromPoints(y)
+	return SweepMax(len(x), 0, func(i int) float64 {
+		return MinDistTo(s, x[i], ys)
+	})
 }
 
 // Diversity returns div(set): the minimum pairwise distance in set.
 // By convention it returns +Inf for sets with fewer than two points
-// (every subset of size < 2 is vacuously maximally diverse).
+// (every subset of size < 2 is vacuously maximally diverse). The O(n²)
+// pair sweep runs on the parallel pool with batched kernels.
 func Diversity(s Space, set []Point) float64 {
-	best := math.Inf(1)
-	for i := 0; i < len(set); i++ {
-		for j := i + 1; j < len(set); j++ {
-			if d := s.Dist(set[i], set[j]); d < best {
-				best = d
-			}
-		}
-	}
-	return best
+	n := len(set)
+	ps := FromPoints(set)
+	return SweepMin(n-1, math.Inf(1), func(i int) float64 {
+		return MinDistTo(s, ps.Row(i), ps.Slice(i+1, n))
+	})
 }
 
 // Diameter returns the maximum pairwise distance in set (0 for fewer than
-// two points).
+// two points), sweeping the pairs in parallel.
 func Diameter(s Space, set []Point) float64 {
-	var best float64
-	for i := 0; i < len(set); i++ {
-		for j := i + 1; j < len(set); j++ {
-			if d := s.Dist(set[i], set[j]); d > best {
-				best = d
-			}
-		}
-	}
-	return best
+	n := len(set)
+	ps := FromPoints(set)
+	return SweepMax(n-1, 0, func(i int) float64 {
+		return MaxDistTo(s, ps.Row(i), ps.Slice(i+1, n))
+	})
 }
 
 // Farthest returns the index in candidates of a point maximizing the
@@ -76,15 +67,10 @@ func Diameter(s Space, set []Point) float64 {
 // candidates and (0 index rules, +Inf) semantics follow DistToSet for an
 // empty set.
 func Farthest(s Space, candidates []Point, set []Point) (int, float64) {
-	best := math.Inf(-1)
-	arg := -1
-	for i, p := range candidates {
-		if d := DistToSet(s, p, set); d > best {
-			best = d
-			arg = i
-		}
-	}
-	return arg, best
+	ss := FromPoints(set)
+	return SweepArgMax(len(candidates), func(i int) float64 {
+		return MinDistTo(s, candidates[i], ss)
+	})
 }
 
 // Dedup returns points with exact coordinate duplicates removed, keeping

@@ -1,0 +1,220 @@
+package metric
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file provides the bounded worker pool behind the parallel oracle
+// sweeps: the embarrassingly parallel O(n²) utilities (Radius, Diversity,
+// tgraph.Edges, the exact verifiers in seq) split their index range into
+// contiguous chunks executed by at most GOMAXPROCS goroutines. Results
+// are combined with order-insensitive reductions (max/min/sum and
+// lowest-index-tie argmax), so the output is deterministic regardless of
+// scheduling; with one processor or a small n everything degenerates to
+// the plain serial loop.
+
+// sweepGrain is the minimum chunk size: below it the goroutine overhead
+// outweighs the oracle work.
+const sweepGrain = 64
+
+// Sweep invokes body on disjoint contiguous ranges covering [0, n),
+// possibly concurrently from a bounded pool, and returns when all ranges
+// are done. body must be safe to call concurrently on disjoint ranges.
+// A panic in body is re-raised in the caller.
+func Sweep(n int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 1 {
+		workers = 1
+	}
+	if n <= 2*sweepGrain || workers == 1 {
+		body(0, n)
+		return
+	}
+	chunk := (n + 4*workers - 1) / (4 * workers)
+	if chunk < sweepGrain {
+		chunk = sweepGrain
+	}
+	numChunks := (n + chunk - 1) / chunk
+	if numChunks < 2 {
+		body(0, n)
+		return
+	}
+	if workers > numChunks {
+		workers = numChunks
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicked any
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicked == nil {
+						panicked = r
+					}
+					panicMu.Unlock()
+				}
+			}()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= numChunks {
+					return
+				}
+				lo := c * chunk
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				body(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}
+
+// SweepMax returns the maximum of eval(i) over [0, n), or def for n ≤ 0.
+func SweepMax(n int, def float64, eval func(int) float64) float64 {
+	if n <= 0 {
+		return def
+	}
+	best := math.Inf(-1)
+	var mu sync.Mutex
+	Sweep(n, func(lo, hi int) {
+		local := math.Inf(-1)
+		for i := lo; i < hi; i++ {
+			if v := eval(i); v > local {
+				local = v
+			}
+		}
+		mu.Lock()
+		if local > best {
+			best = local
+		}
+		mu.Unlock()
+	})
+	if math.IsInf(best, -1) {
+		return def
+	}
+	return best
+}
+
+// SweepMin returns the minimum of eval(i) over [0, n), or def for n ≤ 0.
+func SweepMin(n int, def float64, eval func(int) float64) float64 {
+	if n <= 0 {
+		return def
+	}
+	best := math.Inf(1)
+	var mu sync.Mutex
+	Sweep(n, func(lo, hi int) {
+		local := math.Inf(1)
+		for i := lo; i < hi; i++ {
+			if v := eval(i); v < local {
+				local = v
+			}
+		}
+		mu.Lock()
+		if local < best {
+			best = local
+		}
+		mu.Unlock()
+	})
+	return best
+}
+
+// SweepSum returns the sum of eval(i) over [0, n).
+func SweepSum(n int, eval func(int) int) int {
+	total := 0
+	var mu sync.Mutex
+	Sweep(n, func(lo, hi int) {
+		local := 0
+		for i := lo; i < hi; i++ {
+			local += eval(i)
+		}
+		mu.Lock()
+		total += local
+		mu.Unlock()
+	})
+	return total
+}
+
+// SweepArgMax returns the index maximizing eval(i) over [0, n) and the
+// maximum, resolving ties to the lowest index (deterministic regardless
+// of chunk scheduling). It returns (-1, -Inf) for n ≤ 0.
+func SweepArgMax(n int, eval func(int) float64) (int, float64) {
+	bestArg, bestVal := -1, math.Inf(-1)
+	var mu sync.Mutex
+	Sweep(n, func(lo, hi int) {
+		arg, val := -1, math.Inf(-1)
+		for i := lo; i < hi; i++ {
+			if v := eval(i); v > val {
+				arg, val = i, v
+			}
+		}
+		if arg < 0 {
+			return
+		}
+		mu.Lock()
+		if val > bestVal || (val == bestVal && arg < bestArg) {
+			bestArg, bestVal = arg, val
+		}
+		mu.Unlock()
+	})
+	return bestArg, bestVal
+}
+
+// SweepFilter returns, in ascending order, every i in [0, n) for which
+// pred(i) holds, evaluating the predicate in parallel chunks.
+func SweepFilter(n int, pred func(int) bool) []int {
+	if n <= 0 {
+		return nil
+	}
+	var mu sync.Mutex
+	var groups [][]int
+	Sweep(n, func(lo, hi int) {
+		var local []int
+		for i := lo; i < hi; i++ {
+			if pred(i) {
+				local = append(local, i)
+			}
+		}
+		if len(local) == 0 {
+			return
+		}
+		mu.Lock()
+		groups = append(groups, local)
+		mu.Unlock()
+	})
+	if len(groups) == 0 {
+		return nil
+	}
+	// Chunks are contiguous and internally sorted; ordering groups by
+	// first element yields the globally sorted result.
+	for i := 1; i < len(groups); i++ {
+		g := groups[i]
+		j := i
+		for ; j > 0 && groups[j-1][0] > g[0]; j-- {
+			groups[j] = groups[j-1]
+		}
+		groups[j] = g
+	}
+	var out []int
+	for _, g := range groups {
+		out = append(out, g...)
+	}
+	return out
+}

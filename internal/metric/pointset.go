@@ -1,0 +1,73 @@
+package metric
+
+// PointSet is a read-only view of n points optimized for batch distance
+// kernels. When every point has the same dimension the coordinates are
+// stored in one contiguous row-major buffer (n×dim) so the kernels in
+// kernels.go can run cache-friendly unrolled loops; rows are then cheap
+// sub-slices of that buffer. Point sets with mixed dimensions (possible
+// with oracle metrics like Jaccard that tolerate ragged inputs) keep the
+// original slice-of-slices layout and every kernel falls back to the
+// scalar oracle path.
+type PointSet struct {
+	pts  []Point   // row views; alias flat when flat != nil
+	flat []float64 // contiguous row-major coordinates, nil when ragged
+	dim  int       // row width when flat, -1 when ragged
+}
+
+// FromPoints builds a PointSet over pts. When all points share one
+// dimension the coordinates are copied into contiguous storage (O(n·dim));
+// otherwise the input slices are referenced as-is. The input points are
+// never mutated, and callers must not mutate them while the set is in use.
+func FromPoints(pts []Point) *PointSet {
+	n := len(pts)
+	if n == 0 {
+		return &PointSet{dim: -1}
+	}
+	dim := len(pts[0])
+	uniform := dim > 0
+	for _, p := range pts[1:] {
+		if len(p) != dim {
+			uniform = false
+			break
+		}
+	}
+	if !uniform {
+		return &PointSet{pts: pts, dim: -1}
+	}
+	flat := make([]float64, n*dim)
+	rows := make([]Point, n)
+	for i, p := range pts {
+		row := flat[i*dim : (i+1)*dim]
+		copy(row, p)
+		rows[i] = row
+	}
+	return &PointSet{pts: rows, flat: flat, dim: dim}
+}
+
+// Len returns the number of points in the set.
+func (s *PointSet) Len() int { return len(s.pts) }
+
+// Dim returns the common dimension of the points, or -1 when the set is
+// ragged (or empty).
+func (s *PointSet) Dim() int { return s.dim }
+
+// Row returns the i-th point. For flat sets this is a view into the
+// contiguous buffer, not a copy.
+func (s *PointSet) Row(i int) Point { return s.pts[i] }
+
+// Points returns all rows in index order. For flat sets the rows alias the
+// contiguous buffer.
+func (s *PointSet) Points() []Point { return s.pts }
+
+// Flat returns the contiguous row-major buffer and true, or (nil, false)
+// for ragged sets.
+func (s *PointSet) Flat() ([]float64, bool) { return s.flat, s.flat != nil }
+
+// Slice returns a view of rows [lo, hi). The view shares storage with s.
+func (s *PointSet) Slice(lo, hi int) *PointSet {
+	out := &PointSet{pts: s.pts[lo:hi], dim: s.dim}
+	if s.flat != nil {
+		out.flat = s.flat[lo*s.dim : hi*s.dim]
+	}
+	return out
+}

@@ -150,7 +150,7 @@ func greedyCover(space metric.Space, pts []metric.Point, k int, r float64) []met
 		}
 		centers = append(centers, pts[i])
 		for j := i; j < len(pts); j++ {
-			if !covered[j] && space.Dist(pts[i], pts[j]) <= 2*r {
+			if !covered[j] && metric.DistLE(space, pts[i], pts[j], 2*r) {
 				covered[j] = true
 			}
 		}
@@ -173,12 +173,14 @@ func HSKSupplier(space metric.Space, customers, suppliers []metric.Point, k int)
 	if len(customers) == 0 {
 		return suppliers[:1], 0
 	}
-	var cands []float64
-	for _, c := range customers {
-		for _, s := range suppliers {
-			cands = append(cands, space.Dist(c, s))
+	cands := make([]float64, len(customers)*len(suppliers))
+	supSet := metric.FromPoints(suppliers)
+	metric.Sweep(len(customers), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			metric.DistMany(space, customers[i], supSet,
+				cands[i*len(suppliers):(i+1)*len(suppliers)])
 		}
-	}
+	})
 	sort.Float64s(cands)
 	cands = dedupFloats(cands)
 	lo, hi := 0, len(cands)-1
@@ -226,14 +228,23 @@ func supplierCover(space metric.Space, customers, suppliers []metric.Point, k in
 	return chosen
 }
 
-// pairwiseDistances returns the sorted distinct pairwise distances of pts.
+// pairwiseDistances returns the sorted distinct pairwise distances of
+// pts. The O(n²) evaluation sweeps sources on the parallel pool, each
+// writing its batched tail-row into a disjoint slice of the output.
 func pairwiseDistances(space metric.Space, pts []metric.Point) []float64 {
-	var out []float64
-	for i := 0; i < len(pts); i++ {
-		for j := i + 1; j < len(pts); j++ {
-			out = append(out, space.Dist(pts[i], pts[j]))
-		}
+	n := len(pts)
+	if n < 2 {
+		return nil
 	}
+	set := metric.FromPoints(pts)
+	out := make([]float64, n*(n-1)/2)
+	// Row i occupies out[off(i) : off(i)+n-1-i] with off the prefix sum.
+	off := func(i int) int { return i*n - i*(i+1)/2 }
+	metric.Sweep(n-1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			metric.DistMany(space, pts[i], set.Slice(i+1, n), out[off(i):off(i+1)])
+		}
+	})
 	sort.Float64s(out)
 	return dedupFloats(out)
 }

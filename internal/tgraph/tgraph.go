@@ -7,6 +7,8 @@
 package tgraph
 
 import (
+	"sort"
+
 	"parclust/internal/metric"
 )
 
@@ -16,32 +18,38 @@ type Graph struct {
 	Space metric.Space
 	Pts   []metric.Point
 	Tau   float64
+	// pset is the contiguous copy of Pts the batch kernels run over.
+	pset *metric.PointSet
 }
 
 // New returns the threshold graph G_τ over pts.
 func New(space metric.Space, pts []metric.Point, tau float64) *Graph {
-	return &Graph{Space: space, Pts: pts, Tau: tau}
+	return &Graph{Space: space, Pts: pts, Tau: tau, pset: metric.FromPoints(pts)}
 }
 
 // N returns the number of vertices.
 func (g *Graph) N() int { return len(g.Pts) }
 
 // Adjacent reports whether distinct vertices u and v share an edge.
-// A vertex is never adjacent to itself.
+// A vertex is never adjacent to itself. The test is sqrt-free for metrics
+// implementing metric.ThresholdComparer (L2 compares squared distances).
 func (g *Graph) Adjacent(u, v int) bool {
 	if u == v {
 		return false
 	}
-	return g.Space.Dist(g.Pts[u], g.Pts[v]) <= g.Tau
+	return metric.DistLE(g.Space, g.Pts[u], g.Pts[v], g.Tau)
 }
 
-// Degree returns the exact degree of u, in O(n) oracle calls.
+// selfAdjacent reports whether the batch kernels count a vertex within
+// its own threshold ball (d(u,u) = 0 ≤ τ), which Adjacent excludes.
+func (g *Graph) selfAdjacent() bool { return g.Tau >= 0 }
+
+// Degree returns the exact degree of u, in O(n) oracle calls, via the
+// batched sqrt-free CountWithin kernel.
 func (g *Graph) Degree(u int) int {
-	d := 0
-	for v := range g.Pts {
-		if g.Adjacent(u, v) {
-			d++
-		}
+	d := metric.CountWithin(g.Space, g.Pts[u], g.pset, g.Tau)
+	if g.selfAdjacent() {
+		d--
 	}
 	return d
 }
@@ -69,17 +77,14 @@ func (g *Graph) DegreeAmong(u int, subset []int) int {
 	return d
 }
 
-// Edges returns the exact edge count, in O(n^2) oracle calls.
+// Edges returns the exact edge count, in O(n^2) oracle calls. The sweep
+// over source vertices runs on the parallel pool, each source counting
+// its higher-indexed neighbors with the batched sqrt-free kernel.
 func (g *Graph) Edges() int {
-	e := 0
-	for u := 0; u < g.N(); u++ {
-		for v := u + 1; v < g.N(); v++ {
-			if g.Adjacent(u, v) {
-				e++
-			}
-		}
-	}
-	return e
+	n := g.N()
+	return metric.SweepSum(n, func(u int) int {
+		return metric.CountWithin(g.Space, g.Pts[u], g.pset.Slice(u+1, n), g.Tau)
+	})
 }
 
 // EdgesAmong returns the number of edges of the subgraph induced by the
@@ -263,7 +268,9 @@ func (g *Graph) NeighborhoodIndependence(verts []int) int {
 
 // Components returns the connected components of the graph as slices of
 // vertex indices, each sorted ascending, ordered by smallest member.
-// O(n²) oracle calls (BFS with oracle adjacency).
+// O(n²) oracle calls (BFS with oracle adjacency); each frontier scan runs
+// on the parallel pool. Component membership is order-independent, so the
+// output is deterministic regardless of scheduling.
 func (g *Graph) Components() [][]int {
 	n := g.N()
 	visited := make([]bool, n)
@@ -276,27 +283,22 @@ func (g *Graph) Components() [][]int {
 		visited[s] = true
 		for head := 0; head < len(comp); head++ {
 			u := comp[head]
-			for v := 0; v < n; v++ {
-				if !visited[v] && g.Adjacent(u, v) {
+			// visited is only read during the sweep; marking happens
+			// serially afterwards (a candidate may repeat across heads).
+			cand := metric.SweepFilter(n, func(v int) bool {
+				return !visited[v] && g.Adjacent(u, v)
+			})
+			for _, v := range cand {
+				if !visited[v] {
 					visited[v] = true
 					comp = append(comp, v)
 				}
 			}
 		}
-		sortInts(comp)
+		sort.Ints(comp)
 		out = append(out, comp)
 	}
 	return out
-}
-
-// sortInts is a tiny insertion sort; component sizes here are small and
-// this avoids importing sort for one call site.
-func sortInts(xs []int) {
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
-			xs[j], xs[j-1] = xs[j-1], xs[j]
-		}
-	}
 }
 
 // PointsOf maps vertex indices to their points.
