@@ -10,7 +10,7 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8",
-		"F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "A1", "A2", "A3", "A4"}
+		"F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "A1", "A2", "A3", "A4", "V1"}
 	got := Registry()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(got), len(want))

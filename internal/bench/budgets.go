@@ -1,0 +1,164 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+
+	"parclust/internal/degree"
+	"parclust/internal/diversity"
+	"parclust/internal/domset"
+	"parclust/internal/kbmis"
+	"parclust/internal/kcenter"
+	"parclust/internal/ksupplier"
+	"parclust/internal/mpc"
+	"parclust/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "V1",
+		Title: "theorem-budget validation: every entry point under enforcement",
+		Claim: "Theorems 3, 9, 13-18 round/communication/memory bounds",
+		Run: func(cfg RunConfig) (*Table, error) {
+			tab, _, err := BudgetValidation(cfg, nil)
+			return tab, err
+		},
+	})
+}
+
+// BudgetValidation runs every exported algorithm entry point on a small
+// clustered instance under mpc.WithBudgetEnforcement and tabulates the
+// observed rounds, peak per-round communication and peak per-round
+// memory against each declared theorem budget. When rec is non-nil it
+// is installed on every cluster, so the run doubles as a trace source
+// for NDJSON export and timelines (cmd/mpcbench -budgets -trace).
+//
+// The returned count is the number of violated budgets: guarded calls
+// whose observation breached their declared contract. The kbmis
+// fallback-gather exit is the one deliberate breach in the codebase
+// (see kbmis package docs); the suite's instances are sized so no run
+// takes that exit, and CI treats any nonzero count as a failure.
+func BudgetValidation(cfg RunConfig, rec *mpc.TraceRecorder) (*Table, int, error) {
+	tab := &Table{
+		ID:    "V1",
+		Title: "observed vs theorem budget (enforced; any VIOLATED row is a contract breach)",
+		Columns: []string{"algorithm", "theorem", "rounds", "r-budget",
+			"maxcomm", "c-budget", "mem", "m-budget", "status"},
+	}
+
+	n, m, k := 400, 4, 6
+	if cfg.Quick {
+		n = 200
+	}
+	fam := workload.Families()[0]
+	in, _ := buildInstance(fam, n, m, cfg.Seed+hash(fam.Name))
+	inS, _ := buildInstance(fam, n/4, m, cfg.Seed+hash(fam.Name)+99)
+	tau := 1.0
+
+	opts := []mpc.Option{mpc.WithBudgetEnforcement()}
+	if rec != nil {
+		opts = append(opts, mpc.WithRecorder(rec))
+	}
+	newCluster := func(seed uint64) *mpc.Cluster {
+		return mpc.NewCluster(m, seed, opts...)
+	}
+
+	runs := []struct {
+		name string
+		run  func(c *mpc.Cluster) error
+	}{
+		{"degree.Approximate", func(c *mpc.Cluster) error {
+			_, err := degree.Approximate(c, in, tau, degree.Config{K: k, Delta: 0.5})
+			return err
+		}},
+		{"kbmis.Run", func(c *mpc.Cluster) error {
+			_, err := kbmis.Run(c, in, tau, kbmis.Config{K: k})
+			return err
+		}},
+		{"domset.Solve", func(c *mpc.Cluster) error {
+			_, err := domset.Solve(c, in, tau, kbmis.Config{})
+			return err
+		}},
+		{"kcenter.Solve", func(c *mpc.Cluster) error {
+			_, err := kcenter.Solve(c, in, kcenter.Config{K: k, Eps: 0.1})
+			return err
+		}},
+		{"diversity.Maximize", func(c *mpc.Cluster) error {
+			_, err := diversity.Maximize(c, in, diversity.Config{K: k, Eps: 0.1})
+			return err
+		}},
+		{"diversity.TwoRound4Approx", func(c *mpc.Cluster) error {
+			_, _, _, err := diversity.TwoRound4Approx(c, in, k)
+			return err
+		}},
+		{"ksupplier.Solve", func(c *mpc.Cluster) error {
+			_, err := ksupplier.Solve(c, in, inS, ksupplier.Config{K: k, Eps: 0.1})
+			return err
+		}},
+	}
+
+	violations := 0
+	for i, r := range runs {
+		c := newCluster(cfg.Seed + uint64(i))
+		if err := r.run(c); err != nil {
+			var bv *mpc.BudgetViolation
+			if !errors.As(err, &bv) {
+				return nil, 0, fmt.Errorf("V1 %s: %w", r.name, err)
+			}
+			// The reports below carry the diff; keep going so the table
+			// shows every entry point even when one breaches.
+		}
+		for _, rep := range worstPerAlgorithm(c.BudgetReports()) {
+			status := "ok"
+			if !rep.OK {
+				status = "VIOLATED"
+				violations++
+			}
+			tab.Add(rep.Budget.Algorithm, rep.Budget.Theorem,
+				d(rep.Observed.Rounds), d(rep.Budget.MaxRounds),
+				w(rep.Observed.MaxRoundComm), w(rep.Budget.MaxRoundComm),
+				w(rep.Observed.MemoryWords), w(rep.Budget.MaxMemoryWords),
+				status)
+		}
+	}
+	tab.AddNote("budgets are the explicit-constant forms from docs/GUARANTEES.md; inner guarded calls (degree inside kbmis inside the ladder algorithms) report the worst window seen")
+	if violations > 0 {
+		tab.AddNote(fmt.Sprintf("%d budget(s) VIOLATED — the theorem contract does not hold on this run", violations))
+	}
+	return tab, violations, nil
+}
+
+// worstPerAlgorithm collapses the per-call reports (one per guarded
+// call, so a ladder run yields many kbmis/degree windows) to the
+// highest-utilization window for each algorithm, violated windows
+// always winning.
+func worstPerAlgorithm(reports []mpc.BudgetReport) []mpc.BudgetReport {
+	idx := map[string]int{}
+	var out []mpc.BudgetReport
+	for _, rep := range reports {
+		j, seen := idx[rep.Budget.Algorithm]
+		if !seen {
+			idx[rep.Budget.Algorithm] = len(out)
+			out = append(out, rep)
+			continue
+		}
+		cur := out[j]
+		if (!rep.OK && cur.OK) ||
+			(rep.OK == cur.OK && rep.Observed.MaxRoundComm > cur.Observed.MaxRoundComm) {
+			out[j] = rep
+		}
+	}
+	return out
+}
+
+// w formats a word count compactly (budgets run to megawords).
+func w(v int64) string {
+	switch {
+	case v >= 10_000_000:
+		return fmt.Sprintf("%.1fMw", float64(v)/1e6)
+	case v >= 10_000:
+		return fmt.Sprintf("%.1fkw", float64(v)/1e3)
+	default:
+		return fmt.Sprintf("%d", v)
+	}
+}

@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"parclust/internal/mpc"
+)
+
+func TestBudgetValidationSuite(t *testing.T) {
+	rec := mpc.NewTraceRecorder()
+	tab, violations, err := BudgetValidation(RunConfig{Seed: 42, Quick: true}, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if violations != 0 {
+		t.Fatalf("%d theorem budget(s) violated:\n%v", violations, tab.Rows)
+	}
+	if rec.Len() == 0 {
+		t.Fatal("suite ran without recording any trace events")
+	}
+
+	// Every entry point must appear and be ok.
+	want := map[string]bool{
+		"degree.Approximate": false, "kbmis.Run": false, "domset.Solve": false,
+		"kcenter.Solve": false, "diversity.Maximize": false,
+		"diversity.TwoRound4Approx": false, "ksupplier.Solve": false,
+	}
+	for _, row := range tab.Rows {
+		algo, status := row[0], row[len(row)-1]
+		if _, tracked := want[algo]; tracked {
+			want[algo] = true
+		}
+		if status != "ok" {
+			t.Errorf("%s: status %q", algo, status)
+		}
+	}
+	for algo, seen := range want {
+		if !seen {
+			t.Errorf("entry point %s missing from the validation table", algo)
+		}
+	}
+}
+
+func TestBudgetValidationRegistered(t *testing.T) {
+	e, err := ByID("V1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(e.Claim, "Theorem") {
+		t.Fatalf("V1 claim %q does not cite the theorems", e.Claim)
+	}
+}

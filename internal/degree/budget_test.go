@@ -1,0 +1,56 @@
+package degree
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"parclust/internal/mpc"
+	"parclust/internal/rng"
+	"parclust/internal/workload"
+)
+
+func TestTheoremBudgetHolds(t *testing.T) {
+	r := rng.New(21)
+	pts := workload.UniformCube(r, 200, 2, 10)
+	in := makeInstance(pts, 4)
+	c := mpc.NewCluster(4, 9, mpc.WithBudgetEnforcement())
+	if _, err := Approximate(c, in, 2.0, Config{K: 5, Delta: 0.5}); err != nil {
+		t.Fatalf("Theorem 9 budget breached on a nominal run: %v", err)
+	}
+	reports := c.BudgetReports()
+	if len(reports) == 0 {
+		t.Fatal("no budget report recorded under enforcement")
+	}
+	rep := reports[len(reports)-1]
+	if rep.Budget.Algorithm != "degree.Approximate" || rep.Budget.Theorem != "Theorem 9" || !rep.OK {
+		t.Fatalf("unexpected report %v", rep)
+	}
+}
+
+func TestLoweredBudgetViolates(t *testing.T) {
+	r := rng.New(22)
+	pts := workload.UniformCube(r, 200, 2, 10)
+	in := makeInstance(pts, 4)
+	low := TheoremBudget(200, 4, 5, 2)
+	low.MaxRounds = 1
+
+	c := mpc.NewCluster(4, 9, mpc.WithBudgetEnforcement())
+	_, err := Approximate(c, in, 2.0, Config{K: 5, Delta: 0.5, Budget: &low})
+	if !errors.Is(err, mpc.ErrBudget) {
+		t.Fatalf("lowered budget not enforced: %v", err)
+	}
+	var bv *mpc.BudgetViolation
+	if !errors.As(err, &bv) || bv.Breaches[0].Quantity != "rounds" {
+		t.Fatalf("expected a rounds breach, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "VIOLATED") {
+		t.Fatalf("violation report missing diff:\n%v", err)
+	}
+
+	// Without enforcement the same lowered budget is only observed.
+	c2 := mpc.NewCluster(4, 9)
+	if _, err := Approximate(c2, in, 2.0, Config{K: 5, Delta: 0.5, Budget: &low}); err != nil {
+		t.Fatalf("non-enforcing cluster failed the run: %v", err)
+	}
+}

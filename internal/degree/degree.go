@@ -37,6 +37,11 @@ type Config struct {
 	// thresholds to the original input size while iterating on shrinking
 	// sub-instances. Zero derives it from the instance.
 	LogN float64
+	// Budget overrides the Theorem 9 runtime contract asserted when the
+	// cluster enforces budgets (mpc.WithBudgetEnforcement); nil declares
+	// TheoremBudget for the instance. Tests lower it to exercise the
+	// violation path.
+	Budget *mpc.Budget
 }
 
 func (c Config) withDefaults(n int) Config {
@@ -76,14 +81,65 @@ type Result struct {
 	Exact bool
 }
 
+// PaperDelta is the sampling constant δ = max(18, 12/ε²) at the
+// analysis' ε = 1/6 — the value the theorem budgets assume (a caller's
+// Delta override only shrinks the light-vertex population, never grows
+// it past this cap).
+const PaperDelta = 432
+
+// TheoremBudget returns the Theorem 9 runtime contract for one
+// Approximate call: n points over m machines, bounded-MIS parameter k,
+// points dim words wide. Six rounds; per-machine communication and
+// memory Õ(n/m + mk), dominated by the sample broadcast (the n/m term)
+// and the light-vertex broadcast, whose population the overflow check
+// caps at 2δmk·ln n (the Õ(mk) term). Constants are documented in
+// docs/GUARANTEES.md.
+func TheoremBudget(n, m, k, dim int) mpc.Budget {
+	logN := budgetLog(n)
+	w := float64(dim + 3)
+	lights := math.Min(float64(n), 2*PaperDelta*float64(m)*float64(k)*logN)
+	perPart := math.Ceil(float64(n) / math.Max(float64(m), 1))
+	return mpc.Budget{
+		Algorithm:      "degree.Approximate",
+		Theorem:        "Theorem 9",
+		MaxRounds:      6,
+		MaxRoundComm:   int64(w*(8*perPart+4*float64(m)+4*lights)) + 64,
+		MaxMemoryWords: int64(w*(8*perPart+4*lights)) + 64,
+	}
+}
+
+// budgetLog is the ln(n) of the budget formulas, floored at 1 so
+// degenerate instances keep non-zero budgets.
+func budgetLog(n int) float64 {
+	return math.Max(1, math.Log(float64(n)))
+}
+
 // Approximate runs Algorithm 3 on the threshold graph G_tau over in,
 // using c for the MPC rounds. The cluster must have as many machines as
-// the instance has parts.
+// the instance has parts. The call runs under its Theorem 9 budget: when
+// the cluster enforces budgets a breach returns *mpc.BudgetViolation.
 func Approximate(c *mpc.Cluster, in *instance.Instance, tau float64, cfg Config) (*Result, error) {
-	m := in.Machines()
-	if c.NumMachines() != m {
-		return nil, fmt.Errorf("degree: cluster has %d machines, instance has %d parts", c.NumMachines(), m)
+	if c.NumMachines() != in.Machines() {
+		return nil, fmt.Errorf("degree: cluster has %d machines, instance has %d parts", c.NumMachines(), in.Machines())
 	}
+	budget := TheoremBudget(in.N, in.Machines(), cfg.withDefaults(in.N).K, in.Dim())
+	if cfg.Budget != nil {
+		budget = *cfg.Budget
+	}
+	guard := c.Guard(budget)
+	res, err := approximate(c, in, tau, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := guard.Check(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// approximate is the guarded body of Approximate.
+func approximate(c *mpc.Cluster, in *instance.Instance, tau float64, cfg Config) (*Result, error) {
+	m := in.Machines()
 	cfg = cfg.withDefaults(in.N)
 	threshold := cfg.Delta * cfg.LogN // heavy iff |N(v) ∩ S| ≥ δ ln n
 

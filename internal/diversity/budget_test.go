@@ -1,0 +1,69 @@
+package diversity
+
+import (
+	"errors"
+	"testing"
+
+	"parclust/internal/mpc"
+	"parclust/internal/rng"
+	"parclust/internal/workload"
+)
+
+func TestTheoremBudgetHolds(t *testing.T) {
+	r := rng.New(61)
+	pts := workload.UniformCube(r, 200, 2, 10)
+	in := makeInstance(pts, 4)
+	c := mpc.NewCluster(4, 9, mpc.WithBudgetEnforcement())
+	if _, err := Maximize(c, in, Config{K: 5, Eps: 0.1}); err != nil {
+		t.Fatalf("Theorem 3 budget breached on a nominal run: %v", err)
+	}
+	var found bool
+	for _, rep := range c.BudgetReports() {
+		if rep.Budget.Algorithm == "diversity.Maximize" {
+			found = true
+			if rep.Budget.Theorem != "Theorem 3" || !rep.OK {
+				t.Fatalf("unexpected diversity report %v", rep)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no diversity.Maximize budget report recorded")
+	}
+}
+
+func TestTwoRoundBudgetHolds(t *testing.T) {
+	r := rng.New(62)
+	pts := workload.UniformCube(r, 200, 2, 10)
+	in := makeInstance(pts, 4)
+	c := mpc.NewCluster(4, 9, mpc.WithBudgetEnforcement())
+	if _, _, _, err := TwoRound4Approx(c, in, 5); err != nil {
+		t.Fatalf("two-round budget breached: %v", err)
+	}
+	reports := c.BudgetReports()
+	if len(reports) != 1 || reports[0].Observed.Rounds != 2 || !reports[0].OK {
+		t.Fatalf("two-round report = %+v, want one ok 2-round window", reports)
+	}
+}
+
+func TestLoweredBudgetViolates(t *testing.T) {
+	r := rng.New(63)
+	pts := workload.UniformCube(r, 200, 2, 10)
+	in := makeInstance(pts, 4)
+	low := TheoremBudget(200, 4, 5, 2, 0.1)
+	low.MaxRounds = 1
+
+	c := mpc.NewCluster(4, 9, mpc.WithBudgetEnforcement())
+	_, err := Maximize(c, in, Config{K: 5, Eps: 0.1, Budget: &low})
+	var bv *mpc.BudgetViolation
+	if !errors.As(err, &bv) {
+		t.Fatalf("lowered budget not enforced: %v", err)
+	}
+	if bv.Breaches[0].Quantity != "rounds" {
+		t.Fatalf("expected a rounds breach, got %v", bv.Breaches)
+	}
+
+	c2 := mpc.NewCluster(4, 9)
+	if _, err := Maximize(c2, in, Config{K: 5, Eps: 0.1, Budget: &low}); err != nil {
+		t.Fatalf("non-enforcing cluster failed the run: %v", err)
+	}
+}

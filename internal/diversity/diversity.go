@@ -33,6 +33,11 @@ type Config struct {
 	// MIS configures the inner k-bounded MIS runs; its K field is
 	// overwritten with the algorithm's own parameter.
 	MIS kbmis.Config
+	// Budget overrides the Theorem 3 runtime contract asserted when the
+	// cluster enforces budgets (mpc.WithBudgetEnforcement); nil declares
+	// TheoremBudget for the instance. Tests lower it to exercise the
+	// violation path.
+	Budget *mpc.Budget
 }
 
 func (c Config) withDefaults() Config {
@@ -59,8 +64,67 @@ type Result struct {
 	Probes int
 }
 
-// Maximize runs Algorithm 2 over in using cluster c.
+// TheoremBudget returns the Theorem 3 runtime contract for one Maximize
+// call: n points over m machines, subset size k, points dim words wide,
+// ladder resolution eps. The boundary search issues at most
+// ⌈log₂(t+1)⌉ + 3 probes over the t-rung ladder, each probe one
+// k-bounded MIS run; the coreset rounds add four rounds and an
+// Õ(mk)-word term. Constants in docs/GUARANTEES.md.
+func TheoremBudget(n, m, k, dim int, eps float64) mpc.Budget {
+	if eps <= 0 {
+		eps = 0.1
+	}
+	t := int(math.Ceil(math.Log(4)/math.Log(1+eps))) + 1
+	probes := int(math.Ceil(math.Log2(float64(t+1)))) + 3
+	inner := kbmis.TheoremBudget(n, m, k, dim)
+	w := int64(dim + 3)
+	coresetComm := 4*int64(m)*int64(k)*w + 64
+	return mpc.Budget{
+		Algorithm:      "diversity.Maximize",
+		Theorem:        "Theorem 3",
+		MaxRounds:      probes*inner.MaxRounds + 4,
+		MaxRoundComm:   inner.MaxRoundComm + coresetComm,
+		MaxMemoryWords: inner.MaxMemoryWords + coresetComm,
+	}
+}
+
+// TwoRoundBudget returns the runtime contract for the two-round
+// 4-approximation byproduct (Algorithm 2, lines 1–3): exactly the two
+// distributed-GMM rounds and their Õ(mk) coreset traffic.
+func TwoRoundBudget(m, k, dim int) mpc.Budget {
+	w := int64(dim + 3)
+	coresetComm := 4*int64(m)*int64(k)*w + 64
+	return mpc.Budget{
+		Algorithm:      "diversity.TwoRound4Approx",
+		Theorem:        "Algorithm 2, lines 1–3 (§3 remark)",
+		MaxRounds:      2,
+		MaxRoundComm:   coresetComm,
+		MaxMemoryWords: coresetComm,
+	}
+}
+
+// Maximize runs Algorithm 2 over in using cluster c. The call runs
+// under its Theorem 3 budget: when the cluster enforces budgets
+// (mpc.WithBudgetEnforcement) a breach returns *mpc.BudgetViolation
+// carrying the observed-vs-budget diff.
 func Maximize(c *mpc.Cluster, in *instance.Instance, cfg Config) (*Result, error) {
+	budget := TheoremBudget(in.N, in.Machines(), cfg.K, in.Dim(), cfg.Eps)
+	if cfg.Budget != nil {
+		budget = *cfg.Budget
+	}
+	guard := c.Guard(budget)
+	res, err := maximize(c, in, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := guard.Check(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// maximize is the guarded body of Maximize.
+func maximize(c *mpc.Cluster, in *instance.Instance, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	k := cfg.K
 	if k < 1 {
@@ -177,7 +241,8 @@ func bestCandidate(cs *coreset.Result, k int) (float64, []metric.Point, []int) {
 // 4-approximation for k-diversity, the byproduct the paper notes improves
 // on the two-round 6-approximation of Indyk et al. [19]. It returns the
 // selected points, their ids, and the certified value r with
-// r ≤ div_k(V) ≤ 4r.
+// r ≤ div_k(V) ≤ 4r. The call runs under TwoRoundBudget; when the
+// cluster enforces budgets a breach returns *mpc.BudgetViolation.
 func TwoRound4Approx(c *mpc.Cluster, in *instance.Instance, k int) ([]metric.Point, []int, float64, error) {
 	if k < 1 {
 		return nil, nil, 0, fmt.Errorf("diversity: k = %d, need k >= 1", k)
@@ -185,8 +250,12 @@ func TwoRound4Approx(c *mpc.Cluster, in *instance.Instance, k int) ([]metric.Poi
 	if in.N == 0 {
 		return nil, nil, 0, fmt.Errorf("diversity: empty instance")
 	}
+	guard := c.Guard(TwoRoundBudget(in.Machines(), k, in.Dim()))
 	cs, err := coreset.Collect(c, in, k)
 	if err != nil {
+		return nil, nil, 0, err
+	}
+	if err := guard.Check(); err != nil {
 		return nil, nil, 0, err
 	}
 	if in.N <= k {

@@ -1,0 +1,47 @@
+package domset
+
+import (
+	"errors"
+	"testing"
+
+	"parclust/internal/kbmis"
+	"parclust/internal/mpc"
+	"parclust/internal/rng"
+	"parclust/internal/workload"
+)
+
+func TestTheoremBudgetHolds(t *testing.T) {
+	r := rng.New(41)
+	pts := workload.UniformCube(r, 150, 2, 10)
+	in := makeInstance(pts, 4)
+	c := mpc.NewCluster(4, 9, mpc.WithBudgetEnforcement())
+	if _, err := Solve(c, in, 1.0, kbmis.Config{}); err != nil {
+		t.Fatalf("dominating-set budget breached on a nominal run: %v", err)
+	}
+	var found bool
+	for _, rep := range c.BudgetReports() {
+		if rep.Budget.Algorithm == "domset.Solve" {
+			found = true
+			if !rep.OK {
+				t.Fatalf("domset report violated: %v", rep)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no domset.Solve budget report recorded")
+	}
+}
+
+func TestLoweredInnerBudgetViolates(t *testing.T) {
+	r := rng.New(42)
+	pts := workload.UniformCube(r, 150, 2, 10)
+	in := makeInstance(pts, 4)
+	low := kbmis.TheoremBudget(150, 4, 151, 2)
+	low.MaxRounds = 1
+
+	c := mpc.NewCluster(4, 9, mpc.WithBudgetEnforcement())
+	_, err := Solve(c, in, 1.0, kbmis.Config{Budget: &low})
+	if !errors.Is(err, mpc.ErrBudget) {
+		t.Fatalf("lowered inner kbmis budget not enforced through Solve: %v", err)
+	}
+}

@@ -29,15 +29,34 @@ type Result struct {
 	MIS *kbmis.Result
 }
 
+// TheoremBudget returns the runtime contract for one Solve call: the
+// k-bounded MIS budget with the bound disabled (k = n+1), relabeled for
+// the conclusion's dominating-set extension. Communication degrades to
+// Õ(mn) because a full maximal independent set can have Θ(n) members;
+// the constant-round shape is what the extension inherits. Constants in
+// docs/GUARANTEES.md.
+func TheoremBudget(n, m, dim int) mpc.Budget {
+	b := kbmis.TheoremBudget(n, m, n+1, dim)
+	b.Algorithm = "domset.Solve"
+	b.Theorem = "§7 extension (via Theorems 13–15)"
+	return b
+}
+
 // Solve computes a dominating set of the threshold graph G_tau over in by
 // running the k-bounded MIS algorithm with the bound disabled (k = n), so
 // the returned set is a full maximal independent set. The (c+1)
 // approximation factor follows from the instance's neighborhood
-// independence c.
+// independence c. The call runs under TheoremBudget (and the inner
+// kbmis.Run under cfg.Budget or its own theorem budget): when the
+// cluster enforces budgets a breach returns *mpc.BudgetViolation.
 func Solve(c *mpc.Cluster, in *instance.Instance, tau float64, cfg kbmis.Config) (*Result, error) {
+	guard := c.Guard(TheoremBudget(in.N, in.Machines(), in.Dim()))
 	cfg.K = in.N + 1 // never hit the size bound: force maximality
 	mres, err := kbmis.Run(c, in, tau, cfg)
 	if err != nil {
+		return nil, err
+	}
+	if err := guard.Check(); err != nil {
 		return nil, err
 	}
 	return &Result{IDs: mres.IDs, Points: mres.Points, MIS: mres}, nil

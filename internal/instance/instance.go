@@ -112,6 +112,21 @@ func (in *Instance) PointByID(id int) metric.Point {
 	return nil
 }
 
+// Dim returns the largest point width (words per point) in the
+// instance, the per-point payload factor in the theorem budgets; 0 for
+// an empty instance.
+func (in *Instance) Dim() int {
+	dim := 0
+	for _, part := range in.Parts {
+		for _, p := range part {
+			if len(p) > dim {
+				dim = len(p)
+			}
+		}
+	}
+	return dim
+}
+
 // MaxPartSize returns the largest per-machine point count, the n/m term
 // of the memory bound.
 func (in *Instance) MaxPartSize() int {

@@ -1,0 +1,55 @@
+package kbmis
+
+import (
+	"errors"
+	"testing"
+
+	"parclust/internal/mpc"
+	"parclust/internal/rng"
+	"parclust/internal/workload"
+)
+
+func TestTheoremBudgetHolds(t *testing.T) {
+	r := rng.New(31)
+	pts := workload.UniformCube(r, 200, 2, 10)
+	in := makeInstance(pts, 4)
+	c := mpc.NewCluster(4, 9, mpc.WithBudgetEnforcement())
+	if _, err := Run(c, in, 1.0, Config{K: 6}); err != nil {
+		t.Fatalf("Theorems 13-15 budget breached on a nominal run: %v", err)
+	}
+	var found bool
+	for _, rep := range c.BudgetReports() {
+		if rep.Budget.Algorithm == "kbmis.Run" {
+			found = true
+			if !rep.OK {
+				t.Fatalf("kbmis report violated: %v", rep)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no kbmis.Run budget report recorded")
+	}
+}
+
+func TestLoweredBudgetViolates(t *testing.T) {
+	r := rng.New(32)
+	pts := workload.UniformCube(r, 200, 2, 10)
+	in := makeInstance(pts, 4)
+	low := TheoremBudget(200, 4, 6, 2)
+	low.MaxRounds = 1
+
+	c := mpc.NewCluster(4, 9, mpc.WithBudgetEnforcement())
+	_, err := Run(c, in, 1.0, Config{K: 6, Budget: &low})
+	var bv *mpc.BudgetViolation
+	if !errors.As(err, &bv) {
+		t.Fatalf("lowered budget not enforced: %v", err)
+	}
+	if bv.Observed.Rounds <= low.MaxRounds {
+		t.Fatalf("violation with rounds %d <= budget %d", bv.Observed.Rounds, low.MaxRounds)
+	}
+
+	c2 := mpc.NewCluster(4, 9)
+	if _, err := Run(c2, in, 1.0, Config{K: 6, Budget: &low}); err != nil {
+		t.Fatalf("non-enforcing cluster failed the run: %v", err)
+	}
+}

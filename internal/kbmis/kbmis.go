@@ -64,6 +64,11 @@ type Config struct {
 	// only: it inspects global state and costs O(n²) oracle calls per
 	// iteration.
 	TrackEdges bool
+	// Budget overrides the Theorems 13–15 runtime contract asserted when
+	// the cluster enforces budgets (mpc.WithBudgetEnforcement); nil
+	// declares TheoremBudget for the instance. Tests lower it to
+	// exercise the violation path.
+	Budget *mpc.Budget
 }
 
 func (c Config) withDefaults(n int) Config {
@@ -125,13 +130,67 @@ func sampleProb(p float64) float64 {
 	return 1 / (2 * p)
 }
 
+// TheoremBudget returns the Theorems 13–15 runtime contract for one Run
+// call: n points over m machines, bound parameter k, points dim words
+// wide. Each outer iteration costs at most the degree-approximation
+// rounds plus five (sample, prune-decide, and either the three pruning
+// rounds or the three central-Luby rounds); the iteration guardrail
+// 8 + 2·⌈ln n⌉ absorbs small-m edge decay (Theorem 13's √m/5 factor
+// only bites for m ≥ 25). Per-machine per-round communication is the
+// paper's Õ(mk): the pruning check caps the expected shipped sample
+// volume at 10k·ln n per stream across m streams. The deliberate
+// exception is the fallback-gather exit, which ships all active
+// vertices and is *supposed* to breach under enforcement (it is outside
+// the paper's budget by design). Constants in docs/GUARANTEES.md.
+func TheoremBudget(n, m, k, dim int) mpc.Budget {
+	logN := math.Max(1, math.Log(float64(n)))
+	w := float64(dim + 3)
+	iters := 8 + 2*int(math.Ceil(logN))
+	inner := degree.TheoremBudget(n, m, k, dim)
+	perPart := math.Ceil(float64(n) / math.Max(float64(m), 1))
+	comm := int64(w*(80*float64(m)*float64(k)*logN+8*perPart+4*float64(m))) + 64
+	if inner.MaxRoundComm > comm {
+		comm = inner.MaxRoundComm
+	}
+	mem := int64(w*(80*float64(m)*float64(k)*logN+8*perPart)) + 64
+	if inner.MaxMemoryWords > mem {
+		mem = inner.MaxMemoryWords
+	}
+	return mpc.Budget{
+		Algorithm:      "kbmis.Run",
+		Theorem:        "Theorems 13–15",
+		MaxRounds:      iters*(inner.MaxRounds+5) + 2,
+		MaxRoundComm:   comm,
+		MaxMemoryWords: mem,
+	}
+}
+
 // Run computes a k-bounded MIS of the threshold graph G_tau over in using
-// cluster c (one machine per instance part).
+// cluster c (one machine per instance part). The call runs under its
+// Theorems 13–15 budget: when the cluster enforces budgets a breach
+// returns *mpc.BudgetViolation.
 func Run(c *mpc.Cluster, in *instance.Instance, tau float64, cfg Config) (*Result, error) {
 	if c.NumMachines() != in.Machines() {
 		return nil, fmt.Errorf("kbmis: cluster has %d machines, instance has %d parts",
 			c.NumMachines(), in.Machines())
 	}
+	budget := TheoremBudget(in.N, in.Machines(), cfg.K, in.Dim())
+	if cfg.Budget != nil {
+		budget = *cfg.Budget
+	}
+	guard := c.Guard(budget)
+	res, err := run(c, in, tau, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := guard.Check(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// run is the guarded body of Run.
+func run(c *mpc.Cluster, in *instance.Instance, tau float64, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults(in.N)
 	r := &runner{
 		c:   c,

@@ -1,0 +1,55 @@
+package kcenter
+
+import (
+	"errors"
+	"testing"
+
+	"parclust/internal/mpc"
+	"parclust/internal/rng"
+	"parclust/internal/workload"
+)
+
+func TestTheoremBudgetHolds(t *testing.T) {
+	r := rng.New(51)
+	pts := workload.UniformCube(r, 200, 2, 10)
+	in := makeInstance(pts, 4)
+	c := mpc.NewCluster(4, 9, mpc.WithBudgetEnforcement())
+	if _, err := Solve(c, in, Config{K: 5, Eps: 0.1}); err != nil {
+		t.Fatalf("Theorem 17 budget breached on a nominal run: %v", err)
+	}
+	var found bool
+	for _, rep := range c.BudgetReports() {
+		if rep.Budget.Algorithm == "kcenter.Solve" {
+			found = true
+			if rep.Budget.Theorem != "Theorem 17" || !rep.OK {
+				t.Fatalf("unexpected kcenter report %v", rep)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no kcenter.Solve budget report recorded")
+	}
+}
+
+func TestLoweredBudgetViolates(t *testing.T) {
+	r := rng.New(52)
+	pts := workload.UniformCube(r, 200, 2, 10)
+	in := makeInstance(pts, 4)
+	low := TheoremBudget(200, 4, 5, 2, 0.1)
+	low.MaxRounds = 1
+
+	c := mpc.NewCluster(4, 9, mpc.WithBudgetEnforcement())
+	_, err := Solve(c, in, Config{K: 5, Eps: 0.1, Budget: &low})
+	var bv *mpc.BudgetViolation
+	if !errors.As(err, &bv) {
+		t.Fatalf("lowered budget not enforced: %v", err)
+	}
+	if bv.Breaches[0].Quantity != "rounds" {
+		t.Fatalf("expected a rounds breach, got %v", bv.Breaches)
+	}
+
+	c2 := mpc.NewCluster(4, 9)
+	if _, err := Solve(c2, in, Config{K: 5, Eps: 0.1, Budget: &low}); err != nil {
+		t.Fatalf("non-enforcing cluster failed the run: %v", err)
+	}
+}

@@ -32,6 +32,11 @@ type Config struct {
 	// MIS configures the inner k-bounded MIS runs; its K field is
 	// overwritten with k+1.
 	MIS kbmis.Config
+	// Budget overrides the Theorem 17 runtime contract asserted when the
+	// cluster enforces budgets (mpc.WithBudgetEnforcement); nil declares
+	// TheoremBudget for the instance. Tests lower it to exercise the
+	// violation path.
+	Budget *mpc.Budget
 }
 
 func (c Config) withDefaults() Config {
@@ -62,8 +67,52 @@ type Result struct {
 	Probes int
 }
 
-// Solve runs Algorithm 5 over in using cluster c.
+// TheoremBudget returns the Theorem 17 runtime contract for one Solve
+// call: n points over m machines, k centers, points dim words wide,
+// ladder resolution eps. The boundary search issues at most
+// ⌈log₂(t+1)⌉ + 3 probes over the t-rung ladder, each probe one
+// (k+1)-bounded MIS run; the coreset and radius rounds add eight rounds
+// and an Õ(mk)-word term. Constants in docs/GUARANTEES.md.
+func TheoremBudget(n, m, k, dim int, eps float64) mpc.Budget {
+	if eps <= 0 {
+		eps = 0.1
+	}
+	t := int(math.Ceil(math.Log(4)/math.Log(1+eps))) + 1
+	probes := int(math.Ceil(math.Log2(float64(t+1)))) + 3
+	inner := kbmis.TheoremBudget(n, m, k+1, dim)
+	w := int64(dim + 3)
+	coresetComm := 4*int64(m)*int64(k)*w + 64
+	return mpc.Budget{
+		Algorithm:      "kcenter.Solve",
+		Theorem:        "Theorem 17",
+		MaxRounds:      probes*inner.MaxRounds + 8,
+		MaxRoundComm:   inner.MaxRoundComm + coresetComm,
+		MaxMemoryWords: inner.MaxMemoryWords + coresetComm,
+	}
+}
+
+// Solve runs Algorithm 5 over in using cluster c. The call runs under
+// its Theorem 17 budget: when the cluster enforces budgets
+// (mpc.WithBudgetEnforcement) a breach returns *mpc.BudgetViolation
+// carrying the observed-vs-budget diff.
 func Solve(c *mpc.Cluster, in *instance.Instance, cfg Config) (*Result, error) {
+	budget := TheoremBudget(in.N, in.Machines(), cfg.K, in.Dim(), cfg.Eps)
+	if cfg.Budget != nil {
+		budget = *cfg.Budget
+	}
+	guard := c.Guard(budget)
+	res, err := solve(c, in, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := guard.Check(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// solve is the guarded body of Solve.
+func solve(c *mpc.Cluster, in *instance.Instance, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	k := cfg.K
 	if k < 1 {

@@ -35,6 +35,11 @@ type Config struct {
 	// MIS configures the inner k-bounded MIS runs; its K field is
 	// overwritten with k+1.
 	MIS kbmis.Config
+	// Budget overrides the Theorem 18 runtime contract asserted when the
+	// cluster enforces budgets (mpc.WithBudgetEnforcement); nil declares
+	// TheoremBudget for the instances. Tests lower it to exercise the
+	// violation path.
+	Budget *mpc.Budget
 }
 
 func (c Config) withDefaults() Config {
@@ -65,9 +70,57 @@ type Result struct {
 	Probes int
 }
 
+// TheoremBudget returns the Theorem 18 runtime contract for one Solve
+// call: n customers over m machines, k suppliers to open, points dim
+// words wide, ladder resolution eps. The ascending boundary search
+// issues at most ⌈log₂(t+1)⌉ + 3 probes, each one (k+1)-bounded MIS run
+// plus a three-round nearest-supplier reduction; the coreset, radius and
+// initial supplier-probe rounds add eleven rounds and an Õ(mk)-word
+// term. Constants in docs/GUARANTEES.md.
+func TheoremBudget(n, m, k, dim int, eps float64) mpc.Budget {
+	if eps <= 0 {
+		eps = 0.1
+	}
+	t := int(math.Ceil(math.Log(9) / math.Log(1+eps)))
+	probes := int(math.Ceil(math.Log2(float64(t+1)))) + 3
+	inner := kbmis.TheoremBudget(n, m, k+1, dim)
+	w := int64(dim + 3)
+	coresetComm := 8*int64(m)*int64(k)*w + 64
+	return mpc.Budget{
+		Algorithm:      "ksupplier.Solve",
+		Theorem:        "Theorem 18",
+		MaxRounds:      probes*(inner.MaxRounds+3) + 11,
+		MaxRoundComm:   inner.MaxRoundComm + coresetComm,
+		MaxMemoryWords: inner.MaxMemoryWords + coresetComm,
+	}
+}
+
 // Solve runs Algorithm 6 with customers inC and suppliers inS, both
-// partitioned over the machines of c.
+// partitioned over the machines of c. The call runs under its Theorem 18
+// budget: when the cluster enforces budgets (mpc.WithBudgetEnforcement)
+// a breach returns *mpc.BudgetViolation.
 func Solve(c *mpc.Cluster, inC, inS *instance.Instance, cfg Config) (*Result, error) {
+	dim := inC.Dim()
+	if d := inS.Dim(); d > dim {
+		dim = d
+	}
+	budget := TheoremBudget(inC.N, inC.Machines(), cfg.K, dim, cfg.Eps)
+	if cfg.Budget != nil {
+		budget = *cfg.Budget
+	}
+	guard := c.Guard(budget)
+	res, err := solve(c, inC, inS, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := guard.Check(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// solve is the guarded body of Solve.
+func solve(c *mpc.Cluster, inC, inS *instance.Instance, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	k := cfg.K
 	if k < 1 {

@@ -1,0 +1,219 @@
+package mpc
+
+// Theorem budgets: machine-checked runtime contracts for the paper's
+// guarantees. Every algorithm entry point declares a Budget encoding its
+// theorem's round count and per-machine communication/memory bounds with
+// explicit constants (the formulas are documented in docs/GUARANTEES.md)
+// and runs under a Guard. When the cluster was built with
+// WithBudgetEnforcement, a breach fails the run with an
+// observed-vs-budget diff; otherwise the observation is recorded as a
+// BudgetReport and retrievable via Cluster.BudgetReports, so benchmark
+// runs double as claim-validation runs at zero risk to production paths.
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ErrBudget is wrapped by every BudgetViolation, so callers can test
+// errors.Is(err, mpc.ErrBudget) regardless of which quantity breached.
+var ErrBudget = errors.New("mpc: theorem budget exceeded")
+
+// Budget is a runtime contract derived from one of the paper's theorems.
+// A zero value for any Max* field leaves that quantity unchecked.
+type Budget struct {
+	// Algorithm names the guarded entry point, e.g. "kcenter.Solve".
+	Algorithm string
+	// Theorem cites the paper statement the bounds encode, e.g.
+	// "Theorem 17".
+	Theorem string
+	// MaxRounds bounds the number of supersteps the guarded window may
+	// execute.
+	MaxRounds int
+	// MaxRoundComm bounds the per-machine per-round communication
+	// bottleneck (words sent or received by any machine in any round of
+	// the window) — the paper's Õ(mk) quantity.
+	MaxRoundComm int64
+	// MaxTotalWords bounds the total words sent across the window.
+	MaxTotalWords int64
+	// MaxMemoryWords bounds the largest NoteMemory high-water mark
+	// recorded in the window — the paper's Õ(n/m + mk) quantity.
+	MaxMemoryWords int64
+}
+
+// Observation is what a Guard measured over its window, in the same
+// units as the Budget fields.
+type Observation struct {
+	Rounds       int
+	MaxRoundComm int64
+	TotalWords   int64
+	MemoryWords  int64
+}
+
+// Breach is one budgeted quantity that exceeded its bound.
+type Breach struct {
+	// Quantity is "rounds", "round-comm", "total-words" or "memory".
+	Quantity string
+	Observed int64
+	Budget   int64
+}
+
+// BudgetViolation is the error returned when an Observation breaches a
+// Budget. Its Error method renders a full observed-vs-budget diff, so a
+// failing CI run shows exactly which theorem quantity regressed and by
+// how much.
+type BudgetViolation struct {
+	Budget   Budget
+	Observed Observation
+	Breaches []Breach
+}
+
+// Unwrap makes errors.Is(err, ErrBudget) true for violations.
+func (v *BudgetViolation) Unwrap() error { return ErrBudget }
+
+// Error renders the observed-vs-budget diff, one row per quantity, with
+// breached rows marked VIOLATED.
+func (v *BudgetViolation) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v: %s (%s)\n", ErrBudget, v.Budget.Algorithm, v.Budget.Theorem)
+	fmt.Fprintf(&b, "  %-12s %12s %12s\n", "quantity", "observed", "budget")
+	row := func(q string, obs, bud int64) {
+		status := "ok"
+		if bud == 0 {
+			status = "unchecked"
+		} else if obs > bud {
+			status = "VIOLATED"
+		}
+		fmt.Fprintf(&b, "  %-12s %12d %12d   %s\n", q, obs, bud, status)
+	}
+	row("rounds", int64(v.Observed.Rounds), int64(v.Budget.MaxRounds))
+	row("round-comm", v.Observed.MaxRoundComm, v.Budget.MaxRoundComm)
+	row("total-words", v.Observed.TotalWords, v.Budget.MaxTotalWords)
+	row("memory", v.Observed.MemoryWords, v.Budget.MaxMemoryWords)
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// Check compares an observation to the budget; a nil return means every
+// checked quantity is within bounds.
+func (b Budget) Check(obs Observation) error {
+	var breaches []Breach
+	if b.MaxRounds > 0 && obs.Rounds > b.MaxRounds {
+		breaches = append(breaches, Breach{"rounds", int64(obs.Rounds), int64(b.MaxRounds)})
+	}
+	if b.MaxRoundComm > 0 && obs.MaxRoundComm > b.MaxRoundComm {
+		breaches = append(breaches, Breach{"round-comm", obs.MaxRoundComm, b.MaxRoundComm})
+	}
+	if b.MaxTotalWords > 0 && obs.TotalWords > b.MaxTotalWords {
+		breaches = append(breaches, Breach{"total-words", obs.TotalWords, b.MaxTotalWords})
+	}
+	if b.MaxMemoryWords > 0 && obs.MemoryWords > b.MaxMemoryWords {
+		breaches = append(breaches, Breach{"memory", obs.MemoryWords, b.MaxMemoryWords})
+	}
+	if breaches == nil {
+		return nil
+	}
+	return &BudgetViolation{Budget: b, Observed: obs, Breaches: breaches}
+}
+
+// BudgetReport is one Guard observation kept by the cluster, available
+// whether or not enforcement is on (Cluster.BudgetReports). OK reports
+// whether the observation satisfied the budget.
+type BudgetReport struct {
+	Budget   Budget
+	Observed Observation
+	OK       bool
+}
+
+// String renders a compact one-line summary of the report.
+func (r BudgetReport) String() string {
+	status := "ok"
+	if !r.OK {
+		status = "VIOLATED"
+	}
+	return fmt.Sprintf("%s (%s): rounds %d/%d roundComm %d/%d mem %d/%d total %d/%d [%s]",
+		r.Budget.Algorithm, r.Budget.Theorem,
+		r.Observed.Rounds, r.Budget.MaxRounds,
+		r.Observed.MaxRoundComm, r.Budget.MaxRoundComm,
+		r.Observed.MemoryWords, r.Budget.MaxMemoryWords,
+		r.Observed.TotalWords, r.Budget.MaxTotalWords,
+		status)
+}
+
+// WithBudgetEnforcement makes every Guard.Check on the cluster fail with
+// a *BudgetViolation when its window breached the declared budget. The
+// default (no enforcement) records BudgetReports without ever failing a
+// run, so observability costs nothing in behaviour.
+func WithBudgetEnforcement() Option {
+	return func(c *Cluster) { c.enforceBudgets = true }
+}
+
+// EnforcingBudgets reports whether the cluster fails runs on budget
+// breaches.
+func (c *Cluster) EnforcingBudgets() bool { return c.enforceBudgets }
+
+// BudgetReports returns a copy of every report recorded by Guards on
+// this cluster, in Check order. Reports are collected when the cluster
+// enforces budgets or carries a TraceRecorder; otherwise Guards are
+// silent (no allocation on hot paths).
+func (c *Cluster) BudgetReports() []BudgetReport {
+	c.reportMu.Lock()
+	defer c.reportMu.Unlock()
+	return append([]BudgetReport(nil), c.reports...)
+}
+
+// Guard windows the cluster's statistics from its creation until Check,
+// and compares the window against a declared Budget. Obtain one with
+// Cluster.Guard at an algorithm's entry; call Check before returning.
+type Guard struct {
+	c          *Cluster
+	b          Budget
+	baseRounds int
+}
+
+// Guard starts a budget window at the current round. Nested guards are
+// fine: an outer algorithm's window contains its inner calls' windows.
+func (c *Cluster) Guard(b Budget) *Guard {
+	return &Guard{c: c, b: b, baseRounds: c.stats.Rounds}
+}
+
+// Observed computes the window's quantities from the per-round stats:
+// rounds executed, the max per-machine per-round communication, total
+// words, and the largest in-round memory note — all restricted to
+// rounds after the guard started.
+func (g *Guard) Observed() Observation {
+	var obs Observation
+	perRound := g.c.stats.PerRound
+	if g.baseRounds > len(perRound) {
+		return obs
+	}
+	for _, rs := range perRound[g.baseRounds:] {
+		obs.Rounds++
+		obs.TotalWords += rs.TotalWords
+		if mc := rs.MaxComm(); mc > obs.MaxRoundComm {
+			obs.MaxRoundComm = mc
+		}
+		if rs.MemoryWords > obs.MemoryWords {
+			obs.MemoryWords = rs.MemoryWords
+		}
+	}
+	return obs
+}
+
+// Check compares the window against the budget. It records a
+// BudgetReport on the cluster (when enforcement or tracing is on) and
+// returns a *BudgetViolation only when the cluster enforces budgets and
+// the window breached; otherwise nil.
+func (g *Guard) Check() error {
+	obs := g.Observed()
+	err := g.b.Check(obs)
+	if g.c.enforceBudgets || g.c.recorder != nil {
+		g.c.reportMu.Lock()
+		g.c.reports = append(g.c.reports, BudgetReport{Budget: g.b, Observed: obs, OK: err == nil})
+		g.c.reportMu.Unlock()
+	}
+	if g.c.enforceBudgets {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,148 @@
+package mpc
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestBudgetCheck(t *testing.T) {
+	b := Budget{
+		Algorithm: "x.Y", Theorem: "Theorem 0",
+		MaxRounds: 2, MaxRoundComm: 10, MaxTotalWords: 100, MaxMemoryWords: 5,
+	}
+	if err := b.Check(Observation{Rounds: 2, MaxRoundComm: 10, TotalWords: 100, MemoryWords: 5}); err != nil {
+		t.Fatalf("at-budget observation rejected: %v", err)
+	}
+
+	err := b.Check(Observation{Rounds: 3, MaxRoundComm: 11, TotalWords: 100, MemoryWords: 99})
+	if err == nil {
+		t.Fatal("breach accepted")
+	}
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("errors.Is(err, ErrBudget) = false for %v", err)
+	}
+	var bv *BudgetViolation
+	if !errors.As(err, &bv) {
+		t.Fatalf("not a *BudgetViolation: %T", err)
+	}
+	quantities := map[string]bool{}
+	for _, br := range bv.Breaches {
+		quantities[br.Quantity] = true
+	}
+	for _, q := range []string{"rounds", "round-comm", "memory"} {
+		if !quantities[q] {
+			t.Errorf("missing breach for %s: %v", q, bv.Breaches)
+		}
+	}
+	if quantities["total-words"] {
+		t.Error("total-words within budget but reported breached")
+	}
+
+	msg := err.Error()
+	for _, want := range []string{"x.Y", "Theorem 0", "VIOLATED", "observed", "budget"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("violation message missing %q:\n%s", want, msg)
+		}
+	}
+}
+
+func TestBudgetZeroFieldsUnchecked(t *testing.T) {
+	var b Budget // all-zero: nothing checked
+	if err := b.Check(Observation{Rounds: 1 << 20, MaxRoundComm: 1 << 40}); err != nil {
+		t.Fatalf("zero budget rejected an observation: %v", err)
+	}
+	msg := (&BudgetViolation{Budget: Budget{MaxRounds: 1}, Observed: Observation{Rounds: 2},
+		Breaches: []Breach{{"rounds", 2, 1}}}).Error()
+	if !strings.Contains(msg, "unchecked") {
+		t.Errorf("zero quantities not rendered as unchecked:\n%s", msg)
+	}
+}
+
+// chatter runs rounds supersteps, each sending words words to central
+// and noting mem memory words.
+func chatter(t *testing.T, c *Cluster, rounds int, words, mem int64) {
+	t.Helper()
+	for i := 0; i < rounds; i++ {
+		err := c.Superstep("budget/chatter", func(m *Machine) error {
+			m.SendCentral(Ints(make([]int, words)))
+			if mem > 0 {
+				m.NoteMemory(mem)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestGuardWindow(t *testing.T) {
+	c := NewCluster(4, 1, WithBudgetEnforcement())
+	chatter(t, c, 3, 2, 100) // pre-guard traffic must not count
+
+	g := c.Guard(Budget{Algorithm: "w", MaxRounds: 2, MaxMemoryWords: 50})
+	chatter(t, c, 2, 1, 7)
+	obs := g.Observed()
+	if obs.Rounds != 2 {
+		t.Errorf("window rounds = %d, want 2 (pre-guard rounds leaked in)", obs.Rounds)
+	}
+	if obs.MemoryWords != 7 {
+		t.Errorf("window memory = %d, want 7 (memory not windowed per-round)", obs.MemoryWords)
+	}
+	// 4 machines send 1 word each to central: recv bottleneck 4.
+	if obs.MaxRoundComm != 4 {
+		t.Errorf("window round-comm = %d, want 4", obs.MaxRoundComm)
+	}
+	if obs.TotalWords != 8 {
+		t.Errorf("window total = %d, want 8", obs.TotalWords)
+	}
+	if err := g.Check(); err != nil {
+		t.Fatalf("in-budget window rejected: %v", err)
+	}
+
+	g2 := c.Guard(Budget{Algorithm: "w2", MaxRounds: 1})
+	chatter(t, c, 2, 1, 0)
+	err := g2.Check()
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("breached window passed enforcement: %v", err)
+	}
+
+	reports := c.BudgetReports()
+	if len(reports) != 2 {
+		t.Fatalf("reports = %d, want 2", len(reports))
+	}
+	if !reports[0].OK || reports[1].OK {
+		t.Errorf("report OK flags = %v/%v, want true/false", reports[0].OK, reports[1].OK)
+	}
+	if s := reports[1].String(); !strings.Contains(s, "VIOLATED") {
+		t.Errorf("violated report renders %q", s)
+	}
+}
+
+func TestGuardWithoutEnforcementIsSilent(t *testing.T) {
+	c := NewCluster(2, 1)
+	if c.EnforcingBudgets() {
+		t.Fatal("enforcement on by default")
+	}
+	g := c.Guard(Budget{Algorithm: "silent", MaxRounds: 1})
+	chatter(t, c, 3, 1, 0)
+	if err := g.Check(); err != nil {
+		t.Fatalf("non-enforcing guard returned %v", err)
+	}
+	if got := c.BudgetReports(); len(got) != 0 {
+		t.Fatalf("silent cluster recorded %d reports", len(got))
+	}
+
+	// With a recorder but no enforcement: reports collected, no error.
+	c2 := NewCluster(2, 1, WithRecorder(NewTraceRecorder()))
+	g2 := c2.Guard(Budget{Algorithm: "observed", MaxRounds: 1})
+	chatter(t, c2, 3, 1, 0)
+	if err := g2.Check(); err != nil {
+		t.Fatalf("recorder-only guard returned %v", err)
+	}
+	reports := c2.BudgetReports()
+	if len(reports) != 1 || reports[0].OK {
+		t.Fatalf("recorder-only reports = %+v, want one violated report", reports)
+	}
+}

@@ -6,9 +6,10 @@ package mpc
 // idiom used throughout the algorithm packages (the closure reads the
 // machine's shard of driver-held state).
 
-// GatherFloats runs one round in which every machine contributes one
-// float64 to the central machine; the values are returned indexed by
-// machine id.
+// GatherFloats has every machine contribute one float64 to the central
+// machine; the values are returned indexed by machine id. Two rounds
+// (send, then deliver-and-collect), each charging one word per machine
+// to the central machine's received total.
 func GatherFloats(c *Cluster, name string, fn func(m *Machine) float64) ([]float64, error) {
 	out := make([]float64, c.NumMachines())
 	err := c.Superstep(name, func(mc *Machine) error {
@@ -37,7 +38,8 @@ func GatherFloats(c *Cluster, name string, fn func(m *Machine) float64) ([]float
 
 // AllReduceMax gathers one float per machine, takes the maximum, and
 // broadcasts it back so every machine (and the driver) knows it. Three
-// rounds.
+// rounds: gather (m-1 words into central), reduce-and-broadcast (m-1
+// words out of central), and a settle round consuming the broadcast.
 func AllReduceMax(c *Cluster, name string, fn func(m *Machine) float64) (float64, error) {
 	var max float64
 	first := true
@@ -73,7 +75,7 @@ func AllReduceMax(c *Cluster, name string, fn func(m *Machine) float64) (float64
 }
 
 // AllReduceSum gathers one float per machine, sums, and broadcasts the
-// total. Three rounds.
+// total. Three rounds, with the same per-round costs as AllReduceMax.
 func AllReduceSum(c *Cluster, name string, fn func(m *Machine) float64) (float64, error) {
 	var sum float64
 	err := c.Superstep(name, func(mc *Machine) error {
@@ -103,9 +105,10 @@ func AllReduceSum(c *Cluster, name string, fn func(m *Machine) float64) (float64
 	return sum, nil
 }
 
-// GatherPoints runs one round in which every machine contributes a point
-// batch to the central machine; the concatenation (sender order) is
-// returned with the matching ids.
+// GatherPoints has every machine contribute a point batch to the central
+// machine; the concatenation (sender order) is returned with the
+// matching ids. Two rounds; the central machine receives the total
+// payload volume in the second.
 func GatherPoints(c *Cluster, name string, fn func(m *Machine) IndexedPoints) ([]int, []Message, error) {
 	var ids []int
 	var msgs []Message

@@ -17,6 +17,15 @@
 // cluster seed and its machine index, and inboxes are sorted by sender, so
 // a simulated run produces identical results regardless of goroutine
 // scheduling.
+//
+// Observability: every completed round produces a RoundStats (per-machine
+// sent/received words, observed collective pattern, in-round memory
+// high-water, wall time) delivered to an optional Tracer callback and to
+// an optional TraceRecorder (NDJSON export, ASCII timeline — see
+// docs/OBSERVABILITY.md). Algorithms declare theorem Budgets and run
+// under Guards that compare the executed window against the paper's
+// bounds; WithBudgetEnforcement turns a breach into a hard error with an
+// observed-vs-budget diff (see docs/GUARANTEES.md).
 package mpc
 
 import (
@@ -24,6 +33,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"parclust/internal/rng"
 )
@@ -157,8 +167,15 @@ type Cluster struct {
 	stats    Stats
 	commCap  int64
 	tracer   Tracer
+	recorder *TraceRecorder
 
-	memMu sync.Mutex
+	enforceBudgets bool
+
+	memMu    sync.Mutex
+	roundMem int64 // largest NoteMemory value during the current round
+
+	reportMu sync.Mutex
+	reports  []BudgetReport
 }
 
 // NewCluster creates a cluster of m machines whose random streams derive
@@ -210,6 +227,9 @@ func (c *Cluster) noteMemory(words int64) {
 	if words > c.stats.MaxMemoryWords {
 		c.stats.MaxMemoryWords = words
 	}
+	if words > c.roundMem {
+		c.roundMem = words
+	}
 	c.memMu.Unlock()
 }
 
@@ -220,6 +240,11 @@ func (c *Cluster) noteMemory(words int64) {
 // the communication-cap check is returned; on error the round still counts
 // and queued messages are discarded.
 func (c *Cluster) Superstep(name string, fn func(m *Machine) error) error {
+	start := time.Now()
+	c.memMu.Lock()
+	c.roundMem = 0
+	c.memMu.Unlock()
+
 	// Deliver pending messages.
 	for i, mach := range c.machines {
 		msgs := c.pending[i]
@@ -253,8 +278,10 @@ func (c *Cluster) Superstep(name string, fn func(m *Machine) error) error {
 
 	// Account the round.
 	rs := RoundStats{Name: name}
+	sentWords := make([]int64, c.m)
 	recvWords := make([]int64, c.m)
 	for _, mach := range c.machines {
+		sentWords[mach.id] = mach.sentWords
 		for _, om := range mach.outbox {
 			recvWords[om.dst] += int64(om.payload.Words())
 		}
@@ -283,6 +310,13 @@ func (c *Cluster) Superstep(name string, fn func(m *Machine) error) error {
 			}
 		}
 	}
+	rs.Sent = sentWords
+	rs.Recv = recvWords
+	rs.Collective = classifyCollective(c.machines, c.m, rs.TotalWords)
+	c.memMu.Lock()
+	rs.MemoryWords = c.roundMem
+	c.memMu.Unlock()
+	rs.WallNanos = time.Since(start).Nanoseconds()
 	c.stats.Rounds++
 	c.stats.TotalWords += rs.TotalWords
 	if m := rs.MaxSent; m > c.stats.MaxRoundSent {
@@ -294,6 +328,9 @@ func (c *Cluster) Superstep(name string, fn func(m *Machine) error) error {
 	c.stats.PerRound = append(c.stats.PerRound, rs)
 	if c.tracer != nil {
 		c.tracer(c.stats.Rounds-1, rs)
+	}
+	if c.recorder != nil {
+		c.recorder.record(c.stats.Rounds-1, c.m, rs)
 	}
 
 	if firstErr != nil {

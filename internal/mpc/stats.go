@@ -5,20 +5,42 @@ import (
 	"strings"
 )
 
-// RoundStats records communication for one superstep.
+// RoundStats records one superstep's communication, timing and memory.
+// It is the unit delivered to Tracer callbacks and TraceRecorder events,
+// and the unit Budget guardrails window over (Stats.PerRound).
 type RoundStats struct {
-	// Name is the label passed to Superstep.
+	// Name is the label passed to Superstep, conventionally "pkg/op"
+	// (e.g. "kbmis/sample").
 	Name string
+	// Collective classifies the round's observed message pattern:
+	// "local" (no messages), "broadcast" (one sender to all machines),
+	// "gather" (every message converges on the central machine),
+	// "all-to-all" (most machines send to most machines), or "p2p"
+	// (anything else). Derived from the actual outboxes, not declared
+	// by the algorithm, so a miswired round is visible in the trace.
+	Collective string
 	// MaxSent is the maximum words sent by any single machine this round.
 	MaxSent int64
 	// MaxRecv is the maximum words received by any single machine this round.
 	MaxRecv int64
 	// TotalWords is the total words sent by all machines this round.
 	TotalWords int64
+	// Sent[i] and Recv[i] are the words machine i sent and received this
+	// round. The slices are shared, never mutated after the round
+	// completes, and have cluster-size length.
+	Sent []int64
+	Recv []int64
+	// MemoryWords is the largest NoteMemory value recorded while this
+	// round executed (0 when no machine noted memory).
+	MemoryWords int64
+	// WallNanos is the driver-observed wall-clock duration of the round:
+	// message delivery, all machine goroutines, and accounting.
+	WallNanos int64
 }
 
 // MaxComm returns the larger of MaxSent and MaxRecv: the round's
-// per-machine communication bottleneck.
+// per-machine communication bottleneck — the per-round quantity the
+// paper's Õ(mk) communication theorems constrain.
 func (r RoundStats) MaxComm() int64 {
 	if r.MaxSent > r.MaxRecv {
 		return r.MaxSent
@@ -55,8 +77,13 @@ func (s Stats) clone() Stats {
 	return out
 }
 
-// MaxRoundComm returns the per-machine per-round communication bottleneck:
-// the maximum over rounds and machines of words sent or received.
+// MaxRoundComm returns the per-machine per-round communication
+// bottleneck: the maximum, over all rounds executed so far and over all
+// machines, of the words one machine sent or received in one round. This
+// is the exact quantity the paper's communication theorems bound by
+// Õ(mk) (Theorems 9, 14, 15): a single overloaded machine in a single
+// round shows up here even when cluster-wide totals look healthy.
+// Equivalent to max over Stats.PerRound of RoundStats.MaxComm.
 func (s Stats) MaxRoundComm() int64 {
 	if s.MaxRoundSent > s.MaxRoundRecv {
 		return s.MaxRoundSent

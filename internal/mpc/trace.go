@@ -1,0 +1,302 @@
+package mpc
+
+// Structured round-level tracing. A TraceRecorder turns the simulator's
+// per-round accounting into typed events that can be exported as NDJSON
+// (one JSON object per line, the format ingested by jq / ClickHouse /
+// Vector and documented in docs/OBSERVABILITY.md) or rendered as an
+// ASCII per-round timeline. One recorder may be shared by any number of
+// clusters — sub-phases that run on separate clusters interleave into a
+// single stream ordered by a global sequence number.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"parclust/internal/asciichart"
+)
+
+// Collective kinds assigned to TraceEvent.Collective and
+// RoundStats.Collective by the classifier. The kind is derived from the
+// messages a round actually queued, so a round whose label claims
+// "broadcast" but whose traffic converges on machine 0 is reported as a
+// gather — the trace never takes the algorithm's word for it.
+const (
+	// CollectiveLocal: the round queued no messages (pure computation).
+	CollectiveLocal = "local"
+	// CollectiveBroadcast: exactly one machine sent, to all others (or
+	// all machines including itself).
+	CollectiveBroadcast = "broadcast"
+	// CollectiveGather: every message was addressed to the central
+	// machine (a converge-cast).
+	CollectiveGather = "gather"
+	// CollectiveAllToAll: at least half the machines each addressed at
+	// least m-1 distinct machines.
+	CollectiveAllToAll = "all-to-all"
+	// CollectiveP2P: any other pattern (point-to-point routing).
+	CollectiveP2P = "p2p"
+)
+
+// classifyCollective inspects the outboxes queued this round (still
+// attached to the machines at accounting time) and names the pattern.
+func classifyCollective(machines []*Machine, m int, totalWords int64) string {
+	if totalWords == 0 {
+		return CollectiveLocal
+	}
+	senders := 0
+	wide := 0 // senders addressing >= m-1 distinct destinations
+	allCentral := true
+	var single *Machine
+	for _, mach := range machines {
+		if len(mach.outbox) == 0 {
+			continue
+		}
+		senders++
+		single = mach
+		dsts := make(map[int]bool, len(mach.outbox))
+		for _, om := range mach.outbox {
+			dsts[om.dst] = true
+			if om.dst != CentralID {
+				allCentral = false
+			}
+		}
+		if len(dsts) >= m-1 {
+			wide++
+		}
+	}
+	switch {
+	case senders == 1 && single != nil && wideEnough(single, m):
+		return CollectiveBroadcast
+	case allCentral:
+		return CollectiveGather
+	case wide*2 >= m && senders*2 >= m:
+		return CollectiveAllToAll
+	default:
+		return CollectiveP2P
+	}
+}
+
+// wideEnough reports whether mach addressed at least m-1 distinct
+// machines (m == 1 clusters count any send as wide).
+func wideEnough(mach *Machine, m int) bool {
+	dsts := make(map[int]bool, len(mach.outbox))
+	for _, om := range mach.outbox {
+		dsts[om.dst] = true
+	}
+	return len(dsts) >= m-1 && m > 1 || m == 1
+}
+
+// TraceEvent is one superstep as recorded by a TraceRecorder. Field
+// names are the NDJSON schema; docs/OBSERVABILITY.md documents each
+// field and must be updated in lockstep.
+type TraceEvent struct {
+	// Seq is the recorder-global event index: events from all clusters
+	// sharing the recorder, in completion order.
+	Seq int `json:"seq"`
+	// Round is the cluster-local round index (Stats.Rounds - 1 at the
+	// time the round completed).
+	Round int `json:"round"`
+	// Name is the Superstep label, conventionally "pkg/op".
+	Name string `json:"name"`
+	// Collective is the observed message pattern (see the Collective*
+	// constants).
+	Collective string `json:"collective"`
+	// Machines is the cluster size.
+	Machines int `json:"machines"`
+	// MaxSent / MaxRecv / TotalWords mirror RoundStats.
+	MaxSent    int64 `json:"max_sent_words"`
+	MaxRecv    int64 `json:"max_recv_words"`
+	TotalWords int64 `json:"total_words"`
+	// SentWords[i] / RecvWords[i] are machine i's words this round.
+	SentWords []int64 `json:"sent_words"`
+	RecvWords []int64 `json:"recv_words"`
+	// MemoryWords is the largest NoteMemory value recorded during the
+	// round (0 when none).
+	MemoryWords int64 `json:"memory_words"`
+	// WallNanos is the driver-observed wall-clock duration of the round.
+	WallNanos int64 `json:"wall_ns"`
+}
+
+// TraceRecorder accumulates TraceEvents. All methods are safe for
+// concurrent use: clusters running on different goroutines may share one
+// recorder. Install it with WithRecorder.
+type TraceRecorder struct {
+	mu     sync.Mutex
+	events []TraceEvent
+}
+
+// NewTraceRecorder returns an empty recorder.
+func NewTraceRecorder() *TraceRecorder { return &TraceRecorder{} }
+
+// WithRecorder installs rec on the cluster: every completed superstep
+// appends one TraceEvent. Composes with WithTracer (both observers run).
+func WithRecorder(rec *TraceRecorder) Option {
+	return func(c *Cluster) { c.recorder = rec }
+}
+
+func (r *TraceRecorder) record(round, machines int, rs RoundStats) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = append(r.events, TraceEvent{
+		Seq:         len(r.events),
+		Round:       round,
+		Name:        rs.Name,
+		Collective:  rs.Collective,
+		Machines:    machines,
+		MaxSent:     rs.MaxSent,
+		MaxRecv:     rs.MaxRecv,
+		TotalWords:  rs.TotalWords,
+		SentWords:   rs.Sent,
+		RecvWords:   rs.Recv,
+		MemoryWords: rs.MemoryWords,
+		WallNanos:   rs.WallNanos,
+	})
+}
+
+// Len returns the number of recorded events.
+func (r *TraceRecorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Events returns a copy of the recorded events in sequence order.
+func (r *TraceRecorder) Events() []TraceEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]TraceEvent(nil), r.events...)
+}
+
+// Reset discards all recorded events and restarts the sequence at 0.
+func (r *TraceRecorder) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = nil
+}
+
+// WriteNDJSON writes every recorded event as one JSON object per line,
+// in sequence order (the format documented in docs/OBSERVABILITY.md).
+func (r *TraceRecorder) WriteNDJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw) // Encode appends exactly one '\n' per event
+	for _, ev := range r.Events() {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadNDJSON parses a stream produced by WriteNDJSON. Blank lines are
+// skipped; any other malformed line is an error.
+func ReadNDJSON(r io.Reader) ([]TraceEvent, error) {
+	var out []TraceEvent
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var ev TraceEvent
+		if err := json.Unmarshal([]byte(text), &ev); err != nil {
+			return nil, fmt.Errorf("mpc: trace line %d: %w", line, err)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Timeline renders the recorded rounds as a fixed-width report: a line
+// chart of the per-round communication bottleneck (MaxComm, the Õ(mk)
+// quantity), a line chart of per-round wall time, and a bar chart of the
+// most expensive round labels by total words. width controls the bar
+// width; the line charts use one column per round, bucket-maxed down to
+// 2×width columns when the trace is longer than that.
+func (r *TraceRecorder) Timeline(width int) string {
+	events := r.Events()
+	if len(events) == 0 {
+		return "(no rounds recorded)\n"
+	}
+	comm := make([]float64, len(events))
+	wall := make([]float64, len(events))
+	byName := map[string]float64{}
+	var order []string
+	for i, ev := range events {
+		mc := ev.MaxSent
+		if ev.MaxRecv > mc {
+			mc = ev.MaxRecv
+		}
+		comm[i] = float64(mc)
+		wall[i] = float64(ev.WallNanos) / 1e6 // ms
+		if _, seen := byName[ev.Name]; !seen {
+			order = append(order, ev.Name)
+		}
+		byName[ev.Name] += float64(ev.TotalWords)
+	}
+	// Top phases by total words, insertion order among ties.
+	type phase struct {
+		name  string
+		words float64
+	}
+	phases := make([]phase, 0, len(order))
+	for _, name := range order {
+		phases = append(phases, phase{name, byName[name]})
+	}
+	for i := 0; i < len(phases); i++ { // selection sort: n is tiny
+		best := i
+		for j := i + 1; j < len(phases); j++ {
+			if phases[j].words > phases[best].words {
+				best = j
+			}
+		}
+		phases[i], phases[best] = phases[best], phases[i]
+	}
+	if len(phases) > 12 {
+		phases = phases[:12]
+	}
+	labels := make([]string, len(phases))
+	words := make([]float64, len(phases))
+	for i, p := range phases {
+		labels[i] = p.name
+		words[i] = p.words
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "per-round max sent/recv words (%d rounds)\n", len(events))
+	b.WriteString(asciichart.Line(downsampleMax(comm, 2*width), 8))
+	b.WriteString("per-round wall time (ms)\n")
+	b.WriteString(asciichart.Line(downsampleMax(wall, 2*width), 6))
+	b.WriteString("total words by round label\n")
+	b.WriteString(asciichart.Bars(labels, words, width))
+	return b.String()
+}
+
+// downsampleMax compresses a series to at most cols points by taking the
+// maximum of each bucket, so spikes stay visible in narrow terminals.
+func downsampleMax(vals []float64, cols int) []float64 {
+	if cols < 1 || len(vals) <= cols {
+		return vals
+	}
+	out := make([]float64, cols)
+	for i := range out {
+		lo := i * len(vals) / cols
+		hi := (i + 1) * len(vals) / cols
+		m := vals[lo]
+		for _, v := range vals[lo+1 : hi] {
+			if v > m {
+				m = v
+			}
+		}
+		out[i] = m
+	}
+	return out
+}

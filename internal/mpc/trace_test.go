@@ -1,0 +1,241 @@
+package mpc
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// goldenSupersteps drives a fixed 4-machine conversation exercising
+// every collective kind; the resulting trace is the golden NDJSON
+// fixture.
+func goldenSupersteps(t *testing.T, c *Cluster) {
+	t.Helper()
+	steps := []struct {
+		name string
+		fn   func(m *Machine) error
+	}{
+		{"golden/local", func(m *Machine) error { return nil }},
+		{"golden/bcast", func(m *Machine) error {
+			if m.IsCentral() {
+				m.BroadcastAll(Ints{1, 2, 3})
+			}
+			return nil
+		}},
+		{"golden/gather", func(m *Machine) error {
+			m.SendCentral(Int(m.ID()))
+			m.NoteMemory(int64(10 * (m.ID() + 1)))
+			return nil
+		}},
+		{"golden/alltoall", func(m *Machine) error {
+			for dst := 0; dst < m.NumMachines(); dst++ {
+				m.Send(dst, Ints{int(int32(m.ID())), 7})
+			}
+			return nil
+		}},
+		{"golden/p2p", func(m *Machine) error {
+			if m.ID() == 1 {
+				m.Send(2, Int(99))
+			}
+			return nil
+		}},
+	}
+	for _, s := range steps {
+		if err := c.Superstep(s.name, s.fn); err != nil {
+			t.Fatalf("%s: %v", s.name, err)
+		}
+	}
+}
+
+func TestTraceRecorderEvents(t *testing.T) {
+	rec := NewTraceRecorder()
+	c := NewCluster(4, 1, WithRecorder(rec))
+	goldenSupersteps(t, c)
+
+	events := rec.Events()
+	if len(events) != 5 {
+		t.Fatalf("recorded %d events, want 5", len(events))
+	}
+	wantCollectives := []string{
+		CollectiveLocal, CollectiveBroadcast, CollectiveGather,
+		CollectiveAllToAll, CollectiveP2P,
+	}
+	stats := c.Stats()
+	for i, ev := range events {
+		if ev.Seq != i || ev.Round != i {
+			t.Errorf("event %d: seq %d round %d, want both %d", i, ev.Seq, ev.Round, i)
+		}
+		if ev.Collective != wantCollectives[i] {
+			t.Errorf("event %q: collective %q, want %q", ev.Name, ev.Collective, wantCollectives[i])
+		}
+		if ev.Machines != 4 {
+			t.Errorf("event %q: machines %d, want 4", ev.Name, ev.Machines)
+		}
+		rs := stats.PerRound[i]
+		if ev.Name != rs.Name || ev.MaxSent != rs.MaxSent || ev.MaxRecv != rs.MaxRecv ||
+			ev.TotalWords != rs.TotalWords || ev.MemoryWords != rs.MemoryWords {
+			t.Errorf("event %q diverges from PerRound[%d]: %+v vs %+v", ev.Name, i, ev, rs)
+		}
+		if len(ev.SentWords) != 4 || len(ev.RecvWords) != 4 {
+			t.Errorf("event %q: per-machine slices %d/%d, want 4/4",
+				ev.Name, len(ev.SentWords), len(ev.RecvWords))
+		}
+	}
+	// The gather round carries the largest NoteMemory value of the round.
+	if got := events[2].MemoryWords; got != 40 {
+		t.Errorf("gather MemoryWords = %d, want 40", got)
+	}
+	// The broadcast round's sender is machine 0, its words 3.
+	if got := events[1].SentWords; got[0] != 12 || got[1] != 0 {
+		t.Errorf("broadcast SentWords = %v, want machine 0 only", got)
+	}
+
+	rec.Reset()
+	if rec.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", rec.Len())
+	}
+}
+
+func TestTraceRecorderSharedAcrossClusters(t *testing.T) {
+	rec := NewTraceRecorder()
+	const clusters, rounds = 8, 20
+	var wg sync.WaitGroup
+	for i := 0; i < clusters; i++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			c := NewCluster(3, seed, WithRecorder(rec))
+			for r := 0; r < rounds; r++ {
+				_ = c.Superstep("shared/step", func(m *Machine) error {
+					m.SendCentral(Int(m.ID()))
+					return nil
+				})
+			}
+		}(uint64(i))
+	}
+	wg.Wait()
+	events := rec.Events()
+	if len(events) != clusters*rounds {
+		t.Fatalf("recorded %d events, want %d", len(events), clusters*rounds)
+	}
+	for i, ev := range events {
+		if ev.Seq != i {
+			t.Fatalf("event %d has seq %d: sequence not dense", i, ev.Seq)
+		}
+	}
+}
+
+func TestTraceNDJSONGolden(t *testing.T) {
+	rec := NewTraceRecorder()
+	c := NewCluster(4, 1, WithRecorder(rec))
+	goldenSupersteps(t, c)
+
+	// Wall time is nondeterministic; zero it for the fixture.
+	events := rec.Events()
+	stable := NewTraceRecorder()
+	for _, ev := range events {
+		ev.WallNanos = 0
+		rs := RoundStats{
+			Name: ev.Name, Collective: ev.Collective,
+			MaxSent: ev.MaxSent, MaxRecv: ev.MaxRecv, TotalWords: ev.TotalWords,
+			Sent: ev.SentWords, Recv: ev.RecvWords, MemoryWords: ev.MemoryWords,
+		}
+		stable.record(ev.Round, ev.Machines, rs)
+	}
+	var buf bytes.Buffer
+	if err := stable.WriteNDJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "trace_golden.ndjson")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with UPDATE_GOLDEN=1 to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("NDJSON output diverges from %s:\ngot:\n%swant:\n%s", golden, buf.Bytes(), want)
+	}
+
+	back, err := ReadNDJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, stable.Events()) {
+		t.Error("ReadNDJSON(WriteNDJSON(events)) != events")
+	}
+}
+
+func TestReadNDJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadNDJSON(strings.NewReader("{\"seq\":0}\n\nnot json\n")); err == nil {
+		t.Fatal("malformed line accepted")
+	}
+	evs, err := ReadNDJSON(strings.NewReader("\n\n"))
+	if err != nil || len(evs) != 0 {
+		t.Fatalf("blank stream: events %v err %v", evs, err)
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	rec := NewTraceRecorder()
+	if got := rec.Timeline(40); got != "(no rounds recorded)\n" {
+		t.Fatalf("empty timeline = %q", got)
+	}
+	c := NewCluster(4, 1, WithRecorder(rec))
+	goldenSupersteps(t, c)
+	out := rec.Timeline(40)
+	for _, want := range []string{"per-round max sent/recv words", "golden/alltoall", "5 rounds"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDownsampleMax(t *testing.T) {
+	in := []float64{1, 9, 2, 3, 8, 0}
+	got := downsampleMax(in, 3)
+	want := []float64{9, 3, 8}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("downsampleMax = %v, want %v", got, want)
+	}
+	if &downsampleMax(in, 10)[0] != &in[0] {
+		t.Fatal("short series should be returned as-is")
+	}
+}
+
+// BenchmarkSuperstep measures the tracing overhead documented in
+// docs/PERFORMANCE.md: the same gather round with and without a
+// recorder installed.
+func BenchmarkSuperstep(b *testing.B) {
+	step := func(m *Machine) error {
+		m.SendCentral(Ints{1, 2, 3, 4})
+		return nil
+	}
+	b.Run("tracing-off", func(b *testing.B) {
+		c := NewCluster(8, 1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := c.Superstep("bench/gather", step); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("tracing-on", func(b *testing.B) {
+		rec := NewTraceRecorder()
+		c := NewCluster(8, 1, WithRecorder(rec))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := c.Superstep("bench/gather", step); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
