@@ -18,6 +18,7 @@ import (
 	"parclust/internal/instance"
 	"parclust/internal/metric"
 	"parclust/internal/mpc"
+	"parclust/internal/probe"
 )
 
 // Config parameterizes Algorithm 3.
@@ -42,6 +43,13 @@ type Config struct {
 	// TheoremBudget for the instance. Tests lower it to exercise the
 	// violation path.
 	Budget *mpc.Budget
+	// Probe is the optional probe-acceleration context (built by the
+	// ladder driver over the original instance): neighbor counts in the
+	// classify and light-count rounds are answered from its precomputed
+	// pair distances instead of fresh scans. Results, oracle charges and
+	// communication are byte-identical with or without it; queries it
+	// cannot answer identically fall back to the uncached kernels.
+	Probe *probe.Context
 }
 
 func (c Config) withDefaults(n int) Config {
@@ -180,7 +188,18 @@ func approximate(c *mpc.Cluster, in *instance.Instance, tau float64, cfg Config)
 		i := mc.ID()
 		sIDs, sPts := mpc.CollectIndexed(mc.Inbox())
 		mc.NoteMemory(int64(len(sIDs) + metric.TotalWords(sPts)))
-		sampleSet := metric.FromPoints(sPts)
+		// With a probe context the sampled-neighbor counts come from the
+		// precomputed pair distances (sRows maps the sample into the
+		// reference); the PointSet is only materialized for vertices the
+		// context declines.
+		sRows := cfg.Probe.Rows(sIDs)
+		var sampleSet *metric.PointSet
+		uncachedSample := func() *metric.PointSet {
+			if sampleSet == nil {
+				sampleSet = metric.FromPoints(sPts)
+			}
+			return sampleSet
+		}
 		sampled := make(map[int]bool, len(sIDs))
 		for _, id := range sIDs {
 			sampled[id] = true
@@ -189,7 +208,10 @@ func approximate(c *mpc.Cluster, in *instance.Instance, tau float64, cfg Config)
 		var lights []int
 		for j, v := range in.Parts[i] {
 			id := in.IDs[i][j]
-			cnt := metric.CountWithin(in.Space, v, sampleSet, tau)
+			cnt, ok := cfg.Probe.CountRows(v, id, sRows, tau)
+			if !ok {
+				cnt = metric.CountWithin(in.Space, v, uncachedSample(), tau)
+			}
 			if tau >= 0 && sampled[id] {
 				cnt--
 			}
@@ -339,11 +361,34 @@ func exactLightPath(c *mpc.Cluster, in *instance.Instance, tau float64, cfg Conf
 		i := mc.ID()
 		lIDs, lPts := mpc.CollectIndexed(mc.Inbox())
 		mc.NoteMemory(int64(len(lIDs) + metric.TotalWords(lPts)))
-		localSet := metric.FromPoints(in.Parts[i])
+		// Indexed fast paths, in order of preference: an intact part is
+		// one precomputed segment count per light vertex; a shrunken part
+		// still resolves to reference rows; anything the probe context
+		// declines runs the uncached sweep.
+		intact := cfg.Probe.SegmentIntact(i, in.IDs[i])
+		var pRows []int32
+		if !intact {
+			pRows = cfg.Probe.Rows(in.IDs[i])
+		}
+		var localSet *metric.PointSet
+		uncachedLocal := func() *metric.PointSet {
+			if localSet == nil {
+				localSet = metric.FromPoints(in.Parts[i])
+			}
+			return localSet
+		}
 		perOwner := make(map[int]*mpc.KeyedFloats)
 		for t, lp := range lPts {
 			id := lIDs[t]
-			cnt := metric.CountWithin(in.Space, lp, localSet, tau)
+			cnt, ok := 0, false
+			if intact {
+				cnt, ok = cfg.Probe.CountSegment(lp, id, i, tau)
+			} else {
+				cnt, ok = cfg.Probe.CountRows(lp, id, pRows, tau)
+			}
+			if !ok {
+				cnt = metric.CountWithin(in.Space, lp, uncachedLocal(), tau)
+			}
 			o := owner[id]
 			if tau >= 0 && o == i {
 				cnt--

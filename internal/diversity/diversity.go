@@ -20,6 +20,7 @@ import (
 	"parclust/internal/kbmis"
 	"parclust/internal/metric"
 	"parclust/internal/mpc"
+	"parclust/internal/probe"
 	"parclust/internal/search"
 )
 
@@ -38,6 +39,14 @@ type Config struct {
 	// TheoremBudget for the instance. Tests lower it to exercise the
 	// violation path.
 	Budget *mpc.Budget
+	// DisableProbeIndex opts out of the probe acceleration layer: by
+	// default Maximize builds one probe.Context over the instance and
+	// shares it across every ladder probe, replacing repeated distance
+	// scans with precomputed-pair lookups. Results, probe counts, oracle
+	// charges and budget reports are byte-identical either way (the
+	// property tests in internal/integration assert it); the flag exists
+	// for measurement and as an escape hatch.
+	DisableProbeIndex bool
 }
 
 func (c Config) withDefaults() Config {
@@ -170,35 +179,56 @@ func maximize(c *mpc.Cluster, in *instance.Instance, cfg Config) (*Result, error
 	res.LadderSize = t
 	tau := func(i int) float64 { return r * math.Pow(1+cfg.Eps, float64(i)) }
 
-	// Lines 5–6: probe the ladder with k-bounded MIS runs. probe(i)
+	// The probe context is built once here and shared by every ladder
+	// probe below — the distances it precomputes are τ-independent, only
+	// the threshold each probe compares against changes. Those thresholds
+	// are fixed now that r is known: τ(1)..τ(t) are exactly the values
+	// probeAt can pass to kbmis.Run (τ(0) never reaches it), so the
+	// context pretabulates segment counts at each of them.
+	misCfg := cfg.MIS
+	misCfg.K = k
+	if misCfg.Probe == nil && !cfg.DisableProbeIndex {
+		ths := make([]float64, 0, t)
+		for i := 1; i <= t; i++ {
+			ths = append(ths, tau(i))
+		}
+		misCfg.Probe = probe.NewContext(in, probe.Options{Thresholds: ths})
+	}
+
+	// Lines 5–6: probe the ladder with k-bounded MIS runs. probeAt(i)
 	// reports |M_i| = k; M_0 = Q has size k by construction.
-	probed := make(map[int]*kbmis.Result)
-	probe := func(i int) (bool, error) {
+	//
+	// Only the most recent successful probe's result is retained: in the
+	// boundary search successful probes have strictly increasing indices,
+	// so when the search returns j > 0 the last success happened at j.
+	var lastHit *kbmis.Result
+	probeAt := func(i int) (bool, error) {
 		if i == 0 {
 			return true, nil
 		}
-		misCfg := cfg.MIS
-		misCfg.K = k
 		mres, err := kbmis.Run(c, in, tau(i), misCfg)
 		if err != nil {
 			return false, err
 		}
 		res.Probes++
-		probed[i] = mres
-		return mres.SizeK && len(mres.IDs) == k, nil
+		ok := mres.SizeK && len(mres.IDs) == k
+		if ok {
+			lastHit = mres
+		}
+		return ok, nil
 	}
 
 	// By Theorem 3's argument, |M_t| < k is forced: k points pairwise
 	// further than τ_t > 4r ≥ r* apart would contradict r ≥ r*/4. Our
 	// k-bounded MIS is deterministic-correct, so the probe must agree;
 	// check anyway and accept the windfall if it doesn't.
-	topOK, err := probe(t)
+	topOK, err := probeAt(t)
 	if err != nil {
 		return nil, err
 	}
 	j := t
 	if !topOK {
-		j, err = search.Boundary(0, t, probe)
+		j, err = search.Boundary(0, t, probeAt)
 		if err != nil {
 			return nil, err
 		}
@@ -207,7 +237,7 @@ func maximize(c *mpc.Cluster, in *instance.Instance, cfg Config) (*Result, error
 	if j == 0 {
 		res.Points, res.IDs = qPts, qIDs
 	} else {
-		res.Points, res.IDs = probed[j].Points, probed[j].IDs
+		res.Points, res.IDs = lastHit.Points, lastHit.IDs
 	}
 	res.Diversity = metric.Diversity(in.Space, res.Points)
 	return res, nil

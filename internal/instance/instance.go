@@ -94,9 +94,13 @@ func (in *Instance) All() ([]metric.Point, []int) {
 
 // Graph materializes the threshold graph G_τ over the whole instance
 // (verification only). Vertex v of the graph is the v-th point of All().
+// The graph is index-backed when the space admits a byte-compatible pair
+// index (tgraph.NewIndexed): full-graph sweeps such as per-vertex Degree
+// loops skip the quadratic distance recomputation while reporting
+// identical adjacency, counts and oracle charges.
 func (in *Instance) Graph(tau float64) (*tgraph.Graph, []int) {
 	pts, ids := in.All()
-	return tgraph.New(in.Space, pts, tau), ids
+	return tgraph.NewIndexed(in.Space, pts, tau), ids
 }
 
 // PointByID returns the point with the given global id, or nil if absent.

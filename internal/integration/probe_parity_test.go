@@ -1,0 +1,140 @@
+// Probe-acceleration parity: for every ladder algorithm and metric, a
+// run with the probe index enabled must be byte-identical to the
+// uncached run — same Result (including Probes), same oracle-call
+// totals, same budget reports, same trace NDJSON (wall time excluded,
+// the only nondeterministic field).
+package integration_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"parclust/internal/diversity"
+	"parclust/internal/instance"
+	"parclust/internal/kcenter"
+	"parclust/internal/ksupplier"
+	"parclust/internal/metric"
+	"parclust/internal/mpc"
+	"parclust/internal/probe"
+	"parclust/internal/rng"
+	"parclust/internal/workload"
+)
+
+// parityRun is one observed execution: the algorithm result plus every
+// side channel that must not change when the probe index is on.
+type parityRun struct {
+	result  interface{}
+	calls   int64
+	reports []mpc.BudgetReport
+	events  []mpc.TraceEvent
+	ndjson  []byte
+}
+
+// runLadder executes one ladder algorithm with full observability and
+// captures everything the parity check compares. disable turns the probe
+// index off; forceKD caps the pair matrix so the kd-tree path runs.
+func runLadder(t *testing.T, algo string, space metric.Space, seed uint64, disable, forceKD bool) parityRun {
+	t.Helper()
+	const n, m, k = 160, 4, 5
+	r := rng.New(seed)
+	pts := workload.GaussianMixture(r, n, 6, 8, 20, 2)
+	cnt := metric.NewCounting(space)
+	in := instance.New(cnt, workload.PartitionRoundRobin(nil, pts, m))
+	rec := mpc.NewTraceRecorder()
+	c := mpc.NewCluster(m, seed+99, mpc.WithRecorder(rec), mpc.WithBudgetEnforcement())
+
+	kdProbe := func(target *kbmisProbeSlot) {
+		if forceKD && !disable {
+			*target = probe.NewContext(in, probe.Options{MaxMatrixPoints: 8})
+		}
+	}
+
+	var result interface{}
+	var err error
+	switch algo {
+	case "kcenter":
+		cfg := kcenter.Config{K: k, DisableProbeIndex: disable}
+		kdProbe(&cfg.MIS.Probe)
+		result, err = kcenter.Solve(c, in, cfg)
+	case "diversity":
+		cfg := diversity.Config{K: k, DisableProbeIndex: disable}
+		kdProbe(&cfg.MIS.Probe)
+		result, err = diversity.Maximize(c, in, cfg)
+	case "ksupplier":
+		sup := workload.GaussianMixture(rng.New(seed+1), n/2, 6, 8, 20, 2)
+		inS := instance.New(cnt, workload.PartitionRoundRobin(nil, sup, m))
+		cfg := ksupplier.Config{K: k, DisableProbeIndex: disable}
+		kdProbe(&cfg.MIS.Probe)
+		result, err = ksupplier.Solve(c, in, inS, cfg)
+	default:
+		t.Fatalf("unknown algo %q", algo)
+	}
+	if err != nil {
+		t.Fatalf("%s/%s seed %d (disable=%v): %v", algo, space.Name(), seed, disable, err)
+	}
+
+	events := rec.Events()
+	for i := range events {
+		events[i].WallNanos = 0 // driver wall time: the only nondeterminism
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, ev := range events {
+		if err := enc.Encode(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return parityRun{
+		result:  result,
+		calls:   cnt.Calls(),
+		reports: c.BudgetReports(),
+		events:  events,
+		ndjson:  buf.Bytes(),
+	}
+}
+
+// kbmisProbeSlot matches the type of kbmis.Config.Probe so runLadder can
+// inject a kd-mode context generically.
+type kbmisProbeSlot = *probe.Context
+
+func TestProbeIndexParity(t *testing.T) {
+	spaces := []metric.Space{metric.L2{}, metric.L1{}, metric.LInf{}}
+	for _, algo := range []string{"kcenter", "diversity", "ksupplier"} {
+		for _, space := range spaces {
+			for _, seed := range []uint64{3, 17} {
+				base := runLadder(t, algo, space, seed, true, false)
+				indexed := runLadder(t, algo, space, seed, false, false)
+				assertParity(t, algo, space, seed, "matrix", base, indexed)
+			}
+		}
+	}
+	// kd mode is L2-only; one algorithm suffices to cover the tree path
+	// end-to-end (probe unit tests cover the rest).
+	for _, seed := range []uint64{3, 17} {
+		base := runLadder(t, "kcenter", metric.L2{}, seed, true, false)
+		kd := runLadder(t, "kcenter", metric.L2{}, seed, false, true)
+		assertParity(t, "kcenter", metric.L2{}, seed, "kd", base, kd)
+	}
+}
+
+func assertParity(t *testing.T, algo string, space metric.Space, seed uint64, mode string, a, b parityRun) {
+	t.Helper()
+	tag := algo + "/" + space.Name() + "/" + mode
+	if !reflect.DeepEqual(a.result, b.result) {
+		t.Errorf("%s seed %d: results differ:\nuncached: %+v\nindexed:  %+v", tag, seed, a.result, b.result)
+	}
+	if a.calls != b.calls {
+		t.Errorf("%s seed %d: oracle calls differ: uncached %d, indexed %d", tag, seed, a.calls, b.calls)
+	}
+	if !reflect.DeepEqual(a.reports, b.reports) {
+		t.Errorf("%s seed %d: budget reports differ:\nuncached: %v\nindexed:  %v", tag, seed, a.reports, b.reports)
+	}
+	if !reflect.DeepEqual(a.events, b.events) {
+		t.Errorf("%s seed %d: trace events differ (%d vs %d rounds)", tag, seed, len(a.events), len(b.events))
+	}
+	if !bytes.Equal(a.ndjson, b.ndjson) {
+		t.Errorf("%s seed %d: trace NDJSON differs", tag, seed)
+	}
+}

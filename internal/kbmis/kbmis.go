@@ -8,6 +8,7 @@ import (
 	"parclust/internal/instance"
 	"parclust/internal/metric"
 	"parclust/internal/mpc"
+	"parclust/internal/probe"
 )
 
 // ExitPath identifies how a k-bounded MIS run terminated; the paper's
@@ -69,6 +70,13 @@ type Config struct {
 	// declares TheoremBudget for the instance. Tests lower it to
 	// exercise the violation path.
 	Budget *mpc.Budget
+	// Probe is the optional probe-acceleration context built by the
+	// ladder driver over the original instance and shared across all
+	// probes of a Solve call: trim, central-Luby and neighborhood-removal
+	// pair tests, plus the degree primitive's neighbor counts, are
+	// answered from its precomputed pair distances. Results, oracle
+	// charges and communication are byte-identical with or without it.
+	Probe *probe.Context
 }
 
 func (c Config) withDefaults(n int) Config {
@@ -117,6 +125,9 @@ type runner struct {
 	ids   [][]int          // active ids per machine
 	mis   []weighted       // accumulated MIS
 	res   *Result
+	// adj is the pair-adjacency test at the run's τ — the probe-context
+	// lookup when cfg.Probe is set, the uncached oracle otherwise.
+	adj func(v, u weighted) bool
 }
 
 // sampleProb returns the clamped sampling probability min(1, 1/(2p)).
@@ -206,6 +217,13 @@ func run(c *mpc.Cluster, in *instance.Instance, tau float64, cfg Config) (*Resul
 		r.res.SizeK = true
 		r.res.Exit = ExitSizeK
 		return r.res, nil
+	}
+	if pc := cfg.Probe; pc != nil {
+		r.adj = func(v, u weighted) bool {
+			return pc.DistLE(v.id, v.pt, u.id, u.pt, tau)
+		}
+	} else {
+		r.adj = oracleAdj(in.Space, tau)
 	}
 	r.parts = make([][]metric.Point, r.m)
 	r.ids = make([][]int, r.m)
@@ -341,6 +359,7 @@ func (r *runner) degreeEstimates(sub *instance.Instance, need int) ([][]float64,
 		Delta: r.cfg.Delta,
 		K:     need,
 		LogN:  r.cfg.LogN,
+		Probe: r.cfg.Probe,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -499,12 +518,13 @@ func (r *runner) pruneHarvest(samples [][][]weighted, need int) (bool, error) {
 	return true, nil
 }
 
-// localTrim dispatches between the tie-broken and strict trim rules.
+// localTrim dispatches between the tie-broken and strict trim rules,
+// running the shared loop over the runner's adjacency test.
 func (r *runner) localTrim(s []weighted) []weighted {
 	if r.cfg.StrictTrim {
-		return trimStrict(r.in.Space, r.tau, s)
+		return trimWith(s, r.adj, strictBeats)
 	}
-	return trim(r.in.Space, r.tau, s)
+	return trimWith(s, r.adj, beats)
 }
 
 // centralLuby implements lines 10–18: all samples go to the central
@@ -549,7 +569,7 @@ func (r *runner) centralLuby(samples [][][]weighted) error {
 				}
 				adj := false
 				for _, a := range additions {
-					if v.id != a.id && metric.DistLE(r.in.Space, v.pt, a.pt, r.tau) {
+					if v.id != a.id && r.adj(v, a) {
 						adj = true
 						break
 					}
@@ -607,9 +627,10 @@ func (r *runner) removeClosedNeighborhood(i int, adds []weighted) {
 	keptI := r.ids[i][:0]
 	for t, pt := range r.parts[i] {
 		id := r.ids[i][t]
+		v := weighted{id: id, pt: pt}
 		drop := false
 		for _, a := range adds {
-			if id == a.id || metric.DistLE(r.in.Space, pt, a.pt, r.tau) {
+			if id == a.id || r.adj(v, a) {
 				drop = true
 				break
 			}
@@ -654,7 +675,7 @@ func (r *runner) fallbackGather() (*Result, error) {
 			v := weighted{id: ids[t], pt: pts[t]}
 			indep := true
 			for _, u := range r.mis {
-				if v.id != u.id && metric.DistLE(r.in.Space, v.pt, u.pt, r.tau) {
+				if v.id != u.id && r.adj(v, u) {
 					indep = false
 					break
 				}

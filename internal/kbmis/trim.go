@@ -39,6 +39,21 @@ type weighted struct {
 // guarantees a non-empty result on non-empty input. Ablation A1 measures
 // the difference. Duplicate ids in s are collapsed (first occurrence wins).
 func trim(space metric.Space, tau float64, s []weighted) []weighted {
+	return trimWith(s, oracleAdj(space, tau), beats)
+}
+
+// trimStrict is the paper's literal rule (strictly greater weight, no
+// tie-break), kept for ablation A1.
+func trimStrict(space metric.Space, tau float64, s []weighted) []weighted {
+	return trimWith(s, oracleAdj(space, tau), strictBeats)
+}
+
+// trimWith is the shared trim loop over a pluggable adjacency test (the
+// uncached oracle, or a probe-context lookup): v survives unless some
+// adjacent u exists that v does not beat under the survives rule. The
+// adjacency call sequence — iteration order and the short-circuit break —
+// is identical for every adj implementation, so oracle charges match.
+func trimWith(s []weighted, adj func(v, u weighted) bool, survives func(v, u weighted) bool) []weighted {
 	s = dedupByID(s)
 	var out []weighted
 	for i, v := range s {
@@ -47,7 +62,7 @@ func trim(space metric.Space, tau float64, s []weighted) []weighted {
 			if i == j {
 				continue
 			}
-			if metric.DistLE(space, v.pt, u.pt, tau) && !beats(v, u) {
+			if adj(v, u) && !survives(v, u) {
 				keep = false
 				break
 			}
@@ -59,28 +74,16 @@ func trim(space metric.Space, tau float64, s []weighted) []weighted {
 	return out
 }
 
-// trimStrict is the paper's literal rule (strictly greater weight, no
-// tie-break), kept for ablation A1.
-func trimStrict(space metric.Space, tau float64, s []weighted) []weighted {
-	s = dedupByID(s)
-	var out []weighted
-	for i, v := range s {
-		keep := true
-		for j, u := range s {
-			if i == j {
-				continue
-			}
-			if metric.DistLE(space, v.pt, u.pt, tau) && v.w <= u.w {
-				keep = false
-				break
-			}
-		}
-		if keep {
-			out = append(out, v)
-		}
+// oracleAdj is the uncached adjacency test.
+func oracleAdj(space metric.Space, tau float64) func(v, u weighted) bool {
+	return func(v, u weighted) bool {
+		return metric.DistLE(space, v.pt, u.pt, tau)
 	}
-	return out
 }
+
+// strictBeats is the survives rule of the paper's literal trim: strictly
+// greater weight, no tie-break.
+func strictBeats(v, u weighted) bool { return v.w > u.w }
 
 // beats reports whether v survives against adjacent u under the
 // tie-broken ordering.

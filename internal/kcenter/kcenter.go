@@ -19,6 +19,7 @@ import (
 	"parclust/internal/kbmis"
 	"parclust/internal/metric"
 	"parclust/internal/mpc"
+	"parclust/internal/probe"
 	"parclust/internal/search"
 )
 
@@ -37,6 +38,14 @@ type Config struct {
 	// TheoremBudget for the instance. Tests lower it to exercise the
 	// violation path.
 	Budget *mpc.Budget
+	// DisableProbeIndex opts out of the probe acceleration layer: by
+	// default Solve builds one probe.Context over the instance and shares
+	// it across every ladder probe, replacing repeated distance scans with
+	// precomputed-pair lookups. Results, probe counts, oracle charges and
+	// budget reports are byte-identical either way (the property tests in
+	// internal/integration assert it); the flag exists for measurement
+	// and as an escape hatch.
+	DisableProbeIndex bool
 }
 
 func (c Config) withDefaults() Config {
@@ -148,37 +157,60 @@ func solve(c *mpc.Cluster, in *instance.Instance, cfg Config) (*Result, error) {
 	res.LadderSize = t
 	tau := func(i int) float64 { return r / math.Pow(1+cfg.Eps, float64(i)) }
 
+	// The probe context is built once here and shared by every ladder
+	// probe below — the distances it precomputes are τ-independent, only
+	// the threshold each probe compares against changes. Those thresholds
+	// are themselves fixed now that r is known: τ(1)..τ(t) are exactly
+	// the values probeAt can pass to kbmis.Run (τ(0) never reaches it),
+	// so the context pretabulates segment counts at each of them.
+	misCfg := cfg.MIS
+	misCfg.K = k + 1
+	if misCfg.Probe == nil && !cfg.DisableProbeIndex {
+		ths := make([]float64, 0, t)
+		for i := 1; i <= t; i++ {
+			ths = append(ths, tau(i))
+		}
+		misCfg.Probe = probe.NewContext(in, probe.Options{Thresholds: ths})
+	}
+
 	// Lines 5–6: probe with (k+1)-bounded MIS. probe(i) reports
 	// |M_i| ≤ k, i.e. the MIS was maximal rather than a size-(k+1)
 	// independent set. M_0 = Q qualifies by construction (|Q| = k and
 	// every point is within τ_0 = r of Q).
-	probed := make(map[int]*kbmis.Result)
-	probe := func(i int) (bool, error) {
+	//
+	// Only the most recent successful probe's result is retained: in the
+	// boundary search successful probes have strictly increasing indices,
+	// so when the search returns j > 0 the last success happened at j.
+	// (Retaining every probed result kept O(probes · k) points alive for
+	// the whole search.)
+	var lastHit *kbmis.Result
+	probeAt := func(i int) (bool, error) {
 		if i == 0 {
 			return true, nil
 		}
-		misCfg := cfg.MIS
-		misCfg.K = k + 1
 		mres, err := kbmis.Run(c, in, tau(i), misCfg)
 		if err != nil {
 			return false, err
 		}
 		res.Probes++
-		probed[i] = mres
-		return mres.Maximal && len(mres.IDs) <= k, nil
+		ok := mres.Maximal && len(mres.IDs) <= k
+		if ok {
+			lastHit = mres
+		}
+		return ok, nil
 	}
 
 	// Theorem 17 forces |M_t| = k+1: a maximal IS of size ≤ k at τ_t
 	// would be a k-center solution of radius τ_t < r/4 ≤ opt. If the
 	// probe disagrees (it cannot, our MIS is deterministic-correct),
 	// accept the better solution.
-	topOK, err := probe(t)
+	topOK, err := probeAt(t)
 	if err != nil {
 		return nil, err
 	}
 	j := t
 	if !topOK {
-		j, err = search.Boundary(0, t, probe)
+		j, err = search.Boundary(0, t, probeAt)
 		if err != nil {
 			return nil, err
 		}
@@ -188,7 +220,7 @@ func solve(c *mpc.Cluster, in *instance.Instance, cfg Config) (*Result, error) {
 	if j == 0 {
 		res.Centers, res.IDs = cs.Central, cs.CentralIDs
 	} else {
-		res.Centers, res.IDs = probed[j].Points, probed[j].IDs
+		res.Centers, res.IDs = lastHit.Points, lastHit.IDs
 	}
 
 	// Measure the actual covering radius for reporting.

@@ -1,0 +1,60 @@
+package kdtree
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"parclust/internal/metric"
+	"parclust/internal/rng"
+)
+
+// TestCountWithinSqMatchesCompatScan is the byte-safety property behind
+// the kd-backed probe index: the pruned count must equal a flat
+// CompatSqDist scan exactly, including at thresholds that tie a pair's
+// squared distance (where a wrong prune would flip the count).
+func TestCountWithinSqMatchesCompatScan(t *testing.T) {
+	prop := func(seed uint64) bool {
+		r := rng.New(seed)
+		dim := 1 + r.Intn(8)
+		n := 1 + r.Intn(60)
+		pts := make([]metric.Point, n)
+		for i := range pts {
+			p := make(metric.Point, dim)
+			for j := range p {
+				if r.Bernoulli(0.4) {
+					p[j] = float64(r.Intn(3)) // grid coords: axis ties
+				} else {
+					p[j] = r.NormFloat64()
+				}
+			}
+			pts[i] = p
+		}
+		tree := Build(pts)
+		q := pts[r.Intn(n)]
+		if r.Bernoulli(0.5) {
+			q = append(metric.Point(nil), q...)
+			q[r.Intn(dim)] += r.NormFloat64()
+		}
+		taus := []float64{0, math.Abs(r.NormFloat64())}
+		// Exact tie: some pair's squared distance, and its neighbors.
+		d := metric.CompatSqDist(q, pts[r.Intn(n)])
+		taus = append(taus, d, math.Nextafter(d, 0), math.Nextafter(d, math.Inf(1)))
+		for _, tauSq := range taus {
+			want := 0
+			for _, p := range pts {
+				if metric.CompatSqDist(q, p) <= tauSq {
+					want++
+				}
+			}
+			if got := tree.CountWithinSq(q, tauSq); got != want {
+				t.Logf("seed %d tauSq %v: got %d want %d", seed, tauSq, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

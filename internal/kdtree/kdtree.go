@@ -175,6 +175,40 @@ func (t *Tree) inRange(n *node, q metric.Point, r float64, out *[]int) {
 	}
 }
 
+// CountWithinSq returns how many indexed points p satisfy
+// metric.CompatSqDist(q, p) <= tauSq — the squared-domain membership
+// test the threshold comparators use, so the count agrees bit-for-bit
+// with a metric.CountWithin scan at τ = sqrt domain (callers pass
+// fl(τ·τ), never a recomputed square). Subtrees are pruned only when the
+// rounded squared axis gap already exceeds tauSq: for a point u beyond
+// the split, |q[axis]-u[axis]| ≥ |diff| exactly (float subtraction is
+// monotone), fl(x²) is monotone in |x|, and the compat sum accumulates
+// non-negative rounded terms so it never drops below any single one —
+// hence every pruned point fails the test it would have failed in the
+// scan. Ties on the splitting plane are never pruned.
+func (t *Tree) CountWithinSq(q metric.Point, tauSq float64) int {
+	return t.countWithinSq(t.root, q, tauSq)
+}
+
+func (t *Tree) countWithinSq(n *node, q metric.Point, tauSq float64) int {
+	if n == nil {
+		return 0
+	}
+	c := 0
+	if metric.CompatSqDist(q, t.pts[n.idx]) <= tauSq {
+		c = 1
+	}
+	diff := q[n.axis] - t.pts[n.idx][n.axis]
+	// Left subtree holds axis coords <= the split, right holds >= it.
+	if !(diff > 0 && diff*diff > tauSq) {
+		c += t.countWithinSq(n.left, q, tauSq)
+	}
+	if !(diff < 0 && diff*diff > tauSq) {
+		c += t.countWithinSq(n.right, q, tauSq)
+	}
+	return c
+}
+
 // heapItem / maxHeap: a tiny max-heap on distance for KNearest.
 type heapItem struct {
 	idx  int

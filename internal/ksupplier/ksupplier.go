@@ -22,6 +22,7 @@ import (
 	"parclust/internal/kbmis"
 	"parclust/internal/metric"
 	"parclust/internal/mpc"
+	"parclust/internal/probe"
 	"parclust/internal/search"
 )
 
@@ -40,6 +41,14 @@ type Config struct {
 	// TheoremBudget for the instances. Tests lower it to exercise the
 	// violation path.
 	Budget *mpc.Budget
+	// DisableProbeIndex opts out of the probe acceleration layer: by
+	// default Solve builds one probe.Context over the customer instance
+	// and shares it across every ladder probe, replacing repeated distance
+	// scans with precomputed-pair lookups. Results, probe counts, oracle
+	// charges and budget reports are byte-identical either way (the
+	// property tests in internal/integration assert it); the flag exists
+	// for measurement and as an escape hatch.
+	DisableProbeIndex bool
 }
 
 func (c Config) withDefaults() Config {
@@ -180,21 +189,41 @@ func solve(c *mpc.Cluster, inC, inS *instance.Instance, cfg Config) (*Result, er
 	res.LadderSize = t
 	tau := func(i int) float64 { return r / 9 * math.Pow(1+cfg.Eps, float64(i)) }
 
-	// Lines 5–6: probe(i) checks |M_i| ≤ k and r(M_i, S) ≤ τ_i, where
+	// The probe context is built once here over the customer instance and
+	// shared by every ladder probe below — the distances it precomputes
+	// are τ-independent, only the threshold each probe compares against
+	// changes. Those thresholds are fixed now that r is known: the MIS
+	// probes run the customer graph at 2τ(0)..2τ(t−1) (probeAt(t) never
+	// reaches kbmis.Run), so the context pretabulates segment counts at
+	// exactly those values.
+	misCfg := cfg.MIS
+	misCfg.K = k + 1
+	if misCfg.Probe == nil && !cfg.DisableProbeIndex {
+		ths := make([]float64, 0, t)
+		for i := 0; i < t; i++ {
+			ths = append(ths, 2*tau(i))
+		}
+		misCfg.Probe = probe.NewContext(inC, probe.Options{Thresholds: ths})
+	}
+
+	// Lines 5–6: probeAt(i) checks |M_i| ≤ k and r(M_i, S) ≤ τ_i, where
 	// M_i is a (k+1)-bounded MIS of the customer graph G_{2τ_i}
 	// (M_t = Q, which always qualifies: |Q| ≤ k and r(Q,S) ≤ r ≤ τ_t).
+	//
+	// Only the most recent successful probe's suppliers are retained: in
+	// the upward boundary search successful probes have strictly
+	// decreasing indices, so the last success happened at the returned j;
+	// the initial value covers the seeded endpoint t, which is never
+	// probed through probeAt during the search.
 	type probeHit struct {
 		supPts []metric.Point
 		supIDs []int
 	}
-	hits := make(map[int]probeHit)
-	hits[t] = probeHit{supPts: qSup, supIDs: qSupIDs}
-	probe := func(i int) (bool, error) {
+	hit := probeHit{supPts: qSup, supIDs: qSupIDs}
+	probeAt := func(i int) (bool, error) {
 		if i == t {
 			return true, nil
 		}
-		misCfg := cfg.MIS
-		misCfg.K = k + 1
 		mres, err := kbmis.Run(c, inC, 2*tau(i), misCfg)
 		if err != nil {
 			return false, err
@@ -212,20 +241,20 @@ func solve(c *mpc.Cluster, inC, inS *instance.Instance, cfg Config) (*Result, er
 				return false, nil
 			}
 		}
-		hits[i] = probeHit{supPts: supPts, supIDs: supIDs}
+		hit = probeHit{supPts: supPts, supIDs: supIDs}
 		return true, nil
 	}
 
 	// Line 6: smallest qualifying j, found by boundary search.
 	j := t
-	ok0, err := probe(0)
+	ok0, err := probeAt(0)
 	if err != nil {
 		return nil, err
 	}
 	if ok0 {
 		j = 0
 	} else if t > 0 {
-		j, err = search.BoundaryUp(0, t, probe)
+		j, err = search.BoundaryUp(0, t, probeAt)
 		if err != nil {
 			return nil, err
 		}
@@ -234,7 +263,6 @@ func solve(c *mpc.Cluster, inC, inS *instance.Instance, cfg Config) (*Result, er
 	res.RadiusBound = 3 * tau(j)
 
 	// Line 8: open the suppliers realizing r(M_j, S) ≤ τ_j.
-	hit := hits[j]
 	res.Suppliers, res.IDs = dedupSuppliers(hit.supPts, hit.supIDs)
 	radius, err := coreset.BroadcastRadius(c, inC, res.Suppliers)
 	if err != nil {

@@ -1,0 +1,582 @@
+package metric
+
+// DistIndex is the probe-acceleration structure behind the τ-ladder
+// algorithms (kcenter, diversity, ksupplier): every probe of the ladder
+// re-tests the same point pairs against a different threshold τ, so the
+// comparable-domain pair values — squared distances for L2, plain sums
+// for L1, coordinate-gap maxima for L∞ — are computed once against a
+// pinned reference set and every later threshold test becomes an O(1)
+// lookup or an O(log) binary search over per-segment sorted rows.
+//
+// Byte-identity contract: every query answered by the index returns
+// EXACTLY the boolean/count the uncached path (DistLE / CountWithin over
+// the same points) would return — not approximately, bit for bit. The
+// cached values are therefore computed with the same floating-point
+// accumulation order as the threshold comparators in kernels.go
+// (sqDistLE / absDistLE / maxDistLE): the comparators' early exits agree
+// with the full same-order sum because each block adds a non-negative
+// term and round-to-nearest addition of a non-negative value never
+// decreases a float, so a partial sum exceeding τ implies the full sum
+// does too. Spaces whose comparator order the index cannot replicate
+// (e.g. WeightedL2) simply do not get an index — BuildDistIndex returns
+// nil and callers fall back to the uncached path, which is identical by
+// construction.
+//
+// The index is an accelerator, not an oracle: building it performs no
+// Counting charges, and lookups perform none either. Call sites remain
+// responsible for charging the logical oracle cost of the query they
+// replaced (see ChargeCalls), so EXPERIMENTS oracle accounting is
+// unchanged to the call.
+
+import (
+	"math"
+	"sort"
+)
+
+// indexKind classifies the comparable domain stored in the matrix.
+type indexKind uint8
+
+const (
+	ixL2      indexKind = iota + 1 // squared distance, sqDistLE accumulation order
+	ixL1                           // L1 distance, absDistLE accumulation order
+	ixLInf                         // exact maximum coordinate gap
+	ixHamming                      // exact differing-coordinate count
+	ixDist                         // plain Space.Dist (spaces without a threshold fast path)
+)
+
+// DefaultIndexCap is the largest reference-set size for which
+// BuildDistIndex materializes the n×n matrix by default: 4096 points is
+// 128 MiB of pair values (doubled if EnsureSorted runs), past which
+// callers should either raise the cap explicitly or rely on the
+// kd-backed segment counts in internal/probe.
+const DefaultIndexCap = 4096
+
+// Segment is a contiguous row range [Lo, Hi) of the reference set,
+// conventionally one per machine of the owning instance.
+type Segment struct{ Lo, Hi int }
+
+// DistIndex holds comparable-domain distances between every pair of a
+// pinned reference set, with per-segment sorted copies of each row for
+// O(log) threshold counting. Immutable after Build; safe for concurrent
+// readers (the simulator's machines query it from their goroutines).
+type DistIndex struct {
+	kind indexKind
+	n    int
+	cmp  []float64 // n×n pair values, row-major
+	// sorted mirrors cmp row-major, but within each row the values of
+	// each segment are sorted ascending, so a threshold count over a
+	// whole segment is one binary search. Built only by EnsureSorted:
+	// sorting costs Θ(n·log(n/m)) comparisons per row and only beats the
+	// contiguous cmp-row scan once a row's segments are each counted more
+	// than ~log(n/m) times, which short ladders don't reach (measured
+	// crossover in docs/PERFORMANCE.md).
+	sorted []float64
+	segs   []Segment
+
+	// thresholds (comparable domain, ascending, deduped) and counts are
+	// the ladder tables built by RegisterThresholds: counts[(row*S+seg)*T
+	// + t] is |{j in segment seg : cmp[row][j] <= thresholds[t]}|, so a
+	// segment count at a registered τ is one array load instead of a
+	// segment scan. The ladder algorithms know every τ they will probe
+	// before the first probe, which is what makes this precomputable.
+	thresholds []float64
+	counts     []int32
+}
+
+// BuildDistIndex precomputes the pair matrix of pts under space, with
+// segment boundaries segs (disjoint, covering [0, len(pts))). It returns
+// nil — and callers must fall back to the uncached path — when the space
+// has no byte-compatible comparable domain, the points are ragged or
+// non-finite, the segments do not tile the set, or len(pts) exceeds
+// maxPoints (≤ 0 selects DefaultIndexCap). Building performs no oracle
+// charges.
+func BuildDistIndex(space Space, pts []Point, segs []Segment, maxPoints int) *DistIndex {
+	if maxPoints <= 0 {
+		maxPoints = DefaultIndexCap
+	}
+	n := len(pts)
+	if n == 0 || n > maxPoints || !segsTile(segs, n) {
+		return nil
+	}
+	inner := space
+	if cnt, ok := space.(*Counting); ok {
+		inner = cnt.Inner
+	}
+	var kind indexKind
+	switch inner.(type) {
+	case L2:
+		kind = ixL2
+	case L1:
+		kind = ixL1
+	case LInf:
+		kind = ixLInf
+	case Hamming:
+		kind = ixHamming
+	case *MatrixSpace, Angular:
+		// No ThresholdComparer: the uncached threshold test is exactly
+		// Dist(a, b) <= tau, which any deterministic oracle replicates.
+		kind = ixDist
+	default:
+		return nil
+	}
+	dim := len(pts[0])
+	if dim == 0 {
+		return nil
+	}
+	for _, p := range pts {
+		if len(p) != dim {
+			return nil
+		}
+		for _, x := range p {
+			if math.IsInf(x, 0) || math.IsNaN(x) {
+				return nil
+			}
+		}
+	}
+	ix := &DistIndex{
+		kind: kind,
+		n:    n,
+		cmp:  make([]float64, n*n),
+		segs: append([]Segment(nil), segs...),
+	}
+	// The coordinate kinds are exactly symmetric in their operands:
+	// fl(a−b) = −fl(b−a) under round-to-nearest, so squared terms,
+	// absolute gaps and mismatch counts agree bit for bit between (i, j)
+	// and (j, i). Only columns j ≥ i are computed for them; the lower
+	// triangle is mirrored afterwards, halving build cost. ixDist spaces
+	// (MatrixSpace tables) carry no such guarantee and fill full rows.
+	symmetric := kind != ixDist
+	// The coordinate kinds read the points through one flat row-major
+	// buffer: the []Point layout costs a slice-header load (and usually a
+	// cache miss — points are individual heap objects) per pair, which at
+	// n² pairs dominates the arithmetic.
+	var flat []float64
+	if symmetric {
+		flat = make([]float64, n*dim)
+		for i, p := range pts {
+			copy(flat[i*dim:], p)
+		}
+	}
+	Sweep(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := ix.cmp[i*n : (i+1)*n]
+			q := pts[i]
+			if symmetric {
+				q = Point(flat[i*dim : (i+1)*dim])
+			}
+			switch kind {
+			case ixL2:
+				fillSqDistRow(q, flat, dim, row, i)
+			case ixL1:
+				for j := i; j < n; j++ {
+					row[j] = absDistCompat(q, flat[j*dim:(j+1)*dim])
+				}
+			case ixLInf:
+				for j := i; j < n; j++ {
+					row[j] = maxDist(q, flat[j*dim:(j+1)*dim])
+				}
+			case ixHamming:
+				for j := i; j < n; j++ {
+					row[j] = (Hamming{}).Dist(q, Point(flat[j*dim:(j+1)*dim]))
+				}
+			case ixDist:
+				for j, p := range pts {
+					row[j] = inner.Dist(q, p)
+				}
+			}
+		}
+	})
+	if symmetric {
+		mirrorLower(ix.cmp, n)
+	}
+	return ix
+}
+
+// fillSqDistRow writes row[j] = sqDistCompat(q, point j of flat) for j in
+// [start, len(row)). The dim-8 body hoists the query into locals and
+// groups the terms exactly as sqDistCompat (and the sqDistLE comparator)
+// do — ((d0²+d1²+d2²+d3²) + (d4²+…+d7²)) added to a zero accumulator —
+// so the values are bit-identical to the generic path.
+func fillSqDistRow(q Point, flat []float64, dim int, row []float64, start int) {
+	if dim == 8 {
+		q0, q1, q2, q3 := q[0], q[1], q[2], q[3]
+		q4, q5, q6, q7 := q[4], q[5], q[6], q[7]
+		for j, off := start, start*8; off+8 <= len(flat); j, off = j+1, off+8 {
+			p := flat[off : off+8]
+			d0 := q0 - p[0]
+			d1 := q1 - p[1]
+			d2 := q2 - p[2]
+			d3 := q3 - p[3]
+			d4 := q4 - p[4]
+			d5 := q5 - p[5]
+			d6 := q6 - p[6]
+			d7 := q7 - p[7]
+			row[j] = (d0*d0 + d1*d1 + d2*d2 + d3*d3) +
+				(d4*d4 + d5*d5 + d6*d6 + d7*d7)
+		}
+		return
+	}
+	for j := start; j < len(row); j++ {
+		row[j] = sqDistCompat(q, flat[j*dim:(j+1)*dim])
+	}
+}
+
+// mirrorLower copies the strict upper triangle of the n×n row-major
+// matrix onto the lower one. Destination rows are walked in the inner
+// loops so every write is sequential, and the source stripe is only
+// `tile` rows wide: the 32 source cache lines at column j are the same
+// ones read for the next several j values, keeping the strided reads
+// L1-resident.
+func mirrorLower(cmp []float64, n int) {
+	const tile = 32
+	for i0 := 0; i0 < n; i0 += tile {
+		for j := i0 + 1; j < n; j++ {
+			iMax := i0 + tile
+			if iMax > j {
+				iMax = j
+			}
+			dst := cmp[j*n+i0 : j*n+iMax]
+			for t := range dst {
+				dst[t] = cmp[(i0+t)*n+j]
+			}
+		}
+	}
+}
+
+// EnsureSorted builds the per-row per-segment sorted arrays, switching
+// CountSegment from a linear cmp-row scan to a binary search. Idempotent.
+// Must be called before the index is shared with concurrent readers
+// (probe contexts call it during construction, never mid-ladder): the
+// sorted rows are plain unsynchronized state.
+func (ix *DistIndex) EnsureSorted() {
+	if ix.sorted != nil {
+		return
+	}
+	sorted := make([]float64, ix.n*ix.n)
+	Sweep(ix.n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			srow := sorted[i*ix.n : (i+1)*ix.n]
+			copy(srow, ix.cmp[i*ix.n:(i+1)*ix.n])
+			for _, sg := range ix.segs {
+				sort.Float64s(srow[sg.Lo:sg.Hi])
+			}
+		}
+	})
+	ix.sorted = sorted
+}
+
+// Sorted reports whether EnsureSorted has run.
+func (ix *DistIndex) Sorted() bool { return ix.sorted != nil }
+
+// RegisterThresholds precomputes, for every (row, segment) pair, the
+// segment count at each of the given thresholds, making CountSegment at
+// exactly those τ values a single table load instead of a segment scan.
+// The ladder algorithms know every τ they will ever probe before the
+// first probe — the geometric ladder is fixed once the radius estimate
+// is in hand — which is what makes the counts precomputable: one pass
+// over the pair matrix buys O(1) answers for the O(log 1/ε) probes that
+// each rescan it.
+//
+// Thresholds are matched by exact floating-point equality of the
+// comparable-domain value (tauCmp of the query must equal tauCmp of a
+// registered τ), and each table entry equals the count the cmp-row scan
+// produces by construction, so registration never changes any answer;
+// unregistered τ simply take the scan path. Thresholds that can match no
+// query (negative after translation, NaN, ±Inf) are dropped. Replaces
+// any previously registered tables; must not race with queries.
+func (ix *DistIndex) RegisterThresholds(taus []float64) {
+	tcs := make([]float64, 0, len(taus))
+	for _, tau := range taus {
+		tc, ok := ix.tauCmp(tau)
+		if ok && tc >= 0 && !math.IsNaN(tc) && !math.IsInf(tc, 0) {
+			tcs = append(tcs, tc)
+		}
+	}
+	sort.Float64s(tcs)
+	w := 0
+	for i, v := range tcs {
+		if i == 0 || v != tcs[w-1] {
+			tcs[w] = v
+			w++
+		}
+	}
+	tcs = tcs[:w]
+	if len(tcs) == 0 || len(tcs) > 255 {
+		return
+	}
+	// The bucketing below orders values by their raw float64 bits, which
+	// agrees with numeric order only for non-negative values. Every
+	// coordinate kind produces non-negative pair values by construction;
+	// a MatrixSpace table may not, so ixDist verifies before committing.
+	if ix.kind == ixDist {
+		for _, v := range ix.cmp {
+			if v < 0 {
+				return
+			}
+		}
+	}
+	// lut[c] counts the thresholds whose upper 16 float bits fall below
+	// cell c: every such threshold is strictly below every value in cell
+	// c, so it is a sound lower bound on a value's bucket, and at most
+	// the few same-cell thresholds remain for the fix-up walk (0–1 steps
+	// for a geometric ladder, whose rungs land in distinct cells).
+	lut := make([]uint8, 1<<16)
+	ti := 0
+	for c := range lut {
+		for ti < len(tcs) && int(math.Float64bits(tcs[ti])>>48) < c {
+			ti++
+		}
+		lut[c] = uint8(ti)
+	}
+	// hist[(row*S+seg)*(T+1) + b] counts the segment's values whose
+	// bucket is b, where bucket means the first threshold index t with
+	// v <= tcs[t] (T when v exceeds them all); the per-(row, segment)
+	// prefix sums are then the ≤-counts.
+	numT, numS := len(tcs), len(ix.segs)
+	bb := numT + 1
+	hist := make([]int32, ix.n*numS*bb)
+	if ix.kind == ixDist {
+		// Possibly asymmetric values: bucket every entry of every row.
+		// Rows own disjoint hist slices, so the sweep is race-free.
+		Sweep(ix.n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				row := ix.cmp[i*ix.n : (i+1)*ix.n]
+				for s, sg := range ix.segs {
+					h := hist[(i*numS+s)*bb : (i*numS+s+1)*bb]
+					for _, v := range row[sg.Lo:sg.Hi] {
+						b := int(lut[math.Float64bits(v)>>48])
+						for b < numT && tcs[b] < v {
+							b++
+						}
+						h[b]++
+					}
+				}
+			}
+		})
+	} else {
+		// Symmetric values: bucket each upper-triangle entry once and
+		// credit both (i, segment-of-j) and (j, segment-of-i) — the
+		// mirrored entry cmp[j][i] is the same value by construction.
+		// Serial: the mirrored increments cross row boundaries.
+		segIdx := make([]int32, ix.n)
+		for s, sg := range ix.segs {
+			for j := sg.Lo; j < sg.Hi; j++ {
+				segIdx[j] = int32(s)
+			}
+		}
+		for i := 0; i < ix.n; i++ {
+			row := ix.cmp[i*ix.n : (i+1)*ix.n]
+			si := int(segIdx[i])
+			for s, sg := range ix.segs {
+				lo := sg.Lo
+				if lo < i {
+					lo = i
+				}
+				base := (i*numS + s) * bb
+				for j := lo; j < sg.Hi; j++ {
+					v := row[j]
+					b := int(lut[math.Float64bits(v)>>48])
+					for b < numT && tcs[b] < v {
+						b++
+					}
+					hist[base+b]++
+					if j != i {
+						hist[(j*numS+si)*bb+b]++
+					}
+				}
+			}
+		}
+	}
+	counts := make([]int32, ix.n*numS*numT)
+	Sweep(ix.n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for s := 0; s < numS; s++ {
+				h := hist[(i*numS+s)*bb : (i*numS+s+1)*bb]
+				out := counts[(i*numS+s)*numT : (i*numS+s+1)*numT]
+				acc := int32(0)
+				for t := 0; t < numT; t++ {
+					acc += h[t]
+					out[t] = acc
+				}
+			}
+		}
+	})
+	ix.thresholds = tcs
+	ix.counts = counts
+}
+
+// segsTile reports whether segs are sorted, disjoint and cover [0, n).
+func segsTile(segs []Segment, n int) bool {
+	next := 0
+	for _, sg := range segs {
+		if sg.Lo != next || sg.Hi < sg.Lo {
+			return false
+		}
+		next = sg.Hi
+	}
+	return next == n
+}
+
+// N returns the reference-set size.
+func (ix *DistIndex) N() int { return ix.n }
+
+// Segments returns the number of segments.
+func (ix *DistIndex) Segments() int { return len(ix.segs) }
+
+// tauCmp translates a threshold into the comparable domain. ok == false
+// means no pair can qualify (the uncached comparator rejects everything,
+// e.g. a negative τ under L2).
+func (ix *DistIndex) tauCmp(tau float64) (tc float64, ok bool) {
+	switch ix.kind {
+	case ixL2:
+		if tau < 0 {
+			return 0, false
+		}
+		return tau * tau, true
+	case ixLInf:
+		if tau < 0 {
+			return 0, false
+		}
+		return tau, true
+	default:
+		return tau, true
+	}
+}
+
+// PairLE reports whether reference rows i and j are within tau — exactly
+// the value DistLE(space, pts[i], pts[j], tau) returns. No oracle charge.
+func (ix *DistIndex) PairLE(i, j int, tau float64) bool {
+	tc, ok := ix.tauCmp(tau)
+	return ok && ix.cmp[i*ix.n+j] <= tc
+}
+
+// CountRows returns how many of the given reference rows are within tau
+// of row q — exactly the value CountWithin(space, pts[q], set, tau)
+// returns for the point set of those rows (in any order). No oracle
+// charge.
+func (ix *DistIndex) CountRows(q int, rows []int32, tau float64) int {
+	tc, ok := ix.tauCmp(tau)
+	if !ok {
+		return 0
+	}
+	row := ix.cmp[q*ix.n : (q+1)*ix.n]
+	c := 0
+	for _, r := range rows {
+		if row[r] <= tc {
+			c++
+		}
+	}
+	return c
+}
+
+// CountRange returns how many reference rows in [lo, hi) are within tau
+// of row q, by a contiguous scan of the pair row. No oracle charge.
+func (ix *DistIndex) CountRange(q, lo, hi int, tau float64) int {
+	tc, ok := ix.tauCmp(tau)
+	if !ok {
+		return 0
+	}
+	return ix.countRangeCmp(q, lo, hi, tc)
+}
+
+// countRangeCmp is CountRange with the threshold already translated into
+// the comparable domain.
+func (ix *DistIndex) countRangeCmp(q, lo, hi int, tc float64) int {
+	row := ix.cmp[q*ix.n+lo : q*ix.n+hi]
+	c := 0
+	for _, v := range row {
+		if v <= tc {
+			c++
+		}
+	}
+	return c
+}
+
+// CountSegment returns how many reference rows of segment seg are within
+// tau of row q — the replacement for a CountWithin sweep over an intact
+// machine part. An O(1) table load when tau was registered through
+// RegisterThresholds, a binary search over the row's sorted segment when
+// EnsureSorted has run, otherwise a contiguous cmp-row scan (still free
+// of distance recomputation). No oracle charge.
+func (ix *DistIndex) CountSegment(q, seg int, tau float64) int {
+	tc, ok := ix.tauCmp(tau)
+	if !ok {
+		return 0
+	}
+	if ix.counts != nil {
+		if t := sort.SearchFloat64s(ix.thresholds, tc); t < len(ix.thresholds) && ix.thresholds[t] == tc {
+			return int(ix.counts[(q*len(ix.segs)+seg)*len(ix.thresholds)+t])
+		}
+	}
+	sg := ix.segs[seg]
+	if ix.sorted == nil {
+		return ix.countRangeCmp(q, sg.Lo, sg.Hi, tc)
+	}
+	srow := ix.sorted[q*ix.n+sg.Lo : q*ix.n+sg.Hi]
+	return sort.Search(len(srow), func(i int) bool { return srow[i] > tc })
+}
+
+// Segment returns the row range of segment seg.
+func (ix *DistIndex) Segment(seg int) Segment { return ix.segs[seg] }
+
+// ChargeCalls charges n oracle calls against space's Counting wrapper
+// (if any) for query point q — the logical cost of the scan an index
+// lookup replaced. It mirrors exactly what the batch kernels charge, so
+// indexed and uncached runs report identical oracle totals.
+func ChargeCalls(space Space, q Point, n int64) {
+	if cnt, ok := space.(*Counting); ok {
+		cnt.addCalls(q, n)
+	}
+}
+
+// sqDistCompat is the squared Euclidean distance computed in the exact
+// accumulation order of sqDistLE (single accumulator, blocks of four
+// added as one grouped expression) — also the order of the dim-2/dim-8
+// specializations in countWithinL2. The returned value v satisfies
+// v <= τ² ⟺ sqDistLE(a, b, τ²) for every τ.
+func sqDistCompat(a, b []float64) float64 {
+	if len(b) < len(a) {
+		a = a[:len(b)]
+	}
+	b = b[:len(a)]
+	var s float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		d0 := a[i] - b[i]
+		d1 := a[i+1] - b[i+1]
+		d2 := a[i+2] - b[i+2]
+		d3 := a[i+3] - b[i+3]
+		s += d0*d0 + d1*d1 + d2*d2 + d3*d3
+	}
+	for ; i < len(a); i++ {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// CompatSqDist exposes sqDistCompat for the kd-backed probe index
+// (internal/probe), whose pruned range counts must agree bit-for-bit
+// with sqDistLE-based scans.
+func CompatSqDist(a, b Point) float64 { return sqDistCompat(a, b) }
+
+// absDistCompat is the L1 distance computed in the exact accumulation
+// order of absDistLE (single accumulator, blocks of four grouped
+// left-to-right). Note absDist uses four independent accumulators and is
+// NOT the comparator order; the index must match the comparator.
+func absDistCompat(a, b []float64) float64 {
+	if len(b) < len(a) {
+		a = a[:len(b)]
+	}
+	b = b[:len(a)]
+	var s float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s += math.Abs(a[i]-b[i]) + math.Abs(a[i+1]-b[i+1]) +
+			math.Abs(a[i+2]-b[i+2]) + math.Abs(a[i+3]-b[i+3])
+	}
+	for ; i < len(a); i++ {
+		s += math.Abs(a[i] - b[i])
+	}
+	return s
+}

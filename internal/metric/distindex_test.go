@@ -1,0 +1,272 @@
+package metric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"parclust/internal/rng"
+)
+
+// genSegs splits [0, n) into a deterministic random tiling.
+func genSegs(r *rng.RNG, n int) []Segment {
+	var segs []Segment
+	lo := 0
+	for lo < n {
+		hi := lo + 1 + r.Intn(n-lo)
+		segs = append(segs, Segment{Lo: lo, Hi: hi})
+		lo = hi
+	}
+	if segs == nil {
+		segs = []Segment{{Lo: 0, Hi: 0}}
+	}
+	return segs
+}
+
+// indexSpaces are the spaces BuildDistIndex must accept; each must be
+// byte-identical to the uncached threshold path.
+func indexSpaces(t *testing.T) []Space {
+	ms, err := NewMatrixSpace([][]float64{
+		{0, 1, 2, 4},
+		{1, 0, 1, 3},
+		{2, 1, 0, 2},
+		{4, 3, 2, 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Space{L2{}, L1{}, LInf{}, Hamming{}, ms}
+}
+
+// genIndexPoints draws a point set valid for the given space (matrix
+// spaces index into their distance table).
+func genIndexPoints(r *rng.RNG, space Space, n int) []Point {
+	if ms, ok := space.(*MatrixSpace); ok {
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = ms.PointOf(r.Intn(4))
+		}
+		return pts
+	}
+	dim := 1 + r.Intn(12)
+	pts := make([]Point, n)
+	for i := range pts {
+		p := make(Point, dim)
+		for j := range p {
+			if r.Bernoulli(0.3) {
+				p[j] = float64(r.Intn(4))
+			} else {
+				p[j] = r.NormFloat64()
+			}
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// TestDistIndexMatchesUncached is the core byte-identity property: every
+// PairLE / CountRows / CountRange / CountSegment answer must equal the
+// corresponding DistLE / CountWithin result exactly — including negative
+// and tie-inducing thresholds — for every supported space, with and
+// without EnsureSorted.
+func TestDistIndexMatchesUncached(t *testing.T) {
+	for _, space := range indexSpaces(t) {
+		space := space
+		prop := func(seed uint64) bool {
+			r := rng.New(seed)
+			n := 1 + r.Intn(24)
+			pts := genIndexPoints(r, space, n)
+			segs := genSegs(r, n)
+			ix := BuildDistIndex(space, pts, segs, 0)
+			if ix == nil {
+				t.Fatalf("%s: BuildDistIndex declined a valid input", space.Name())
+			}
+			// Thresholds: random, negative, and exact pair distances (ties).
+			taus := []float64{math.Abs(r.NormFloat64()) * 2, -1, 0}
+			i0, j0 := r.Intn(n), r.Intn(n)
+			taus = append(taus, space.Dist(pts[i0], pts[j0]))
+			for pass := 0; pass < 3; pass++ {
+				switch pass {
+				case 1:
+					// Register a subset of the probe thresholds — plus
+					// duplicates and unmatchable junk — so CountSegment
+					// answers from the tables for taus[0] and taus[3]
+					// and still falls back for the rest.
+					ix.RegisterThresholds([]float64{
+						taus[0], taus[3], taus[0], -5,
+						math.NaN(), math.Inf(1),
+					})
+				case 2:
+					ix.EnsureSorted()
+					if !ix.Sorted() {
+						return false
+					}
+				}
+				for _, tau := range taus {
+					for i := 0; i < n; i++ {
+						for j := 0; j < n; j++ {
+							if ix.PairLE(i, j, tau) != DistLE(space, pts[i], pts[j], tau) {
+								return false
+							}
+						}
+						for s := range segs {
+							sg := segs[s]
+							set := FromPoints(pts[sg.Lo:sg.Hi])
+							want := CountWithin(space, pts[i], set, tau)
+							if ix.CountSegment(i, s, tau) != want {
+								return false
+							}
+							if ix.CountRange(i, sg.Lo, sg.Hi, tau) != want {
+								return false
+							}
+						}
+						// CountRows over a random row subset, any order.
+						rows := make([]int32, 0, n)
+						var sub []Point
+						for j := n - 1; j >= 0; j-- {
+							if r.Bernoulli(0.5) {
+								rows = append(rows, int32(j))
+								sub = append(sub, pts[j])
+							}
+						}
+						want := CountWithin(space, pts[i], FromPoints(sub), tau)
+						if ix.CountRows(i, rows, tau) != want {
+							return false
+						}
+					}
+				}
+			}
+			return true
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+			t.Errorf("%s: %v", space.Name(), err)
+		}
+	}
+}
+
+// TestDistIndexDeclines enumerates the inputs BuildDistIndex must refuse,
+// forcing callers onto the uncached path.
+func TestDistIndexDeclines(t *testing.T) {
+	pts := []Point{{1, 2}, {3, 4}}
+	segs := []Segment{{Lo: 0, Hi: 2}}
+	if BuildDistIndex(L2{}, nil, nil, 0) != nil {
+		t.Error("indexed an empty set")
+	}
+	if BuildDistIndex(L2{}, pts, segs, 1) != nil {
+		t.Error("exceeded maxPoints")
+	}
+	if BuildDistIndex(L2{}, pts, []Segment{{Lo: 0, Hi: 1}}, 0) != nil {
+		t.Error("accepted segments not tiling the set")
+	}
+	if BuildDistIndex(L2{}, pts, []Segment{{Lo: 1, Hi: 2}, {Lo: 0, Hi: 1}}, 0) != nil {
+		t.Error("accepted out-of-order segments")
+	}
+	if BuildDistIndex(L2{}, []Point{{1}, {2, 3}}, segs, 0) != nil {
+		t.Error("accepted ragged points")
+	}
+	if BuildDistIndex(L2{}, []Point{{}, {}}, segs, 0) != nil {
+		t.Error("accepted zero-dimensional points")
+	}
+	if BuildDistIndex(L2{}, []Point{{1, math.NaN()}, {0, 0}}, segs, 0) != nil {
+		t.Error("accepted NaN coordinates")
+	}
+	if BuildDistIndex(L2{}, []Point{{1, math.Inf(1)}, {0, 0}}, segs, 0) != nil {
+		t.Error("accepted infinite coordinates")
+	}
+	if BuildDistIndex(WeightedL2{W: []float64{1, 1}}, pts, segs, 0) != nil {
+		t.Error("accepted a space with an unanalyzed comparator")
+	}
+	// The Counting wrapper is stripped, not rejected — and building
+	// charges nothing.
+	cnt := NewCounting(L2{})
+	if ix := BuildDistIndex(cnt, pts, segs, 0); ix == nil {
+		t.Error("declined a Counting-wrapped supported space")
+	}
+	if got := cnt.Calls(); got != 0 {
+		t.Errorf("building charged %d oracle calls", got)
+	}
+}
+
+// TestChargeCalls verifies ChargeCalls mirrors the batch kernels: same
+// totals as the scan it replaces, no-op on unwrapped spaces.
+func TestChargeCalls(t *testing.T) {
+	r := rng.New(11)
+	pts := genIndexPoints(r, L2{}, 16)
+	q := pts[3]
+	set := FromPoints(pts)
+
+	cntScan := NewCounting(L2{})
+	CountWithin(cntScan, q, set, 1.0)
+
+	cntCharge := NewCounting(L2{})
+	ChargeCalls(cntCharge, q, int64(len(pts)))
+
+	if a, b := cntScan.Calls(), cntCharge.Calls(); a != b {
+		t.Fatalf("scan charged %d, ChargeCalls charged %d", a, b)
+	}
+	ChargeCalls(L2{}, q, 5) // must not panic without a Counting wrapper
+}
+
+// TestRegisterThresholdsEdges covers the registration paths the main
+// property cannot reach: an all-junk threshold list leaves the index
+// tableless, and re-registration replaces the previous tables.
+func TestRegisterThresholdsEdges(t *testing.T) {
+	r := rng.New(23)
+	pts := genIndexPoints(r, L2{}, 12)
+	segs := []Segment{{Lo: 0, Hi: 7}, {Lo: 7, Hi: 12}}
+	ix := BuildDistIndex(L2{}, pts, segs, 0)
+	if ix == nil {
+		t.Fatal("BuildDistIndex declined")
+	}
+	ix.RegisterThresholds([]float64{-1, math.NaN(), math.Inf(1)})
+	if ix.counts != nil {
+		t.Fatal("unmatchable thresholds built tables")
+	}
+	tau := L2{}.Dist(pts[0], pts[5])
+	ix.RegisterThresholds([]float64{tau})
+	if ix.counts == nil {
+		t.Fatal("no tables after registering a valid threshold")
+	}
+	want := CountWithin(L2{}, pts[0], FromPoints(pts[0:7]), tau)
+	if got := ix.CountSegment(0, 0, tau); got != want {
+		t.Fatalf("table count %d, want %d", got, want)
+	}
+	// Re-registration replaces the tables and answers for the new set.
+	ix.RegisterThresholds([]float64{tau * 0.5})
+	want = CountWithin(L2{}, pts[3], FromPoints(pts[7:12]), tau*0.5)
+	if got := ix.CountSegment(3, 1, tau*0.5); got != want {
+		t.Fatalf("re-registered count %d, want %d", got, want)
+	}
+	// The old threshold now takes the scan path — same answer regardless.
+	want = CountWithin(L2{}, pts[0], FromPoints(pts[0:7]), tau)
+	if got := ix.CountSegment(0, 0, tau); got != want {
+		t.Fatalf("fallback count %d, want %d", got, want)
+	}
+}
+
+// TestCompatOrders pins the compat accumulators to the comparator
+// versions: v <= τ ⟺ comparator(a, b, τ) for thresholds equal to the
+// value itself and its floating-point neighbors.
+func TestCompatOrders(t *testing.T) {
+	prop := func(seed uint64) bool {
+		r := rng.New(seed)
+		pts := genIndexPoints(r, L2{}, 2)
+		a, b := pts[0], pts[1]
+		sq := CompatSqDist(a, b)
+		l1 := absDistCompat(a, b)
+		for _, tauSq := range []float64{sq, math.Nextafter(sq, 0), math.Nextafter(sq, math.Inf(1))} {
+			if (sq <= tauSq) != sqDistLE(a, b, tauSq) {
+				return false
+			}
+		}
+		for _, tau := range []float64{l1, math.Nextafter(l1, 0), math.Nextafter(l1, math.Inf(1))} {
+			if (l1 <= tau) != absDistLE(a, b, tau) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -31,6 +31,7 @@ package mpc
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -171,6 +172,16 @@ type Cluster struct {
 
 	enforceBudgets bool
 
+	// tasks feeds the persistent worker pool shared by Superstep and
+	// Local: min(GOMAXPROCS, m) goroutines started at construction and
+	// shut down by a finalizer, replacing m goroutine spawns per round.
+	tasks chan func()
+
+	// sentScratch/recvScratch are the per-round accounting vectors,
+	// zeroed and refilled each superstep instead of reallocated.
+	sentScratch []int64
+	recvScratch []int64
+
 	memMu    sync.Mutex
 	roundMem int64 // largest NoteMemory value during the current round
 
@@ -191,6 +202,8 @@ func NewCluster(m int, seed uint64, opts ...Option) *Cluster {
 			SentWords: make([]int64, m),
 			RecvWords: make([]int64, m),
 		},
+		sentScratch: make([]int64, m),
+		recvScratch: make([]int64, m),
 	}
 	base := rng.New(seed)
 	c.machines = make([]*Machine, m)
@@ -204,7 +217,52 @@ func NewCluster(m int, seed uint64, opts ...Option) *Cluster {
 	for _, opt := range opts {
 		opt(c)
 	}
+	c.startWorkers()
 	return c
+}
+
+// startWorkers launches the persistent pool. The workers reference only
+// the task channel — not the cluster — so an unreachable Cluster is
+// collectable; its finalizer closes the channel and the workers exit.
+func (c *Cluster) startWorkers() {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > c.m {
+		workers = c.m
+	}
+	c.tasks = make(chan func(), c.m)
+	for i := 0; i < workers; i++ {
+		go func(tasks <-chan func()) {
+			for task := range tasks {
+				task()
+			}
+		}(c.tasks)
+	}
+	runtime.SetFinalizer(c, func(cl *Cluster) { close(cl.tasks) })
+}
+
+// runAll executes task for every machine on the worker pool and blocks
+// until all complete. A panic inside one machine's task is converted to
+// an error via fail — a bug in algorithm code fails the round (or Local
+// block) instead of killing the whole simulated cluster. fail is invoked
+// at most once per machine, from that machine's worker goroutine.
+func (c *Cluster) runAll(task func(i int, mc *Machine) error, fail func(i int, mc *Machine, err error)) {
+	var wg sync.WaitGroup
+	wg.Add(c.m)
+	for i, mach := range c.machines {
+		i, mc := i, mach
+		c.tasks <- func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					fail(i, mc, fmt.Errorf("panic: %v", r))
+				}
+			}()
+			if err := task(i, mc); err != nil {
+				fail(i, mc, err)
+			}
+		}
+	}
+	wg.Wait()
 }
 
 // NumMachines returns the cluster size m.
@@ -215,11 +273,20 @@ func (c *Cluster) Stats() Stats { return c.stats.clone() }
 
 // ResetStats zeroes all accumulated statistics (rounds, communication,
 // memory notes) without touching machine RNG streams or pending messages.
+// The per-machine vectors are zeroed in place — callers holding a prior
+// Stats() snapshot are unaffected (Stats always copies).
 func (c *Cluster) ResetStats() {
-	c.stats = Stats{
-		SentWords: make([]int64, c.m),
-		RecvWords: make([]int64, c.m),
+	for i := range c.stats.SentWords {
+		c.stats.SentWords[i] = 0
+		c.stats.RecvWords[i] = 0
 	}
+	c.stats.Rounds = 0
+	c.stats.MaxRoundSent = 0
+	c.stats.MaxRoundRecv = 0
+	c.stats.TotalWords = 0
+	c.stats.MaxMemoryWords = 0
+	clear(c.stats.PerRound) // drop payload references before reuse
+	c.stats.PerRound = c.stats.PerRound[:0]
 }
 
 func (c *Cluster) noteMemory(words int64) {
@@ -245,41 +312,44 @@ func (c *Cluster) Superstep(name string, fn func(m *Machine) error) error {
 	c.roundMem = 0
 	c.memMu.Unlock()
 
-	// Deliver pending messages.
+	// Deliver pending messages. The queue phase below walks machines in
+	// id order, so pending[i] is already sorted by sender; the scan is a
+	// cheap invariant check that replaces the former per-round sort (the
+	// defensive re-sort fires only if a future queuing path breaks the
+	// order, preserving the documented inbox contract).
 	for i, mach := range c.machines {
 		msgs := c.pending[i]
-		sort.SliceStable(msgs, func(a, b int) bool { return msgs[a].From < msgs[b].From })
+		if !sortedBySender(msgs) {
+			sort.SliceStable(msgs, func(a, b int) bool { return msgs[a].From < msgs[b].From })
+		}
+		// Recycle the machine's previous inbox as the next pending
+		// buffer: its ownership window (the superstep it was delivered
+		// to) has ended. Clearing drops payload references.
+		prev := mach.inbox
+		clear(prev[:cap(prev)])
+		c.pending[i] = prev[:0]
 		mach.inbox = msgs
-		mach.outbox = nil
 		mach.sentWords = 0
 		mach.err = nil
-		c.pending[i] = nil
 	}
 
-	// Run all machines concurrently. A panic inside one machine is
-	// converted to that machine's error so a bug in algorithm code fails
-	// the round instead of killing the whole simulated cluster.
-	var wg sync.WaitGroup
-	wg.Add(c.m)
-	for _, mach := range c.machines {
-		go func(mc *Machine) {
-			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					mc.fail(fmt.Errorf("panic: %v", r))
-				}
-			}()
-			if err := fn(mc); err != nil {
-				mc.fail(err)
-			}
-		}(mach)
-	}
-	wg.Wait()
+	// Run all machines concurrently on the worker pool; panics become
+	// the machine's error.
+	c.runAll(
+		func(_ int, mc *Machine) error { return fn(mc) },
+		func(_ int, mc *Machine, err error) { mc.fail(err) },
+	)
 
-	// Account the round.
+	// Account the round into the reusable scratch vectors. The
+	// RoundStats retained in Stats.PerRound carries per-machine vectors
+	// only when a Tracer or TraceRecorder consumes them (see stats.go).
 	rs := RoundStats{Name: name}
-	sentWords := make([]int64, c.m)
-	recvWords := make([]int64, c.m)
+	sentWords := c.sentScratch
+	recvWords := c.recvScratch
+	for i := range sentWords {
+		sentWords[i] = 0
+		recvWords[i] = 0
+	}
 	for _, mach := range c.machines {
 		sentWords[mach.id] = mach.sentWords
 		for _, om := range mach.outbox {
@@ -310,8 +380,10 @@ func (c *Cluster) Superstep(name string, fn func(m *Machine) error) error {
 			}
 		}
 	}
-	rs.Sent = sentWords
-	rs.Recv = recvWords
+	if c.tracer != nil || c.recorder != nil {
+		rs.Sent = append([]int64(nil), sentWords...)
+		rs.Recv = append([]int64(nil), recvWords...)
+	}
 	rs.Collective = classifyCollective(c.machines, c.m, rs.TotalWords)
 	c.memMu.Lock()
 	rs.MemoryWords = c.roundMem
@@ -334,41 +406,70 @@ func (c *Cluster) Superstep(name string, fn func(m *Machine) error) error {
 	}
 
 	if firstErr != nil {
+		// Discard queued messages; the outbox buffers stay with their
+		// machines for reuse.
+		for _, mach := range c.machines {
+			resetOutbox(mach)
+		}
 		return firstErr
 	}
 
-	// Queue outboxes for the next round.
+	// Queue outboxes for the next round, walking machines in id order —
+	// the invariant the delivery-phase sortedness check relies on.
 	for _, mach := range c.machines {
 		for _, om := range mach.outbox {
 			c.pending[om.dst] = append(c.pending[om.dst], Message{From: mach.id, Payload: om.payload})
 		}
-		mach.outbox = nil
+		resetOutbox(mach)
 	}
 	return nil
+}
+
+// sortedBySender reports whether msgs are ordered by ascending sender id.
+func sortedBySender(msgs []Message) bool {
+	for i := 1; i < len(msgs); i++ {
+		if msgs[i].From < msgs[i-1].From {
+			return false
+		}
+	}
+	return true
+}
+
+// resetOutbox empties a machine's outbox, clearing payload references but
+// keeping the buffer for the next round.
+func resetOutbox(m *Machine) {
+	clear(m.outbox[:cap(m.outbox)])
+	m.outbox = m.outbox[:0]
 }
 
 // Local runs fn concurrently on every machine without counting an MPC
 // round and without delivering or accepting messages; Send from within a
 // Local block is an error. It is intended for free local computation such
 // as loading input partitions, which the MPC model does not charge for.
+// As in Superstep, a panic inside one machine's fn is converted to that
+// machine's error (the outbox is restored either way) instead of killing
+// the simulated cluster.
 func (c *Cluster) Local(fn func(m *Machine) error) error {
-	var wg sync.WaitGroup
 	errs := make([]error, c.m)
-	wg.Add(c.m)
-	for i, mach := range c.machines {
-		go func(i int, mc *Machine) {
-			defer wg.Done()
+	c.runAll(
+		func(i int, mc *Machine) error {
 			saved := mc.outbox
 			mc.outbox = nil
+			defer func() { mc.outbox = saved }()
 			if err := fn(mc); err != nil {
-				errs[i] = err
-			} else if len(mc.outbox) > 0 {
-				errs[i] = fmt.Errorf("mpc: machine %d called Send inside Local", i)
+				return err
 			}
-			mc.outbox = saved
-		}(i, mach)
-	}
-	wg.Wait()
+			if len(mc.outbox) > 0 {
+				return fmt.Errorf("machine %d called Send inside Local", i)
+			}
+			return nil
+		},
+		func(i int, _ *Machine, err error) {
+			if errs[i] == nil {
+				errs[i] = err
+			}
+		},
+	)
 	for i, err := range errs {
 		if err != nil {
 			return fmt.Errorf("mpc: machine %d in Local: %w", i, err)

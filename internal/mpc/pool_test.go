@@ -1,0 +1,204 @@
+package mpc
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLocalPanicRecovered: a panic inside a Local block must become that
+// machine's error — same contract as Superstep — and leave the cluster
+// usable with outboxes intact.
+func TestLocalPanicRecovered(t *testing.T) {
+	c := NewCluster(3, 1)
+	// Queue a message so machine 1 has a non-empty outbox to restore.
+	if err := c.Superstep("pre", func(m *Machine) error {
+		if m.ID() == 1 {
+			m.Send(2, Int(7))
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	err := c.Local(func(m *Machine) error {
+		if m.ID() == 1 {
+			panic("local exploded")
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "local exploded") {
+		t.Fatalf("Local panic not converted to error: %v", err)
+	}
+	// The queued message must still be delivered next round: the panic
+	// path restored the saved outbox before unwinding.
+	got := 0
+	if err := c.Superstep("post", func(m *Machine) error {
+		if m.ID() == 2 {
+			got = len(m.Inbox())
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("message lost across recovered Local panic: inbox %d", got)
+	}
+}
+
+// TestInboxReuseIsSafe drives many rounds of varying traffic to exercise
+// the recycled inbox/pending buffers: every round must deliver exactly
+// the messages queued for it, in sender order, with no leakage from
+// earlier rounds.
+func TestInboxReuseIsSafe(t *testing.T) {
+	const m = 4
+	c := NewCluster(m, 5)
+	for round := 0; round < 12; round++ {
+		round := round
+		want := make([][]int, m) // want[dst]: expected senders, ascending
+		for src := 0; src < m; src++ {
+			for dst := 0; dst < m; dst++ {
+				if (src+dst+round)%3 == 0 {
+					want[dst] = append(want[dst], src)
+				}
+			}
+		}
+		err := c.Superstep("traffic", func(mc *Machine) error {
+			// Check this round's inbox matches the previous round's plan.
+			if round > 0 {
+				_ = mc.Inbox()
+			}
+			for dst := 0; dst < m; dst++ {
+				if (mc.ID()+dst+round)%3 == 0 {
+					mc.Send(dst, Int(100*round+mc.ID()))
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Verify delivery in a follow-up round.
+		err = c.Superstep("verify", func(mc *Machine) error {
+			inbox := mc.Inbox()
+			exp := want[mc.ID()]
+			if len(inbox) != len(exp) {
+				t.Errorf("round %d machine %d: %d messages, want %d", round, mc.ID(), len(inbox), len(exp))
+				return nil
+			}
+			for i, msg := range inbox {
+				if msg.From != exp[i] {
+					t.Errorf("round %d machine %d msg %d: from %d, want %d (sender order violated)",
+						round, mc.ID(), i, msg.From, exp[i])
+				}
+				if int(msg.Payload.(Int)) != 100*round+exp[i] {
+					t.Errorf("round %d machine %d: stale payload %v", round, mc.ID(), msg.Payload)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSortedBySender pins the invariant check that replaced the
+// per-round sort.
+func TestSortedBySender(t *testing.T) {
+	if !sortedBySender(nil) || !sortedBySender([]Message{{From: 2}}) {
+		t.Fatal("trivial inboxes reported unsorted")
+	}
+	if !sortedBySender([]Message{{From: 0}, {From: 0}, {From: 3}}) {
+		t.Fatal("sorted inbox reported unsorted")
+	}
+	if sortedBySender([]Message{{From: 1}, {From: 0}}) {
+		t.Fatal("inversion not detected")
+	}
+}
+
+// TestResetStatsInPlace: ResetStats must zero everything while prior
+// Stats snapshots keep their values.
+func TestResetStatsInPlace(t *testing.T) {
+	c := NewCluster(2, 9)
+	if err := c.Superstep("s", func(m *Machine) error {
+		m.Send(0, Ints{1, 2, 3})
+		m.NoteMemory(42)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	snap := c.Stats()
+	c.ResetStats()
+	after := c.Stats()
+	if after.Rounds != 0 || after.TotalWords != 0 || after.MaxRoundSent != 0 ||
+		after.MaxRoundRecv != 0 || after.MaxMemoryWords != 0 || len(after.PerRound) != 0 {
+		t.Fatalf("ResetStats left residue: %+v", after)
+	}
+	for i := range after.SentWords {
+		if after.SentWords[i] != 0 || after.RecvWords[i] != 0 {
+			t.Fatalf("per-machine words not zeroed: %+v", after)
+		}
+	}
+	if snap.Rounds != 1 || snap.TotalWords != 6 || snap.SentWords[0] != 3 {
+		t.Fatalf("snapshot mutated by ResetStats: %+v", snap)
+	}
+	// The cluster keeps working after a reset.
+	if err := c.Superstep("s2", func(m *Machine) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().Rounds != 1 {
+		t.Fatalf("rounds after reset: %d", c.Stats().Rounds)
+	}
+}
+
+// TestPerRoundVectorsOnlyWhenObserved: the per-machine Sent/Recv vectors
+// are allocated only for Tracer/TraceRecorder consumers.
+func TestPerRoundVectorsOnlyWhenObserved(t *testing.T) {
+	plain := NewCluster(2, 1)
+	if err := plain.Superstep("s", func(m *Machine) error {
+		m.Send(0, Int(1))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rs := plain.Stats().PerRound[0]
+	if rs.Sent != nil || rs.Recv != nil {
+		t.Fatalf("untraced round allocated Sent/Recv: %+v", rs)
+	}
+	if rs.MaxSent != 1 || rs.TotalWords != 2 {
+		t.Fatalf("aggregates wrong without vectors: %+v", rs)
+	}
+
+	rec := NewTraceRecorder()
+	traced := NewCluster(2, 1, WithRecorder(rec))
+	if err := traced.Superstep("s", func(m *Machine) error {
+		m.Send(0, Int(1))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ev := rec.Events()[0]
+	if len(ev.SentWords) != 2 || len(ev.RecvWords) != 2 {
+		t.Fatalf("traced round missing vectors: %+v", ev)
+	}
+	if ev.SentWords[1] != 1 || ev.RecvWords[0] != 2 {
+		t.Fatalf("traced vectors wrong: %+v", ev)
+	}
+}
+
+// TestWorkerPoolSurvivesManyClusters creates and abandons clusters to
+// make sure pool startup is cheap and nothing deadlocks when many pools
+// coexist.
+func TestWorkerPoolSurvivesManyClusters(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		c := NewCluster(1+i%8, uint64(i))
+		if err := c.Superstep("s", func(m *Machine) error {
+			m.Broadcast(Int(m.ID()))
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Local(func(m *Machine) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

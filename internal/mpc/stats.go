@@ -26,8 +26,11 @@ type RoundStats struct {
 	// TotalWords is the total words sent by all machines this round.
 	TotalWords int64
 	// Sent[i] and Recv[i] are the words machine i sent and received this
-	// round. The slices are shared, never mutated after the round
-	// completes, and have cluster-size length.
+	// round. Populated (cluster-size length) only when a Tracer or
+	// TraceRecorder is installed — they are the only consumers — and nil
+	// otherwise, so untraced runs skip two per-round allocations. When
+	// present the slices are shared and never mutated after the round
+	// completes.
 	Sent []int64
 	Recv []int64
 	// MemoryWords is the largest NoteMemory value recorded while this

@@ -1,0 +1,303 @@
+// Package probe provides the per-Solve probe acceleration context the
+// τ-ladder algorithms (kcenter, diversity, ksupplier) thread into their
+// k-bounded MIS probes. A Context pins the instance's point set as a
+// reference, precomputes comparable-domain pair distances once
+// (metric.DistIndex), and answers the threshold queries every ladder rung
+// repeats — pair adjacency tests, neighbor counts against a sample, and
+// counts against an intact machine part — without recomputing a single
+// distance. For reference sets too large for the matrix, an
+// internal/kdtree-backed index (L2 point sets only) still accelerates
+// intact-part counts with byte-safe pruned range queries.
+//
+// Two invariants make the context transparent to callers:
+//
+//  1. Byte-identity: every answered query equals the uncached
+//     metric.DistLE / metric.CountWithin result bit-for-bit (see the
+//     contract in metric/distindex.go), and every query that cannot be
+//     answered identically is declined so the caller falls back to the
+//     uncached path.
+//  2. Oracle accounting: each answered query charges the instance
+//     space's Counting wrapper exactly what the scan it replaced would
+//     have charged — one call per pair tested — so EXPERIMENTS and
+//     budget reports are unchanged.
+//
+// A Context is immutable after NewContext and safe for concurrent use by
+// the simulator's machine goroutines.
+package probe
+
+import (
+	"math"
+	"sort"
+
+	"parclust/internal/instance"
+	"parclust/internal/kdtree"
+	"parclust/internal/metric"
+)
+
+// Options configures NewContext.
+type Options struct {
+	// Disable makes NewContext return nil, forcing every caller down the
+	// uncached path (the opt-out flag surfaced by the ladder configs).
+	Disable bool
+	// MaxMatrixPoints caps the reference-set size for the full pair
+	// matrix; ≤ 0 selects metric.DefaultIndexCap. Larger L2 instances
+	// fall back to the kd-tree index.
+	MaxMatrixPoints int
+	// SortSegments additionally builds the per-row per-segment sorted
+	// arrays, turning intact-part counts into binary searches. Off by
+	// default: sorting costs Θ(log(n/m)) comparisons per reference pair
+	// and only wins once each (row, segment) is counted more than
+	// ~log(n/m) times — deeper ladders than the default ε = 0.1 runs
+	// (measured crossover in docs/PERFORMANCE.md).
+	SortSegments bool
+	// Thresholds lists every τ the ladder will probe, known to the
+	// drivers before the first probe. Matrix mode precomputes the
+	// per-(row, segment) counts at each of them
+	// (metric.DistIndex.RegisterThresholds), so the intact-part counts
+	// that dominate the MIS degree rounds become O(1) table loads instead
+	// of segment scans. Queries at other τ values, and kd mode, are
+	// unaffected; answers never change either way.
+	Thresholds []float64
+}
+
+// Context is the probe acceleration state for one instance. The zero
+// value is not used; a nil *Context is a valid receiver for every query
+// method except DistLE and declines all queries.
+type Context struct {
+	space metric.Space
+	ix    *metric.DistIndex // matrix mode; nil in kd mode
+	trees []*kdtree.Tree    // kd mode, one per segment (nil for empty parts)
+	dim   int               // uniform dimension in kd mode
+	// segIDs[i] is machine i's id slice in reference order, the
+	// intactness witness for segment counts.
+	segIDs [][]int
+	// rowDense maps global id → reference row (-1 absent) when ids are
+	// dense, as instance.New assigns them; rowMap is the sparse fallback.
+	rowDense []int32
+	rowMap   map[int]int32
+}
+
+// NewContext builds the acceleration context for in, or returns nil when
+// opt.Disable is set, the space/point set supports neither index mode,
+// or the instance is empty. Building performs no oracle charges and no
+// MPC rounds: it models each machine indexing its local part against the
+// broadcast reference, driver-side.
+func NewContext(in *instance.Instance, opt Options) *Context {
+	if opt.Disable || in == nil || in.N == 0 {
+		return nil
+	}
+	pts, ids := in.All()
+	segs := make([]metric.Segment, len(in.Parts))
+	off := 0
+	for i, part := range in.Parts {
+		segs[i] = metric.Segment{Lo: off, Hi: off + len(part)}
+		off += len(part)
+	}
+	segIDs := make([][]int, len(in.IDs))
+	for i, s := range in.IDs {
+		segIDs[i] = append([]int(nil), s...)
+	}
+	pc := &Context{space: in.Space, segIDs: segIDs}
+	pc.ix = metric.BuildDistIndex(in.Space, pts, segs, opt.MaxMatrixPoints)
+	if pc.ix == nil {
+		if !pc.buildKD(in, pts) {
+			return nil
+		}
+	} else {
+		if opt.SortSegments {
+			pc.ix.EnsureSorted()
+		}
+		if len(opt.Thresholds) > 0 {
+			pc.ix.RegisterThresholds(opt.Thresholds)
+		}
+	}
+	pc.buildRowLookup(ids)
+	return pc
+}
+
+// buildKD attempts the kd-tree fallback: one tree per machine part,
+// available only for L2 over uniform finite coordinates.
+func (pc *Context) buildKD(in *instance.Instance, pts []metric.Point) bool {
+	inner := in.Space
+	if cnt, ok := inner.(*metric.Counting); ok {
+		inner = cnt.Inner
+	}
+	if _, ok := inner.(metric.L2); !ok {
+		return false
+	}
+	dim := len(pts[0])
+	if dim == 0 {
+		return false
+	}
+	for _, p := range pts {
+		if len(p) != dim {
+			return false
+		}
+		for _, x := range p {
+			if math.IsInf(x, 0) || math.IsNaN(x) {
+				return false
+			}
+		}
+	}
+	pc.dim = dim
+	pc.trees = make([]*kdtree.Tree, len(in.Parts))
+	for i, part := range in.Parts {
+		if len(part) > 0 {
+			pc.trees[i] = kdtree.Build(part)
+		}
+	}
+	return true
+}
+
+// buildRowLookup indexes global id → reference row, preferring a dense
+// array (instance.New ids are contiguous) over a map.
+func (pc *Context) buildRowLookup(ids []int) {
+	maxID := -1
+	for _, id := range ids {
+		if id < 0 {
+			maxID = -1
+			break
+		}
+		if id > maxID {
+			maxID = id
+		}
+	}
+	if maxID >= 0 && maxID < 4*len(ids)+64 {
+		pc.rowDense = make([]int32, maxID+1)
+		for i := range pc.rowDense {
+			pc.rowDense[i] = -1
+		}
+		for row, id := range ids {
+			pc.rowDense[id] = int32(row)
+		}
+		return
+	}
+	pc.rowMap = make(map[int]int32, len(ids))
+	for row, id := range ids {
+		pc.rowMap[id] = int32(row)
+	}
+}
+
+// rowOf returns the reference row of a global id, or -1.
+func (pc *Context) rowOf(id int) int32 {
+	if pc.rowDense != nil {
+		if id >= 0 && id < len(pc.rowDense) {
+			return pc.rowDense[id]
+		}
+		return -1
+	}
+	if r, ok := pc.rowMap[id]; ok {
+		return r
+	}
+	return -1
+}
+
+// Enabled reports whether the context can answer any query.
+func (pc *Context) Enabled() bool { return pc != nil }
+
+// Rows maps global ids to reference rows for CountRows. It returns nil —
+// and the caller must scan uncached — when the pair matrix is
+// unavailable (kd mode) or any id is unknown. The rows come back sorted:
+// CountRows is count-only, so order is free, and ascending offsets keep
+// the gather over the pair row prefetch-friendly when many queries reuse
+// one mapping.
+func (pc *Context) Rows(ids []int) []int32 {
+	if pc == nil || pc.ix == nil {
+		return nil
+	}
+	rows := make([]int32, len(ids))
+	for t, id := range ids {
+		r := pc.rowOf(id)
+		if r < 0 {
+			return nil
+		}
+		rows[t] = r
+	}
+	sort.Slice(rows, func(a, b int) bool { return rows[a] < rows[b] })
+	return rows
+}
+
+// SegmentIntact reports whether machine seg's active id slice still
+// equals the reference segment — true on the first iteration of every
+// MIS run (each probe restarts from the full instance), which is exactly
+// when parts are largest and segment counts pay most.
+func (pc *Context) SegmentIntact(seg int, ids []int) bool {
+	if pc == nil || seg < 0 || seg >= len(pc.segIDs) {
+		return false
+	}
+	ref := pc.segIDs[seg]
+	if len(ids) != len(ref) {
+		return false
+	}
+	for t, id := range ids {
+		if ref[t] != id {
+			return false
+		}
+	}
+	return true
+}
+
+// CountSegment counts the points of reference segment seg within tau of
+// q (whose global id is qID), charging one oracle call per segment point
+// exactly as the CountWithin sweep it replaces. ok == false declines the
+// query (unknown id, or a kd-mode query of the wrong dimension) and
+// charges nothing.
+func (pc *Context) CountSegment(q metric.Point, qID, seg int, tau float64) (int, bool) {
+	if pc == nil {
+		return 0, false
+	}
+	if pc.ix != nil {
+		r := pc.rowOf(qID)
+		if r < 0 {
+			return 0, false
+		}
+		sg := pc.ix.Segment(seg)
+		metric.ChargeCalls(pc.space, q, int64(sg.Hi-sg.Lo))
+		return pc.ix.CountSegment(int(r), seg, tau), true
+	}
+	if len(q) != pc.dim {
+		return 0, false
+	}
+	t := pc.trees[seg]
+	if t == nil {
+		return 0, true
+	}
+	metric.ChargeCalls(pc.space, q, int64(t.Len()))
+	if tau < 0 {
+		// Matches CountWithin's kL2 branch: charge n, count nothing.
+		return 0, true
+	}
+	return t.CountWithinSq(q, tau*tau), true
+}
+
+// CountRows counts the given reference rows within tau of q (global id
+// qID), charging one oracle call per row. ok == false declines the query
+// and charges nothing.
+func (pc *Context) CountRows(q metric.Point, qID int, rows []int32, tau float64) (int, bool) {
+	if pc == nil || pc.ix == nil || rows == nil {
+		return 0, false
+	}
+	r := pc.rowOf(qID)
+	if r < 0 {
+		return 0, false
+	}
+	metric.ChargeCalls(pc.space, q, int64(len(rows)))
+	return pc.ix.CountRows(int(r), rows, tau), true
+}
+
+// DistLE is the pair test of the MIS inner loops: answered from the
+// matrix when both ids resolve, otherwise by the uncached oracle. Either
+// way exactly one oracle call is charged, as metric.DistLE through a
+// Counting wrapper charges one. Unlike the query methods, DistLE
+// requires a non-nil receiver (its fallback needs the context's space);
+// callers without a context call metric.DistLE directly.
+func (pc *Context) DistLE(aID int, a metric.Point, bID int, b metric.Point, tau float64) bool {
+	if pc.ix != nil {
+		ra, rb := pc.rowOf(aID), pc.rowOf(bID)
+		if ra >= 0 && rb >= 0 {
+			metric.ChargeCalls(pc.space, a, 1)
+			return pc.ix.PairLE(int(ra), int(rb), tau)
+		}
+	}
+	return metric.DistLE(pc.space, a, b, tau)
+}

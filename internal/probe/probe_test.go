@@ -1,0 +1,205 @@
+package probe
+
+import (
+	"testing"
+	"testing/quick"
+
+	"parclust/internal/instance"
+	"parclust/internal/metric"
+	"parclust/internal/rng"
+	"parclust/internal/workload"
+)
+
+// buildInstance partitions a Gaussian workload round-robin over m
+// machines under the given space, wrapped in a Counting oracle.
+func buildInstance(seed uint64, space metric.Space, n, m int) (*instance.Instance, *metric.Counting) {
+	r := rng.New(seed)
+	pts := workload.GaussianMixture(r, n, 4, 3, 10, 1.5)
+	cnt := metric.NewCounting(space)
+	parts := workload.PartitionRoundRobin(nil, pts, m)
+	return instance.New(cnt, parts), cnt
+}
+
+func TestNewContextModes(t *testing.T) {
+	in, _ := buildInstance(1, metric.L2{}, 60, 4)
+	if pc := NewContext(in, Options{Disable: true}); pc != nil {
+		t.Fatal("Disable did not return nil")
+	}
+	if pc := NewContext(nil, Options{}); pc.Enabled() {
+		t.Fatal("nil instance produced an enabled context")
+	}
+	pc := NewContext(in, Options{})
+	if pc == nil || pc.ix == nil {
+		t.Fatal("matrix mode not selected for a small L2 instance")
+	}
+	// Cap below n forces kd mode for L2.
+	kd := NewContext(in, Options{MaxMatrixPoints: 10})
+	if kd == nil || kd.ix != nil || kd.trees == nil {
+		t.Fatal("kd fallback not selected when the matrix is capped")
+	}
+	// Non-L2 spaces have no kd fallback: capped means no context.
+	inL1, _ := buildInstance(1, metric.L1{}, 60, 4)
+	if NewContext(inL1, Options{MaxMatrixPoints: 10}) != nil {
+		t.Fatal("kd fallback wrongly offered for L1")
+	}
+	if s := NewContext(in, Options{SortSegments: true}); s == nil || !s.ix.Sorted() {
+		t.Fatal("SortSegments did not presort the index")
+	}
+}
+
+func TestSegmentIntact(t *testing.T) {
+	in, _ := buildInstance(2, metric.L2{}, 24, 3)
+	pc := NewContext(in, Options{})
+	for i := range in.IDs {
+		if !pc.SegmentIntact(i, in.IDs[i]) {
+			t.Fatalf("segment %d not intact against its own ids", i)
+		}
+	}
+	short := in.IDs[0][:len(in.IDs[0])-1]
+	if pc.SegmentIntact(0, short) {
+		t.Fatal("shorter id slice reported intact")
+	}
+	perm := append([]int(nil), in.IDs[0]...)
+	perm[0], perm[1] = perm[1], perm[0]
+	if pc.SegmentIntact(0, perm) {
+		t.Fatal("permuted id slice reported intact")
+	}
+	if pc.SegmentIntact(-1, nil) || pc.SegmentIntact(99, nil) {
+		t.Fatal("out-of-range segment reported intact")
+	}
+	// Mutating the caller's id slice must not corrupt the witness.
+	saved := in.IDs[1][0]
+	in.IDs[1][0] = -7
+	if pc.SegmentIntact(1, in.IDs[1]) {
+		t.Fatal("context aliased the instance id slices")
+	}
+	in.IDs[1][0] = saved
+}
+
+// TestQueriesMatchUncached is the context-level byte-identity and
+// charge-parity property, in both matrix and kd modes.
+func TestQueriesMatchUncached(t *testing.T) {
+	for _, mode := range []struct {
+		name        string
+		opt         Options
+		registerTau bool
+	}{
+		{"matrix", Options{}, false},
+		{"matrix-sorted", Options{SortSegments: true}, false},
+		{"matrix-tables", Options{}, true},
+		{"kd", Options{MaxMatrixPoints: 8}, false},
+	} {
+		mode := mode
+		t.Run(mode.name, func(t *testing.T) {
+			prop := func(seed uint64) bool {
+				in, cnt := buildInstance(seed, metric.L2{}, 40, 3)
+				r := rng.New(seed ^ 0x9e3779b97f4a7c15)
+				tau := r.NormFloat64()
+				if r.Bernoulli(0.2) {
+					tau = -tau
+				}
+				opt := mode.opt
+				if mode.registerTau {
+					// The production configuration: the driver registers
+					// every ladder τ it will probe, here just this one.
+					opt.Thresholds = []float64{tau}
+				}
+				pc := NewContext(in, opt)
+				if pc == nil {
+					t.Fatal("no context")
+				}
+				pts, ids := in.All()
+				// Segment counts vs uncached CountWithin on every part.
+				for sidx := range in.Parts {
+					q := pts[r.Intn(len(pts))]
+					qID := ids[r.Intn(len(ids))]
+					// Re-derive q from its id so q and qID agree.
+					q = in.PointByID(qID)
+					before := cnt.Calls()
+					got, ok := pc.CountSegment(q, qID, sidx, tau)
+					charged := cnt.Calls() - before
+					before = cnt.Calls()
+					want := metric.CountWithin(in.Space, q, metric.FromPoints(in.Parts[sidx]), tau)
+					wantCharge := cnt.Calls() - before
+					if !ok {
+						t.Fatalf("seed %d: CountSegment declined", seed)
+					}
+					if got != want || charged != wantCharge {
+						t.Logf("seed %d seg %d: got %d/%d charges, want %d/%d",
+							seed, sidx, got, charged, want, wantCharge)
+						return false
+					}
+				}
+				// Row-subset counts (matrix mode only).
+				sub := make([]int, 0, len(ids))
+				var subPts []metric.Point
+				for i := len(ids) - 1; i >= 0; i-- {
+					if r.Bernoulli(0.4) {
+						sub = append(sub, ids[i])
+						subPts = append(subPts, pts[i])
+					}
+				}
+				rows := pc.Rows(sub)
+				qID := ids[r.Intn(len(ids))]
+				q := in.PointByID(qID)
+				if rows != nil {
+					before := cnt.Calls()
+					got, ok := pc.CountRows(q, qID, rows, tau)
+					charged := cnt.Calls() - before
+					before = cnt.Calls()
+					want := metric.CountWithin(in.Space, q, metric.FromPoints(subPts), tau)
+					wantCharge := cnt.Calls() - before
+					if !ok || got != want || charged != wantCharge {
+						t.Logf("seed %d rows: got %d/%d, want %d/%d", seed, got, charged, want, wantCharge)
+						return false
+					}
+				} else if pc.ix != nil {
+					t.Fatalf("seed %d: matrix mode declined known rows", seed)
+				}
+				// Pair tests, including an id outside the reference.
+				for trial := 0; trial < 20; trial++ {
+					aID, bID := ids[r.Intn(len(ids))], ids[r.Intn(len(ids))]
+					a, b := in.PointByID(aID), in.PointByID(bID)
+					if trial == 0 {
+						aID = -12345 // unknown id: uncached fallback path
+					}
+					before := cnt.Calls()
+					got := pc.DistLE(aID, a, bID, b, tau)
+					charged := cnt.Calls() - before
+					before = cnt.Calls()
+					want := metric.DistLE(in.Space, a, b, tau)
+					wantCharge := cnt.Calls() - before
+					if got != want || charged != wantCharge {
+						t.Logf("seed %d pair: got %v/%d, want %v/%d", seed, got, charged, want, wantCharge)
+						return false
+					}
+				}
+				return true
+			}
+			if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestNilContextDeclines pins the nil-receiver contract relied on by
+// degree and the ladder configs.
+func TestNilContextDeclines(t *testing.T) {
+	var pc *Context
+	if pc.Enabled() {
+		t.Fatal("nil context enabled")
+	}
+	if rows := pc.Rows([]int{1}); rows != nil {
+		t.Fatal("nil context returned rows")
+	}
+	if _, ok := pc.CountSegment(metric.Point{1}, 0, 0, 1); ok {
+		t.Fatal("nil context answered CountSegment")
+	}
+	if _, ok := pc.CountRows(metric.Point{1}, 0, []int32{0}, 1); ok {
+		t.Fatal("nil context answered CountRows")
+	}
+	if pc.SegmentIntact(0, nil) {
+		t.Fatal("nil context reported an intact segment")
+	}
+}

@@ -20,11 +20,29 @@ type Graph struct {
 	Tau   float64
 	// pset is the contiguous copy of Pts the batch kernels run over.
 	pset *metric.PointSet
+	// ix, when non-nil, caches every pair's comparable-domain distance;
+	// Adjacent/Degree/Edges answer from it instead of re-invoking the
+	// oracle, charging the Counting wrapper exactly what the replaced
+	// calls would have (see metric.ChargeCalls), so results and oracle
+	// totals are byte-identical to the uncached graph.
+	ix *metric.DistIndex
 }
 
 // New returns the threshold graph G_τ over pts.
 func New(space metric.Space, pts []metric.Point, tau float64) *Graph {
 	return &Graph{Space: space, Pts: pts, Tau: tau, pset: metric.FromPoints(pts)}
+}
+
+// NewIndexed returns the threshold graph G_τ over pts backed by a
+// precomputed pair-distance index: repeated Adjacent/Degree/Edges queries
+// skip distance recomputation while reporting identical results and
+// oracle charges. When the space or point set does not admit a
+// byte-compatible index (see metric.BuildDistIndex) the graph silently
+// behaves exactly like New.
+func NewIndexed(space metric.Space, pts []metric.Point, tau float64) *Graph {
+	g := New(space, pts, tau)
+	g.ix = metric.BuildDistIndex(space, pts, []metric.Segment{{Lo: 0, Hi: len(pts)}}, 0)
+	return g
 }
 
 // N returns the number of vertices.
@@ -37,6 +55,10 @@ func (g *Graph) Adjacent(u, v int) bool {
 	if u == v {
 		return false
 	}
+	if g.ix != nil {
+		metric.ChargeCalls(g.Space, g.Pts[u], 1)
+		return g.ix.PairLE(u, v, g.Tau)
+	}
 	return metric.DistLE(g.Space, g.Pts[u], g.Pts[v], g.Tau)
 }
 
@@ -45,9 +67,15 @@ func (g *Graph) Adjacent(u, v int) bool {
 func (g *Graph) selfAdjacent() bool { return g.Tau >= 0 }
 
 // Degree returns the exact degree of u, in O(n) oracle calls, via the
-// batched sqrt-free CountWithin kernel.
+// batched sqrt-free CountWithin kernel (or one indexed row scan).
 func (g *Graph) Degree(u int) int {
-	d := metric.CountWithin(g.Space, g.Pts[u], g.pset, g.Tau)
+	var d int
+	if g.ix != nil {
+		metric.ChargeCalls(g.Space, g.Pts[u], int64(g.N()))
+		d = g.ix.CountSegment(u, 0, g.Tau)
+	} else {
+		d = metric.CountWithin(g.Space, g.Pts[u], g.pset, g.Tau)
+	}
 	if g.selfAdjacent() {
 		d--
 	}
@@ -82,6 +110,12 @@ func (g *Graph) DegreeAmong(u int, subset []int) int {
 // its higher-indexed neighbors with the batched sqrt-free kernel.
 func (g *Graph) Edges() int {
 	n := g.N()
+	if g.ix != nil {
+		return metric.SweepSum(n, func(u int) int {
+			metric.ChargeCalls(g.Space, g.Pts[u], int64(n-u-1))
+			return g.ix.CountRange(u, u+1, n, g.Tau)
+		})
+	}
 	return metric.SweepSum(n, func(u int) int {
 		return metric.CountWithin(g.Space, g.Pts[u], g.pset.Slice(u+1, n), g.Tau)
 	})

@@ -1,0 +1,47 @@
+package parclust
+
+import (
+	"testing"
+
+	"parclust/internal/instance"
+	"parclust/internal/kcenter"
+	"parclust/internal/metric"
+	"parclust/internal/mpc"
+	"parclust/internal/rng"
+	"parclust/internal/workload"
+)
+
+// ladderInstance is the macro-benchmark workload behind BENCH_pr3.json:
+// 1536 Gaussian points in 8 dimensions over 8 machines, k-center with
+// k = 16 — large enough that the O(log 1/ε) ladder's repeated threshold
+// scans dominate a Solve call.
+func ladderInstance() *instance.Instance {
+	r := rng.New(7)
+	pts := workload.GaussianMixture(r, 1536, 8, 24, 100, 4)
+	parts := workload.PartitionRoundRobin(nil, pts, 8)
+	return instance.New(metric.L2{}, parts)
+}
+
+func benchLadder(b *testing.B, disable bool) {
+	in := ladderInstance()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := mpc.NewCluster(in.Machines(), 42)
+		res, err := kcenter.Solve(c, in, kcenter.Config{K: 16, DisableProbeIndex: disable})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Centers) == 0 {
+			b.Fatal("no centers")
+		}
+	}
+}
+
+// BenchmarkLadderProbes measures a full kcenter.Solve with the probe
+// index on (the default) — the headline number for the probe
+// acceleration layer.
+func BenchmarkLadderProbes(b *testing.B) { benchLadder(b, false) }
+
+// BenchmarkLadderProbesUncached is the same workload with the index
+// disabled: the before/after pair for docs/PERFORMANCE.md.
+func BenchmarkLadderProbesUncached(b *testing.B) { benchLadder(b, true) }
