@@ -80,11 +80,11 @@ func BudgetValidation(cfg RunConfig, rec *mpc.TraceRecorder) (*Table, int, error
 			return err
 		}},
 		{"kcenter.Solve", func(c *mpc.Cluster) error {
-			_, err := kcenter.Solve(c, in, kcenter.Config{K: k, Eps: 0.1})
+			_, err := kcenter.Solve(c, in, kcenter.Config{K: k, Eps: 0.1, Speculation: cfg.Speculation})
 			return err
 		}},
 		{"diversity.Maximize", func(c *mpc.Cluster) error {
-			_, err := diversity.Maximize(c, in, diversity.Config{K: k, Eps: 0.1})
+			_, err := diversity.Maximize(c, in, diversity.Config{K: k, Eps: 0.1, Speculation: cfg.Speculation})
 			return err
 		}},
 		{"diversity.TwoRound4Approx", func(c *mpc.Cluster) error {
@@ -92,7 +92,7 @@ func BudgetValidation(cfg RunConfig, rec *mpc.TraceRecorder) (*Table, int, error
 			return err
 		}},
 		{"ksupplier.Solve", func(c *mpc.Cluster) error {
-			_, err := ksupplier.Solve(c, in, inS, ksupplier.Config{K: k, Eps: 0.1})
+			_, err := ksupplier.Solve(c, in, inS, ksupplier.Config{K: k, Eps: 0.1, Speculation: cfg.Speculation})
 			return err
 		}},
 	}
@@ -131,11 +131,16 @@ func BudgetValidation(cfg RunConfig, rec *mpc.TraceRecorder) (*Table, int, error
 // worstPerAlgorithm collapses the per-call reports (one per guarded
 // call, so a ladder run yields many kbmis/degree windows) to the
 // highest-utilization window for each algorithm, violated windows
-// always winning.
+// always winning. Reports from discarded speculative probes are
+// skipped: the theorem contracts cover the winning search path only
+// (docs/GUARANTEES.md), and speculation never charges a budget.
 func worstPerAlgorithm(reports []mpc.BudgetReport) []mpc.BudgetReport {
 	idx := map[string]int{}
 	var out []mpc.BudgetReport
 	for _, rep := range reports {
+		if rep.Speculative {
+			continue
+		}
 		j, seen := idx[rep.Budget.Algorithm]
 		if !seen {
 			idx[rep.Budget.Algorithm] = len(out)

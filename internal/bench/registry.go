@@ -13,6 +13,14 @@ type RunConfig struct {
 	// Quick shrinks sweeps for CI and testing.B use; the full
 	// configuration is what EXPERIMENTS.md records.
 	Quick bool
+	// Speculation is threaded into the ladder algorithms' configs
+	// (kcenter, diversity, ksupplier): 0 keeps the sequential search,
+	// w >= 1 probes up to w rungs per wave on forked shadow clusters,
+	// negative probes the whole ladder at once. Results and the charged
+	// budgets are width-invariant (the wave parity suite pins this), so
+	// running the budget gate with speculation on validates that the
+	// theorem contracts hold for the concurrent search too.
+	Speculation int
 }
 
 // Experiment is a registered claim-validation experiment.

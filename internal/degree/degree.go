@@ -126,6 +126,11 @@ func budgetLog(n int) float64 {
 // using c for the MPC rounds. The cluster must have as many machines as
 // the instance has parts. The call runs under its Theorem 9 budget: when
 // the cluster enforces budgets a breach returns *mpc.BudgetViolation.
+//
+// Like kbmis.Run, Approximate is safe to invoke on concurrent forked
+// clusters (the speculative ladder search does): all randomness is drawn
+// from c's machines, shared inputs are read-only, and the probe context
+// is internally synchronized.
 func Approximate(c *mpc.Cluster, in *instance.Instance, tau float64, cfg Config) (*Result, error) {
 	if c.NumMachines() != in.Machines() {
 		return nil, fmt.Errorf("degree: cluster has %d machines, instance has %d parts", c.NumMachines(), in.Machines())

@@ -14,6 +14,7 @@ package diversity
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"parclust/internal/coreset"
 	"parclust/internal/instance"
@@ -22,6 +23,7 @@ import (
 	"parclust/internal/mpc"
 	"parclust/internal/probe"
 	"parclust/internal/search"
+	"parclust/internal/wave"
 )
 
 // Config parameterizes the diversity algorithm.
@@ -47,6 +49,15 @@ type Config struct {
 	// property tests in internal/integration assert it); the flag exists
 	// for measurement and as an escape hatch.
 	DisableProbeIndex bool
+	// Speculation selects the wave-parallel ladder search (internal/wave,
+	// docs/PERFORMANCE.md): w >= 1 probes up to w rungs concurrently, each
+	// on a forked shadow cluster with rung-pinned randomness, so Points,
+	// IDs and LadderIndex are identical for every w >= 1; negative probes
+	// the whole ladder in one wave. 0 (the default) runs the sequential
+	// shared-cluster search unchanged. Discarded speculative probes are
+	// reported (Result.SpeculativeProbes, trace events, Stats) but never
+	// charge the Theorem 3 budget.
+	Speculation int
 }
 
 func (c Config) withDefaults() Config {
@@ -69,8 +80,13 @@ type Result struct {
 	// LadderIndex is the index j of the returned M_j; LadderSize is t.
 	LadderIndex int
 	LadderSize  int
-	// Probes counts k-bounded MIS invocations.
+	// Probes counts k-bounded MIS invocations on the winning search path
+	// — identical across every Config.Speculation setting.
 	Probes int
+	// SpeculativeProbes counts wave probes launched but discarded by the
+	// search (always 0 when Speculation <= 1): wasted speculative work,
+	// kept out of Probes and out of the theorem budget.
+	SpeculativeProbes int
 }
 
 // TheoremBudget returns the Theorem 3 runtime contract for one Maximize
@@ -222,15 +238,46 @@ func maximize(c *mpc.Cluster, in *instance.Instance, cfg Config) (*Result, error
 	// further than τ_t > 4r ≥ r* apart would contradict r ≥ r*/4. Our
 	// k-bounded MIS is deterministic-correct, so the probe must agree;
 	// check anyway and accept the windfall if it doesn't.
-	topOK, err := probeAt(t)
-	if err != nil {
-		return nil, err
-	}
-	j := t
-	if !topOK {
-		j, err = search.Boundary(0, t, probeAt)
+	var j int
+	if cfg.Speculation != 0 {
+		// Wave-parallel search: see the kcenter driver — same structure,
+		// descending ladder, endpoint t probed in the first wave, rung 0
+		// trivially true and never probed.
+		var mu sync.Mutex
+		hits := make(map[int]*kbmis.Result, 1)
+		wres, err := wave.Run(c, 0, t, cfg.Speculation, false, func(fc *mpc.Cluster, i int) (bool, error) {
+			mres, err := kbmis.Run(fc, in, tau(i), misCfg)
+			if err != nil {
+				return false, err
+			}
+			ok := mres.SizeK && len(mres.IDs) == k
+			if ok {
+				mu.Lock()
+				hits[i] = mres
+				mu.Unlock()
+			}
+			return ok, nil
+		})
 		if err != nil {
 			return nil, err
+		}
+		j = wres.J
+		res.Probes = len(wres.Path)
+		res.SpeculativeProbes = len(wres.Speculative)
+		if j > 0 {
+			lastHit = hits[j]
+		}
+	} else {
+		topOK, err := probeAt(t)
+		if err != nil {
+			return nil, err
+		}
+		j = t
+		if !topOK {
+			j, err = search.Boundary(0, t, probeAt)
+			if err != nil {
+				return nil, err
+			}
 		}
 	}
 	res.LadderIndex = j

@@ -1,0 +1,179 @@
+// Speculative-wave parity: for every ladder algorithm and metric, the
+// wave-parallel search (Config.Speculation >= 1) must return the same
+// solution — Centers/Points/Suppliers, IDs, RadiusBound, LadderIndex,
+// winning Probes — at every width, because each rung's randomness is
+// pinned to its fork seed and the search consumes rungs in the exact
+// sequential order. The winning execution trace (speculative events
+// filtered out) and the non-speculative budget reports must also be
+// identical across widths. Speculation=0 stays the legacy sequential
+// path: its trace schema carries no fork fields at all.
+package integration_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"parclust/internal/diversity"
+	"parclust/internal/instance"
+	"parclust/internal/kcenter"
+	"parclust/internal/ksupplier"
+	"parclust/internal/metric"
+	"parclust/internal/mpc"
+	"parclust/internal/rng"
+	"parclust/internal/workload"
+)
+
+// waveRun is one observed wave-search execution.
+type waveRun struct {
+	result      interface{}
+	specProbes  int
+	winEvents   []mpc.TraceEvent   // speculative events filtered, Seq renumbered
+	winReports  []mpc.BudgetReport // speculative reports filtered
+	stats       mpc.Stats
+	ndjsonBytes []byte // full NDJSON, fork fields included
+}
+
+// runWave executes one ladder algorithm at the given speculation width
+// with full observability.
+func runWave(t *testing.T, algo string, space metric.Space, seed uint64, speculation int) waveRun {
+	t.Helper()
+	const n, m, k = 160, 4, 5
+	r := rng.New(seed)
+	pts := workload.GaussianMixture(r, n, 6, 8, 20, 2)
+	cnt := metric.NewCounting(space)
+	in := instance.New(cnt, workload.PartitionRoundRobin(nil, pts, m))
+	rec := mpc.NewTraceRecorder()
+	c := mpc.NewCluster(m, seed+99, mpc.WithRecorder(rec), mpc.WithBudgetEnforcement())
+
+	var result interface{}
+	var specProbes int
+	var err error
+	switch algo {
+	case "kcenter":
+		var res *kcenter.Result
+		res, err = kcenter.Solve(c, in, kcenter.Config{K: k, Speculation: speculation})
+		if res != nil {
+			specProbes = res.SpeculativeProbes
+			res.SpeculativeProbes = 0 // width-dependent by design; compared separately
+			result = res
+		}
+	case "diversity":
+		var res *diversity.Result
+		res, err = diversity.Maximize(c, in, diversity.Config{K: k, Speculation: speculation})
+		if res != nil {
+			specProbes = res.SpeculativeProbes
+			res.SpeculativeProbes = 0
+			result = res
+		}
+	case "ksupplier":
+		sup := workload.GaussianMixture(rng.New(seed+1), n/2, 6, 8, 20, 2)
+		inS := instance.New(cnt, workload.PartitionRoundRobin(nil, sup, m))
+		var res *ksupplier.Result
+		res, err = ksupplier.Solve(c, in, inS, ksupplier.Config{K: k, Speculation: speculation})
+		if res != nil {
+			specProbes = res.SpeculativeProbes
+			res.SpeculativeProbes = 0
+			result = res
+		}
+	default:
+		t.Fatalf("unknown algo %q", algo)
+	}
+	if err != nil {
+		t.Fatalf("%s/%s seed %d speculation %d: %v", algo, space.Name(), seed, speculation, err)
+	}
+
+	all := rec.Events()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, ev := range all {
+		ev.WallNanos = 0
+		if err := enc.Encode(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var win []mpc.TraceEvent
+	for _, ev := range all {
+		if ev.Speculative {
+			continue
+		}
+		ev.WallNanos = 0
+		ev.Seq = len(win)
+		win = append(win, ev)
+	}
+	var winReports []mpc.BudgetReport
+	for _, rep := range c.BudgetReports() {
+		if !rep.Speculative {
+			winReports = append(winReports, rep)
+		}
+	}
+	return waveRun{
+		result:      result,
+		specProbes:  specProbes,
+		winEvents:   win,
+		winReports:  winReports,
+		stats:       c.Stats(),
+		ndjsonBytes: buf.Bytes(),
+	}
+}
+
+// TestWaveSearchParity pins the width-invariance contract: widths 2, 4
+// and full-ladder agree with the width-1 baseline on the solution, the
+// winning trace, and the winning budget reports.
+func TestWaveSearchParity(t *testing.T) {
+	spaces := []metric.Space{metric.L2{}, metric.L1{}, metric.LInf{}}
+	for _, algo := range []string{"kcenter", "diversity", "ksupplier"} {
+		for _, space := range spaces {
+			const seed = 11
+			base := runWave(t, algo, space, seed, 1)
+			tag := algo + "/" + space.Name()
+			if base.specProbes != 0 {
+				t.Errorf("%s: width-1 baseline speculated %d probes", tag, base.specProbes)
+			}
+			for _, width := range []int{2, 4, -1} {
+				got := runWave(t, algo, space, seed, width)
+				if !reflect.DeepEqual(got.result, base.result) {
+					t.Errorf("%s width %d: result differs from width-1 baseline:\nbase: %+v\ngot:  %+v",
+						tag, width, base.result, got.result)
+				}
+				if !reflect.DeepEqual(got.winEvents, base.winEvents) {
+					t.Errorf("%s width %d: winning trace differs (%d vs %d events)",
+						tag, width, len(got.winEvents), len(base.winEvents))
+				}
+				if !reflect.DeepEqual(got.winReports, base.winReports) {
+					t.Errorf("%s width %d: winning budget reports differ:\nbase: %v\ngot:  %v",
+						tag, width, base.winReports, got.winReports)
+				}
+				// The winning work is identical; only speculation grows.
+				if got.stats.Rounds != base.stats.Rounds || got.stats.TotalWords != base.stats.TotalWords {
+					t.Errorf("%s width %d: winning stats differ: base %d/%d, got %d/%d",
+						tag, width, base.stats.Rounds, base.stats.TotalWords,
+						got.stats.Rounds, got.stats.TotalWords)
+				}
+				if width == -1 && got.specProbes == 0 {
+					t.Errorf("%s full width: no speculation happened", tag)
+				}
+				if got.stats.SpeculativeRounds == 0 && got.specProbes > 0 {
+					t.Errorf("%s width %d: speculative probes without speculative rounds", tag, width)
+				}
+			}
+		}
+	}
+}
+
+// TestWaveSequentialSchemaUnchanged pins the Speculation=0 contract: the
+// legacy path emits not a single fork-tagged field, so its NDJSON is
+// byte-compatible with the pre-fork schema.
+func TestWaveSequentialSchemaUnchanged(t *testing.T) {
+	for _, algo := range []string{"kcenter", "diversity", "ksupplier"} {
+		run := runWave(t, algo, metric.L2{}, 23, 0)
+		if bytes.Contains(run.ndjsonBytes, []byte("fork_rung")) ||
+			bytes.Contains(run.ndjsonBytes, []byte("speculative")) {
+			t.Errorf("%s: sequential trace leaks fork fields", algo)
+		}
+		if run.stats.SpeculativeRounds != 0 || run.stats.SpeculativeWords != 0 {
+			t.Errorf("%s: sequential run recorded speculative stats: %+v", algo, run.stats)
+		}
+	}
+}

@@ -180,6 +180,14 @@ func TheoremBudget(n, m, k, dim int) mpc.Budget {
 // cluster c (one machine per instance part). The call runs under its
 // Theorems 13–15 budget: when the cluster enforces budgets a breach
 // returns *mpc.BudgetViolation.
+//
+// c may be a forked shadow cluster (mpc.Cluster.Fork): the speculative
+// ladder search runs concurrent Run calls on sibling forks sharing one
+// instance and one probe context. That is safe because a run's mutable
+// state lives in its runner (active parts and ids are copied, never
+// mutated in place on the instance), randomness comes exclusively from
+// c's machines, and the shared probe context and Counting oracle are
+// internally synchronized.
 func Run(c *mpc.Cluster, in *instance.Instance, tau float64, cfg Config) (*Result, error) {
 	if c.NumMachines() != in.Machines() {
 		return nil, fmt.Errorf("kbmis: cluster has %d machines, instance has %d parts",

@@ -13,6 +13,7 @@ package kcenter
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"parclust/internal/coreset"
 	"parclust/internal/instance"
@@ -21,6 +22,7 @@ import (
 	"parclust/internal/mpc"
 	"parclust/internal/probe"
 	"parclust/internal/search"
+	"parclust/internal/wave"
 )
 
 // Config parameterizes the k-center algorithm.
@@ -46,6 +48,15 @@ type Config struct {
 	// internal/integration assert it); the flag exists for measurement
 	// and as an escape hatch.
 	DisableProbeIndex bool
+	// Speculation selects the wave-parallel ladder search (internal/wave,
+	// docs/PERFORMANCE.md): w >= 1 probes up to w rungs concurrently, each
+	// on a forked shadow cluster with rung-pinned randomness, so Centers,
+	// IDs, RadiusBound and LadderIndex are identical for every w >= 1;
+	// negative probes the whole ladder in one wave. 0 (the default) runs
+	// the sequential shared-cluster search unchanged. Discarded
+	// speculative probes are reported (Result.SpeculativeProbes, trace
+	// events, Stats) but never charge the Theorem 17 budget.
+	Speculation int
 }
 
 func (c Config) withDefaults() Config {
@@ -72,8 +83,13 @@ type Result struct {
 	// LadderIndex is the chosen index j; LadderSize is t.
 	LadderIndex int
 	LadderSize  int
-	// Probes counts (k+1)-bounded MIS invocations.
+	// Probes counts (k+1)-bounded MIS invocations on the winning search
+	// path — identical across every Config.Speculation setting.
 	Probes int
+	// SpeculativeProbes counts wave probes launched but discarded by the
+	// search (always 0 when Speculation <= 1): wasted speculative work,
+	// kept out of Probes and out of the theorem budget.
+	SpeculativeProbes int
 }
 
 // TheoremBudget returns the Theorem 17 runtime contract for one Solve
@@ -204,15 +220,49 @@ func solve(c *mpc.Cluster, in *instance.Instance, cfg Config) (*Result, error) {
 	// would be a k-center solution of radius τ_t < r/4 ≤ opt. If the
 	// probe disagrees (it cannot, our MIS is deterministic-correct),
 	// accept the better solution.
-	topOK, err := probeAt(t)
-	if err != nil {
-		return nil, err
-	}
-	j := t
-	if !topOK {
-		j, err = search.Boundary(0, t, probeAt)
+	var j int
+	if cfg.Speculation != 0 {
+		// Wave-parallel search: each probed rung runs on its own forked
+		// shadow cluster with rung-pinned randomness; the winning path (the
+		// rungs the sequential search would probe, endpoint t first) merges
+		// back as ordinary budgeted rounds, discarded speculation as tagged
+		// speculative rounds. Rung 0 is trivially true and never probed, as
+		// in the sequential path.
+		var mu sync.Mutex
+		hits := make(map[int]*kbmis.Result, 1)
+		wres, err := wave.Run(c, 0, t, cfg.Speculation, false, func(fc *mpc.Cluster, i int) (bool, error) {
+			mres, err := kbmis.Run(fc, in, tau(i), misCfg)
+			if err != nil {
+				return false, err
+			}
+			ok := mres.Maximal && len(mres.IDs) <= k
+			if ok {
+				mu.Lock()
+				hits[i] = mres
+				mu.Unlock()
+			}
+			return ok, nil
+		})
 		if err != nil {
 			return nil, err
+		}
+		j = wres.J
+		res.Probes = len(wres.Path)
+		res.SpeculativeProbes = len(wres.Speculative)
+		if j > 0 {
+			lastHit = hits[j]
+		}
+	} else {
+		topOK, err := probeAt(t)
+		if err != nil {
+			return nil, err
+		}
+		j = t
+		if !topOK {
+			j, err = search.Boundary(0, t, probeAt)
+			if err != nil {
+				return nil, err
+			}
 		}
 	}
 	res.LadderIndex = j

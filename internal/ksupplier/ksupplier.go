@@ -16,6 +16,7 @@ package ksupplier
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"parclust/internal/coreset"
 	"parclust/internal/instance"
@@ -24,6 +25,7 @@ import (
 	"parclust/internal/mpc"
 	"parclust/internal/probe"
 	"parclust/internal/search"
+	"parclust/internal/wave"
 )
 
 // Config parameterizes the k-supplier algorithm.
@@ -49,6 +51,16 @@ type Config struct {
 	// property tests in internal/integration assert it); the flag exists
 	// for measurement and as an escape hatch.
 	DisableProbeIndex bool
+	// Speculation selects the wave-parallel ladder search (internal/wave,
+	// docs/PERFORMANCE.md): w >= 1 probes up to w rungs concurrently, each
+	// on a forked shadow cluster with rung-pinned randomness, so
+	// Suppliers, IDs, RadiusBound and LadderIndex are identical for every
+	// w >= 1; negative probes the whole ladder in one wave. 0 (the
+	// default) runs the sequential shared-cluster search unchanged.
+	// Discarded speculative probes are reported
+	// (Result.SpeculativeProbes, trace events, Stats) but never charge
+	// the Theorem 18 budget.
+	Speculation int
 }
 
 func (c Config) withDefaults() Config {
@@ -74,9 +86,14 @@ type Result struct {
 	// LadderIndex is the chosen index j; LadderSize is t.
 	LadderIndex int
 	LadderSize  int
-	// Probes counts ladder probes (each a (k+1)-bounded MIS plus a
-	// supplier-distance check).
+	// Probes counts ladder probes on the winning search path (each a
+	// (k+1)-bounded MIS plus a supplier-distance check) — identical
+	// across every Config.Speculation setting.
 	Probes int
+	// SpeculativeProbes counts wave probes launched but discarded by the
+	// search (always 0 when Speculation <= 1): wasted speculative work,
+	// kept out of Probes and out of the theorem budget.
+	SpeculativeProbes int
 }
 
 // TheoremBudget returns the Theorem 18 runtime contract for one Solve
@@ -247,16 +264,57 @@ func solve(c *mpc.Cluster, inC, inS *instance.Instance, cfg Config) (*Result, er
 
 	// Line 6: smallest qualifying j, found by boundary search.
 	j := t
-	ok0, err := probeAt(0)
-	if err != nil {
-		return nil, err
-	}
-	if ok0 {
-		j = 0
-	} else if t > 0 {
-		j, err = search.BoundaryUp(0, t, probeAt)
+	if cfg.Speculation != 0 && t >= 1 {
+		// Wave-parallel search: ascending ladder, so the mandatory
+		// endpoint folded into the first wave is rung 0 and rung t is the
+		// trivially-true seed that is never probed. Each probed rung runs
+		// its MIS and its nearest-supplier reduction on its own forked
+		// shadow cluster; see the kcenter driver for the merge semantics.
+		var mu sync.Mutex
+		hits := make(map[int]probeHit, 1)
+		wres, err := wave.Run(c, 0, t, cfg.Speculation, true, func(fc *mpc.Cluster, i int) (bool, error) {
+			mres, err := kbmis.Run(fc, inC, 2*tau(i), misCfg)
+			if err != nil {
+				return false, err
+			}
+			if !(mres.Maximal && len(mres.IDs) <= k) {
+				return false, nil
+			}
+			dists, supPts, supIDs, err := nearestSuppliers(fc, inS, mres.Points)
+			if err != nil {
+				return false, err
+			}
+			for _, d := range dists {
+				if d > tau(i) {
+					return false, nil
+				}
+			}
+			mu.Lock()
+			hits[i] = probeHit{supPts: supPts, supIDs: supIDs}
+			mu.Unlock()
+			return true, nil
+		})
 		if err != nil {
 			return nil, err
+		}
+		j = wres.J
+		res.Probes = len(wres.Path)
+		res.SpeculativeProbes = len(wres.Speculative)
+		if j < t {
+			hit = hits[j]
+		}
+	} else {
+		ok0, err := probeAt(0)
+		if err != nil {
+			return nil, err
+		}
+		if ok0 {
+			j = 0
+		} else if t > 0 {
+			j, err = search.BoundaryUp(0, t, probeAt)
+			if err != nil {
+				return nil, err
+			}
 		}
 	}
 	res.LadderIndex = j

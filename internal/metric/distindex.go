@@ -31,6 +31,8 @@ package metric
 import (
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // indexKind classifies the comparable domain stored in the matrix.
@@ -69,9 +71,14 @@ type DistIndex struct {
 	// sorting costs Θ(n·log(n/m)) comparisons per row and only beats the
 	// contiguous cmp-row scan once a row's segments are each counted more
 	// than ~log(n/m) times, which short ladders don't reach (measured
-	// crossover in docs/PERFORMANCE.md).
-	sorted []float64
-	segs   []Segment
+	// crossover in docs/PERFORMANCE.md). The once/atomic pair makes the
+	// lazy build safe when the index is shared by concurrent probes
+	// (speculative ladder forks): the pointer is published only after the
+	// arrays are fully written, and readers that load nil take the
+	// always-valid cmp-row scan.
+	sortOnce sync.Once
+	sorted   atomic.Pointer[[]float64]
+	segs     []Segment
 
 	// thresholds (comparable domain, ascending, deduped) and counts are
 	// the ladder tables built by RegisterThresholds: counts[(row*S+seg)*T
@@ -226,47 +233,56 @@ func fillSqDistRow(q Point, flat []float64, dim int, row []float64, start int) {
 // loops so every write is sequential, and the source stripe is only
 // `tile` rows wide: the 32 source cache lines at column j are the same
 // ones read for the next several j values, keeping the strided reads
-// L1-resident.
+// L1-resident. The sweep partitions destination rows, so each worker
+// writes only rows it owns and reads only the upper triangle, which no
+// worker writes — race-free by construction.
 func mirrorLower(cmp []float64, n int) {
 	const tile = 32
-	for i0 := 0; i0 < n; i0 += tile {
-		for j := i0 + 1; j < n; j++ {
-			iMax := i0 + tile
-			if iMax > j {
-				iMax = j
+	Sweep(n, func(rlo, rhi int) {
+		for i0 := 0; i0 < rhi; i0 += tile {
+			jStart := i0 + 1
+			if jStart < rlo {
+				jStart = rlo
 			}
-			dst := cmp[j*n+i0 : j*n+iMax]
-			for t := range dst {
-				dst[t] = cmp[(i0+t)*n+j]
-			}
-		}
-	}
-}
-
-// EnsureSorted builds the per-row per-segment sorted arrays, switching
-// CountSegment from a linear cmp-row scan to a binary search. Idempotent.
-// Must be called before the index is shared with concurrent readers
-// (probe contexts call it during construction, never mid-ladder): the
-// sorted rows are plain unsynchronized state.
-func (ix *DistIndex) EnsureSorted() {
-	if ix.sorted != nil {
-		return
-	}
-	sorted := make([]float64, ix.n*ix.n)
-	Sweep(ix.n, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			srow := sorted[i*ix.n : (i+1)*ix.n]
-			copy(srow, ix.cmp[i*ix.n:(i+1)*ix.n])
-			for _, sg := range ix.segs {
-				sort.Float64s(srow[sg.Lo:sg.Hi])
+			for j := jStart; j < rhi; j++ {
+				iMax := i0 + tile
+				if iMax > j {
+					iMax = j
+				}
+				dst := cmp[j*n+i0 : j*n+iMax]
+				for t := range dst {
+					dst[t] = cmp[(i0+t)*n+j]
+				}
 			}
 		}
 	})
-	ix.sorted = sorted
 }
 
-// Sorted reports whether EnsureSorted has run.
-func (ix *DistIndex) Sorted() bool { return ix.sorted != nil }
+// EnsureSorted builds the per-row per-segment sorted arrays, switching
+// CountSegment from a linear cmp-row scan to a binary search. Idempotent
+// and safe to call concurrently with itself and with every query method:
+// duplicate callers block until the single build finishes, and queries
+// racing the build read the published pointer atomically — they see
+// either the finished arrays or the cmp-row scan path, both of which
+// return identical counts.
+func (ix *DistIndex) EnsureSorted() {
+	ix.sortOnce.Do(func() {
+		sorted := make([]float64, ix.n*ix.n)
+		Sweep(ix.n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				srow := sorted[i*ix.n : (i+1)*ix.n]
+				copy(srow, ix.cmp[i*ix.n:(i+1)*ix.n])
+				for _, sg := range ix.segs {
+					sort.Float64s(srow[sg.Lo:sg.Hi])
+				}
+			}
+		})
+		ix.sorted.Store(&sorted)
+	})
+}
+
+// Sorted reports whether EnsureSorted has completed.
+func (ix *DistIndex) Sorted() bool { return ix.sorted.Load() != nil }
 
 // RegisterThresholds precomputes, for every (row, segment) pair, the
 // segment count at each of the given thresholds, making CountSegment at
@@ -335,58 +351,29 @@ func (ix *DistIndex) RegisterThresholds(taus []float64) {
 	numT, numS := len(tcs), len(ix.segs)
 	bb := numT + 1
 	hist := make([]int32, ix.n*numS*bb)
-	if ix.kind == ixDist {
-		// Possibly asymmetric values: bucket every entry of every row.
-		// Rows own disjoint hist slices, so the sweep is race-free.
-		Sweep(ix.n, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				row := ix.cmp[i*ix.n : (i+1)*ix.n]
-				for s, sg := range ix.segs {
-					h := hist[(i*numS+s)*bb : (i*numS+s+1)*bb]
-					for _, v := range row[sg.Lo:sg.Hi] {
-						b := int(lut[math.Float64bits(v)>>48])
-						for b < numT && tcs[b] < v {
-							b++
-						}
-						h[b]++
-					}
-				}
-			}
-		})
-	} else {
-		// Symmetric values: bucket each upper-triangle entry once and
-		// credit both (i, segment-of-j) and (j, segment-of-i) — the
-		// mirrored entry cmp[j][i] is the same value by construction.
-		// Serial: the mirrored increments cross row boundaries.
-		segIdx := make([]int32, ix.n)
-		for s, sg := range ix.segs {
-			for j := sg.Lo; j < sg.Hi; j++ {
-				segIdx[j] = int32(s)
-			}
-		}
-		for i := 0; i < ix.n; i++ {
+	// Bucket every entry of every row. For the symmetric kinds this
+	// touches each pair value twice where an upper-triangle walk with
+	// mirrored increments would touch it once (cmp[j][i] == cmp[i][j] by
+	// construction, so both walks produce identical histograms) — but the
+	// mirrored increments cross row boundaries and force a serial pass,
+	// while the full-row walk gives every row a disjoint hist slice and
+	// parallelizes over the sweep pool, which wins on every multi-core
+	// host (measured in docs/PERFORMANCE.md).
+	Sweep(ix.n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
 			row := ix.cmp[i*ix.n : (i+1)*ix.n]
-			si := int(segIdx[i])
 			for s, sg := range ix.segs {
-				lo := sg.Lo
-				if lo < i {
-					lo = i
-				}
-				base := (i*numS + s) * bb
-				for j := lo; j < sg.Hi; j++ {
-					v := row[j]
+				h := hist[(i*numS+s)*bb : (i*numS+s+1)*bb]
+				for _, v := range row[sg.Lo:sg.Hi] {
 					b := int(lut[math.Float64bits(v)>>48])
 					for b < numT && tcs[b] < v {
 						b++
 					}
-					hist[base+b]++
-					if j != i {
-						hist[(j*numS+si)*bb+b]++
-					}
+					h[b]++
 				}
 			}
 		}
-	}
+	})
 	counts := make([]int32, ix.n*numS*numT)
 	Sweep(ix.n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -509,10 +496,11 @@ func (ix *DistIndex) CountSegment(q, seg int, tau float64) int {
 		}
 	}
 	sg := ix.segs[seg]
-	if ix.sorted == nil {
+	sorted := ix.sorted.Load()
+	if sorted == nil {
 		return ix.countRangeCmp(q, sg.Lo, sg.Hi, tc)
 	}
-	srow := ix.sorted[q*ix.n+sg.Lo : q*ix.n+sg.Hi]
+	srow := (*sorted)[q*ix.n+sg.Lo : q*ix.n+sg.Hi]
 	return sort.Search(len(srow), func(i int) bool { return srow[i] > tc })
 }
 

@@ -118,11 +118,16 @@ func (b Budget) Check(obs Observation) error {
 
 // BudgetReport is one Guard observation kept by the cluster, available
 // whether or not enforcement is on (Cluster.BudgetReports). OK reports
-// whether the observation satisfied the budget.
+// whether the observation satisfied the budget. Speculative marks a
+// report adopted from a forked cluster whose probe the wave search
+// discarded: the observation is kept for wasted-work accounting but the
+// run it describes never happened on the winning execution path, so
+// consumers validating theorem claims must skip it.
 type BudgetReport struct {
-	Budget   Budget
-	Observed Observation
-	OK       bool
+	Budget      Budget
+	Observed    Observation
+	OK          bool
+	Speculative bool
 }
 
 // String renders a compact one-line summary of the report.
@@ -154,8 +159,9 @@ func (c *Cluster) EnforcingBudgets() bool { return c.enforceBudgets }
 
 // BudgetReports returns a copy of every report recorded by Guards on
 // this cluster, in Check order. Reports are collected when the cluster
-// enforces budgets or carries a TraceRecorder; otherwise Guards are
-// silent (no allocation on hot paths).
+// enforces budgets, carries a TraceRecorder, or is a fork of a cluster
+// that collects them (so Adopt can merge them back); otherwise Guards
+// are silent (no allocation on hot paths).
 func (c *Cluster) BudgetReports() []BudgetReport {
 	c.reportMu.Lock()
 	defer c.reportMu.Unlock()
@@ -166,28 +172,36 @@ func (c *Cluster) BudgetReports() []BudgetReport {
 // and compares the window against a declared Budget. Obtain one with
 // Cluster.Guard at an algorithm's entry; call Check before returning.
 type Guard struct {
-	c          *Cluster
-	b          Budget
-	baseRounds int
+	c *Cluster
+	b Budget
+	// base is the PerRound length when the window opened. Positions —
+	// not Stats.Rounds — index the window, because adopted speculative
+	// entries occupy PerRound slots without counting as rounds.
+	base int
 }
 
 // Guard starts a budget window at the current round. Nested guards are
 // fine: an outer algorithm's window contains its inner calls' windows.
 func (c *Cluster) Guard(b Budget) *Guard {
-	return &Guard{c: c, b: b, baseRounds: c.stats.Rounds}
+	return &Guard{c: c, b: b, base: len(c.stats.PerRound)}
 }
 
 // Observed computes the window's quantities from the per-round stats:
 // rounds executed, the max per-machine per-round communication, total
 // words, and the largest in-round memory note — all restricted to
-// rounds after the guard started.
+// rounds after the guard started. Speculative rounds merged into the
+// window by Cluster.Adopt are skipped: only the winning probe path
+// charges a theorem budget (docs/GUARANTEES.md).
 func (g *Guard) Observed() Observation {
 	var obs Observation
 	perRound := g.c.stats.PerRound
-	if g.baseRounds > len(perRound) {
+	if g.base > len(perRound) {
 		return obs
 	}
-	for _, rs := range perRound[g.baseRounds:] {
+	for _, rs := range perRound[g.base:] {
+		if rs.Speculative {
+			continue
+		}
 		obs.Rounds++
 		obs.TotalWords += rs.TotalWords
 		if mc := rs.MaxComm(); mc > obs.MaxRoundComm {
@@ -207,7 +221,7 @@ func (g *Guard) Observed() Observation {
 func (g *Guard) Check() error {
 	obs := g.Observed()
 	err := g.b.Check(obs)
-	if g.c.enforceBudgets || g.c.recorder != nil {
+	if g.c.enforceBudgets || g.c.recorder != nil || g.c.collectReports {
 		g.c.reportMu.Lock()
 		g.c.reports = append(g.c.reports, BudgetReport{Budget: g.b, Observed: obs, OK: err == nil})
 		g.c.reportMu.Unlock()

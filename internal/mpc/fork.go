@@ -1,0 +1,157 @@
+package mpc
+
+// Forked shadow clusters for speculative τ-ladder probes. The wave
+// search (internal/search, internal/wave) probes several ladder rungs
+// concurrently; each probe needs a cluster whose machine RNG streams are
+// (a) independent of every other in-flight probe and (b) pinned to the
+// rung alone, so a rung's outcome is identical whether it is probed
+// eagerly in a speculative wave or lazily in the sequential descent —
+// the hinge of the wave search's sequential-equivalence contract.
+//
+// Fork derives such a cluster: fresh per-rung seed, fresh stats, shared
+// worker pool, shared configuration. Adopt merges a finished fork back
+// into its parent. Winning probes (the rungs the sequential search would
+// have executed) merge as ordinary rounds and charge Budget windows
+// exactly as a sequential run would; discarded speculation merges as
+// tagged rounds that traces and Stats report but no Budget window ever
+// counts (docs/GUARANTEES.md, docs/OBSERVABILITY.md).
+
+import (
+	"runtime"
+
+	"parclust/internal/rng"
+)
+
+// forkRungSalt offsets rung indices into their own label space so fork
+// seeds never collide with the per-machine SplitAt labels derived from
+// the same cluster seed.
+const forkRungSalt = 0x666F726B0000
+
+// Fork returns a shadow cluster for a speculative probe of the given
+// ladder rung: same machine count, communication cap, enforcement and
+// tracing disposition as the receiver, but private statistics and fresh
+// machine RNG streams derived deterministically from (parent seed,
+// rung). Forking the same rung of the same cluster always yields
+// identical streams — probe outcomes are pinned per rung — and distinct
+// rungs yield independent streams.
+//
+// The fork shares the parent's root worker pool (grown toward GOMAXPROCS
+// so concurrent forked supersteps overlap) and holds a reference to the
+// parent, keeping the pool alive. It shares no mutable state with the
+// parent or with sibling forks: supersteps on concurrent forks are safe.
+// Fork itself is safe for concurrent use. Pending messages of the parent
+// are not inherited; a fork starts with empty inboxes, as ladder probes
+// do. Merge a finished fork back with Adopt; a fork is not otherwise
+// connected to its parent's statistics.
+func (c *Cluster) Fork(rung int) *Cluster {
+	f := &Cluster{
+		m:       c.m,
+		seed:    rng.Derive(c.seed, forkRungSalt+uint64(rung)),
+		pending: make([][]Message, c.m),
+		stats: Stats{
+			SentWords: make([]int64, c.m),
+			RecvWords: make([]int64, c.m),
+		},
+		sentScratch:    make([]int64, c.m),
+		recvScratch:    make([]int64, c.m),
+		commCap:        c.commCap,
+		enforceBudgets: c.enforceBudgets,
+		collectReports: c.enforceBudgets || c.recorder != nil || c.collectReports,
+		traceVectors:   c.tracer != nil || c.recorder != nil || c.traceVectors,
+		parent:         c,
+		forkRung:       rung,
+		tasks:          c.tasks,
+	}
+	base := rng.New(f.seed)
+	f.machines = make([]*Machine, c.m)
+	for i := 0; i < c.m; i++ {
+		f.machines[i] = &Machine{
+			id:      i,
+			cluster: f,
+			RNG:     base.SplitAt(uint64(i)),
+		}
+	}
+	c.rootCluster().growWorkers(runtime.GOMAXPROCS(0))
+	return f
+}
+
+// rootCluster walks the parent chain to the cluster that owns the worker
+// pool.
+func (c *Cluster) rootCluster() *Cluster {
+	for c.parent != nil {
+		c = c.parent
+	}
+	return c
+}
+
+// IsFork reports whether the cluster was created by Fork; ForkRung
+// returns the rung it was forked for (0 on non-forks).
+func (c *Cluster) IsFork() bool  { return c.parent != nil }
+func (c *Cluster) ForkRung() int { return c.forkRung }
+
+// Adopt merges a finished fork's rounds and budget reports into the
+// receiver. With speculative false — the winning probes, merged in
+// sequential path order — every round counts exactly as if it had run on
+// the receiver: Rounds, TotalWords, per-machine cumulative words, the
+// Max* maxima and every open Budget window advance, and the tracer /
+// recorder observe each round at its merged position. With speculative
+// true the rounds are tagged (RoundStats.Speculative, the trace's
+// "speculative" field) and appended for observability only: they count
+// toward Stats.SpeculativeRounds / SpeculativeWords and nothing else, so
+// discarded speculation can never breach — or mask a breach of — a
+// theorem budget. Budget reports recorded by the fork's inner guards are
+// adopted with the same tag.
+//
+// Adopt is driver-side bookkeeping: call it after the fork's probe has
+// completed, never concurrently with the receiver's own supersteps or
+// with another Adopt. The fork must not be used afterwards.
+func (c *Cluster) Adopt(f *Cluster, speculative bool) {
+	for fi, rs := range f.stats.PerRound {
+		rs.Forked = true
+		rs.ForkRung = f.forkRung
+		rs.Speculative = speculative
+		var round int
+		if speculative {
+			c.stats.SpeculativeRounds++
+			c.stats.SpeculativeWords += rs.TotalWords
+			// Speculative events keep the fork-local round index: they
+			// describe a timeline the parent never executed.
+			round = fi
+		} else {
+			c.stats.Rounds++
+			c.stats.TotalWords += rs.TotalWords
+			if rs.MaxSent > c.stats.MaxRoundSent {
+				c.stats.MaxRoundSent = rs.MaxSent
+			}
+			if rs.MaxRecv > c.stats.MaxRoundRecv {
+				c.stats.MaxRoundRecv = rs.MaxRecv
+			}
+			if rs.MemoryWords > c.stats.MaxMemoryWords {
+				c.stats.MaxMemoryWords = rs.MemoryWords
+			}
+			round = c.stats.Rounds - 1
+		}
+		c.stats.PerRound = append(c.stats.PerRound, rs)
+		if c.tracer != nil {
+			c.tracer(round, rs)
+		}
+		if c.recorder != nil {
+			c.recorder.record(round, c.m, rs)
+		}
+	}
+	if !speculative {
+		for i := range f.stats.SentWords {
+			c.stats.SentWords[i] += f.stats.SentWords[i]
+			c.stats.RecvWords[i] += f.stats.RecvWords[i]
+		}
+	}
+	if reps := f.BudgetReports(); len(reps) > 0 &&
+		(c.enforceBudgets || c.recorder != nil || c.collectReports) {
+		c.reportMu.Lock()
+		for _, rep := range reps {
+			rep.Speculative = speculative
+			c.reports = append(c.reports, rep)
+		}
+		c.reportMu.Unlock()
+	}
+}

@@ -1,0 +1,277 @@
+package mpc
+
+import (
+	"bytes"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// forkDraws runs one gather round on a fork of rung and returns each
+// machine's first RNG draw.
+func forkDraws(c *Cluster, rung int) []uint64 {
+	f := c.Fork(rung)
+	draws := make([]uint64, f.NumMachines())
+	_ = f.Local(func(m *Machine) error {
+		draws[m.ID()] = m.RNG.Uint64()
+		return nil
+	})
+	return draws
+}
+
+func TestForkSeedsPinnedPerRung(t *testing.T) {
+	c := NewCluster(4, 42)
+	a := forkDraws(c, 3)
+	b := forkDraws(c, 3)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same rung, different streams: %v vs %v", a, b)
+	}
+	other := forkDraws(c, 4)
+	if reflect.DeepEqual(a, other) {
+		t.Fatalf("distinct rungs share streams: %v", a)
+	}
+	// Pinning survives intervening work on the parent: the fork seed
+	// derives from the construction seed, not mutable cluster state.
+	if err := c.Superstep("noop", func(m *Machine) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if again := forkDraws(c, 3); !reflect.DeepEqual(a, again) {
+		t.Fatalf("fork streams drifted after parent rounds: %v vs %v", a, again)
+	}
+	// Forks are independent of the parent's own machine streams.
+	parentDraws := make([]uint64, 4)
+	_ = c.Local(func(m *Machine) error {
+		parentDraws[m.ID()] = m.RNG.Uint64()
+		return nil
+	})
+	if reflect.DeepEqual(a, parentDraws) {
+		t.Fatal("fork streams equal parent streams")
+	}
+}
+
+func TestForkIsolatesStats(t *testing.T) {
+	c := NewCluster(3, 7)
+	f := c.Fork(1)
+	if !f.IsFork() || f.ForkRung() != 1 || c.IsFork() {
+		t.Fatalf("fork identity wrong: %v %d %v", f.IsFork(), f.ForkRung(), c.IsFork())
+	}
+	err := f.Superstep("fork/round", func(m *Machine) error {
+		m.SendCentral(Ints{int(m.ID())})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats().Rounds; got != 0 {
+		t.Fatalf("parent rounds = %d before Adopt, want 0", got)
+	}
+	if got := f.Stats().Rounds; got != 1 {
+		t.Fatalf("fork rounds = %d, want 1", got)
+	}
+}
+
+// runForkRound executes rounds supersteps on a fork of rung, each
+// machine sending words ints to the centre.
+func runForkRound(t *testing.T, c *Cluster, rung, rounds, words int) *Cluster {
+	t.Helper()
+	f := c.Fork(rung)
+	for r := 0; r < rounds; r++ {
+		err := f.Superstep("fork/probe", func(m *Machine) error {
+			m.SendCentral(make(Ints, words))
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f
+}
+
+func TestAdoptWinningCharges(t *testing.T) {
+	c := NewCluster(4, 9)
+	guard := c.Guard(Budget{Algorithm: "x", MaxRounds: 2, MaxTotalWords: 100})
+	f := runForkRound(t, c, 2, 2, 5) // 2 rounds × 4 machines × 5 words
+	fStats := f.Stats()
+	c.Adopt(f, false)
+	s := c.Stats()
+	if s.Rounds != 2 || s.TotalWords != fStats.TotalWords {
+		t.Fatalf("adopted rounds/words = %d/%d, want 2/%d", s.Rounds, s.TotalWords, fStats.TotalWords)
+	}
+	if s.MaxRoundRecv != fStats.MaxRoundRecv || s.MaxRoundSent != fStats.MaxRoundSent {
+		t.Fatalf("maxima not merged: %+v vs %+v", s, fStats)
+	}
+	for i := range s.SentWords {
+		if s.SentWords[i] != fStats.SentWords[i] || s.RecvWords[i] != fStats.RecvWords[i] {
+			t.Fatalf("per-machine words not merged at %d", i)
+		}
+	}
+	if len(s.PerRound) != 2 || !s.PerRound[0].Forked || s.PerRound[0].ForkRung != 2 || s.PerRound[0].Speculative {
+		t.Fatalf("per-round tags wrong: %+v", s.PerRound)
+	}
+	obs := guard.Observed()
+	if obs.Rounds != 2 || obs.TotalWords != fStats.TotalWords {
+		t.Fatalf("guard saw %+v, want the adopted rounds", obs)
+	}
+}
+
+func TestAdoptSpeculativeNeverCharges(t *testing.T) {
+	c := NewCluster(4, 9)
+	guard := c.Guard(Budget{Algorithm: "x", MaxRounds: 1})
+	f := runForkRound(t, c, 5, 3, 7)
+	fStats := f.Stats()
+	c.Adopt(f, true)
+	s := c.Stats()
+	if s.Rounds != 0 || s.TotalWords != 0 || s.MaxRoundRecv != 0 {
+		t.Fatalf("speculative work charged: %+v", s)
+	}
+	if s.SpeculativeRounds != 3 || s.SpeculativeWords != fStats.TotalWords {
+		t.Fatalf("speculative accounting = %d/%d, want 3/%d",
+			s.SpeculativeRounds, s.SpeculativeWords, fStats.TotalWords)
+	}
+	for i := range s.SentWords {
+		if s.SentWords[i] != 0 {
+			t.Fatal("speculative per-machine words charged")
+		}
+	}
+	if len(s.PerRound) != 3 || !s.PerRound[0].Speculative || s.PerRound[0].ForkRung != 5 {
+		t.Fatalf("per-round tags wrong: %+v", s.PerRound)
+	}
+	// A budget of 1 round would be breached if speculation counted.
+	obs := guard.Observed()
+	if obs.Rounds != 0 || obs.TotalWords != 0 {
+		t.Fatalf("guard charged speculative rounds: %+v", obs)
+	}
+	if err := guard.Check(); err != nil {
+		t.Fatalf("guard failed on speculation-only window: %v", err)
+	}
+	// Rounds executed on the parent after the merge still window
+	// correctly past the speculative PerRound entries.
+	if err := c.Superstep("real", func(m *Machine) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if obs := guard.Observed(); obs.Rounds != 1 {
+		t.Fatalf("post-merge round miscounted: %+v", obs)
+	}
+}
+
+func TestAdoptTraceTagging(t *testing.T) {
+	rec := NewTraceRecorder()
+	c := NewCluster(2, 11, WithRecorder(rec))
+	fWin := runForkRound(t, c, 1, 1, 2)
+	fSpec := runForkRound(t, c, 3, 1, 2)
+	c.Adopt(fWin, false)
+	c.Adopt(fSpec, true)
+	evs := rec.Events()
+	if len(evs) != 2 {
+		t.Fatalf("events = %d, want 2", len(evs))
+	}
+	win, spec := evs[0], evs[1]
+	if win.Speculative || win.ForkRung == nil || *win.ForkRung != 1 {
+		t.Fatalf("winning event mistagged: %+v", win)
+	}
+	if !spec.Speculative || spec.ForkRung == nil || *spec.ForkRung != 3 {
+		t.Fatalf("speculative event mistagged: %+v", spec)
+	}
+	if len(win.SentWords) != 2 || len(win.RecvWords) != 2 {
+		t.Fatalf("adopted event lost per-machine vectors: %+v", win)
+	}
+	// The tagged schema survives an NDJSON roundtrip.
+	var buf bytes.Buffer
+	if err := rec.WriteNDJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadNDJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(evs, back) {
+		t.Fatalf("NDJSON roundtrip changed events:\n%+v\n%+v", evs, back)
+	}
+	// Untagged events keep the pre-fork schema byte for byte: no
+	// "fork_rung" or "speculative" keys appear.
+	rec2 := NewTraceRecorder()
+	c2 := NewCluster(2, 11, WithRecorder(rec2))
+	if err := c2.Superstep("plain", func(m *Machine) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	var buf2 bytes.Buffer
+	if err := rec2.WriteNDJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf2.Bytes(), []byte("fork_rung")) ||
+		bytes.Contains(buf2.Bytes(), []byte("speculative")) {
+		t.Fatalf("untagged trace leaks fork fields: %s", buf2.Bytes())
+	}
+}
+
+func TestAdoptBudgetReports(t *testing.T) {
+	c := NewCluster(2, 13, WithBudgetEnforcement())
+	f := c.Fork(4)
+	g := f.Guard(Budget{Algorithm: "inner", MaxRounds: 8})
+	if err := f.Superstep("r", func(m *Machine) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Check(); err != nil {
+		t.Fatal(err)
+	}
+	c.Adopt(f, true)
+	reps := c.BudgetReports()
+	if len(reps) != 1 || !reps[0].Speculative || reps[0].Budget.Algorithm != "inner" {
+		t.Fatalf("adopted reports = %+v", reps)
+	}
+}
+
+// TestConcurrentForks exercises the shared worker pool from several
+// forks at once (run under -race in CI): concurrent forked supersteps,
+// each with its own messaging, must not interfere.
+func TestConcurrentForks(t *testing.T) {
+	c := NewCluster(4, 21)
+	const forks = 8
+	results := make([][]uint64, forks)
+	var wg sync.WaitGroup
+	for r := 0; r < forks; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f := c.Fork(r)
+			for step := 0; step < 3; step++ {
+				err := f.Superstep("spin", func(m *Machine) error {
+					m.Broadcast(Ints{int(m.RNG.Uint64() & 0xFF)})
+					return nil
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			draws := make([]uint64, 4)
+			_ = f.Local(func(m *Machine) error {
+				draws[m.ID()] = m.RNG.Uint64()
+				return nil
+			})
+			results[r] = draws
+		}()
+	}
+	wg.Wait()
+	// Each fork's outcome must equal a sequential rerun of the same rung.
+	for r := 0; r < forks; r++ {
+		f := c.Fork(r)
+		for step := 0; step < 3; step++ {
+			if err := f.Superstep("spin", func(m *Machine) error {
+				m.Broadcast(Ints{int(m.RNG.Uint64() & 0xFF)})
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		draws := make([]uint64, 4)
+		_ = f.Local(func(m *Machine) error {
+			draws[m.ID()] = m.RNG.Uint64()
+			return nil
+		})
+		if !reflect.DeepEqual(draws, results[r]) {
+			t.Fatalf("rung %d: concurrent %v != sequential %v", r, results[r], draws)
+		}
+	}
+}

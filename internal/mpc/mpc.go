@@ -163,6 +163,7 @@ func WithTracer(t Tracer) Option {
 // Cluster is a simulated MPC cluster of m machines.
 type Cluster struct {
 	m        int
+	seed     uint64
 	machines []*Machine
 	pending  [][]Message // pending[dst]: messages to deliver next round
 	stats    Stats
@@ -171,11 +172,32 @@ type Cluster struct {
 	recorder *TraceRecorder
 
 	enforceBudgets bool
+	// collectReports makes Guards record BudgetReports even without a
+	// recorder or enforcement — set on forks whose parent collects, so
+	// the reports survive the merge back (see fork.go).
+	collectReports bool
+	// traceVectors makes Superstep materialize per-machine Sent/Recv
+	// vectors even without a local tracer/recorder — set on forks whose
+	// parent traces, so adopted rounds carry full vectors.
+	traceVectors bool
+
+	// parent links a fork to the cluster it was forked from (nil on
+	// clusters built by NewCluster). Holding it keeps the root — and
+	// with it the shared worker pool — reachable for the fork's
+	// lifetime. forkRung is the ladder rung the fork was created for.
+	parent   *Cluster
+	forkRung int
 
 	// tasks feeds the persistent worker pool shared by Superstep and
 	// Local: min(GOMAXPROCS, m) goroutines started at construction and
 	// shut down by a finalizer, replacing m goroutine spawns per round.
-	tasks chan func()
+	// Forks share their root's pool (and channel) instead of starting
+	// their own; workerMu/workers guard the root's pool size, which
+	// Fork grows toward GOMAXPROCS so concurrent forked supersteps
+	// actually overlap.
+	tasks    chan func()
+	workerMu sync.Mutex
+	workers  int
 
 	// sentScratch/recvScratch are the per-round accounting vectors,
 	// zeroed and refilled each superstep instead of reallocated.
@@ -197,6 +219,7 @@ func NewCluster(m int, seed uint64, opts ...Option) *Cluster {
 	}
 	c := &Cluster{
 		m:       m,
+		seed:    seed,
 		pending: make([][]Message, m),
 		stats: Stats{
 			SentWords: make([]int64, m),
@@ -230,6 +253,7 @@ func (c *Cluster) startWorkers() {
 		workers = c.m
 	}
 	c.tasks = make(chan func(), c.m)
+	c.workers = workers
 	for i := 0; i < workers; i++ {
 		go func(tasks <-chan func()) {
 			for task := range tasks {
@@ -238,6 +262,22 @@ func (c *Cluster) startWorkers() {
 		}(c.tasks)
 	}
 	runtime.SetFinalizer(c, func(cl *Cluster) { close(cl.tasks) })
+}
+
+// growWorkers raises the pool to target goroutines (never shrinks). The
+// new workers, like the original ones, reference only the task channel,
+// so the finalizer shutdown path is unchanged. Safe for concurrent use.
+func (c *Cluster) growWorkers(target int) {
+	c.workerMu.Lock()
+	for c.workers < target {
+		c.workers++
+		go func(tasks <-chan func()) {
+			for task := range tasks {
+				task()
+			}
+		}(c.tasks)
+	}
+	c.workerMu.Unlock()
 }
 
 // runAll executes task for every machine on the worker pool and blocks
@@ -285,6 +325,8 @@ func (c *Cluster) ResetStats() {
 	c.stats.MaxRoundRecv = 0
 	c.stats.TotalWords = 0
 	c.stats.MaxMemoryWords = 0
+	c.stats.SpeculativeRounds = 0
+	c.stats.SpeculativeWords = 0
 	clear(c.stats.PerRound) // drop payload references before reuse
 	c.stats.PerRound = c.stats.PerRound[:0]
 }
@@ -380,7 +422,7 @@ func (c *Cluster) Superstep(name string, fn func(m *Machine) error) error {
 			}
 		}
 	}
-	if c.tracer != nil || c.recorder != nil {
+	if c.tracer != nil || c.recorder != nil || c.traceVectors {
 		rs.Sent = append([]int64(nil), sentWords...)
 		rs.Recv = append([]int64(nil), recvWords...)
 	}

@@ -39,6 +39,15 @@ type RoundStats struct {
 	// WallNanos is the driver-observed wall-clock duration of the round:
 	// message delivery, all machine goroutines, and accounting.
 	WallNanos int64
+	// Forked marks a round executed on a forked shadow cluster
+	// (Cluster.Fork) and merged back by Adopt; ForkRung is the ladder
+	// rung the fork probed. Zero values on rounds run directly.
+	Forked   bool
+	ForkRung int
+	// Speculative marks a forked round whose probe the wave search
+	// discarded: it is reported (trace, Stats.SpeculativeRounds) but
+	// never counted toward Stats.Rounds or any Budget window.
+	Speculative bool
 }
 
 // MaxComm returns the larger of MaxSent and MaxRecv: the round's
@@ -68,7 +77,16 @@ type Stats struct {
 	TotalWords int64
 	// MaxMemoryWords is the largest memory note recorded by any machine.
 	MaxMemoryWords int64
-	// PerRound holds one entry per superstep, in order.
+	// SpeculativeRounds and SpeculativeWords account the discarded
+	// speculative work merged by Cluster.Adopt: forked probe rounds the
+	// wave search never consumed. They are kept strictly apart from
+	// Rounds / TotalWords / the Max* maxima — wasted speculation is
+	// observable but charges nothing the theorems bound.
+	SpeculativeRounds int
+	SpeculativeWords  int64
+	// PerRound holds one entry per superstep, in order. Speculative
+	// entries (RoundStats.Speculative) appear here for observability but
+	// are excluded from every Budget window.
 	PerRound []RoundStats
 }
 
@@ -102,6 +120,9 @@ func (s Stats) String() string {
 	if s.MaxMemoryWords > 0 {
 		fmt.Fprintf(&b, " maxMemWords=%d", s.MaxMemoryWords)
 	}
+	if s.SpeculativeRounds > 0 {
+		fmt.Fprintf(&b, " specRounds=%d specWords=%d", s.SpeculativeRounds, s.SpeculativeWords)
+	}
 	return b.String()
 }
 
@@ -111,6 +132,8 @@ func (s Stats) String() string {
 func (s *Stats) Merge(other Stats) {
 	s.Rounds += other.Rounds
 	s.TotalWords += other.TotalWords
+	s.SpeculativeRounds += other.SpeculativeRounds
+	s.SpeculativeWords += other.SpeculativeWords
 	if other.MaxRoundSent > s.MaxRoundSent {
 		s.MaxRoundSent = other.MaxRoundSent
 	}

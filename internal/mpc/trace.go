@@ -118,6 +118,13 @@ type TraceEvent struct {
 	MemoryWords int64 `json:"memory_words"`
 	// WallNanos is the driver-observed wall-clock duration of the round.
 	WallNanos int64 `json:"wall_ns"`
+	// ForkRung, when present, is the ladder rung of the forked shadow
+	// cluster this round executed on (Cluster.Fork); Speculative marks
+	// the forked rounds whose probe the wave search discarded. Both are
+	// omitted on rounds run directly, so traces of non-speculative runs
+	// are byte-identical to the pre-fork schema.
+	ForkRung    *int `json:"fork_rung,omitempty"`
+	Speculative bool `json:"speculative,omitempty"`
 }
 
 // TraceRecorder accumulates TraceEvents. All methods are safe for
@@ -138,10 +145,7 @@ func WithRecorder(rec *TraceRecorder) Option {
 }
 
 func (r *TraceRecorder) record(round, machines int, rs RoundStats) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.events = append(r.events, TraceEvent{
-		Seq:         len(r.events),
+	ev := TraceEvent{
 		Round:       round,
 		Name:        rs.Name,
 		Collective:  rs.Collective,
@@ -153,7 +157,16 @@ func (r *TraceRecorder) record(round, machines int, rs RoundStats) {
 		RecvWords:   rs.Recv,
 		MemoryWords: rs.MemoryWords,
 		WallNanos:   rs.WallNanos,
-	})
+		Speculative: rs.Speculative,
+	}
+	if rs.Forked {
+		rung := rs.ForkRung
+		ev.ForkRung = &rung
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ev.Seq = len(r.events)
+	r.events = append(r.events, ev)
 }
 
 // Len returns the number of recorded events.

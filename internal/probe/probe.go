@@ -21,13 +21,19 @@
 //     have charged — one call per pair tested — so EXPERIMENTS and
 //     budget reports are unchanged.
 //
-// A Context is immutable after NewContext and safe for concurrent use by
-// the simulator's machine goroutines.
+// A Context is safe for concurrent use — by the simulator's machine
+// goroutines within one probe, and across the speculative ladder probes
+// that run on concurrent forked clusters sharing one context
+// (internal/wave). Its only mutable state is lazily built acceleration
+// structure (the per-part kd trees here, the sorted rows inside
+// metric.DistIndex), each guarded by a sync.Once so racing probes agree
+// on — and never observe a partially built — structure.
 package probe
 
 import (
 	"math"
 	"sort"
+	"sync"
 
 	"parclust/internal/instance"
 	"parclust/internal/kdtree"
@@ -66,8 +72,14 @@ type Options struct {
 type Context struct {
 	space metric.Space
 	ix    *metric.DistIndex // matrix mode; nil in kd mode
-	trees []*kdtree.Tree    // kd mode, one per segment (nil for empty parts)
-	dim   int               // uniform dimension in kd mode
+	// kd mode: one lazily built tree per segment. Ladder probes touch a
+	// machine part's tree only while the part is intact (first MIS
+	// iteration), so parts that shrink before their first segment count
+	// never pay the build; the once cells make first-touch construction
+	// safe under concurrent speculative probes.
+	trees   []lazyTree
+	kdParts [][]metric.Point // the per-segment point slices trees index
+	dim     int              // uniform dimension in kd mode
 	// segIDs[i] is machine i's id slice in reference order, the
 	// intactness witness for segment counts.
 	segIDs [][]int
@@ -115,8 +127,17 @@ func NewContext(in *instance.Instance, opt Options) *Context {
 	return pc
 }
 
+// lazyTree is one segment's kd tree, built on first use.
+type lazyTree struct {
+	once sync.Once
+	tree *kdtree.Tree
+}
+
 // buildKD attempts the kd-tree fallback: one tree per machine part,
-// available only for L2 over uniform finite coordinates.
+// available only for L2 over uniform finite coordinates. Eligibility is
+// validated eagerly (cheap, one pass over the coordinates); the trees
+// themselves are built lazily per segment on first count, so a ladder
+// whose probes never count some segment intact never sorts that part.
 func (pc *Context) buildKD(in *instance.Instance, pts []metric.Point) bool {
 	inner := in.Space
 	if cnt, ok := inner.(*metric.Counting); ok {
@@ -140,13 +161,22 @@ func (pc *Context) buildKD(in *instance.Instance, pts []metric.Point) bool {
 		}
 	}
 	pc.dim = dim
-	pc.trees = make([]*kdtree.Tree, len(in.Parts))
-	for i, part := range in.Parts {
-		if len(part) > 0 {
-			pc.trees[i] = kdtree.Build(part)
-		}
-	}
+	pc.trees = make([]lazyTree, len(in.Parts))
+	pc.kdParts = in.Parts
 	return true
+}
+
+// tree returns segment seg's kd tree, building it on first use. Safe for
+// concurrent callers: losers of the once race block until the winner's
+// build completes, so every caller sees a fully built tree.
+func (pc *Context) tree(seg int) *kdtree.Tree {
+	lt := &pc.trees[seg]
+	lt.once.Do(func() {
+		if part := pc.kdParts[seg]; len(part) > 0 {
+			lt.tree = kdtree.Build(part)
+		}
+	})
+	return lt.tree
 }
 
 // buildRowLookup indexes global id → reference row, preferring a dense
@@ -258,10 +288,10 @@ func (pc *Context) CountSegment(q metric.Point, qID, seg int, tau float64) (int,
 	if len(q) != pc.dim {
 		return 0, false
 	}
-	t := pc.trees[seg]
-	if t == nil {
+	if len(pc.kdParts[seg]) == 0 {
 		return 0, true
 	}
+	t := pc.tree(seg)
 	metric.ChargeCalls(pc.space, q, int64(t.Len()))
 	if tau < 0 {
 		// Matches CountWithin's kL2 branch: charge n, count nothing.

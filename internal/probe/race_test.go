@@ -1,0 +1,125 @@
+package probe
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"parclust/internal/instance"
+	"parclust/internal/metric"
+)
+
+// queryAll exercises every query surface of a Context in a fixed order:
+// each (query point, segment) count at each tau, then a band of pair
+// tests. The returned slice is comparable across contexts and callers.
+func queryAll(pc *Context, in *instance.Instance, taus []float64) []int {
+	var out []int
+	for mi := range in.Parts {
+		for pi, q := range in.Parts[mi] {
+			qID := in.IDs[mi][pi]
+			for seg := range in.Parts {
+				for _, tau := range taus {
+					c, ok := pc.CountSegment(q, qID, seg, tau)
+					if !ok {
+						c = -1
+					}
+					out = append(out, c)
+				}
+			}
+		}
+	}
+	for mi := range in.Parts {
+		for mj := range in.Parts {
+			if len(in.Parts[mi]) == 0 || len(in.Parts[mj]) == 0 {
+				continue
+			}
+			a, b := in.Parts[mi][0], in.Parts[mj][0]
+			aID, bID := in.IDs[mi][0], in.IDs[mj][0]
+			for _, tau := range taus {
+				v := 0
+				if pc.DistLE(aID, a, bID, b, tau) {
+					v = 1
+				}
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// hammer queries one shared Context from 8 goroutines at once (the
+// speculative ladder's sharing pattern, checked under -race in CI) and
+// asserts every goroutine saw the same answers as the single-threaded
+// reference. prep, when non-nil, runs concurrently with the queries on
+// half the goroutines — used to race lazy builds against reads.
+func hammer(t *testing.T, shared *Context, in *instance.Instance, taus []float64, ref []int, prep func()) {
+	t.Helper()
+	const workers = 8
+	results := make([][]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if prep != nil && w%2 == 0 {
+				prep()
+			}
+			results[w] = queryAll(shared, in, taus)
+		}()
+	}
+	wg.Wait()
+	for w, got := range results {
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("goroutine %d diverged from the single-threaded reference", w)
+		}
+	}
+}
+
+// TestContextConcurrentKD races the lazy per-part kd-tree builds: the
+// first CountSegment against each segment constructs its tree, and here
+// eight goroutines all race to be first.
+func TestContextConcurrentKD(t *testing.T) {
+	in, _ := buildInstance(3, metric.L2{}, 96, 4)
+	taus := []float64{1.5, 4, 9}
+	shared := NewContext(in, Options{MaxMatrixPoints: 8})
+	if shared == nil || shared.ix != nil {
+		t.Fatal("kd mode not selected")
+	}
+	ref := queryAll(NewContext(in, Options{MaxMatrixPoints: 8}), in, taus)
+	hammer(t, shared, in, taus, ref, nil)
+}
+
+// TestContextConcurrentMatrixSort races EnsureSorted — the lazy sorted
+// rows of the pair matrix — against queries answered from the same
+// matrix, and races duplicate EnsureSorted calls against each other.
+func TestContextConcurrentMatrixSort(t *testing.T) {
+	in, _ := buildInstance(5, metric.L2{}, 96, 4)
+	taus := []float64{1.5, 4, 9}
+	shared := NewContext(in, Options{})
+	if shared == nil || shared.ix == nil {
+		t.Fatal("matrix mode not selected")
+	}
+	ref := queryAll(NewContext(in, Options{}), in, taus)
+	hammer(t, shared, in, taus, ref, shared.ix.EnsureSorted)
+	if !shared.ix.Sorted() {
+		t.Fatal("EnsureSorted did not complete")
+	}
+	// Sorted answers still match the scan-path reference.
+	if got := queryAll(shared, in, taus); !reflect.DeepEqual(got, ref) {
+		t.Fatal("sorted rows changed answers")
+	}
+}
+
+// TestContextConcurrentThresholdTables hammers the precomputed-threshold
+// path (the one the ladder drivers actually run) from eight goroutines.
+func TestContextConcurrentThresholdTables(t *testing.T) {
+	in, _ := buildInstance(7, metric.L2{}, 96, 4)
+	taus := []float64{1.5, 4, 9}
+	shared := NewContext(in, Options{Thresholds: taus})
+	if shared == nil || shared.ix == nil {
+		t.Fatal("matrix mode not selected")
+	}
+	ref := queryAll(NewContext(in, Options{}), in, taus)
+	hammer(t, shared, in, taus, ref, nil)
+}

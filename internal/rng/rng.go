@@ -84,9 +84,18 @@ func (r *RNG) Split() *RNG {
 // distinct labels always yield distinct, independent streams, making it
 // the right tool for deriving per-machine streams from a cluster seed.
 func (r *RNG) SplitAt(label uint64) *RNG {
-	seed := mix64(r.state ^ mix64(label*goldenGamma+1))
+	seed := Derive(r.state, label)
 	gamma := mixGamma(mix64(seed ^ label))
 	return &RNG{state: seed, gamma: gamma}
+}
+
+// Derive maps a (seed, label) pair to a child seed — the seed-mixing
+// half of SplitAt as a pure function. Distinct labels yield distinct,
+// well-mixed child seeds, so callers that need a deterministic derived
+// seed without holding a generator (e.g. mpc.Cluster.Fork pinning one
+// seed per ladder rung) get streams as independent as SplitAt's.
+func Derive(seed, label uint64) uint64 {
+	return mix64(seed ^ mix64(label*goldenGamma+1))
 }
 
 // Intn returns a uniform int in [0, n). It panics if n <= 0.

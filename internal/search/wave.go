@@ -1,0 +1,147 @@
+package search
+
+// Wave-parallel boundary search. BoundaryWave and BoundaryUpWave locate
+// exactly the bracket Boundary and BoundaryUp locate — same index, same
+// sequence of probed rungs — but hand the caller batches of rungs to
+// probe concurrently instead of one rung at a time.
+//
+// The sequential-equivalence contract rests on the probes being pinned:
+// the caller must guarantee that probing a rung yields the same outcome
+// whether it happens eagerly in a speculative wave or lazily in the
+// sequential search (the mpc layer pins each rung's randomness to a
+// per-rung forked seed). Under that guarantee, each wave speculates the
+// upper levels of the binary-search tree rooted at the current interval:
+// the midpoints reachable within the next few halving steps, breadth
+// first, up to the wave width. The descent between waves then applies the
+// identical mid = (lo+hi)/2 rule Boundary applies, consuming memoized
+// outcomes — so the bracket returned, and the ordered list of rungs the
+// descent actually consumed (the "path"), are equal to the sequential
+// search's by construction, for every width. Rungs probed but never
+// consumed are discarded speculation; their outcomes and errors cannot
+// influence the result.
+//
+// A wave of width w resolves ⌊log₂(w+1)⌋ halving steps, so the number of
+// sequential waves is ⌈log₂(t+1) / log₂(w+1)⌉ ≈ log_{w+1}(t+1) over a
+// t-rung ladder, and a single wave of width ≥ t probes every rung at
+// once.
+
+// Batch probes the given rungs, all distinct and strictly inside the
+// search interval, and returns one outcome and one error per rung, index
+// aligned. A Batch is free to run the probes concurrently; BoundaryWave
+// never requests the same rung twice.
+type Batch func(rungs []int) ([]bool, []error)
+
+// outcome is a memoized probe result.
+type outcome struct {
+	ok  bool
+	err error
+}
+
+// BoundaryWave is Boundary with wave-parallel speculation: it finds the
+// index j in [lo, hi) with probe(j) true and probe(j+1) false, given
+// probe(lo) true and probe(hi) false, requesting up to width rungs per
+// batch call. width < 1 is treated as 1 (pure sequential, one rung per
+// batch). It returns the bracket index and the path — the rungs a
+// sequential Boundary run would have probed, in probe order. On error
+// the path covers every consumed rung up to and including the one that
+// failed.
+func BoundaryWave(lo, hi, width int, batch Batch) (int, []int, error) {
+	return boundaryWave(lo, hi, width, false, batch)
+}
+
+// BoundaryUpWave is BoundaryUp with wave-parallel speculation: it finds
+// the index j in (lo, hi] with probe(j) true and probe(j-1) false, given
+// probe(lo) false and probe(hi) true. Same contract as BoundaryWave
+// otherwise.
+func BoundaryUpWave(lo, hi, width int, batch Batch) (int, []int, error) {
+	return boundaryWave(lo, hi, width, true, batch)
+}
+
+func boundaryWave(lo, hi, width int, up bool, batch Batch) (int, []int, error) {
+	if width < 1 {
+		width = 1
+	}
+	known := make(map[int]outcome)
+	var path []int
+	for hi-lo > 1 {
+		want := frontier(lo, hi, width, up, func(i int) (outcome, bool) {
+			o, seen := known[i]
+			return o, seen
+		})
+		if len(want) > 0 {
+			oks, errs := batch(want)
+			for t, idx := range want {
+				known[idx] = outcome{ok: oks[t], err: errs[t]}
+			}
+		}
+		// Descend exactly as the sequential search would, consuming
+		// memoized outcomes until the next midpoint is unprobed.
+		for hi-lo > 1 {
+			mid := (lo + hi) / 2
+			o, seen := known[mid]
+			if !seen {
+				break
+			}
+			path = append(path, mid)
+			if o.err != nil {
+				return 0, path, o.err
+			}
+			if o.ok != up { // descending: ok raises lo; ascending: ok lowers hi
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+	}
+	if up {
+		return hi, path, nil
+	}
+	return lo, path, nil
+}
+
+// Frontier returns the next rungs a width-limited wave starting from the
+// interval (lo, hi) would probe: the unprobed midpoints of the binary
+// search tree in breadth-first order, following only the branch a known
+// outcome permits. known reports a rung's memoized outcome (second
+// result false when the rung is unprobed). Exported for drivers that
+// fold an extra mandatory probe into the first wave and need the
+// speculative frontier alongside it before any outcome is known.
+func Frontier(lo, hi, width int, up bool, known func(int) (ok bool, probed bool)) []int {
+	return frontier(lo, hi, width, up, func(i int) (outcome, bool) {
+		ok, probed := known(i)
+		return outcome{ok: ok}, probed
+	})
+}
+
+func frontier(lo, hi, width int, up bool, known func(int) (outcome, bool)) []int {
+	if width < 1 || hi-lo <= 1 {
+		return nil
+	}
+	type iv struct{ lo, hi int }
+	queue := []iv{{lo, hi}}
+	var out []int
+	for len(queue) > 0 && len(out) < width {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.hi-cur.lo <= 1 {
+			continue
+		}
+		mid := (cur.lo + cur.hi) / 2
+		if o, seen := known(mid); seen {
+			// The outcome fixes which child interval the search enters;
+			// the other child is unreachable and must not be speculated.
+			if o.err != nil {
+				continue // the descent aborts here; nothing below runs
+			}
+			if o.ok != up {
+				queue = append(queue, iv{mid, cur.hi})
+			} else {
+				queue = append(queue, iv{cur.lo, mid})
+			}
+			continue
+		}
+		out = append(out, mid)
+		queue = append(queue, iv{cur.lo, mid}, iv{mid, cur.hi})
+	}
+	return out
+}

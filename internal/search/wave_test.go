@@ -1,0 +1,228 @@
+package search
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"parclust/internal/rng"
+)
+
+// pinned builds a probe over a fixed outcome vector, recording the order
+// in which rungs are probed and failing the test on a repeat probe.
+func pinned(t *testing.T, b []bool, probed *[]int) func(int) (bool, error) {
+	t.Helper()
+	seen := make(map[int]bool)
+	return func(i int) (bool, error) {
+		if seen[i] {
+			t.Fatalf("rung %d probed twice", i)
+		}
+		seen[i] = true
+		*probed = append(*probed, i)
+		return b[i], nil
+	}
+}
+
+// batchOf adapts a pinned vector to the Batch signature, recording every
+// requested rung and failing on repeats or out-of-interval requests.
+func batchOf(t *testing.T, b []bool, lo, hi int, requested *[]int) Batch {
+	t.Helper()
+	seen := make(map[int]bool)
+	return func(rungs []int) ([]bool, []error) {
+		oks := make([]bool, len(rungs))
+		errs := make([]error, len(rungs))
+		for t2, i := range rungs {
+			if i <= lo || i >= hi {
+				t.Fatalf("rung %d requested outside (%d, %d)", i, lo, hi)
+			}
+			if seen[i] {
+				t.Fatalf("rung %d requested twice", i)
+			}
+			seen[i] = true
+			*requested = append(*requested, i)
+			oks[t2] = b[i]
+		}
+		return oks, errs
+	}
+}
+
+// TestBoundaryWaveEquivalence checks the sequential-equivalence contract
+// on random pinned outcome vectors: for every width, BoundaryWave returns
+// the same bracket and the same probe path as Boundary, and BoundaryUpWave
+// the same as BoundaryUp. The vectors are deliberately non-monotone —
+// the bracket is defined by actual probe outcomes, not by a threshold.
+func TestBoundaryWaveEquivalence(t *testing.T) {
+	r := rng.New(11)
+	for trial := 0; trial < 300; trial++ {
+		hi := 2 + r.Intn(40)
+		b := make([]bool, hi+1)
+		for i := range b {
+			b[i] = r.Bernoulli(0.5)
+		}
+		b[0] = true
+		b[hi] = false
+
+		var seqPath []int
+		wantJ, err := Boundary(0, hi, pinned(t, b, &seqPath))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !b[wantJ] || b[wantJ+1] {
+			t.Fatalf("trial %d: Boundary bracket broken at %d", trial, wantJ)
+		}
+		for _, width := range []int{1, 2, 3, 4, 7, hi, hi + 5} {
+			var req []int
+			gotJ, path, err := BoundaryWave(0, hi, width, batchOf(t, b, 0, hi, &req))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotJ != wantJ {
+				t.Fatalf("trial %d width %d: BoundaryWave = %d, Boundary = %d (vector %v)",
+					trial, width, gotJ, wantJ, b)
+			}
+			if !reflect.DeepEqual(path, seqPath) && !(len(path) == 0 && len(seqPath) == 0) {
+				t.Fatalf("trial %d width %d: path %v, sequential %v", trial, width, path, seqPath)
+			}
+		}
+
+		// Mirrored vector for the ascending search.
+		ub := make([]bool, hi+1)
+		for i := range ub {
+			ub[i] = r.Bernoulli(0.5)
+		}
+		ub[0] = false
+		ub[hi] = true
+		var seqUpPath []int
+		wantUp, err := BoundaryUp(0, hi, pinned(t, ub, &seqUpPath))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, width := range []int{1, 2, 3, 4, 7, hi, hi + 5} {
+			var req []int
+			gotUp, path, err := BoundaryUpWave(0, hi, width, batchOf(t, ub, 0, hi, &req))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotUp != wantUp {
+				t.Fatalf("trial %d width %d: BoundaryUpWave = %d, BoundaryUp = %d (vector %v)",
+					trial, width, gotUp, wantUp, ub)
+			}
+			if !reflect.DeepEqual(path, seqUpPath) && !(len(path) == 0 && len(seqUpPath) == 0) {
+				t.Fatalf("trial %d width %d: up path %v, sequential %v", trial, width, path, seqUpPath)
+			}
+		}
+	}
+}
+
+// TestBoundaryWaveWidthOneIsSequential checks that width 1 issues exactly
+// one rung per batch, in exactly the sequential probe order.
+func TestBoundaryWaveWidthOneIsSequential(t *testing.T) {
+	r := rng.New(5)
+	for trial := 0; trial < 50; trial++ {
+		hi := 2 + r.Intn(30)
+		b := make([]bool, hi+1)
+		for i := range b {
+			b[i] = r.Bernoulli(0.4)
+		}
+		b[0] = true
+		b[hi] = false
+		var seqPath []int
+		if _, err := Boundary(0, hi, pinned(t, b, &seqPath)); err != nil {
+			t.Fatal(err)
+		}
+		var order []int
+		_, _, err := BoundaryWave(0, hi, 1, func(rungs []int) ([]bool, []error) {
+			if len(rungs) != 1 {
+				t.Fatalf("width 1 requested %d rungs", len(rungs))
+			}
+			order = append(order, rungs[0])
+			return []bool{b[rungs[0]]}, []error{nil}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(order, seqPath) && !(len(order) == 0 && len(seqPath) == 0) {
+			t.Fatalf("width-1 probe order %v, sequential %v", order, seqPath)
+		}
+	}
+}
+
+// TestBoundaryWaveError checks that an error on a consumed rung aborts
+// with that error and a path ending at the failed rung, while errors on
+// discarded speculative rungs are invisible.
+func TestBoundaryWaveError(t *testing.T) {
+	boom := errors.New("boom")
+	// Vector where the first midpoint of (0, 8) is 4; fail rung 4.
+	_, path, err := BoundaryWave(0, 8, 3, func(rungs []int) ([]bool, []error) {
+		oks := make([]bool, len(rungs))
+		errs := make([]error, len(rungs))
+		for t2, i := range rungs {
+			if i == 4 {
+				errs[t2] = boom
+			}
+			oks[t2] = i < 3
+		}
+		return oks, errs
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if len(path) == 0 || path[len(path)-1] != 4 {
+		t.Fatalf("path = %v, want to end at failed rung 4", path)
+	}
+
+	// Speculative-only error: rung 6 errors but the path never consumes
+	// it (all outcomes true ⇒ search walks right... rung 6 is consumed
+	// then). Use outcomes that keep the search left of 6: b[i] = i < 2.
+	j, _, err := BoundaryWave(0, 8, 8, func(rungs []int) ([]bool, []error) {
+		oks := make([]bool, len(rungs))
+		errs := make([]error, len(rungs))
+		for t2, i := range rungs {
+			if i == 6 {
+				errs[t2] = boom
+				continue
+			}
+			oks[t2] = i < 2
+		}
+		return oks, errs
+	})
+	if err != nil {
+		t.Fatalf("speculative error leaked: %v", err)
+	}
+	if j != 1 {
+		t.Fatalf("j = %d, want 1", j)
+	}
+}
+
+// TestFrontierRespectsKnownBranches checks that Frontier never proposes a
+// rung on the unreachable side of a known outcome.
+func TestFrontierRespectsKnownBranches(t *testing.T) {
+	// Interval (0, 16), mid 8 known true (descending ⇒ search enters
+	// (8, 16)): every frontier rung must be > 8.
+	got := Frontier(0, 16, 8, false, func(i int) (bool, bool) {
+		if i == 8 {
+			return true, true
+		}
+		return false, false
+	})
+	for _, r := range got {
+		if r <= 8 {
+			t.Fatalf("frontier %v proposes unreachable rung %d", got, r)
+		}
+	}
+	if len(got) == 0 {
+		t.Fatal("frontier empty")
+	}
+	// Ascending with mid 8 known true ⇒ search enters (0, 8).
+	got = Frontier(0, 16, 8, true, func(i int) (bool, bool) {
+		if i == 8 {
+			return true, true
+		}
+		return false, false
+	})
+	for _, r := range got {
+		if r >= 8 {
+			t.Fatalf("up frontier %v proposes unreachable rung %d", got, r)
+		}
+	}
+}

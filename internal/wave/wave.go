@@ -1,0 +1,173 @@
+// Package wave drives the τ-ladder boundary search speculatively: up to
+// a configured width of ladder rungs are probed concurrently, each probe
+// on a forked shadow cluster (mpc.Cluster.Fork), while the rung order and
+// memoization follow search.BoundaryWave exactly. The winning probes —
+// the rungs the sequential driver would have executed, in its order — are
+// merged back into the parent cluster as ordinary rounds and charge
+// theorem budgets exactly as a sequential run would; probes the search
+// discarded merge as tagged speculative rounds that traces and Stats
+// report but no budget window counts (docs/GUARANTEES.md).
+//
+// The ladder drivers (kcenter, diversity, ksupplier) share one search
+// shape: probe a mandatory endpoint first (the top rung for descending
+// ladders, the bottom for ascending) and binary-search the interior only
+// when it fails. Run folds that endpoint into the first wave, so the
+// endpoint probe overlaps with the first speculative frontier instead of
+// serializing ahead of it.
+package wave
+
+import (
+	"fmt"
+	"sort"
+
+	"parclust/internal/mpc"
+	"parclust/internal/search"
+)
+
+// Body is one ladder probe. It runs entirely on the forked cluster fc —
+// every superstep and every random draw must go through fc, which is
+// what pins the rung's outcome regardless of probe timing — and reports
+// the predicate value at rung. Bodies for distinct rungs run
+// concurrently: shared inputs must be read-only (or internally
+// synchronized, like the probe acceleration context).
+type Body func(fc *mpc.Cluster, rung int) (bool, error)
+
+// Result describes a completed wave search.
+type Result struct {
+	// J is the bracket index, with search.Boundary semantics for
+	// descending ladders and search.BoundaryUp semantics for ascending
+	// ones — or the mandatory endpoint when its probe already qualified.
+	J int
+	// Path lists the rungs the equivalent sequential driver would have
+	// probed, in its probe order: the mandatory endpoint first, then the
+	// binary-search descent. These probes merged as winning rounds.
+	Path []int
+	// Speculative lists the probed-but-discarded rungs in ascending
+	// order; their rounds merged as speculative.
+	Speculative []int
+}
+
+// outcome tracks one in-flight or finished probe.
+type outcome struct {
+	fork *mpc.Cluster
+	done chan struct{}
+	ok   bool
+	err  error
+}
+
+// Run executes the boundary search over the interval (lo, hi) with up to
+// width probes in flight, each on its own fork of c. up selects the
+// ascending (BoundaryUp) orientation. width is clamped to [1, hi-lo];
+// pass a negative width to probe the whole ladder in one wave. The
+// result — J, Path, and the probe outcome at every path rung — is
+// identical for every width, because each rung's randomness is pinned to
+// its fork seed. On a path-rung probe error Run still merges every
+// launched probe back into c (so accounting stays complete), then
+// returns the error.
+//
+// Run must not race with supersteps on c itself: the caller owns c for
+// the duration of the call, as the ladder drivers naturally do.
+func Run(c *mpc.Cluster, lo, hi, width int, up bool, body Body) (Result, error) {
+	if hi <= lo {
+		return Result{}, fmt.Errorf("wave: empty interval (%d, %d)", lo, hi)
+	}
+	// hi-lo rungs are probeable: the interior plus the mandatory endpoint.
+	if width < 1 || width > hi-lo {
+		width = hi - lo
+	}
+	endpoint := hi
+	if up {
+		endpoint = lo
+	}
+
+	probes := make(map[int]*outcome)
+	launch := func(rung int) *outcome {
+		if o, started := probes[rung]; started {
+			return o
+		}
+		o := &outcome{fork: c.Fork(rung), done: make(chan struct{})}
+		probes[rung] = o
+		go func() {
+			defer close(o.done)
+			o.ok, o.err = body(o.fork, rung)
+		}()
+		return o
+	}
+	wait := func(rung int) *outcome {
+		o := launch(rung)
+		<-o.done
+		return o
+	}
+
+	// First wave: the mandatory endpoint plus the first width-1 rungs of
+	// the interior speculative frontier (the midpoints the binary search
+	// reaches first if the endpoint fails).
+	launch(endpoint)
+	if width > 1 {
+		first := search.Frontier(lo, hi, width-1, up, func(int) (bool, bool) { return false, false })
+		for _, r := range first {
+			launch(r)
+		}
+	}
+
+	res := Result{Path: []int{endpoint}}
+	var searchErr error
+	end := wait(endpoint)
+	switch {
+	case end.err != nil:
+		searchErr = end.err
+	case end.ok:
+		res.J = endpoint
+	default:
+		batch := func(rungs []int) ([]bool, []error) {
+			for _, r := range rungs {
+				launch(r)
+			}
+			oks := make([]bool, len(rungs))
+			errs := make([]error, len(rungs))
+			for t, r := range rungs {
+				o := wait(r)
+				oks[t], errs[t] = o.ok, o.err
+			}
+			return oks, errs
+		}
+		var j int
+		var path []int
+		if up {
+			j, path, searchErr = search.BoundaryUpWave(lo, hi, width, batch)
+		} else {
+			j, path, searchErr = search.BoundaryWave(lo, hi, width, batch)
+		}
+		res.J = j
+		res.Path = append(res.Path, path...)
+	}
+
+	// Merge every launched probe: winning rungs in sequential probe
+	// order, then discarded speculation in ascending rung order (a fixed
+	// order keeps traces deterministic). Adopt needs finished forks, so
+	// in-flight speculation is drained first.
+	onPath := make(map[int]bool, len(res.Path))
+	for _, r := range res.Path {
+		onPath[r] = true
+	}
+	for r := range probes {
+		if !onPath[r] {
+			res.Speculative = append(res.Speculative, r)
+		}
+	}
+	sort.Ints(res.Speculative)
+	for _, r := range res.Path {
+		o := probes[r]
+		<-o.done
+		c.Adopt(o.fork, false)
+	}
+	for _, r := range res.Speculative {
+		o := probes[r]
+		<-o.done
+		c.Adopt(o.fork, true)
+	}
+	if searchErr != nil {
+		return res, searchErr
+	}
+	return res, nil
+}

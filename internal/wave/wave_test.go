@@ -1,0 +1,228 @@
+package wave
+
+import (
+	"errors"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+
+	"parclust/internal/mpc"
+	"parclust/internal/search"
+)
+
+// sequentialReference runs the driver-shaped sequential search: endpoint
+// first, then Boundary/BoundaryUp, recording the probe order.
+func sequentialReference(t *testing.T, vec []bool, lo, hi int, up bool) (int, []int) {
+	t.Helper()
+	var path []int
+	probe := func(i int) (bool, error) {
+		path = append(path, i)
+		return vec[i], nil
+	}
+	endpoint := hi
+	if up {
+		endpoint = lo
+	}
+	ok, _ := probe(endpoint)
+	if ok {
+		return endpoint, path
+	}
+	var j int
+	var err error
+	if up {
+		j, err = search.BoundaryUp(lo, hi, probe)
+	} else {
+		j, err = search.Boundary(lo, hi, probe)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j, path
+}
+
+func TestRunMatchesSequentialForEveryWidth(t *testing.T) {
+	r := func(seed uint64) uint64 { // tiny splitmix for reproducible vectors
+		seed += 0x9E3779B97F4A7C15
+		z := seed
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		return z ^ (z >> 31)
+	}
+	for trial := 0; trial < 40; trial++ {
+		hi := 2 + int(r(uint64(trial))%20)
+		vec := make([]bool, hi+1)
+		for i := range vec {
+			vec[i] = r(uint64(trial*1000+i))%2 == 0
+		}
+		for _, up := range []bool{false, true} {
+			wantJ, wantPath := sequentialReference(t, vec, 0, hi, up)
+			for _, width := range []int{1, 2, 3, 4, hi, -1} {
+				c := mpc.NewCluster(3, 42)
+				var probed []int
+				var mu sync.Mutex
+				body := func(fc *mpc.Cluster, rung int) (bool, error) {
+					mu.Lock()
+					probed = append(probed, rung)
+					mu.Unlock()
+					err := fc.Superstep("wave/probe", func(m *mpc.Machine) error {
+						m.SendCentral(mpc.Int(rung))
+						return nil
+					})
+					return vec[rung], err
+				}
+				res, err := Run(c, 0, hi, width, up, body)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.J != wantJ || !reflect.DeepEqual(res.Path, wantPath) {
+					t.Fatalf("trial %d up=%v width=%d: got j=%d path=%v, want j=%d path=%v (vec=%v)",
+						trial, up, width, res.J, res.Path, wantJ, wantPath, vec)
+				}
+				// Every launched probe is either on the path or speculative,
+				// with no rung probed twice.
+				sort.Ints(probed)
+				all := append(append([]int(nil), res.Path...), res.Speculative...)
+				sort.Ints(all)
+				if !reflect.DeepEqual(probed, all) {
+					t.Fatalf("trial %d width=%d: probed %v != path+spec %v", trial, width, probed, all)
+				}
+				for i := 1; i < len(all); i++ {
+					if all[i] == all[i-1] {
+						t.Fatalf("rung %d probed twice", all[i])
+					}
+				}
+				// Accounting: one winning round per path rung, one
+				// speculative round per discarded rung.
+				s := c.Stats()
+				if s.Rounds != len(res.Path) {
+					t.Fatalf("rounds = %d, want %d", s.Rounds, len(res.Path))
+				}
+				if s.SpeculativeRounds != len(res.Speculative) {
+					t.Fatalf("spec rounds = %d, want %d", s.SpeculativeRounds, len(res.Speculative))
+				}
+				// Width 1 must not speculate at all.
+				if width == 1 && len(res.Speculative) != 0 {
+					t.Fatalf("width 1 speculated: %v", res.Speculative)
+				}
+			}
+		}
+	}
+}
+
+func TestRunFullWidthIsOneWave(t *testing.T) {
+	// With width ≥ the ladder size every rung is probed, so the search
+	// finishes after a single wave and Path+Speculative tile the rungs.
+	hi := 9
+	vec := []bool{true, true, true, false, true, false, false, false, true, false}
+	c := mpc.NewCluster(2, 1)
+	var probed []int
+	var mu sync.Mutex
+	res, err := Run(c, 0, hi, -1, false, func(fc *mpc.Cluster, rung int) (bool, error) {
+		mu.Lock()
+		probed = append(probed, rung)
+		mu.Unlock()
+		return vec[rung], nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJ, wantPath := sequentialReference(t, vec, 0, hi, false)
+	if res.J != wantJ || !reflect.DeepEqual(res.Path, wantPath) {
+		t.Fatalf("got j=%d path=%v, want j=%d path=%v", res.J, res.Path, wantJ, wantPath)
+	}
+	if got := len(res.Path) + len(res.Speculative); got != hi {
+		t.Fatalf("probed %d rungs, want the full ladder %d", got, hi)
+	}
+}
+
+func TestRunEndpointShortCircuit(t *testing.T) {
+	// When the mandatory endpoint qualifies, J is the endpoint, the path
+	// is just the endpoint, and any frontier work is speculative.
+	c := mpc.NewCluster(2, 5)
+	res, err := Run(c, 0, 8, 4, false, func(fc *mpc.Cluster, rung int) (bool, error) {
+		return true, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.J != 8 || !reflect.DeepEqual(res.Path, []int{8}) {
+		t.Fatalf("got j=%d path=%v, want endpoint 8", res.J, res.Path)
+	}
+	if len(res.Speculative) != 3 {
+		t.Fatalf("speculative = %v, want the 3 frontier rungs", res.Speculative)
+	}
+	// Ascending mirror: endpoint is lo.
+	c2 := mpc.NewCluster(2, 5)
+	res2, err := Run(c2, 0, 8, 1, true, func(fc *mpc.Cluster, rung int) (bool, error) {
+		return true, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.J != 0 || !reflect.DeepEqual(res2.Path, []int{0}) || len(res2.Speculative) != 0 {
+		t.Fatalf("ascending endpoint: %+v", res2)
+	}
+}
+
+func TestRunPathErrorPropagates(t *testing.T) {
+	boom := errors.New("boom")
+	c := mpc.NewCluster(2, 3)
+	// Descending, endpoint 8 fails the predicate, first mid 4 errors.
+	res, err := Run(c, 0, 8, 2, false, func(fc *mpc.Cluster, rung int) (bool, error) {
+		if e := fc.Superstep("p", func(m *mpc.Machine) error { return nil }); e != nil {
+			return false, e
+		}
+		if rung == 4 {
+			return false, boom
+		}
+		return false, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if want := []int{8, 4}; !reflect.DeepEqual(res.Path, want) {
+		t.Fatalf("path = %v, want %v", res.Path, want)
+	}
+	// Accounting is still complete: path rounds winning, the rest
+	// speculative.
+	s := c.Stats()
+	if s.Rounds != 2 || s.SpeculativeRounds != len(res.Speculative) {
+		t.Fatalf("stats after error: %+v (spec=%v)", s, res.Speculative)
+	}
+}
+
+func TestRunSpeculativeErrorInvisible(t *testing.T) {
+	boom := errors.New("boom")
+	// vec: rung i true iff i <= 5; rung 7 errors but is never on the
+	// sequential path (8 false, 4 true, 6 false, 5 true → j=5).
+	c := mpc.NewCluster(2, 3)
+	res, err := Run(c, 0, 8, 8, false, func(fc *mpc.Cluster, rung int) (bool, error) {
+		if rung == 7 {
+			return false, boom
+		}
+		return rung <= 5, nil
+	})
+	if err != nil {
+		t.Fatalf("speculative-only error surfaced: %v", err)
+	}
+	if res.J != 5 {
+		t.Fatalf("j = %d, want 5", res.J)
+	}
+	found := false
+	for _, r := range res.Speculative {
+		if r == 7 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("rung 7 not among speculative %v", res.Speculative)
+	}
+}
+
+func TestRunRejectsEmptyInterval(t *testing.T) {
+	c := mpc.NewCluster(2, 1)
+	if _, err := Run(c, 3, 3, 1, false, func(*mpc.Cluster, int) (bool, error) { return false, nil }); err == nil {
+		t.Fatal("empty interval accepted")
+	}
+}

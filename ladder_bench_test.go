@@ -1,6 +1,7 @@
 package parclust
 
 import (
+	"runtime"
 	"testing"
 
 	"parclust/internal/instance"
@@ -22,12 +23,14 @@ func ladderInstance() *instance.Instance {
 	return instance.New(metric.L2{}, parts)
 }
 
-func benchLadder(b *testing.B, disable bool) {
+func benchLadder(b *testing.B, disable bool, speculation int) {
 	in := ladderInstance()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c := mpc.NewCluster(in.Machines(), 42)
-		res, err := kcenter.Solve(c, in, kcenter.Config{K: 16, DisableProbeIndex: disable})
+		res, err := kcenter.Solve(c, in, kcenter.Config{
+			K: 16, DisableProbeIndex: disable, Speculation: speculation,
+		})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -40,8 +43,17 @@ func benchLadder(b *testing.B, disable bool) {
 // BenchmarkLadderProbes measures a full kcenter.Solve with the probe
 // index on (the default) — the headline number for the probe
 // acceleration layer.
-func BenchmarkLadderProbes(b *testing.B) { benchLadder(b, false) }
+func BenchmarkLadderProbes(b *testing.B) { benchLadder(b, false, 0) }
 
 // BenchmarkLadderProbesUncached is the same workload with the index
 // disabled: the before/after pair for docs/PERFORMANCE.md.
-func BenchmarkLadderProbesUncached(b *testing.B) { benchLadder(b, true) }
+func BenchmarkLadderProbesUncached(b *testing.B) { benchLadder(b, true, 0) }
+
+// BenchmarkLadderWaves is the speculative-search headline: the same
+// workload with the wave width tied to GOMAXPROCS, so a -cpu 1,2,4,8
+// sweep scales the speculation with the cores available to absorb it.
+// At -cpu 1 the wave runs its forks on one core — the sequential probe
+// work plus pure speculation overhead — which bounds the scheme's
+// cost floor; wall-clock gains over BenchmarkLadderProbes appear only
+// with real parallelism (wave-depth model in docs/PERFORMANCE.md).
+func BenchmarkLadderWaves(b *testing.B) { benchLadder(b, false, runtime.GOMAXPROCS(0)) }
