@@ -1,0 +1,49 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name        string
+		speculation int
+		faults      string
+		budgets     bool
+		wantErr     string // substring; empty means accept
+	}{
+		{"defaults", 0, "", false, ""},
+		{"sequential-width", 0, "", true, ""},
+		{"whole-ladder", -1, "", false, ""},
+		{"positive-width", 4, "", false, ""},
+		{"width-below-minus-one", -2, "", false, "-speculation -2"},
+		{"very-negative-width", -100, "", true, "-speculation -100"},
+		{"faults-with-budgets", 0, "crash:0.05,drop:0.02", true, ""},
+		{"all-kinds", 2, "crash:0.1,drop:0.1,duplicate:0.1,straggler:0.1,abort:0.1", true, ""},
+		{"faults-without-budgets", 0, "crash:0.05", false, "-faults requires -budgets"},
+		{"unknown-kind", 0, "meteor:0.1", true, "-faults"},
+		{"missing-rate", 0, "crash", true, "-faults"},
+		{"rate-above-one", 0, "crash:1.5", true, "-faults"},
+		{"negative-rate", 0, "crash:-0.1", true, "-faults"},
+		{"trailing-comma-tolerated", 0, "crash:0.1,", true, ""},
+		{"space-separated", 0, "crash:0.1 drop:0.1", true, "-faults"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateFlags(tc.speculation, tc.faults, tc.budgets)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("rejected: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("accepted speculation=%d faults=%q budgets=%v", tc.speculation, tc.faults, tc.budgets)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}

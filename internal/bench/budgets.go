@@ -7,6 +7,7 @@ import (
 	"parclust/internal/degree"
 	"parclust/internal/diversity"
 	"parclust/internal/domset"
+	"parclust/internal/fault"
 	"parclust/internal/kbmis"
 	"parclust/internal/kcenter"
 	"parclust/internal/ksupplier"
@@ -58,6 +59,14 @@ func BudgetValidation(cfg RunConfig, rec *mpc.TraceRecorder) (*Table, int, error
 	opts := []mpc.Option{mpc.WithBudgetEnforcement()}
 	if rec != nil {
 		opts = append(opts, mpc.WithRecorder(rec))
+	}
+	if cfg.Faults != "" {
+		rates, err := fault.ParseSpec(cfg.Faults)
+		if err != nil {
+			return nil, 0, fmt.Errorf("V1: -faults: %w", err)
+		}
+		opts = append(opts, mpc.WithFaultPolicy(fault.NewRandom(cfg.FaultSeed, rates)))
+		tab.AddNote(fmt.Sprintf("fault injection active (%s, seed %d); recovery overhead is excluded from every budget window", cfg.Faults, cfg.FaultSeed))
 	}
 	newCluster := func(seed uint64) *mpc.Cluster {
 		return mpc.NewCluster(m, seed, opts...)
@@ -131,14 +140,15 @@ func BudgetValidation(cfg RunConfig, rec *mpc.TraceRecorder) (*Table, int, error
 // worstPerAlgorithm collapses the per-call reports (one per guarded
 // call, so a ladder run yields many kbmis/degree windows) to the
 // highest-utilization window for each algorithm, violated windows
-// always winning. Reports from discarded speculative probes are
-// skipped: the theorem contracts cover the winning search path only
-// (docs/GUARANTEES.md), and speculation never charges a budget.
+// always winning. Reports from discarded speculative probes and from
+// fault-recovery re-executions are skipped: the theorem contracts cover
+// the winning search path only (docs/GUARANTEES.md), and neither
+// speculation nor recovery ever charges a budget.
 func worstPerAlgorithm(reports []mpc.BudgetReport) []mpc.BudgetReport {
 	idx := map[string]int{}
 	var out []mpc.BudgetReport
 	for _, rep := range reports {
-		if rep.Speculative {
+		if rep.Speculative || rep.Recovery {
 			continue
 		}
 		j, seen := idx[rep.Budget.Algorithm]

@@ -21,6 +21,16 @@ type RunConfig struct {
 	// running the budget gate with speculation on validates that the
 	// theorem contracts hold for the concurrent search too.
 	Speculation int
+	// Faults, when non-empty, is a fault.ParseSpec rate spec (e.g.
+	// "crash:0.05,drop:0.02") installed as a random fault schedule on
+	// every cluster the budget-validation suite builds. Recovery work is
+	// reported separately (Stats.RecoveryRounds/Words, recovery-tagged
+	// trace events) and never charges a theorem budget, so the gate must
+	// pass under any recoverable schedule — that is the chaos CI leg.
+	Faults string
+	// FaultSeed seeds the random fault schedule; identical seeds replay
+	// identical fault patterns.
+	FaultSeed uint64
 }
 
 // Experiment is a registered claim-validation experiment.

@@ -152,11 +152,8 @@ func Maximize(c *mpc.Cluster, in *instance.Instance, cfg Config) (*Result, error
 func maximize(c *mpc.Cluster, in *instance.Instance, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	k := cfg.K
-	if k < 1 {
-		return nil, fmt.Errorf("diversity: k = %d, need k >= 1", k)
-	}
-	if in.N == 0 {
-		return nil, fmt.Errorf("diversity: empty instance")
+	if err := instance.ValidateSolveInput(k, in); err != nil {
+		return nil, fmt.Errorf("diversity: %w", err)
 	}
 
 	// Lines 1–3: distributed GMM and the 4-approximation r.
@@ -268,13 +265,18 @@ func maximize(c *mpc.Cluster, in *instance.Instance, cfg Config) (*Result, error
 			lastHit = hits[j]
 		}
 	} else {
-		topOK, err := probeAt(t)
+		// Sequential probes recover from injected faults by checkpoint
+		// rollback (wave.RetryProbe); a no-op without a fault policy.
+		seqProbe := func(i int) (bool, error) {
+			return wave.RetryProbe(c, func() (bool, error) { return probeAt(i) })
+		}
+		topOK, err := seqProbe(t)
 		if err != nil {
 			return nil, err
 		}
 		j = t
 		if !topOK {
-			j, err = search.Boundary(0, t, probeAt)
+			j, err = search.Boundary(0, t, seqProbe)
 			if err != nil {
 				return nil, err
 			}
@@ -321,11 +323,8 @@ func bestCandidate(cs *coreset.Result, k int) (float64, []metric.Point, []int) {
 // r ≤ div_k(V) ≤ 4r. The call runs under TwoRoundBudget; when the
 // cluster enforces budgets a breach returns *mpc.BudgetViolation.
 func TwoRound4Approx(c *mpc.Cluster, in *instance.Instance, k int) ([]metric.Point, []int, float64, error) {
-	if k < 1 {
-		return nil, nil, 0, fmt.Errorf("diversity: k = %d, need k >= 1", k)
-	}
-	if in.N == 0 {
-		return nil, nil, 0, fmt.Errorf("diversity: empty instance")
+	if err := instance.ValidateSolveInput(k, in); err != nil {
+		return nil, nil, 0, fmt.Errorf("diversity: %w", err)
 	}
 	guard := c.Guard(TwoRoundBudget(in.Machines(), k, in.Dim()))
 	cs, err := coreset.Collect(c, in, k)

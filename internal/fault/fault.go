@@ -1,0 +1,333 @@
+// Package fault provides deterministic fault schedules for the MPC
+// simulator (internal/mpc): machine crashes mid-superstep, message drops
+// and duplication in transit, straggler delays, and persistent probe
+// aborts. A Schedule implements mpc.FaultPolicy and is a pure function
+// of its configuration — explicit events, or per-kind rates expanded
+// from a seed via rng.Derive — so a faulted run is exactly reproducible
+// from the schedule alone, and replayable from its NDJSON serialization
+// (ndjson.go).
+//
+// Determinism is load-bearing: the fault-parity suite
+// (internal/integration) asserts that any schedule with retries enabled
+// yields byte-identical results, winning traces and winning budget
+// reports to the fault-free run, which requires the same faults to
+// strike the same (round, machine) coordinates on every execution —
+// including concurrently forked probe clusters, which consult the
+// policy from multiple goroutines at once.
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"parclust/internal/mpc"
+	"parclust/internal/rng"
+)
+
+// Kind names an injected fault. The first four map one-to-one onto the
+// mpc recovery semantics (see internal/mpc/fault.go); Abort is a
+// schedule-level construct: a crash that refires on every in-place retry
+// of probe incarnation 0, so only a probe-level retry (fresh fork or
+// checkpoint rollback, at FaultScope.Epoch >= 1) gets past it.
+type Kind string
+
+const (
+	Crash     Kind = "crash"
+	Drop      Kind = "drop"
+	Duplicate Kind = "duplicate"
+	Straggler Kind = "straggler"
+	Abort     Kind = "abort"
+)
+
+// knownKind reports whether k is one of the defined fault kinds.
+func knownKind(k Kind) bool {
+	switch k {
+	case Crash, Drop, Duplicate, Straggler, Abort:
+		return true
+	}
+	return false
+}
+
+// Event is one explicitly scheduled fault. The zero values of the
+// optional fields mean "first attempt, first incarnation, root cluster,
+// any name".
+type Event struct {
+	// Round is the cluster-local round index the fault strikes
+	// (fork-local for fork-scoped events); -1 matches every round.
+	Round int `json:"round"`
+	// Machine is the machine the fault strikes (the sender, for transit
+	// faults). Out-of-range indices are ignored by the simulator.
+	Machine int `json:"machine"`
+	// Kind is the fault kind.
+	Kind Kind `json:"kind"`
+	// Attempt is the in-place superstep retry attempt the fault strikes
+	// (crash/straggler; transit faults fire on the attempt that
+	// completes the round). Ignored by Abort, which strikes every
+	// attempt.
+	Attempt int `json:"attempt,omitempty"`
+	// Epoch is the probe incarnation the fault strikes: 0 is the first
+	// execution, n >= 1 the n-th probe-level retry. Faults pinned to
+	// epoch 0 vanish on retry — that is what makes them recoverable.
+	Epoch int `json:"epoch,omitempty"`
+	// Rung, when non-nil, restricts the fault to the forked probe
+	// cluster of that ladder rung; nil matches the root cluster and
+	// forks alike.
+	Rung *int `json:"rung,omitempty"`
+	// Name, when non-empty, restricts the fault to supersteps whose
+	// label has this prefix (e.g. "kbmis/").
+	Name string `json:"name,omitempty"`
+	// DelayNanos is the straggler delay; ignored by other kinds.
+	DelayNanos int64 `json:"delay_ns,omitempty"`
+}
+
+// matches reports whether the event strikes the given coordinates.
+func (e Event) matches(scope mpc.FaultScope, round, attempt int, name string) bool {
+	if e.Round != -1 && e.Round != round {
+		return false
+	}
+	if e.Kind != Abort && e.Attempt != attempt {
+		return false
+	}
+	if e.Epoch != scope.Epoch {
+		return false
+	}
+	if e.Rung != nil && (!scope.Fork || *e.Rung != scope.Rung) {
+		return false
+	}
+	if e.Name != "" && !strings.HasPrefix(name, e.Name) {
+		return false
+	}
+	return true
+}
+
+// Rates configures the random mode: each is the per-(round, machine)
+// probability of the corresponding fault kind, decided independently
+// and deterministically from the schedule seed. StragglerDelay is the
+// delay injected by straggler faults.
+type Rates struct {
+	Crash          float64       `json:"crash,omitempty"`
+	Drop           float64       `json:"drop,omitempty"`
+	Duplicate      float64       `json:"duplicate,omitempty"`
+	Straggler      float64       `json:"straggler,omitempty"`
+	Abort          float64       `json:"abort,omitempty"`
+	StragglerDelay time.Duration `json:"straggler_delay_ns,omitempty"`
+}
+
+func (r Rates) zero() bool {
+	return r.Crash == 0 && r.Drop == 0 && r.Duplicate == 0 && r.Straggler == 0 && r.Abort == 0
+}
+
+// Schedule is a deterministic fault plan implementing mpc.FaultPolicy.
+// It combines an explicit event list with a rate-driven random mode
+// (both may be active); the random decisions are pure functions of
+// (Seed, scope, round, machine, kind), so concurrent forks and repeated
+// runs see identical faults. The zero value injects nothing and allows
+// no retries.
+type Schedule struct {
+	// Events are explicitly scheduled faults.
+	Events []Event
+	// Seed drives the random mode via rng.Derive.
+	Seed uint64
+	// Rates are the random-mode fault probabilities.
+	Rates Rates
+	// MaxRoundRetries is the in-place superstep retry allowance
+	// (mpc.FaultPolicy.RoundRetries): how many failed attempts a round
+	// may absorb before the superstep fails with mpc.ErrFault.
+	MaxRoundRetries int
+	// MaxProbeRetries is the probe-level retry allowance
+	// (mpc.FaultPolicy.ProbeRetries) consumed by the ladder drivers.
+	MaxProbeRetries int
+	// Backoff is the base probe-retry backoff: attempt n waits
+	// (n+1)·Backoff. Keep it tiny in tests — it is wall-clock time.
+	Backoff time.Duration
+
+	// fired counts PlanRound calls that injected at least one fault —
+	// observability for tests asserting a schedule actually struck.
+	fired atomic.Int64
+}
+
+var _ mpc.FaultPolicy = (*Schedule)(nil)
+
+// NewRandom returns a rate-driven schedule with the default recovery
+// allowance (2 in-place round retries, 2 probe retries): every injected
+// fault is recoverable unless the caller lowers the allowances.
+func NewRandom(seed uint64, rates Rates) *Schedule {
+	return &Schedule{Seed: seed, Rates: rates, MaxRoundRetries: 2, MaxProbeRetries: 2}
+}
+
+// FromEvents returns an event-driven schedule with the same default
+// recovery allowance as NewRandom.
+func FromEvents(events ...Event) *Schedule {
+	return &Schedule{Events: events, MaxRoundRetries: 2, MaxProbeRetries: 2}
+}
+
+// RoundRetries implements mpc.FaultPolicy.
+func (s *Schedule) RoundRetries() int { return s.MaxRoundRetries }
+
+// ProbeRetries implements mpc.FaultPolicy.
+func (s *Schedule) ProbeRetries() int { return s.MaxProbeRetries }
+
+// ProbeBackoff implements mpc.FaultPolicy: linear backoff on the
+// configured base.
+func (s *Schedule) ProbeBackoff(attempt int) time.Duration {
+	return time.Duration(attempt+1) * s.Backoff
+}
+
+// Fired returns how many PlanRound calls injected at least one fault.
+func (s *Schedule) Fired() int64 { return s.fired.Load() }
+
+// Salt labels mixed into rng.Derive chains, one per decision dimension,
+// so distinct coordinates can never collide onto one random draw.
+const (
+	saltScope = 0xFA017
+	saltKind  = 0x5EED
+)
+
+// decide is the random-mode coin flip for one (coordinate, kind):
+// deterministic, stateless, uniform in [0,1) against p.
+func (s *Schedule) decide(scope mpc.FaultScope, round, machine int, kind uint64, p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	scopeLabel := uint64(saltScope)
+	if scope.Fork {
+		scopeLabel = scopeLabel*31 + 1 + uint64(scope.Rung)*2654435761
+	}
+	seed := rng.Derive(s.Seed, scopeLabel)
+	seed = rng.Derive(seed, uint64(round))
+	seed = rng.Derive(seed, uint64(machine)*8+kind+saltKind)
+	return rng.New(seed).Float64() < p
+}
+
+// PlanRound implements mpc.FaultPolicy. Random-mode faults strike only
+// the first attempt of probe incarnation 0 — recovery, once underway, is
+// clean — except Abort events, which strike every attempt of incarnation
+// 0 so that only a probe-level retry escapes them.
+func (s *Schedule) PlanRound(scope mpc.FaultScope, round, attempt int, name string) mpc.RoundFaults {
+	var rf mpc.RoundFaults
+	for _, e := range s.Events {
+		if !e.matches(scope, round, attempt, name) {
+			continue
+		}
+		switch e.Kind {
+		case Crash, Abort:
+			rf.Crash = append(rf.Crash, e.Machine)
+		case Drop:
+			rf.DropFrom = append(rf.DropFrom, e.Machine)
+		case Duplicate:
+			rf.DuplicateFrom = append(rf.DuplicateFrom, e.Machine)
+		case Straggler:
+			if rf.StragglerDelay == nil {
+				rf.StragglerDelay = map[int]int64{}
+			}
+			rf.StragglerDelay[e.Machine] = e.DelayNanos
+		}
+	}
+	if !s.Rates.zero() && scope.Epoch == 0 && attempt == 0 {
+		// Random mode needs machine coordinates; probe them lazily for a
+		// bounded range. The simulator ignores out-of-range indices, so
+		// over-probing is harmless; maxMachines bounds the work.
+		for machine := 0; machine < maxMachines; machine++ {
+			if s.decide(scope, round, machine, 0, s.Rates.Crash) {
+				rf.Crash = append(rf.Crash, machine)
+			}
+			if s.decide(scope, round, machine, 1, s.Rates.Drop) {
+				rf.DropFrom = append(rf.DropFrom, machine)
+			}
+			if s.decide(scope, round, machine, 2, s.Rates.Duplicate) {
+				rf.DuplicateFrom = append(rf.DuplicateFrom, machine)
+			}
+			if s.decide(scope, round, machine, 3, s.Rates.Straggler) {
+				if rf.StragglerDelay == nil {
+					rf.StragglerDelay = map[int]int64{}
+				}
+				delay := s.Rates.StragglerDelay
+				if delay <= 0 {
+					delay = 50 * time.Microsecond
+				}
+				rf.StragglerDelay[machine] = int64(delay)
+			}
+		}
+	}
+	if s.Rates.Abort > 0 && scope.Epoch == 0 {
+		// Abort rate: decided per round (machine 0 coordinate), striking
+		// every attempt, so in-place retries cannot absorb it.
+		if s.decide(scope, round, 0, 4, s.Rates.Abort) {
+			rf.Crash = append(rf.Crash, 0)
+		}
+	}
+	if !rf.Empty() {
+		s.fired.Add(1)
+	}
+	return rf
+}
+
+// maxMachines bounds the machine indices the random mode probes per
+// round. Simulated clusters are small (the bench suite tops out well
+// below this); indices beyond the actual cluster size are ignored by
+// the simulator.
+const maxMachines = 64
+
+// ParseSpec parses the CLI fault specification accepted by
+// cmd/mpcbench -faults: a comma-separated list of kind:rate pairs, e.g.
+// "crash:0.05,drop:0.02,duplicate:0.02,straggler:0.01". Rates must be
+// probabilities in [0,1]; unknown kinds and malformed rates are errors.
+func ParseSpec(spec string) (Rates, error) {
+	var r Rates
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kind, val, ok := strings.Cut(part, ":")
+		if !ok {
+			return Rates{}, fmt.Errorf("fault: bad spec element %q (want kind:rate)", part)
+		}
+		p, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil || p < 0 || p > 1 {
+			return Rates{}, fmt.Errorf("fault: bad rate %q for kind %q (want a probability in [0,1])", val, kind)
+		}
+		switch Kind(strings.TrimSpace(kind)) {
+		case Crash:
+			r.Crash = p
+		case Drop:
+			r.Drop = p
+		case Duplicate:
+			r.Duplicate = p
+		case Straggler:
+			r.Straggler = p
+		case Abort:
+			r.Abort = p
+		default:
+			return Rates{}, fmt.Errorf("fault: unknown fault kind %q (known: crash, drop, duplicate, straggler, abort)", kind)
+		}
+	}
+	return r, nil
+}
+
+// normalizeEvents sorts events into a canonical order (round, machine,
+// kind, attempt, epoch) so serialization round-trips compare stably.
+func normalizeEvents(events []Event) []Event {
+	out := append([]Event(nil), events...)
+	sort.SliceStable(out, func(a, b int) bool {
+		ea, eb := out[a], out[b]
+		if ea.Round != eb.Round {
+			return ea.Round < eb.Round
+		}
+		if ea.Machine != eb.Machine {
+			return ea.Machine < eb.Machine
+		}
+		if ea.Kind != eb.Kind {
+			return ea.Kind < eb.Kind
+		}
+		if ea.Attempt != eb.Attempt {
+			return ea.Attempt < eb.Attempt
+		}
+		return ea.Epoch < eb.Epoch
+	})
+	return out
+}

@@ -1,0 +1,219 @@
+package fault
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"parclust/internal/mpc"
+)
+
+func TestPlanRoundDeterministic(t *testing.T) {
+	rates := Rates{Crash: 0.3, Drop: 0.2, Duplicate: 0.2, Straggler: 0.1}
+	a := NewRandom(42, rates)
+	b := NewRandom(42, rates)
+	scopes := []mpc.FaultScope{
+		{},
+		{Fork: true, Rung: 0},
+		{Fork: true, Rung: 3},
+		{Epoch: 1},
+	}
+	fired := false
+	for _, scope := range scopes {
+		for round := 0; round < 40; round++ {
+			pa := a.PlanRound(scope, round, 0, "x")
+			pb := b.PlanRound(scope, round, 0, "x")
+			if !reflect.DeepEqual(pa, pb) {
+				t.Fatalf("scope %+v round %d: plans differ:\n%+v\n%+v", scope, round, pa, pb)
+			}
+			if !pa.Empty() {
+				fired = true
+			}
+			if scope.Epoch > 0 && !pa.Empty() {
+				t.Fatalf("random fault fired at epoch %d: %+v", scope.Epoch, pa)
+			}
+			// Later attempts of a recovering round stay clean.
+			if p1 := a.PlanRound(scope, round, 1, "x"); !p1.Empty() {
+				t.Fatalf("random fault fired on attempt 1: %+v", p1)
+			}
+		}
+	}
+	if !fired {
+		t.Fatal("schedule never fired at these rates over 40 rounds × 4 scopes")
+	}
+	if a.Fired() == 0 {
+		t.Fatal("Fired() = 0 after injecting")
+	}
+}
+
+func TestForkScopesDrawIndependently(t *testing.T) {
+	s := NewRandom(7, Rates{Crash: 0.5})
+	var root, rung1 []mpc.RoundFaults
+	for round := 0; round < 16; round++ {
+		root = append(root, s.PlanRound(mpc.FaultScope{}, round, 0, "x"))
+		rung1 = append(rung1, s.PlanRound(mpc.FaultScope{Fork: true, Rung: 1}, round, 0, "x"))
+	}
+	if reflect.DeepEqual(root, rung1) {
+		t.Fatal("root and fork scopes produced identical fault plans — scope is not mixed into the draw")
+	}
+}
+
+func TestEventMatching(t *testing.T) {
+	rung2 := 2
+	cases := []struct {
+		name    string
+		ev      Event
+		scope   mpc.FaultScope
+		round   int
+		attempt int
+		label   string
+		want    bool
+	}{
+		{"exact", Event{Round: 3, Machine: 1, Kind: Crash}, mpc.FaultScope{}, 3, 0, "any", true},
+		{"wrong-round", Event{Round: 3, Machine: 1, Kind: Crash}, mpc.FaultScope{}, 4, 0, "any", false},
+		{"any-round", Event{Round: -1, Machine: 1, Kind: Crash}, mpc.FaultScope{}, 9, 0, "any", true},
+		{"wrong-attempt", Event{Round: 3, Machine: 1, Kind: Crash}, mpc.FaultScope{}, 3, 1, "any", false},
+		{"pinned-attempt", Event{Round: 3, Machine: 1, Kind: Crash, Attempt: 1}, mpc.FaultScope{}, 3, 1, "any", true},
+		{"abort-every-attempt", Event{Round: 3, Machine: 1, Kind: Abort}, mpc.FaultScope{}, 3, 2, "any", true},
+		{"epoch-0-vanishes-on-retry", Event{Round: 3, Machine: 1, Kind: Abort}, mpc.FaultScope{Epoch: 1}, 3, 0, "any", false},
+		{"epoch-pinned", Event{Round: 3, Machine: 1, Kind: Crash, Epoch: 1}, mpc.FaultScope{Epoch: 1}, 3, 0, "any", true},
+		{"rung-scoped-hit", Event{Round: 0, Machine: 0, Kind: Crash, Rung: &rung2}, mpc.FaultScope{Fork: true, Rung: 2}, 0, 0, "any", true},
+		{"rung-scoped-other-rung", Event{Round: 0, Machine: 0, Kind: Crash, Rung: &rung2}, mpc.FaultScope{Fork: true, Rung: 3}, 0, 0, "any", false},
+		{"rung-scoped-root", Event{Round: 0, Machine: 0, Kind: Crash, Rung: &rung2}, mpc.FaultScope{}, 0, 0, "any", false},
+		{"name-prefix-hit", Event{Round: -1, Machine: 0, Kind: Crash, Name: "kbmis/"}, mpc.FaultScope{}, 5, 0, "kbmis/sample", true},
+		{"name-prefix-miss", Event{Round: -1, Machine: 0, Kind: Crash, Name: "kbmis/"}, mpc.FaultScope{}, 5, 0, "coreset/local-gmm", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := FromEvents(tc.ev)
+			got := !s.PlanRound(tc.scope, tc.round, tc.attempt, tc.label).Empty()
+			if got != tc.want {
+				t.Fatalf("fired = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestPlanRoundKindsRouted(t *testing.T) {
+	s := FromEvents(
+		Event{Round: 0, Machine: 0, Kind: Crash},
+		Event{Round: 0, Machine: 1, Kind: Drop},
+		Event{Round: 0, Machine: 2, Kind: Duplicate},
+		Event{Round: 0, Machine: 3, Kind: Straggler, DelayNanos: 500},
+	)
+	rf := s.PlanRound(mpc.FaultScope{}, 0, 0, "x")
+	if !reflect.DeepEqual(rf.Crash, []int{0}) || !reflect.DeepEqual(rf.DropFrom, []int{1}) ||
+		!reflect.DeepEqual(rf.DuplicateFrom, []int{2}) || rf.StragglerDelay[3] != 500 {
+		t.Fatalf("kinds misrouted: %+v", rf)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	good, err := ParseSpec("crash:0.05, drop:0.02,duplicate:1,straggler:0, abort:0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Rates{Crash: 0.05, Drop: 0.02, Duplicate: 1, Straggler: 0, Abort: 0.5}
+	if good != want {
+		t.Fatalf("parsed %+v, want %+v", good, want)
+	}
+	if r, err := ParseSpec(""); err != nil || !r.zero() {
+		t.Fatalf("empty spec: %+v, %v", r, err)
+	}
+	for _, bad := range []string{
+		"crash",          // no rate
+		"meteor:0.1",     // unknown kind
+		"crash:1.5",      // rate above 1
+		"crash:-0.1",     // negative rate
+		"crash:lots",     // non-numeric rate
+		"crash:0.1,drop", // trailing junk
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestNDJSONRoundTrip(t *testing.T) {
+	rung := 4
+	s := &Schedule{
+		Seed: 99,
+		Rates: Rates{
+			Crash: 0.1, Drop: 0.05, Duplicate: 0.02, Straggler: 0.01,
+			StragglerDelay: 3 * time.Microsecond,
+		},
+		MaxRoundRetries: 2,
+		MaxProbeRetries: 1,
+		Backoff:         time.Millisecond,
+		Events: []Event{
+			{Round: 7, Machine: 2, Kind: Drop, Attempt: 1},
+			{Round: -1, Machine: 0, Kind: Abort, Name: "kbmis/"},
+			{Round: 3, Machine: 1, Kind: Straggler, DelayNanos: 1000, Rung: &rung},
+		},
+	}
+	var buf bytes.Buffer
+	if err := s.WriteNDJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadNDJSON(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Events = normalizeEvents(s.Events)
+	if got.Seed != s.Seed || got.Rates != s.Rates || got.MaxRoundRetries != s.MaxRoundRetries ||
+		got.MaxProbeRetries != s.MaxProbeRetries || got.Backoff != s.Backoff {
+		t.Fatalf("config mismatch:\nwant %+v\ngot  %+v", s, got)
+	}
+	if !reflect.DeepEqual(got.Events, s.Events) {
+		t.Fatalf("events mismatch:\nwant %+v\ngot  %+v", s.Events, got.Events)
+	}
+	// A second serialization must be byte-identical (canonical order).
+	var buf2 bytes.Buffer
+	if err := got.WriteNDJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatalf("re-serialization differs:\n%s\nvs\n%s", buf.Bytes(), buf2.Bytes())
+	}
+	// And the deserialized schedule replays the exact fault pattern.
+	for round := 0; round < 20; round++ {
+		a := s.PlanRound(mpc.FaultScope{}, round, 0, "kbmis/sample")
+		b := got.PlanRound(mpc.FaultScope{}, round, 0, "kbmis/sample")
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("round %d replay differs: %+v vs %+v", round, a, b)
+		}
+	}
+}
+
+func TestReadNDJSONErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"garbage", "not json\n"},
+		{"neither", `{"something":1}` + "\n"},
+		{"unknown-kind", `{"event":{"round":0,"machine":0,"kind":"meteor"}}` + "\n"},
+		{"bad-round", `{"event":{"round":-2,"machine":0,"kind":"crash"}}` + "\n"},
+		{"bad-machine", `{"event":{"round":0,"machine":-1,"kind":"crash"}}` + "\n"},
+		{"bad-delay", `{"event":{"round":0,"machine":0,"kind":"straggler","delay_ns":-5}}` + "\n"},
+		{"bad-rate", `{"schedule":{"rates":{"crash":1.5}}}` + "\n"},
+		{"negative-retries", `{"schedule":{"round_retries":-1}}` + "\n"},
+		{"duplicate-config", `{"schedule":{}}` + "\n" + `{"schedule":{}}` + "\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadNDJSON(strings.NewReader(tc.in)); err == nil {
+				t.Fatalf("accepted %q", tc.in)
+			}
+		})
+	}
+	// Blank lines and a missing config line are fine.
+	s, err := ReadNDJSON(strings.NewReader("\n" + `{"event":{"round":0,"machine":0,"kind":"crash"}}` + "\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Events) != 1 || s.MaxRoundRetries != 0 {
+		t.Fatalf("event-only schedule: %+v", s)
+	}
+}

@@ -1,0 +1,60 @@
+package fault
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzScheduleNDJSON asserts the parser never panics on arbitrary input
+// and that every accepted schedule round-trips to a fixed point:
+// serialize(parse(x)) parses back to an equal schedule with an identical
+// serialization (canonical form). The seed corpus covers the config
+// line, every fault kind, wildcard rounds, rung scoping and the
+// boundary values the validator must reject.
+func FuzzScheduleNDJSON(f *testing.F) {
+	seeds := []string{
+		"",
+		"\n\n",
+		`{"schedule":{"seed":7,"rates":{"crash":0.1,"drop":0.05},"round_retries":2,"probe_retries":1,"backoff_ns":1000}}` + "\n",
+		`{"schedule":{}}` + "\n" + `{"event":{"round":0,"machine":0,"kind":"crash"}}` + "\n",
+		`{"event":{"round":-1,"machine":1,"kind":"abort","name":"kbmis/"}}` + "\n",
+		`{"event":{"round":3,"machine":2,"kind":"drop","attempt":1,"epoch":1}}` + "\n",
+		`{"event":{"round":0,"machine":0,"kind":"straggler","delay_ns":500,"rung":4}}` + "\n",
+		`{"event":{"round":5,"machine":3,"kind":"duplicate"}}` + "\n",
+		`{"schedule":{"rates":{"crash":1.5}}}` + "\n",
+		`{"event":{"round":-2,"machine":0,"kind":"crash"}}` + "\n",
+		`{"event":{"round":0,"machine":0,"kind":"meteor"}}` + "\n",
+		`{"bogus":true}` + "\n",
+		"not json at all",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ReadNDJSON(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input — fine, as long as we did not panic
+		}
+		var buf bytes.Buffer
+		if err := s.WriteNDJSON(&buf); err != nil {
+			t.Fatalf("serializing an accepted schedule failed: %v", err)
+		}
+		s2, err := ReadNDJSON(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("canonical form rejected: %v\n%s", err, buf.Bytes())
+		}
+		if s.Seed != s2.Seed || s.Rates != s2.Rates || s.MaxRoundRetries != s2.MaxRoundRetries ||
+			s.MaxProbeRetries != s2.MaxProbeRetries || s.Backoff != s2.Backoff ||
+			!reflect.DeepEqual(s.Events, s2.Events) {
+			t.Fatalf("round-trip not a fixed point:\nfirst:  %+v\nsecond: %+v", s, s2)
+		}
+		var buf2 bytes.Buffer
+		if err := s2.WriteNDJSON(&buf2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+			t.Fatalf("canonical serialization unstable:\n%s\nvs\n%s", buf.Bytes(), buf2.Bytes())
+		}
+	})
+}

@@ -1,0 +1,127 @@
+package fault
+
+// NDJSON serialization for Schedules: one JSON object per line, the
+// first carrying the schedule configuration (seed, rates, recovery
+// allowances) and each subsequent line one explicit event. Because the
+// random mode is a pure function of the configuration, a deserialized
+// schedule replays the exact fault pattern of the original — the NDJSON
+// file is the complete, replayable description of a chaos run.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// scheduleConfig is the wire form of a Schedule's scalar configuration.
+type scheduleConfig struct {
+	Seed         uint64 `json:"seed,omitempty"`
+	Rates        Rates  `json:"rates,omitempty"`
+	RoundRetries int    `json:"round_retries,omitempty"`
+	ProbeRetries int    `json:"probe_retries,omitempty"`
+	BackoffNanos int64  `json:"backoff_ns,omitempty"`
+}
+
+// ndjsonLine is one line of the wire format: exactly one of the two
+// fields is set.
+type ndjsonLine struct {
+	Schedule *scheduleConfig `json:"schedule,omitempty"`
+	Event    *Event          `json:"event,omitempty"`
+}
+
+// WriteNDJSON serializes the schedule: a "schedule" configuration line
+// followed by one "event" line per explicit event, in canonical order.
+func (s *Schedule) WriteNDJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	cfg := scheduleConfig{
+		Seed:         s.Seed,
+		Rates:        s.Rates,
+		RoundRetries: s.MaxRoundRetries,
+		ProbeRetries: s.MaxProbeRetries,
+		BackoffNanos: int64(s.Backoff),
+	}
+	if err := enc.Encode(ndjsonLine{Schedule: &cfg}); err != nil {
+		return err
+	}
+	for _, e := range normalizeEvents(s.Events) {
+		e := e
+		if err := enc.Encode(ndjsonLine{Event: &e}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadNDJSON parses a stream produced by WriteNDJSON back into a
+// Schedule. Blank lines are skipped; malformed lines, unknown fault
+// kinds, out-of-range rates and duplicate configuration lines are
+// errors. A stream with no configuration line yields a pure event
+// schedule with zero recovery allowance.
+func ReadNDJSON(r io.Reader) (*Schedule, error) {
+	s := &Schedule{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line, sawConfig := 0, false
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var l ndjsonLine
+		if err := json.Unmarshal([]byte(text), &l); err != nil {
+			return nil, fmt.Errorf("fault: schedule line %d: %w", line, err)
+		}
+		switch {
+		case l.Schedule != nil:
+			if sawConfig {
+				return nil, fmt.Errorf("fault: schedule line %d: duplicate schedule configuration", line)
+			}
+			sawConfig = true
+			if err := validRates(l.Schedule.Rates); err != nil {
+				return nil, fmt.Errorf("fault: schedule line %d: %w", line, err)
+			}
+			if l.Schedule.RoundRetries < 0 || l.Schedule.ProbeRetries < 0 || l.Schedule.BackoffNanos < 0 {
+				return nil, fmt.Errorf("fault: schedule line %d: negative retry/backoff configuration", line)
+			}
+			s.Seed = l.Schedule.Seed
+			s.Rates = l.Schedule.Rates
+			s.MaxRoundRetries = l.Schedule.RoundRetries
+			s.MaxProbeRetries = l.Schedule.ProbeRetries
+			s.Backoff = time.Duration(l.Schedule.BackoffNanos)
+		case l.Event != nil:
+			if !knownKind(l.Event.Kind) {
+				return nil, fmt.Errorf("fault: schedule line %d: unknown fault kind %q", line, l.Event.Kind)
+			}
+			if l.Event.Round < -1 || l.Event.Machine < 0 || l.Event.Attempt < 0 ||
+				l.Event.Epoch < 0 || l.Event.DelayNanos < 0 {
+				return nil, fmt.Errorf("fault: schedule line %d: out-of-range event field", line)
+			}
+			s.Events = append(s.Events, *l.Event)
+		default:
+			return nil, fmt.Errorf("fault: schedule line %d: neither schedule nor event", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	s.Events = normalizeEvents(s.Events)
+	return s, nil
+}
+
+// validRates rejects rates outside [0,1] and negative delays.
+func validRates(r Rates) error {
+	for _, p := range []float64{r.Crash, r.Drop, r.Duplicate, r.Straggler, r.Abort} {
+		if p < 0 || p > 1 || p != p {
+			return fmt.Errorf("rate %v outside [0,1]", p)
+		}
+	}
+	if r.StragglerDelay < 0 {
+		return fmt.Errorf("negative straggler delay %v", r.StragglerDelay)
+	}
+	return nil
+}

@@ -1,0 +1,53 @@
+package instance
+
+// Shared input validation for the algorithm entry points (kcenter.Solve,
+// diversity.Maximize, ksupplier.Solve). The ladder algorithms tolerate
+// many degenerate shapes — k >= n collapses to "all points are centers",
+// single-point instances short-circuit before the ladder — but some
+// inputs have no defined answer and must be rejected up front with a
+// typed error rather than producing NaN radii or undefined behavior
+// deep inside a probe.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrBadK is wrapped by validation errors for out-of-range size
+// parameters (k < 1).
+var ErrBadK = errors.New("instance: size parameter k must be >= 1")
+
+// ErrEmpty is wrapped by validation errors for instances with no points.
+var ErrEmpty = errors.New("instance: empty instance")
+
+// ErrNonFinite is wrapped by validation errors for instances containing
+// NaN or Inf coordinates, for which no metric guarantee is defined.
+var ErrNonFinite = errors.New("instance: non-finite coordinate")
+
+// ValidateSolveInput checks the (k, instances) input shared by the
+// algorithm entry points: k must be at least 1, every instance must be
+// non-nil and hold at least one point, and every coordinate must be
+// finite. A nil return guarantees the ladder algorithms a defined
+// Result exists. The returned errors wrap ErrBadK / ErrEmpty /
+// ErrNonFinite for errors.Is dispatch.
+func ValidateSolveInput(k int, ins ...*Instance) error {
+	if k < 1 {
+		return fmt.Errorf("%w (got k = %d)", ErrBadK, k)
+	}
+	for _, in := range ins {
+		if in == nil || in.N == 0 {
+			return ErrEmpty
+		}
+		for i, part := range in.Parts {
+			for j, p := range part {
+				for d, v := range p {
+					if math.IsNaN(v) || math.IsInf(v, 0) {
+						return fmt.Errorf("%w: machine %d point %d dim %d = %v", ErrNonFinite, i, j, d, v)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+package integration
+
+// Cross-algorithm degenerate-input contract: every Solve entry point
+// classifies bad inputs through the shared validation helper
+// (instance.ValidateSolveInput), returning its typed sentinels for
+// errors.Is dispatch, and returns a defined Result for the degenerate
+// shapes that do have an answer (k ≥ n, a single point). No algorithm
+// may panic, loop, or hand back NaN radii on any of these.
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"parclust/internal/diversity"
+	"parclust/internal/instance"
+	"parclust/internal/kcenter"
+	"parclust/internal/ksupplier"
+	"parclust/internal/metric"
+	"parclust/internal/mpc"
+	"parclust/internal/workload"
+)
+
+func TestDegenerateInputsAcrossAlgorithms(t *testing.T) {
+	const m = 3
+	space := metric.L2{}
+	mk := func(pts []metric.Point) *instance.Instance {
+		return instance.New(space, workload.PartitionRoundRobin(nil, pts, m))
+	}
+	good := mk(workload.Line(6))
+	empty := instance.New(space, make([][]metric.Point, m))
+	withNaN := mk([]metric.Point{{0, 0}, {1, math.NaN()}, {2, 0}})
+	withInf := mk([]metric.Point{{0, 0}, {math.Inf(1), 0}, {2, 0}})
+	single := mk([]metric.Point{{3, 4}})
+
+	type call func(c *mpc.Cluster, in *instance.Instance, k int) (npts int, radius float64, err error)
+	algos := []struct {
+		name string
+		run  call
+	}{
+		{"kcenter", func(c *mpc.Cluster, in *instance.Instance, k int) (int, float64, error) {
+			res, err := kcenter.Solve(c, in, kcenter.Config{K: k})
+			if err != nil {
+				return 0, 0, err
+			}
+			return len(res.Centers), res.Radius, nil
+		}},
+		{"diversity", func(c *mpc.Cluster, in *instance.Instance, k int) (int, float64, error) {
+			res, err := diversity.Maximize(c, in, diversity.Config{K: k})
+			if err != nil {
+				return 0, 0, err
+			}
+			return len(res.Points), 0, nil
+		}},
+		{"ksupplier", func(c *mpc.Cluster, in *instance.Instance, k int) (int, float64, error) {
+			res, err := ksupplier.Solve(c, in, in, ksupplier.Config{K: k})
+			if err != nil {
+				return 0, 0, err
+			}
+			return len(res.Suppliers), res.Radius, nil
+		}},
+	}
+
+	cases := []struct {
+		name    string
+		in      *instance.Instance
+		k       int
+		wantErr error // nil means a defined Result is required
+		// maxPts bounds the returned set size when wantErr is nil.
+		maxPts int
+	}{
+		{"k-zero", good, 0, instance.ErrBadK, 0},
+		{"k-negative", good, -3, instance.ErrBadK, 0},
+		{"empty-instance", empty, 2, instance.ErrEmpty, 0},
+		{"nan-coordinate", withNaN, 2, instance.ErrNonFinite, 0},
+		{"inf-coordinate", withInf, 2, instance.ErrNonFinite, 0},
+		{"single-point", single, 1, nil, 1},
+		{"k-equals-n", good, 6, nil, 6},
+		{"k-exceeds-n", good, 9, nil, 6},
+	}
+	for _, alg := range algos {
+		for _, tc := range cases {
+			t.Run(alg.name+"/"+tc.name, func(t *testing.T) {
+				c := mpc.NewCluster(m, 1)
+				npts, radius, err := alg.run(c, tc.in, tc.k)
+				if tc.wantErr != nil {
+					if !errors.Is(err, tc.wantErr) {
+						t.Fatalf("err = %v, want errors.Is(%v)", err, tc.wantErr)
+					}
+					return
+				}
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				if npts < 1 || npts > tc.maxPts {
+					t.Fatalf("returned %d points, want 1..%d", npts, tc.maxPts)
+				}
+				if math.IsNaN(radius) || math.IsInf(radius, 0) {
+					t.Fatalf("non-finite radius %v", radius)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,126 @@
+// Fault-recovery parity: under any fault schedule the retries can
+// absorb, every ladder algorithm must return byte-identical results,
+// winning traces, winning budget reports, and winning Rounds/TotalWords
+// to the fault-free run at the same speculation width — recovery work is
+// visible only under Stats.RecoveryRounds/Words, recovery-tagged trace
+// events, and BudgetReport.Recovery. This is the fault analogue of
+// TestWaveSearchParity: that suite pins width-invariance, this one pins
+// fault-invariance at each width.
+package integration_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"parclust/internal/fault"
+	"parclust/internal/metric"
+)
+
+// compareToClean asserts the faulted run's winning views are
+// byte-identical to the fault-free baseline.
+func compareToClean(t *testing.T, tag string, clean, got waveRun) {
+	t.Helper()
+	if !reflect.DeepEqual(got.result, clean.result) {
+		t.Errorf("%s: result differs from fault-free run:\nclean: %+v\ngot:   %+v",
+			tag, clean.result, got.result)
+	}
+	if got.specProbes != clean.specProbes {
+		t.Errorf("%s: speculative probes %d, fault-free %d", tag, got.specProbes, clean.specProbes)
+	}
+	if !reflect.DeepEqual(got.winEvents, clean.winEvents) {
+		t.Errorf("%s: winning trace differs (%d vs %d events)",
+			tag, len(got.winEvents), len(clean.winEvents))
+	}
+	if !reflect.DeepEqual(got.winReports, clean.winReports) {
+		t.Errorf("%s: winning budget reports differ:\nclean: %v\ngot:   %v",
+			tag, clean.winReports, got.winReports)
+	}
+	if got.stats.Rounds != clean.stats.Rounds || got.stats.TotalWords != clean.stats.TotalWords {
+		t.Errorf("%s: winning stats differ: clean %d/%d, got %d/%d",
+			tag, clean.stats.Rounds, clean.stats.TotalWords, got.stats.Rounds, got.stats.TotalWords)
+	}
+}
+
+// TestFaultRecoveryParity runs the random-mode matrix: each fault kind ×
+// each algorithm × each metric × widths {0, 2, 4}. Random faults strike
+// only first attempts, so the in-place retry allowance always recovers;
+// the contract is that nothing of the recovery leaks into the winning
+// views.
+func TestFaultRecoveryParity(t *testing.T) {
+	kinds := []struct {
+		name  string
+		rates fault.Rates
+		// recovers: the kind leaves a Recovery footprint; stragglers
+		// only stretch wall clock and must leave none.
+		recovers bool
+	}{
+		{"crash", fault.Rates{Crash: 0.15}, true},
+		{"drop", fault.Rates{Drop: 0.15}, true},
+		{"duplicate", fault.Rates{Duplicate: 0.15}, true},
+		{"straggler", fault.Rates{Straggler: 0.25, StragglerDelay: time.Microsecond}, false},
+	}
+	spaces := []metric.Space{metric.L2{}, metric.L1{}, metric.LInf{}}
+	for _, algo := range []string{"kcenter", "diversity", "ksupplier"} {
+		for _, space := range spaces {
+			const seed = 11
+			for _, width := range []int{0, 2, 4} {
+				clean := runWave(t, algo, space, seed, width, nil)
+				if bytes.Contains(clean.ndjsonBytes, []byte(`"recovery"`)) ||
+					bytes.Contains(clean.ndjsonBytes, []byte(`"fault"`)) {
+					t.Errorf("%s/%s width %d: fault-free trace leaks recovery fields",
+						algo, space.Name(), width)
+				}
+				if clean.stats.RecoveryRounds != 0 || clean.stats.RecoveryWords != 0 {
+					t.Errorf("%s/%s width %d: fault-free run recorded recovery stats: %+v",
+						algo, space.Name(), width, clean.stats)
+				}
+				for _, kind := range kinds {
+					tag := algo + "/" + space.Name() + "/" + kind.name
+					sched := fault.NewRandom(seed+7, kind.rates)
+					got := runWave(t, algo, space, seed, width, sched)
+					compareToClean(t, tag, clean, got)
+					if sched.Fired() == 0 {
+						t.Errorf("%s width %d: schedule never fired — the run was not exercised", tag, width)
+					}
+					if kind.recovers && got.stats.RecoveryRounds == 0 {
+						t.Errorf("%s width %d: faults fired but no recovery recorded", tag, width)
+					}
+					if !kind.recovers && (got.stats.RecoveryRounds != 0 || got.stats.RecoveryWords != 0) {
+						t.Errorf("%s width %d: straggler left recovery stats: %+v", tag, width, got.stats)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFaultAbortForcesProbeRetry pins the probe-level recovery path the
+// random matrix cannot reach: an abort refires on every in-place attempt
+// of a probe's first incarnation, exhausting the round retries, so the
+// driver must fall back to checkpoint rollback (width 0, wave.RetryProbe)
+// or a fresh fork at the next fault epoch (width ≥ 1). Either way the
+// replay is byte-identical to fault-free.
+func TestFaultAbortForcesProbeRetry(t *testing.T) {
+	const seed = 11
+	space := metric.L2{}
+	for _, algo := range []string{"kcenter", "diversity", "ksupplier"} {
+		for _, width := range []int{0, 2, 4} {
+			clean := runWave(t, algo, space, seed, width, nil)
+			sched := fault.FromEvents(fault.Event{Round: -1, Machine: 0, Kind: fault.Abort, Name: "kbmis/"})
+			got := runWave(t, algo, space, seed, width, sched)
+			tag := algo + "/abort"
+			compareToClean(t, tag, clean, got)
+			if sched.Fired() == 0 {
+				t.Errorf("%s width %d: abort schedule never fired", tag, width)
+			}
+			if got.stats.RecoveryRounds == 0 {
+				t.Errorf("%s width %d: aborts fired but no recovery recorded", tag, width)
+			}
+			if !bytes.Contains(got.ndjsonBytes, []byte(`"fault":"probe-retry"`)) {
+				t.Errorf("%s width %d: no probe-retry recovery events in trace", tag, width)
+			}
+		}
+	}
+}

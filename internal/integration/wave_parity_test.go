@@ -36,8 +36,11 @@ type waveRun struct {
 }
 
 // runWave executes one ladder algorithm at the given speculation width
-// with full observability.
-func runWave(t *testing.T, algo string, space metric.Space, seed uint64, speculation int) waveRun {
+// with full observability. A non-nil pol injects faults for the
+// fault-parity suite; the winning views below filter recovery work the
+// same way they filter speculation, so faulted and fault-free runs are
+// directly comparable.
+func runWave(t *testing.T, algo string, space metric.Space, seed uint64, speculation int, pol mpc.FaultPolicy) waveRun {
 	t.Helper()
 	const n, m, k = 160, 4, 5
 	r := rng.New(seed)
@@ -45,7 +48,11 @@ func runWave(t *testing.T, algo string, space metric.Space, seed uint64, specula
 	cnt := metric.NewCounting(space)
 	in := instance.New(cnt, workload.PartitionRoundRobin(nil, pts, m))
 	rec := mpc.NewTraceRecorder()
-	c := mpc.NewCluster(m, seed+99, mpc.WithRecorder(rec), mpc.WithBudgetEnforcement())
+	opts := []mpc.Option{mpc.WithRecorder(rec), mpc.WithBudgetEnforcement()}
+	if pol != nil {
+		opts = append(opts, mpc.WithFaultPolicy(pol))
+	}
+	c := mpc.NewCluster(m, seed+99, opts...)
 
 	var result interface{}
 	var specProbes int
@@ -95,7 +102,7 @@ func runWave(t *testing.T, algo string, space metric.Space, seed uint64, specula
 	}
 	var win []mpc.TraceEvent
 	for _, ev := range all {
-		if ev.Speculative {
+		if ev.Speculative || ev.Recovery {
 			continue
 		}
 		ev.WallNanos = 0
@@ -104,7 +111,7 @@ func runWave(t *testing.T, algo string, space metric.Space, seed uint64, specula
 	}
 	var winReports []mpc.BudgetReport
 	for _, rep := range c.BudgetReports() {
-		if !rep.Speculative {
+		if !rep.Speculative && !rep.Recovery {
 			winReports = append(winReports, rep)
 		}
 	}
@@ -126,13 +133,13 @@ func TestWaveSearchParity(t *testing.T) {
 	for _, algo := range []string{"kcenter", "diversity", "ksupplier"} {
 		for _, space := range spaces {
 			const seed = 11
-			base := runWave(t, algo, space, seed, 1)
+			base := runWave(t, algo, space, seed, 1, nil)
 			tag := algo + "/" + space.Name()
 			if base.specProbes != 0 {
 				t.Errorf("%s: width-1 baseline speculated %d probes", tag, base.specProbes)
 			}
 			for _, width := range []int{2, 4, -1} {
-				got := runWave(t, algo, space, seed, width)
+				got := runWave(t, algo, space, seed, width, nil)
 				if !reflect.DeepEqual(got.result, base.result) {
 					t.Errorf("%s width %d: result differs from width-1 baseline:\nbase: %+v\ngot:  %+v",
 						tag, width, base.result, got.result)
@@ -167,7 +174,7 @@ func TestWaveSearchParity(t *testing.T) {
 // byte-compatible with the pre-fork schema.
 func TestWaveSequentialSchemaUnchanged(t *testing.T) {
 	for _, algo := range []string{"kcenter", "diversity", "ksupplier"} {
-		run := runWave(t, algo, metric.L2{}, 23, 0)
+		run := runWave(t, algo, metric.L2{}, 23, 0, nil)
 		if bytes.Contains(run.ndjsonBytes, []byte("fork_rung")) ||
 			bytes.Contains(run.ndjsonBytes, []byte("speculative")) {
 			t.Errorf("%s: sequential trace leaks fork fields", algo)

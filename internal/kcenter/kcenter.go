@@ -140,11 +140,8 @@ func Solve(c *mpc.Cluster, in *instance.Instance, cfg Config) (*Result, error) {
 func solve(c *mpc.Cluster, in *instance.Instance, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	k := cfg.K
-	if k < 1 {
-		return nil, fmt.Errorf("kcenter: k = %d, need k >= 1", k)
-	}
-	if in.N == 0 {
-		return nil, fmt.Errorf("kcenter: empty instance")
+	if err := instance.ValidateSolveInput(k, in); err != nil {
+		return nil, fmt.Errorf("kcenter: %w", err)
 	}
 
 	// Lines 1–2: distributed GMM; Q = GMM(∪ GMM(V_i)).
@@ -253,13 +250,20 @@ func solve(c *mpc.Cluster, in *instance.Instance, cfg Config) (*Result, error) {
 			lastHit = hits[j]
 		}
 	} else {
-		topOK, err := probeAt(t)
+		// Sequential probes run on the root cluster, so their fault
+		// recovery is a checkpoint rollback (wave.RetryProbe) rather
+		// than a fresh fork; without a fault policy the wrapper is the
+		// plain probe.
+		seqProbe := func(i int) (bool, error) {
+			return wave.RetryProbe(c, func() (bool, error) { return probeAt(i) })
+		}
+		topOK, err := seqProbe(t)
 		if err != nil {
 			return nil, err
 		}
 		j = t
 		if !topOK {
-			j, err = search.Boundary(0, t, probeAt)
+			j, err = search.Boundary(0, t, seqProbe)
 			if err != nil {
 				return nil, err
 			}

@@ -149,11 +149,19 @@ func Solve(c *mpc.Cluster, inC, inS *instance.Instance, cfg Config) (*Result, er
 func solve(c *mpc.Cluster, inC, inS *instance.Instance, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	k := cfg.K
-	if k < 1 {
-		return nil, fmt.Errorf("ksupplier: k = %d, need k >= 1", k)
+	// Suppliers must always be a valid instance; customers may be empty
+	// (any single supplier is then a radius-0 optimum, below) but when
+	// present must be finite too.
+	if err := instance.ValidateSolveInput(k, inS); err != nil {
+		return nil, fmt.Errorf("ksupplier: suppliers: %w", err)
 	}
-	if inS.N == 0 {
-		return nil, fmt.Errorf("ksupplier: no suppliers")
+	if inC == nil {
+		return nil, fmt.Errorf("ksupplier: customers: %w", instance.ErrEmpty)
+	}
+	if inC.N > 0 {
+		if err := instance.ValidateSolveInput(k, inC); err != nil {
+			return nil, fmt.Errorf("ksupplier: customers: %w", err)
+		}
 	}
 	if c.NumMachines() != inC.Machines() || c.NumMachines() != inS.Machines() {
 		return nil, fmt.Errorf("ksupplier: cluster/instance machine counts disagree")
@@ -245,7 +253,6 @@ func solve(c *mpc.Cluster, inC, inS *instance.Instance, cfg Config) (*Result, er
 		if err != nil {
 			return false, err
 		}
-		res.Probes++
 		if !(mres.Maximal && len(mres.IDs) <= k) {
 			return false, nil
 		}
@@ -304,14 +311,27 @@ func solve(c *mpc.Cluster, inC, inS *instance.Instance, cfg Config) (*Result, er
 			hit = hits[j]
 		}
 	} else {
-		ok0, err := probeAt(0)
+		// Sequential probes run on the root cluster with checkpoint-rollback
+		// fault recovery (wave.RetryProbe). The probe count lives out here
+		// rather than in probeAt: a fault between the MIS and the supplier
+		// reduction rolls the cluster back and re-runs the whole probe, and
+		// an in-body counter would tally the aborted attempt too. Rung t is
+		// the trivially-true seed and never counts, matching the wave path.
+		seqProbe := func(i int) (bool, error) {
+			ok, err := wave.RetryProbe(c, func() (bool, error) { return probeAt(i) })
+			if err == nil && i != t {
+				res.Probes++
+			}
+			return ok, err
+		}
+		ok0, err := seqProbe(0)
 		if err != nil {
 			return nil, err
 		}
 		if ok0 {
 			j = 0
 		} else if t > 0 {
-			j, err = search.BoundaryUp(0, t, probeAt)
+			j, err = search.BoundaryUp(0, t, seqProbe)
 			if err != nil {
 				return nil, err
 			}

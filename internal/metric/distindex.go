@@ -87,7 +87,7 @@ type DistIndex struct {
 	// segment scan. The ladder algorithms know every τ they will probe
 	// before the first probe, which is what makes this precomputable.
 	thresholds []float64
-	counts     []int32
+	counts     []int64
 }
 
 // BuildDistIndex precomputes the pair matrix of pts under space, with
@@ -350,7 +350,23 @@ func (ix *DistIndex) RegisterThresholds(taus []float64) {
 	// prefix sums are then the ≤-counts.
 	numT, numS := len(tcs), len(ix.segs)
 	bb := numT + 1
-	hist := make([]int32, ix.n*numS*bb)
+	// Table sizes are computed in int64: with one segment per row the
+	// products n·S·(T+1) and n·S·T reach n²·(T+1), which overflows a
+	// 32-bit int well inside DefaultIndexCap (4096²·256 ≈ 2³²) — a
+	// wrapped make() size panics or silently mis-sizes the tables.
+	// Beyond maxTableWords (2²⁷ entries, 1 GiB of int64) the tables also
+	// cost far more to build and hold than the O(log 1/ε) ladder probes
+	// they accelerate. Oversized tables are simply not built, leaving any
+	// previous registration in place; unregistered thresholds take the
+	// scan path, which is answer-identical by the byte-identity contract.
+	histLen := int64(ix.n) * int64(numS) * int64(bb)
+	countsLen := int64(ix.n) * int64(numS) * int64(numT)
+	const maxTableWords = 1 << 27
+	if histLen > maxTableWords || countsLen > maxTableWords ||
+		int64(int(histLen)) != histLen || int64(int(countsLen)) != countsLen {
+		return
+	}
+	hist := make([]int64, histLen)
 	// Bucket every entry of every row. For the symmetric kinds this
 	// touches each pair value twice where an upper-triangle walk with
 	// mirrored increments would touch it once (cmp[j][i] == cmp[i][j] by
@@ -374,13 +390,13 @@ func (ix *DistIndex) RegisterThresholds(taus []float64) {
 			}
 		}
 	})
-	counts := make([]int32, ix.n*numS*numT)
+	counts := make([]int64, countsLen)
 	Sweep(ix.n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			for s := 0; s < numS; s++ {
 				h := hist[(i*numS+s)*bb : (i*numS+s+1)*bb]
 				out := counts[(i*numS+s)*numT : (i*numS+s+1)*numT]
-				acc := int32(0)
+				acc := int64(0)
 				for t := 0; t < numT; t++ {
 					acc += h[t]
 					out[t] = acc

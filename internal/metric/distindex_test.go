@@ -244,6 +244,80 @@ func TestRegisterThresholdsEdges(t *testing.T) {
 	}
 }
 
+// TestDistIndexAdversarialSize is the int32-overflow regression test:
+// at adversarial shapes (n in the thousands with one segment per row)
+// the threshold-table sizes n·S·(T+1) overflow 32-bit arithmetic, so
+// they are computed in int64, capped, and the counters stored as int64.
+// Built tables and CountRows must agree with the brute-force oracle;
+// oversized registrations must decline without disturbing live tables.
+func TestDistIndexAdversarialSize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocates ~150 MiB of index tables")
+	}
+	r := rng.New(31)
+	n := 1536
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{r.NormFloat64() * 10, r.NormFloat64() * 10}
+	}
+	segs := make([]Segment, n) // one segment per row: S = n
+	for i := range segs {
+		segs[i] = Segment{Lo: i, Hi: i + 1}
+	}
+	ix := BuildDistIndex(L2{}, pts, segs, n)
+	if ix == nil {
+		t.Fatal("BuildDistIndex declined")
+	}
+	taus := []float64{
+		L2{}.Dist(pts[0], pts[1]),
+		L2{}.Dist(pts[7], pts[900]),
+		25.0,
+	}
+	ix.RegisterThresholds(taus) // n·S·(T+1) ≈ 9.4M entries — fits the cap
+	if ix.counts == nil {
+		t.Fatal("in-cap adversarial registration declined")
+	}
+	check := func() {
+		t.Helper()
+		for trial := 0; trial < 500; trial++ {
+			q, s := r.Intn(n), r.Intn(n)
+			tau := taus[trial%len(taus)]
+			want := CountWithin(L2{}, pts[q], FromPoints(pts[s:s+1]), tau)
+			if got := ix.CountSegment(q, s, tau); got != want {
+				t.Fatalf("CountSegment(%d, %d, %v) = %d, want %d", q, s, tau, got, want)
+			}
+		}
+		// CountRows against the brute-force oracle over a random subset.
+		rows := make([]int32, 0, n)
+		var sub []Point
+		for j := 0; j < n; j++ {
+			if r.Bernoulli(0.25) {
+				rows = append(rows, int32(j))
+				sub = append(sub, pts[j])
+			}
+		}
+		for _, tau := range taus {
+			want := CountWithin(L2{}, pts[42], FromPoints(sub), tau)
+			if got := ix.CountRows(42, rows, tau); got != want {
+				t.Fatalf("CountRows(42, %d rows, %v) = %d, want %d", len(rows), tau, got, want)
+			}
+		}
+	}
+	check()
+	// An oversized registration (n·S·(T+1) ≈ 143M entries > 2²⁷) must
+	// decline and leave the live tables answering as before.
+	big := make([]float64, 60)
+	for i := range big {
+		big[i] = L2{}.Dist(pts[i], pts[i+100])
+	}
+	before := ix.counts
+	ix.RegisterThresholds(big)
+	if &ix.counts[0] != &before[0] {
+		t.Fatal("oversized registration replaced the tables")
+	}
+	check()
+}
+
 // TestCompatOrders pins the compat accumulators to the comparator
 // versions: v <= τ ⟺ comparator(a, b, τ) for thresholds equal to the
 // value itself and its floating-point neighbors.

@@ -122,12 +122,16 @@ func (b Budget) Check(obs Observation) error {
 // report adopted from a forked cluster whose probe the wave search
 // discarded: the observation is kept for wasted-work accounting but the
 // run it describes never happened on the winning execution path, so
-// consumers validating theorem claims must skip it.
+// consumers validating theorem claims must skip it. Recovery marks a
+// report from an execution a fault recovery rolled back (a probe attempt
+// that was retried): it too describes work off the winning path and must
+// be skipped by theorem-claim consumers.
 type BudgetReport struct {
 	Budget      Budget
 	Observed    Observation
 	OK          bool
 	Speculative bool
+	Recovery    bool
 }
 
 // String renders a compact one-line summary of the report.
@@ -190,8 +194,10 @@ func (c *Cluster) Guard(b Budget) *Guard {
 // rounds executed, the max per-machine per-round communication, total
 // words, and the largest in-round memory note — all restricted to
 // rounds after the guard started. Speculative rounds merged into the
-// window by Cluster.Adopt are skipped: only the winning probe path
-// charges a theorem budget (docs/GUARANTEES.md).
+// window by Cluster.Adopt are skipped, and so are Recovery entries
+// (failed attempts, retransmissions, probe-retry re-executions): only
+// the winning, fault-free probe path charges a theorem budget
+// (docs/GUARANTEES.md).
 func (g *Guard) Observed() Observation {
 	var obs Observation
 	perRound := g.c.stats.PerRound
@@ -199,7 +205,7 @@ func (g *Guard) Observed() Observation {
 		return obs
 	}
 	for _, rs := range perRound[g.base:] {
-		if rs.Speculative {
+		if rs.Speculative || rs.Recovery {
 			continue
 		}
 		obs.Rounds++

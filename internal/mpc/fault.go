@@ -1,0 +1,369 @@
+package mpc
+
+// Fault injection and recovery for the simulated cluster. A FaultPolicy
+// plugged in with WithFaultPolicy decides, per superstep attempt, which
+// machines crash before running, which machines' outgoing messages are
+// dropped or duplicated in transit, and which machines straggle. The
+// cluster recovers deterministically:
+//
+//   - Crash: the machine never starts its superstep function. The round
+//     is retried; machines that already completed are not re-run (their
+//     outboxes and RNG positions are kept), so when the crashed machine
+//     finally executes, every machine has run its function exactly once
+//     on unchanged inputs — the completed round is byte-identical to the
+//     fault-free one. Each failed attempt costs one Recovery round.
+//   - Drop: all messages queued by the machine this round are lost in
+//     transit and retransmitted from the (still intact) outbox — one
+//     Recovery round plus the retransmitted words as RecoveryWords.
+//   - Duplicate: the machine's messages arrive twice; the receiver-side
+//     transport deduplicates them, charging the duplicated words as
+//     RecoveryWords (no extra round — dedup is part of delivery).
+//   - Straggler: the machine's superstep function is delayed; only wall
+//     time is affected.
+//
+// When the policy allows no retries, an injected crash or drop makes the
+// superstep fail with an error wrapping ErrFault; ladder drivers may then
+// retry the whole probe from the last good rung (internal/wave), using
+// Checkpoint/Restore to roll the cluster back. All recovery overhead is
+// accounted under Stats.RecoveryRounds/RecoveryWords and Recovery-tagged
+// trace entries — never against Stats.Rounds or a Budget window — so
+// theorem budgets describe the fault-free execution (docs/MODEL.md,
+// docs/GUARANTEES.md).
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"parclust/internal/rng"
+)
+
+// ErrFault is wrapped by every error caused by an injected fault that
+// the round-level recovery could not absorb (retries exhausted, or
+// retries disabled). errors.Is(err, ErrFault) distinguishes injected
+// faults from genuine algorithm errors; the wave search retries probes
+// only on fault errors.
+var ErrFault = errors.New("mpc: injected fault unrecovered")
+
+// Fault kind names used in RoundStats.Fault and the trace's "fault"
+// field.
+const (
+	FaultCrash      = "crash"
+	FaultDrop       = "drop"
+	FaultDuplicate  = "duplicate"
+	FaultStraggler  = "straggler"
+	FaultProbeRetry = "probe-retry"
+)
+
+// FaultScope identifies which execution context a superstep runs in, so
+// a FaultPolicy can target (or spare) forks, individual ladder rungs,
+// and retry incarnations. Epoch is the probe-retry incarnation: 0 on the
+// first attempt of a probe, bumped by the driver (wave.Run / RetryProbe)
+// on each probe-level retry so that persistent faults from the failed
+// incarnation do not refire against the retry.
+type FaultScope struct {
+	Fork  bool
+	Rung  int
+	Epoch int
+}
+
+// RoundFaults is a FaultPolicy's decision for one superstep attempt.
+// Machine indices out of [0, m) are ignored.
+type RoundFaults struct {
+	// Crash lists machines that crash before running their superstep
+	// function this attempt.
+	Crash []int
+	// DropFrom lists machines whose entire queued output is lost in
+	// transit after the round completes (then retransmitted, if the
+	// policy allows retries).
+	DropFrom []int
+	// DuplicateFrom lists machines whose queued output arrives twice and
+	// is deduplicated by the receiving transport.
+	DuplicateFrom []int
+	// StragglerDelay maps machine index to an artificial delay (in
+	// nanoseconds) imposed before the machine's function runs.
+	StragglerDelay map[int]int64
+}
+
+// Empty reports whether the plan injects nothing.
+func (rf RoundFaults) Empty() bool {
+	return len(rf.Crash) == 0 && len(rf.DropFrom) == 0 &&
+		len(rf.DuplicateFrom) == 0 && len(rf.StragglerDelay) == 0
+}
+
+// FaultPolicy decides which faults to inject and how much recovery the
+// cluster may attempt. Implementations must be deterministic pure
+// functions of their arguments (internal/fault derives decisions from a
+// seed via rng.Derive) and safe for concurrent use — concurrent forks
+// consult the same policy.
+type FaultPolicy interface {
+	// PlanRound returns the faults to inject into the given attempt
+	// (0-based) of the given cluster-local round. name is the Superstep
+	// label.
+	PlanRound(scope FaultScope, round, attempt int, name string) RoundFaults
+	// RoundRetries is the number of in-place superstep retries allowed
+	// after a crash (and whether dropped messages may be retransmitted).
+	// 0 means injected crash/drop faults fail the superstep with
+	// ErrFault.
+	RoundRetries() int
+	// ProbeRetries is the number of probe-level retries the ladder
+	// drivers may attempt when a probe fails with ErrFault.
+	ProbeRetries() int
+	// ProbeBackoff is the delay before probe-level retry attempt+1.
+	ProbeBackoff(attempt int) time.Duration
+}
+
+// WithFaultPolicy installs a fault-injection policy on the cluster. The
+// zero configuration (no policy) leaves the superstep fast path
+// untouched.
+func WithFaultPolicy(p FaultPolicy) Option {
+	return func(c *Cluster) { c.faults = p }
+}
+
+// FaultPolicy returns the installed policy (nil when fault injection is
+// off).
+func (c *Cluster) FaultPolicy() FaultPolicy { return c.faults }
+
+// SetFaultEpoch sets the probe-retry incarnation reported to the
+// FaultPolicy in FaultScope.Epoch. Drivers bump it per probe retry so
+// that faults targeting the failed incarnation do not refire; it does
+// not affect machine RNG streams, so results are epoch-invariant.
+func (c *Cluster) SetFaultEpoch(epoch int) { c.faultEpoch = epoch }
+
+// FaultEpoch returns the current probe-retry incarnation.
+func (c *Cluster) FaultEpoch() int { return c.faultEpoch }
+
+func (c *Cluster) faultScope() FaultScope {
+	return FaultScope{Fork: c.parent != nil, Rung: c.forkRung, Epoch: c.faultEpoch}
+}
+
+// recordRecovery appends a Recovery-tagged entry: a failed superstep
+// attempt, a retransmission, or a deduplication event. round is the
+// index of the (eventual) winning round the entry recovers. Recovery
+// entries advance only RecoveryRounds/RecoveryWords — never Rounds,
+// TotalWords, the Max* maxima, or a Budget window.
+func (c *Cluster) recordRecovery(round int, rs RoundStats) {
+	rs.Recovery = true
+	if rs.Collective == "" {
+		if rs.TotalWords == 0 {
+			rs.Collective = CollectiveLocal
+		} else {
+			rs.Collective = CollectiveP2P
+		}
+	}
+	if c.tracer != nil || c.recorder != nil || c.traceVectors {
+		rs.Sent = make([]int64, c.m)
+		rs.Recv = make([]int64, c.m)
+	}
+	c.stats.RecoveryRounds++
+	c.stats.RecoveryWords += rs.TotalWords
+	c.stats.PerRound = append(c.stats.PerRound, rs)
+	if c.tracer != nil {
+		c.tracer(round, rs)
+	}
+	if c.recorder != nil {
+		c.recorder.record(round, c.m, rs)
+	}
+}
+
+// runFaultedRound executes one superstep's machine functions under the
+// installed FaultPolicy: crashed machines are skipped, stragglers are
+// delayed, and crashed attempts are retried in place until every machine
+// has run exactly once (each failed attempt costs one Recovery round).
+// It returns the RoundFaults of the completing attempt — whose transit
+// faults (drop/duplicate) applyTransitFaults consumes — and a non-nil
+// error wrapping ErrFault when the retry allowance is exhausted.
+func (c *Cluster) runFaultedRound(name string, fn func(m *Machine) error) (RoundFaults, error) {
+	scope := c.faultScope()
+	round := c.stats.Rounds
+	retries := c.faults.RoundRetries()
+	completed := make([]bool, c.m)
+	crashed := make([]bool, c.m)
+	for attempt := 0; ; attempt++ {
+		rf := c.faults.PlanRound(scope, round, attempt, name)
+		for i := range crashed {
+			crashed[i] = false
+		}
+		for _, i := range rf.Crash {
+			if i >= 0 && i < c.m && !completed[i] {
+				crashed[i] = true
+			}
+		}
+		c.runAll(
+			func(i int, mc *Machine) error {
+				if completed[i] || crashed[i] {
+					return nil
+				}
+				completed[i] = true
+				if d := rf.StragglerDelay[i]; d > 0 {
+					time.Sleep(time.Duration(d))
+				}
+				return fn(mc)
+			},
+			func(_ int, mc *Machine, err error) { mc.fail(err) },
+		)
+		anyCrashed := false
+		for i := range crashed {
+			if crashed[i] {
+				anyCrashed = true
+				break
+			}
+		}
+		if !anyCrashed {
+			return rf, nil
+		}
+		c.recordRecovery(round, RoundStats{Name: name, Fault: FaultCrash})
+		if attempt >= retries {
+			return rf, fmt.Errorf("mpc: machines %v crashed in round %q after %d attempt(s): %w",
+				rf.Crash, name, attempt+1, ErrFault)
+		}
+	}
+}
+
+// applyTransitFaults handles drop and duplicate faults planned for the
+// just-completed round (index round): dropped traffic is retransmitted
+// at the cost of one Recovery round plus the lost words (or fails with
+// ErrFault when the policy allows no retries — the loss is
+// unrecoverable); duplicated traffic is deduplicated by the receiving
+// transport at the cost of the duplicated words. Either way the
+// messages the next round actually receives are exactly the fault-free
+// ones, so the computation is unaffected.
+func (c *Cluster) applyTransitFaults(rf RoundFaults, name string, round int) error {
+	var dropped, duplicated int64
+	for _, src := range rf.DropFrom {
+		if src >= 0 && src < c.m {
+			dropped += c.machines[src].sentWords
+		}
+	}
+	for _, src := range rf.DuplicateFrom {
+		if src >= 0 && src < c.m {
+			duplicated += c.machines[src].sentWords
+		}
+	}
+	if dropped > 0 {
+		if c.faults.RoundRetries() < 1 {
+			return fmt.Errorf("mpc: %d words from machines %v lost in transit after round %q: %w",
+				dropped, rf.DropFrom, name, ErrFault)
+		}
+		c.recordRecovery(round, RoundStats{Name: name, Fault: FaultDrop, TotalWords: dropped})
+	}
+	if duplicated > 0 {
+		c.recordRecovery(round, RoundStats{Name: name, Fault: FaultDuplicate, TotalWords: duplicated})
+	}
+	return nil
+}
+
+// Checkpoint captures everything a probe retry needs to roll the cluster
+// back to this instant: per-machine RNG states, pending (undelivered)
+// messages, and the statistics high-water marks. Payloads are treated as
+// immutable (the simulator-wide convention) and are not copied.
+type Checkpoint struct {
+	c       *Cluster
+	rngs    []rng.State
+	pending [][]Message
+
+	rounds         int
+	perRound       int
+	reports        int
+	recMark        int
+	totalWords     int64
+	maxRoundSent   int64
+	maxRoundRecv   int64
+	maxMemoryWords int64
+	sent, recv     []int64
+}
+
+// Checkpoint snapshots the cluster's execution state. Call it only from
+// the driver, between supersteps (never concurrently with one).
+func (c *Cluster) Checkpoint() *Checkpoint {
+	cp := &Checkpoint{
+		c:              c,
+		rngs:           make([]rng.State, c.m),
+		pending:        make([][]Message, c.m),
+		rounds:         c.stats.Rounds,
+		perRound:       len(c.stats.PerRound),
+		totalWords:     c.stats.TotalWords,
+		maxRoundSent:   c.stats.MaxRoundSent,
+		maxRoundRecv:   c.stats.MaxRoundRecv,
+		maxMemoryWords: c.stats.MaxMemoryWords,
+		sent:           append([]int64(nil), c.stats.SentWords...),
+		recv:           append([]int64(nil), c.stats.RecvWords...),
+	}
+	for i, mach := range c.machines {
+		cp.rngs[i] = mach.RNG.State()
+		// Deep-copy the slice headers: Superstep recycles inbox buffers
+		// as future pending buffers, so the live slices will be
+		// overwritten.
+		if len(c.pending[i]) > 0 {
+			cp.pending[i] = append([]Message(nil), c.pending[i]...)
+		}
+	}
+	c.reportMu.Lock()
+	cp.reports = len(c.reports)
+	c.reportMu.Unlock()
+	if c.recorder != nil {
+		cp.recMark = c.recorder.Len()
+	}
+	return cp
+}
+
+// Restore rolls the cluster back to a Checkpoint taken on it: machine
+// RNG streams, pending messages and the statistics counters return to
+// their checkpointed values, so re-running the same supersteps replays
+// the identical fault-free execution. The rounds executed since the
+// checkpoint are not erased — they happened — but they are retagged as
+// Recovery ("probe-retry"), their counts moved from Rounds/TotalWords to
+// RecoveryRounds/RecoveryWords, and budget reports recorded since the
+// checkpoint are retagged the same way; a shared TraceRecorder's events
+// are retagged in place (only use Restore while the cluster is the
+// recorder's sole active writer). RecoveryRounds/RecoveryWords
+// themselves are never rolled back.
+func (c *Cluster) Restore(cp *Checkpoint) {
+	if cp.c != c {
+		panic("mpc: Restore called with a Checkpoint from another cluster")
+	}
+	for i := cp.perRound; i < len(c.stats.PerRound); i++ {
+		rs := &c.stats.PerRound[i]
+		if rs.Recovery || rs.Speculative {
+			continue
+		}
+		rs.Recovery = true
+		if rs.Fault == "" {
+			rs.Fault = FaultProbeRetry
+		}
+		c.stats.RecoveryRounds++
+		c.stats.RecoveryWords += rs.TotalWords
+	}
+	c.stats.Rounds = cp.rounds
+	c.stats.TotalWords = cp.totalWords
+	c.stats.MaxRoundSent = cp.maxRoundSent
+	c.stats.MaxRoundRecv = cp.maxRoundRecv
+	c.stats.MaxMemoryWords = cp.maxMemoryWords
+	copy(c.stats.SentWords, cp.sent)
+	copy(c.stats.RecvWords, cp.recv)
+	c.reportMu.Lock()
+	for i := cp.reports; i < len(c.reports); i++ {
+		c.reports[i].Recovery = true
+	}
+	c.reportMu.Unlock()
+	if c.recorder != nil {
+		c.recorder.retagRecovery(cp.recMark, FaultProbeRetry)
+	}
+	for i, mach := range c.machines {
+		mach.RNG.SetState(cp.rngs[i])
+		mach.inbox = nil
+		mach.sentWords = 0
+		mach.err = nil
+		resetOutbox(mach)
+		// Re-copy so a checkpoint survives being restored repeatedly.
+		if len(cp.pending[i]) > 0 {
+			c.pending[i] = append([]Message(nil), cp.pending[i]...)
+		} else {
+			clear(c.pending[i][:cap(c.pending[i])])
+			c.pending[i] = c.pending[i][:0]
+		}
+	}
+	c.memMu.Lock()
+	c.roundMem = 0
+	c.memMu.Unlock()
+}

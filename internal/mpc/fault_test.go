@@ -1,0 +1,386 @@
+package mpc
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// planFunc adapts a function to FaultPolicy with a fixed retry allowance.
+type planFunc struct {
+	plan         func(scope FaultScope, round, attempt int, name string) RoundFaults
+	roundRetries int
+	probeRetries int
+}
+
+func (p planFunc) PlanRound(scope FaultScope, round, attempt int, name string) RoundFaults {
+	if p.plan == nil {
+		return RoundFaults{}
+	}
+	return p.plan(scope, round, attempt, name)
+}
+func (p planFunc) RoundRetries() int              { return p.roundRetries }
+func (p planFunc) ProbeRetries() int              { return p.probeRetries }
+func (p planFunc) ProbeBackoff(int) time.Duration { return 0 }
+
+// runPipeline executes a deterministic two-phase computation — every
+// machine draws from its RNG and sends the draw to central, central sums
+// — and returns the sum. The RNG draw makes replay bugs visible: any
+// re-execution of a machine function desynchronizes the stream.
+func runPipeline(t *testing.T, c *Cluster) uint64 {
+	t.Helper()
+	if err := c.Superstep("pipe/draw", func(m *Machine) error {
+		m.SendCentral(Int(int(m.RNG.Uint64() % 1000)))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var sum uint64
+	if err := c.Superstep("pipe/sum", func(m *Machine) error {
+		if !m.IsCentral() {
+			return nil
+		}
+		for _, v := range CollectInts(m.Inbox()) {
+			sum += uint64(v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return sum
+}
+
+// winning filters a stats' PerRound down to the non-recovery,
+// non-speculative entries, zeroing the wall clock (the only field that
+// legitimately varies between byte-identical executions).
+func winning(s Stats) []RoundStats {
+	var out []RoundStats
+	for _, rs := range s.PerRound {
+		if !rs.Recovery && !rs.Speculative {
+			rs.WallNanos = 0
+			out = append(out, rs)
+		}
+	}
+	return out
+}
+
+func TestCrashRecoveryByteIdentical(t *testing.T) {
+	const m, seed = 4, 77
+	base := NewCluster(m, seed)
+	want := runPipeline(t, base)
+
+	// Crash a different machine on attempt 0 of each round; the in-place
+	// retry must complete the round with every machine having run exactly
+	// once, so the sum and the winning per-round stats match fault-free.
+	pol := planFunc{roundRetries: 2, plan: func(_ FaultScope, round, attempt int, _ string) RoundFaults {
+		if attempt == 0 {
+			return RoundFaults{Crash: []int{round % m}}
+		}
+		return RoundFaults{}
+	}}
+	c := NewCluster(m, seed, WithFaultPolicy(pol))
+	got := runPipeline(t, c)
+	if got != want {
+		t.Fatalf("crashed run sum %d, fault-free %d", got, want)
+	}
+	bs, cs := base.Stats(), c.Stats()
+	if cs.Rounds != bs.Rounds || cs.TotalWords != bs.TotalWords {
+		t.Fatalf("winning stats differ: %d/%d vs %d/%d", cs.Rounds, cs.TotalWords, bs.Rounds, bs.TotalWords)
+	}
+	if !reflect.DeepEqual(winning(cs), winning(bs)) {
+		t.Fatalf("winning rounds differ:\nfaulted: %+v\nclean:   %+v", winning(cs), winning(bs))
+	}
+	if cs.RecoveryRounds != 2 {
+		t.Fatalf("RecoveryRounds = %d, want 2 (one failed attempt per round)", cs.RecoveryRounds)
+	}
+	for _, rs := range cs.PerRound {
+		if rs.Recovery && (rs.Fault != FaultCrash || rs.TotalWords != 0) {
+			t.Fatalf("crash recovery entry: %+v", rs)
+		}
+	}
+}
+
+func TestCrashPartialCompletionRunsEachMachineOnce(t *testing.T) {
+	const m = 4
+	runs := make([]int, m)
+	pol := planFunc{roundRetries: 3, plan: func(_ FaultScope, _, attempt int, _ string) RoundFaults {
+		// Machines 1 and 2 crash on attempt 0, machine 2 again on attempt
+		// 1 (it has not completed yet); machines that completed earlier
+		// attempts must not re-run, and crashing an already-completed
+		// machine is a no-op.
+		switch attempt {
+		case 0:
+			return RoundFaults{Crash: []int{1, 2}}
+		case 1:
+			return RoundFaults{Crash: []int{2, 3}} // 3 completed on attempt 0: no-op
+		}
+		return RoundFaults{}
+	}}
+	c := NewCluster(m, 1, WithFaultPolicy(pol))
+	if err := c.Superstep("count", func(mc *Machine) error {
+		runs[mc.ID()]++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range runs {
+		if n != 1 {
+			t.Fatalf("machine %d ran %d times, want exactly once (all: %v)", i, n, runs)
+		}
+	}
+	if rr := c.Stats().RecoveryRounds; rr != 2 {
+		t.Fatalf("RecoveryRounds = %d, want 2", rr)
+	}
+}
+
+func TestCrashExhaustsRetries(t *testing.T) {
+	pol := planFunc{roundRetries: 1, plan: func(_ FaultScope, _, _ int, _ string) RoundFaults {
+		return RoundFaults{Crash: []int{0}} // refires every attempt
+	}}
+	c := NewCluster(2, 1, WithFaultPolicy(pol))
+	err := c.Superstep("doomed", func(*Machine) error { return nil })
+	if !errors.Is(err, ErrFault) {
+		t.Fatalf("err = %v, want ErrFault", err)
+	}
+	if rr := c.Stats().RecoveryRounds; rr != 2 {
+		t.Fatalf("RecoveryRounds = %d, want 2 (both failed attempts)", rr)
+	}
+}
+
+func TestDropRetransmitted(t *testing.T) {
+	const m, seed = 3, 9
+	base := NewCluster(m, seed)
+	want := runPipeline(t, base)
+	sentRound0 := base.Stats().PerRound[0].TotalWords
+
+	pol := planFunc{roundRetries: 1, plan: func(_ FaultScope, round, _ int, _ string) RoundFaults {
+		if round == 0 {
+			// Drop everything every machine sent in the first round.
+			return RoundFaults{DropFrom: []int{0, 1, 2}}
+		}
+		return RoundFaults{}
+	}}
+	c := NewCluster(m, seed, WithFaultPolicy(pol))
+	if got := runPipeline(t, c); got != want {
+		t.Fatalf("dropped-run sum %d, fault-free %d — retransmission lost data", got, want)
+	}
+	cs := c.Stats()
+	if cs.RecoveryRounds != 1 || cs.RecoveryWords != sentRound0 {
+		t.Fatalf("recovery = %d rounds / %d words, want 1 / %d", cs.RecoveryRounds, cs.RecoveryWords, sentRound0)
+	}
+	if cs.TotalWords != base.Stats().TotalWords {
+		t.Fatalf("winning TotalWords %d != fault-free %d", cs.TotalWords, base.Stats().TotalWords)
+	}
+
+	// Without a retry allowance the loss is unrecoverable.
+	noRetry := NewCluster(m, seed, WithFaultPolicy(planFunc{roundRetries: 0, plan: pol.plan}))
+	err := noRetry.Superstep("pipe/draw", func(mc *Machine) error {
+		mc.SendCentral(Int(1))
+		return nil
+	})
+	if !errors.Is(err, ErrFault) {
+		t.Fatalf("drop without retries: err = %v, want ErrFault", err)
+	}
+}
+
+func TestDuplicateDeduplicated(t *testing.T) {
+	const m, seed = 3, 5
+	base := NewCluster(m, seed)
+	want := runPipeline(t, base)
+	sentRound0 := base.Stats().PerRound[0].TotalWords
+
+	pol := planFunc{roundRetries: 0, plan: func(_ FaultScope, round, _ int, _ string) RoundFaults {
+		if round == 0 {
+			return RoundFaults{DuplicateFrom: []int{0, 1, 2}}
+		}
+		return RoundFaults{}
+	}}
+	// Duplication is absorbed by transport dedup even with no retries.
+	c := NewCluster(m, seed, WithFaultPolicy(pol))
+	if got := runPipeline(t, c); got != want {
+		t.Fatalf("duplicated-run sum %d, fault-free %d — dedup failed", got, want)
+	}
+	cs := c.Stats()
+	if cs.RecoveryRounds != 1 || cs.RecoveryWords != sentRound0 {
+		t.Fatalf("recovery = %d rounds / %d words, want 1 / %d", cs.RecoveryRounds, cs.RecoveryWords, sentRound0)
+	}
+	if !reflect.DeepEqual(winning(cs), winning(base.Stats())) {
+		t.Fatal("winning rounds differ under duplication")
+	}
+}
+
+func TestStragglerDelaysOnly(t *testing.T) {
+	const m, seed = 3, 13
+	base := NewCluster(m, seed)
+	want := runPipeline(t, base)
+
+	pol := planFunc{roundRetries: 0, plan: func(_ FaultScope, _, _ int, _ string) RoundFaults {
+		return RoundFaults{StragglerDelay: map[int]int64{1: int64(time.Microsecond)}}
+	}}
+	c := NewCluster(m, seed, WithFaultPolicy(pol))
+	if got := runPipeline(t, c); got != want {
+		t.Fatalf("straggler-run sum %d, fault-free %d", got, want)
+	}
+	cs := c.Stats()
+	if cs.RecoveryRounds != 0 || cs.RecoveryWords != 0 {
+		t.Fatalf("straggler charged recovery: %d/%d", cs.RecoveryRounds, cs.RecoveryWords)
+	}
+	if !reflect.DeepEqual(winning(cs), winning(base.Stats())) {
+		t.Fatal("winning rounds differ under straggling")
+	}
+}
+
+func TestCheckpointRestoreReplaysIdentically(t *testing.T) {
+	const m, seed = 4, 21
+	c := NewCluster(m, seed)
+	rec := NewTraceRecorder()
+	c2 := NewCluster(m, seed, WithRecorder(rec))
+
+	// Reference: two pipelines back to back on a clean cluster.
+	first := runPipeline(t, c)
+	second := runPipeline(t, c)
+
+	// Probed: pipeline, checkpoint, pipeline (aborted attempt), restore,
+	// pipeline again — the replay must equal the aborted attempt.
+	if got := runPipeline(t, c2); got != first {
+		t.Fatalf("first pipeline: %d vs %d", got, first)
+	}
+	statsAt := c2.Stats()
+	cp := c2.Checkpoint()
+	if got := runPipeline(t, c2); got != second {
+		t.Fatalf("aborted attempt: %d vs %d", got, second)
+	}
+	c2.Restore(cp)
+	if got, want := c2.Stats().Rounds, statsAt.Rounds; got != want {
+		t.Fatalf("Rounds after Restore = %d, want %d", got, want)
+	}
+	if got := runPipeline(t, c2); got != second {
+		t.Fatalf("replay after Restore: %d, want %d", got, second)
+	}
+
+	cs := c2.Stats()
+	if cs.RecoveryRounds != 2 {
+		t.Fatalf("RecoveryRounds = %d, want 2 (the aborted attempt's rounds)", cs.RecoveryRounds)
+	}
+	if cs.Rounds != 4 || cs.TotalWords != statsAt.TotalWords*2 {
+		t.Fatalf("winning stats after replay: %d rounds / %d words", cs.Rounds, cs.TotalWords)
+	}
+	// The aborted attempt's trace events are retagged, the replay's are
+	// clean, and both executions are otherwise byte-identical.
+	var retagged, clean int
+	for _, ev := range rec.Events() {
+		if ev.Recovery {
+			if ev.Fault != FaultProbeRetry {
+				t.Fatalf("retagged event fault = %q", ev.Fault)
+			}
+			retagged++
+		} else {
+			clean++
+		}
+	}
+	if retagged != 2 || clean != 4 {
+		t.Fatalf("trace has %d recovery / %d clean events, want 2 / 4", retagged, clean)
+	}
+}
+
+func TestCheckpointRestorePreservesPending(t *testing.T) {
+	c := NewCluster(2, 3)
+	if err := c.Superstep("send", func(m *Machine) error {
+		if m.ID() == 0 {
+			m.Send(1, Int(42))
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// The message is pending (undelivered) here; it must survive a
+	// restore cycle, even one interleaved with a consuming superstep.
+	cp := c.Checkpoint()
+	consume := func() (got int, err error) {
+		err = c.Superstep("recv", func(m *Machine) error {
+			if m.ID() == 1 {
+				ints := CollectInts(m.Inbox())
+				if len(ints) == 1 {
+					got = ints[0]
+				} else {
+					return fmt.Errorf("inbox %v", ints)
+				}
+			}
+			return nil
+		})
+		return got, err
+	}
+	if got, err := consume(); err != nil || got != 42 {
+		t.Fatalf("first consume: %d, %v", got, err)
+	}
+	c.Restore(cp)
+	if got, err := consume(); err != nil || got != 42 {
+		t.Fatalf("consume after Restore: %d, %v", got, err)
+	}
+}
+
+func TestGuardIgnoresRecovery(t *testing.T) {
+	pol := planFunc{roundRetries: 2, plan: func(_ FaultScope, _, attempt int, _ string) RoundFaults {
+		if attempt == 0 {
+			return RoundFaults{Crash: []int{0}}
+		}
+		return RoundFaults{}
+	}}
+	c := NewCluster(2, 1, WithFaultPolicy(pol), WithBudgetEnforcement())
+	// Budget with room for exactly the fault-free rounds: if recovery
+	// attempts charged the window, the guard would trip.
+	g := c.Guard(Budget{Algorithm: "x", MaxRounds: 2, MaxRoundComm: 100, MaxMemoryWords: 1 << 20})
+	runPipeline(t, c)
+	if err := g.Check(); err != nil {
+		t.Fatalf("recovery charged the budget window: %v", err)
+	}
+	obs := g.Observed()
+	if obs.Rounds != 2 {
+		t.Fatalf("observed %d rounds, want 2", obs.Rounds)
+	}
+}
+
+func TestAdoptFailedMergesAsRecovery(t *testing.T) {
+	rec := NewTraceRecorder()
+	c2 := NewCluster(3, 7, WithRecorder(rec))
+	f := c2.Fork(2)
+	runPipeline(t, f)
+	before := c2.Stats()
+	c2.AdoptFailed(f)
+	after := c2.Stats()
+	if after.Rounds != before.Rounds || after.TotalWords != before.TotalWords {
+		t.Fatalf("AdoptFailed charged winning stats: %+v -> %+v", before, after)
+	}
+	if after.SpeculativeRounds != before.SpeculativeRounds {
+		t.Fatalf("AdoptFailed charged speculative stats")
+	}
+	if after.RecoveryRounds != 2 {
+		t.Fatalf("RecoveryRounds = %d, want 2", after.RecoveryRounds)
+	}
+	for _, ev := range rec.Events() {
+		if !ev.Recovery || ev.Fault != FaultProbeRetry {
+			t.Fatalf("adopted failed-fork event not recovery-tagged: %+v", ev)
+		}
+	}
+}
+
+func TestResetStatsClearsRecovery(t *testing.T) {
+	pol := planFunc{roundRetries: 1, plan: func(_ FaultScope, _, attempt int, _ string) RoundFaults {
+		if attempt == 0 {
+			return RoundFaults{Crash: []int{0}}
+		}
+		return RoundFaults{}
+	}}
+	c := NewCluster(2, 1, WithFaultPolicy(pol))
+	runPipeline(t, c)
+	if c.Stats().RecoveryRounds == 0 {
+		t.Fatal("no recovery happened")
+	}
+	c.ResetStats()
+	s := c.Stats()
+	if s.RecoveryRounds != 0 || s.RecoveryWords != 0 {
+		t.Fatalf("ResetStats kept recovery counters: %+v", s)
+	}
+}

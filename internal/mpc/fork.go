@@ -55,6 +55,7 @@ func (c *Cluster) Fork(rung int) *Cluster {
 		sentScratch:    make([]int64, c.m),
 		recvScratch:    make([]int64, c.m),
 		commCap:        c.commCap,
+		faults:         c.faults,
 		enforceBudgets: c.enforceBudgets,
 		collectReports: c.enforceBudgets || c.recorder != nil || c.collectReports,
 		traceVectors:   c.tracer != nil || c.recorder != nil || c.traceVectors,
@@ -109,9 +110,17 @@ func (c *Cluster) Adopt(f *Cluster, speculative bool) {
 	for fi, rs := range f.stats.PerRound {
 		rs.Forked = true
 		rs.ForkRung = f.forkRung
-		rs.Speculative = speculative
 		var round int
-		if speculative {
+		if rs.Recovery {
+			// Fault-recovery entries from inside the fork stay recovery
+			// entries in the parent, at their fork-local index: whether
+			// the probe won or was discarded, recovery overhead is
+			// recovery overhead.
+			c.stats.RecoveryRounds++
+			c.stats.RecoveryWords += rs.TotalWords
+			round = fi
+		} else if speculative {
+			rs.Speculative = true
 			c.stats.SpeculativeRounds++
 			c.stats.SpeculativeWords += rs.TotalWords
 			// Speculative events keep the fork-local round index: they
@@ -150,6 +159,45 @@ func (c *Cluster) Adopt(f *Cluster, speculative bool) {
 		c.reportMu.Lock()
 		for _, rep := range reps {
 			rep.Speculative = speculative
+			c.reports = append(c.reports, rep)
+		}
+		c.reportMu.Unlock()
+	}
+}
+
+// AdoptFailed merges a fork whose probe failed with an injected fault
+// and was retried on a fresh fork (internal/wave): every round it ran —
+// however far it got — is recovery overhead, so all entries are adopted
+// Recovery-tagged ("probe-retry" unless the round already names a fault)
+// at their fork-local indices, counting only toward
+// Stats.RecoveryRounds/RecoveryWords. Budget reports its inner guards
+// recorded before the fault struck are adopted with Recovery set, so
+// theorem-claim consumers skip them. Same calling contract as Adopt.
+func (c *Cluster) AdoptFailed(f *Cluster) {
+	for fi, rs := range f.stats.PerRound {
+		rs.Forked = true
+		rs.ForkRung = f.forkRung
+		if !rs.Recovery {
+			rs.Recovery = true
+			if rs.Fault == "" {
+				rs.Fault = FaultProbeRetry
+			}
+		}
+		c.stats.RecoveryRounds++
+		c.stats.RecoveryWords += rs.TotalWords
+		c.stats.PerRound = append(c.stats.PerRound, rs)
+		if c.tracer != nil {
+			c.tracer(fi, rs)
+		}
+		if c.recorder != nil {
+			c.recorder.record(fi, c.m, rs)
+		}
+	}
+	if reps := f.BudgetReports(); len(reps) > 0 &&
+		(c.enforceBudgets || c.recorder != nil || c.collectReports) {
+		c.reportMu.Lock()
+		for _, rep := range reps {
+			rep.Recovery = true
 			c.reports = append(c.reports, rep)
 		}
 		c.reportMu.Unlock()

@@ -171,6 +171,13 @@ type Cluster struct {
 	tracer   Tracer
 	recorder *TraceRecorder
 
+	// faults, when non-nil, injects crashes, message drops/duplication
+	// and straggler delays into Superstep and drives their recovery
+	// (fault.go). faultEpoch is the probe-retry incarnation reported to
+	// the policy (SetFaultEpoch).
+	faults     FaultPolicy
+	faultEpoch int
+
 	enforceBudgets bool
 	// collectReports makes Guards record BudgetReports even without a
 	// recorder or enforcement — set on forks whose parent collects, so
@@ -327,6 +334,8 @@ func (c *Cluster) ResetStats() {
 	c.stats.MaxMemoryWords = 0
 	c.stats.SpeculativeRounds = 0
 	c.stats.SpeculativeWords = 0
+	c.stats.RecoveryRounds = 0
+	c.stats.RecoveryWords = 0
 	clear(c.stats.PerRound) // drop payload references before reuse
 	c.stats.PerRound = c.stats.PerRound[:0]
 }
@@ -376,11 +385,19 @@ func (c *Cluster) Superstep(name string, fn func(m *Machine) error) error {
 	}
 
 	// Run all machines concurrently on the worker pool; panics become
-	// the machine's error.
-	c.runAll(
-		func(_ int, mc *Machine) error { return fn(mc) },
-		func(_ int, mc *Machine, err error) { mc.fail(err) },
-	)
+	// the machine's error. With a FaultPolicy installed, the faulted
+	// executor may skip crashed machines and retry the attempt in place
+	// (fault.go); roundFault is non-nil only when recovery is exhausted.
+	var roundFault error
+	var rf RoundFaults
+	if c.faults == nil {
+		c.runAll(
+			func(_ int, mc *Machine) error { return fn(mc) },
+			func(_ int, mc *Machine, err error) { mc.fail(err) },
+		)
+	} else {
+		rf, roundFault = c.runFaultedRound(name, fn)
+	}
 
 	// Account the round into the reusable scratch vectors. The
 	// RoundStats retained in Stats.PerRound carries per-machine vectors
@@ -422,6 +439,9 @@ func (c *Cluster) Superstep(name string, fn func(m *Machine) error) error {
 			}
 		}
 	}
+	if firstErr == nil && roundFault != nil {
+		firstErr = roundFault
+	}
 	if c.tracer != nil || c.recorder != nil || c.traceVectors {
 		rs.Sent = append([]int64(nil), sentWords...)
 		rs.Recv = append([]int64(nil), recvWords...)
@@ -445,6 +465,13 @@ func (c *Cluster) Superstep(name string, fn func(m *Machine) error) error {
 	}
 	if c.recorder != nil {
 		c.recorder.record(c.stats.Rounds-1, c.m, rs)
+	}
+	// Transit faults (drop/duplicate) strike between the round that
+	// queued the messages and the round that would receive them; the
+	// recovery (retransmission, dedup) restores the fault-free delivery
+	// or — when retries are disabled — fails the round.
+	if c.faults != nil && firstErr == nil {
+		firstErr = c.applyTransitFaults(rf, name, c.stats.Rounds-1)
 	}
 
 	if firstErr != nil {

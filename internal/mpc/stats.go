@@ -48,6 +48,16 @@ type RoundStats struct {
 	// discarded: it is reported (trace, Stats.SpeculativeRounds) but
 	// never counted toward Stats.Rounds or any Budget window.
 	Speculative bool
+	// Recovery marks an entry that exists only because a fault was
+	// injected and recovered from: a failed superstep attempt, a
+	// retransmission after a message drop, a deduplication event, or a
+	// round re-executed by a probe retry. Like Speculative entries,
+	// Recovery entries are reported (trace, Stats.RecoveryRounds) but
+	// never counted toward Stats.Rounds or any Budget window — theorem
+	// budgets describe the fault-free execution. Fault names the injected
+	// fault kind ("crash", "drop", "duplicate", "probe-retry").
+	Recovery bool
+	Fault    string
 }
 
 // MaxComm returns the larger of MaxSent and MaxRecv: the round's
@@ -84,9 +94,17 @@ type Stats struct {
 	// observable but charges nothing the theorems bound.
 	SpeculativeRounds int
 	SpeculativeWords  int64
-	// PerRound holds one entry per superstep, in order. Speculative
-	// entries (RoundStats.Speculative) appear here for observability but
-	// are excluded from every Budget window.
+	// RecoveryRounds and RecoveryWords account fault-recovery overhead:
+	// failed superstep attempts, retransmitted or deduplicated traffic,
+	// and rounds re-executed by probe retries (RoundStats.Recovery
+	// entries). Like the speculative counters they are kept strictly
+	// apart from Rounds / TotalWords / the Max* maxima, so theorem
+	// budgets stay fault-blind (docs/GUARANTEES.md).
+	RecoveryRounds int
+	RecoveryWords  int64
+	// PerRound holds one entry per superstep, in order. Speculative and
+	// Recovery entries appear here for observability but are excluded
+	// from every Budget window.
 	PerRound []RoundStats
 }
 
@@ -123,6 +141,9 @@ func (s Stats) String() string {
 	if s.SpeculativeRounds > 0 {
 		fmt.Fprintf(&b, " specRounds=%d specWords=%d", s.SpeculativeRounds, s.SpeculativeWords)
 	}
+	if s.RecoveryRounds > 0 {
+		fmt.Fprintf(&b, " recoveryRounds=%d recoveryWords=%d", s.RecoveryRounds, s.RecoveryWords)
+	}
 	return b.String()
 }
 
@@ -134,6 +155,8 @@ func (s *Stats) Merge(other Stats) {
 	s.TotalWords += other.TotalWords
 	s.SpeculativeRounds += other.SpeculativeRounds
 	s.SpeculativeWords += other.SpeculativeWords
+	s.RecoveryRounds += other.RecoveryRounds
+	s.RecoveryWords += other.RecoveryWords
 	if other.MaxRoundSent > s.MaxRoundSent {
 		s.MaxRoundSent = other.MaxRoundSent
 	}

@@ -125,6 +125,14 @@ type TraceEvent struct {
 	// are byte-identical to the pre-fork schema.
 	ForkRung    *int `json:"fork_rung,omitempty"`
 	Speculative bool `json:"speculative,omitempty"`
+	// Recovery, when present, marks an event that exists only because a
+	// fault was injected and recovered from (a failed superstep attempt,
+	// a retransmission, a deduplication, or a probe-retry re-execution);
+	// Fault names the injected fault kind ("crash", "drop", "duplicate",
+	// "probe-retry"). Both are omitted on fault-free runs, so traces
+	// without a FaultPolicy are byte-identical to the pre-fault schema.
+	Recovery bool   `json:"recovery,omitempty"`
+	Fault    string `json:"fault,omitempty"`
 }
 
 // TraceRecorder accumulates TraceEvents. All methods are safe for
@@ -158,6 +166,8 @@ func (r *TraceRecorder) record(round, machines int, rs RoundStats) {
 		MemoryWords: rs.MemoryWords,
 		WallNanos:   rs.WallNanos,
 		Speculative: rs.Speculative,
+		Recovery:    rs.Recovery,
+		Fault:       rs.Fault,
 	}
 	if rs.Forked {
 		rung := rs.ForkRung
@@ -167,6 +177,27 @@ func (r *TraceRecorder) record(round, machines int, rs RoundStats) {
 	defer r.mu.Unlock()
 	ev.Seq = len(r.events)
 	r.events = append(r.events, ev)
+}
+
+// retagRecovery marks every event from index from onward as Recovery
+// (with the given fault kind, unless the event already names one). It is
+// called by Cluster.Restore when a probe retry rolls a cluster back past
+// rounds the recorder has already seen: the events are not erased — the
+// work happened — but they must stop looking like winning-path rounds.
+// Events already tagged Recovery or Speculative are left unchanged.
+func (r *TraceRecorder) retagRecovery(from int, fault string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := from; i < len(r.events); i++ {
+		ev := &r.events[i]
+		if ev.Recovery || ev.Speculative {
+			continue
+		}
+		ev.Recovery = true
+		if ev.Fault == "" {
+			ev.Fault = fault
+		}
+	}
 }
 
 // Len returns the number of recorded events.

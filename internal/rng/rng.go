@@ -98,6 +98,31 @@ func Derive(seed, label uint64) uint64 {
 	return mix64(seed ^ mix64(label*goldenGamma+1))
 }
 
+// State is a snapshot of a generator's complete internal state, as
+// captured by RNG.State and reinstated by RNG.SetState. It exists so a
+// simulated machine's stream can be checkpointed before a fallible
+// computation and rolled back on retry (mpc.Cluster.Checkpoint): a
+// restored generator replays exactly the draws the original would have
+// produced.
+type State struct {
+	S         uint64
+	Gamma     uint64
+	HaveGauss bool
+	Gauss     float64
+}
+
+// State returns a snapshot of the generator's internal state without
+// advancing it.
+func (r *RNG) State() State {
+	return State{S: r.state, Gamma: r.gamma, HaveGauss: r.haveGauss, Gauss: r.gauss}
+}
+
+// SetState reinstates a snapshot taken with State, including the cached
+// Box-Muller variate, so subsequent draws replay the original stream.
+func (r *RNG) SetState(s State) {
+	r.state, r.gamma, r.haveGauss, r.gauss = s.S, s.Gamma, s.HaveGauss, s.Gauss
+}
+
 // Intn returns a uniform int in [0, n). It panics if n <= 0.
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {

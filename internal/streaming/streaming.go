@@ -16,7 +16,9 @@ import (
 
 // Stream is an incremental k-center clusterer. Create one with New, feed
 // points with Add, and read Centers/R at any time. Once more than k
-// points have been seen, the following invariants hold between Add calls:
+// distinct positions have been seen (streams with fewer stay in
+// bootstrap, holding each distinct position as a radius-0 center), the
+// following invariants hold between Add calls:
 //
 //  1. at most k centers are stored;
 //  2. centers are pairwise further than 4R apart;
@@ -49,40 +51,45 @@ func New(space metric.Space, k int) *Stream {
 func (s *Stream) Add(p metric.Point) {
 	s.seen++
 	if !s.init {
-		// Bootstrap: keep the first k+1 distinct-position points verbatim.
+		// Bootstrap: keep the first k+1 distinct-position points. A point
+		// at distance 0 from a stored center is skipped — it is covered at
+		// radius 0, and appending it would let an all-duplicate stream
+		// hold k coincident "centers" (breaking the pairwise-separation
+		// invariant at R = 0) while re-running an O(k²) closest-pair scan
+		// on every later Add. Skipping keeps the bootstrap centers at
+		// pairwise positive distance, so when the (k+1)-th distinct
+		// position arrives closestPair() > 0 and the stream leaves
+		// bootstrap with R > 0; a stream that never shows k+1 distinct
+		// positions stays in bootstrap forever, exactly: its centers are
+		// the ≤ k distinct positions, an optimal radius-0 solution.
+		if len(s.centers) > 0 && metric.DistToSet(s.space, p, s.centers) == 0 {
+			return
+		}
 		s.centers = append(s.centers, p.Clone())
 		if len(s.centers) == s.k+1 {
-			// Initialize R from the closest pair, then merge down.
+			// Initialize R from the closest pair (positive, per above),
+			// then merge down.
 			s.r = s.closestPair() / 4
-			if s.r == 0 {
-				// Duplicates exist; drop one and stay in bootstrap with
-				// k centers at R = 0.
-				s.dropOneDuplicate()
-				return
-			}
 			s.init = true
 			s.merge()
 		}
 		return
 	}
 	if metric.DistToSet(s.space, p, s.centers) <= 4*s.r {
-		return // covered
+		return // covered — re-fed positions land here (distance 0 ≤ 4R)
 	}
 	s.centers = append(s.centers, p.Clone())
 	s.merge()
 }
 
 // merge restores |centers| ≤ k by doubling R and keeping a maximal
-// subset of centers pairwise further than 4R apart.
+// subset of centers pairwise further than 4R apart. R is positive on
+// entry (bootstrap only completes with a positive closest pair, and
+// doubling preserves positivity), so each iteration strictly grows R and
+// the loop terminates: any finite center set collapses to one point once
+// 4R exceeds its diameter.
 func (s *Stream) merge() {
 	for len(s.centers) > s.k {
-		if s.r == 0 {
-			s.r = s.closestPair() / 4
-			if s.r == 0 {
-				s.dropOneDuplicate()
-				continue
-			}
-		}
 		s.r *= 2
 		kept := s.centers[:0:0]
 		for _, c := range s.centers {
@@ -108,21 +115,6 @@ func (s *Stream) closestPair() float64 {
 		return 0
 	}
 	return best
-}
-
-// dropOneDuplicate removes one member of a zero-distance pair.
-func (s *Stream) dropOneDuplicate() {
-	for i := 0; i < len(s.centers); i++ {
-		for j := i + 1; j < len(s.centers); j++ {
-			if s.space.Dist(s.centers[i], s.centers[j]) == 0 {
-				s.centers = append(s.centers[:j], s.centers[j+1:]...)
-				return
-			}
-		}
-	}
-	// No duplicate found (cannot happen when called with r == 0 and
-	// > k centers); drop the last to guarantee progress.
-	s.centers = s.centers[:len(s.centers)-1]
 }
 
 // Centers returns the current centers (at most k once more than k points

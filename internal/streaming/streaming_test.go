@@ -141,6 +141,100 @@ func TestMixedDuplicatesThenSpread(t *testing.T) {
 	}
 }
 
+// Bootstrap edge cases: duplicate-heavy streams must neither loop nor
+// leave the stream holding coincident centers, and duplicate
+// re-insertion after bootstrap must preserve invariants (1)–(4).
+func TestBootstrapEdgeCases(t *testing.T) {
+	space := metric.L2{}
+	dup := func(p metric.Point, n int) []metric.Point {
+		out := make([]metric.Point, n)
+		for i := range out {
+			out[i] = p
+		}
+		return out
+	}
+	cases := []struct {
+		name        string
+		k           int
+		pts         []metric.Point
+		wantCenters int
+		wantR0      bool // R must still be exactly 0 (bootstrap regime)
+	}{
+		{"all-duplicate", 3, dup(metric.Point{7, 7}, 50), 1, true},
+		{"two-positions-interleaved", 3,
+			[]metric.Point{{0, 0}, {1, 0}, {0, 0}, {1, 0}, {0, 0}, {1, 0}}, 2, true},
+		{"k-distinct-then-duplicates", 3,
+			append([]metric.Point{{0, 0}, {1, 0}, {2, 0}}, dup(metric.Point{1, 0}, 10)...), 3, true},
+		{"duplicates-then-escape", 2,
+			append(dup(metric.Point{0, 0}, 10), metric.Point{50, 0}, metric.Point{100, 0}, metric.Point{150, 0}), -1, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := New(space, tc.k)
+			feed(s, tc.pts)
+			if tc.wantCenters >= 0 && len(s.Centers()) != tc.wantCenters {
+				t.Fatalf("%d centers, want %d", len(s.Centers()), tc.wantCenters)
+			}
+			if len(s.Centers()) > tc.k {
+				t.Fatalf("invariant (1): %d centers > k=%d", len(s.Centers()), tc.k)
+			}
+			if tc.wantR0 != (s.R() == 0) {
+				t.Fatalf("R = %v, want zero=%v", s.R(), tc.wantR0)
+			}
+			checkInvariants(t, space, s, tc.pts)
+		})
+	}
+}
+
+// Duplicate re-insertion after bootstrap: replaying the whole stream
+// (every position now a duplicate of a seen one) must change nothing.
+func TestPostBootstrapDuplicateReinsertion(t *testing.T) {
+	space := metric.L2{}
+	r := rng.New(11)
+	pts := workload.UniformCube(r, 60, 2, 40)
+	s := New(space, 4)
+	feed(s, pts)
+	if s.R() <= 0 {
+		t.Fatalf("not out of bootstrap: R = %v", s.R())
+	}
+	centersBefore := append([]metric.Point(nil), s.Centers()...)
+	rBefore := s.R()
+	feed(s, pts) // every point is within 8R (indeed within its own 0) — absorbed
+	if s.R() != rBefore {
+		t.Fatalf("R changed on duplicate replay: %v -> %v", rBefore, s.R())
+	}
+	if len(s.Centers()) != len(centersBefore) {
+		t.Fatalf("centers changed on duplicate replay: %d -> %d", len(centersBefore), len(s.Centers()))
+	}
+	checkInvariants(t, space, s, pts)
+}
+
+// checkInvariants asserts the Stream type's documented invariants
+// (1)–(3) over the fed points; (4) follows from (2) and is checked
+// against brute force where the instance is small.
+func checkInvariants(t *testing.T, space metric.Space, s *Stream, pts []metric.Point) {
+	t.Helper()
+	cs := s.Centers()
+	rr := s.R()
+	for i := 0; i < len(cs); i++ {
+		for j := i + 1; j < len(cs); j++ {
+			if d := space.Dist(cs[i], cs[j]); d <= 4*rr {
+				t.Fatalf("invariant (2): centers %d,%d at distance %v ≤ 4R=%v", i, j, d, 4*rr)
+			}
+		}
+	}
+	for _, p := range pts {
+		if d := metric.DistToSet(space, p, cs); d > 8*rr+1e-9 {
+			t.Fatalf("invariant (3): point %v at distance %v > 8R=%v", p, d, 8*rr)
+		}
+	}
+	if len(pts) <= 16 {
+		if opt, _ := seq.ExactKCenter(space, pts, s.k); rr > opt+1e-9 {
+			t.Fatalf("invariant (4): R=%v > opt=%v", rr, opt)
+		}
+	}
+}
+
 func TestKClamped(t *testing.T) {
 	s := New(metric.L2{}, 0)
 	feed(s, workload.Line(10))

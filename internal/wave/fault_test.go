@@ -1,0 +1,249 @@
+package wave
+
+// Fault-path tests for the wave search and the sequential retry wrapper:
+// a fork killed mid-round (panic or injected fault) must leave the
+// parent cluster accounting exactly what the equivalent sequential
+// search would have charged — no leaked partial speculative stats, no
+// orphan trace rows — and fault-killed probes must be retried to a
+// byte-identical completion. Run under -race in the chaos CI leg: the
+// kill paths cross goroutines.
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"parclust/internal/fault"
+	"parclust/internal/mpc"
+)
+
+// probeBody returns a Body running two named supersteps per rung, with a
+// per-rung verdict and an optional kill at one rung (panic mid-probe,
+// after the first superstep).
+func probeBody(verdict func(rung int) bool, killRung int) Body {
+	return func(fc *mpc.Cluster, rung int) (bool, error) {
+		if err := fc.Superstep("probe/a", func(m *mpc.Machine) error {
+			m.SendCentral(mpc.Int(rung))
+			return nil
+		}); err != nil {
+			return false, err
+		}
+		if rung == killRung {
+			panic("fork killed mid-probe")
+		}
+		if err := fc.Superstep("probe/b", func(m *mpc.Machine) error { return nil }); err != nil {
+			return false, err
+		}
+		return verdict(rung), nil
+	}
+}
+
+// normalize strips the fields that legitimately differ between a
+// sequential execution and an adopted fork (wall clock, fork tagging,
+// sequence numbers) so the remaining schema must match exactly.
+func normalize(events []mpc.TraceEvent) []mpc.TraceEvent {
+	out := append([]mpc.TraceEvent(nil), events...)
+	for i := range out {
+		out[i].WallNanos = 0
+		out[i].ForkRung = nil
+		out[i].Seq = i
+	}
+	return out
+}
+
+// TestForkKilledMidRoundMatchesSequential kills a path-rung fork by
+// panic mid-probe and asserts the parent ends up with exactly the failed
+// sequential search's accounting: the committed path's rounds, no
+// speculative residue, no orphan trace rows.
+func TestForkKilledMidRoundMatchesSequential(t *testing.T) {
+	const lo, hi, kill = 0, 8, 4
+	verdict := func(int) bool { return false } // endpoint fails, search descends to 4
+
+	// Sequential reference: endpoint 8 completes (two rounds), then
+	// rung 4 dies after one round.
+	body := probeBody(verdict, kill)
+	seqRec := mpc.NewTraceRecorder()
+	seq := mpc.NewCluster(2, 3, mpc.WithRecorder(seqRec))
+	if ok, err := runProbe(seq, hi, body); ok || err != nil {
+		t.Fatalf("endpoint probe: %v %v", ok, err)
+	}
+	if _, err := runProbe(seq, kill, body); err == nil {
+		t.Fatal("killed rung did not error sequentially")
+	}
+	wantStats := seq.Stats()
+
+	for _, width := range []int{2, 4, -1} {
+		rec := mpc.NewTraceRecorder()
+		c := mpc.NewCluster(2, 3, mpc.WithRecorder(rec))
+		res, err := Run(c, lo, hi, width, false, probeBody(verdict, kill))
+		if err == nil {
+			t.Fatalf("width %d: killed path rung did not fail the search", width)
+		}
+		if want := []int{8, 4}; !reflect.DeepEqual(res.Path, want) {
+			t.Fatalf("width %d: path %v, want %v", width, res.Path, want)
+		}
+		if len(res.Speculative) != 0 {
+			t.Fatalf("width %d: error path reported speculation %v", width, res.Speculative)
+		}
+		s := c.Stats()
+		if s.Rounds != wantStats.Rounds || s.TotalWords != wantStats.TotalWords {
+			t.Fatalf("width %d: stats %d/%d, sequential %d/%d",
+				width, s.Rounds, s.TotalWords, wantStats.Rounds, wantStats.TotalWords)
+		}
+		if s.SpeculativeRounds != 0 || s.SpeculativeWords != 0 {
+			t.Fatalf("width %d: leaked speculative stats %d/%d", width, s.SpeculativeRounds, s.SpeculativeWords)
+		}
+		if !reflect.DeepEqual(normalize(rec.Events()), normalize(seqRec.Events())) {
+			t.Fatalf("width %d: trace differs from sequential failed search:\nseq: %+v\ngot: %+v",
+				width, normalize(seqRec.Events()), normalize(rec.Events()))
+		}
+	}
+}
+
+// TestForkKilledSpeculativelyIsInvisible kills a rung the search never
+// consumes: the search must succeed and the kill leave no trace beyond
+// the discarded speculation accounting.
+func TestForkKilledSpeculativelyIsInvisible(t *testing.T) {
+	// Rung i true iff i <= 5; rung 7 is speculative-only on the path
+	// 8 → 4 → 6 → 5.
+	c := mpc.NewCluster(2, 3)
+	res, err := Run(c, 0, 8, 8, false, probeBody(func(r int) bool { return r <= 5 }, 7))
+	if err != nil {
+		t.Fatalf("speculative kill surfaced: %v", err)
+	}
+	if res.J != 5 {
+		t.Fatalf("j = %d, want 5", res.J)
+	}
+	found := false
+	for _, r := range res.Speculative {
+		found = found || r == 7
+	}
+	if !found {
+		t.Fatalf("killed rung 7 missing from speculation %v", res.Speculative)
+	}
+}
+
+// TestRunRetriesFaultedProbe pins probe-level fault recovery on the wave
+// path: an abort schedule kills every probe's first incarnation, the
+// retry (fresh fork, epoch 1) completes it, and the winning accounting
+// is byte-identical to the fault-free run.
+func TestRunRetriesFaultedProbe(t *testing.T) {
+	verdict := func(r int) bool { return r <= 3 }
+	cleanRec := mpc.NewTraceRecorder()
+	clean := mpc.NewCluster(2, 9, mpc.WithRecorder(cleanRec))
+	wantRes, err := Run(clean, 0, 8, 2, false, probeBody(verdict, -1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sched := fault.FromEvents(fault.Event{Round: -1, Machine: 0, Kind: fault.Abort, Name: "probe/"})
+	sched.MaxRoundRetries = 1 // abort outlives in-place retries by design
+	rec := mpc.NewTraceRecorder()
+	c := mpc.NewCluster(2, 9, mpc.WithRecorder(rec), mpc.WithFaultPolicy(sched))
+	res, err := Run(c, 0, 8, 2, false, probeBody(verdict, -1))
+	if err != nil {
+		t.Fatalf("faulted run failed despite retries: %v", err)
+	}
+	if !reflect.DeepEqual(res, wantRes) {
+		t.Fatalf("result differs: %+v vs %+v", res, wantRes)
+	}
+	cs, ws := c.Stats(), clean.Stats()
+	if cs.Rounds != ws.Rounds || cs.TotalWords != ws.TotalWords {
+		t.Fatalf("winning stats differ: %d/%d vs %d/%d", cs.Rounds, cs.TotalWords, ws.Rounds, ws.TotalWords)
+	}
+	if cs.RecoveryRounds == 0 {
+		t.Fatal("no recovery recorded despite aborts")
+	}
+	var win, cleanWin []mpc.TraceEvent
+	for _, ev := range rec.Events() {
+		if !ev.Recovery && !ev.Speculative {
+			win = append(win, ev)
+		}
+	}
+	for _, ev := range cleanRec.Events() {
+		if !ev.Recovery && !ev.Speculative {
+			cleanWin = append(cleanWin, ev)
+		}
+	}
+	if !reflect.DeepEqual(normalize(win), normalize(cleanWin)) {
+		t.Fatal("winning trace differs from fault-free run")
+	}
+}
+
+// TestRunFaultRetriesExhausted: when aborts outlive the probe-retry
+// allowance the search fails with ErrFault, with the same discard
+// semantics as any other path error.
+func TestRunFaultRetriesExhausted(t *testing.T) {
+	sched := fault.FromEvents(fault.Event{Round: -1, Machine: 0, Kind: fault.Abort, Name: "probe/"})
+	sched.MaxRoundRetries = 0
+	sched.MaxProbeRetries = 0
+	c := mpc.NewCluster(2, 9, mpc.WithFaultPolicy(sched))
+	res, err := Run(c, 0, 8, 2, false, probeBody(func(int) bool { return false }, -1))
+	if !errors.Is(err, mpc.ErrFault) {
+		t.Fatalf("err = %v, want ErrFault", err)
+	}
+	if len(res.Speculative) != 0 || c.Stats().SpeculativeRounds != 0 {
+		t.Fatalf("exhausted-retry error leaked speculation: %+v, %+v", res, c.Stats())
+	}
+}
+
+// TestRetryProbeRollsBackSequentially pins the Speculation=0 recovery
+// path: RetryProbe checkpoints, the aborted incarnation is retagged
+// recovery, and the replay at epoch 1 is byte-identical to fault-free.
+func TestRetryProbeRollsBackSequentially(t *testing.T) {
+	pipeline := func(c *mpc.Cluster) (uint64, error) {
+		var sum uint64
+		if err := c.Superstep("probe/a", func(m *mpc.Machine) error {
+			m.SendCentral(mpc.Int(int(m.RNG.Uint64() % 100)))
+			return nil
+		}); err != nil {
+			return 0, err
+		}
+		err := c.Superstep("probe/b", func(m *mpc.Machine) error {
+			if m.IsCentral() {
+				for _, v := range mpc.CollectInts(m.Inbox()) {
+					sum += uint64(v)
+				}
+			}
+			return nil
+		})
+		return sum, err
+	}
+	clean := mpc.NewCluster(3, 5)
+	want, err := pipeline(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sched := fault.FromEvents(fault.Event{Round: -1, Machine: 1, Kind: fault.Abort, Name: "probe/"})
+	sched.MaxRoundRetries = 1
+	c := mpc.NewCluster(3, 5, mpc.WithFaultPolicy(sched))
+	var got uint64
+	ok, err := RetryProbe(c, func() (bool, error) {
+		s, err := pipeline(c)
+		got = s
+		return err == nil, err
+	})
+	if err != nil || !ok {
+		t.Fatalf("RetryProbe: %v %v", ok, err)
+	}
+	if got != want {
+		t.Fatalf("replayed sum %d, fault-free %d", got, want)
+	}
+	s := c.Stats()
+	if s.Rounds != clean.Stats().Rounds || s.TotalWords != clean.Stats().TotalWords {
+		t.Fatalf("winning stats differ: %+v vs %+v", s, clean.Stats())
+	}
+	if s.RecoveryRounds == 0 {
+		t.Fatal("no recovery recorded")
+	}
+	if c.FaultEpoch() != 0 {
+		t.Fatalf("fault epoch not reset: %d", c.FaultEpoch())
+	}
+	// Without a policy RetryProbe is the plain probe.
+	plain := mpc.NewCluster(3, 5)
+	ok, err = RetryProbe(plain, func() (bool, error) { return true, nil })
+	if !ok || err != nil {
+		t.Fatalf("policy-free RetryProbe: %v %v", ok, err)
+	}
+}

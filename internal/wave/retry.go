@@ -1,0 +1,46 @@
+package wave
+
+// Probe retry for the sequential (Speculation = 0) ladder path. The
+// wave path retries a fault-killed probe by forking the rung again; the
+// sequential path runs probes directly on the root cluster, so its
+// retry needs a rollback instead: Checkpoint before the probe, Restore
+// on an injected fault, re-run at the next fault epoch. The machine RNG
+// states restored with the checkpoint make the retry replay the
+// identical probe, so a recovered run is byte-identical to a fault-free
+// one (winning trace, stats, budget reports — the fault-parity suite in
+// internal/integration pins this).
+
+import (
+	"errors"
+	"time"
+
+	"parclust/internal/mpc"
+)
+
+// RetryProbe runs probe under c's fault policy: on an error wrapping
+// mpc.ErrFault the cluster is rolled back to the pre-probe checkpoint —
+// retagging the rolled-back rounds, reports and trace events as
+// Recovery — and the probe re-runs at the next fault epoch, up to the
+// policy's ProbeRetries with its backoff between attempts. Without a
+// policy (or on a non-fault error) it is exactly probe(). The fault
+// epoch is reset to 0 on return, so subsequent probes start clean.
+func RetryProbe(c *mpc.Cluster, probe func() (bool, error)) (bool, error) {
+	pol := c.FaultPolicy()
+	if pol == nil {
+		return probe()
+	}
+	maxRetry := pol.ProbeRetries()
+	defer c.SetFaultEpoch(0)
+	for attempt := 0; ; attempt++ {
+		cp := c.Checkpoint()
+		ok, err := probe()
+		if err == nil || attempt >= maxRetry || !errors.Is(err, mpc.ErrFault) {
+			return ok, err
+		}
+		c.Restore(cp)
+		c.SetFaultEpoch(attempt + 1)
+		if d := pol.ProbeBackoff(attempt); d > 0 {
+			time.Sleep(d)
+		}
+	}
+}

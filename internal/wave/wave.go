@@ -17,8 +17,10 @@
 package wave
 
 import (
+	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"parclust/internal/mpc"
 	"parclust/internal/search"
@@ -47,12 +49,27 @@ type Result struct {
 	Speculative []int
 }
 
-// outcome tracks one in-flight or finished probe.
+// outcome tracks one in-flight or finished probe. failed holds forks
+// whose attempt died on an injected fault before a retry succeeded; they
+// merge back as recovery rounds.
 type outcome struct {
-	fork *mpc.Cluster
-	done chan struct{}
-	ok   bool
-	err  error
+	fork   *mpc.Cluster
+	failed []*mpc.Cluster
+	done   chan struct{}
+	ok     bool
+	err    error
+}
+
+// runProbe executes body on the fork, converting a panic into an error:
+// a buggy or fault-killed probe must fail its rung, not kill the driver
+// goroutine (and with it the process).
+func runProbe(fc *mpc.Cluster, rung int, body Body) (ok bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("wave: probe at rung %d panicked: %v", rung, r)
+		}
+	}()
+	return body(fc, rung)
 }
 
 // Run executes the boundary search over the interval (lo, hi) with up to
@@ -61,9 +78,18 @@ type outcome struct {
 // pass a negative width to probe the whole ladder in one wave. The
 // result — J, Path, and the probe outcome at every path rung — is
 // identical for every width, because each rung's randomness is pinned to
-// its fork seed. On a path-rung probe error Run still merges every
-// launched probe back into c (so accounting stays complete), then
-// returns the error.
+// its fork seed. On a path-rung probe error Run merges the committed
+// path back into c (so its accounting matches the failed sequential
+// search), drains and discards the unconsumed speculation, and returns
+// the error with Result.Speculative empty.
+//
+// When c carries a FaultPolicy, a probe that fails with mpc.ErrFault is
+// retried up to the policy's ProbeRetries on fresh forks at increasing
+// fault epochs, with the policy's backoff between attempts; fault-killed
+// attempts merge back as Recovery rounds (mpc.Cluster.AdoptFailed). The
+// rung-pinned fork seed makes the retry byte-identical to an unfaulted
+// probe, which is what keeps faulted runs byte-identical to fault-free
+// ones (the fault-parity suite in internal/integration).
 //
 // Run must not race with supersteps on c itself: the caller owns c for
 // the duration of the call, as the ladder drivers naturally do.
@@ -80,16 +106,40 @@ func Run(c *mpc.Cluster, lo, hi, width int, up bool, body Body) (Result, error) 
 		endpoint = lo
 	}
 
+	pol := c.FaultPolicy()
+	maxRetry := 0
+	if pol != nil {
+		maxRetry = pol.ProbeRetries()
+	}
 	probes := make(map[int]*outcome)
 	launch := func(rung int) *outcome {
 		if o, started := probes[rung]; started {
 			return o
 		}
-		o := &outcome{fork: c.Fork(rung), done: make(chan struct{})}
+		o := &outcome{done: make(chan struct{})}
 		probes[rung] = o
 		go func() {
 			defer close(o.done)
-			o.ok, o.err = body(o.fork, rung)
+			// Probe-level fault retry: a rung that dies on an injected
+			// fault is re-probed on a fresh fork at the next fault epoch.
+			// The fork seed depends only on the rung, so the retry
+			// replays the identical probe — minus the fault.
+			for attempt := 0; ; attempt++ {
+				fc := c.Fork(rung)
+				if attempt > 0 {
+					fc.SetFaultEpoch(attempt)
+				}
+				ok, err := runProbe(fc, rung, body)
+				if err != nil && errors.Is(err, mpc.ErrFault) && attempt < maxRetry {
+					o.failed = append(o.failed, fc)
+					if d := pol.ProbeBackoff(attempt); d > 0 {
+						time.Sleep(d)
+					}
+					continue
+				}
+				o.fork, o.ok, o.err = fc, ok, err
+				return
+			}
 		}()
 		return o
 	}
@@ -142,10 +192,11 @@ func Run(c *mpc.Cluster, lo, hi, width int, up bool, body Body) (Result, error) 
 		res.Path = append(res.Path, path...)
 	}
 
-	// Merge every launched probe: winning rungs in sequential probe
-	// order, then discarded speculation in ascending rung order (a fixed
-	// order keeps traces deterministic). Adopt needs finished forks, so
-	// in-flight speculation is drained first.
+	// Merge: winning rungs in sequential probe order, then discarded
+	// speculation in ascending rung order (a fixed order keeps traces
+	// deterministic). Fault-killed attempts of a rung merge as recovery
+	// rounds just before the attempt that replaced them. Adopt needs
+	// finished forks, so in-flight probes are drained first.
 	onPath := make(map[int]bool, len(res.Path))
 	for _, r := range res.Path {
 		onPath[r] = true
@@ -159,15 +210,32 @@ func Run(c *mpc.Cluster, lo, hi, width int, up bool, body Body) (Result, error) 
 	for _, r := range res.Path {
 		o := probes[r]
 		<-o.done
+		for _, f := range o.failed {
+			c.AdoptFailed(f)
+		}
 		c.Adopt(o.fork, false)
 	}
+	if searchErr == nil {
+		for _, r := range res.Speculative {
+			o := probes[r]
+			<-o.done
+			for _, f := range o.failed {
+				c.AdoptFailed(f)
+			}
+			c.Adopt(o.fork, true)
+		}
+		return res, nil
+	}
+	// A failed search charges exactly what the failed sequential search
+	// would have: its committed path (including that path's recovery
+	// overhead, merged above). Speculative probes the search never
+	// consumed are drained — their goroutines share the worker pool —
+	// but discarded unmerged: adopting them would leak partial
+	// SpeculativeRounds/Words and orphan trace rows that the sequential
+	// error path does not produce.
 	for _, r := range res.Speculative {
-		o := probes[r]
-		<-o.done
-		c.Adopt(o.fork, true)
+		<-probes[r].done
 	}
-	if searchErr != nil {
-		return res, searchErr
-	}
-	return res, nil
+	res.Speculative = nil
+	return res, searchErr
 }
