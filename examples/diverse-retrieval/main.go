@@ -38,8 +38,12 @@ const (
 )
 
 // synthesize returns unit-ish embedding vectors clustered around `topics`
-// random directions, plus each document's true topic for reporting.
-func synthesize(r *rng.RNG) ([]metric.Point, []int) {
+// random directions, plus each document's true topic for reporting. Like
+// real embedding tables the vectors are float32 end-to-end: they are
+// generated into one contiguous float32 buffer and wrapped with
+// metric.FromFlat32, so every batch kernel downstream runs on the f32
+// lane with no per-point copies.
+func synthesize(r *rng.RNG) (*metric.PointSet, []int) {
 	centers := make([]metric.Point, topics)
 	for i := range centers {
 		c := make(metric.Point, dim)
@@ -48,18 +52,17 @@ func synthesize(r *rng.RNG) ([]metric.Point, []int) {
 		}
 		centers[i] = c
 	}
-	docs := make([]metric.Point, nDocs)
+	emb := make([]float32, nDocs*dim)
 	labels := make([]int, nDocs)
-	for i := range docs {
+	for i := 0; i < nDocs; i++ {
 		t := r.Intn(topics)
 		labels[i] = t
-		d := make(metric.Point, dim)
-		for j := range d {
-			d[j] = centers[t][j] + 0.15*r.NormFloat64()
+		row := emb[i*dim : (i+1)*dim]
+		for j := range row {
+			row[j] = float32(centers[t][j] + 0.15*r.NormFloat64())
 		}
-		docs[i] = d
 	}
-	return docs, labels
+	return metric.FromFlat32(emb, dim), labels
 }
 
 func topicsCovered(selected []int, labels []int) int {
@@ -72,11 +75,13 @@ func topicsCovered(selected []int, labels []int) int {
 
 func main() {
 	r := rng.New(1234)
-	docs, labels := synthesize(r)
+	docSet, labels := synthesize(r)
+	docs := docSet.Points()
 
 	const machines = 6
 	parts := workload.PartitionRoundRobin(nil, docs, machines)
 	in := instance.New(metric.Angular{}, parts)
+	fmt.Printf("embeddings: %d×%d float32, kernel lane %s\n\n", docSet.Len(), docSet.Dim(), docSet.Lane())
 
 	cluster := mpc.NewCluster(machines, 5)
 	ours, err := diversity.Maximize(cluster, in, diversity.Config{K: k, Eps: 0.1})

@@ -79,7 +79,7 @@ func runA2(cfg RunConfig) (*Table, error) {
 		n = 400
 	}
 	fam := workload.Families()[0]
-	in, pts := buildInstance(fam, n, m, cfg.Seed)
+	in, pts := buildInstance(cfg, fam, n, m, cfg.Seed)
 	tau := diameterOf(in.Space, pts) / 8
 	for _, exact := range []bool{false, true} {
 		mode := "approx(1±ε)"
@@ -110,7 +110,7 @@ func runA3(cfg RunConfig) (*Table, error) {
 		n = 400
 	}
 	fam := workload.Families()[1]
-	in, _ := buildInstance(fam, n, m, cfg.Seed)
+	in, _ := buildInstance(cfg, fam, n, m, cfg.Seed)
 	for _, eps := range []float64{0.05, 0.1, 0.25, 0.5} {
 		c := mpc.NewCluster(m, cfg.Seed+11)
 		res, err := kcenter.Solve(c, in, kcenter.Config{K: k, Eps: eps})

@@ -52,10 +52,13 @@ func BudgetValidation(cfg RunConfig, rec *mpc.TraceRecorder) (*Table, int, error
 		n = 200
 	}
 	fam := workload.Families()[0]
-	in, _ := buildInstance(fam, n, m, cfg.Seed+hash(fam.Name))
-	inS, _ := buildInstance(fam, n/4, m, cfg.Seed+hash(fam.Name)+99)
+	in, _ := buildInstance(cfg, fam, n, m, cfg.Seed+hash(fam.Name))
+	inS, _ := buildInstance(cfg, fam, n/4, m, cfg.Seed+hash(fam.Name)+99)
 	tau := 1.0
 
+	if cfg.Float32 {
+		tab.AddNote("float32 kernel lane active (-f32): instances rounded to float32 before solving; budgets are lane-independent")
+	}
 	opts := []mpc.Option{mpc.WithBudgetEnforcement()}
 	if rec != nil {
 		opts = append(opts, mpc.WithRecorder(rec))

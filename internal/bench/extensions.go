@@ -48,7 +48,7 @@ func runF7(cfg RunConfig) (*Table, error) {
 		for i := 0; i < z; i++ {
 			pts = append(pts, metric.Point{1e6 + float64(i)*1e5, 1e6})
 		}
-		in, _ := buildInstanceFromPoints(pts, m, cfg.Seed)
+		in, _ := buildInstanceFromPoints(cfg, pts, m, cfg.Seed)
 
 		c1 := mpc.NewCluster(m, cfg.Seed+12)
 		plain, err := kcenter.Solve(c1, in, kcenter.Config{K: k, Eps: 0.1})
@@ -84,7 +84,7 @@ func runF8(cfg RunConfig) (*Table, error) {
 	}
 	space := metric.L2{}
 	for _, fam := range qualityFamilies(cfg.Quick) {
-		in, pts := buildInstance(fam, n, m, cfg.Seed+hash(fam.Name))
+		in, pts := buildInstance(cfg, fam, n, m, cfg.Seed+hash(fam.Name))
 		c := mpc.NewCluster(m, cfg.Seed+14)
 		res, err := remoteclique.MPCCoreset(c, in, k)
 		if err != nil {
@@ -100,11 +100,16 @@ func runF8(cfg RunConfig) (*Table, error) {
 	return tab, nil
 }
 
-// buildInstanceFromPoints partitions explicit points randomly.
-func buildInstanceFromPoints(pts []metric.Point, m int, seed uint64) (*instance.Instance, []metric.Point) {
+// buildInstanceFromPoints partitions explicit points randomly, honoring
+// RunConfig.Float32 like buildInstance.
+func buildInstanceFromPoints(cfg RunConfig, pts []metric.Point, m int, seed uint64) (*instance.Instance, []metric.Point) {
 	r := rng.New(seed)
 	parts := workload.PartitionRandom(r, pts, m)
-	return instance.New(metric.L2{}, parts), pts
+	in := instance.New(metric.L2{}, parts)
+	if cfg.Float32 {
+		in = in.Round32()
+	}
+	return in, pts
 }
 
 func pick(pts []metric.Point, idx []int) []metric.Point {

@@ -32,7 +32,7 @@ func runT7(cfg RunConfig) (*Table, error) {
 	}
 	fam := qualityFamilies(true)[0]
 	for _, m := range ms {
-		in, _ := buildInstance(fam, n, m, cfg.Seed)
+		in, _ := buildInstance(cfg, fam, n, m, cfg.Seed)
 		c := mpc.NewCluster(m, cfg.Seed+17)
 		if _, err := kcenter.Solve(c, in, kcenter.Config{K: k, Eps: 0.1}); err != nil {
 			return nil, fmt.Errorf("T7 m=%d: %w", m, err)

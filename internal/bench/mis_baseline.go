@@ -32,7 +32,7 @@ func runA4(cfg RunConfig) (*Table, error) {
 	fam := qualityFamilies(true)[0]
 	for _, n := range ns {
 		m := int(math.Ceil(math.Sqrt(float64(n)) / 2))
-		in, pts := buildInstance(fam, n, m, cfg.Seed)
+		in, pts := buildInstance(cfg, fam, n, m, cfg.Seed)
 		tau := diameterOf(in.Space, pts) / 6
 
 		// δ = 0.5 keeps the heavy/light machinery active (DESIGN.md

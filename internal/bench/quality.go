@@ -17,12 +17,17 @@ import (
 )
 
 // buildInstance generates a family dataset and partitions it randomly
-// over m machines.
-func buildInstance(fam workload.Family, n, m int, seed uint64) (*instance.Instance, []metric.Point) {
+// over m machines. Under RunConfig.Float32 the instance is rounded to
+// the f32 kernel lane (instance.Round32) before it is returned.
+func buildInstance(cfg RunConfig, fam workload.Family, n, m int, seed uint64) (*instance.Instance, []metric.Point) {
 	r := rng.New(seed)
 	pts := fam.Gen(r, n)
 	parts := workload.PartitionRandom(r, pts, m)
-	return instance.New(metric.L2{}, parts), pts
+	in := instance.New(metric.L2{}, parts)
+	if cfg.Float32 {
+		in = in.Round32()
+	}
+	return in, pts
 }
 
 type sizeCase struct{ n, m, k int }
@@ -89,7 +94,7 @@ func runT1(cfg RunConfig) (*Table, error) {
 	eps := 0.1
 	for _, fam := range qualityFamilies(cfg.Quick) {
 		for _, sc := range qualityCases(cfg.Quick) {
-			in, pts := buildInstance(fam, sc.n, sc.m, cfg.Seed+hash(fam.Name))
+			in, pts := buildInstance(cfg, fam, sc.n, sc.m, cfg.Seed+hash(fam.Name))
 			lb := seq.KCenterLowerBound(in.Space, pts, sc.k)
 
 			c := mpc.NewCluster(sc.m, cfg.Seed+1)
@@ -123,7 +128,7 @@ func runT2(cfg RunConfig) (*Table, error) {
 	eps := 0.1
 	for _, fam := range qualityFamilies(cfg.Quick) {
 		for _, sc := range qualityCases(cfg.Quick) {
-			in, pts := buildInstance(fam, sc.n, sc.m, cfg.Seed+hash(fam.Name))
+			in, pts := buildInstance(cfg, fam, sc.n, sc.m, cfg.Seed+hash(fam.Name))
 			ub := seq.DiversityUpperBound(in.Space, pts, sc.k)
 
 			c := mpc.NewCluster(sc.m, cfg.Seed+1)
@@ -159,8 +164,8 @@ func runT3(cfg RunConfig) (*Table, error) {
 	for _, fam := range qualityFamilies(cfg.Quick) {
 		for _, sc := range qualityCases(cfg.Quick) {
 			nS := sc.n / 4
-			inC, custPts := buildInstance(fam, sc.n, sc.m, cfg.Seed+hash(fam.Name))
-			inS, supPts := buildInstance(fam, nS, sc.m, cfg.Seed+hash(fam.Name)+99)
+			inC, custPts := buildInstance(cfg, fam, sc.n, sc.m, cfg.Seed+hash(fam.Name))
+			inS, supPts := buildInstance(cfg, fam, nS, sc.m, cfg.Seed+hash(fam.Name)+99)
 			lb := seq.KSupplierLowerBound(inC.Space, custPts, sc.k)
 
 			c := mpc.NewCluster(sc.m, cfg.Seed+1)
@@ -193,7 +198,7 @@ func runF1(cfg RunConfig) (*Table, error) {
 		n, m, k = 400, 4, 6
 	}
 	fam := workload.Families()[1] // gauss-sep: structure makes quality visible
-	in, pts := buildInstance(fam, n, m, cfg.Seed)
+	in, pts := buildInstance(cfg, fam, n, m, cfg.Seed)
 	lb := seq.KCenterLowerBound(in.Space, pts, k)
 	ub := seq.DiversityUpperBound(in.Space, pts, k)
 	for _, eps := range []float64{1.0 / 16, 1.0 / 8, 1.0 / 4, 1.0 / 2, 1.0} {
@@ -225,7 +230,7 @@ func runF5(cfg RunConfig) (*Table, error) {
 		n, m, k = 400, 4, 6
 	}
 	for _, fam := range qualityFamilies(cfg.Quick) {
-		in, pts := buildInstance(fam, n, m, cfg.Seed+hash(fam.Name))
+		in, pts := buildInstance(cfg, fam, n, m, cfg.Seed+hash(fam.Name))
 		ub := seq.DiversityUpperBound(in.Space, pts, k)
 
 		c := mpc.NewCluster(m, cfg.Seed+1)

@@ -31,6 +31,12 @@ type RunConfig struct {
 	// FaultSeed seeds the random fault schedule; identical seeds replay
 	// identical fault patterns.
 	FaultSeed uint64
+	// Float32 rounds every generated instance's coordinates to the
+	// nearest float32 (instance.Round32) before any algorithm runs, so
+	// every experiment executes on the f32 kernel lane (metric.Lane).
+	// The cmd/mpcbench -f32 flag sets it; running the same experiment
+	// with and without the flag compares the two lanes end-to-end.
+	Float32 bool
 }
 
 // Experiment is a registered claim-validation experiment.

@@ -34,7 +34,7 @@ func runF9(cfg RunConfig) (*Table, error) {
 		n = 600
 	}
 	for _, fam := range qualityFamilies(cfg.Quick) {
-		in, pts := buildInstance(fam, n, m, cfg.Seed+hash(fam.Name))
+		in, pts := buildInstance(cfg, fam, n, m, cfg.Seed+hash(fam.Name))
 		lb := seq.KCenterLowerBound(in.Space, pts, k)
 
 		// One-pass streaming: O(k) working memory.

@@ -77,7 +77,7 @@ func runT4(cfg RunConfig) (*Table, error) {
 	k := 8
 	for _, n := range ns {
 		m := int(math.Ceil(math.Sqrt(float64(n))))
-		in, _ := buildInstance(fam, n, m, cfg.Seed)
+		in, _ := buildInstance(cfg, fam, n, m, cfg.Seed)
 		c := mpc.NewCluster(m, cfg.Seed+3)
 		res, err := kcenter.Solve(c, in, kcenter.Config{K: k, Eps: 0.1})
 		if err != nil {
@@ -113,7 +113,7 @@ func runT5(cfg RunConfig) (*Table, error) {
 	fam := workload.Families()[0]
 	for _, m := range ms {
 		for _, k := range ks {
-			in, pts := buildInstance(fam, n, m, cfg.Seed)
+			in, pts := buildInstance(cfg, fam, n, m, cfg.Seed)
 			// A mid-scale threshold so the Luby path (not a shortcut
 			// exit) does the work: an eighth of the diameter. δ = 0.5
 			// engages the heavy/light split at this n — with the paper's
@@ -158,7 +158,7 @@ func runT6(cfg RunConfig) (*Table, error) {
 		exits := map[kbmis.ExitPath]int{}
 		iters, pruneA, pruneF := 0, 0, 0
 		for s := 0; s < seeds; s++ {
-			in, pts := buildInstance(fam, n, m, cfg.Seed+uint64(s))
+			in, pts := buildInstance(cfg, fam, n, m, cfg.Seed+uint64(s))
 			tau := diameterOf(in.Space, pts) * reg.frac
 			c := mpc.NewCluster(m, cfg.Seed+uint64(100+s))
 			res, err := kbmis.Run(c, in, tau, kbmis.Config{K: k})
@@ -193,7 +193,7 @@ func runF2(cfg RunConfig) (*Table, error) {
 		n = 300
 	}
 	fam := workload.Families()[0]
-	in, pts := buildInstance(fam, n, m, cfg.Seed)
+	in, pts := buildInstance(cfg, fam, n, m, cfg.Seed)
 	tau := diameterOf(in.Space, pts) / 4
 	c := mpc.NewCluster(m, cfg.Seed+5)
 	// k = n forces the loop to run until the graph empties.
@@ -229,7 +229,7 @@ func runF3(cfg RunConfig) (*Table, error) {
 		n = 500
 	}
 	fam := workload.Families()[0]
-	in, _ := buildInstance(fam, n, m, cfg.Seed)
+	in, _ := buildInstance(cfg, fam, n, m, cfg.Seed)
 	pts, gids := in.All()
 	for _, tauFrac := range []float64{0.1, 0.2, 0.3, 0.5} {
 		tau := diameterOf(in.Space, pts) * tauFrac
@@ -293,7 +293,7 @@ func runF4(cfg RunConfig) (*Table, error) {
 	fam := workload.Families()[0]
 	var base float64
 	for _, m := range []int{1, 2, 4, 8} {
-		in, _ := buildInstance(fam, n, m, cfg.Seed)
+		in, _ := buildInstance(cfg, fam, n, m, cfg.Seed)
 		c := mpc.NewCluster(m, cfg.Seed+7)
 		start := time.Now()
 		if _, err := coreset.Collect(c, in, k); err != nil {
@@ -323,7 +323,7 @@ func runF6(cfg RunConfig) (*Table, error) {
 		n = 250
 	}
 	fam := workload.Families()[0]
-	in, pts := buildInstance(fam, n, m, cfg.Seed)
+	in, pts := buildInstance(cfg, fam, n, m, cfg.Seed)
 	diam := diameterOf(in.Space, pts)
 	for _, frac := range []float64{0.05, 0.1, 0.2} {
 		tau := diam * frac

@@ -32,7 +32,7 @@ func runT8(cfg RunConfig) (*Table, error) {
 		n, seeds = 400, 8
 	}
 	fam := qualityFamilies(true)[0]
-	in, pts := buildInstance(fam, n, m, cfg.Seed)
+	in, pts := buildInstance(cfg, fam, n, m, cfg.Seed)
 	lbC := seq.KCenterLowerBound(in.Space, pts, k)
 	ubD := seq.DiversityUpperBound(in.Space, pts, k)
 

@@ -16,9 +16,25 @@ import (
 	"parclust/internal/metric"
 )
 
-// ReadCSV parses points from r.
+// ReadCSV parses points from r. The returned points are views into one
+// contiguous buffer (ReadCSVSet), so downstream metric.FromPoints calls
+// stay cache-friendly.
 func ReadCSV(r io.Reader) ([]metric.Point, error) {
-	var pts []metric.Point
+	set, err := ReadCSVSet(r)
+	if err != nil {
+		return nil, err
+	}
+	return set.Points(), nil
+}
+
+// ReadCSVSet parses points from r directly into a contiguous row-major
+// buffer and wraps it as a PointSet via metric.FromFlat — no per-point
+// allocations and no copy, and the f32 kernel lane is selected
+// automatically when the file's values are float32-exact (as exported
+// embedding tables are).
+func ReadCSVSet(r io.Reader) (*metric.PointSet, error) {
+	var flat []float64
+	dim := 0
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	lineNo := 0
@@ -29,27 +45,27 @@ func ReadCSV(r io.Reader) ([]metric.Point, error) {
 			continue
 		}
 		fields := strings.Split(line, ",")
-		p := make(metric.Point, len(fields))
-		for i, f := range fields {
+		if dim == 0 {
+			dim = len(fields)
+		} else if len(fields) != dim {
+			return nil, fmt.Errorf("dataio: line %d: dimension %d, expected %d",
+				lineNo, len(fields), dim)
+		}
+		for _, f := range fields {
 			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
 			if err != nil {
 				return nil, fmt.Errorf("dataio: line %d: %w", lineNo, err)
 			}
-			p[i] = v
+			flat = append(flat, v)
 		}
-		if len(pts) > 0 && len(p) != len(pts[0]) {
-			return nil, fmt.Errorf("dataio: line %d: dimension %d, expected %d",
-				lineNo, len(p), len(pts[0]))
-		}
-		pts = append(pts, p)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	if len(pts) == 0 {
+	if len(flat) == 0 || dim == 0 {
 		return nil, fmt.Errorf("dataio: no points")
 	}
-	return pts, nil
+	return metric.FromFlat(flat, dim), nil
 }
 
 // WriteCSV writes points to w, one line per point, full float precision.
@@ -102,6 +118,31 @@ func WriteJSON(w io.Writer, pts []metric.Point) error {
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(raw)
+}
+
+// ReadFileSet loads points from path as a contiguous PointSet,
+// dispatching on the extension like ReadFile. CSV files stream straight
+// into the flat buffer; JSON files decode and then pack once.
+func ReadFileSet(path string) (*metric.PointSet, error) {
+	if path == "" {
+		return nil, fmt.Errorf("dataio: no file given")
+	}
+	if path == "-" {
+		return ReadCSVSet(os.Stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(strings.ToLower(path), ".json") {
+		pts, err := ReadJSON(f)
+		if err != nil {
+			return nil, err
+		}
+		return metric.FromPoints(pts), nil
+	}
+	return ReadCSVSet(f)
 }
 
 // ReadFile loads points from path, dispatching on the extension (.json →

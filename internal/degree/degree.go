@@ -202,6 +202,10 @@ func approximate(c *mpc.Cluster, in *instance.Instance, tau float64, cfg Config)
 		uncachedSample := func() *metric.PointSet {
 			if sampleSet == nil {
 				sampleSet = metric.FromPoints(sPts)
+				// Every local vertex scans this same sample set, so the
+				// one-pass quantized prefilter pays for itself immediately
+				// (answers are byte-identical with or without it).
+				sampleSet.EnsurePrefilter(in.Space)
 			}
 			return sampleSet
 		}
@@ -379,6 +383,9 @@ func exactLightPath(c *mpc.Cluster, in *instance.Instance, tau float64, cfg Conf
 		uncachedLocal := func() *metric.PointSet {
 			if localSet == nil {
 				localSet = metric.FromPoints(in.Parts[i])
+				// Shared by every light vertex the probe context declines;
+				// same byte-identical prefilter bargain as the sample set.
+				localSet.EnsurePrefilter(in.Space)
 			}
 			return localSet
 		}

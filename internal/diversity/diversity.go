@@ -58,6 +58,14 @@ type Config struct {
 	// reported (Result.SpeculativeProbes, trace events, Stats) but never
 	// charge the Theorem 3 budget.
 	Speculation int
+	// ForceFloat32 rounds every input coordinate to the nearest float32
+	// before solving (instance.Round32), forcing every downstream
+	// PointSet and DistIndex onto the f32 kernel lane (metric.Lane) and
+	// halving the batch kernels' memory traffic. The result is the exact
+	// solve of the rounded input — each coordinate moves by at most half
+	// a float32 ULP (docs/PERFORMANCE.md). Float32-exact inputs select
+	// the lane automatically and are unaffected by the knob.
+	ForceFloat32 bool
 }
 
 func (c Config) withDefaults() Config {
@@ -133,6 +141,9 @@ func TwoRoundBudget(m, k, dim int) mpc.Budget {
 // (mpc.WithBudgetEnforcement) a breach returns *mpc.BudgetViolation
 // carrying the observed-vs-budget diff.
 func Maximize(c *mpc.Cluster, in *instance.Instance, cfg Config) (*Result, error) {
+	if cfg.ForceFloat32 {
+		in = in.Round32()
+	}
 	budget := TheoremBudget(in.N, in.Machines(), cfg.K, in.Dim(), cfg.Eps)
 	if cfg.Budget != nil {
 		budget = *cfg.Budget

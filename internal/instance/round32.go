@@ -1,0 +1,27 @@
+package instance
+
+import "parclust/internal/metric"
+
+// Round32 returns a copy of the instance whose every coordinate is
+// rounded to the nearest float32 (and widened back to float64). The copy
+// shares the Space and global ids with the original; only the point
+// storage is new. Rounding makes every downstream PointSet select the f32
+// kernel lane (metric.Lane), halving the bandwidth of the batch kernels,
+// at the cost of perturbing each coordinate by at most half a float32 ULP
+// — the opt-in ForceFloat32 knob of the ladder drivers. Instances whose
+// coordinates are already float32-exact round-trip unchanged.
+func (in *Instance) Round32() *Instance {
+	parts := make([][]metric.Point, len(in.Parts))
+	for i, part := range in.Parts {
+		np := make([]metric.Point, len(part))
+		for j, p := range part {
+			q := make(metric.Point, len(p))
+			for t, x := range p {
+				q[t] = float64(float32(x))
+			}
+			np[j] = q
+		}
+		parts[i] = np
+	}
+	return &Instance{Space: in.Space, Parts: parts, IDs: in.IDs, N: in.N}
+}

@@ -57,6 +57,15 @@ type Config struct {
 	// speculative probes are reported (Result.SpeculativeProbes, trace
 	// events, Stats) but never charge the Theorem 17 budget.
 	Speculation int
+	// ForceFloat32 rounds every input coordinate to the nearest float32
+	// before solving (instance.Round32), forcing every downstream
+	// PointSet and DistIndex onto the f32 kernel lane (metric.Lane) and
+	// halving the batch kernels' memory traffic. The result is the exact
+	// solve of the rounded instance — each coordinate moves by at most
+	// half a float32 ULP, so radii shift within that tolerance
+	// (docs/PERFORMANCE.md). Inputs that are already float32-exact
+	// select the lane automatically and are unaffected by the knob.
+	ForceFloat32 bool
 }
 
 func (c Config) withDefaults() Config {
@@ -121,6 +130,9 @@ func TheoremBudget(n, m, k, dim int, eps float64) mpc.Budget {
 // (mpc.WithBudgetEnforcement) a breach returns *mpc.BudgetViolation
 // carrying the observed-vs-budget diff.
 func Solve(c *mpc.Cluster, in *instance.Instance, cfg Config) (*Result, error) {
+	if cfg.ForceFloat32 {
+		in = in.Round32()
+	}
 	budget := TheoremBudget(in.N, in.Machines(), cfg.K, in.Dim(), cfg.Eps)
 	if cfg.Budget != nil {
 		budget = *cfg.Budget

@@ -61,6 +61,14 @@ type Config struct {
 	// (Result.SpeculativeProbes, trace events, Stats) but never charge
 	// the Theorem 18 budget.
 	Speculation int
+	// ForceFloat32 rounds every input coordinate to the nearest float32
+	// before solving (instance.Round32), forcing every downstream
+	// PointSet and DistIndex onto the f32 kernel lane (metric.Lane) and
+	// halving the batch kernels' memory traffic. The result is the exact
+	// solve of the rounded input — each coordinate moves by at most half
+	// a float32 ULP (docs/PERFORMANCE.md). Float32-exact inputs select
+	// the lane automatically and are unaffected by the knob.
+	ForceFloat32 bool
 }
 
 func (c Config) withDefaults() Config {
@@ -126,6 +134,9 @@ func TheoremBudget(n, m, k, dim int, eps float64) mpc.Budget {
 // budget: when the cluster enforces budgets (mpc.WithBudgetEnforcement)
 // a breach returns *mpc.BudgetViolation.
 func Solve(c *mpc.Cluster, inC, inS *instance.Instance, cfg Config) (*Result, error) {
+	if cfg.ForceFloat32 {
+		inC, inS = inC.Round32(), inS.Round32()
+	}
 	dim := inC.Dim()
 	if d := inS.Dim(); d > dim {
 		dim = d

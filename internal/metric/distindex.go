@@ -153,42 +153,76 @@ func BuildDistIndex(space Space, pts []Point, segs []Segment, maxPoints int) *Di
 	// triangle is mirrored afterwards, halving build cost. ixDist spaces
 	// (MatrixSpace tables) carry no such guarantee and fill full rows.
 	symmetric := kind != ixDist
-	// The coordinate kinds read the points through one flat row-major
-	// buffer: the []Point layout costs a slice-header load (and usually a
-	// cache miss — points are individual heap objects) per pair, which at
-	// n² pairs dominates the arithmetic.
-	var flat []float64
-	if symmetric {
-		flat = make([]float64, n*dim)
-		for i, p := range pts {
-			copy(flat[i*dim:], p)
-		}
+	// All kinds read the points through one flat row-major buffer
+	// (PointSet): the []Point layout costs a slice-header load (and
+	// usually a cache miss — points are individual heap objects) per
+	// pair, which at n² pairs dominates the arithmetic. The set also
+	// selects the f32 kernel lane automatically (pointset.go), halving
+	// the build's coordinate traffic on float32-exact inputs; the cmp
+	// table itself stays float64 — its values are not f32-representable
+	// and the byte-identity contract forbids rounding them.
+	set := FromPoints(pts)
+	flat, _ := set.Flat()
+	flat32 := lane32(set)
+	angular := false
+	if kind == ixDist {
+		_, aKind, _ := resolveKernel(inner)
+		angular = aKind == kAngular && flat != nil
 	}
 	Sweep(n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			row := ix.cmp[i*n : (i+1)*n]
 			q := pts[i]
-			if symmetric {
+			if flat != nil {
 				q = Point(flat[i*dim : (i+1)*dim])
 			}
 			switch kind {
 			case ixL2:
-				fillSqDistRow(q, flat, dim, row, i)
+				if flat32 != nil {
+					for j := i; j < n; j++ {
+						row[j] = sqDistCompat32(q, flat32[j*dim:(j+1)*dim])
+					}
+				} else {
+					fillSqDistRow(q, flat, dim, row, i)
+				}
 			case ixL1:
-				for j := i; j < n; j++ {
-					row[j] = absDistCompat(q, flat[j*dim:(j+1)*dim])
+				if flat32 != nil {
+					for j := i; j < n; j++ {
+						row[j] = absDistCompat32(q, flat32[j*dim:(j+1)*dim])
+					}
+				} else {
+					for j := i; j < n; j++ {
+						row[j] = absDistCompat(q, flat[j*dim:(j+1)*dim])
+					}
 				}
 			case ixLInf:
-				for j := i; j < n; j++ {
-					row[j] = maxDist(q, flat[j*dim:(j+1)*dim])
+				if flat32 != nil {
+					for j := i; j < n; j++ {
+						row[j] = maxDist32(q, flat32[j*dim:(j+1)*dim])
+					}
+				} else {
+					for j := i; j < n; j++ {
+						row[j] = maxDist(q, flat[j*dim:(j+1)*dim])
+					}
 				}
 			case ixHamming:
 				for j := i; j < n; j++ {
 					row[j] = (Hamming{}).Dist(q, Point(flat[j*dim:(j+1)*dim]))
 				}
 			case ixDist:
-				for j, p := range pts {
-					row[j] = inner.Dist(q, p)
+				if angular {
+					// Batch angular kernel, bit-identical to the scalar
+					// oracle (kernels32.go); other ixDist spaces
+					// (MatrixSpace) stay on the per-pair oracle.
+					if flat32 != nil {
+						distManyAngular32(q, flat32, row)
+					} else {
+						distManyAngular(q, flat, row)
+					}
+				} else {
+					for j, p := range pts {
+						row[j] = inner.Dist(q, p)
+					}
 				}
 			}
 		}

@@ -23,6 +23,7 @@ const (
 	kL2
 	kL1
 	kLInf
+	kAngular
 )
 
 // resolveKernel strips one Counting layer and classifies the underlying
@@ -41,6 +42,8 @@ func resolveKernel(s Space) (Space, kernelKind, *Counting) {
 		return inner, kL1, cnt
 	case LInf:
 		return inner, kLInf, cnt
+	case Angular:
+		return inner, kAngular, cnt
 	}
 	return inner, kGeneric, cnt
 }
@@ -52,6 +55,11 @@ func flatRows(q Point, set *PointSet) ([]float64, bool) {
 	return data, ok && set.Dim() == len(q)
 }
 
+// lane32 returns the set's float32 mirror when the specialized loops may
+// stream it instead of the float64 buffer (see kernels32.go); nil selects
+// the float64 lane.
+func lane32(set *PointSet) []float32 { return set.flat32 }
+
 // DistMany computes out[i] = s.Dist(q, set.Row(i)) for every row of set.
 // out must have length ≥ set.Len().
 func DistMany(s Space, q Point, set *PointSet, out []float64) {
@@ -59,13 +67,36 @@ func DistMany(s Space, q Point, set *PointSet, out []float64) {
 	inner, kind, cnt := resolveKernel(s)
 	cnt.addCalls(q, int64(n))
 	if data, ok := flatRows(q, set); ok && kind != kGeneric {
+		data32 := lane32(set)
 		switch kind {
 		case kL2:
-			distManyL2(q, data, out[:n])
+			if data32 != nil {
+				distManyL2f32(q, data32, out[:n])
+			} else {
+				distManyL2(q, data, out[:n])
+			}
 		case kL1:
-			distManyL1(q, data, out[:n])
+			if data32 != nil {
+				for i, off := 0, 0; i < n; i, off = i+1, off+set.dim {
+					out[i] = absDist32(q, data32[off:off+set.dim])
+				}
+			} else {
+				distManyL1(q, data, out[:n])
+			}
 		case kLInf:
-			distManyLInf(q, data, out[:n])
+			if data32 != nil {
+				for i, off := 0, 0; i < n; i, off = i+1, off+set.dim {
+					out[i] = maxDist32(q, data32[off:off+set.dim])
+				}
+			} else {
+				distManyLInf(q, data, out[:n])
+			}
+		case kAngular:
+			if data32 != nil {
+				distManyAngular32(q, data32, out[:n])
+			} else {
+				distManyAngular(q, data, out[:n])
+			}
 		}
 		return
 	}
@@ -82,13 +113,46 @@ func UpdateMinDists(s Space, set *PointSet, newCenter Point, dist []float64) {
 	inner, kind, cnt := resolveKernel(s)
 	cnt.addCalls(newCenter, int64(n))
 	if data, ok := flatRows(newCenter, set); ok && kind != kGeneric {
+		data32 := lane32(set)
 		switch kind {
 		case kL2:
-			updateMinL2(newCenter, data, dist[:n])
+			if data32 != nil {
+				updateMinL2f32(newCenter, data32, dist[:n])
+			} else {
+				updateMinL2(newCenter, data, dist[:n])
+			}
 		case kL1:
-			updateMinL1(newCenter, data, dist[:n])
+			if data32 != nil {
+				for i, off := 0, 0; i < n; i, off = i+1, off+set.dim {
+					if d := absDist32(newCenter, data32[off:off+set.dim]); d < dist[i] {
+						dist[i] = d
+					}
+				}
+			} else {
+				updateMinL1(newCenter, data, dist[:n])
+			}
 		case kLInf:
-			updateMinLInf(newCenter, data, dist[:n])
+			if data32 != nil {
+				for i, off := 0, 0; i < n; i, off = i+1, off+set.dim {
+					if d := maxDist32(newCenter, data32[off:off+set.dim]); d < dist[i] {
+						dist[i] = d
+					}
+				}
+			} else {
+				updateMinLInf(newCenter, data, dist[:n])
+			}
+		case kAngular:
+			tmp := make([]float64, n)
+			if data32 != nil {
+				distManyAngular32(newCenter, data32, tmp)
+			} else {
+				distManyAngular(newCenter, data, tmp)
+			}
+			for i, d := range tmp {
+				if d < dist[i] {
+					dist[i] = d
+				}
+			}
 		}
 		return
 	}
@@ -108,19 +172,41 @@ func CountWithin(s Space, q Point, set *PointSet, tau float64) int {
 	inner, kind, cnt := resolveKernel(s)
 	cnt.addCalls(q, int64(n))
 	if data, ok := flatRows(q, set); ok && kind != kGeneric {
+		data32 := lane32(set)
+		// The quantized prefilter (prefilter.go) decides rows from their
+		// byte codes when the conservative bounds already settle the
+		// comparison; undecided rows take the exact comparator below.
+		// Answers are bit-identical either way.
+		if p := set.pre; p.usable(kind, q) {
+			return p.countWithin(q, tau)
+		}
 		switch kind {
 		case kL2:
 			if tau < 0 {
 				return 0
 			}
+			if data32 != nil {
+				return countWithinL2f32(q, data32, tau*tau)
+			}
 			return countWithinL2(q, data, tau*tau)
 		case kL1:
+			if data32 != nil {
+				return countWithinL1f32(q, data32, tau)
+			}
 			return countWithinL1(q, data, tau)
 		case kLInf:
 			if tau < 0 {
 				return 0
 			}
+			if data32 != nil {
+				return countWithinLInf32(q, data32, tau)
+			}
 			return countWithinLInf(q, data, tau)
+		case kAngular:
+			if data32 != nil {
+				return countWithinAngular32(q, data32, tau)
+			}
+			return countWithinAngular(q, data, tau)
 		}
 	}
 	c := 0
@@ -151,14 +237,51 @@ func NearestIn(s Space, q Point, set *PointSet) (int, float64) {
 	inner, kind, cnt := resolveKernel(s)
 	cnt.addCalls(q, int64(n))
 	if data, ok := flatRows(q, set); ok && kind != kGeneric {
+		data32 := lane32(set)
 		switch kind {
 		case kL2:
+			if data32 != nil {
+				arg, sq := argMinL2f32(q, data32)
+				return arg, math.Sqrt(sq)
+			}
 			arg, sq := argMinL2(q, data)
 			return arg, math.Sqrt(sq)
 		case kL1:
+			if data32 != nil {
+				best, arg := math.Inf(1), -1
+				for i, off := 0, 0; off+set.dim <= len(data32); i, off = i+1, off+set.dim {
+					if d := absDist32(q, data32[off:off+set.dim]); d < best {
+						best, arg = d, i
+					}
+				}
+				return arg, best
+			}
 			return argMinL1(q, data)
 		case kLInf:
+			if data32 != nil {
+				best, arg := math.Inf(1), -1
+				for i, off := 0, 0; off+set.dim <= len(data32); i, off = i+1, off+set.dim {
+					if d := maxDist32(q, data32[off:off+set.dim]); d < best {
+						best, arg = d, i
+					}
+				}
+				return arg, best
+			}
 			return argMinLInf(q, data)
+		case kAngular:
+			out := make([]float64, n)
+			if data32 != nil {
+				distManyAngular32(q, data32, out)
+			} else {
+				distManyAngular(q, data, out)
+			}
+			best, arg := math.Inf(1), -1
+			for i, d := range out {
+				if d < best {
+					best, arg = d, i
+				}
+			}
+			return arg, best
 		}
 	}
 	best, arg := math.Inf(1), -1
@@ -189,6 +312,14 @@ func MaxDistTo(s Space, q Point, set *PointSet) float64 {
 	if data, ok := flatRows(q, set); ok && kind == kL2 {
 		dim := len(q)
 		best := math.Inf(-1)
+		if data32 := lane32(set); data32 != nil {
+			for off := 0; off+dim <= len(data32); off += dim {
+				if sq := sqDist32(q, data32[off:off+dim]); sq > best {
+					best = sq
+				}
+			}
+			return math.Sqrt(best)
+		}
 		for off := 0; off+dim <= len(data); off += dim {
 			if sq := sqDist(q, data[off:off+dim]); sq > best {
 				best = sq
@@ -197,13 +328,33 @@ func MaxDistTo(s Space, q Point, set *PointSet) float64 {
 		return math.Sqrt(best)
 	}
 	best := math.Inf(-1)
+	if data, ok := flatRows(q, set); ok && kind == kAngular {
+		out := make([]float64, n)
+		if data32 := lane32(set); data32 != nil {
+			distManyAngular32(q, data32, out)
+		} else {
+			distManyAngular(q, data, out)
+		}
+		for _, d := range out {
+			if d > best {
+				best = d
+			}
+		}
+		return best
+	}
 	if data, ok := flatRows(q, set); ok && kind != kGeneric {
 		dim := len(q)
+		data32 := lane32(set)
 		for off := 0; off+dim <= len(data); off += dim {
 			var d float64
-			if kind == kL1 {
+			switch {
+			case kind == kL1 && data32 != nil:
+				d = absDist32(q, data32[off:off+dim])
+			case kind == kL1:
 				d = absDist(q, data[off:off+dim])
-			} else {
+			case data32 != nil:
+				d = maxDist32(q, data32[off:off+dim])
+			default:
 				d = maxDist(q, data[off:off+dim])
 			}
 			if d > best {

@@ -1,0 +1,476 @@
+package metric
+
+import "math"
+
+// The float32 kernel lane. Every helper here mirrors its float64
+// counterpart in kernels.go body-for-body — same unrolling, same
+// accumulator grouping, same early exits — but streams the PointSet's
+// float32 mirror and widens each coordinate to float64 on load. Widening
+// a float32 is exact, and the mirror exists only when every coordinate
+// round-trips float64→float32→float64 unchanged (pointset.go), so every
+// arithmetic operation sees the same operands as the float64 lane and
+// every result is bit-identical. The win is pure bandwidth: the hot
+// stream is half the bytes. The query q stays float64 — it is dim-sized
+// and cache-resident, so narrowing it buys nothing.
+
+// ---- L2 -----------------------------------------------------------------
+
+func distManyL2f32(q Point, data []float32, out []float64) {
+	dim := len(q)
+	switch dim {
+	case 2:
+		q0, q1 := q[0], q[1]
+		for i, off := 0, 0; i < len(out); i, off = i+1, off+2 {
+			d0 := q0 - float64(data[off])
+			d1 := q1 - float64(data[off+1])
+			out[i] = math.Sqrt(d0*d0 + d1*d1)
+		}
+		return
+	case 8:
+		q0, q1, q2, q3 := q[0], q[1], q[2], q[3]
+		q4, q5, q6, q7 := q[4], q[5], q[6], q[7]
+		for i, off := 0, 0; i < len(out); i, off = i+1, off+8 {
+			row := data[off : off+8]
+			d0 := q0 - float64(row[0])
+			d1 := q1 - float64(row[1])
+			d2 := q2 - float64(row[2])
+			d3 := q3 - float64(row[3])
+			d4 := q4 - float64(row[4])
+			d5 := q5 - float64(row[5])
+			d6 := q6 - float64(row[6])
+			d7 := q7 - float64(row[7])
+			out[i] = math.Sqrt((d0*d0 + d1*d1 + d2*d2 + d3*d3) +
+				(d4*d4 + d5*d5 + d6*d6 + d7*d7))
+		}
+		return
+	}
+	for i, off := 0, 0; i < len(out); i, off = i+1, off+dim {
+		row := data[off : off+dim]
+		var s0, s1, s2, s3 float64
+		j := 0
+		for ; j+4 <= dim; j += 4 {
+			d0 := q[j] - float64(row[j])
+			d1 := q[j+1] - float64(row[j+1])
+			d2 := q[j+2] - float64(row[j+2])
+			d3 := q[j+3] - float64(row[j+3])
+			s0 += d0 * d0
+			s1 += d1 * d1
+			s2 += d2 * d2
+			s3 += d3 * d3
+		}
+		for ; j < dim; j++ {
+			d := q[j] - float64(row[j])
+			s0 += d * d
+		}
+		out[i] = math.Sqrt((s0 + s1) + (s2 + s3))
+	}
+}
+
+func updateMinL2f32(q Point, data []float32, dist []float64) {
+	dim := len(q)
+	// The dim-2/8 special cases mirror updateMinL2's unrolled bodies
+	// expression for expression: the lane contract is bit-identical
+	// results, and the unrolled sums group differently from sqDist's
+	// striped accumulators, so the f32 side must special-case the same
+	// dimensions the f64 side does.
+	switch dim {
+	case 2:
+		q0, q1 := q[0], q[1]
+		for i, off := 0, 0; i < len(dist); i, off = i+1, off+2 {
+			d0 := q0 - float64(data[off])
+			d1 := q1 - float64(data[off+1])
+			sq := d0*d0 + d1*d1
+			if d := dist[i]; sq < d*d {
+				dist[i] = math.Sqrt(sq)
+			}
+		}
+		return
+	case 8:
+		q0, q1, q2, q3 := q[0], q[1], q[2], q[3]
+		q4, q5, q6, q7 := q[4], q[5], q[6], q[7]
+		for i, off := 0, 0; i < len(dist); i, off = i+1, off+8 {
+			row := data[off : off+8]
+			d0 := q0 - float64(row[0])
+			d1 := q1 - float64(row[1])
+			d2 := q2 - float64(row[2])
+			d3 := q3 - float64(row[3])
+			d4 := q4 - float64(row[4])
+			d5 := q5 - float64(row[5])
+			d6 := q6 - float64(row[6])
+			d7 := q7 - float64(row[7])
+			sq := (d0*d0 + d1*d1 + d2*d2 + d3*d3) +
+				(d4*d4 + d5*d5 + d6*d6 + d7*d7)
+			if d := dist[i]; sq < d*d {
+				dist[i] = math.Sqrt(sq)
+			}
+		}
+		return
+	}
+	for i, off := 0, 0; i < len(dist); i, off = i+1, off+dim {
+		sq := sqDist32(q, data[off:off+dim])
+		if d := dist[i]; sq < d*d {
+			dist[i] = math.Sqrt(sq)
+		}
+	}
+}
+
+func countWithinL2f32(q Point, data []float32, tt float64) int {
+	dim := len(q)
+	c := 0
+	switch dim {
+	case 2:
+		q0, q1 := q[0], q[1]
+		for off := 0; off+2 <= len(data); off += 2 {
+			d0 := q0 - float64(data[off])
+			d1 := q1 - float64(data[off+1])
+			if d0*d0+d1*d1 <= tt {
+				c++
+			}
+		}
+		return c
+	case 8:
+		q0, q1, q2, q3 := q[0], q[1], q[2], q[3]
+		q4, q5, q6, q7 := q[4], q[5], q[6], q[7]
+		for off := 0; off+8 <= len(data); off += 8 {
+			row := data[off : off+8]
+			d0 := q0 - float64(row[0])
+			d1 := q1 - float64(row[1])
+			d2 := q2 - float64(row[2])
+			d3 := q3 - float64(row[3])
+			d4 := q4 - float64(row[4])
+			d5 := q5 - float64(row[5])
+			d6 := q6 - float64(row[6])
+			d7 := q7 - float64(row[7])
+			if (d0*d0+d1*d1+d2*d2+d3*d3)+(d4*d4+d5*d5+d6*d6+d7*d7) <= tt {
+				c++
+			}
+		}
+		return c
+	}
+	for off := 0; off+dim <= len(data); off += dim {
+		if sqDistLE32(q, data[off:off+dim], tt) {
+			c++
+		}
+	}
+	return c
+}
+
+func argMinL2f32(q Point, data []float32) (int, float64) {
+	dim := len(q)
+	best, arg := math.Inf(1), -1
+	for i, off := 0, 0; off+dim <= len(data); i, off = i+1, off+dim {
+		row := data[off : off+dim]
+		var s0, s1, s2, s3 float64
+		j := 0
+		for ; j+4 <= dim; j += 4 {
+			d0 := q[j] - float64(row[j])
+			d1 := q[j+1] - float64(row[j+1])
+			d2 := q[j+2] - float64(row[j+2])
+			d3 := q[j+3] - float64(row[j+3])
+			s0 += d0 * d0
+			s1 += d1 * d1
+			s2 += d2 * d2
+			s3 += d3 * d3
+		}
+		for ; j < dim; j++ {
+			d := q[j] - float64(row[j])
+			s0 += d * d
+		}
+		if sq := (s0 + s1) + (s2 + s3); sq < best {
+			best, arg = sq, i
+		}
+	}
+	return arg, best
+}
+
+// ---- L1 / L∞ ------------------------------------------------------------
+
+func countWithinL1f32(q Point, data []float32, tau float64) int {
+	dim := len(q)
+	c := 0
+	for off := 0; off+dim <= len(data); off += dim {
+		if absDistLE32(q, data[off:off+dim], tau) {
+			c++
+		}
+	}
+	return c
+}
+
+func countWithinLInf32(q Point, data []float32, tau float64) int {
+	dim := len(q)
+	c := 0
+	for off := 0; off+dim <= len(data); off += dim {
+		if maxDistLE32(q, data[off:off+dim], tau) {
+			c++
+		}
+	}
+	return c
+}
+
+// ---- pairwise primitives over the f32 mirror ---------------------------
+
+// sqDist32 mirrors sqDist: 4-wide unrolled squared Euclidean distance.
+func sqDist32(a Point, b []float32) float64 {
+	if len(b) < len(a) {
+		a = a[:len(b)]
+	}
+	b = b[:len(a)]
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		d0 := a[i] - float64(b[i])
+		d1 := a[i+1] - float64(b[i+1])
+		d2 := a[i+2] - float64(b[i+2])
+		d3 := a[i+3] - float64(b[i+3])
+		s0 += d0 * d0
+		s1 += d1 * d1
+		s2 += d2 * d2
+		s3 += d3 * d3
+	}
+	for ; i < len(a); i++ {
+		d := a[i] - float64(b[i])
+		s0 += d * d
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// sqDistLE32 mirrors sqDistLE (single accumulator, block early exit).
+func sqDistLE32(a Point, b []float32, tt float64) bool {
+	if len(b) < len(a) {
+		a = a[:len(b)]
+	}
+	b = b[:len(a)]
+	var s float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		d0 := a[i] - float64(b[i])
+		d1 := a[i+1] - float64(b[i+1])
+		d2 := a[i+2] - float64(b[i+2])
+		d3 := a[i+3] - float64(b[i+3])
+		s += d0*d0 + d1*d1 + d2*d2 + d3*d3
+		if s > tt {
+			return false
+		}
+	}
+	for ; i < len(a); i++ {
+		d := a[i] - float64(b[i])
+		s += d * d
+	}
+	return s <= tt
+}
+
+// sqDistCompat32 mirrors sqDistCompat (the comparator accumulation order
+// without the early exit), for the DistIndex build over the f32 mirror.
+func sqDistCompat32(a Point, b []float32) float64 {
+	if len(b) < len(a) {
+		a = a[:len(b)]
+	}
+	b = b[:len(a)]
+	var s float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		d0 := a[i] - float64(b[i])
+		d1 := a[i+1] - float64(b[i+1])
+		d2 := a[i+2] - float64(b[i+2])
+		d3 := a[i+3] - float64(b[i+3])
+		s += d0*d0 + d1*d1 + d2*d2 + d3*d3
+	}
+	for ; i < len(a); i++ {
+		d := a[i] - float64(b[i])
+		s += d * d
+	}
+	return s
+}
+
+// absDist32 mirrors absDist (four accumulators).
+func absDist32(a Point, b []float32) float64 {
+	if len(b) < len(a) {
+		a = a[:len(b)]
+	}
+	b = b[:len(a)]
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s0 += math.Abs(a[i] - float64(b[i]))
+		s1 += math.Abs(a[i+1] - float64(b[i+1]))
+		s2 += math.Abs(a[i+2] - float64(b[i+2]))
+		s3 += math.Abs(a[i+3] - float64(b[i+3]))
+	}
+	for ; i < len(a); i++ {
+		s0 += math.Abs(a[i] - float64(b[i]))
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// absDistLE32 mirrors absDistLE (single accumulator, block early exit).
+func absDistLE32(a Point, b []float32, tau float64) bool {
+	if len(b) < len(a) {
+		a = a[:len(b)]
+	}
+	b = b[:len(a)]
+	var s float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s += math.Abs(a[i]-float64(b[i])) + math.Abs(a[i+1]-float64(b[i+1])) +
+			math.Abs(a[i+2]-float64(b[i+2])) + math.Abs(a[i+3]-float64(b[i+3]))
+		if s > tau {
+			return false
+		}
+	}
+	for ; i < len(a); i++ {
+		s += math.Abs(a[i] - float64(b[i]))
+	}
+	return s <= tau
+}
+
+// absDistCompat32 mirrors absDistCompat for the DistIndex build.
+func absDistCompat32(a Point, b []float32) float64 {
+	if len(b) < len(a) {
+		a = a[:len(b)]
+	}
+	b = b[:len(a)]
+	var s float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s += math.Abs(a[i]-float64(b[i])) + math.Abs(a[i+1]-float64(b[i+1])) +
+			math.Abs(a[i+2]-float64(b[i+2])) + math.Abs(a[i+3]-float64(b[i+3]))
+	}
+	for ; i < len(a); i++ {
+		s += math.Abs(a[i] - float64(b[i]))
+	}
+	return s
+}
+
+// maxDist32 mirrors maxDist.
+func maxDist32(a Point, b []float32) float64 {
+	if len(b) < len(a) {
+		a = a[:len(b)]
+	}
+	b = b[:len(a)]
+	var m float64
+	for i := 0; i < len(a); i++ {
+		if d := math.Abs(a[i] - float64(b[i])); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// maxDistLE32 mirrors maxDistLE.
+func maxDistLE32(a Point, b []float32, tau float64) bool {
+	if len(b) < len(a) {
+		a = a[:len(b)]
+	}
+	b = b[:len(a)]
+	for i := 0; i < len(a); i++ {
+		d := a[i] - float64(b[i])
+		if d > tau || -d > tau {
+			return false
+		}
+	}
+	return true
+}
+
+// ---- angular batch kernels ----------------------------------------------
+//
+// Angular has no ThresholdComparer, so its uncached threshold test is
+// exactly Angular.Dist(a, b) <= tau. The batch kernels replicate
+// Angular.Dist's scalar accumulation bit for bit: the scalar loop runs
+// three independent accumulators (dot, ‖a‖², ‖b‖²) that never mix, so
+// hoisting the query norm out of the row loop performs the identical
+// operation sequence per accumulator and returns identical values. That
+// is what lets DistIndex (ixDist) fill angular rows through these
+// kernels without violating the byte-identity contract.
+
+// angularNormSq accumulates ‖p‖² in Angular.Dist's coordinate order.
+func angularNormSq(p Point) float64 {
+	var n float64
+	for _, x := range p {
+		n += x * x
+	}
+	return n
+}
+
+// angularFinish converts the three accumulators to the angle exactly as
+// Angular.Dist does (zero-vector conventions, drift clamp, acos).
+func angularFinish(dot, na, nb float64) float64 {
+	if na == 0 && nb == 0 {
+		return 0
+	}
+	if na == 0 || nb == 0 {
+		return math.Pi / 2
+	}
+	c := dot / math.Sqrt(na*nb)
+	if c > 1 {
+		c = 1
+	} else if c < -1 {
+		c = -1
+	}
+	return math.Acos(c)
+}
+
+func distManyAngular(q Point, data []float64, out []float64) {
+	dim := len(q)
+	na := angularNormSq(q)
+	for i, off := 0, 0; i < len(out); i, off = i+1, off+dim {
+		row := data[off : off+dim]
+		var dot, nb float64
+		for j := 0; j < dim; j++ {
+			dot += q[j] * row[j]
+			nb += row[j] * row[j]
+		}
+		out[i] = angularFinish(dot, na, nb)
+	}
+}
+
+func distManyAngular32(q Point, data []float32, out []float64) {
+	dim := len(q)
+	na := angularNormSq(q)
+	for i, off := 0, 0; i < len(out); i, off = i+1, off+dim {
+		row := data[off : off+dim]
+		var dot, nb float64
+		for j := 0; j < dim; j++ {
+			x := float64(row[j])
+			dot += q[j] * x
+			nb += x * x
+		}
+		out[i] = angularFinish(dot, na, nb)
+	}
+}
+
+func countWithinAngular(q Point, data []float64, tau float64) int {
+	dim := len(q)
+	na := angularNormSq(q)
+	c := 0
+	for off := 0; off+dim <= len(data); off += dim {
+		row := data[off : off+dim]
+		var dot, nb float64
+		for j := 0; j < dim; j++ {
+			dot += q[j] * row[j]
+			nb += row[j] * row[j]
+		}
+		if angularFinish(dot, na, nb) <= tau {
+			c++
+		}
+	}
+	return c
+}
+
+func countWithinAngular32(q Point, data []float32, tau float64) int {
+	dim := len(q)
+	na := angularNormSq(q)
+	c := 0
+	for off := 0; off+dim <= len(data); off += dim {
+		row := data[off : off+dim]
+		var dot, nb float64
+		for j := 0; j < dim; j++ {
+			x := float64(row[j])
+			dot += q[j] * x
+			nb += x * x
+		}
+		if angularFinish(dot, na, nb) <= tau {
+			c++
+		}
+	}
+	return c
+}

@@ -1,0 +1,119 @@
+package metric
+
+import (
+	"testing"
+
+	"parclust/internal/rng"
+)
+
+// laneSet generates the k-center macro workload at kernel scale — n
+// float32-exact points from a 24-component Gaussian mixture in dim
+// dimensions, the clustered shape every quality experiment runs on —
+// and returns three views of it: the f64 lane (flat32 mirror stripped),
+// the f32 lane, and the f32 lane with the quantized threshold prefilter
+// built. All three hold the same coordinates, so every kernel result is
+// byte-identical across them; only the bytes streamed per row differ
+// (8·dim vs 4·dim, or one code byte when the prefilter decides).
+func laneSet(n, dim int, space Space) (f64, f32, pre *PointSet, ladder []float64) {
+	// 24 cluster centers uniform in [0, 100]^dim, per-point noise σ = 4 —
+	// the same shape as workload.GaussianMixture (not importable here:
+	// workload depends on metric).
+	r := rng.New(uint64(31*dim + n))
+	centers := make([]Point, 24)
+	for i := range centers {
+		c := make(Point, dim)
+		for j := range c {
+			c[j] = 100 * r.Float64()
+		}
+		centers[i] = c
+	}
+	pts := make([]Point, n)
+	for i := range pts {
+		c := centers[r.Intn(len(centers))]
+		p := make(Point, dim)
+		for j := range p {
+			p[j] = float64(float32(c[j] + 4*r.NormFloat64()))
+		}
+		pts[i] = p
+	}
+	f32 = FromPoints(pts)
+	if f32.Lane() != LaneF32 {
+		panic("laneSet: rounded coordinates did not select the f32 lane")
+	}
+	f64 = FromPoints(pts)
+	f64.flat32 = nil
+	pre = FromPoints(pts)
+	pre.EnsurePrefilter(space)
+
+	// A 7-rung descending τ-ladder spanning the distance range, the shape
+	// the k-center boundary search probes: top rungs decide almost every
+	// row "within", bottom rungs almost every row "outside", middle rungs
+	// mix — so the aggregate prefilter hit rate is the realistic one, not
+	// a best case.
+	r0 := Diameter(space, pts[:128])
+	for i := 0; i <= 6; i++ {
+		ladder = append(ladder, r0)
+		r0 /= 1.6
+	}
+	return f64, f32, pre, ladder
+}
+
+// BenchmarkLadderProbeKernels is the BENCH_pr6.json headline: the
+// τ-ladder CountWithin sweep — the exact kernel shape behind every
+// threshold probe in kcenter/diversity/ksupplier — at the dim-64
+// memory-bound regime from BENCH_pr1, on each storage lane. "f64" is
+// the pre-PR pipeline (same accumulation order, so it doubles as the
+// before measurement), "f32" streams the half-width mirror, and
+// "f32+prefilter" (L2 only) decides rows from 8-bit codes with exact
+// fallback.
+func BenchmarkLadderProbeKernels(b *testing.B) {
+	const n, dim = 16384, 64
+	for _, tc := range []struct {
+		name  string
+		space Space
+	}{
+		{"L2", L2{}},
+		{"cosine", Angular{}},
+	} {
+		setF64, setF32, setPre, ladder := laneSet(n, dim, tc.space)
+		q := setF64.Points()[1].Clone()
+		bytesPerSweep := int64(len(ladder) * n * dim * 8)
+
+		sweep := func(b *testing.B, set *PointSet) {
+			b.SetBytes(bytesPerSweep)
+			c := 0
+			for i := 0; i < b.N; i++ {
+				for _, tau := range ladder {
+					c += CountWithin(tc.space, q, set, tau)
+				}
+			}
+			sinkI = c
+		}
+		b.Run(tc.name+"/f64", func(b *testing.B) { sweep(b, setF64) })
+		b.Run(tc.name+"/f32", func(b *testing.B) { sweep(b, setF32) })
+		if setPre.Prefilter() != nil {
+			b.Run(tc.name+"/f32+prefilter", func(b *testing.B) {
+				ResetPrefilterCounters()
+				sweep(b, setPre)
+				hits, misses := PrefilterCounters()
+				if hits+misses > 0 {
+					b.ReportMetric(float64(hits)/float64(hits+misses), "hitrate")
+				}
+			})
+		}
+
+		// The GMM selection shape (DistMany + repeated UpdateMinDists)
+		// that dominates the coreset rounds, per lane.
+		out := make([]float64, n)
+		gmm := func(b *testing.B, set *PointSet) {
+			b.SetBytes(int64(2 * n * dim * 8))
+			for i := 0; i < b.N; i++ {
+				DistMany(tc.space, q, set, out)
+				UpdateMinDists(tc.space, set, q, out)
+			}
+			sinkF = out[n-1]
+		}
+		b.Run(tc.name+"/gmm-f64", func(b *testing.B) { gmm(b, setF64) })
+		b.Run(tc.name+"/gmm-f32", func(b *testing.B) { gmm(b, setF32) })
+	}
+}

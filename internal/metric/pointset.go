@@ -1,5 +1,7 @@
 package metric
 
+import "sync"
+
 // PointSet is a read-only view of n points optimized for batch distance
 // kernels. When every point has the same dimension the coordinates are
 // stored in one contiguous row-major buffer (n×dim) so the kernels in
@@ -8,16 +10,73 @@ package metric
 // with oracle metrics like Jaccard that tolerate ragged inputs) keep the
 // original slice-of-slices layout and every kernel falls back to the
 // scalar oracle path.
+//
+// Flat sets whose coordinates are all exactly representable in float32
+// additionally carry a float32 mirror of the buffer (the f32 kernel
+// lane): the kernels stream the half-width mirror and widen each
+// coordinate back to float64 on load, so every arithmetic operation — and
+// therefore every result — is bit-identical to the float64 path while
+// the memory traffic is halved. See Lane.
 type PointSet struct {
 	pts  []Point   // row views; alias flat when flat != nil
 	flat []float64 // contiguous row-major coordinates, nil when ragged
-	dim  int       // row width when flat, -1 when ragged
+	// flat32 mirrors flat in float32, non-nil only when every coordinate
+	// round-trips exactly (float64(float32(x)) == x), which is what makes
+	// the f32 lane byte-identical rather than approximate.
+	flat32 []float32
+	dim    int // row width when flat, -1 when ragged
+	// pre is the lazily built quantized threshold prefilter (prefilter.go),
+	// guarded by preOnce. Slices share the parent's prefilter view.
+	preOnce sync.Once
+	pre     *Prefilter
+}
+
+// Lane identifies which storage lane the batch kernels stream for a set.
+type Lane uint8
+
+const (
+	// LaneF64 is the default lane: kernels read the float64 buffer.
+	LaneF64 Lane = iota
+	// LaneF32 is the half-bandwidth lane: kernels read the float32 mirror
+	// and widen per element, with results bit-identical to LaneF64.
+	LaneF32
+)
+
+// String names the lane for logs ("f64" / "f32").
+func (l Lane) String() string {
+	if l == LaneF32 {
+		return "f32"
+	}
+	return "f64"
+}
+
+// exactly32 reports whether every value of flat survives a round-trip
+// through float32 unchanged. NaN coordinates fail (NaN != NaN), which is
+// fine: such sets take the f64 lane, and the prefilter declines them too.
+func exactly32(flat []float64) bool {
+	for _, x := range flat {
+		if float64(float32(x)) != x {
+			return false
+		}
+	}
+	return true
+}
+
+// mirror32 builds the float32 mirror of flat (caller checked exactness).
+func mirror32(flat []float64) []float32 {
+	out := make([]float32, len(flat))
+	for i, x := range flat {
+		out[i] = float32(x)
+	}
+	return out
 }
 
 // FromPoints builds a PointSet over pts. When all points share one
 // dimension the coordinates are copied into contiguous storage (O(n·dim));
 // otherwise the input slices are referenced as-is. The input points are
 // never mutated, and callers must not mutate them while the set is in use.
+// The f32 lane is selected automatically when every coordinate is exactly
+// float32-representable.
 func FromPoints(pts []Point) *PointSet {
 	n := len(pts)
 	if n == 0 {
@@ -41,7 +100,62 @@ func FromPoints(pts []Point) *PointSet {
 		copy(row, p)
 		rows[i] = row
 	}
-	return &PointSet{pts: rows, flat: flat, dim: dim}
+	s := &PointSet{pts: rows, flat: flat, dim: dim}
+	if exactly32(flat) {
+		s.flat32 = mirror32(flat)
+	}
+	return s
+}
+
+// FromFlat builds a PointSet directly over a contiguous row-major buffer
+// of len(flat)/dim points, referencing flat without copying — the
+// constructor for callers that already hold contiguous coordinates
+// (dataio loaders, workload generators, DistIndex's build buffer). The
+// caller must not mutate flat while the set is in use. len(flat) must be
+// a multiple of dim > 0; FromFlat panics otherwise.
+func FromFlat(flat []float64, dim int) *PointSet {
+	if dim <= 0 || len(flat)%dim != 0 {
+		panic("metric: FromFlat buffer length not a multiple of dim")
+	}
+	n := len(flat) / dim
+	if n == 0 {
+		return &PointSet{dim: -1}
+	}
+	rows := make([]Point, n)
+	for i := range rows {
+		rows[i] = Point(flat[i*dim : (i+1)*dim])
+	}
+	s := &PointSet{pts: rows, flat: flat, dim: dim}
+	if exactly32(flat) {
+		s.flat32 = mirror32(flat)
+	}
+	return s
+}
+
+// FromFlat32 builds a PointSet from a contiguous row-major float32
+// buffer, the native layout of embedding files. The float64 buffer the
+// scalar APIs need is widened once here; the given buffer becomes the f32
+// kernel lane directly (every float32 widens exactly, so the lane is
+// always byte-identical for such sets). The caller must not mutate data
+// while the set is in use. len(data) must be a multiple of dim > 0;
+// FromFlat32 panics otherwise.
+func FromFlat32(data []float32, dim int) *PointSet {
+	if dim <= 0 || len(data)%dim != 0 {
+		panic("metric: FromFlat32 buffer length not a multiple of dim")
+	}
+	n := len(data) / dim
+	if n == 0 {
+		return &PointSet{dim: -1}
+	}
+	flat := make([]float64, len(data))
+	for i, x := range data {
+		flat[i] = float64(x)
+	}
+	rows := make([]Point, n)
+	for i := range rows {
+		rows[i] = Point(flat[i*dim : (i+1)*dim])
+	}
+	return &PointSet{pts: rows, flat: flat, flat32: data, dim: dim}
 }
 
 // Len returns the number of points in the set.
@@ -50,6 +164,14 @@ func (s *PointSet) Len() int { return len(s.pts) }
 // Dim returns the common dimension of the points, or -1 when the set is
 // ragged (or empty).
 func (s *PointSet) Dim() int { return s.dim }
+
+// Lane reports which storage lane the batch kernels stream for this set.
+func (s *PointSet) Lane() Lane {
+	if s.flat32 != nil {
+		return LaneF32
+	}
+	return LaneF64
+}
 
 // Row returns the i-th point. For flat sets this is a view into the
 // contiguous buffer, not a copy.
@@ -63,11 +185,22 @@ func (s *PointSet) Points() []Point { return s.pts }
 // for ragged sets.
 func (s *PointSet) Flat() ([]float64, bool) { return s.flat, s.flat != nil }
 
-// Slice returns a view of rows [lo, hi). The view shares storage with s.
+// Slice returns a view of rows [lo, hi). The view shares the coordinate
+// storage with s, including the f32 mirror. It does not carry s's
+// prefilter: the prefilter's block summaries cover code-sorted row
+// groups of the full set, which a row window cannot reuse, and windows
+// narrow enough to slice are the ones where per-row quantized tests
+// cost as much as the exact comparator anyway. EnsurePrefilter on the
+// view is a no-op, so slicing consumers (tgraph.Edges suffix sweeps)
+// run the exact kernels unchanged.
 func (s *PointSet) Slice(lo, hi int) *PointSet {
 	out := &PointSet{pts: s.pts[lo:hi], dim: s.dim}
 	if s.flat != nil {
 		out.flat = s.flat[lo*s.dim : hi*s.dim]
 	}
+	if s.flat32 != nil {
+		out.flat32 = s.flat32[lo*s.dim : hi*s.dim]
+	}
+	out.preOnce.Do(func() {}) // mark built: views never build prefilters
 	return out
 }

@@ -1,0 +1,818 @@
+package metric
+
+// Quantized threshold prefilter. The τ-ladder's hot loops are threshold
+// counts — CountWithin(q, set, τ) over the same reference set at a ladder
+// of τ values — and at dim ≥ 64 each test streams and squares 8·dim
+// bytes of float64 coordinates. The prefilter quantizes every coordinate
+// of a flat PointSet once to an 8-bit per-dimension bucket code (1 byte
+// per coordinate) and derives conservative lower and upper bounds on the
+// exact comparator value. Rows whose bounds already decide the threshold
+// test are counted without touching the float buffer; only the undecided
+// sliver falls back to the exact comparator.
+//
+// The decisive trick is ordering: a threshold count is invariant under
+// row permutation, so the build reorders rows by a recursive
+// widest-dimension median split of their code vectors (a kd-tree
+// flattened to a permutation) and summarizes contiguous runs of the
+// sorted order at several stride levels. On the clustered inputs the
+// k-center workloads are made of, a sorted run is a tight envelope
+// around one cluster fragment, and one O(dim) test against the run
+// summary decides all of its rows at once whenever the whole fragment
+// falls on one side of the τ-ball around the query — the common case at
+// every ladder rung except the handful of boundary runs. Coarse levels
+// settle thousands of rows per test at the extreme rungs; fine levels
+// shave the boundary. The exact fallback reads rows through the sort
+// permutation.
+//
+// Soundness (decisions must equal the uncached comparator bit for bit):
+//
+//   - L2/L1/L∞ summaries are per-dimension code-range boxes, and the
+//     bounds are conservative *in the comparator's own floating-point
+//     domain*, not merely in exact arithmetic. Each per-dimension bound
+//     brackets the comparator's rounded coordinate gap (bucket edges are
+//     validated at build time against the same formula the query
+//     evaluates), and the bound sums accumulate in exactly the
+//     comparator's order (sqDistLE / absDistLE grouping);
+//     round-to-nearest addition and multiplication of non-negative
+//     values are monotone, so lbSum ≤ s ≤ ubSum for the value s the
+//     comparator computes for every covered row.
+//
+//   - Angular summaries are centroid balls: a per-run mean vector μ, an
+//     inflated radius rad ≥ max‖x−μ‖, and the exact min/max of the
+//     comparator's own accumulated row norms. Box bounds are useless
+//     here — the comparator is a ratio of three correlated sums, and
+//     per-dimension interval arithmetic decorrelates them (worst cases
+//     add linearly in dim while the true spread of q·x inside a cluster
+//     grows only as √dim). Instead |dot(q,x) − dot(q,μ)| ≤ ‖q‖·rad by
+//     Cauchy-Schwarz in exact arithmetic, and the floating-point
+//     summation error of both the comparator's dot and ours is below
+//     γ_dim·‖q‖·‖x‖ (the standard γ_n = n·u/(1−n·u) bound, ≈ dim·2⁻⁵³);
+//     the query folds those γ terms into an error budget inflated by
+//     ≥10³ over the proven bound, which is still ~10 orders of magnitude
+//     below the ladder's rung spacing. The bracketed (dot, ‖x‖²)
+//     rectangle is pushed through the comparator's own finish chain
+//     (angularFinish — correctly-rounded sqrt/div/clamp are monotone) at
+//     its four corners, then widened a few ULPs to absorb math.Acos's
+//     sub-ULP wobble.
+//
+// In both families a decision is made only when the bracket lies
+// entirely on one side of the threshold; everything else runs the exact
+// comparator. Every decision therefore equals the uncached answer bit
+// for bit, which is what lets the existing parity suites gate this path
+// with the prefilter enabled by default.
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// prefilterMinRows is the smallest set worth quantizing: below this the
+// run tests cannot amortize and the build pass costs more than the scans
+// it thins.
+const prefilterMinRows = 64
+
+// leafRows is the finest summary stride and the kd-split leaf size; the
+// split keeps every cut point a multiple of it so fixed-stride runs nest
+// inside kd nodes and inherit their tightness.
+const leafRows = 16
+
+// levelStrides are the summary granularities, coarse to fine. A run
+// decided at stride s settles s rows in one O(dim) test; undecided runs
+// recurse to the next level and finally to exact rows.
+var levelStrides = [...]int{1024, 64, leafRows}
+
+var (
+	prefilterOff    atomic.Bool // zero value: enabled
+	prefilterHits   atomic.Int64
+	prefilterMisses atomic.Int64
+)
+
+// SetPrefilterEnabled toggles prefilter construction process-wide.
+// Disabling affects only future EnsurePrefilter calls (a benchmarking
+// knob — answers are identical either way, only the memory traffic
+// changes).
+func SetPrefilterEnabled(on bool) { prefilterOff.Store(!on) }
+
+// PrefilterEnabled reports whether EnsurePrefilter builds prefilters.
+func PrefilterEnabled() bool { return !prefilterOff.Load() }
+
+// PrefilterCounters returns the cumulative number of row tests decided by
+// quantized bounds (hits) and row tests that fell back to the exact
+// comparator (misses) since process start or the last reset. The counts
+// are process-wide; the MPC simulator's WithPrefilterStats option turns
+// per-round deltas into trace tags.
+func PrefilterCounters() (hits, misses int64) {
+	return prefilterHits.Load(), prefilterMisses.Load()
+}
+
+// ResetPrefilterCounters zeroes the cumulative decide/fallback counters.
+func ResetPrefilterCounters() {
+	prefilterHits.Store(0)
+	prefilterMisses.Store(0)
+}
+
+// Prefilter is the quantized mirror of a flat PointSet: per-dimension
+// affine bucket grids, one byte code per coordinate, a locality-sorted
+// row permutation, and multi-level run summaries over the sorted order.
+// Immutable after build; safe for concurrent readers.
+type Prefilter struct {
+	kind kernelKind
+	dim  int
+	// Per-dimension grid: edge c of dimension d is lo[d] + float64(c)*step[d],
+	// for c in [0, 256]. Codes are fixed up at build time so that
+	// edge(code) ≤ x ≤ edge(code+1) holds in evaluated float64 arithmetic
+	// for every coordinate x — the invariant every query bound rests on.
+	lo, step []float64
+	codes    []uint8 // n×dim row-major, aligned with the set's flat buffer
+	// perm[i] is the flat-buffer row at sorted position i. Counting is
+	// permutation-invariant, which is what makes the reordering sound.
+	perm   []int32
+	levels []preLevel
+	// Permuted copy of the comparator's coordinate stream (the f32 mirror
+	// when the set carries one, else the f64 buffer), so the exact
+	// fallback inside an undecided run reads contiguous memory instead of
+	// chasing perm through the original row order — the fallback rows are
+	// the cache-hostile part of a filtered scan, and on large sets the
+	// gather costs more than the arithmetic. Same values as the source
+	// buffer, so results stay bit-identical.
+	pflat   []float64
+	pflat32 []float32
+}
+
+// preLevel summarizes the sorted order at one stride: run g covers
+// sorted positions [g·stride, min(n, (g+1)·stride)).
+type preLevel struct {
+	stride int
+	// L2/L1/L∞: per-run per-dimension code ranges (run g's box is
+	// bmin/bmax[g·dim : (g+1)·dim]).
+	bmin, bmax []uint8
+	// Angular: per-run centroid summaries — mu (run×dim, the fl mean),
+	// mn ≥ ‖mu‖ and rad ≥ max‖x−mu‖ (both inflated past every rounding
+	// error in their own computation), and the exact range [nbMin, nbMax]
+	// of the comparator's accumulated row norms over the run.
+	mu           []float64
+	mn, rad      []float64
+	nbMin, nbMax []float64
+}
+
+// EnsurePrefilter builds (once) and returns the set's quantized
+// prefilter, or nil when the set or space is ineligible: ragged or tiny
+// sets, non-finite coordinates, metrics other than L2/L1/L∞/angular, or
+// the process-wide toggle off. Subsequent calls return the first result.
+func (s *PointSet) EnsurePrefilter(space Space) *Prefilter {
+	s.preOnce.Do(func() {
+		if prefilterOff.Load() || s.flat == nil || s.dim <= 0 || s.Len() < prefilterMinRows {
+			return
+		}
+		_, kind, _ := resolveKernel(space)
+		switch kind {
+		case kL2, kL1, kLInf, kAngular:
+			s.pre = buildPrefilter(kind, s.flat, s.flat32, s.dim)
+		}
+	})
+	return s.pre
+}
+
+// Prefilter returns the prefilter built by EnsurePrefilter, or nil.
+func (s *PointSet) Prefilter() *Prefilter { return s.pre }
+
+// buildPrefilter quantizes flat (n×dim row-major) for the given
+// comparator kind, or returns nil when any coordinate is non-finite.
+// flat32 is the set's half-width mirror or nil; it decides which lane
+// the permuted fallback copy mirrors.
+func buildPrefilter(kind kernelKind, flat []float64, flat32 []float32, dim int) *Prefilter {
+	n := len(flat) / dim
+	lo := make([]float64, dim)
+	hi := make([]float64, dim)
+	copy(lo, flat[:dim])
+	copy(hi, flat[:dim])
+	for off := 0; off < len(flat); off += dim {
+		for d, x := range flat[off : off+dim] {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return nil
+			}
+			if x < lo[d] {
+				lo[d] = x
+			}
+			if x > hi[d] {
+				hi[d] = x
+			}
+		}
+	}
+	step := make([]float64, dim)
+	for d := range step {
+		st := (hi[d] - lo[d]) / 256
+		if math.IsInf(st, 0) {
+			return nil
+		}
+		// Widen the last edge until it provably covers the column maximum
+		// under the query's own edge formula; rounding in (hi-lo)/256 can
+		// land lo + 256·step a few ULPs short.
+		for lo[d]+256*st < hi[d] {
+			st = math.Nextafter(st, math.Inf(1))
+		}
+		step[d] = st
+	}
+	p := &Prefilter{kind: kind, dim: dim, lo: lo, step: step,
+		codes: make([]uint8, n*dim)}
+	for off := 0; off < len(flat); off += dim {
+		for d, x := range flat[off : off+dim] {
+			p.codes[off+d] = p.encode(d, x)
+		}
+	}
+	p.sortAndSummarize(n, flat)
+	if flat32 != nil {
+		p.pflat32 = make([]float32, n*dim)
+		for i, r := range p.perm {
+			copy(p.pflat32[i*dim:(i+1)*dim], flat32[int(r)*dim:(int(r)+1)*dim])
+		}
+	} else {
+		p.pflat = make([]float64, n*dim)
+		for i, r := range p.perm {
+			copy(p.pflat[i*dim:(i+1)*dim], flat[int(r)*dim:(int(r)+1)*dim])
+		}
+	}
+	return p
+}
+
+// sortAndSummarize computes the locality permutation and the per-level
+// run summaries. The ordering is a recursive widest-dimension median
+// split: each range is sorted along its widest code dimension and cut at
+// the middle (rounded to a leafRows multiple, so stride runs nest inside
+// kd nodes), recursing until ranges reach leafRows. Every cut halves the
+// range's extent along its currently loosest axis, so leaf runs become
+// envelopes that are tight in the dimensions that vary — on clustered
+// inputs the cuts fall between clusters and a run holds one cluster
+// fragment, tight in *every* dimension. A global sort key cannot do
+// this: any one-dimensional projection (a code prefix, a distance to an
+// anchor) interleaves distinct clusters as soon as they overlap in that
+// projection. Cost: log(n/leafRows) levels of O(n·dim) scans plus
+// per-level sorts.
+func (p *Prefilter) sortAndSummarize(n int, flat []float64) {
+	dim := p.dim
+	p.perm = make([]int32, n)
+	for i := range p.perm {
+		p.perm[i] = int32(i)
+	}
+	var split func(lo, hi int)
+	split = func(lo, hi int) {
+		if hi-lo <= leafRows {
+			return
+		}
+		wd, ww := 0, -1
+		for d := 0; d < dim; d++ {
+			cl, ch := p.codes[int(p.perm[lo])*dim+d], p.codes[int(p.perm[lo])*dim+d]
+			for _, r := range p.perm[lo+1 : hi] {
+				c := p.codes[int(r)*dim+d]
+				if c < cl {
+					cl = c
+				}
+				if c > ch {
+					ch = c
+				}
+			}
+			if w := int(ch) - int(cl); w > ww {
+				wd, ww = d, w
+			}
+		}
+		if ww > 0 {
+			seg := p.perm[lo:hi]
+			sort.SliceStable(seg, func(a, b int) bool {
+				return p.codes[int(seg[a])*dim+wd] < p.codes[int(seg[b])*dim+wd]
+			})
+		}
+		half := (hi - lo) / 2
+		half = (half + leafRows - 1) / leafRows * leafRows
+		mid := lo + half
+		split(lo, mid)
+		split(mid, hi)
+	}
+	split(0, n)
+
+	var rowNb []float64
+	if p.kind == kAngular {
+		// The comparator's own norm accumulation per row (nb += x·x in
+		// dimension order) — exact values, so run min/max bracket every
+		// covered row's nb with no margin at all.
+		rowNb = make([]float64, n)
+		for i := 0; i < n; i++ {
+			row := flat[i*dim : (i+1)*dim]
+			var nb float64
+			for _, x := range row {
+				nb += x * x
+			}
+			rowNb[i] = nb
+		}
+	}
+
+	p.levels = make([]preLevel, len(levelStrides))
+	for li, stride := range levelStrides {
+		lv := &p.levels[li]
+		lv.stride = stride
+		runs := (n + stride - 1) / stride
+		if p.kind != kAngular {
+			lv.bmin = make([]uint8, runs*dim)
+			lv.bmax = make([]uint8, runs*dim)
+			for g := 0; g < runs; g++ {
+				lo, hi := g*stride, (g+1)*stride
+				if hi > n {
+					hi = n
+				}
+				bm, bx := lv.bmin[g*dim:(g+1)*dim], lv.bmax[g*dim:(g+1)*dim]
+				copy(bm, p.codes[int(p.perm[lo])*dim:int(p.perm[lo])*dim+dim])
+				copy(bx, bm)
+				for _, r := range p.perm[lo+1 : hi] {
+					for d, c := range p.codes[int(r)*dim : (int(r)+1)*dim] {
+						if c < bm[d] {
+							bm[d] = c
+						}
+						if c > bx[d] {
+							bx[d] = c
+						}
+					}
+				}
+			}
+			continue
+		}
+		lv.mu = make([]float64, runs*dim)
+		lv.mn = make([]float64, runs)
+		lv.rad = make([]float64, runs)
+		lv.nbMin = make([]float64, runs)
+		lv.nbMax = make([]float64, runs)
+		// Inflation factor covering every γ_k summation/sqrt rounding error
+		// in the summaries' own computation, with orders of magnitude to
+		// spare (γ_dim ≈ dim·2⁻⁵³ ≈ 1e-14·dim/100).
+		infl := 1 + 1e-12*float64(dim+2)
+		for g := 0; g < runs; g++ {
+			lo, hi := g*stride, (g+1)*stride
+			if hi > n {
+				hi = n
+			}
+			mu := lv.mu[g*dim : (g+1)*dim]
+			for _, r := range p.perm[lo:hi] {
+				for d, x := range flat[int(r)*dim : (int(r)+1)*dim] {
+					mu[d] += x
+				}
+			}
+			inv := 1 / float64(hi-lo)
+			var mn2 float64
+			for d := range mu {
+				mu[d] *= inv
+				mn2 += mu[d] * mu[d]
+			}
+			var r2, nbLo, nbHi float64
+			nbLo = rowNb[int(p.perm[lo])]
+			nbHi = nbLo
+			for _, r := range p.perm[lo:hi] {
+				row := flat[int(r)*dim : (int(r)+1)*dim]
+				var s float64
+				for d, x := range row {
+					dv := x - mu[d]
+					s += dv * dv
+				}
+				if s > r2 {
+					r2 = s
+				}
+				if nb := rowNb[int(r)]; nb < nbLo {
+					nbLo = nb
+				} else if nb > nbHi {
+					nbHi = nb
+				}
+			}
+			lv.mn[g] = math.Sqrt(mn2) * infl
+			lv.rad[g] = math.Sqrt(r2) * infl
+			lv.nbMin[g] = nbLo
+			lv.nbMax[g] = nbHi
+		}
+	}
+}
+
+// encode picks the bucket of x in dimension d and fixes it up so that
+// edge(c) ≤ x ≤ edge(c+1) holds in evaluated arithmetic. The walk
+// terminates because edge(0) = lo[d] ≤ x and edge(256) ≥ hi[d] ≥ x by
+// the step widening above.
+func (p *Prefilter) encode(d int, x float64) uint8 {
+	c := 0
+	if st := p.step[d]; st > 0 {
+		c = int((x - p.lo[d]) / st)
+		if c < 0 {
+			c = 0
+		} else if c > 255 {
+			c = 255
+		}
+	}
+	for c > 0 && p.edge(d, c) > x {
+		c--
+	}
+	for c < 255 && p.edge(d, c+1) < x {
+		c++
+	}
+	return uint8(c)
+}
+
+// edge returns bucket edge c of dimension d, the exact expression the
+// query-side bounds evaluate.
+func (p *Prefilter) edge(d, c int) float64 {
+	return p.lo[d] + float64(c)*p.step[d]
+}
+
+// usable reports whether the prefilter can bound queries from q for the
+// given comparator kind: matching kind and dimension, and a finite query
+// (a NaN or infinite query coordinate would poison the bounds).
+func (p *Prefilter) usable(kind kernelKind, q Point) bool {
+	if p == nil || p.kind != kind || p.dim != len(q) {
+		return false
+	}
+	for _, x := range q {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// boundsDim returns the conservative bracket [lbd, ubd] on the
+// comparator's rounded coordinate gap |fl(q[d] − x)| for a row whose
+// dimension-d code is c.
+func (p *Prefilter) boundsDim(d int, c uint8, qd float64) (lbd, ubd float64) {
+	return boundsEdges(p.edge(d, int(c)), p.edge(d, int(c)+1), qd)
+}
+
+// boundsEdges brackets the comparator's rounded gap |fl(qd − x)| for any
+// x with edge invariants e0 ≤ x ≤ e1: subtraction is monotone under
+// round-to-nearest, so the gap to the far edge lower-bounds and the gap
+// to the near edge upper-bounds every row gap in evaluated arithmetic.
+func boundsEdges(e0, e1, qd float64) (lbd, ubd float64) {
+	if qd > e1 {
+		lbd = qd - e1
+	} else if qd < e0 {
+		lbd = e0 - qd
+	}
+	u0, u1 := qd-e0, e1-qd
+	if u0 > u1 {
+		return lbd, u0
+	}
+	return lbd, u1
+}
+
+// rowDecide applies the quantized bounds of row code slice rc against
+// threshold t (comparable domain: τ² for L2, τ for L1/L∞). It returns
+// (within, decided); decided == false means the caller must run the
+// exact comparator. This is the reference decision procedure — boxDecide
+// evaluates the same brackets from run summaries and must agree with it
+// whenever a run holds a single row (the prefilter property tests pin
+// that).
+func (p *Prefilter) rowDecide(q Point, rc []uint8, t float64) (within, decided bool) {
+	return p.decide(t, func(d int) (float64, float64) { return p.boundsDim(d, rc[d], q[d]) })
+}
+
+// boxDecide tests run g of level lv: its per-dimension brackets span the
+// run's code range, which contains every covered row's bucket, so a
+// decision here is sound for all of the run's rows at once. The
+// kind-specialized loops below evaluate exactly the brackets and
+// accumulation grouping of decide — written out concretely because this
+// is the hottest query-side loop and a per-dimension closure call would
+// dominate it (the property tests pin the equivalence).
+func (p *Prefilter) boxDecide(q Point, lv *preLevel, g int, t float64) (within, decided bool) {
+	bm := lv.bmin[g*p.dim : (g+1)*p.dim]
+	bx := lv.bmax[g*p.dim : (g+1)*p.dim]
+	switch p.kind {
+	case kL2:
+		return p.boxDecideL2(q, bm, bx, t)
+	case kL1:
+		return p.boxDecideL1(q, bm, bx, t)
+	default:
+		return p.boxDecideLInf(q, bm, bx, t)
+	}
+}
+
+func (p *Prefilter) boxDecideL2(q Point, bm, bx []uint8, t float64) (within, decided bool) {
+	lo, step := p.lo, p.step
+	var lbs, ubs float64
+	d := 0
+	for ; d+4 <= p.dim; d += 4 {
+		l0, u0 := boundsEdges(lo[d]+float64(bm[d])*step[d], lo[d]+float64(int(bx[d])+1)*step[d], q[d])
+		l1, u1 := boundsEdges(lo[d+1]+float64(bm[d+1])*step[d+1], lo[d+1]+float64(int(bx[d+1])+1)*step[d+1], q[d+1])
+		l2, u2 := boundsEdges(lo[d+2]+float64(bm[d+2])*step[d+2], lo[d+2]+float64(int(bx[d+2])+1)*step[d+2], q[d+2])
+		l3, u3 := boundsEdges(lo[d+3]+float64(bm[d+3])*step[d+3], lo[d+3]+float64(int(bx[d+3])+1)*step[d+3], q[d+3])
+		lbs += l0*l0 + l1*l1 + l2*l2 + l3*l3
+		if lbs > t {
+			return false, true
+		}
+		ubs += u0*u0 + u1*u1 + u2*u2 + u3*u3
+	}
+	for ; d < p.dim; d++ {
+		l, u := boundsEdges(lo[d]+float64(bm[d])*step[d], lo[d]+float64(int(bx[d])+1)*step[d], q[d])
+		lbs += l * l
+		ubs += u * u
+	}
+	if lbs > t {
+		return false, true
+	}
+	return true, ubs <= t
+}
+
+func (p *Prefilter) boxDecideL1(q Point, bm, bx []uint8, t float64) (within, decided bool) {
+	lo, step := p.lo, p.step
+	var lbs, ubs float64
+	d := 0
+	for ; d+4 <= p.dim; d += 4 {
+		l0, u0 := boundsEdges(lo[d]+float64(bm[d])*step[d], lo[d]+float64(int(bx[d])+1)*step[d], q[d])
+		l1, u1 := boundsEdges(lo[d+1]+float64(bm[d+1])*step[d+1], lo[d+1]+float64(int(bx[d+1])+1)*step[d+1], q[d+1])
+		l2, u2 := boundsEdges(lo[d+2]+float64(bm[d+2])*step[d+2], lo[d+2]+float64(int(bx[d+2])+1)*step[d+2], q[d+2])
+		l3, u3 := boundsEdges(lo[d+3]+float64(bm[d+3])*step[d+3], lo[d+3]+float64(int(bx[d+3])+1)*step[d+3], q[d+3])
+		lbs += l0 + l1 + l2 + l3
+		if lbs > t {
+			return false, true
+		}
+		ubs += u0 + u1 + u2 + u3
+	}
+	for ; d < p.dim; d++ {
+		l, u := boundsEdges(lo[d]+float64(bm[d])*step[d], lo[d]+float64(int(bx[d])+1)*step[d], q[d])
+		lbs += l
+		ubs += u
+	}
+	if lbs > t {
+		return false, true
+	}
+	return true, ubs <= t
+}
+
+func (p *Prefilter) boxDecideLInf(q Point, bm, bx []uint8, t float64) (within, decided bool) {
+	lo, step := p.lo, p.step
+	allUnder := true
+	for d := 0; d < p.dim; d++ {
+		l, u := boundsEdges(lo[d]+float64(bm[d])*step[d], lo[d]+float64(int(bx[d])+1)*step[d], q[d])
+		if l > t {
+			return false, true
+		}
+		if u > t {
+			allUnder = false
+		}
+	}
+	return true, allUnder
+}
+
+// decide applies conservative per-dimension brackets against t in the
+// comparator's own accumulation grouping (blocks of four added as one
+// expression to a single accumulator, matching sqDistLE / absDistLE), so
+// monotone round-to-nearest keeps lbSum ≤ s ≤ ubSum for the comparator
+// value s of every row the brackets cover. bounds(d) returns the
+// dimension-d bracket [lbd, ubd].
+func (p *Prefilter) decide(t float64, bounds func(d int) (lbd, ubd float64)) (within, decided bool) {
+	switch p.kind {
+	case kL2:
+		var lbs, ubs float64
+		d := 0
+		for ; d+4 <= p.dim; d += 4 {
+			l0, u0 := bounds(d)
+			l1, u1 := bounds(d + 1)
+			l2, u2 := bounds(d + 2)
+			l3, u3 := bounds(d + 3)
+			lbs += l0*l0 + l1*l1 + l2*l2 + l3*l3
+			if lbs > t {
+				return false, true
+			}
+			ubs += u0*u0 + u1*u1 + u2*u2 + u3*u3
+		}
+		for ; d < p.dim; d++ {
+			l, u := bounds(d)
+			lbs += l * l
+			ubs += u * u
+		}
+		if lbs > t {
+			return false, true
+		}
+		return true, ubs <= t
+	case kL1:
+		var lbs, ubs float64
+		d := 0
+		for ; d+4 <= p.dim; d += 4 {
+			l0, u0 := bounds(d)
+			l1, u1 := bounds(d + 1)
+			l2, u2 := bounds(d + 2)
+			l3, u3 := bounds(d + 3)
+			lbs += l0 + l1 + l2 + l3
+			if lbs > t {
+				return false, true
+			}
+			ubs += u0 + u1 + u2 + u3
+		}
+		for ; d < p.dim; d++ {
+			l, u := bounds(d)
+			lbs += l
+			ubs += u
+		}
+		if lbs > t {
+			return false, true
+		}
+		return true, ubs <= t
+	default: // kLInf
+		allUnder := true
+		for d := 0; d < p.dim; d++ {
+			l, u := bounds(d)
+			if l > t {
+				return false, true
+			}
+			if u > t {
+				allUnder = false
+			}
+		}
+		return true, allUnder
+	}
+}
+
+// angularDecide tests run g of level lv against the angular comparator
+// θ = acos(clamp(dot/√(na·nb))). Every covered row's comparator state
+// (its fl-accumulated dot, its fl-accumulated norm nb) lies in the
+// rectangle [dc−e, dc+e] × [nbMin, nbMax]: the nb range is exact by
+// construction, and the dot enclosure is Cauchy-Schwarz around the run
+// centroid (|dot(q,x) − dot(q,μ)| ≤ ‖q‖·rad in exact arithmetic) plus an
+// error budget eps that over-covers the γ_dim fl-summation error of both
+// the comparator's dot and our dc by ≥10³. θ over the rectangle is
+// monotone in dot and, for fixed dot, monotone in nb (angularFinish's
+// sqrt/div/clamp are correctly rounded, hence monotone), so its extremes
+// sit at the four corners; the corner values are widened by a few ULPs
+// to absorb math.Acos's sub-ULP wobble (faithfully rounded, not proven
+// monotone). Runs that cannot exclude zero-norm rows stay undecided
+// (angularFinish's zero conventions are discontinuous there), as do runs
+// whose enclosure arithmetic overflows.
+func (p *Prefilter) angularDecide(q Point, qn, aq float64, lv *preLevel, g int, tau float64) (within, decided bool) {
+	nbL, nbU := lv.nbMin[g], lv.nbMax[g]
+	if !(nbL > 0) || math.IsInf(nbU, 0) {
+		return false, false
+	}
+	mu := lv.mu[g*p.dim : (g+1)*p.dim]
+	var dc float64
+	for d, m := range mu {
+		dc += q[d] * m
+	}
+	eps := 1e-12 * float64(p.dim+2) * aq * (lv.mn[g] + math.Sqrt(nbU) + lv.rad[g] + 1)
+	e := aq*lv.rad[g]*(1+1e-12) + eps
+	dotL, dotU := dc-e, dc+e
+	if math.IsInf(dotL, 0) || math.IsInf(dotU, 0) {
+		return false, false
+	}
+	t1 := angularFinish(dotL, qn, nbL)
+	t2 := angularFinish(dotL, qn, nbU)
+	t3 := angularFinish(dotU, qn, nbL)
+	t4 := angularFinish(dotU, qn, nbU)
+	lo := math.Min(math.Min(t1, t2), math.Min(t3, t4))
+	hi := math.Max(math.Max(t1, t2), math.Max(t3, t4))
+	for i := 0; i < 4; i++ {
+		lo = math.Nextafter(lo, math.Inf(-1))
+		hi = math.Nextafter(hi, math.Inf(1))
+	}
+	if lo > tau {
+		return false, true
+	}
+	if hi <= tau {
+		return true, true
+	}
+	return false, false
+}
+
+// exactRow runs the exact comparator on sorted position j, streaming
+// the permuted mirror of the set's kernel lane — bit-identical to the
+// row's test in the unfiltered batch kernel.
+func (p *Prefilter) exactRow(q Point, j int, t float64) bool {
+	off := j * p.dim
+	switch p.kind {
+	case kL2:
+		if p.pflat32 != nil {
+			return sqDistLE32(q, p.pflat32[off:off+p.dim], t)
+		}
+		return sqDistLE(q, p.pflat[off:off+p.dim], t)
+	case kL1:
+		if p.pflat32 != nil {
+			return absDistLE32(q, p.pflat32[off:off+p.dim], t)
+		}
+		return absDistLE(q, p.pflat[off:off+p.dim], t)
+	default:
+		if p.pflat32 != nil {
+			return maxDistLE32(q, p.pflat32[off:off+p.dim], t)
+		}
+		return maxDistLE(q, p.pflat[off:off+p.dim], t)
+	}
+}
+
+// exactAngularRow is the angular comparator on sorted position j, the
+// same accumulation countWithinAngular runs.
+func (p *Prefilter) exactAngularRow(q Point, qn float64, j int, tau float64) bool {
+	dim := p.dim
+	off := j * dim
+	var dot, nb float64
+	if p.pflat32 != nil {
+		row := p.pflat32[off : off+dim]
+		for j := 0; j < dim; j++ {
+			x := float64(row[j])
+			dot += q[j] * x
+			nb += x * x
+		}
+	} else {
+		row := p.pflat[off : off+dim]
+		for j := 0; j < dim; j++ {
+			dot += q[j] * row[j]
+			nb += row[j] * row[j]
+		}
+	}
+	return angularFinish(dot, qn, nb) <= tau
+}
+
+// countWithin counts rows within tau of q by walking the summary levels
+// coarse to fine over the sorted order: a decided run settles stride
+// rows in one test, an undecided run recurses, and past the finest level
+// rows fall back to the exact comparator through the sort permutation.
+// The answer equals the unfiltered kernel count bit for bit.
+// Decide/fallback totals feed the process-wide counters in one batched
+// pair of adds.
+func (p *Prefilter) countWithin(q Point, tau float64) int {
+	rows := len(p.codes) / p.dim
+	var hits, misses int64
+	var cnt int
+	if p.kind == kAngular {
+		qn := angularNormSq(q)
+		aq := math.Sqrt(qn)
+		cnt = p.walkAngular(q, qn, aq, tau, 0, rows, 0, &hits, &misses)
+	} else {
+		t := tau
+		if p.kind == kL2 {
+			if tau < 0 {
+				return 0
+			}
+			t = tau * tau
+		} else if p.kind == kLInf && tau < 0 {
+			return 0
+		}
+		cnt = p.walkBox(q, t, 0, rows, 0, &hits, &misses)
+	}
+	prefilterHits.Add(hits)
+	prefilterMisses.Add(misses)
+	return cnt
+}
+
+// walkBox counts sorted positions [lo, hi) for the box kinds at summary
+// level li. lo is always a multiple of every stride at or below li
+// (strides divide each other), so runs align with the recursion ranges.
+func (p *Prefilter) walkBox(q Point, t float64, lo, hi, li int, hits, misses *int64) int {
+	if li == len(p.levels) {
+		cnt := 0
+		*misses += int64(hi - lo)
+		for j := lo; j < hi; j++ {
+			if p.exactRow(q, j, t) {
+				cnt++
+			}
+		}
+		return cnt
+	}
+	lv := &p.levels[li]
+	cnt := 0
+	for g0 := lo; g0 < hi; g0 += lv.stride {
+		g1 := g0 + lv.stride
+		if g1 > hi {
+			g1 = hi
+		}
+		if within, decided := p.boxDecide(q, lv, g0/lv.stride, t); decided {
+			*hits += int64(g1 - g0)
+			if within {
+				cnt += g1 - g0
+			}
+			continue
+		}
+		cnt += p.walkBox(q, t, g0, g1, li+1, hits, misses)
+	}
+	return cnt
+}
+
+// walkAngular is walkBox for the angular comparator, with centroid-ball
+// run tests and the exact angular fallback.
+func (p *Prefilter) walkAngular(q Point, qn, aq, tau float64, lo, hi, li int, hits, misses *int64) int {
+	if li == len(p.levels) {
+		cnt := 0
+		*misses += int64(hi - lo)
+		for j := lo; j < hi; j++ {
+			if p.exactAngularRow(q, qn, j, tau) {
+				cnt++
+			}
+		}
+		return cnt
+	}
+	lv := &p.levels[li]
+	cnt := 0
+	for g0 := lo; g0 < hi; g0 += lv.stride {
+		g1 := g0 + lv.stride
+		if g1 > hi {
+			g1 = hi
+		}
+		if within, decided := p.angularDecide(q, qn, aq, lv, g0/lv.stride, tau); decided {
+			*hits += int64(g1 - g0)
+			if within {
+				cnt += g1 - g0
+			}
+			continue
+		}
+		cnt += p.walkAngular(q, qn, aq, tau, g0, g1, li+1, hits, misses)
+	}
+	return cnt
+}

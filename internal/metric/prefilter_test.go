@@ -1,0 +1,280 @@
+package metric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"parclust/internal/rng"
+)
+
+// prefilterSpaces are the metrics the quantized prefilter accelerates;
+// every test below must hold for each of them.
+var prefilterSpaces = []Space{L2{}, L1{}, LInf{}, Angular{}}
+
+// genPrefilterCase builds a clustered point set large enough to build a
+// prefilter (n ≥ prefilterMinRows), a query near the data, and a τ list
+// that mixes random radii with exact pairwise distances (the boundary
+// cases where a one-ULP bound error would flip a count). Coordinates are
+// float32-exact with probability ½, so both kernel lanes are exercised.
+func genPrefilterCase(seed uint64, space Space) (q Point, pts []Point, taus []float64) {
+	r := rng.New(seed)
+	dim := 1 + r.Intn(16)
+	n := prefilterMinRows + r.Intn(240)
+	k := 1 + r.Intn(5)
+	exact32 := r.Bernoulli(0.5)
+	centers := make([]Point, k)
+	for i := range centers {
+		c := make(Point, dim)
+		for j := range c {
+			c[j] = 20 * r.NormFloat64()
+		}
+		centers[i] = c
+	}
+	coord := func(base float64) float64 {
+		x := base + r.NormFloat64()
+		if r.Bernoulli(0.2) {
+			x = math.Trunc(x) // integer grid: forces exact ties
+		}
+		if exact32 {
+			x = float64(float32(x))
+		}
+		return x
+	}
+	mk := func(c Point) Point {
+		p := make(Point, dim)
+		for j := range p {
+			p[j] = coord(c[j])
+		}
+		return p
+	}
+	pts = make([]Point, n)
+	for i := range pts {
+		pts[i] = mk(centers[r.Intn(k)])
+	}
+	q = mk(centers[r.Intn(k)])
+	taus = []float64{0, -1, r.NormFloat64() * 10, math.Inf(1)}
+	for i := 0; i < 6; i++ {
+		d := space.Dist(q, pts[r.Intn(n)])
+		// The exact distance, and its ULP neighbors: any non-conservative
+		// bound shows up as a count mismatch at one of these.
+		taus = append(taus, d, math.Nextafter(d, 0), math.Nextafter(d, math.Inf(1)))
+	}
+	return q, pts, taus
+}
+
+// TestPrefilterCountsMatchExact pins the tentpole guarantee: CountWithin
+// through the quantized prefilter equals the unfiltered batch kernel
+// exactly — not within tolerance — including at τ values sitting on
+// distance boundaries.
+func TestPrefilterCountsMatchExact(t *testing.T) {
+	for _, s := range prefilterSpaces {
+		s := s
+		prop := func(seed uint64) bool {
+			q, pts, taus := genPrefilterCase(seed, s)
+			plain := FromPoints(pts)
+			pre := FromPoints(pts)
+			if pre.EnsurePrefilter(s) == nil {
+				t.Fatalf("%s: prefilter did not build (n=%d)", s.Name(), len(pts))
+			}
+			for _, tau := range taus {
+				if got, want := CountWithin(s, q, pre, tau), CountWithin(s, q, plain, tau); got != want {
+					t.Logf("%s: seed=%d tau=%v filtered=%d exact=%d", s.Name(), seed, tau, got, want)
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(prop, nil); err != nil {
+			t.Errorf("%s: %v", s.Name(), err)
+		}
+	}
+}
+
+// TestPrefilterRunDecisionsSound checks the stronger per-run property
+// behind the count identity: whenever a run summary (any level) or the
+// per-row reference decision claims a verdict, the exact comparator
+// agrees for every covered row. Count equality alone could mask
+// offsetting errors; this cannot.
+func TestPrefilterRunDecisionsSound(t *testing.T) {
+	for _, s := range prefilterSpaces {
+		s := s
+		prop := func(seed uint64) bool {
+			q, pts, taus := genPrefilterCase(seed, s)
+			set := FromPoints(pts)
+			p := set.EnsurePrefilter(s)
+			if p == nil {
+				t.Fatalf("%s: prefilter did not build", s.Name())
+			}
+			n := set.Len()
+			exactLE := func(i int, tau float64) bool {
+				return s.Dist(q, set.Row(i)) <= tau
+			}
+			qn := angularNormSq(q)
+			aq := math.Sqrt(qn)
+			for _, tau := range taus {
+				t1 := tau
+				if p.kind == kL2 {
+					if tau < 0 {
+						continue
+					}
+					t1 = tau * tau
+				}
+				for li := range p.levels {
+					lv := &p.levels[li]
+					runs := (n + lv.stride - 1) / lv.stride
+					for g := 0; g < runs; g++ {
+						var within, decided bool
+						if p.kind == kAngular {
+							within, decided = p.angularDecide(q, qn, aq, lv, g, tau)
+						} else {
+							within, decided = p.boxDecide(q, lv, g, t1)
+						}
+						if !decided {
+							continue
+						}
+						lo, hi := g*lv.stride, (g+1)*lv.stride
+						if hi > n {
+							hi = n
+						}
+						for j := lo; j < hi; j++ {
+							if exactLE(int(p.perm[j]), tau) != within {
+								t.Logf("%s: seed=%d level=%d run=%d tau=%v: decided %v, row disagrees", s.Name(), seed, li, g, tau, within)
+								return false
+							}
+						}
+					}
+				}
+				if p.kind != kAngular {
+					for i := 0; i < n; i++ {
+						rc := p.codes[i*p.dim : (i+1)*p.dim]
+						if within, decided := p.rowDecide(q, rc, t1); decided && exactLE(i, tau) != within {
+							t.Logf("%s: seed=%d row=%d tau=%v: rowDecide %v, exact disagrees", s.Name(), seed, i, tau, within)
+							return false
+						}
+					}
+				}
+			}
+			return true
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+			t.Errorf("%s: %v", s.Name(), err)
+		}
+	}
+}
+
+// TestLaneByteIdentity pins the f32 kernel lane contract: on
+// float32-exact coordinates every batch kernel returns bit-identical
+// results whether it streams the f64 buffer or the f32 mirror.
+func TestLaneByteIdentity(t *testing.T) {
+	for _, s := range kernelSpaces {
+		s := s
+		prop := func(seed uint64) bool {
+			r := rng.New(seed)
+			dim := 1 + r.Intn(24)
+			n := 1 + r.Intn(200)
+			pts := make([]Point, n)
+			for i := range pts {
+				p := make(Point, dim)
+				for j := range p {
+					p[j] = float64(float32(10 * r.NormFloat64()))
+				}
+				pts[i] = p
+			}
+			q := make(Point, dim)
+			for j := range q {
+				q[j] = float64(float32(10 * r.NormFloat64()))
+			}
+			f32 := FromPoints(pts)
+			if f32.Lane() != LaneF32 {
+				t.Fatal("f32-exact set did not select the f32 lane")
+			}
+			f64 := FromPoints(pts)
+			f64.flat32 = nil
+			o32, o64 := make([]float64, n), make([]float64, n)
+			DistMany(s, q, f32, o32)
+			DistMany(s, q, f64, o64)
+			for i := range o32 {
+				if math.Float64bits(o32[i]) != math.Float64bits(o64[i]) {
+					return false
+				}
+			}
+			tau := math.Abs(r.NormFloat64()) * 20
+			if CountWithin(s, q, f32, tau) != CountWithin(s, q, f64, tau) {
+				return false
+			}
+			UpdateMinDists(s, f32, q, o32)
+			UpdateMinDists(s, f64, q, o64)
+			for i := range o32 {
+				if math.Float64bits(o32[i]) != math.Float64bits(o64[i]) {
+					return false
+				}
+			}
+			i32, d32 := NearestIn(s, q, f32)
+			i64, d64 := NearestIn(s, q, f64)
+			return i32 == i64 && math.Float64bits(d32) == math.Float64bits(d64)
+		}
+		if err := quick.Check(prop, nil); err != nil {
+			t.Errorf("%s: %v", s.Name(), err)
+		}
+	}
+}
+
+// FuzzPrefilterConservative drives the count identity with
+// fuzzer-controlled coordinates (including float32 bit patterns, exact
+// ties, huge magnitudes, and denormals) and an arbitrary τ. The value
+// stream is tiled to reach prefilter-eligible sizes, so duplicated rows,
+// zero-width dimensions, and zero-norm angular rows all occur.
+func FuzzPrefilterConservative(f *testing.F) {
+	f.Add([]byte{3, 0, 5, 7, 1, 200, 13, 2, 9, 9, 3, 77, 250}, 1.5)
+	f.Add([]byte{1, 1, 255, 255, 0, 0, 0}, 0.0)
+	f.Add([]byte{5, 2, 128, 64, 3, 0, 1, 0, 200, 100, 1, 31, 17, 2, 8, 250}, math.Inf(1))
+	f.Fuzz(func(t *testing.T, raw []byte, tau float64) {
+		if len(raw) < 4 {
+			return
+		}
+		dim := 1 + int(raw[0])%5
+		var vals []float64
+		for i := 1; i+2 < len(raw); i += 3 {
+			c0, c1, c2 := raw[i], raw[i+1], raw[i+2]
+			var v float64
+			switch c0 % 4 {
+			case 0:
+				v = float64(int(c1)-128) / 8
+			case 1:
+				v = float64(math.Float32frombits(uint32(c1)<<24 | uint32(c2)<<16 | uint32(c1)<<8 | uint32(c2)))
+			case 2:
+				v = float64(float32((float64(c1) - 128) * math.Pow(2, float64(int(c2%40)-20))))
+			default:
+				v = float64(c1) + float64(c2)/256
+			}
+			vals = append(vals, v)
+		}
+		if len(vals) == 0 {
+			return
+		}
+		n := prefilterMinRows + 16
+		pts := make([]Point, n)
+		for i := range pts {
+			p := make(Point, dim)
+			for j := range p {
+				p[j] = vals[(i*dim+j*7+i/3)%len(vals)]
+			}
+			pts[i] = p
+		}
+		q := make(Point, dim)
+		for j := range q {
+			q[j] = vals[(j*5+1)%len(vals)]
+		}
+		for _, s := range prefilterSpaces {
+			plain := FromPoints(pts)
+			pre := FromPoints(pts)
+			pre.EnsurePrefilter(s)
+			for _, tv := range []float64{tau, -tau, s.Dist(q, pts[0]), s.Dist(q, pts[n/2])} {
+				if got, want := CountWithin(s, q, pre, tv), CountWithin(s, q, plain, tv); got != want {
+					t.Fatalf("%s: tau=%v filtered=%d exact=%d", s.Name(), tv, got, want)
+				}
+			}
+		}
+	})
+}

@@ -36,6 +36,7 @@ import (
 	"sync"
 	"time"
 
+	"parclust/internal/metric"
 	"parclust/internal/rng"
 )
 
@@ -160,6 +161,17 @@ func WithTracer(t Tracer) Option {
 	return func(c *Cluster) { c.tracer = t }
 }
 
+// WithPrefilterStats makes every superstep record how many row tests the
+// metric-layer quantized prefilter decided (hits) versus fell back to the
+// exact comparator (misses) during that round, in RoundStats and trace
+// events (prefilter_hits / prefilter_misses tags) plus the Stats totals.
+// The underlying counters are process-wide (metric.PrefilterCounters), so
+// enable this only when one cluster runs at a time — concurrent clusters
+// or speculative forks would cross-attribute each other's rows.
+func WithPrefilterStats() Option {
+	return func(c *Cluster) { c.prefilterStats = true }
+}
+
 // Cluster is a simulated MPC cluster of m machines.
 type Cluster struct {
 	m        int
@@ -177,6 +189,14 @@ type Cluster struct {
 	// the policy (SetFaultEpoch).
 	faults     FaultPolicy
 	faultEpoch int
+
+	// prefilterStats makes Superstep attribute per-round deltas of the
+	// metric-layer quantized-prefilter counters to RoundStats (and so to
+	// trace events). Opt-in via WithPrefilterStats: the counters are
+	// process-wide, so the attribution is meaningful only when a single
+	// cluster runs at a time, and leaving it off keeps default traces
+	// byte-identical to the pre-prefilter schema.
+	prefilterStats bool
 
 	enforceBudgets bool
 	// collectReports makes Guards record BudgetReports even without a
@@ -336,6 +356,8 @@ func (c *Cluster) ResetStats() {
 	c.stats.SpeculativeWords = 0
 	c.stats.RecoveryRounds = 0
 	c.stats.RecoveryWords = 0
+	c.stats.PrefilterHits = 0
+	c.stats.PrefilterMisses = 0
 	clear(c.stats.PerRound) // drop payload references before reuse
 	c.stats.PerRound = c.stats.PerRound[:0]
 }
@@ -359,6 +381,10 @@ func (c *Cluster) noteMemory(words int64) {
 // and queued messages are discarded.
 func (c *Cluster) Superstep(name string, fn func(m *Machine) error) error {
 	start := time.Now()
+	var preHits0, preMiss0 int64
+	if c.prefilterStats {
+		preHits0, preMiss0 = metric.PrefilterCounters()
+	}
 	c.memMu.Lock()
 	c.roundMem = 0
 	c.memMu.Unlock()
@@ -451,6 +477,13 @@ func (c *Cluster) Superstep(name string, fn func(m *Machine) error) error {
 	rs.MemoryWords = c.roundMem
 	c.memMu.Unlock()
 	rs.WallNanos = time.Since(start).Nanoseconds()
+	if c.prefilterStats {
+		h, m := metric.PrefilterCounters()
+		rs.PrefilterHits = h - preHits0
+		rs.PrefilterMisses = m - preMiss0
+		c.stats.PrefilterHits += rs.PrefilterHits
+		c.stats.PrefilterMisses += rs.PrefilterMisses
+	}
 	c.stats.Rounds++
 	c.stats.TotalWords += rs.TotalWords
 	if m := rs.MaxSent; m > c.stats.MaxRoundSent {

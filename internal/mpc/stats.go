@@ -58,6 +58,15 @@ type RoundStats struct {
 	// fault kind ("crash", "drop", "duplicate", "probe-retry").
 	Recovery bool
 	Fault    string
+	// PrefilterHits / PrefilterMisses are the metric-layer quantized
+	// prefilter's decide and exact-fallback row counts observed during
+	// this round (deltas of metric.PrefilterCounters). Populated only
+	// when the cluster was built with WithPrefilterStats — the counters
+	// are process-wide, so attribution is only meaningful when one
+	// cluster runs at a time — and zero otherwise, keeping default
+	// traces byte-identical to the pre-prefilter schema.
+	PrefilterHits   int64
+	PrefilterMisses int64
 }
 
 // MaxComm returns the larger of MaxSent and MaxRecv: the round's
@@ -102,6 +111,11 @@ type Stats struct {
 	// budgets stay fault-blind (docs/GUARANTEES.md).
 	RecoveryRounds int
 	RecoveryWords  int64
+	// PrefilterHits / PrefilterMisses accumulate the per-round quantized
+	// prefilter counters (RoundStats); non-zero only under
+	// WithPrefilterStats.
+	PrefilterHits   int64
+	PrefilterMisses int64
 	// PerRound holds one entry per superstep, in order. Speculative and
 	// Recovery entries appear here for observability but are excluded
 	// from every Budget window.
@@ -157,6 +171,8 @@ func (s *Stats) Merge(other Stats) {
 	s.SpeculativeWords += other.SpeculativeWords
 	s.RecoveryRounds += other.RecoveryRounds
 	s.RecoveryWords += other.RecoveryWords
+	s.PrefilterHits += other.PrefilterHits
+	s.PrefilterMisses += other.PrefilterMisses
 	if other.MaxRoundSent > s.MaxRoundSent {
 		s.MaxRoundSent = other.MaxRoundSent
 	}

@@ -133,6 +133,12 @@ type TraceEvent struct {
 	// without a FaultPolicy are byte-identical to the pre-fault schema.
 	Recovery bool   `json:"recovery,omitempty"`
 	Fault    string `json:"fault,omitempty"`
+	// PrefilterHits / PrefilterMisses are the quantized-prefilter decide
+	// and exact-fallback row counts attributed to this round. Present
+	// only on clusters built with WithPrefilterStats; omitted otherwise,
+	// so default traces are byte-identical to the pre-prefilter schema.
+	PrefilterHits   int64 `json:"prefilter_hits,omitempty"`
+	PrefilterMisses int64 `json:"prefilter_misses,omitempty"`
 }
 
 // TraceRecorder accumulates TraceEvents. All methods are safe for
@@ -168,6 +174,9 @@ func (r *TraceRecorder) record(round, machines int, rs RoundStats) {
 		Speculative: rs.Speculative,
 		Recovery:    rs.Recovery,
 		Fault:       rs.Fault,
+
+		PrefilterHits:   rs.PrefilterHits,
+		PrefilterMisses: rs.PrefilterMisses,
 	}
 	if rs.Forked {
 		rung := rs.ForkRung

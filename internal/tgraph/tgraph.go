@@ -28,9 +28,14 @@ type Graph struct {
 	ix *metric.DistIndex
 }
 
-// New returns the threshold graph G_τ over pts.
+// New returns the threshold graph G_τ over pts. The batch point set
+// carries the quantized threshold prefilter when the space admits one
+// (metric.EnsurePrefilter): Degree/Edges sweeps decide most rows from
+// byte codes and answer identically either way.
 func New(space metric.Space, pts []metric.Point, tau float64) *Graph {
-	return &Graph{Space: space, Pts: pts, Tau: tau, pset: metric.FromPoints(pts)}
+	pset := metric.FromPoints(pts)
+	pset.EnsurePrefilter(space)
+	return &Graph{Space: space, Pts: pts, Tau: tau, pset: pset}
 }
 
 // NewIndexed returns the threshold graph G_τ over pts backed by a

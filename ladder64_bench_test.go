@@ -1,0 +1,64 @@
+package parclust
+
+import (
+	"testing"
+
+	"parclust/internal/instance"
+	"parclust/internal/kcenter"
+	"parclust/internal/metric"
+	"parclust/internal/mpc"
+	"parclust/internal/rng"
+	"parclust/internal/workload"
+)
+
+// ladder64Instance is the embedding-style macro workload behind
+// BENCH_pr6.json: 2048 Gaussian points in 64 dimensions over 8 machines
+// — the memory-bandwidth-bound regime from BENCH_pr1 where the batched
+// kernels stream far more coordinate bytes than they compute on. The
+// coordinates are full-precision float64 draws, so the f64 kernel lane
+// is selected unless the solve is forced onto the f32 lane
+// (Config.ForceFloat32); the F32 benchmark variants below measure
+// exactly that lane switch plus the quantized prefilter it unlocks.
+func ladder64Instance(space metric.Space) *instance.Instance {
+	r := rng.New(11)
+	pts := workload.GaussianMixture(r, 2048, 64, 24, 100, 4)
+	parts := workload.PartitionRoundRobin(nil, pts, 8)
+	return instance.New(space, parts)
+}
+
+func benchLadder64(b *testing.B, space metric.Space, f32 bool) {
+	in := ladder64Instance(space)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := mpc.NewCluster(in.Machines(), 42)
+		res, err := kcenter.Solve(c, in, kcenter.Config{
+			K: 16, DisableProbeIndex: true, ForceFloat32: f32,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Centers) == 0 {
+			b.Fatal("no centers")
+		}
+	}
+}
+
+// BenchmarkLadder64L2 is the dim-64 L2 ladder with the probe index
+// disabled, so every threshold probe streams the raw CountWithin /
+// UpdateMinDists kernels — the f64-lane baseline for BENCH_pr6.json.
+func BenchmarkLadder64L2(b *testing.B) { benchLadder64(b, metric.L2{}, false) }
+
+// BenchmarkLadder64L2F32 is the same workload forced onto the float32
+// kernel lane (Config.ForceFloat32): coordinates round to float32 once,
+// every kernel streams half the bytes, and the τ-ladder's CountWithin
+// probes go through the quantized byte-code prefilter.
+func BenchmarkLadder64L2F32(b *testing.B) { benchLadder64(b, metric.L2{}, true) }
+
+// BenchmarkLadder64Cosine is the dim-64 cosine (angular) ladder
+// baseline: the metric the flagship embedding-retrieval example uses.
+// Angular has no quantized prefilter, so its F32 pair isolates the pure
+// lane-bandwidth effect.
+func BenchmarkLadder64Cosine(b *testing.B) { benchLadder64(b, metric.Angular{}, false) }
+
+// BenchmarkLadder64CosineF32 forces the cosine ladder onto the f32 lane.
+func BenchmarkLadder64CosineF32(b *testing.B) { benchLadder64(b, metric.Angular{}, true) }
