@@ -1,0 +1,36 @@
+package main
+
+// The documented-flags audit: every kcluster command line shown in the
+// repo's markdown must parse against the real flag set and pass
+// validateFlags, so README/docs/examples invocations cannot rot when
+// flags are renamed (internal/docscan finds the lines).
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"parclust/internal/docscan"
+)
+
+func TestDocumentedFlagsParse(t *testing.T) {
+	cmds, err := docscan.Commands("../..", "kcluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmds) == 0 {
+		t.Fatal("no documented kcluster invocations found; scanner regression?")
+	}
+	for i, c := range cmds {
+		t.Run(fmt.Sprintf("%02d_%s_%d", i, c.File, c.Line), func(t *testing.T) {
+			fs, fl := newFlagSet()
+			fs.SetOutput(io.Discard)
+			if err := fs.Parse(c.Args); err != nil {
+				t.Fatalf("documented command does not parse: %s\n  %v", c, err)
+			}
+			if err := validateFlags(fl); err != nil {
+				t.Fatalf("documented command fails validation: %s\n  %v", c, err)
+			}
+		})
+	}
+}

@@ -48,22 +48,84 @@ type output struct {
 	Extra     map[string]any `json:"extra,omitempty"`
 }
 
+// cliFlags carries every kcluster flag. The set is constructed by
+// newFlagSet so tests (and the documented-flags audit) can parse
+// command lines without touching global state.
+type cliFlags struct {
+	algo     string
+	k        int
+	z        int
+	m        int
+	eps      float64
+	input    string
+	supFile  string
+	metricID string
+	seed     uint64
+	trace    bool
+	assign   bool
+	verify   bool
+}
+
+// newFlagSet builds the kcluster flag set bound to a fresh cliFlags.
+func newFlagSet() (*flag.FlagSet, *cliFlags) {
+	fl := &cliFlags{}
+	fs := flag.NewFlagSet("kcluster", flag.ContinueOnError)
+	fs.StringVar(&fl.algo, "algo", "kcenter", "kcenter | diversity | ksupplier | outliers | remoteclique")
+	fs.IntVar(&fl.k, "k", 5, "solution size")
+	fs.IntVar(&fl.z, "z", 0, "permitted outliers (outliers algo only)")
+	fs.IntVar(&fl.m, "m", 4, "simulated machines")
+	fs.Float64Var(&fl.eps, "eps", 0.1, "ladder resolution ε")
+	fs.StringVar(&fl.input, "input", "", "CSV of points (customers for ksupplier); '-' for stdin")
+	fs.StringVar(&fl.supFile, "suppliers", "", "CSV of supplier points (ksupplier only)")
+	fs.StringVar(&fl.metricID, "metric", "l2", "l2 | l1 | linf | angular | hamming")
+	fs.Uint64Var(&fl.seed, "seed", 1, "random seed")
+	fs.BoolVar(&fl.trace, "trace", false, "log every MPC round to stderr")
+	fs.BoolVar(&fl.assign, "assign", false, "include per-point nearest-selected assignments in the output")
+	fs.BoolVar(&fl.verify, "verify", false, "recompute the objective sequentially and fail on mismatch")
+	return fs, fl
+}
+
+// validateFlags rejects unknown algorithm or metric names and
+// non-positive sizes before any I/O.
+func validateFlags(fl *cliFlags) error {
+	switch fl.algo {
+	case "kcenter", "diversity", "ksupplier", "outliers", "remoteclique":
+	default:
+		return fmt.Errorf("unknown -algo %q", fl.algo)
+	}
+	if fl.k < 1 || fl.m < 1 {
+		return fmt.Errorf("-k and -m must be positive (got %d, %d)", fl.k, fl.m)
+	}
+	if fl.z < 0 {
+		return fmt.Errorf("-z %d: must be >= 0", fl.z)
+	}
+	_, err := spaceByName(fl.metricID)
+	return err
+}
+
 func main() {
+	fs, fl := newFlagSet()
+	fs.SetOutput(os.Stderr)
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+	if err := validateFlags(fl); err != nil {
+		fail(err)
+	}
 	var (
-		algo     = flag.String("algo", "kcenter", "kcenter | diversity | ksupplier | outliers | remoteclique")
-		k        = flag.Int("k", 5, "solution size")
-		z        = flag.Int("z", 0, "permitted outliers (outliers algo only)")
-		m        = flag.Int("m", 4, "simulated machines")
-		eps      = flag.Float64("eps", 0.1, "ladder resolution ε")
-		input    = flag.String("input", "", "CSV of points (customers for ksupplier); '-' for stdin")
-		supFile  = flag.String("suppliers", "", "CSV of supplier points (ksupplier only)")
-		metricID = flag.String("metric", "l2", "l2 | l1 | linf | angular | hamming")
-		seed     = flag.Uint64("seed", 1, "random seed")
-		trace    = flag.Bool("trace", false, "log every MPC round to stderr")
-		assign   = flag.Bool("assign", false, "include per-point nearest-selected assignments in the output")
-		verify   = flag.Bool("verify", false, "recompute the objective sequentially and fail on mismatch")
+		algo     = &fl.algo
+		k        = &fl.k
+		z        = &fl.z
+		m        = &fl.m
+		eps      = &fl.eps
+		input    = &fl.input
+		supFile  = &fl.supFile
+		metricID = &fl.metricID
+		seed     = &fl.seed
+		trace    = &fl.trace
+		assign   = &fl.assign
+		verify   = &fl.verify
 	)
-	flag.Parse()
 
 	space, err := spaceByName(*metricID)
 	if err != nil {

@@ -1,0 +1,298 @@
+// Command kclusterd is the multi-process face of the simulator: the
+// same binary runs as a transport worker or as a coordinator, so a
+// single `go build ./cmd/kclusterd` is everything a distributed run
+// needs (docs/TRANSPORT.md walks through a two-process session).
+//
+// Worker mode serves machine-group mailboxes to coordinators over TCP
+// (internal/transport wire format) and keeps no state between rounds:
+//
+//	kclusterd -listen 127.0.0.1:9001
+//	kclusterd -listen 127.0.0.1:9002 -verbose
+//
+// Coordinator mode runs one of the paper's algorithms on a generated
+// instance with message delivery sharded over the worker fleet, and
+// prints the solution plus transport counters as JSON:
+//
+//	kclusterd -run kcenter -workers 127.0.0.1:9001,127.0.0.1:9002 -n 400 -m 4 -k 6
+//	kclusterd -run diversity -workers 127.0.0.1:9001 -n 400 -m 4 -k 6 -metric l1
+//	kclusterd -run ksupplier -workers 127.0.0.1:9001,127.0.0.1:9002 -n 400 -m 4 -k 6 -check
+//
+// With -check the coordinator reruns the identical configuration on the
+// in-process backend and fails unless results match exactly — the
+// single-command form of the transport-parity contract.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"reflect"
+	"strings"
+
+	"parclust/internal/diversity"
+	"parclust/internal/instance"
+	"parclust/internal/kcenter"
+	"parclust/internal/ksupplier"
+	"parclust/internal/metric"
+	"parclust/internal/mpc"
+	"parclust/internal/rng"
+	"parclust/internal/transport"
+	"parclust/internal/workload"
+)
+
+// cliFlags carries every kclusterd flag. The set is constructed by
+// newFlagSet so tests (and the documented-flags audit) can parse
+// command lines without touching global state.
+type cliFlags struct {
+	// worker mode
+	listen    string
+	readyFile string
+	verbose   bool
+	maxFrame  int
+	// coordinator mode
+	run      string
+	workers  string
+	n        int
+	m        int
+	k        int
+	eps      float64
+	seed     uint64
+	metricID string
+	check    bool
+}
+
+// newFlagSet builds the kclusterd flag set bound to a fresh cliFlags.
+func newFlagSet() (*flag.FlagSet, *cliFlags) {
+	fl := &cliFlags{}
+	fs := flag.NewFlagSet("kclusterd", flag.ContinueOnError)
+	fs.StringVar(&fl.listen, "listen", "", "worker mode: serve the transport protocol on this address (e.g. 127.0.0.1:9001)")
+	fs.StringVar(&fl.readyFile, "ready-file", "", "worker mode: write the bound address to this file once listening (use with -listen host:0)")
+	fs.BoolVar(&fl.verbose, "verbose", false, "worker mode: log each session open/close/error to stderr")
+	fs.IntVar(&fl.maxFrame, "max-frame", 0, "frame body cap in bytes for either mode; 0 uses the 64MiB default")
+	fs.StringVar(&fl.run, "run", "", "coordinator mode: algorithm to run — kcenter | diversity | ksupplier")
+	fs.StringVar(&fl.workers, "workers", "", "coordinator mode: comma-separated worker addresses, in machine-group order")
+	fs.IntVar(&fl.n, "n", 400, "coordinator mode: generated instance size")
+	fs.IntVar(&fl.m, "m", 4, "coordinator mode: simulated machines")
+	fs.IntVar(&fl.k, "k", 6, "coordinator mode: solution size")
+	fs.Float64Var(&fl.eps, "eps", 0.1, "coordinator mode: ladder resolution ε")
+	fs.Uint64Var(&fl.seed, "seed", 1, "coordinator mode: random seed; identical seeds reproduce runs exactly on every backend")
+	fs.StringVar(&fl.metricID, "metric", "l2", "coordinator mode: l2 | l1 | linf | angular | hamming")
+	fs.BoolVar(&fl.check, "check", false, "coordinator mode: rerun on the in-process backend and fail unless results match exactly")
+	return fs, fl
+}
+
+// validateFlags rejects inconsistent flag combinations before any
+// network or algorithm work: exactly one mode must be selected, the
+// coordinator needs a worker fleet and a known algorithm/metric, and
+// sizes must be positive.
+func validateFlags(fl *cliFlags) error {
+	worker := fl.listen != ""
+	coord := fl.run != ""
+	if worker == coord {
+		return fmt.Errorf("exactly one of -listen (worker) or -run (coordinator) is required")
+	}
+	if fl.maxFrame < 0 {
+		return fmt.Errorf("-max-frame %d: must be >= 0", fl.maxFrame)
+	}
+	if worker {
+		return nil
+	}
+	switch fl.run {
+	case "kcenter", "diversity", "ksupplier":
+	default:
+		return fmt.Errorf("-run %q: want kcenter, diversity or ksupplier", fl.run)
+	}
+	if fl.workers == "" {
+		return fmt.Errorf("-run requires -workers (comma-separated addresses)")
+	}
+	if fl.n < 1 || fl.m < 1 || fl.k < 1 {
+		return fmt.Errorf("-n, -m and -k must be positive (got %d, %d, %d)", fl.n, fl.m, fl.k)
+	}
+	if _, err := spaceByName(fl.metricID); err != nil {
+		return err
+	}
+	return nil
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with injectable argv and streams, so the two-process test
+// can drive both modes.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs, fl := newFlagSet()
+	fs.SetOutput(stderr)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if err := validateFlags(fl); err != nil {
+		fmt.Fprintln(stderr, "kclusterd:", err)
+		return 2
+	}
+	var err error
+	if fl.listen != "" {
+		err = runWorker(fl, stderr)
+	} else {
+		err = runCoordinator(fl, stdout)
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "kclusterd:", err)
+		return 1
+	}
+	return 0
+}
+
+// runWorker serves the transport protocol until the process is killed.
+func runWorker(fl *cliFlags, stderr io.Writer) error {
+	ln, err := net.Listen("tcp", fl.listen)
+	if err != nil {
+		return err
+	}
+	cfg := transport.ServerConfig{MaxFrameBytes: uint32(fl.maxFrame)}
+	if fl.verbose {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(stderr, "kclusterd: "+format+"\n", args...)
+		}
+	}
+	if fl.readyFile != "" {
+		if err := os.WriteFile(fl.readyFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(stderr, "kclusterd: worker listening on %s\n", ln.Addr())
+	return transport.NewServer(cfg).Serve(ln)
+}
+
+// result is the part of a run the parity check compares: everything the
+// algorithm decided, nothing the wall clock touched.
+type result struct {
+	Objective float64     `json:"objective"`
+	Bound     float64     `json:"certified_bound,omitempty"`
+	IDs       []int       `json:"ids"`
+	Selected  [][]float64 `json:"selected"`
+	Rounds    int         `json:"mpc_rounds"`
+	MaxComm   int64       `json:"max_round_comm_words"`
+}
+
+// output is the coordinator's JSON report.
+type output struct {
+	Algo     string `json:"algo"`
+	N        int    `json:"n"`
+	K        int    `json:"k"`
+	Machines int    `json:"machines"`
+	Workers  int    `json:"workers"`
+	result
+	Transport transport.ClientStats `json:"transport"`
+	Check     string                `json:"check,omitempty"`
+}
+
+// runCoordinator dials the fleet, solves over it, optionally replays the
+// run in-process to verify parity, and prints the JSON report.
+func runCoordinator(fl *cliFlags, stdout io.Writer) error {
+	addrs := strings.Split(fl.workers, ",")
+	client, err := transport.Dial(transport.DialConfig{
+		Workers:       addrs,
+		Machines:      fl.m,
+		MaxFrameBytes: uint32(fl.maxFrame),
+	})
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	res, err := solve(fl, client)
+	if err != nil {
+		return err
+	}
+	out := output{
+		Algo: fl.run, N: fl.n, K: fl.k, Machines: fl.m, Workers: len(addrs),
+		result: res, Transport: client.Stats(),
+	}
+	if fl.check {
+		ref, err := solve(fl, nil)
+		if err != nil {
+			return fmt.Errorf("in-process reference run: %w", err)
+		}
+		if !reflect.DeepEqual(res, ref) {
+			return fmt.Errorf("parity check FAILED: tcp run %+v, in-process run %+v", res, ref)
+		}
+		out.Check = "ok: tcp and inproc runs identical"
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// solve runs the configured algorithm once over the given transport
+// (nil means the in-process default) and returns the comparable result.
+func solve(fl *cliFlags, t mpc.Transport) (result, error) {
+	space, err := spaceByName(fl.metricID)
+	if err != nil {
+		return result{}, err
+	}
+	r := rng.New(fl.seed)
+	pts := workload.GaussianMixture(r, fl.n, 2, fl.k, 20, 1)
+	in := instance.New(space, workload.PartitionRandom(r, pts, fl.m))
+
+	var opts []mpc.Option
+	if t != nil {
+		opts = append(opts, mpc.WithTransport(t))
+	}
+	c := mpc.NewCluster(fl.m, fl.seed, opts...)
+
+	var res result
+	switch fl.run {
+	case "kcenter":
+		kc, err := kcenter.Solve(c, in, kcenter.Config{K: fl.k, Eps: fl.eps})
+		if err != nil {
+			return result{}, err
+		}
+		res = result{Objective: kc.Radius, Bound: kc.RadiusBound, IDs: kc.IDs, Selected: toRaw(kc.Centers)}
+	case "diversity":
+		dv, err := diversity.Maximize(c, in, diversity.Config{K: fl.k, Eps: fl.eps})
+		if err != nil {
+			return result{}, err
+		}
+		res = result{Objective: dv.Diversity, IDs: dv.IDs, Selected: toRaw(dv.Points)}
+	case "ksupplier":
+		sup := workload.GaussianMixture(r, fl.n/4, 2, fl.k, 20, 1)
+		inS := instance.New(space, workload.PartitionRandom(r, sup, fl.m))
+		ks, err := ksupplier.Solve(c, in, inS, ksupplier.Config{K: fl.k, Eps: fl.eps})
+		if err != nil {
+			return result{}, err
+		}
+		res = result{Objective: ks.Radius, Bound: ks.RadiusBound, IDs: ks.IDs, Selected: toRaw(ks.Suppliers)}
+	}
+	st := c.Stats()
+	res.Rounds = st.Rounds
+	res.MaxComm = st.MaxRoundComm()
+	return res, nil
+}
+
+func spaceByName(name string) (metric.Space, error) {
+	switch name {
+	case "l2":
+		return metric.L2{}, nil
+	case "l1":
+		return metric.L1{}, nil
+	case "linf":
+		return metric.LInf{}, nil
+	case "angular":
+		return metric.Angular{}, nil
+	case "hamming":
+		return metric.Hamming{}, nil
+	}
+	return nil, fmt.Errorf("unknown metric %q", name)
+}
+
+func toRaw(pts []metric.Point) [][]float64 {
+	out := make([][]float64, len(pts))
+	for i, p := range pts {
+		out[i] = p
+	}
+	return out
+}

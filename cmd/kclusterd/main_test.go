@@ -1,0 +1,131 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		ok   bool
+	}{
+		{"worker", []string{"-listen", "127.0.0.1:0"}, true},
+		{"coordinator", []string{"-run", "kcenter", "-workers", "a:1,b:2"}, true},
+		{"no mode", nil, false},
+		{"both modes", []string{"-listen", ":1", "-run", "kcenter", "-workers", "a:1"}, false},
+		{"unknown algo", []string{"-run", "kmeans", "-workers", "a:1"}, false},
+		{"no workers", []string{"-run", "kcenter"}, false},
+		{"bad metric", []string{"-run", "kcenter", "-workers", "a:1", "-metric", "cosine"}, false},
+		{"bad sizes", []string{"-run", "kcenter", "-workers", "a:1", "-m", "0"}, false},
+		{"negative frame cap", []string{"-listen", ":1", "-max-frame", "-1"}, false},
+	}
+	for _, tc := range cases {
+		fs, fl := newFlagSet()
+		if err := fs.Parse(tc.args); err != nil {
+			t.Fatalf("%s: parse: %v", tc.name, err)
+		}
+		if err := validateFlags(fl); (err == nil) != tc.ok {
+			t.Errorf("%s: validateFlags = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+// TestHelperWorker is not a test: it is the worker process body for
+// TestTwoProcessParity, re-invoked via the test binary.
+func TestHelperWorker(t *testing.T) {
+	if os.Getenv("KCLUSTERD_WORKER_HELPER") != "1" {
+		t.Skip("helper process body, not a test")
+	}
+	run([]string{
+		"-listen", "127.0.0.1:0",
+		"-ready-file", os.Getenv("KCLUSTERD_READY_FILE"),
+	}, io.Discard, io.Discard)
+	os.Exit(0)
+}
+
+// startWorkerProcess spawns this test binary as a real kclusterd worker
+// OS process and returns the address it bound. The process is killed on
+// test cleanup.
+func startWorkerProcess(t *testing.T) string {
+	t.Helper()
+	readyFile := filepath.Join(t.TempDir(), "addr")
+	cmd := exec.Command(os.Args[0], "-test.run=TestHelperWorker")
+	cmd.Env = append(os.Environ(),
+		"KCLUSTERD_WORKER_HELPER=1",
+		"KCLUSTERD_READY_FILE="+readyFile,
+	)
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if addr, err := os.ReadFile(readyFile); err == nil && len(addr) > 0 {
+			return string(addr)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("worker process never wrote its ready file")
+	return ""
+}
+
+// TestTwoProcessParity is the walkthrough from docs/TRANSPORT.md as a
+// test: a worker in its own OS process, a coordinator in this one, and
+// -check asserting the tcp run matches the in-process rerun exactly.
+func TestTwoProcessParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns an OS process")
+	}
+	addr := startWorkerProcess(t)
+	addr2 := startWorkerProcess(t)
+
+	for _, algo := range []string{"kcenter", "diversity", "ksupplier"} {
+		var stdout, stderr bytes.Buffer
+		code := run([]string{
+			"-run", algo,
+			"-workers", addr + "," + addr2,
+			"-n", "200", "-m", "4", "-k", "4",
+			"-check",
+		}, &stdout, &stderr)
+		if code != 0 {
+			t.Fatalf("%s: exit %d, stderr: %s", algo, code, stderr.String())
+		}
+		var out output
+		if err := json.Unmarshal(stdout.Bytes(), &out); err != nil {
+			t.Fatalf("%s: bad JSON: %v\n%s", algo, err, stdout.String())
+		}
+		if out.Check == "" {
+			t.Fatalf("%s: -check produced no verdict: %s", algo, stdout.String())
+		}
+		if out.Transport.Exchanges == 0 || out.Transport.WordsOnWire == 0 {
+			t.Fatalf("%s: no traffic crossed the wire: %+v", algo, out.Transport)
+		}
+		if out.Workers != 2 {
+			t.Fatalf("%s: %d workers reported, want 2", algo, out.Workers)
+		}
+	}
+}
+
+// TestCoordinatorRejectsDeadWorker pins the error path: a fleet address
+// nobody listens on fails the run with a nonzero exit.
+func TestCoordinatorRejectsDeadWorker(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-run", "kcenter", "-workers", "127.0.0.1:1",
+		"-n", "50", "-m", "2", "-k", "2",
+	}, &stdout, &stderr)
+	if code == 0 {
+		t.Fatalf("coordinator succeeded against a dead worker: %s", stdout.String())
+	}
+}

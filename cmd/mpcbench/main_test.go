@@ -11,27 +11,37 @@ func TestValidateFlags(t *testing.T) {
 		speculation int
 		faults      string
 		budgets     bool
+		transport   string
+		workers     string
 		wantErr     string // substring; empty means accept
 	}{
-		{"defaults", 0, "", false, ""},
-		{"sequential-width", 0, "", true, ""},
-		{"whole-ladder", -1, "", false, ""},
-		{"positive-width", 4, "", false, ""},
-		{"width-below-minus-one", -2, "", false, "-speculation -2"},
-		{"very-negative-width", -100, "", true, "-speculation -100"},
-		{"faults-with-budgets", 0, "crash:0.05,drop:0.02", true, ""},
-		{"all-kinds", 2, "crash:0.1,drop:0.1,duplicate:0.1,straggler:0.1,abort:0.1", true, ""},
-		{"faults-without-budgets", 0, "crash:0.05", false, "-faults requires -budgets"},
-		{"unknown-kind", 0, "meteor:0.1", true, "-faults"},
-		{"missing-rate", 0, "crash", true, "-faults"},
-		{"rate-above-one", 0, "crash:1.5", true, "-faults"},
-		{"negative-rate", 0, "crash:-0.1", true, "-faults"},
-		{"trailing-comma-tolerated", 0, "crash:0.1,", true, ""},
-		{"space-separated", 0, "crash:0.1 drop:0.1", true, "-faults"},
+		{"defaults", 0, "", false, "inproc", "", ""},
+		{"sequential-width", 0, "", true, "inproc", "", ""},
+		{"whole-ladder", -1, "", false, "inproc", "", ""},
+		{"positive-width", 4, "", false, "inproc", "", ""},
+		{"width-below-minus-one", -2, "", false, "inproc", "", "-speculation -2"},
+		{"very-negative-width", -100, "", true, "inproc", "", "-speculation -100"},
+		{"faults-with-budgets", 0, "crash:0.05,drop:0.02", true, "inproc", "", ""},
+		{"all-kinds", 2, "crash:0.1,drop:0.1,duplicate:0.1,straggler:0.1,abort:0.1", true, "inproc", "", ""},
+		{"faults-without-budgets", 0, "crash:0.05", false, "inproc", "", "-faults requires -budgets"},
+		{"unknown-kind", 0, "meteor:0.1", true, "inproc", "", "-faults"},
+		{"missing-rate", 0, "crash", true, "inproc", "", "-faults"},
+		{"rate-above-one", 0, "crash:1.5", true, "inproc", "", "-faults"},
+		{"negative-rate", 0, "crash:-0.1", true, "inproc", "", "-faults"},
+		{"trailing-comma-tolerated", 0, "crash:0.1,", true, "inproc", "", ""},
+		{"space-separated", 0, "crash:0.1 drop:0.1", true, "inproc", "", "-faults"},
+		{"tcp-with-workers", 0, "", false, "tcp", "127.0.0.1:9001,127.0.0.1:9002", ""},
+		{"tcp-without-workers", 0, "", false, "tcp", "", "-transport=tcp requires -workers"},
+		{"workers-without-tcp", 0, "", false, "inproc", "127.0.0.1:9001", "-workers requires -transport=tcp"},
+		{"unknown-transport", 0, "", false, "udp", "", "-transport"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			err := validateFlags(tc.speculation, tc.faults, tc.budgets)
+			fl := &cliFlags{
+				spec: tc.speculation, faults: tc.faults, budgets: tc.budgets,
+				transport: tc.transport, workers: tc.workers,
+			}
+			err := validateFlags(fl)
 			if tc.wantErr == "" {
 				if err != nil {
 					t.Fatalf("rejected: %v", err)
@@ -39,7 +49,7 @@ func TestValidateFlags(t *testing.T) {
 				return
 			}
 			if err == nil {
-				t.Fatalf("accepted speculation=%d faults=%q budgets=%v", tc.speculation, tc.faults, tc.budgets)
+				t.Fatalf("accepted %+v", fl)
 			}
 			if !strings.Contains(err.Error(), tc.wantErr) {
 				t.Fatalf("err %q does not mention %q", err, tc.wantErr)

@@ -6,8 +6,10 @@
 // module is self-contained and ships its own MPC substrate, so every
 // consumer-facing type is reachable from the packages below):
 //
-//   - internal/mpc        — deterministic MPC-model simulator (machines as
-//     goroutines, superstep rounds, communication metering)
+//   - internal/mpc        — deterministic MPC-model simulator (superstep
+//     rounds, communication metering, pluggable message transport)
+//   - internal/transport  — tcp transport backend: wire codec, framing,
+//     worker server and coordinator client (docs/TRANSPORT.md)
 //   - internal/kbmis      — k-bounded maximal independent set (Algorithm 4),
 //     the paper's primary contribution
 //   - internal/degree     — MPC vertex-degree approximation (Algorithm 3)

@@ -7,7 +7,6 @@ import (
 	"parclust/internal/kbmis"
 	"parclust/internal/kcenter"
 	"parclust/internal/metric"
-	"parclust/internal/mpc"
 	"parclust/internal/workload"
 )
 
@@ -57,7 +56,10 @@ func runA1(cfg RunConfig) (*Table, error) {
 		if strict {
 			rule = "strict"
 		}
-		c := mpc.NewCluster(m, cfg.Seed+9)
+		c, err := cfg.cluster(m, cfg.Seed+9)
+		if err != nil {
+			return nil, err
+		}
 		res, err := kbmis.Run(c, in, 1.0, kbmis.Config{K: k, StrictTrim: strict, MaxIterations: 25})
 		if err != nil {
 			return nil, fmt.Errorf("A1 %s: %w", rule, err)
@@ -86,7 +88,10 @@ func runA2(cfg RunConfig) (*Table, error) {
 		if exact {
 			mode = "exact"
 		}
-		c := mpc.NewCluster(m, cfg.Seed+10)
+		c, err := cfg.cluster(m, cfg.Seed+10)
+		if err != nil {
+			return nil, err
+		}
 		res, err := kbmis.Run(c, in, tau, kbmis.Config{K: k, Delta: 0.5, UseExactDegrees: exact})
 		if err != nil {
 			return nil, fmt.Errorf("A2 %s: %w", mode, err)
@@ -112,7 +117,10 @@ func runA3(cfg RunConfig) (*Table, error) {
 	fam := workload.Families()[1]
 	in, _ := buildInstance(cfg, fam, n, m, cfg.Seed)
 	for _, eps := range []float64{0.05, 0.1, 0.25, 0.5} {
-		c := mpc.NewCluster(m, cfg.Seed+11)
+		c, err := cfg.cluster(m, cfg.Seed+11)
+		if err != nil {
+			return nil, err
+		}
 		res, err := kcenter.Solve(c, in, kcenter.Config{K: k, Eps: eps})
 		if err != nil {
 			return nil, fmt.Errorf("A3 eps=%v: %w", eps, err)

@@ -71,8 +71,8 @@ func BudgetValidation(cfg RunConfig, rec *mpc.TraceRecorder) (*Table, int, error
 		opts = append(opts, mpc.WithFaultPolicy(fault.NewRandom(cfg.FaultSeed, rates)))
 		tab.AddNote(fmt.Sprintf("fault injection active (%s, seed %d); recovery overhead is excluded from every budget window", cfg.Faults, cfg.FaultSeed))
 	}
-	newCluster := func(seed uint64) *mpc.Cluster {
-		return mpc.NewCluster(m, seed, opts...)
+	newCluster := func(seed uint64) (*mpc.Cluster, error) {
+		return cfg.cluster(m, seed, opts...)
 	}
 
 	runs := []struct {
@@ -111,7 +111,10 @@ func BudgetValidation(cfg RunConfig, rec *mpc.TraceRecorder) (*Table, int, error
 
 	violations := 0
 	for i, r := range runs {
-		c := newCluster(cfg.Seed + uint64(i))
+		c, err := newCluster(cfg.Seed + uint64(i))
+		if err != nil {
+			return nil, 0, err
+		}
 		if err := r.run(c); err != nil {
 			var bv *mpc.BudgetViolation
 			if !errors.As(err, &bv) {

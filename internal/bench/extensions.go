@@ -6,7 +6,6 @@ import (
 	"parclust/internal/instance"
 	"parclust/internal/kcenter"
 	"parclust/internal/metric"
-	"parclust/internal/mpc"
 	"parclust/internal/outliers"
 	"parclust/internal/remoteclique"
 	"parclust/internal/rng"
@@ -50,12 +49,18 @@ func runF7(cfg RunConfig) (*Table, error) {
 		}
 		in, _ := buildInstanceFromPoints(cfg, pts, m, cfg.Seed)
 
-		c1 := mpc.NewCluster(m, cfg.Seed+12)
+		c1, err := cfg.cluster(m, cfg.Seed+12)
+		if err != nil {
+			return nil, err
+		}
 		plain, err := kcenter.Solve(c1, in, kcenter.Config{K: k, Eps: 0.1})
 		if err != nil {
 			return nil, fmt.Errorf("F7 plain z=%d: %w", z, err)
 		}
-		c2 := mpc.NewCluster(m, cfg.Seed+13)
+		c2, err := cfg.cluster(m, cfg.Seed+13)
+		if err != nil {
+			return nil, err
+		}
 		robust, err := outliers.MPC(c2, in, k, z)
 		if err != nil {
 			return nil, fmt.Errorf("F7 robust z=%d: %w", z, err)
@@ -85,7 +90,10 @@ func runF8(cfg RunConfig) (*Table, error) {
 	space := metric.L2{}
 	for _, fam := range qualityFamilies(cfg.Quick) {
 		in, pts := buildInstance(cfg, fam, n, m, cfg.Seed+hash(fam.Name))
-		c := mpc.NewCluster(m, cfg.Seed+14)
+		c, err := cfg.cluster(m, cfg.Seed+14)
+		if err != nil {
+			return nil, err
+		}
 		res, err := remoteclique.MPCCoreset(c, in, k)
 		if err != nil {
 			return nil, fmt.Errorf("F8 %s: %w", fam.Name, err)

@@ -5,7 +5,6 @@ import (
 	"math"
 
 	"parclust/internal/kcenter"
-	"parclust/internal/mpc"
 )
 
 func init() {
@@ -33,7 +32,10 @@ func runT7(cfg RunConfig) (*Table, error) {
 	fam := qualityFamilies(true)[0]
 	for _, m := range ms {
 		in, _ := buildInstance(cfg, fam, n, m, cfg.Seed)
-		c := mpc.NewCluster(m, cfg.Seed+17)
+		c, err := cfg.cluster(m, cfg.Seed+17)
+		if err != nil {
+			return nil, err
+		}
 		if _, err := kcenter.Solve(c, in, kcenter.Config{K: k, Eps: 0.1}); err != nil {
 			return nil, fmt.Errorf("T7 m=%d: %w", m, err)
 		}

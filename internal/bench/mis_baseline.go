@@ -6,7 +6,6 @@ import (
 
 	"parclust/internal/kbmis"
 	"parclust/internal/lubymis"
-	"parclust/internal/mpc"
 )
 
 func init() {
@@ -38,7 +37,10 @@ func runA4(cfg RunConfig) (*Table, error) {
 		// δ = 0.5 keeps the heavy/light machinery active (DESIGN.md
 		// deviation 2); with the paper's δ the all-light broadcast
 		// dominates both columns at laptop n and hides the contrast.
-		c1 := mpc.NewCluster(m, cfg.Seed+15)
+		c1, err := cfg.cluster(m, cfg.Seed+15)
+		if err != nil {
+			return nil, err
+		}
 		ours, err := kbmis.Run(c1, in, tau, kbmis.Config{K: n + 1, Delta: 0.5})
 		if err != nil {
 			return nil, fmt.Errorf("A4 kbmis n=%d: %w", n, err)
@@ -47,7 +49,10 @@ func runA4(cfg RunConfig) (*Table, error) {
 		tab.Add(d(n), d(m), "kbmis(Alg.4)", d(ours.Iterations), d(st1.Rounds),
 			d(int(st1.MaxRoundComm())), d(int(st1.TotalWords)), d(len(ours.IDs)))
 
-		c2 := mpc.NewCluster(m, cfg.Seed+16)
+		c2, err := cfg.cluster(m, cfg.Seed+16)
+		if err != nil {
+			return nil, err
+		}
 		luby, err := lubymis.Run(c2, in, tau, 0)
 		if err != nil {
 			return nil, fmt.Errorf("A4 luby n=%d: %w", n, err)

@@ -10,7 +10,6 @@ import (
 	"parclust/internal/kcenter"
 	"parclust/internal/ksupplier"
 	"parclust/internal/metric"
-	"parclust/internal/mpc"
 	"parclust/internal/rng"
 	"parclust/internal/seq"
 	"parclust/internal/workload"
@@ -97,12 +96,18 @@ func runT1(cfg RunConfig) (*Table, error) {
 			in, pts := buildInstance(cfg, fam, sc.n, sc.m, cfg.Seed+hash(fam.Name))
 			lb := seq.KCenterLowerBound(in.Space, pts, sc.k)
 
-			c := mpc.NewCluster(sc.m, cfg.Seed+1)
+			c, err := cfg.cluster(sc.m, cfg.Seed+1)
+			if err != nil {
+				return nil, err
+			}
 			ours, err := kcenter.Solve(c, in, kcenter.Config{K: sc.k, Eps: eps})
 			if err != nil {
 				return nil, fmt.Errorf("T1 %s ours: %w", fam.Name, err)
 			}
-			c2 := mpc.NewCluster(sc.m, cfg.Seed+2)
+			c2, err := cfg.cluster(sc.m, cfg.Seed+2)
+			if err != nil {
+				return nil, err
+			}
 			malk, err := baselines.MalkomesKCenter(c2, in, sc.k)
 			if err != nil {
 				return nil, fmt.Errorf("T1 %s malkomes: %w", fam.Name, err)
@@ -131,12 +136,18 @@ func runT2(cfg RunConfig) (*Table, error) {
 			in, pts := buildInstance(cfg, fam, sc.n, sc.m, cfg.Seed+hash(fam.Name))
 			ub := seq.DiversityUpperBound(in.Space, pts, sc.k)
 
-			c := mpc.NewCluster(sc.m, cfg.Seed+1)
+			c, err := cfg.cluster(sc.m, cfg.Seed+1)
+			if err != nil {
+				return nil, err
+			}
 			ours, err := diversity.Maximize(c, in, diversity.Config{K: sc.k, Eps: eps})
 			if err != nil {
 				return nil, fmt.Errorf("T2 %s ours: %w", fam.Name, err)
 			}
-			c2 := mpc.NewCluster(sc.m, cfg.Seed+2)
+			c2, err := cfg.cluster(sc.m, cfg.Seed+2)
+			if err != nil {
+				return nil, err
+			}
 			indyk, err := baselines.IndykDiversity(c2, in, sc.k)
 			if err != nil {
 				return nil, fmt.Errorf("T2 %s indyk: %w", fam.Name, err)
@@ -168,7 +179,10 @@ func runT3(cfg RunConfig) (*Table, error) {
 			inS, supPts := buildInstance(cfg, fam, nS, sc.m, cfg.Seed+hash(fam.Name)+99)
 			lb := seq.KSupplierLowerBound(inC.Space, custPts, sc.k)
 
-			c := mpc.NewCluster(sc.m, cfg.Seed+1)
+			c, err := cfg.cluster(sc.m, cfg.Seed+1)
+			if err != nil {
+				return nil, err
+			}
 			ours, err := ksupplier.Solve(c, inC, inS, ksupplier.Config{K: sc.k, Eps: eps})
 			if err != nil {
 				return nil, fmt.Errorf("T3 %s ours: %w", fam.Name, err)
@@ -202,12 +216,18 @@ func runF1(cfg RunConfig) (*Table, error) {
 	lb := seq.KCenterLowerBound(in.Space, pts, k)
 	ub := seq.DiversityUpperBound(in.Space, pts, k)
 	for _, eps := range []float64{1.0 / 16, 1.0 / 8, 1.0 / 4, 1.0 / 2, 1.0} {
-		c := mpc.NewCluster(m, cfg.Seed+1)
+		c, err := cfg.cluster(m, cfg.Seed+1)
+		if err != nil {
+			return nil, err
+		}
 		kc, err := kcenter.Solve(c, in, kcenter.Config{K: k, Eps: eps})
 		if err != nil {
 			return nil, fmt.Errorf("F1 kcenter eps=%v: %w", eps, err)
 		}
-		c2 := mpc.NewCluster(m, cfg.Seed+2)
+		c2, err := cfg.cluster(m, cfg.Seed+2)
+		if err != nil {
+			return nil, err
+		}
 		dv, err := diversity.Maximize(c2, in, diversity.Config{K: k, Eps: eps})
 		if err != nil {
 			return nil, fmt.Errorf("F1 diversity eps=%v: %w", eps, err)
@@ -233,14 +253,20 @@ func runF5(cfg RunConfig) (*Table, error) {
 		in, pts := buildInstance(cfg, fam, n, m, cfg.Seed+hash(fam.Name))
 		ub := seq.DiversityUpperBound(in.Space, pts, k)
 
-		c := mpc.NewCluster(m, cfg.Seed+1)
+		c, err := cfg.cluster(m, cfg.Seed+1)
+		if err != nil {
+			return nil, err
+		}
 		sel, _, _, err := diversity.TwoRound4Approx(c, in, k)
 		if err != nil {
 			return nil, fmt.Errorf("F5 %s tworound: %w", fam.Name, err)
 		}
 		twoDiv := metric.Diversity(in.Space, sel)
 
-		c2 := mpc.NewCluster(m, cfg.Seed+2)
+		c2, err := cfg.cluster(m, cfg.Seed+2)
+		if err != nil {
+			return nil, err
+		}
 		indyk, err := baselines.IndykDiversity(c2, in, k)
 		if err != nil {
 			return nil, fmt.Errorf("F5 %s indyk: %w", fam.Name, err)

@@ -3,6 +3,8 @@ package bench
 import (
 	"fmt"
 	"sort"
+
+	"parclust/internal/mpc"
 )
 
 // RunConfig controls an experiment run.
@@ -37,6 +39,32 @@ type RunConfig struct {
 	// The cmd/mpcbench -f32 flag sets it; running the same experiment
 	// with and without the flag compares the two lanes end-to-end.
 	Float32 bool
+	// Transport, when non-nil, builds the message-delivery backend for
+	// each cluster an experiment constructs; it is called with the
+	// cluster size m and the returned backend is installed via
+	// mpc.WithTransport. nil keeps the in-process default. Results and
+	// charged budgets are backend-invariant (the transport-parity suite
+	// pins this), so running any experiment over a real backend — e.g.
+	// cmd/mpcbench -transport=tcp against a kclusterd fleet — validates
+	// the same claims with every metered word crossing a wire. The
+	// factory may return a shared backend: exchanges are self-contained,
+	// so clusters of the same size can reuse one connection set.
+	Transport func(m int) (mpc.Transport, error)
+}
+
+// cluster builds an experiment cluster of m machines, installing the
+// cfg.Transport backend when one is configured. Every experiment must
+// construct its clusters through this helper so that -transport reaches
+// all of them.
+func (cfg RunConfig) cluster(m int, seed uint64, opts ...mpc.Option) (*mpc.Cluster, error) {
+	if cfg.Transport != nil {
+		t, err := cfg.Transport(m)
+		if err != nil {
+			return nil, fmt.Errorf("bench: transport for m=%d: %w", m, err)
+		}
+		opts = append(opts, mpc.WithTransport(t))
+	}
+	return mpc.NewCluster(m, seed, opts...), nil
 }
 
 // Experiment is a registered claim-validation experiment.

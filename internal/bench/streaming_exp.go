@@ -6,7 +6,6 @@ import (
 	"parclust/internal/gmm"
 	"parclust/internal/kcenter"
 	"parclust/internal/metric"
-	"parclust/internal/mpc"
 	"parclust/internal/seq"
 	"parclust/internal/streaming"
 )
@@ -44,7 +43,10 @@ func runF9(cfg RunConfig) (*Table, error) {
 		}
 		streamRad := metric.Radius(metric.L2{}, pts, st.Centers())
 
-		c := mpc.NewCluster(m, cfg.Seed+18)
+		c, err := cfg.cluster(m, cfg.Seed+18)
+		if err != nil {
+			return nil, err
+		}
 		ours, err := kcenter.Solve(c, in, kcenter.Config{K: k, Eps: 0.1})
 		if err != nil {
 			return nil, fmt.Errorf("F9 %s: %w", fam.Name, err)

@@ -13,7 +13,6 @@ import (
 	"parclust/internal/kbmis"
 	"parclust/internal/kcenter"
 	"parclust/internal/metric"
-	"parclust/internal/mpc"
 	"parclust/internal/workload"
 )
 
@@ -78,7 +77,10 @@ func runT4(cfg RunConfig) (*Table, error) {
 	for _, n := range ns {
 		m := int(math.Ceil(math.Sqrt(float64(n))))
 		in, _ := buildInstance(cfg, fam, n, m, cfg.Seed)
-		c := mpc.NewCluster(m, cfg.Seed+3)
+		c, err := cfg.cluster(m, cfg.Seed+3)
+		if err != nil {
+			return nil, err
+		}
 		res, err := kcenter.Solve(c, in, kcenter.Config{K: k, Eps: 0.1})
 		if err != nil {
 			return nil, fmt.Errorf("T4 n=%d: %w", n, err)
@@ -121,7 +123,10 @@ func runT5(cfg RunConfig) (*Table, error) {
 			// broadcast dominates, hiding the mk scaling (DESIGN.md
 			// deviation 2).
 			tau := diameterOf(in.Space, pts) / 8
-			c := mpc.NewCluster(m, cfg.Seed+4)
+			c, err := cfg.cluster(m, cfg.Seed+4)
+			if err != nil {
+				return nil, err
+			}
 			if _, err := kbmis.Run(c, in, tau, kbmis.Config{K: k, Delta: 0.5}); err != nil {
 				return nil, fmt.Errorf("T5 m=%d k=%d: %w", m, k, err)
 			}
@@ -160,7 +165,10 @@ func runT6(cfg RunConfig) (*Table, error) {
 		for s := 0; s < seeds; s++ {
 			in, pts := buildInstance(cfg, fam, n, m, cfg.Seed+uint64(s))
 			tau := diameterOf(in.Space, pts) * reg.frac
-			c := mpc.NewCluster(m, cfg.Seed+uint64(100+s))
+			c, err := cfg.cluster(m, cfg.Seed+uint64(100+s))
+			if err != nil {
+				return nil, err
+			}
 			res, err := kbmis.Run(c, in, tau, kbmis.Config{K: k})
 			if err != nil {
 				return nil, fmt.Errorf("T6 %s seed=%d: %w", reg.name, s, err)
@@ -195,7 +203,10 @@ func runF2(cfg RunConfig) (*Table, error) {
 	fam := workload.Families()[0]
 	in, pts := buildInstance(cfg, fam, n, m, cfg.Seed)
 	tau := diameterOf(in.Space, pts) / 4
-	c := mpc.NewCluster(m, cfg.Seed+5)
+	c, err := cfg.cluster(m, cfg.Seed+5)
+	if err != nil {
+		return nil, err
+	}
 	// k = n forces the loop to run until the graph empties.
 	res, err := kbmis.Run(c, in, tau, kbmis.Config{K: n, TrackEdges: true})
 	if err != nil {
@@ -233,7 +244,10 @@ func runF3(cfg RunConfig) (*Table, error) {
 	pts, gids := in.All()
 	for _, tauFrac := range []float64{0.1, 0.2, 0.3, 0.5} {
 		tau := diameterOf(in.Space, pts) * tauFrac
-		c := mpc.NewCluster(m, cfg.Seed+6)
+		c, err := cfg.cluster(m, cfg.Seed+6)
+		if err != nil {
+			return nil, err
+		}
 		res, err := degree.Approximate(c, in, tau, degree.Config{K: 20, Delta: 0.5})
 		if err != nil {
 			return nil, fmt.Errorf("F3 tau=%v: %w", tau, err)
@@ -294,7 +308,10 @@ func runF4(cfg RunConfig) (*Table, error) {
 	var base float64
 	for _, m := range []int{1, 2, 4, 8} {
 		in, _ := buildInstance(cfg, fam, n, m, cfg.Seed)
-		c := mpc.NewCluster(m, cfg.Seed+7)
+		c, err := cfg.cluster(m, cfg.Seed+7)
+		if err != nil {
+			return nil, err
+		}
 		start := time.Now()
 		if _, err := coreset.Collect(c, in, k); err != nil {
 			return nil, fmt.Errorf("F4 m=%d: %w", m, err)
@@ -327,7 +344,10 @@ func runF6(cfg RunConfig) (*Table, error) {
 	diam := diameterOf(in.Space, pts)
 	for _, frac := range []float64{0.05, 0.1, 0.2} {
 		tau := diam * frac
-		c := mpc.NewCluster(m, cfg.Seed+8)
+		c, err := cfg.cluster(m, cfg.Seed+8)
+		if err != nil {
+			return nil, err
+		}
 		res, err := domset.Solve(c, in, tau, kbmis.Config{})
 		if err != nil {
 			return nil, fmt.Errorf("F6 tau=%v: %w", tau, err)

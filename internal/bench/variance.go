@@ -5,7 +5,6 @@ import (
 
 	"parclust/internal/diversity"
 	"parclust/internal/kcenter"
-	"parclust/internal/mpc"
 	"parclust/internal/seq"
 	"parclust/internal/stats"
 )
@@ -38,14 +37,20 @@ func runT8(cfg RunConfig) (*Table, error) {
 
 	var kcRatios, dvRatios []float64
 	for s := 0; s < seeds; s++ {
-		c := mpc.NewCluster(m, cfg.Seed+uint64(1000+s))
+		c, err := cfg.cluster(m, cfg.Seed+uint64(1000+s))
+		if err != nil {
+			return nil, err
+		}
 		kc, err := kcenter.Solve(c, in, kcenter.Config{K: k, Eps: 0.1})
 		if err != nil {
 			return nil, fmt.Errorf("T8 kcenter seed %d: %w", s, err)
 		}
 		kcRatios = append(kcRatios, kc.Radius/lbC)
 
-		c2 := mpc.NewCluster(m, cfg.Seed+uint64(2000+s))
+		c2, err := cfg.cluster(m, cfg.Seed+uint64(2000+s))
+		if err != nil {
+			return nil, err
+		}
 		dv, err := diversity.Maximize(c2, in, diversity.Config{K: k, Eps: 0.1})
 		if err != nil {
 			return nil, fmt.Errorf("T8 diversity seed %d: %w", s, err)

@@ -1,0 +1,154 @@
+// Package docscan extracts documented command lines from the repo's
+// markdown so each cmd package can assert that every invocation its
+// docs show actually parses against the real flag set (newFlagSet +
+// validateFlags). Docs and flags drift independently; this is the
+// mechanical check that they have not.
+//
+// A command line is recognized in two places:
+//
+//   - inside fenced code blocks (``` ... ```), as a line invoking the
+//     binary via `go run ./cmd/NAME ...`, `./NAME ...`, or `NAME -...`;
+//   - in inline code spans (`...`) with the same shapes.
+//
+// Shell noise is normalized away: a leading `$ ` prompt, a trailing
+// `&`, and trailing `# comment` are stripped. Lines carrying
+// documentation placeholders (any token containing `<` or `...`) are
+// skipped — they illustrate syntax, not a runnable invocation.
+package docscan
+
+import (
+	"bufio"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// Command is one documented invocation of a binary.
+type Command struct {
+	File string   // path relative to the scanned root
+	Line int      // 1-based line number
+	Args []string // tokens after the binary name, as a flag parser sees them
+}
+
+// String renders the command for test-failure messages.
+func (c Command) String() string {
+	return fmt.Sprintf("%s:%d: %s", c.File, c.Line, strings.Join(c.Args, " "))
+}
+
+var inlineSpan = regexp.MustCompile("`([^`]+)`")
+
+// Commands walks every .md file under root and returns each documented
+// invocation of the named binary. Files and directories starting with
+// "." (including .git) are skipped.
+func Commands(root, binary string) ([]Command, error) {
+	var out []Command
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if strings.HasPrefix(d.Name(), ".") && path != root {
+			if d.IsDir() {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if d.IsDir() || !strings.HasSuffix(d.Name(), ".md") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		cmds, err := scanFile(path, rel, binary)
+		if err != nil {
+			return err
+		}
+		out = append(out, cmds...)
+		return nil
+	})
+	return out, err
+}
+
+// scanFile extracts the binary's invocations from one markdown file.
+func scanFile(path, rel, binary string) ([]Command, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	var out []Command
+	inFence := false
+	lineNo := 0
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			if args, ok := parseInvocation(line, binary); ok {
+				out = append(out, Command{File: rel, Line: lineNo, Args: args})
+			}
+			continue
+		}
+		for _, span := range inlineSpan.FindAllStringSubmatch(line, -1) {
+			if args, ok := parseInvocation(span[1], binary); ok {
+				out = append(out, Command{File: rel, Line: lineNo, Args: args})
+			}
+		}
+	}
+	return out, sc.Err()
+}
+
+// parseInvocation reports whether s invokes the binary and, if so,
+// returns the argument tokens that follow it.
+func parseInvocation(s, binary string) ([]string, bool) {
+	if i := strings.Index(s, "#"); i > 0 {
+		s = s[:i]
+	}
+	tokens := strings.Fields(s)
+	if len(tokens) > 0 && tokens[0] == "$" {
+		tokens = tokens[1:]
+	}
+	if n := len(tokens); n > 0 && tokens[n-1] == "&" {
+		tokens = tokens[:n-1]
+	}
+	at := -1
+	for i, tok := range tokens {
+		switch strings.Trim(tok, `"'`) {
+		case "./cmd/" + binary, "cmd/" + binary:
+			// Only `go run ./cmd/NAME` is an invocation; `go build -o X
+			// ./cmd/NAME` and similar mention the path without running it.
+			if i >= 2 && tokens[i-2] == "go" && tokens[i-1] == "run" {
+				at = i
+			}
+		case binary, "./" + binary:
+			// A bare name is an invocation only when flags follow —
+			// prose like "kclusterd serves ..." stays prose.
+			if i+1 < len(tokens) && strings.HasPrefix(tokens[i+1], "-") {
+				at = i
+			}
+		}
+		if at >= 0 {
+			break
+		}
+	}
+	if at < 0 {
+		return nil, false
+	}
+	args := tokens[at+1:]
+	for i, a := range args {
+		a = strings.Trim(a, `"'`)
+		if strings.ContainsAny(a, "<>") || strings.Contains(a, "...") {
+			return nil, false // placeholder, not a runnable line
+		}
+		args[i] = a
+	}
+	return args, true
+}

@@ -1,0 +1,79 @@
+package docscan
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func write(t *testing.T, root, rel, content string) {
+	t.Helper()
+	path := filepath.Join(root, rel)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommandsExtraction(t *testing.T) {
+	root := t.TempDir()
+	write(t, root, "README.md", "# title\n"+
+		"```sh\n"+
+		"$ go run ./cmd/tool -a 1 -b 2   # trailing comment\n"+
+		"./tool -listen :9001 &\n"+
+		"go build -o tool ./cmd/tool\n"+ // build, not an invocation
+		"tool -flag value\n"+
+		"go run ./cmd/tool -exp all\n"+
+		"```\n"+
+		"Prose mentioning tool -x outside any code span is ignored,\n"+
+		"but `tool -inline` and `go run ./cmd/tool -spanned` are found.\n"+
+		"Placeholders are skipped: `tool -exp <id>` and `tool -w HOST,...`.\n")
+	write(t, root, "docs/NOTES.md", "```\nother -a\n$ ./tool -c\n```\n")
+	write(t, root, ".hidden/SKIP.md", "```\ntool -never\n```\n")
+
+	got, err := Commands(root, "tool")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var args [][]string
+	for _, c := range got {
+		args = append(args, c.Args)
+	}
+	want := [][]string{
+		{"-a", "1", "-b", "2"},
+		{"-listen", ":9001"},
+		{"-flag", "value"},
+		{"-exp", "all"},
+		{"-inline"},
+		{"-spanned"},
+		{"-c"},
+	}
+	if !reflect.DeepEqual(args, want) {
+		t.Errorf("extracted %v, want %v", args, want)
+	}
+	if got[0].File != "README.md" || got[0].Line != 3 {
+		t.Errorf("first command located at %s:%d, want README.md:3", got[0].File, got[0].Line)
+	}
+	if last := got[len(got)-1]; last.File != filepath.Join("docs", "NOTES.md") {
+		t.Errorf("last command from %s, want docs/NOTES.md", last.File)
+	}
+}
+
+func TestCommandsAgainstThisRepo(t *testing.T) {
+	// The per-binary parse checks live in each cmd package; here we only
+	// pin that the scanner finds the walkthrough lines at all, so a
+	// silent regex regression cannot turn the audit into a no-op.
+	for _, binary := range []string{"kcluster", "mpcbench", "kclusterd"} {
+		cmds, err := Commands("../..", binary)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cmds) < 3 {
+			t.Errorf("found only %d documented %s invocations; the docs document more — scanner regression?",
+				len(cmds), binary)
+		}
+	}
+}

@@ -1,0 +1,211 @@
+// Transport parity: the keystone contract of the pluggable-transport
+// layer. For every ladder algorithm and metric, a run whose message
+// delivery crosses real localhost TCP (internal/transport worker fleet)
+// must produce byte-identical results, winning traces, and winning
+// budget reports to the in-process backend at the same seed — the only
+// permitted differences are wall-clock times and the "transport" tag on
+// trace rows. The contract must also survive composition with the other
+// execution layers: speculative wave search (forks share the parent's
+// transport) and fault injection with recovery (checkpoint state lives
+// in the driver, so rollback works unchanged over the wire).
+//
+// CI runs this suite at GOMAXPROCS=1 and GOMAXPROCS=4 (see
+// .github/workflows/ci.yml) so the parity holds both serialized and
+// with the per-worker exchanges genuinely concurrent.
+package integration_test
+
+import (
+	"bytes"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"parclust/internal/fault"
+	"parclust/internal/metric"
+	"parclust/internal/mpc"
+	"parclust/internal/transport"
+)
+
+// startFleet launches n transport workers on ephemeral localhost ports
+// inside this test process (the OS-process variant lives in
+// cmd/kclusterd's tests) and returns their addresses.
+func startFleet(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ln.Close() })
+		go transport.NewServer(transport.ServerConfig{}).Serve(ln)
+		addrs[i] = ln.Addr().String()
+	}
+	return addrs
+}
+
+// dialFleet connects a tcp transport for runWave's cluster size.
+func dialFleet(t *testing.T, addrs []string) *transport.Client {
+	t.Helper()
+	cl, err := transport.Dial(transport.DialConfig{Workers: addrs, Machines: waveM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+// normalizeTransport clears the backend tag from a run's winning events
+// so inproc and tcp runs compare on content. Everything else — Seq,
+// names, word counts, fork fields — must already match exactly.
+func normalizeTransport(events []mpc.TraceEvent) []mpc.TraceEvent {
+	out := make([]mpc.TraceEvent, len(events))
+	for i, ev := range events {
+		ev.Transport = ""
+		out[i] = ev
+	}
+	return out
+}
+
+// compareBackends asserts the tcp run matches the inproc baseline on
+// every backend-invariant view.
+func compareBackends(t *testing.T, tag string, inproc, tcp waveRun) {
+	t.Helper()
+	if !reflect.DeepEqual(tcp.result, inproc.result) {
+		t.Errorf("%s: result differs across backends:\ninproc: %+v\ntcp:    %+v",
+			tag, inproc.result, tcp.result)
+	}
+	if tcp.specProbes != inproc.specProbes {
+		t.Errorf("%s: speculative probes %d over tcp, %d inproc", tag, tcp.specProbes, inproc.specProbes)
+	}
+	if !reflect.DeepEqual(normalizeTransport(tcp.winEvents), normalizeTransport(inproc.winEvents)) {
+		t.Errorf("%s: winning trace differs across backends (%d vs %d events)",
+			tag, len(tcp.winEvents), len(inproc.winEvents))
+	}
+	if !reflect.DeepEqual(tcp.winReports, inproc.winReports) {
+		t.Errorf("%s: winning budget reports differ:\ninproc: %v\ntcp:    %v",
+			tag, inproc.winReports, tcp.winReports)
+	}
+	if tcp.stats.Rounds != inproc.stats.Rounds ||
+		tcp.stats.TotalWords != inproc.stats.TotalWords ||
+		tcp.stats.MaxRoundComm() != inproc.stats.MaxRoundComm() {
+		t.Errorf("%s: stats differ: inproc rounds=%d words=%d maxcomm=%d, tcp rounds=%d words=%d maxcomm=%d",
+			tag, inproc.stats.Rounds, inproc.stats.TotalWords, inproc.stats.MaxRoundComm(),
+			tcp.stats.Rounds, tcp.stats.TotalWords, tcp.stats.MaxRoundComm())
+	}
+}
+
+// TestTransportParity is the 3 algorithms × 3 metrics matrix from the
+// keystone contract, sequential search, over a two-worker fleet.
+func TestTransportParity(t *testing.T) {
+	cl := dialFleet(t, startFleet(t, 2))
+	spaces := []metric.Space{metric.L2{}, metric.L1{}, metric.LInf{}}
+	for _, algo := range []string{"kcenter", "diversity", "ksupplier"} {
+		for _, space := range spaces {
+			const seed = 11
+			tag := algo + "/" + space.Name()
+			inproc := runWave(t, algo, space, seed, 0, nil)
+			tcp := runWave(t, algo, space, seed, 0, nil, mpc.WithTransport(cl))
+			compareBackends(t, tag, inproc, tcp)
+		}
+	}
+	if st := cl.Stats(); st.Exchanges == 0 || st.WordsOnWire == 0 {
+		t.Fatalf("no traffic crossed the wire: %+v", st)
+	}
+}
+
+// TestTransportParityUnderSpeculation pins the fork contract over tcp:
+// the wave-parallel ladder search at widths 2 and -1 shares the
+// parent's transport across forked shadow clusters and still matches
+// the in-process run of the same width exactly.
+func TestTransportParityUnderSpeculation(t *testing.T) {
+	cl := dialFleet(t, startFleet(t, 3))
+	for _, algo := range []string{"kcenter", "ksupplier"} {
+		for _, width := range []int{2, -1} {
+			const seed = 11
+			tag := algo + "/speculation"
+			inproc := runWave(t, algo, metric.L2{}, seed, width, nil)
+			tcp := runWave(t, algo, metric.L2{}, seed, width, nil, mpc.WithTransport(cl))
+			compareBackends(t, tag, inproc, tcp)
+			if width == -1 && tcp.specProbes == 0 {
+				t.Errorf("%s width -1: no speculation happened over tcp", tag)
+			}
+		}
+	}
+}
+
+// TestTransportParityUnderFaults is the fault-schedule configuration
+// from the keystone contract: a crash/drop schedule recovered by
+// checkpoint rollback and retransmission, running over real TCP, still
+// matches the fault-free in-process baseline on every winning view —
+// recovery work stays out of the winning trace regardless of which
+// backend carried it.
+func TestTransportParityUnderFaults(t *testing.T) {
+	cl := dialFleet(t, startFleet(t, 2))
+	rates := fault.Rates{Crash: 0.1, Drop: 0.1}
+	for _, algo := range []string{"kcenter", "diversity"} {
+		const seed = 11
+		tag := algo + "/faults"
+		clean := runWave(t, algo, metric.L2{}, seed, 0, nil)
+		sched := fault.NewRandom(seed+7, rates)
+		tcp := runWave(t, algo, metric.L2{}, seed, 0, sched, mpc.WithTransport(cl))
+		compareBackends(t, tag, clean, tcp)
+		if sched.Fired() == 0 {
+			t.Errorf("%s: fault schedule never fired — the run was not exercised", tag)
+		}
+		if tcp.stats.RecoveryRounds == 0 {
+			t.Errorf("%s: faults fired over tcp but no recovery recorded", tag)
+		}
+	}
+}
+
+// TestTransportTraceTagging pins the trace-schema side of the parity
+// contract: an inproc run emits no "transport" key anywhere (existing
+// traces stay byte-identical), a tcp run tags every row, and stripping
+// that tag recovers the inproc NDJSON byte for byte.
+func TestTransportTraceTagging(t *testing.T) {
+	cl := dialFleet(t, startFleet(t, 2))
+	const seed = 11
+	inproc := runWave(t, "kcenter", metric.L2{}, seed, 0, nil)
+	tcp := runWave(t, "kcenter", metric.L2{}, seed, 0, nil, mpc.WithTransport(cl))
+
+	if bytes.Contains(inproc.ndjsonBytes, []byte(`"transport"`)) {
+		t.Error("inproc trace carries a transport tag; the default backend must keep the legacy schema")
+	}
+	lines := bytes.Split(bytes.TrimSpace(tcp.ndjsonBytes), []byte("\n"))
+	for i, line := range lines {
+		if !bytes.Contains(line, []byte(`"transport":"tcp"`)) {
+			t.Fatalf("tcp trace row %d lacks the backend tag: %s", i, line)
+		}
+	}
+	stripped := bytes.ReplaceAll(tcp.ndjsonBytes, []byte(`,"transport":"tcp"`), nil)
+	if !bytes.Equal(stripped, inproc.ndjsonBytes) {
+		t.Error("tcp NDJSON with the transport tag stripped is not byte-identical to the inproc trace")
+	}
+}
+
+// TestTransportReconnectMidAlgorithm severs every fleet connection
+// between two phases of a real algorithm run and checks the redialed
+// continuation still matches inproc parity — connection loss maps onto
+// the fault model's drop + retransmission (docs/MODEL.md) without
+// disturbing results.
+func TestTransportReconnectMidAlgorithm(t *testing.T) {
+	addrs := startFleet(t, 2)
+	cl := dialFleet(t, addrs)
+	const seed = 11
+	inproc := runWave(t, "diversity", metric.LInf{}, seed, 0, nil)
+
+	done := make(chan struct{})
+	go func() {
+		// Sever connections shortly into the run; the client must
+		// transparently redial. Timing is not load-bearing: whenever the
+		// cut lands, parity must hold.
+		time.Sleep(2 * time.Millisecond)
+		cl.SeverConnections()
+		close(done)
+	}()
+	tcp := runWave(t, "diversity", metric.LInf{}, seed, 0, nil, mpc.WithTransport(cl))
+	<-done
+	compareBackends(t, "diversity/reconnect", inproc, tcp)
+}

@@ -35,14 +35,19 @@ type waveRun struct {
 	ndjsonBytes []byte // full NDJSON, fork fields included
 }
 
+// waveM is the cluster size every runWave execution uses; the transport
+// parity suite dials its worker fleets for this size.
+const waveM = 4
+
 // runWave executes one ladder algorithm at the given speculation width
 // with full observability. A non-nil pol injects faults for the
 // fault-parity suite; the winning views below filter recovery work the
 // same way they filter speculation, so faulted and fault-free runs are
-// directly comparable.
-func runWave(t *testing.T, algo string, space metric.Space, seed uint64, speculation int, pol mpc.FaultPolicy) waveRun {
+// directly comparable. Extra cluster options (e.g. mpc.WithTransport
+// for the transport-parity suite) are appended last.
+func runWave(t *testing.T, algo string, space metric.Space, seed uint64, speculation int, pol mpc.FaultPolicy, extra ...mpc.Option) waveRun {
 	t.Helper()
-	const n, m, k = 160, 4, 5
+	const n, m, k = 160, waveM, 5
 	r := rng.New(seed)
 	pts := workload.GaussianMixture(r, n, 6, 8, 20, 2)
 	cnt := metric.NewCounting(space)
@@ -52,6 +57,7 @@ func runWave(t *testing.T, algo string, space metric.Space, seed uint64, specula
 	if pol != nil {
 		opts = append(opts, mpc.WithFaultPolicy(pol))
 	}
+	opts = append(opts, extra...)
 	c := mpc.NewCluster(m, seed+99, opts...)
 
 	var result interface{}

@@ -144,6 +144,7 @@ func (c *Cluster) faultScope() FaultScope {
 // TotalWords, the Max* maxima, or a Budget window.
 func (c *Cluster) recordRecovery(round int, rs RoundStats) {
 	rs.Recovery = true
+	rs.Transport = c.transport.Name()
 	if rs.Collective == "" {
 		if rs.TotalWords == 0 {
 			rs.Collective = CollectiveLocal

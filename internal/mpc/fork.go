@@ -28,8 +28,9 @@ import (
 const forkRungSalt = 0x666F726B0000
 
 // Fork returns a shadow cluster for a speculative probe of the given
-// ladder rung: same machine count, communication cap, enforcement and
-// tracing disposition as the receiver, but private statistics and fresh
+// ladder rung: same machine count, communication cap, transport
+// backend, enforcement and tracing disposition as the receiver, but
+// private statistics and fresh
 // machine RNG streams derived deterministically from (parent seed,
 // rung). Forking the same rung of the same cluster always yields
 // identical streams — probe outcomes are pinned per rung — and distinct
@@ -54,6 +55,8 @@ func (c *Cluster) Fork(rung int) *Cluster {
 		},
 		sentScratch:    make([]int64, c.m),
 		recvScratch:    make([]int64, c.m),
+		transport:      c.transport,
+		outScratch:     make([][]Outbound, c.m),
 		commCap:        c.commCap,
 		faults:         c.faults,
 		enforceBudgets: c.enforceBudgets,
@@ -85,9 +88,11 @@ func (c *Cluster) rootCluster() *Cluster {
 	return c
 }
 
-// IsFork reports whether the cluster was created by Fork; ForkRung
-// returns the rung it was forked for (0 on non-forks).
-func (c *Cluster) IsFork() bool  { return c.parent != nil }
+// IsFork reports whether the cluster was created by Fork.
+func (c *Cluster) IsFork() bool { return c.parent != nil }
+
+// ForkRung returns the ladder rung the cluster was forked for (0 on
+// non-forks).
 func (c *Cluster) ForkRung() int { return c.forkRung }
 
 // Adopt merges a finished fork's rounds and budget reports into the

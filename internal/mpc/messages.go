@@ -4,6 +4,16 @@ import "parclust/internal/metric"
 
 // This file defines the payload vocabulary shared by the algorithms:
 // points, scalars and vectors, each metering its own size in words.
+//
+// Since the transport layer (transport.go, docs/TRANSPORT.md) this
+// vocabulary is also the wire vocabulary: a cluster on a remote backend
+// serializes exactly these types and nothing else, with one kind tag
+// per type in internal/transport's codec. The set is closed by design —
+// adding a payload type here means adding a codec case, a round-trip
+// property test and a wire-format table row over there, and the Words()
+// accounting below must stay an exact function of the wire size (the
+// tcp worker independently re-meters Words() from the decoded bytes and
+// the coordinator fails the round on any disagreement).
 
 // Points carries a slice of metric points.
 type Points struct {

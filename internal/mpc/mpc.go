@@ -1,22 +1,29 @@
-// Package mpc implements a deterministic in-process simulator of the
-// Massively Parallel Computation model (Karloff, Suri, Vassilvitskii,
-// SODA 2010), the abstraction of MapReduce/Hadoop/Spark assumed by the
-// paper.
+// Package mpc implements a deterministic simulator of the Massively
+// Parallel Computation model (Karloff, Suri, Vassilvitskii, SODA 2010),
+// the abstraction of MapReduce/Hadoop/Spark assumed by the paper.
 //
 // A Cluster owns m machines. Computation proceeds in supersteps (MPC
 // rounds): within a round every machine runs arbitrary local computation
-// concurrently — each machine executes on its own goroutine — and queues
-// messages to other machines; messages are delivered at the beginning of
-// the next round. The simulator meters exactly the quantities the theory
-// constrains: the number of rounds, the words sent and received by each
-// machine per round, and (optionally, via notes) local memory. An optional
-// per-round communication cap turns the model's "messages must fit in
-// local memory" constraint into a hard runtime error.
+// concurrently — each machine executes on its own goroutine in the driver
+// process — and queues messages to other machines; messages are delivered
+// at the beginning of the next round. Delivery itself goes through a
+// pluggable Transport (WithTransport): the default in-process backend
+// moves payloads by in-memory reference, while the TCP backend in
+// internal/transport ships every queued word through kclusterd worker
+// processes over real sockets, so a cluster's communication genuinely
+// spans OS processes (docs/TRANSPORT.md). The simulator meters exactly
+// the quantities the theory constrains: the number of rounds, the words
+// sent and received by each machine per round, and (optionally, via
+// notes) local memory. Metering happens on the queued outboxes, before
+// the transport runs, so every backend is accounted identically. An
+// optional per-round communication cap turns the model's "messages must
+// fit in local memory" constraint into a hard runtime error.
 //
 // Determinism: every machine derives an independent RNG stream from the
 // cluster seed and its machine index, and inboxes are sorted by sender, so
 // a simulated run produces identical results regardless of goroutine
-// scheduling.
+// scheduling — and, because transports must preserve delivery order and
+// payload values exactly, regardless of the delivery backend.
 //
 // Observability: every completed round produces a RoundStats (per-machine
 // sent/received words, observed collective pattern, in-round memory
@@ -65,15 +72,10 @@ type Machine struct {
 	RNG *rng.RNG
 
 	inbox  []Message
-	outbox []outMsg
+	outbox []Outbound
 
 	sentWords int64
 	err       error
-}
-
-type outMsg struct {
-	dst     int
-	payload Payload
 }
 
 // ID returns the machine's index in [0, NumMachines).
@@ -93,7 +95,7 @@ func (m *Machine) Send(dst int, p Payload) {
 		m.fail(fmt.Errorf("mpc: machine %d sent to invalid destination %d", m.id, dst))
 		return
 	}
-	m.outbox = append(m.outbox, outMsg{dst: dst, payload: p})
+	m.outbox = append(m.outbox, Outbound{Dst: dst, Payload: p})
 	m.sentWords += int64(p.Words())
 }
 
@@ -183,6 +185,13 @@ type Cluster struct {
 	tracer   Tracer
 	recorder *TraceRecorder
 
+	// transport is the message-delivery backend (transport.go); the
+	// default is the in-process delivery loop. outScratch is the
+	// per-round vector of outbox slice headers handed to
+	// Transport.Exchange, refilled each round instead of reallocated.
+	transport  Transport
+	outScratch [][]Outbound
+
 	// faults, when non-nil, injects crashes, message drops/duplication
 	// and straggler delays into Superstep and drives their recovery
 	// (fault.go). faultEpoch is the probe-retry incarnation reported to
@@ -254,6 +263,8 @@ func NewCluster(m int, seed uint64, opts ...Option) *Cluster {
 		},
 		sentScratch: make([]int64, m),
 		recvScratch: make([]int64, m),
+		transport:   inprocTransport{},
+		outScratch:  make([][]Outbound, m),
 	}
 	base := rng.New(seed)
 	c.machines = make([]*Machine, m)
@@ -428,7 +439,7 @@ func (c *Cluster) Superstep(name string, fn func(m *Machine) error) error {
 	// Account the round into the reusable scratch vectors. The
 	// RoundStats retained in Stats.PerRound carries per-machine vectors
 	// only when a Tracer or TraceRecorder consumes them (see stats.go).
-	rs := RoundStats{Name: name}
+	rs := RoundStats{Name: name, Transport: c.transport.Name()}
 	sentWords := c.sentScratch
 	recvWords := c.recvScratch
 	for i := range sentWords {
@@ -438,7 +449,7 @@ func (c *Cluster) Superstep(name string, fn func(m *Machine) error) error {
 	for _, mach := range c.machines {
 		sentWords[mach.id] = mach.sentWords
 		for _, om := range mach.outbox {
-			recvWords[om.dst] += int64(om.payload.Words())
+			recvWords[om.Dst] += int64(om.Payload.Words())
 		}
 	}
 	var firstErr error
@@ -516,15 +527,10 @@ func (c *Cluster) Superstep(name string, fn func(m *Machine) error) error {
 		return firstErr
 	}
 
-	// Queue outboxes for the next round, walking machines in id order —
-	// the invariant the delivery-phase sortedness check relies on.
-	for _, mach := range c.machines {
-		for _, om := range mach.outbox {
-			c.pending[om.dst] = append(c.pending[om.dst], Message{From: mach.id, Payload: om.payload})
-		}
-		resetOutbox(mach)
-	}
-	return nil
+	// Queue outboxes for the next round through the transport. Every
+	// backend must walk sources in id order — the invariant the
+	// delivery-phase sortedness check relies on.
+	return c.exchange(c.stats.Rounds - 1)
 }
 
 // sortedBySender reports whether msgs are ordered by ascending sender id.

@@ -12,6 +12,12 @@ type RoundStats struct {
 	// Name is the label passed to Superstep, conventionally "pkg/op"
 	// (e.g. "kbmis/sample").
 	Name string
+	// Transport names the message-delivery backend the round ran on
+	// ("inproc", "tcp" — Transport.Name). It describes infrastructure,
+	// not computation: every other field of a round is
+	// backend-invariant, which the transport-parity suite in
+	// internal/integration pins.
+	Transport string
 	// Collective classifies the round's observed message pattern:
 	// "local" (no messages), "broadcast" (one sender to all machines),
 	// "gather" (every message converges on the central machine),

@@ -58,8 +58,8 @@ func classifyCollective(machines []*Machine, m int, totalWords int64) string {
 		single = mach
 		dsts := make(map[int]bool, len(mach.outbox))
 		for _, om := range mach.outbox {
-			dsts[om.dst] = true
-			if om.dst != CentralID {
+			dsts[om.Dst] = true
+			if om.Dst != CentralID {
 				allCentral = false
 			}
 		}
@@ -84,7 +84,7 @@ func classifyCollective(machines []*Machine, m int, totalWords int64) string {
 func wideEnough(mach *Machine, m int) bool {
 	dsts := make(map[int]bool, len(mach.outbox))
 	for _, om := range mach.outbox {
-		dsts[om.dst] = true
+		dsts[om.Dst] = true
 	}
 	return len(dsts) >= m-1 && m > 1 || m == 1
 }
@@ -139,6 +139,13 @@ type TraceEvent struct {
 	// so default traces are byte-identical to the pre-prefilter schema.
 	PrefilterHits   int64 `json:"prefilter_hits,omitempty"`
 	PrefilterMisses int64 `json:"prefilter_misses,omitempty"`
+	// Transport names the message-delivery backend the round ran on
+	// (RoundStats.Transport). Omitted for the default in-process
+	// backend, so existing traces stay byte-identical; present on every
+	// row of a remote-backend run. It tags infrastructure, not
+	// computation: stripping it (and wall_ns) from a tcp trace yields
+	// the inproc trace of the same seed — the transport-parity contract.
+	Transport string `json:"transport,omitempty"`
 }
 
 // TraceRecorder accumulates TraceEvents. All methods are safe for
@@ -177,6 +184,9 @@ func (r *TraceRecorder) record(round, machines int, rs RoundStats) {
 
 		PrefilterHits:   rs.PrefilterHits,
 		PrefilterMisses: rs.PrefilterMisses,
+	}
+	if rs.Transport != "" && rs.Transport != "inproc" {
+		ev.Transport = rs.Transport
 	}
 	if rs.Forked {
 		rung := rs.ForkRung

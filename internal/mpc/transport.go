@@ -1,0 +1,136 @@
+package mpc
+
+// The Transport interface is the message-delivery boundary of a Cluster:
+// everything between "machines have queued their outboxes" and "next
+// round's inboxes are materialized" goes through it. The simulator's
+// accounting — word metering, RoundStats, collective classification,
+// fault injection and recovery, budget windows — happens outside the
+// transport, on the queued outboxes themselves, so every backend is
+// metered identically and the deterministic in-process backend remains
+// the correctness oracle for remote ones (docs/TRANSPORT.md).
+//
+// Two backends exist today: the in-process delivery loop below
+// (Inproc), which preserves the original simulator's byte-for-byte
+// behavior, and the TCP backend in internal/transport, which ships
+// every queued word through kclusterd worker processes over real
+// sockets.
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Outbound is one queued message as a Transport sees it: the payload
+// plus the destination machine id. The source machine id is implied by
+// the outbox the message sits in (Exchange receives outboxes indexed by
+// source).
+type Outbound struct {
+	// Dst is the destination machine id in [0, NumMachines).
+	Dst int
+	// Payload is the queued payload. Payloads are treated as immutable
+	// from the moment they are queued; a remote backend may replace them
+	// with decoded copies on delivery.
+	Payload Payload
+}
+
+// Transport moves one round's queued messages from senders to
+// receivers. Implementations must deliver every message exactly once,
+// preserving per-(sender, destination) queue order, and must leave each
+// destination's pending slice sorted by sender id — the inbox contract
+// documented on Machine.Inbox. A Transport is driven by one cluster
+// round at a time (Superstep never overlaps Exchange calls on the same
+// cluster), but forks sharing a backend may call Exchange concurrently;
+// implementations must either serialize or tolerate that.
+type Transport interface {
+	// Name identifies the backend ("inproc", "tcp") — it tags
+	// RoundStats.Transport and non-default trace rows.
+	Name() string
+	// Exchange delivers the round's traffic: outboxes[src] holds the
+	// messages machine src queued this round, in send order; the
+	// implementation appends the delivered messages to pending[dst] for
+	// each destination (mutating the slice headers in place). round is
+	// the cluster-local index of the completed round, for diagnostics.
+	// An error fails the superstep with ErrTransport; queued messages
+	// are discarded, as in any failed round.
+	Exchange(round int, outboxes [][]Outbound, pending [][]Message) error
+	// Close releases backend resources (connections, worker sessions).
+	// The cluster never calls Close — the transport's owner does, after
+	// the last Superstep.
+	Close() error
+}
+
+// ErrTransport is wrapped by every superstep error caused by the
+// message-delivery backend (a lost connection, a codec failure, a
+// protocol violation) rather than by algorithm code. errors.Is(err,
+// ErrTransport) distinguishes infrastructure failures from algorithmic
+// ones, mirroring how ErrFault marks injected faults.
+var ErrTransport = errors.New("mpc: transport delivery failed")
+
+// inprocTransport is the default backend: the original in-process
+// delivery loop. Walking sources in ascending machine id keeps each
+// pending[dst] sorted by sender without any explicit sort, and payloads
+// are delivered by reference — zero copies, zero allocations beyond the
+// pending slices themselves.
+type inprocTransport struct{}
+
+// Name returns "inproc".
+func (inprocTransport) Name() string { return "inproc" }
+
+// Exchange appends every queued message to its destination's pending
+// slice, in source-id order.
+func (inprocTransport) Exchange(_ int, outboxes [][]Outbound, pending [][]Message) error {
+	for src, box := range outboxes {
+		for _, om := range box {
+			pending[om.Dst] = append(pending[om.Dst], Message{From: src, Payload: om.Payload})
+		}
+	}
+	return nil
+}
+
+// Close is a no-op: the in-process backend holds no resources.
+func (inprocTransport) Close() error { return nil }
+
+// Inproc returns the default in-process Transport: message delivery by
+// in-memory append, payloads passed by reference. Every cluster built
+// without WithTransport uses it; it is exported so callers selecting a
+// backend by name (cmd/mpcbench -transport=inproc) can be explicit.
+func Inproc() Transport { return inprocTransport{} }
+
+// WithTransport installs a message-delivery backend on the cluster. The
+// default is Inproc(). The cluster does not take ownership: Close the
+// transport after the last Superstep, not before. Forks (Cluster.Fork)
+// inherit the parent's transport, so speculative probes pay wire cost
+// on remote backends too.
+func WithTransport(t Transport) Option {
+	return func(c *Cluster) {
+		if t != nil {
+			c.transport = t
+		}
+	}
+}
+
+// Transport returns the installed message-delivery backend (never nil).
+func (c *Cluster) Transport() Transport { return c.transport }
+
+// exchange routes every machine's outbox through the transport into
+// c.pending and resets the outboxes. On error the queued messages are
+// discarded (the failed round's contract) and the error is returned
+// wrapped with ErrTransport.
+func (c *Cluster) exchange(round int) error {
+	for i, mach := range c.machines {
+		c.outScratch[i] = mach.outbox
+	}
+	err := c.transport.Exchange(round, c.outScratch, c.pending)
+	for i, mach := range c.machines {
+		c.outScratch[i] = nil
+		resetOutbox(mach)
+	}
+	if err != nil {
+		for i := range c.pending {
+			clear(c.pending[i][:cap(c.pending[i])])
+			c.pending[i] = c.pending[i][:0]
+		}
+		return fmt.Errorf("mpc: round %d delivery on %q backend: %w: %w", round, c.transport.Name(), ErrTransport, err)
+	}
+	return nil
+}

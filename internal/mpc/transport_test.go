@@ -1,0 +1,184 @@
+package mpc
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// countingTransport delegates to the in-process backend while recording
+// every Exchange call, so tests can assert the cluster routes all
+// delivery through the installed Transport.
+type countingTransport struct {
+	inner     Transport
+	name      string
+	exchanges int
+	failAt    int // 1-based exchange index to fail at; 0 never fails
+}
+
+func (t *countingTransport) Name() string { return t.name }
+
+func (t *countingTransport) Exchange(round int, out [][]Outbound, pending [][]Message) error {
+	t.exchanges++
+	if t.failAt > 0 && t.exchanges == t.failAt {
+		return fmt.Errorf("injected delivery failure at exchange %d", t.exchanges)
+	}
+	return t.inner.Exchange(round, out, pending)
+}
+
+func (t *countingTransport) Close() error { return nil }
+
+// runRing runs rounds supersteps of a deterministic ring workload (each
+// machine forwards an accumulating vector to its successor) and returns
+// the final per-machine sums.
+func runRing(t *testing.T, c *Cluster, rounds int) []float64 {
+	t.Helper()
+	m := c.NumMachines()
+	sums := make([]float64, m)
+	for r := 0; r < rounds; r++ {
+		err := c.Superstep("test/ring", func(mc *Machine) error {
+			for _, msg := range mc.Inbox() {
+				for _, v := range msg.Payload.(Floats) {
+					sums[mc.ID()] += v
+				}
+			}
+			out := Floats{float64(mc.ID()), mc.RNG.Float64()}
+			mc.Send((mc.ID()+1)%m, out)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("round %d: %v", r, err)
+		}
+	}
+	return sums
+}
+
+func TestDefaultTransportIsInproc(t *testing.T) {
+	c := NewCluster(4, 7)
+	if got := c.Transport().Name(); got != "inproc" {
+		t.Fatalf("default transport = %q, want inproc", got)
+	}
+	runRing(t, c, 3)
+	for i, rs := range c.Stats().PerRound {
+		if rs.Transport != "inproc" {
+			t.Fatalf("round %d Transport = %q, want inproc", i, rs.Transport)
+		}
+	}
+}
+
+func TestWithTransportRoutesEveryRound(t *testing.T) {
+	const rounds = 5
+	ref := runRing(t, NewCluster(4, 7), rounds)
+
+	ct := &countingTransport{inner: Inproc(), name: "counting"}
+	c := NewCluster(4, 7, WithTransport(ct))
+	got := runRing(t, c, rounds)
+
+	if ct.exchanges != rounds {
+		t.Fatalf("Exchange called %d times, want %d", ct.exchanges, rounds)
+	}
+	for i := range ref {
+		if ref[i] != got[i] {
+			t.Fatalf("machine %d sum %v via custom transport, want %v", i, got[i], ref[i])
+		}
+	}
+	for i, rs := range c.Stats().PerRound {
+		if rs.Transport != "counting" {
+			t.Fatalf("round %d Transport = %q, want counting", i, rs.Transport)
+		}
+	}
+}
+
+func TestWithTransportNilKeepsDefault(t *testing.T) {
+	c := NewCluster(2, 1, WithTransport(nil))
+	if got := c.Transport().Name(); got != "inproc" {
+		t.Fatalf("nil transport left %q installed, want inproc", got)
+	}
+}
+
+func TestTransportErrorFailsSuperstep(t *testing.T) {
+	ct := &countingTransport{inner: Inproc(), name: "flaky", failAt: 2}
+	c := NewCluster(3, 9, WithTransport(ct))
+
+	step := func() error {
+		return c.Superstep("test/step", func(mc *Machine) error {
+			mc.SendCentral(Int(mc.ID()))
+			return nil
+		})
+	}
+	if err := step(); err != nil {
+		t.Fatalf("first round: %v", err)
+	}
+	err := step()
+	if !errors.Is(err, ErrTransport) {
+		t.Fatalf("failed delivery returned %v, want ErrTransport", err)
+	}
+	// The failed round's messages are discarded: the next round delivers
+	// nothing, exactly like any other failed superstep.
+	var delivered int
+	err = c.Superstep("test/after", func(mc *Machine) error {
+		if mc.IsCentral() {
+			delivered = len(mc.Inbox())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("round after failure: %v", err)
+	}
+	if delivered != 0 {
+		t.Fatalf("failed round leaked %d messages into the next inbox", delivered)
+	}
+}
+
+func TestForkInheritsTransport(t *testing.T) {
+	ct := &countingTransport{inner: Inproc(), name: "counting"}
+	c := NewCluster(2, 3, WithTransport(ct))
+	f := c.Fork(1)
+	if f.Transport() != c.Transport() {
+		t.Fatal("fork did not inherit the parent's transport")
+	}
+	runRing(t, f, 2)
+	if ct.exchanges != 2 {
+		t.Fatalf("fork rounds made %d exchanges, want 2", ct.exchanges)
+	}
+}
+
+// TestTraceTransportTag pins the trace schema contract: the default
+// backend emits no "transport" key at all (existing traces stay
+// byte-identical), while a non-default backend tags every row.
+func TestTraceTransportTag(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		opt     []Option
+		tagged  bool
+		backend string
+	}{
+		{"inproc", nil, false, ""},
+		{"custom", []Option{WithTransport(&countingTransport{inner: Inproc(), name: "tcp"})}, true, "tcp"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := NewTraceRecorder()
+			c := NewCluster(3, 5, append(tc.opt, WithRecorder(rec))...)
+			runRing(t, c, 2)
+			var buf strings.Builder
+			if err := rec.WriteNDJSON(&buf); err != nil {
+				t.Fatal(err)
+			}
+			for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+				var raw map[string]json.RawMessage
+				if err := json.Unmarshal([]byte(line), &raw); err != nil {
+					t.Fatal(err)
+				}
+				tag, present := raw["transport"]
+				if present != tc.tagged {
+					t.Fatalf("transport key present=%v, want %v in %s", present, tc.tagged, line)
+				}
+				if tc.tagged && string(tag) != fmt.Sprintf("%q", tc.backend) {
+					t.Fatalf("transport tag %s, want %q", tag, tc.backend)
+				}
+			}
+		})
+	}
+}

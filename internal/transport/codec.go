@@ -1,0 +1,298 @@
+package transport
+
+// Wire codec for the mpc payload vocabulary (internal/mpc/messages.go).
+// The encoding is a hand-rolled binary format rather than gob: every
+// value is fixed-width big-endian, so a payload's wire size is an exact
+// affine function of its Words() count, the bytes are canonical (the
+// same payload always encodes to the same bytes, which the parity suite
+// relies on), and the decoder can bound every allocation against the
+// remaining buffer before it allocates — malformed or adversarial
+// frames fail cleanly instead of ballooning memory (see the fuzz
+// targets in fuzz_test.go).
+//
+// Layout, per message:
+//
+//	u32 src | u32 dst | u8 kind | payload
+//
+// Payload layouts by kind (all integers two's-complement int64 in u64,
+// all floats IEEE-754 bits in u64):
+//
+//	kindPoints         u32 npts { u32 dim, dim×u64 } ...
+//	kindTaggedPoints   u64 tag, points
+//	kindIndexedPoints  u64vec ids, points
+//	kindWeightedPoints u64 tag, u64vec ids, points, u64vec ws
+//	kindInts           u64vec
+//	kindFloats         u64vec
+//	kindInt            u64
+//	kindFloat          u64
+//	kindKeyedFloats    u64vec keys, u64vec vals
+//
+// where u64vec is u32 len followed by len×u64. The vocabulary is
+// closed: adding a payload type to messages.go means adding a kind
+// here, a case to both switches, and a round-trip property test to
+// codec_test.go (docs/TRANSPORT.md, "Wire format").
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"parclust/internal/metric"
+	"parclust/internal/mpc"
+)
+
+// Payload kind tags. The zero value is reserved so a zeroed buffer
+// never decodes as a valid message.
+const (
+	kindPoints         = 1
+	kindTaggedPoints   = 2
+	kindIndexedPoints  = 3
+	kindWeightedPoints = 4
+	kindInts           = 5
+	kindFloats         = 6
+	kindInt            = 7
+	kindFloat          = 8
+	kindKeyedFloats    = 9
+)
+
+func appendU32(b []byte, v uint32) []byte { return binary.BigEndian.AppendUint32(b, v) }
+func appendU64(b []byte, v uint64) []byte { return binary.BigEndian.AppendUint64(b, v) }
+
+func appendIntVec(b []byte, vs []int) []byte {
+	b = appendU32(b, uint32(len(vs)))
+	for _, v := range vs {
+		b = appendU64(b, uint64(int64(v)))
+	}
+	return b
+}
+
+func appendFloatVec(b []byte, vs []float64) []byte {
+	b = appendU32(b, uint32(len(vs)))
+	for _, v := range vs {
+		b = appendU64(b, math.Float64bits(v))
+	}
+	return b
+}
+
+func appendPoints(b []byte, pts []metric.Point) []byte {
+	b = appendU32(b, uint32(len(pts)))
+	for _, p := range pts {
+		b = appendFloatVec(b, p)
+	}
+	return b
+}
+
+// appendPayload encodes p (kind tag plus body) onto b. Unknown payload
+// types are an error: the wire vocabulary is the closed set defined in
+// internal/mpc/messages.go.
+func appendPayload(b []byte, p mpc.Payload) ([]byte, error) {
+	switch v := p.(type) {
+	case mpc.Points:
+		b = append(b, kindPoints)
+		b = appendPoints(b, v.Pts)
+	case mpc.TaggedPoints:
+		b = append(b, kindTaggedPoints)
+		b = appendU64(b, uint64(int64(v.Tag)))
+		b = appendPoints(b, v.Pts)
+	case mpc.IndexedPoints:
+		b = append(b, kindIndexedPoints)
+		b = appendIntVec(b, v.IDs)
+		b = appendPoints(b, v.Pts)
+	case mpc.WeightedPoints:
+		b = append(b, kindWeightedPoints)
+		b = appendU64(b, uint64(int64(v.Tag)))
+		b = appendIntVec(b, v.IDs)
+		b = appendPoints(b, v.Pts)
+		b = appendFloatVec(b, v.Ws)
+	case mpc.Ints:
+		b = append(b, kindInts)
+		b = appendIntVec(b, v)
+	case mpc.Floats:
+		b = append(b, kindFloats)
+		b = appendFloatVec(b, v)
+	case mpc.Int:
+		b = append(b, kindInt)
+		b = appendU64(b, uint64(int64(v)))
+	case mpc.Float:
+		b = append(b, kindFloat)
+		b = appendU64(b, math.Float64bits(float64(v)))
+	case mpc.KeyedFloats:
+		b = append(b, kindKeyedFloats)
+		b = appendIntVec(b, v.Keys)
+		b = appendFloatVec(b, v.Vals)
+	default:
+		return nil, fmt.Errorf("transport: payload type %T is not in the wire vocabulary (internal/mpc/messages.go)", p)
+	}
+	return b, nil
+}
+
+// appendMessage encodes one queued message: source, destination, payload.
+func appendMessage(b []byte, src, dst int, p mpc.Payload) ([]byte, error) {
+	b = appendU32(b, uint32(src))
+	b = appendU32(b, uint32(dst))
+	return appendPayload(b, p)
+}
+
+// decoder consumes a byte buffer with bounds-checked reads. Every
+// length field is validated against the bytes actually remaining before
+// any allocation, so a hostile frame cannot request more memory than
+// its own size.
+type decoder struct {
+	b   []byte
+	err error
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("transport: "+format, args...)
+	}
+}
+
+func (d *decoder) u32() uint32 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.b) < 4 {
+		d.fail("truncated u32 (%d bytes left)", len(d.b))
+		return 0
+	}
+	v := binary.BigEndian.Uint32(d.b)
+	d.b = d.b[4:]
+	return v
+}
+
+func (d *decoder) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.b) < 8 {
+		d.fail("truncated u64 (%d bytes left)", len(d.b))
+		return 0
+	}
+	v := binary.BigEndian.Uint64(d.b)
+	d.b = d.b[8:]
+	return v
+}
+
+func (d *decoder) u8() byte {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.b) == 0 {
+		d.fail("truncated byte")
+		return 0
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v
+}
+
+// vecLen reads a u32 length and checks the remaining buffer can hold
+// that many 8-byte elements.
+func (d *decoder) vecLen() int {
+	n := d.u32()
+	if d.err == nil && uint64(n)*8 > uint64(len(d.b)) {
+		d.fail("vector length %d exceeds remaining %d bytes", n, len(d.b))
+		return 0
+	}
+	return int(n)
+}
+
+func (d *decoder) intVec() []int {
+	n := d.vecLen()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = int(int64(d.u64()))
+	}
+	return out
+}
+
+func (d *decoder) floatVec() []float64 {
+	n := d.vecLen()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(d.u64())
+	}
+	return out
+}
+
+func (d *decoder) points() []metric.Point {
+	n := d.u32()
+	// Each point costs at least 4 bytes (its dim field).
+	if d.err == nil && uint64(n)*4 > uint64(len(d.b)) {
+		d.fail("point count %d exceeds remaining %d bytes", n, len(d.b))
+	}
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]metric.Point, n)
+	for i := range out {
+		out[i] = metric.Point(d.floatVec())
+	}
+	return out
+}
+
+func (d *decoder) payload() mpc.Payload {
+	kind := d.u8()
+	if d.err != nil {
+		return nil
+	}
+	switch kind {
+	case kindPoints:
+		return mpc.Points{Pts: d.points()}
+	case kindTaggedPoints:
+		return mpc.TaggedPoints{Tag: int(int64(d.u64())), Pts: d.points()}
+	case kindIndexedPoints:
+		return mpc.IndexedPoints{IDs: d.intVec(), Pts: d.points()}
+	case kindWeightedPoints:
+		return mpc.WeightedPoints{
+			Tag: int(int64(d.u64())),
+			IDs: d.intVec(),
+			Pts: d.points(),
+			Ws:  d.floatVec(),
+		}
+	case kindInts:
+		return mpc.Ints(d.intVec())
+	case kindFloats:
+		return mpc.Floats(d.floatVec())
+	case kindInt:
+		return mpc.Int(int64(d.u64()))
+	case kindFloat:
+		return mpc.Float(math.Float64frombits(d.u64()))
+	case kindKeyedFloats:
+		return mpc.KeyedFloats{Keys: d.intVec(), Vals: d.floatVec()}
+	default:
+		d.fail("unknown payload kind %d", kind)
+		return nil
+	}
+}
+
+// message decodes one src/dst/payload triple, validating the ids
+// against cluster size m (and, when lo < hi, the destination against
+// the group range [lo, hi)).
+func (d *decoder) message(m, lo, hi int) (src, dst int, p mpc.Payload) {
+	src = int(d.u32())
+	dst = int(d.u32())
+	if d.err != nil {
+		return 0, 0, nil
+	}
+	if src < 0 || src >= m {
+		d.fail("message source %d out of cluster range [0,%d)", src, m)
+		return 0, 0, nil
+	}
+	if dst < 0 || dst >= m {
+		d.fail("message destination %d out of cluster range [0,%d)", dst, m)
+		return 0, 0, nil
+	}
+	if lo < hi && (dst < lo || dst >= hi) {
+		d.fail("message destination %d outside owned group [%d,%d)", dst, lo, hi)
+		return 0, 0, nil
+	}
+	return src, dst, d.payload()
+}

@@ -1,0 +1,342 @@
+package transport
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"parclust/internal/metric"
+	"parclust/internal/mpc"
+)
+
+// roundTrip encodes a payload and decodes it back, asserting no error
+// and no trailing bytes.
+func roundTrip(t *testing.T, p mpc.Payload) mpc.Payload {
+	t.Helper()
+	b, err := appendPayload(nil, p)
+	if err != nil {
+		t.Fatalf("encode %T: %v", p, err)
+	}
+	d := &decoder{b: b}
+	got := d.payload()
+	if d.err != nil {
+		t.Fatalf("decode %T: %v", p, d.err)
+	}
+	if len(d.b) != 0 {
+		t.Fatalf("decode %T left %d trailing bytes", p, len(d.b))
+	}
+	return got
+}
+
+// payloadsEqual compares payloads treating nil and empty slices as
+// equal: the decoder returns nil for zero-length vectors, which is
+// semantically identical for every collector in internal/mpc.
+func payloadsEqual(a, b mpc.Payload) bool {
+	return reflect.DeepEqual(normalize(a), normalize(b))
+}
+
+func normalize(p mpc.Payload) mpc.Payload {
+	switch v := p.(type) {
+	case mpc.Points:
+		return mpc.Points{Pts: normPts(v.Pts)}
+	case mpc.TaggedPoints:
+		return mpc.TaggedPoints{Tag: v.Tag, Pts: normPts(v.Pts)}
+	case mpc.IndexedPoints:
+		return mpc.IndexedPoints{IDs: normInts(v.IDs), Pts: normPts(v.Pts)}
+	case mpc.WeightedPoints:
+		return mpc.WeightedPoints{Tag: v.Tag, IDs: normInts(v.IDs), Pts: normPts(v.Pts), Ws: normFloats(v.Ws)}
+	case mpc.Ints:
+		return mpc.Ints(normInts(v))
+	case mpc.Floats:
+		return mpc.Floats(normFloats(v))
+	case mpc.KeyedFloats:
+		return mpc.KeyedFloats{Keys: normInts(v.Keys), Vals: normFloats(v.Vals)}
+	default:
+		return p
+	}
+}
+
+func normInts(v []int) []int {
+	if len(v) == 0 {
+		return nil
+	}
+	return v
+}
+
+func normFloats(v []float64) []float64 {
+	if len(v) == 0 {
+		return nil
+	}
+	return v
+}
+
+func normPts(pts []metric.Point) []metric.Point {
+	if len(pts) == 0 {
+		return nil
+	}
+	out := make([]metric.Point, len(pts))
+	for i, p := range pts {
+		if len(p) == 0 {
+			out[i] = nil
+		} else {
+			out[i] = p
+		}
+	}
+	return out
+}
+
+// randomPayload draws one payload of the given kind with sizes and
+// values from rng, including empty and degenerate shapes.
+func randomPayload(rng *rand.Rand, kind int) mpc.Payload {
+	pts := func() []metric.Point {
+		n := rng.Intn(5)
+		out := make([]metric.Point, n)
+		for i := range out {
+			dim := rng.Intn(4)
+			p := make(metric.Point, dim)
+			for j := range p {
+				p[j] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(7)-3))
+			}
+			out[i] = p
+		}
+		return out
+	}
+	ints := func() []int {
+		n := rng.Intn(5)
+		out := make([]int, n)
+		for i := range out {
+			out[i] = rng.Int() - rng.Int()
+		}
+		return out
+	}
+	floats := func() []float64 {
+		n := rng.Intn(5)
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = rng.NormFloat64()
+		}
+		return out
+	}
+	switch kind {
+	case kindPoints:
+		return mpc.Points{Pts: pts()}
+	case kindTaggedPoints:
+		return mpc.TaggedPoints{Tag: rng.Intn(100) - 50, Pts: pts()}
+	case kindIndexedPoints:
+		return mpc.IndexedPoints{IDs: ints(), Pts: pts()}
+	case kindWeightedPoints:
+		return mpc.WeightedPoints{Tag: rng.Intn(100), IDs: ints(), Pts: pts(), Ws: floats()}
+	case kindInts:
+		return mpc.Ints(ints())
+	case kindFloats:
+		return mpc.Floats(floats())
+	case kindInt:
+		return mpc.Int(rng.Int() - rng.Int())
+	case kindFloat:
+		return mpc.Float(rng.NormFloat64())
+	case kindKeyedFloats:
+		return mpc.KeyedFloats{Keys: ints(), Vals: floats()}
+	}
+	panic("unknown kind")
+}
+
+// TestPayloadRoundTrip drives every payload kind through the codec with
+// randomized shapes and checks value equality and Words() preservation:
+// a decoded payload must meter exactly like the one that was sent, or
+// wire metering would drift from driver metering.
+func TestPayloadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	kinds := []int{
+		kindPoints, kindTaggedPoints, kindIndexedPoints, kindWeightedPoints,
+		kindInts, kindFloats, kindInt, kindFloat, kindKeyedFloats,
+	}
+	for _, kind := range kinds {
+		for trial := 0; trial < 50; trial++ {
+			p := randomPayload(rng, kind)
+			got := roundTrip(t, p)
+			if !payloadsEqual(p, got) {
+				t.Fatalf("kind %d trial %d: round-trip %#v -> %#v", kind, trial, p, got)
+			}
+			if p.Words() != got.Words() {
+				t.Fatalf("kind %d trial %d: Words %d -> %d", kind, trial, p.Words(), got.Words())
+			}
+		}
+	}
+}
+
+// TestCodecPreservesFloatBits checks the codec is bit-exact for the
+// IEEE-754 values a metric computation can produce, including negative
+// zero, infinities, subnormals and NaN payloads. Bit preservation is
+// what makes tcp-vs-inproc parity exact rather than approximate.
+func TestCodecPreservesFloatBits(t *testing.T) {
+	vals := []float64{
+		0, math.Copysign(0, -1), 1, -1, math.Pi,
+		math.Inf(1), math.Inf(-1), math.NaN(),
+		math.SmallestNonzeroFloat64, math.MaxFloat64,
+		math.Nextafter(1, 2),
+	}
+	got := roundTrip(t, mpc.Floats(vals)).(mpc.Floats)
+	if len(got) != len(vals) {
+		t.Fatalf("length %d, want %d", len(got), len(vals))
+	}
+	for i, v := range vals {
+		if math.Float64bits(got[i]) != math.Float64bits(v) {
+			t.Fatalf("index %d: bits %#x, want %#x (value %v)", i, math.Float64bits(got[i]), math.Float64bits(v), v)
+		}
+	}
+}
+
+// TestCodecCanonical checks that encoding is deterministic: the same
+// payload encodes to the same bytes twice. The parity suite and the
+// worker echo path both rely on this.
+func TestCodecCanonical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for kind := kindPoints; kind <= kindKeyedFloats; kind++ {
+		p := randomPayload(rng, kind)
+		a, err := appendPayload(nil, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := appendPayload(nil, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(a) != string(b) {
+			t.Fatalf("kind %d: two encodings of %#v differ", kind, p)
+		}
+	}
+}
+
+// TestEmptyPayloads pins the degenerate shapes: empty vectors, empty
+// point sets, zero-dimensional points.
+func TestEmptyPayloads(t *testing.T) {
+	for _, p := range []mpc.Payload{
+		mpc.Points{},
+		mpc.Points{Pts: []metric.Point{{}}},
+		mpc.TaggedPoints{Tag: -1},
+		mpc.IndexedPoints{},
+		mpc.WeightedPoints{},
+		mpc.Ints{},
+		mpc.Ints(nil),
+		mpc.Floats{},
+		mpc.Int(0),
+		mpc.Float(0),
+		mpc.KeyedFloats{},
+	} {
+		got := roundTrip(t, p)
+		if !payloadsEqual(p, got) {
+			t.Fatalf("round-trip %#v -> %#v", p, got)
+		}
+		if p.Words() != got.Words() {
+			t.Fatalf("%#v: Words %d -> %d", p, p.Words(), got.Words())
+		}
+	}
+}
+
+// TestUnknownPayloadRejected checks the encoder refuses types outside
+// the closed wire vocabulary instead of silently mangling them.
+func TestUnknownPayloadRejected(t *testing.T) {
+	if _, err := appendPayload(nil, unknownPayload{}); err == nil {
+		t.Fatal("encoding an unknown payload type succeeded")
+	}
+}
+
+type unknownPayload struct{}
+
+func (unknownPayload) Words() int { return 0 }
+
+// TestDecoderRejectsOversizedLengths checks the length-vs-remaining
+// validation: a tiny buffer claiming a huge vector must fail before any
+// allocation, not attempt to allocate it.
+func TestDecoderRejectsOversizedLengths(t *testing.T) {
+	cases := map[string][]byte{
+		"huge int vec":    append([]byte{kindInts}, appendU32(nil, 1<<30)...),
+		"huge float vec":  append([]byte{kindFloats}, appendU32(nil, math.MaxUint32)...),
+		"huge point set":  append([]byte{kindPoints}, appendU32(nil, 1<<31)...),
+		"huge point dim":  append([]byte{kindPoints}, appendU32(appendU32(nil, 1), 1<<29)...),
+		"truncated int":   {kindInt, 0, 0},
+		"truncated float": {kindFloat},
+		"unknown kind":    {0xFF, 1, 2, 3},
+		"zero kind":       {0},
+		"empty":           {},
+	}
+	for name, b := range cases {
+		d := &decoder{b: b}
+		p := d.payload()
+		if d.err == nil {
+			t.Errorf("%s: decoded %#v from malformed input", name, p)
+		}
+	}
+}
+
+// TestMessageValidation checks src/dst/group range enforcement in the
+// message decoder.
+func TestMessageValidation(t *testing.T) {
+	enc := func(src, dst int) []byte {
+		b, err := appendMessage(nil, src, dst, mpc.Int(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	cases := []struct {
+		name    string
+		b       []byte
+		m       int
+		lo, hi  int
+		ok      bool
+		wantSrc int
+		wantDst int
+	}{
+		{"valid", enc(0, 3), 4, 0, 0, true, 0, 3},
+		{"valid in group", enc(1, 2), 4, 2, 4, true, 1, 2},
+		{"src out of range", enc(4, 0), 4, 0, 0, false, 0, 0},
+		{"dst out of range", enc(0, 4), 4, 0, 0, false, 0, 0},
+		{"dst outside group", enc(0, 1), 4, 2, 4, false, 0, 0},
+	}
+	for _, tc := range cases {
+		d := &decoder{b: tc.b}
+		src, dst, p := d.message(tc.m, tc.lo, tc.hi)
+		if (d.err == nil) != tc.ok {
+			t.Errorf("%s: err = %v, want ok=%v", tc.name, d.err, tc.ok)
+			continue
+		}
+		if tc.ok && (src != tc.wantSrc || dst != tc.wantDst || p == nil) {
+			t.Errorf("%s: decoded (%d,%d,%v), want (%d,%d,non-nil)", tc.name, src, dst, p, tc.wantSrc, tc.wantDst)
+		}
+	}
+}
+
+// TestExchangeBodyRoundTrip checks the shared exchange-body decode path
+// against a hand-assembled round: counts, word totals, trailing-byte
+// rejection.
+func TestExchangeBodyRoundTrip(t *testing.T) {
+	body := appendU32(nil, 9) // round
+	body = appendU32(body, 2) // msgCount
+	var err error
+	body, err = appendMessage(body, 0, 1, mpc.Ints{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err = appendMessage(body, 2, 1, mpc.Float(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var seen int
+	round, words, err := decodeExchangeBody(body, 4, 0, 0, func(src, dst int, p mpc.Payload) { seen++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if round != 9 || words != 4 || seen != 2 {
+		t.Fatalf("round=%d words=%d seen=%d, want 9, 4, 2", round, words, seen)
+	}
+
+	if _, _, err := decodeExchangeBody(append(body, 0), 4, 0, 0, nil); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	if _, _, err := decodeExchangeBody(body, 4, 2, 4, nil); err == nil {
+		t.Fatal("destination outside owned group accepted")
+	}
+}

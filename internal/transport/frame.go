@@ -1,0 +1,163 @@
+package transport
+
+// Length-prefixed framing for the coordinator↔worker protocol. Every
+// frame is
+//
+//	'p' 'c' | u8 version | u8 type | u32 bodyLen | body
+//
+// over a plain TCP stream. The 8-byte header is fixed; bodyLen is
+// validated against the session's frame cap before any read, so a
+// corrupt or hostile peer cannot make the other side allocate an
+// unbounded buffer. Frame types and body layouts are documented in
+// docs/TRANSPORT.md ("Wire format") and must change in lockstep.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"parclust/internal/mpc"
+)
+
+// Protocol identity. Version is negotiated in the hello exchange: both
+// sides currently speak exactly version 1, and a mismatch fails the
+// handshake rather than guessing.
+const (
+	frameMagic0  = 'p'
+	frameMagic1  = 'c'
+	ProtoVersion = 1
+	headerLen    = 8
+)
+
+// Frame types.
+const (
+	// frameHello (coordinator → worker) opens a session:
+	// u32 machines | u32 groupLo | u32 groupHi.
+	frameHello = 1
+	// frameHelloOK (worker → coordinator) accepts it:
+	// u32 maxFrameBytes (the worker's cap, so the coordinator can stay
+	// under the stricter of the two).
+	frameHelloOK = 2
+	// frameExchange (coordinator → worker) carries one round's traffic
+	// for the worker's group: u32 round | u32 msgCount | messages.
+	frameExchange = 3
+	// frameExchangeOK (worker → coordinator) returns the metered inbox
+	// shard: u64 meteredWords | u32 round | u32 msgCount | messages.
+	frameExchangeOK = 4
+	// frameStats (coordinator → worker) requests cumulative counters;
+	// empty body.
+	frameStats = 5
+	// frameStatsOK: u64 sessions | u64 rounds | u64 frames |
+	// u64 bytesIn | u64 bytesOut | u64 wordsMetered.
+	frameStatsOK = 6
+	// frameError (either direction) reports a protocol failure before
+	// closing: utf-8 message.
+	frameError = 7
+	// frameGoodbye (coordinator → worker) ends the session cleanly;
+	// empty body.
+	frameGoodbye = 8
+)
+
+// DefaultMaxFrameBytes caps one frame's body. A frame holds one round's
+// traffic for one machine group; at 8 bytes per word this admits ~8M
+// words per group-round, far above any Õ(mk)-bounded round. Raise it
+// via DialConfig/ServerConfig for workloads that legitimately ship more.
+const DefaultMaxFrameBytes = 64 << 20
+
+// ErrFrame marks a malformed or oversized frame.
+var ErrFrame = fmt.Errorf("transport: malformed frame")
+
+// appendFrameHeader writes the 8-byte header for a body of length n.
+func appendFrameHeader(b []byte, typ byte, n int) []byte {
+	b = append(b, frameMagic0, frameMagic1, ProtoVersion, typ)
+	return appendU32(b, uint32(n))
+}
+
+// writeFrame sends one frame. The header is prepended into a small
+// stack buffer; body is written as-is.
+func writeFrame(w io.Writer, typ byte, body []byte) error {
+	hdr := appendFrameHeader(make([]byte, 0, headerLen), typ, len(body))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	if len(body) > 0 {
+		if _, err := w.Write(body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parseFrameHeader validates an 8-byte header against the frame cap and
+// returns the frame type and body length.
+func parseFrameHeader(hdr []byte, maxBody uint32) (typ byte, bodyLen uint32, err error) {
+	if len(hdr) < headerLen {
+		return 0, 0, fmt.Errorf("%w: truncated header (%d bytes)", ErrFrame, len(hdr))
+	}
+	if hdr[0] != frameMagic0 || hdr[1] != frameMagic1 {
+		return 0, 0, fmt.Errorf("%w: bad magic %#x %#x", ErrFrame, hdr[0], hdr[1])
+	}
+	if hdr[2] != ProtoVersion {
+		return 0, 0, fmt.Errorf("%w: protocol version %d, want %d", ErrFrame, hdr[2], ProtoVersion)
+	}
+	typ = hdr[3]
+	if typ < frameHello || typ > frameGoodbye {
+		return 0, 0, fmt.Errorf("%w: unknown frame type %d", ErrFrame, typ)
+	}
+	bodyLen = binary.BigEndian.Uint32(hdr[4:])
+	if bodyLen > maxBody {
+		return 0, 0, fmt.Errorf("%w: body of %d bytes exceeds cap %d", ErrFrame, bodyLen, maxBody)
+	}
+	return typ, bodyLen, nil
+}
+
+// readFrame reads one complete frame, enforcing the body cap before
+// allocating.
+func readFrame(r io.Reader, maxBody uint32) (typ byte, body []byte, err error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	typ, n, err := parseFrameHeader(hdr[:], maxBody)
+	if err != nil {
+		return 0, nil, err
+	}
+	if n == 0 {
+		return typ, nil, nil
+	}
+	body = make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, fmt.Errorf("reading %d-byte body: %w", n, err)
+	}
+	return typ, body, nil
+}
+
+// decodeExchangeBody walks an exchange (or the message part of an
+// exchangeOK) body — u32 round, u32 msgCount, messages — invoking visit
+// for each decoded message. m bounds machine ids; when lo < hi the
+// destinations must fall in [lo, hi). It returns the round tag and the
+// total decoded payload words. This is the single decode path shared by
+// the worker (metering + validation) and the coordinator (delivery), so
+// the two sides cannot drift.
+func decodeExchangeBody(body []byte, m, lo, hi int, visit func(src, dst int, p mpc.Payload)) (round int, words int64, err error) {
+	d := &decoder{b: body}
+	round = int(d.u32())
+	count := d.u32()
+	for i := uint32(0); i < count && d.err == nil; i++ {
+		src, dst, p := d.message(m, lo, hi)
+		if d.err != nil {
+			break
+		}
+		words += int64(p.Words())
+		if visit != nil {
+			visit(src, dst, p)
+		}
+	}
+	if d.err == nil && len(d.b) != 0 {
+		d.fail("%d trailing bytes after %d messages", len(d.b), count)
+	}
+	if d.err != nil {
+		return 0, 0, d.err
+	}
+	return round, words, nil
+}

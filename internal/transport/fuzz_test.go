@@ -1,0 +1,106 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+
+	"parclust/internal/mpc"
+)
+
+// FuzzFrameDecode feeds arbitrary bytes through the frame reader and,
+// when a frame parses, through the exchange-body decoder. The invariant
+// under fuzz is purely defensive: no panic, no unbounded allocation
+// (every length field is validated against the remaining buffer), and
+// errors instead of garbage for malformed input. CI runs this target
+// briefly on every push (fuzz smoke leg).
+func FuzzFrameDecode(f *testing.F) {
+	// Seed with a well-formed exchange frame…
+	body := appendU32(nil, 3)
+	body = appendU32(body, 1)
+	body, err := appendMessage(body, 0, 1, mpc.Ints{7, 8})
+	if err != nil {
+		f.Fatal(err)
+	}
+	frame := appendFrameHeader(nil, frameExchange, len(body))
+	f.Add(append(frame, body...))
+	// …a hello, an empty goodbye, and some near-miss corruptions.
+	hello := appendU32(appendU32(appendU32(nil, 4), 0), 4)
+	f.Add(append(appendFrameHeader(nil, frameHello, len(hello)), hello...))
+	f.Add(appendFrameHeader(nil, frameGoodbye, 0))
+	f.Add([]byte{'p', 'c', ProtoVersion, frameExchange, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{'p', 'c', 99, frameHello, 0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const frameCap = 1 << 16 // small cap so the fuzzer cannot make us allocate much
+		typ, body, err := readFrame(bytes.NewReader(data), frameCap)
+		if err != nil {
+			return
+		}
+		if uint32(len(body)) > frameCap {
+			t.Fatalf("frame body %d bytes exceeds cap %d", len(body), frameCap)
+		}
+		if typ == frameExchange || typ == frameExchangeOK {
+			raw := body
+			if typ == frameExchangeOK {
+				d := &decoder{b: raw}
+				d.u64()
+				if d.err != nil {
+					return
+				}
+				raw = d.b
+			}
+			_, words, err := decodeExchangeBody(raw, 16, 0, 0, func(src, dst int, p mpc.Payload) {
+				if src < 0 || src >= 16 || dst < 0 || dst >= 16 {
+					t.Fatalf("decoder delivered out-of-range ids src=%d dst=%d", src, dst)
+				}
+				if p == nil {
+					t.Fatal("decoder delivered a nil payload")
+				}
+			})
+			if err == nil && words < 0 {
+				t.Fatalf("negative word total %d", words)
+			}
+		}
+	})
+}
+
+// FuzzPayloadDecode fuzzes the payload decoder directly — the tightest
+// loop of the codec — and re-encodes whatever decodes to check the
+// canonical-bytes property: decode(b) followed by encode must
+// reproduce b exactly. That property is what lets the worker echo the
+// request bytes back instead of re-encoding.
+func FuzzPayloadDecode(f *testing.F) {
+	seed, err := appendPayload(nil, mpc.Ints{1, -2, 3})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	seed2, err := appendPayload(nil, mpc.Float(3.14))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed2)
+	f.Add([]byte{kindPoints, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return
+		}
+		d := &decoder{b: data}
+		p := d.payload()
+		if d.err != nil {
+			return
+		}
+		if p == nil {
+			t.Fatal("nil payload decoded without error")
+		}
+		consumed := data[:len(data)-len(d.b)]
+		re, err := appendPayload(nil, p)
+		if err != nil {
+			t.Fatalf("re-encoding decoded payload %#v: %v", p, err)
+		}
+		if !bytes.Equal(re, consumed) {
+			t.Fatalf("decode/encode not canonical:\n in  %x\n out %x", consumed, re)
+		}
+	})
+}

@@ -1,0 +1,211 @@
+package transport
+
+// The worker side of the TCP backend: the frame loop cmd/kclusterd
+// serves. A Server accepts any number of concurrent coordinator
+// sessions (each session = one TCP connection = one machine group of
+// one cluster); sessions are independent and workers hold no per-round
+// state, so the same worker can serve many clusters, forked shadow
+// clusters, and retried rounds without coordination.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync/atomic"
+
+	"parclust/internal/mpc"
+)
+
+// ServerConfig configures a worker.
+type ServerConfig struct {
+	// MaxFrameBytes caps one frame's body; 0 means
+	// DefaultMaxFrameBytes. The cap is advertised to coordinators in
+	// the hello handshake.
+	MaxFrameBytes uint32
+	// Logf, when non-nil, receives one line per session event (open,
+	// close, protocol error). kclusterd wires it to its -verbose flag.
+	Logf func(format string, args ...any)
+}
+
+// WorkerStats are a worker's cumulative counters across all sessions,
+// the per-backend observability surface documented in
+// docs/OBSERVABILITY.md. Counters are at-least-once under coordinator
+// retries: a round resent after a lost connection is metered again
+// (driver-side accounting stays exact — see docs/TRANSPORT.md).
+type WorkerStats struct {
+	// Sessions counts accepted coordinator connections.
+	Sessions int64
+	// Rounds counts exchange frames served.
+	Rounds int64
+	// Frames counts all frames served (exchanges, stats, goodbyes).
+	Frames int64
+	// BytesIn / BytesOut count frame bodies received and sent.
+	BytesIn  int64
+	BytesOut int64
+	// WordsMetered is the total payload words decoded on the wire — the
+	// worker's independent measurement of the traffic the simulator
+	// meters from outboxes.
+	WordsMetered int64
+}
+
+// Server is a transport worker: the process-side counterpart of Client.
+// Create with NewServer, drive with Serve, observe with Stats.
+type Server struct {
+	cfg ServerConfig
+
+	sessions, rounds, frames atomic.Int64
+	bytesIn, bytesOut        atomic.Int64
+	words                    atomic.Int64
+}
+
+// NewServer returns a worker with the given configuration.
+func NewServer(cfg ServerConfig) *Server {
+	if cfg.MaxFrameBytes == 0 {
+		cfg.MaxFrameBytes = DefaultMaxFrameBytes
+	}
+	return &Server{cfg: cfg}
+}
+
+// Stats returns a snapshot of the worker's cumulative counters.
+func (s *Server) Stats() WorkerStats {
+	return WorkerStats{
+		Sessions:     s.sessions.Load(),
+		Rounds:       s.rounds.Load(),
+		Frames:       s.frames.Load(),
+		BytesIn:      s.bytesIn.Load(),
+		BytesOut:     s.bytesOut.Load(),
+		WordsMetered: s.words.Load(),
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Serve accepts coordinator sessions on ln until the listener is
+// closed, running each session on its own goroutine. It returns nil
+// when ln closes and the accept error otherwise.
+func (s *Server) Serve(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go s.session(conn)
+	}
+}
+
+// session speaks the worker protocol on one connection: hello
+// handshake, then exchange/stats frames until goodbye or EOF. Protocol
+// violations answer with a frameError and close the session; the
+// coordinator surfaces them as mpc.ErrTransport.
+func (s *Server) session(conn net.Conn) {
+	defer conn.Close()
+	s.sessions.Add(1)
+	peer := conn.RemoteAddr()
+
+	m, grp, err := s.handshake(conn)
+	if err != nil {
+		s.logf("session %v: handshake: %v", peer, err)
+		return
+	}
+	s.logf("session %v: open (machines=%d group=[%d,%d))", peer, m, grp.Lo, grp.Hi)
+
+	for {
+		typ, body, err := readFrame(conn, s.cfg.MaxFrameBytes)
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				s.logf("session %v: read: %v", peer, err)
+			}
+			return
+		}
+		s.frames.Add(1)
+		s.bytesIn.Add(int64(len(body)))
+		switch typ {
+		case frameExchange:
+			if err := s.serveExchange(conn, body, m, grp); err != nil {
+				s.logf("session %v: exchange: %v", peer, err)
+				s.fail(conn, err)
+				return
+			}
+		case frameStats:
+			st := s.Stats()
+			resp := make([]byte, 0, 6*8)
+			for _, v := range []int64{st.Sessions, st.Rounds, st.Frames, st.BytesIn, st.BytesOut, st.WordsMetered} {
+				resp = appendU64(resp, uint64(v))
+			}
+			s.bytesOut.Add(int64(len(resp)))
+			if err := writeFrame(conn, frameStatsOK, resp); err != nil {
+				return
+			}
+		case frameGoodbye:
+			s.logf("session %v: closed", peer)
+			return
+		default:
+			s.fail(conn, fmt.Errorf("unexpected frame type %d mid-session", typ))
+			return
+		}
+	}
+}
+
+// handshake validates the hello frame and answers with the worker's
+// frame cap.
+func (s *Server) handshake(conn net.Conn) (m int, grp Group, err error) {
+	typ, body, err := readFrame(conn, s.cfg.MaxFrameBytes)
+	if err != nil {
+		return 0, Group{}, err
+	}
+	if typ != frameHello {
+		err := fmt.Errorf("first frame type %d, want hello", typ)
+		s.fail(conn, err)
+		return 0, Group{}, err
+	}
+	d := &decoder{b: body}
+	m = int(d.u32())
+	grp = Group{Lo: int(d.u32()), Hi: int(d.u32())}
+	if d.err == nil && (m < 1 || grp.Lo < 0 || grp.Hi < grp.Lo || grp.Hi > m) {
+		d.fail("invalid hello: machines=%d group=[%d,%d)", m, grp.Lo, grp.Hi)
+	}
+	if d.err == nil && len(d.b) != 0 {
+		d.fail("%d trailing bytes in hello", len(d.b))
+	}
+	if d.err != nil {
+		s.fail(conn, d.err)
+		return 0, Group{}, d.err
+	}
+	resp := appendU32(nil, s.cfg.MaxFrameBytes)
+	if err := writeFrame(conn, frameHelloOK, resp); err != nil {
+		return 0, Group{}, err
+	}
+	return m, grp, nil
+}
+
+// serveExchange meters and validates one round's shard and returns it
+// as the group's inbox: u64 meteredWords, then the echoed messages. The
+// echo reuses the request bytes — the codec is canonical, so re-encoding
+// the decoded messages would produce the identical bytes.
+func (s *Server) serveExchange(conn net.Conn, body []byte, m int, grp Group) error {
+	_, words, err := decodeExchangeBody(body, m, grp.Lo, grp.Hi, func(src, dst int, p mpc.Payload) {})
+	if err != nil {
+		return err
+	}
+	s.rounds.Add(1)
+	s.words.Add(words)
+	resp := make([]byte, 0, 8+len(body))
+	resp = appendU64(resp, uint64(words))
+	resp = append(resp, body...)
+	s.bytesOut.Add(int64(len(resp)))
+	return writeFrame(conn, frameExchangeOK, resp)
+}
+
+// fail reports a protocol error to the peer on a best-effort basis
+// before the session closes.
+func (s *Server) fail(conn net.Conn, err error) {
+	_ = writeFrame(conn, frameError, []byte(err.Error()))
+}

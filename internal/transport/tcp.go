@@ -1,0 +1,377 @@
+package transport
+
+// The coordinator side of the TCP backend: a Client implements
+// mpc.Transport over persistent connections to kclusterd workers.
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"parclust/internal/mpc"
+)
+
+// DialConfig configures a coordinator's connection to a worker fleet.
+type DialConfig struct {
+	// Workers are the addresses ("host:port") of the kclusterd workers,
+	// in machine-group order: worker w owns Partition(Machines,
+	// len(Workers))[w].
+	Workers []string
+	// Machines is the cluster size m. Must match the mpc.NewCluster the
+	// transport is installed into.
+	Machines int
+	// MaxFrameBytes caps one frame's body; 0 means
+	// DefaultMaxFrameBytes. The effective cap per worker is the lesser
+	// of this and the cap the worker advertises in its helloOK.
+	MaxFrameBytes uint32
+	// DialTimeout bounds each dial attempt; 0 means 5 seconds.
+	DialTimeout time.Duration
+	// Retries is how many times a failed worker exchange is retried
+	// with a fresh connection before the round fails; 0 means 2.
+	// Workers are stateless between rounds, so redial + resend is
+	// always safe (see docs/TRANSPORT.md, "Failure handling").
+	Retries int
+}
+
+// ClientStats are a coordinator's cumulative transport counters, the
+// per-backend observability surface documented in docs/OBSERVABILITY.md.
+type ClientStats struct {
+	// Backend is the transport name ("tcp").
+	Backend string
+	// Workers is the fleet size.
+	Workers int
+	// Exchanges counts completed Exchange calls (round barriers).
+	Exchanges int64
+	// FramesSent counts request frames written across all workers.
+	FramesSent int64
+	// BytesSent / BytesRecv count frame bodies shipped and received.
+	BytesSent int64
+	BytesRecv int64
+	// WordsOnWire is the total payload words the workers metered on the
+	// wire, cross-checked every round against the driver's own
+	// accounting of the same traffic.
+	WordsOnWire int64
+	// Retries counts per-worker exchange attempts beyond the first;
+	// Reconnects counts fresh connections dialed after the initial
+	// handshakes.
+	Retries    int64
+	Reconnects int64
+}
+
+// workerConn is the coordinator's view of one worker: its address, the
+// machine group it owns, and the current connection (nil after a
+// failure until the next redial).
+type workerConn struct {
+	addr     string
+	group    Group
+	conn     net.Conn
+	maxFrame uint32 // min(client cap, worker-advertised cap)
+}
+
+// Client is the tcp mpc.Transport: it delivers every round's messages
+// through a fleet of worker processes, one request/response frame
+// exchange per worker per round. Install it with mpc.WithTransport;
+// a forked cluster shares its parent's Client, so Exchange serializes
+// concurrent callers internally.
+type Client struct {
+	cfg      DialConfig
+	m        int
+	dstOwner []int // machine id -> worker index
+	workers  []*workerConn
+
+	mu    sync.Mutex // serializes Exchange/Close (fork-shared)
+	stats ClientStats
+
+	// scratch reused across rounds: per-worker encoded request bodies.
+	reqs [][]byte
+}
+
+// Dial connects to every worker in cfg, performs the hello handshake
+// (announcing the cluster size and each worker's machine group), and
+// returns a ready Transport. Close releases the connections.
+func Dial(cfg DialConfig) (*Client, error) {
+	if len(cfg.Workers) == 0 {
+		return nil, fmt.Errorf("transport: no worker addresses")
+	}
+	if cfg.Machines < 1 {
+		return nil, fmt.Errorf("transport: machines must be >= 1, got %d", cfg.Machines)
+	}
+	if cfg.MaxFrameBytes == 0 {
+		cfg.MaxFrameBytes = DefaultMaxFrameBytes
+	}
+	if cfg.DialTimeout == 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	if cfg.Retries == 0 {
+		cfg.Retries = 2
+	}
+
+	groups := Partition(cfg.Machines, len(cfg.Workers))
+	c := &Client{
+		cfg:      cfg,
+		m:        cfg.Machines,
+		dstOwner: make([]int, cfg.Machines),
+		workers:  make([]*workerConn, len(cfg.Workers)),
+		reqs:     make([][]byte, len(cfg.Workers)),
+		stats:    ClientStats{Backend: "tcp", Workers: len(cfg.Workers)},
+	}
+	for w, g := range groups {
+		c.workers[w] = &workerConn{addr: cfg.Workers[w], group: g}
+		for id := g.Lo; id < g.Hi; id++ {
+			c.dstOwner[id] = w
+		}
+	}
+	for _, wc := range c.workers {
+		if err := c.connect(wc); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// Name returns "tcp"; it tags trace rows and RoundStats for runs over
+// this backend.
+func (c *Client) Name() string { return "tcp" }
+
+// Stats returns a snapshot of the coordinator-side counters.
+func (c *Client) Stats() ClientStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// connect dials one worker and performs the hello handshake. Callers
+// hold c.mu (or are in Dial, before the Client is shared).
+func (c *Client) connect(wc *workerConn) error {
+	conn, err := net.DialTimeout("tcp", wc.addr, c.cfg.DialTimeout)
+	if err != nil {
+		return fmt.Errorf("dialing worker %s: %w", wc.addr, err)
+	}
+	hello := appendU32(nil, uint32(c.m))
+	hello = appendU32(hello, uint32(wc.group.Lo))
+	hello = appendU32(hello, uint32(wc.group.Hi))
+	if err := writeFrame(conn, frameHello, hello); err != nil {
+		conn.Close()
+		return fmt.Errorf("worker %s hello: %w", wc.addr, err)
+	}
+	typ, body, err := readFrame(conn, c.cfg.MaxFrameBytes)
+	if err != nil {
+		conn.Close()
+		return fmt.Errorf("worker %s hello reply: %w", wc.addr, err)
+	}
+	if typ == frameError {
+		conn.Close()
+		return fmt.Errorf("worker %s rejected hello: %s", wc.addr, body)
+	}
+	if typ != frameHelloOK || len(body) != 4 {
+		conn.Close()
+		return fmt.Errorf("worker %s hello reply: frame type %d body %d bytes, want helloOK", wc.addr, typ, len(body))
+	}
+	d := &decoder{b: body}
+	workerCap := d.u32()
+	wc.maxFrame = min(c.cfg.MaxFrameBytes, workerCap)
+	wc.conn = conn
+	return nil
+}
+
+// Exchange delivers one round: it buckets the queued messages by owning
+// worker — walking sources in ascending machine id, which preserves the
+// inbox sorted-by-sender invariant the in-process backend provides —
+// ships each bucket to its worker concurrently, and appends each
+// worker's echoed, metered shard to the pending inboxes. Worker machine
+// groups are disjoint, so the per-worker goroutines write disjoint
+// pending slots. An empty bucket is still shipped: the round-numbered
+// frame is the barrier that keeps coordinator and workers in lockstep.
+func (c *Client) Exchange(round int, outboxes [][]mpc.Outbound, pending [][]mpc.Message) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	// Encode per-worker request bodies. Counts are patched in after the
+	// walk so the traffic is encoded in a single pass.
+	counts := make([]uint32, len(c.workers))
+	for w := range c.workers {
+		b := c.reqs[w][:0]
+		b = appendU32(b, uint32(round))
+		b = appendU32(b, 0) // msgCount, patched below
+		c.reqs[w] = b
+	}
+	var wireWords int64
+	for src, box := range outboxes {
+		for _, om := range box {
+			w := c.dstOwner[om.Dst]
+			b, err := appendMessage(c.reqs[w], src, om.Dst, om.Payload)
+			if err != nil {
+				return err
+			}
+			c.reqs[w] = b
+			counts[w]++
+			wireWords += int64(om.Payload.Words())
+		}
+	}
+	for w := range c.workers {
+		b := c.reqs[w]
+		b[4] = byte(counts[w] >> 24)
+		b[5] = byte(counts[w] >> 16)
+		b[6] = byte(counts[w] >> 8)
+		b[7] = byte(counts[w])
+	}
+
+	// One request/response per worker, concurrently.
+	type result struct {
+		words   int64
+		bytesIn int64
+		retries int64
+		redials int64
+		err     error
+	}
+	results := make([]result, len(c.workers))
+	var wg sync.WaitGroup
+	for w, wc := range c.workers {
+		wg.Add(1)
+		go func(w int, wc *workerConn) {
+			defer wg.Done()
+			res := &results[w]
+			res.words, res.bytesIn, res.retries, res.redials, res.err =
+				c.exchangeWorker(wc, round, c.reqs[w], pending)
+		}(w, wc)
+	}
+	wg.Wait()
+
+	var firstErr error
+	for w, res := range results {
+		c.stats.FramesSent += 1 + res.retries
+		c.stats.BytesSent += int64(len(c.reqs[w]))
+		c.stats.BytesRecv += res.bytesIn
+		c.stats.WordsOnWire += res.words
+		c.stats.Retries += res.retries
+		c.stats.Reconnects += res.redials
+		if res.err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("worker %s: %w", c.workers[w].addr, res.err)
+		}
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+
+	// Wire-level metering cross-check: the words the workers decoded
+	// must equal the words the driver queued.
+	var metered int64
+	for _, res := range results {
+		metered += res.words
+	}
+	if metered != wireWords {
+		return fmt.Errorf("wire metering mismatch: workers measured %d words, driver queued %d", metered, wireWords)
+	}
+	c.stats.Exchanges++
+	return nil
+}
+
+// exchangeWorker runs one worker's round exchange with redial + resend
+// on connection failure. It decodes the response shard directly into
+// pending; the worker's machine group is disjoint from every other
+// worker's, so this is safe under the caller's concurrency.
+func (c *Client) exchangeWorker(wc *workerConn, round int, req []byte, pending [][]mpc.Message) (words, bytesIn, retries, redials int64, err error) {
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			retries++
+		}
+		if wc.conn == nil {
+			if err := c.connect(wc); err != nil {
+				if attempt < c.cfg.Retries {
+					continue
+				}
+				return 0, 0, retries, redials, err
+			}
+			redials++
+		}
+		w, b, err := c.tryExchange(wc, round, req, pending)
+		if err == nil {
+			return w, b, retries, redials, nil
+		}
+		wc.conn.Close()
+		wc.conn = nil
+		if attempt >= c.cfg.Retries {
+			return 0, 0, retries, redials, err
+		}
+	}
+}
+
+// tryExchange performs one request/response on a live connection and,
+// on success, appends the worker's echoed shard to pending.
+func (c *Client) tryExchange(wc *workerConn, round int, req []byte, pending [][]mpc.Message) (words, bytesIn int64, err error) {
+	if err := writeFrame(wc.conn, frameExchange, req); err != nil {
+		return 0, 0, fmt.Errorf("sending round %d: %w", round, err)
+	}
+	typ, body, err := readFrame(wc.conn, wc.maxFrame)
+	if err != nil {
+		return 0, 0, fmt.Errorf("reading round %d reply: %w", round, err)
+	}
+	bytesIn = int64(len(body))
+	if typ == frameError {
+		return 0, bytesIn, fmt.Errorf("worker error: %s", body)
+	}
+	if typ != frameExchangeOK {
+		return 0, bytesIn, fmt.Errorf("round %d reply: frame type %d, want exchangeOK", round, typ)
+	}
+	d := &decoder{b: body}
+	metered := int64(d.u64())
+	if d.err != nil {
+		return 0, bytesIn, d.err
+	}
+	// Decode into a local shard first and append to pending only after
+	// the whole reply validates, so a retried exchange can never
+	// double-deliver a prefix of a malformed reply.
+	type inMsg struct {
+		dst int
+		msg mpc.Message
+	}
+	var shard []inMsg
+	gotRound, words, err := decodeExchangeBody(d.b, c.m, wc.group.Lo, wc.group.Hi, func(src, dst int, p mpc.Payload) {
+		shard = append(shard, inMsg{dst: dst, msg: mpc.Message{From: src, Payload: p}})
+	})
+	if err != nil {
+		return 0, bytesIn, err
+	}
+	if gotRound != round {
+		return 0, bytesIn, fmt.Errorf("reply tagged round %d, want %d", gotRound, round)
+	}
+	if words != metered {
+		return 0, bytesIn, fmt.Errorf("reply carries %d words but worker metered %d", words, metered)
+	}
+	for _, im := range shard {
+		pending[im.dst] = append(pending[im.dst], im.msg)
+	}
+	return words, bytesIn, nil
+}
+
+// SeverConnections closes every live worker connection without closing
+// the Client: the next Exchange recovers by redialing and resending.
+// This is the transport-level fault-injection hook — the parity suite
+// uses it to pin that a connection cut mid-algorithm maps onto the
+// fault model's drop + retransmission without disturbing results.
+func (c *Client) SeverConnections() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, wc := range c.workers {
+		if wc.conn != nil {
+			wc.conn.Close()
+		}
+	}
+}
+
+// Close sends a goodbye to every connected worker and closes the
+// connections. The Client is unusable afterwards.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, wc := range c.workers {
+		if wc != nil && wc.conn != nil {
+			_ = writeFrame(wc.conn, frameGoodbye, nil)
+			wc.conn.Close()
+			wc.conn = nil
+		}
+	}
+	return nil
+}

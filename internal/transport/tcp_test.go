@@ -1,0 +1,223 @@
+package transport
+
+import (
+	"net"
+	"testing"
+
+	"parclust/internal/mpc"
+)
+
+// startWorkers launches n in-test worker servers on ephemeral localhost
+// ports and returns their addresses plus the servers for stats
+// inspection. Listeners close on test cleanup.
+func startWorkers(t *testing.T, n int) ([]string, []*Server) {
+	t.Helper()
+	addrs := make([]string, n)
+	servers := make([]*Server, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ln.Close() })
+		srv := NewServer(ServerConfig{})
+		go srv.Serve(ln)
+		addrs[i] = ln.Addr().String()
+		servers[i] = srv
+	}
+	return addrs, servers
+}
+
+// dialFleet dials a Client against the fleet and registers cleanup.
+func dialFleet(t *testing.T, addrs []string, m int) *Client {
+	t.Helper()
+	cl, err := Dial(DialConfig{Workers: addrs, Machines: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+// runRing runs rounds supersteps of a deterministic ring workload and
+// returns the per-machine sums, mirroring the workload the mpc-side
+// transport tests use so results are comparable across backends.
+func runRing(t *testing.T, c *mpc.Cluster, rounds int) []float64 {
+	t.Helper()
+	m := c.NumMachines()
+	sums := make([]float64, m)
+	for r := 0; r < rounds; r++ {
+		err := c.Superstep("test/ring", func(mc *mpc.Machine) error {
+			for _, msg := range mc.Inbox() {
+				for _, v := range msg.Payload.(mpc.Floats) {
+					sums[mc.ID()] += v
+				}
+			}
+			mc.Send((mc.ID()+1)%m, mpc.Floats{float64(mc.ID()), mc.RNG.Float64()})
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("round %d: %v", r, err)
+		}
+	}
+	return sums
+}
+
+// TestTCPMatchesInproc is the package-level parity check: the same
+// seeded workload over real localhost TCP produces exactly the sums the
+// in-process backend produces. (The full algorithm-level parity suite
+// lives in internal/integration.)
+func TestTCPMatchesInproc(t *testing.T) {
+	const m, rounds = 6, 8
+	ref := runRing(t, mpc.NewCluster(m, 11), rounds)
+
+	for _, workers := range []int{1, 2, 3, 6, 8} {
+		addrs, servers := startWorkers(t, workers)
+		cl := dialFleet(t, addrs, m)
+		c := mpc.NewCluster(m, 11, mpc.WithTransport(cl))
+		got := runRing(t, c, rounds)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d machine %d: sum %v over tcp, want %v", workers, i, got[i], ref[i])
+			}
+		}
+		st := cl.Stats()
+		if st.Exchanges != rounds {
+			t.Fatalf("workers=%d: %d exchanges, want %d", workers, st.Exchanges, rounds)
+		}
+		if st.WordsOnWire != int64(m*rounds*2) {
+			t.Fatalf("workers=%d: %d words on wire, want %d", workers, st.WordsOnWire, m*rounds*2)
+		}
+		var workerWords int64
+		for _, srv := range servers {
+			workerWords += srv.Stats().WordsMetered
+		}
+		if workerWords != st.WordsOnWire {
+			t.Fatalf("workers=%d: fleet metered %d words, client saw %d", workers, workerWords, st.WordsOnWire)
+		}
+	}
+}
+
+// TestTCPInboxOrdering pins the inbox sorted-by-sender invariant over
+// TCP: a machine receiving from every other machine sees the messages
+// in ascending sender order, exactly as the in-process backend delivers
+// them.
+func TestTCPInboxOrdering(t *testing.T) {
+	const m = 5
+	addrs, _ := startWorkers(t, 2)
+	cl := dialFleet(t, addrs, m)
+	c := mpc.NewCluster(m, 3, mpc.WithTransport(cl))
+
+	if err := c.Superstep("test/fanin", func(mc *mpc.Machine) error {
+		mc.SendCentral(mpc.Int(mc.ID()))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Superstep("test/check", func(mc *mpc.Machine) error {
+		if !mc.IsCentral() {
+			return nil
+		}
+		inbox := mc.Inbox()
+		if len(inbox) != m {
+			t.Errorf("central inbox has %d messages, want %d", len(inbox), m)
+		}
+		for i, msg := range inbox {
+			if msg.From != i || int(msg.Payload.(mpc.Int)) != i {
+				t.Errorf("inbox[%d] = from %d payload %v, want %d", i, msg.From, msg.Payload, i)
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTCPReconnect kills every worker-side connection mid-run and
+// checks the client transparently redials and resends, with the retry
+// visible in its stats — the transport-level realization of the fault
+// model's drop + retransmission.
+func TestTCPReconnect(t *testing.T) {
+	const m, rounds = 4, 6
+	addrs, _ := startWorkers(t, 2)
+	cl := dialFleet(t, addrs, m)
+	c := mpc.NewCluster(m, 5, mpc.WithTransport(cl))
+
+	runRing(t, c, rounds/2)
+	// Sever the live connections behind the client's back; the next
+	// exchange must recover by redialing and resending.
+	for _, wc := range cl.workers {
+		wc.conn.Close()
+	}
+	runRing(t, c, rounds/2)
+
+	st := cl.Stats()
+	if st.Reconnects == 0 {
+		t.Fatalf("no reconnects recorded after severed connections: %+v", st)
+	}
+	if st.Exchanges != rounds {
+		t.Fatalf("%d exchanges, want %d", st.Exchanges, rounds)
+	}
+	// Determinism across the interruption: a fresh uninterrupted run
+	// over the same fleet yields the same final-state sums.
+	c2 := mpc.NewCluster(m, 5, mpc.WithTransport(cl))
+	want := runRing(t, mpc.NewCluster(m, 5), rounds)
+	got := runRing(t, c2, rounds)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("machine %d: post-reconnect fleet sum %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestTCPForkShared checks a forked cluster can run its waves over the
+// parent's shared tcp transport.
+func TestTCPForkShared(t *testing.T) {
+	const m = 4
+	addrs, _ := startWorkers(t, 2)
+	cl := dialFleet(t, addrs, m)
+	c := mpc.NewCluster(m, 9, mpc.WithTransport(cl))
+
+	refFork := runRing(t, mpc.NewCluster(m, 9).Fork(1), 3)
+	got := runRing(t, c.Fork(1), 3)
+	for i := range refFork {
+		if got[i] != refFork[i] {
+			t.Fatalf("machine %d: forked sum %v over tcp, want %v", i, got[i], refFork[i])
+		}
+	}
+}
+
+// TestDialValidation covers the config errors.
+func TestDialValidation(t *testing.T) {
+	if _, err := Dial(DialConfig{Machines: 4}); err == nil {
+		t.Fatal("Dial with no workers succeeded")
+	}
+	if _, err := Dial(DialConfig{Workers: []string{"127.0.0.1:1"}, Machines: 0}); err == nil {
+		t.Fatal("Dial with zero machines succeeded")
+	}
+}
+
+// TestPartition pins the contiguous near-equal split.
+func TestPartition(t *testing.T) {
+	for _, tc := range []struct {
+		m, workers int
+	}{{1, 1}, {4, 2}, {5, 2}, {7, 3}, {3, 5}, {16, 4}} {
+		groups := Partition(tc.m, tc.workers)
+		if len(groups) != tc.workers {
+			t.Fatalf("Partition(%d,%d): %d groups", tc.m, tc.workers, len(groups))
+		}
+		covered := 0
+		for w, g := range groups {
+			if g.Lo > g.Hi {
+				t.Fatalf("Partition(%d,%d)[%d] inverted: %+v", tc.m, tc.workers, w, g)
+			}
+			if w > 0 && groups[w-1].Hi != g.Lo {
+				t.Fatalf("Partition(%d,%d) not contiguous at %d", tc.m, tc.workers, w)
+			}
+			covered += g.Size()
+		}
+		if covered != tc.m || groups[0].Lo != 0 || groups[len(groups)-1].Hi != tc.m {
+			t.Fatalf("Partition(%d,%d) covers %d machines: %+v", tc.m, tc.workers, covered, groups)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+// Package transport implements the TCP backend of the mpc.Transport
+// interface: message delivery for a simulated MPC cluster whose
+// machines' mailboxes are owned by kclusterd worker processes, so every
+// metered word genuinely crosses a real wire.
+//
+// # Architecture
+//
+// The driver process runs the algorithm (superstep functions are Go
+// closures and stay with the driver — see docs/TRANSPORT.md for the
+// contract and its consequences); the m machines' message traffic is
+// sharded over W workers, worker w owning the contiguous machine group
+// Partition(m, W)[w]. At the end of every superstep the Client buckets
+// the round's queued messages by owning worker, encodes each bucket
+// with the canonical wire codec (codec.go), and performs one
+// request/response frame exchange per worker: the worker decodes,
+// validates and meters the shard — word metering on the wire, checked
+// against the driver's own accounting — and returns it as the group's
+// inbox for the next round. This is the external-shuffle-service shape
+// of MapReduce/Spark, which is exactly the abstraction the MPC model
+// charges for.
+//
+// Workers are stateless between rounds: all recoverable state stays in
+// the driver, so the simulator's checkpoint/rollback fault recovery
+// (mpc.Checkpoint/Restore) works unchanged over TCP, and a lost
+// connection is recovered by redialing and resending the round — the
+// real-world realization of the fault model's drop + retransmission
+// (docs/MODEL.md).
+//
+// Determinism: the codec is canonical and value-preserving (float bits,
+// message order, sender sort), so a run over this backend produces
+// results, winning traces and budget reports identical to the
+// in-process backend at the same seed. The transport-parity suite in
+// internal/integration pins that contract; docs/TRANSPORT.md documents
+// it.
+package transport
+
+// Group is a contiguous range of machine ids [Lo, Hi) owned by one
+// worker process.
+type Group struct {
+	Lo, Hi int
+}
+
+// Contains reports whether machine id falls in the group.
+func (g Group) Contains(id int) bool { return id >= g.Lo && id < g.Hi }
+
+// Size returns the number of machines in the group.
+func (g Group) Size() int { return g.Hi - g.Lo }
+
+// Partition splits m machines into workers contiguous groups of
+// near-equal size (group sizes differ by at most one; trailing groups
+// may be empty when workers > m). It panics if m < 1 or workers < 1.
+func Partition(m, workers int) []Group {
+	if m < 1 || workers < 1 {
+		panic("transport: Partition needs m >= 1 and workers >= 1")
+	}
+	groups := make([]Group, workers)
+	for w := range groups {
+		groups[w] = Group{Lo: w * m / workers, Hi: (w + 1) * m / workers}
+	}
+	return groups
+}
