@@ -3,37 +3,46 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"parclust/internal/sched"
 )
 
 func TestValidateFlags(t *testing.T) {
 	cases := []struct {
 		name        string
-		speculation int
+		speculation string
 		faults      string
 		budgets     bool
 		transport   string
 		workers     string
 		wantErr     string // substring; empty means accept
+		wantWidth   int    // resolved specWidth when accepted
 	}{
-		{"defaults", 0, "", false, "inproc", "", ""},
-		{"sequential-width", 0, "", true, "inproc", "", ""},
-		{"whole-ladder", -1, "", false, "inproc", "", ""},
-		{"positive-width", 4, "", false, "inproc", "", ""},
-		{"width-below-minus-one", -2, "", false, "inproc", "", "-speculation -2"},
-		{"very-negative-width", -100, "", true, "inproc", "", "-speculation -100"},
-		{"faults-with-budgets", 0, "crash:0.05,drop:0.02", true, "inproc", "", ""},
-		{"all-kinds", 2, "crash:0.1,drop:0.1,duplicate:0.1,straggler:0.1,abort:0.1", true, "inproc", "", ""},
-		{"faults-without-budgets", 0, "crash:0.05", false, "inproc", "", "-faults requires -budgets"},
-		{"unknown-kind", 0, "meteor:0.1", true, "inproc", "", "-faults"},
-		{"missing-rate", 0, "crash", true, "inproc", "", "-faults"},
-		{"rate-above-one", 0, "crash:1.5", true, "inproc", "", "-faults"},
-		{"negative-rate", 0, "crash:-0.1", true, "inproc", "", "-faults"},
-		{"trailing-comma-tolerated", 0, "crash:0.1,", true, "inproc", "", ""},
-		{"space-separated", 0, "crash:0.1 drop:0.1", true, "inproc", "", "-faults"},
-		{"tcp-with-workers", 0, "", false, "tcp", "127.0.0.1:9001,127.0.0.1:9002", ""},
-		{"tcp-without-workers", 0, "", false, "tcp", "", "-transport=tcp requires -workers"},
-		{"workers-without-tcp", 0, "", false, "inproc", "127.0.0.1:9001", "-workers requires -transport=tcp"},
-		{"unknown-transport", 0, "", false, "udp", "", "-transport"},
+		{"defaults", "0", "", false, "inproc", "", "", 0},
+		{"empty-defaults-to-sequential", "", "", false, "inproc", "", "", 0},
+		{"sequential-width", "0", "", true, "inproc", "", "", 0},
+		{"whole-ladder", "-1", "", false, "inproc", "", "", -1},
+		{"positive-width", "4", "", false, "inproc", "", "", 4},
+		{"adaptive", "adaptive", "", false, "inproc", "", "", sched.Adaptive},
+		{"adaptive-with-budgets", "adaptive", "", true, "inproc", "", "", sched.Adaptive},
+		{"width-below-minus-one", "-2", "", false, "inproc", "", "-speculation -2", 0},
+		{"very-negative-width", "-100", "", true, "inproc", "", "-speculation -100", 0},
+		{"garbage-width", "wide", "", false, "inproc", "", "-speculation \"wide\"", 0},
+		{"adaptive-typo", "Adaptive", "", false, "inproc", "", "-speculation \"Adaptive\"", 0},
+		{"faults-with-budgets", "0", "crash:0.05,drop:0.02", true, "inproc", "", "", 0},
+		{"all-kinds", "2", "crash:0.1,drop:0.1,duplicate:0.1,straggler:0.1,abort:0.1", true, "inproc", "", "", 2},
+		{"adaptive-with-faults", "adaptive", "crash:0.05", true, "inproc", "", "", sched.Adaptive},
+		{"faults-without-budgets", "0", "crash:0.05", false, "inproc", "", "-faults requires -budgets", 0},
+		{"unknown-kind", "0", "meteor:0.1", true, "inproc", "", "-faults", 0},
+		{"missing-rate", "0", "crash", true, "inproc", "", "-faults", 0},
+		{"rate-above-one", "0", "crash:1.5", true, "inproc", "", "-faults", 0},
+		{"negative-rate", "0", "crash:-0.1", true, "inproc", "", "-faults", 0},
+		{"trailing-comma-tolerated", "0", "crash:0.1,", true, "inproc", "", "", 0},
+		{"space-separated", "0", "crash:0.1 drop:0.1", true, "inproc", "", "-faults", 0},
+		{"tcp-with-workers", "0", "", false, "tcp", "127.0.0.1:9001,127.0.0.1:9002", "", 0},
+		{"tcp-without-workers", "0", "", false, "tcp", "", "-transport=tcp requires -workers", 0},
+		{"workers-without-tcp", "0", "", false, "inproc", "127.0.0.1:9001", "-workers requires -transport=tcp", 0},
+		{"unknown-transport", "0", "", false, "udp", "", "-transport", 0},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -45,6 +54,9 @@ func TestValidateFlags(t *testing.T) {
 			if tc.wantErr == "" {
 				if err != nil {
 					t.Fatalf("rejected: %v", err)
+				}
+				if fl.specWidth != tc.wantWidth {
+					t.Fatalf("specWidth = %d, want %d", fl.specWidth, tc.wantWidth)
 				}
 				return
 			}

@@ -18,10 +18,12 @@ type RunConfig struct {
 	// Speculation is threaded into the ladder algorithms' configs
 	// (kcenter, diversity, ksupplier): 0 keeps the sequential search,
 	// w >= 1 probes up to w rungs per wave on forked shadow clusters,
-	// negative probes the whole ladder at once. Results and the charged
-	// budgets are width-invariant (the wave parity suite pins this), so
-	// running the budget gate with speculation on validates that the
-	// theorem contracts hold for the concurrent search too.
+	// -1 probes the whole ladder at once, and sched.Adaptive lets the
+	// online cost-model scheduler choose each wave's width. Results and
+	// the charged budgets are width-invariant (the wave and adaptive
+	// parity suites pin this), so running the budget gate with
+	// speculation on validates that the theorem contracts hold for the
+	// concurrent search too.
 	Speculation int
 	// Faults, when non-empty, is a fault.ParseSpec rate spec (e.g.
 	// "crash:0.05,drop:0.02") installed as a random fault schedule on

@@ -1,0 +1,190 @@
+// Adaptive-speculation parity: with Config.Speculation = sched.Adaptive
+// the scheduler chooses each wave's width online, so the set of
+// speculative probes is timing-dependent — but the winning views must
+// not be. For every algorithm and metric, an adaptive run must produce
+// byte-identical results, winning traces (sched_* tags stripped, the
+// same way the transport suite strips infrastructure tags), and winning
+// budget reports to the width-1 baseline — the sequential-order wave
+// path whose every probe runs on a rung-pinned fork. Width 0 is NOT the
+// baseline: the legacy sequential path draws from the shared cluster
+// RNG stream, so its probes (and chosen sets) differ from every forked
+// width by design — width-0 behavior is pinned separately by
+// TestWaveSequentialSchemaUnchanged and the fault suite.
+//
+// The estimator is forced through its degenerate regimes: cold start
+// (every run here starts a fresh scheduler), pool exhaustion (no
+// tokens -> width-1 waves, zero speculation), fault-skewed samples
+// (crash+drop schedules), and a shared-pool hammer of concurrent
+// Solves (the -race leg's target).
+package integration_test
+
+import (
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+
+	"parclust/internal/fault"
+	"parclust/internal/metric"
+	"parclust/internal/mpc"
+	"parclust/internal/sched"
+)
+
+// freshSched returns a cold scheduler with tokens to spare, private to
+// one run so parity subtests stay independent. MaxParallel is raised so
+// the parity runs speculate even on single-core hosts, where the NumCPU
+// default would (correctly) keep every wave at width 1.
+func freshSched() *sched.Scheduler {
+	return sched.NewScheduler(sched.Config{Pool: sched.NewPool(8), MaxWidth: 16, MaxParallel: 8})
+}
+
+// compareWinning is compareToClean minus the speculative-probe count:
+// adaptive widths are timing-dependent, so two adaptive runs (or an
+// adaptive run and a fixed-width one) may legitimately speculate
+// different amounts — only the winning views must agree.
+func compareWinning(t *testing.T, tag string, want, got waveRun) {
+	t.Helper()
+	if !reflect.DeepEqual(got.result, want.result) {
+		t.Errorf("%s: result differs:\nwant: %+v\ngot:  %+v", tag, want.result, got.result)
+	}
+	if !reflect.DeepEqual(got.winEvents, want.winEvents) {
+		t.Errorf("%s: winning trace differs (%d vs %d events)",
+			tag, len(got.winEvents), len(want.winEvents))
+	}
+	if !reflect.DeepEqual(got.winReports, want.winReports) {
+		t.Errorf("%s: winning budget reports differ:\nwant: %v\ngot:  %v",
+			tag, want.winReports, got.winReports)
+	}
+	if got.stats.Rounds != want.stats.Rounds || got.stats.TotalWords != want.stats.TotalWords {
+		t.Errorf("%s: winning stats differ: want %d/%d, got %d/%d",
+			tag, want.stats.Rounds, want.stats.TotalWords, got.stats.Rounds, got.stats.TotalWords)
+	}
+}
+
+// TestAdaptiveWaveParity: adaptive vs the width-1 baseline across the
+// full algorithm × metric matrix, with GOMAXPROCS raised so the model
+// actually speculates once warm.
+func TestAdaptiveWaveParity(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	spaces := []metric.Space{metric.L2{}, metric.L1{}, metric.LInf{}}
+	for _, algo := range []string{"kcenter", "diversity", "ksupplier"} {
+		for _, space := range spaces {
+			const seed = 11
+			base := runWave(t, algo, space, seed, 1, nil)
+			s := freshSched()
+			got := runWaveSched(t, algo, space, seed, sched.Adaptive, s, nil)
+			compareWinning(t, algo+"/"+space.Name()+"/adaptive", base, got)
+			if inUse := s.Pool().InUse(); inUse != 0 {
+				t.Errorf("%s/%s: %d pool tokens leaked", algo, space.Name(), inUse)
+			}
+		}
+	}
+}
+
+// TestAdaptivePoolExhaustionFallback: a zero-token pool must degrade the
+// adaptive search to width-1 waves — same winning views, not a single
+// speculative round — and never stall it.
+func TestAdaptivePoolExhaustionFallback(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	for _, algo := range []string{"kcenter", "diversity", "ksupplier"} {
+		const seed = 11
+		base := runWave(t, algo, metric.L2{}, seed, 1, nil)
+		s := sched.NewScheduler(sched.Config{Pool: sched.NewPool(0), MaxWidth: 16, MaxParallel: 8})
+		got := runWaveSched(t, algo, metric.L2{}, seed, sched.Adaptive, s, nil)
+		compareWinning(t, algo+"/exhausted-pool", base, got)
+		if got.specProbes != 0 || got.stats.SpeculativeRounds != 0 {
+			t.Errorf("%s: exhausted pool still speculated: %d probes, %d rounds",
+				algo, got.specProbes, got.stats.SpeculativeRounds)
+		}
+	}
+}
+
+// TestAdaptiveSingleCoreConvergence pins the acceptance criterion at
+// the driver level: at GOMAXPROCS=1 the model chooses width 1
+// everywhere, so an adaptive Solve runs zero speculative probes.
+func TestAdaptiveSingleCoreConvergence(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	for _, algo := range []string{"kcenter", "diversity", "ksupplier"} {
+		const seed = 11
+		base := runWave(t, algo, metric.L2{}, seed, 1, nil)
+		got := runWaveSched(t, algo, metric.L2{}, seed, sched.Adaptive, freshSched(), nil)
+		compareWinning(t, algo+"/single-core", base, got)
+		if got.specProbes != 0 || got.stats.SpeculativeRounds != 0 {
+			t.Errorf("%s: single-core adaptive run speculated: %d probes, %d rounds",
+				algo, got.specProbes, got.stats.SpeculativeRounds)
+		}
+	}
+}
+
+// TestAdaptiveFaultParity: adaptive runs under the crash and drop
+// schedules (the kinds the CI adaptive leg exercises) must keep the
+// same winning views as the fault-free width-1 baseline; recovery work
+// stays confined to Recovery-tagged accounting. Faults also skew the
+// estimator's samples — a crashed attempt stretches the probe's wall
+// time — which is exactly the regime the outlier clamp exists for: the
+// widths may shift, the result may not.
+func TestAdaptiveFaultParity(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	kinds := []struct {
+		name  string
+		rates fault.Rates
+	}{
+		{"crash", fault.Rates{Crash: 0.15}},
+		{"drop", fault.Rates{Drop: 0.15}},
+	}
+	for _, algo := range []string{"kcenter", "diversity", "ksupplier"} {
+		const seed = 11
+		base := runWave(t, algo, metric.L2{}, seed, 1, nil)
+		for _, kind := range kinds {
+			pol := fault.NewRandom(seed+7, kind.rates)
+			got := runWaveSched(t, algo, metric.L2{}, seed, sched.Adaptive, freshSched(), pol)
+			tag := algo + "/adaptive/" + kind.name
+			compareWinning(t, tag, base, got)
+			if pol.Fired() == 0 {
+				t.Errorf("%s: schedule never fired — the run was not exercised", tag)
+			}
+			if got.stats.RecoveryRounds == 0 {
+				t.Errorf("%s: faults fired but no recovery recorded", tag)
+			}
+		}
+	}
+}
+
+// TestAdaptiveSharedPoolHammer runs six concurrent Solves — two per
+// algorithm, half of them under a crash schedule — against ONE shared
+// scheduler, the deployment shape sched.Default() exists for. Every
+// Solve must return its baseline result, and when the dust settles the
+// pool must hold zero tokens: no leak on any path, fault retries
+// included. This is the -race leg's main target.
+func TestAdaptiveSharedPoolHammer(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	const seed = 11
+	algos := []string{"kcenter", "diversity", "ksupplier"}
+	base := make(map[string]waveRun, len(algos))
+	for _, algo := range algos {
+		base[algo] = runWave(t, algo, metric.L2{}, seed, 1, nil)
+	}
+
+	s := freshSched()
+	var wg sync.WaitGroup
+	runs := make([]waveRun, 2*len(algos))
+	for i := 0; i < 2*len(algos); i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var pol mpc.FaultPolicy
+			if i%2 == 1 {
+				pol = fault.NewRandom(seed+uint64(i), fault.Rates{Crash: 0.1})
+			}
+			runs[i] = runWaveSched(t, algos[i/2], metric.L2{}, seed, sched.Adaptive, s, pol)
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < 2*len(algos); i++ {
+		compareWinning(t, algos[i/2]+"/hammer", base[algos[i/2]], runs[i])
+	}
+	if inUse := s.Pool().InUse(); inUse != 0 {
+		t.Fatalf("shared pool leaked %d tokens across concurrent Solves", inUse)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"parclust/internal/metric"
 	"parclust/internal/mpc"
 	"parclust/internal/rng"
+	"parclust/internal/sched"
 	"parclust/internal/workload"
 )
 
@@ -47,6 +48,16 @@ const waveM = 4
 // for the transport-parity suite) are appended last.
 func runWave(t *testing.T, algo string, space metric.Space, seed uint64, speculation int, pol mpc.FaultPolicy, extra ...mpc.Option) waveRun {
 	t.Helper()
+	return runWaveSched(t, algo, space, seed, speculation, nil, pol, extra...)
+}
+
+// runWaveSched is runWave with an explicit scheduler, for adaptive runs
+// (speculation == sched.Adaptive). Each parity run gets its own
+// scheduler so cold-start behavior is reproducible and no estimator
+// state leaks between subtests; the shared-pool behavior is exercised
+// separately by the concurrent hammer.
+func runWaveSched(t *testing.T, algo string, space metric.Space, seed uint64, speculation int, sch *sched.Scheduler, pol mpc.FaultPolicy, extra ...mpc.Option) waveRun {
+	t.Helper()
 	const n, m, k = 160, waveM, 5
 	r := rng.New(seed)
 	pts := workload.GaussianMixture(r, n, 6, 8, 20, 2)
@@ -66,7 +77,7 @@ func runWave(t *testing.T, algo string, space metric.Space, seed uint64, specula
 	switch algo {
 	case "kcenter":
 		var res *kcenter.Result
-		res, err = kcenter.Solve(c, in, kcenter.Config{K: k, Speculation: speculation})
+		res, err = kcenter.Solve(c, in, kcenter.Config{K: k, Speculation: speculation, Sched: sch})
 		if res != nil {
 			specProbes = res.SpeculativeProbes
 			res.SpeculativeProbes = 0 // width-dependent by design; compared separately
@@ -74,7 +85,7 @@ func runWave(t *testing.T, algo string, space metric.Space, seed uint64, specula
 		}
 	case "diversity":
 		var res *diversity.Result
-		res, err = diversity.Maximize(c, in, diversity.Config{K: k, Speculation: speculation})
+		res, err = diversity.Maximize(c, in, diversity.Config{K: k, Speculation: speculation, Sched: sch})
 		if res != nil {
 			specProbes = res.SpeculativeProbes
 			res.SpeculativeProbes = 0
@@ -84,7 +95,7 @@ func runWave(t *testing.T, algo string, space metric.Space, seed uint64, specula
 		sup := workload.GaussianMixture(rng.New(seed+1), n/2, 6, 8, 20, 2)
 		inS := instance.New(cnt, workload.PartitionRoundRobin(nil, sup, m))
 		var res *ksupplier.Result
-		res, err = ksupplier.Solve(c, in, inS, ksupplier.Config{K: k, Speculation: speculation})
+		res, err = ksupplier.Solve(c, in, inS, ksupplier.Config{K: k, Speculation: speculation, Sched: sch})
 		if res != nil {
 			specProbes = res.SpeculativeProbes
 			res.SpeculativeProbes = 0
@@ -111,7 +122,12 @@ func runWave(t *testing.T, algo string, space metric.Space, seed uint64, specula
 		if ev.Speculative || ev.Recovery {
 			continue
 		}
+		// Like wall_ns, the sched_* tags describe scheduling, not
+		// computation: stripping them (a no-op on fixed-width runs,
+		// which never carry them) is what makes adaptive winning traces
+		// directly comparable to fixed-width ones.
 		ev.WallNanos = 0
+		ev.SchedWidth, ev.SchedCostNanos, ev.SchedOccupancy = 0, 0, 0
 		ev.Seq = len(win)
 		win = append(win, ev)
 	}

@@ -21,6 +21,7 @@ import (
 	"parclust/internal/metric"
 	"parclust/internal/mpc"
 	"parclust/internal/probe"
+	"parclust/internal/sched"
 	"parclust/internal/search"
 	"parclust/internal/wave"
 )
@@ -56,7 +57,16 @@ type Config struct {
 	// the sequential shared-cluster search unchanged. Discarded
 	// speculative probes are reported (Result.SpeculativeProbes, trace
 	// events, Stats) but never charge the Theorem 17 budget.
+	// sched.Adaptive selects the cost-model scheduler instead of a fixed
+	// width: each wave's width is chosen online from the estimator's
+	// probe-cost samples and the worker slots free in the shared
+	// sched.Pool (see Sched), with the same result-invariance guarantee.
 	Speculation int
+	// Sched supplies the scheduler for Speculation == sched.Adaptive;
+	// nil uses the process-wide sched.Default(), whose shared pool keeps
+	// concurrent Solves from oversubscribing the host. Ignored at fixed
+	// widths.
+	Sched *sched.Scheduler
 	// ForceFloat32 rounds every input coordinate to the nearest float32
 	// before solving (instance.Round32), forcing every downstream
 	// PointSet and DistIndex onto the f32 kernel lane (metric.Lane) and
@@ -239,7 +249,7 @@ func solve(c *mpc.Cluster, in *instance.Instance, cfg Config) (*Result, error) {
 		// in the sequential path.
 		var mu sync.Mutex
 		hits := make(map[int]*kbmis.Result, 1)
-		wres, err := wave.Run(c, 0, t, cfg.Speculation, false, func(fc *mpc.Cluster, i int) (bool, error) {
+		wres, err := wave.RunOpts(c, 0, t, cfg.Speculation, false, func(fc *mpc.Cluster, i int) (bool, error) {
 			mres, err := kbmis.Run(fc, in, tau(i), misCfg)
 			if err != nil {
 				return false, err
@@ -251,7 +261,7 @@ func solve(c *mpc.Cluster, in *instance.Instance, cfg Config) (*Result, error) {
 				mu.Unlock()
 			}
 			return ok, nil
-		})
+		}, wave.Options{Algo: "kcenter", Sched: cfg.Sched})
 		if err != nil {
 			return nil, err
 		}

@@ -24,6 +24,7 @@ import (
 	"parclust/internal/metric"
 	"parclust/internal/mpc"
 	"parclust/internal/probe"
+	"parclust/internal/sched"
 	"parclust/internal/search"
 	"parclust/internal/wave"
 )
@@ -60,7 +61,16 @@ type Config struct {
 	// Discarded speculative probes are reported
 	// (Result.SpeculativeProbes, trace events, Stats) but never charge
 	// the Theorem 18 budget.
+	// sched.Adaptive selects the cost-model scheduler instead of a fixed
+	// width: each wave's width is chosen online from the estimator's
+	// probe-cost samples and the worker slots free in the shared
+	// sched.Pool (see Sched), with the same result-invariance guarantee.
 	Speculation int
+	// Sched supplies the scheduler for Speculation == sched.Adaptive;
+	// nil uses the process-wide sched.Default(), whose shared pool keeps
+	// concurrent Solves from oversubscribing the host. Ignored at fixed
+	// widths.
+	Sched *sched.Scheduler
 	// ForceFloat32 rounds every input coordinate to the nearest float32
 	// before solving (instance.Round32), forcing every downstream
 	// PointSet and DistIndex onto the f32 kernel lane (metric.Lane) and
@@ -290,7 +300,7 @@ func solve(c *mpc.Cluster, inC, inS *instance.Instance, cfg Config) (*Result, er
 		// shadow cluster; see the kcenter driver for the merge semantics.
 		var mu sync.Mutex
 		hits := make(map[int]probeHit, 1)
-		wres, err := wave.Run(c, 0, t, cfg.Speculation, true, func(fc *mpc.Cluster, i int) (bool, error) {
+		wres, err := wave.RunOpts(c, 0, t, cfg.Speculation, true, func(fc *mpc.Cluster, i int) (bool, error) {
 			mres, err := kbmis.Run(fc, inC, 2*tau(i), misCfg)
 			if err != nil {
 				return false, err
@@ -311,7 +321,7 @@ func solve(c *mpc.Cluster, inC, inS *instance.Instance, cfg Config) (*Result, er
 			hits[i] = probeHit{supPts: supPts, supIDs: supIDs}
 			mu.Unlock()
 			return true, nil
-		})
+		}, wave.Options{Algo: "ksupplier", Sched: cfg.Sched})
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,212 @@
+package lubymis
+
+// This file holds the round-compressed variant, in the style of
+// Ghaffari et al.'s MPC round-compression: instead of one broadcast per
+// Luby iteration, each block pre-draws `steps` iterations' worth of
+// priorities per active vertex and ships them all in a single
+// broadcast. Every machine then simulates those `steps` iterations
+// locally over the full broadcast picture — the simulation is a
+// deterministic function of the shared data, so all machines agree on
+// every winner without a second winner-announcement round. The exchange
+// rate: 2 MPC rounds per block of `steps` iterations (versus 3 rounds
+// per single iteration for classic Run), bought with `steps` extra
+// words per vertex per broadcast and Θ(n²) local distance work per
+// machine per block (classic only tests its own vertices against the
+// broadcast). This is ROADMAP item 5's second lever, measured against
+// the k-bounded MIS in bench experiment A4.
+
+import (
+	"fmt"
+
+	"parclust/internal/instance"
+	"parclust/internal/metric"
+	"parclust/internal/mpc"
+)
+
+// DefaultCompressionSteps is the number of Luby iterations folded into
+// one broadcast when RunCompressed is called with steps <= 0. Classic
+// Luby halves the active edge count per iteration in expectation, so a
+// handful of pre-drawn priorities covers most blocks; larger values
+// just pad the broadcast with priorities retired vertices never use.
+const DefaultCompressionSteps = 4
+
+// RunCompressed computes a maximal independent set of G_tau with the
+// round-compressed Luby process. Each block covers up to steps Luby
+// iterations in 2 MPC rounds (steps <= 0 means
+// DefaultCompressionSteps). MaxRounds bounds the total Luby iterations
+// exactly as in Run. The output is a valid MIS but NOT the same set Run
+// selects: the two variants consume each machine's RNG stream in
+// different orders, so their priorities — and therefore their winners —
+// differ by design.
+func RunCompressed(c *mpc.Cluster, in *instance.Instance, tau float64, steps, maxRounds int) (*Result, error) {
+	if c.NumMachines() != in.Machines() {
+		return nil, fmt.Errorf("lubymis: cluster has %d machines, instance has %d parts",
+			c.NumMachines(), in.Machines())
+	}
+	if steps <= 0 {
+		steps = DefaultCompressionSteps
+	}
+	if maxRounds <= 0 {
+		maxRounds = 10*log2ceil(in.N) + 10
+	}
+	m := in.Machines()
+
+	parts := make([][]metric.Point, m)
+	ids := make([][]int, m)
+	for i := range in.Parts {
+		parts[i] = append([]metric.Point(nil), in.Parts[i]...)
+		ids[i] = append([]int(nil), in.IDs[i]...)
+	}
+	res := &Result{}
+
+	active := in.N
+	for active > 0 {
+		if res.Rounds >= maxRounds {
+			return nil, fmt.Errorf("lubymis: did not converge in %d rounds", maxRounds)
+		}
+		// Cap the block so a convergence bug still trips maxRounds
+		// rather than hiding behind a huge final block.
+		blockSteps := steps
+		if left := maxRounds - res.Rounds; blockSteps > left {
+			blockSteps = left
+		}
+
+		// One broadcast carries blockSteps priorities per active vertex,
+		// vertex-major: Ws[t*blockSteps+s] is vertex t's priority for
+		// simulated iteration s.
+		err := c.Superstep("luby/cbroadcast", func(mc *mpc.Machine) error {
+			i := mc.ID()
+			ws := make([]float64, len(parts[i])*blockSteps)
+			for t := range ws {
+				ws[t] = mc.RNG.Float64()
+			}
+			mc.BroadcastAll(mpc.WeightedPoints{Tag: i, IDs: ids[i], Pts: parts[i], Ws: ws})
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		// Every machine simulates the block over the full broadcast. The
+		// winner predicate and neighborhood removal are order-independent
+		// functions of (ids, points, priorities), so all machines reach
+		// identical verdicts; each records only its own winners.
+		iters := make([]int, m)
+		winnersPer := make([][]int, m)
+		winnerPtsPer := make([][]metric.Point, m)
+		err = c.Superstep("luby/csimulate", func(mc *mpc.Machine) error {
+			i := mc.ID()
+			var allIDs []int
+			var allPts []metric.Point
+			var allWs []float64
+			for _, msg := range mc.Inbox() {
+				if wp, ok := msg.Payload.(mpc.WeightedPoints); ok {
+					allIDs = append(allIDs, wp.IDs...)
+					allPts = append(allPts, wp.Pts...)
+					allWs = append(allWs, wp.Ws...)
+				}
+			}
+			mc.NoteMemory(int64(len(allIDs) + len(allWs) + metric.TotalWords(allPts)))
+
+			// The block simulates several iterations over one vertex set:
+			// pay the Θ(n²) distance bill once and reuse the adjacency.
+			adj := make([][]int, len(allIDs))
+			for u := range allIDs {
+				for v := u + 1; v < len(allIDs); v++ {
+					if in.Space.Dist(allPts[u], allPts[v]) <= tau {
+						adj[u] = append(adj[u], v)
+						adj[v] = append(adj[v], u)
+					}
+				}
+			}
+			own := make(map[int]bool, len(ids[i]))
+			for _, id := range ids[i] {
+				own[id] = true
+			}
+
+			alive := make([]bool, len(allIDs))
+			for u := range alive {
+				alive[u] = true
+			}
+			remaining := len(allIDs)
+			for s := 0; s < blockSteps && remaining > 0; s++ {
+				iters[i]++
+				var winIdx []int
+				for u := range allIDs {
+					if !alive[u] {
+						continue
+					}
+					prio, id := allWs[u*blockSteps+s], allIDs[u]
+					winner := true
+					for _, v := range adj[u] {
+						if alive[v] &&
+							(allWs[v*blockSteps+s] > prio ||
+								(allWs[v*blockSteps+s] == prio && allIDs[v] > id)) {
+							winner = false
+							break
+						}
+					}
+					if winner {
+						winIdx = append(winIdx, u)
+					}
+				}
+				for _, u := range winIdx {
+					if own[allIDs[u]] {
+						winnersPer[i] = append(winnersPer[i], allIDs[u])
+						winnerPtsPer[i] = append(winnerPtsPer[i], allPts[u])
+					}
+					if alive[u] {
+						alive[u] = false
+						remaining--
+					}
+					for _, v := range adj[u] {
+						if alive[v] {
+							alive[v] = false
+							remaining--
+						}
+					}
+				}
+			}
+
+			// Carry only this machine's still-alive vertices forward.
+			// Fresh slices, NOT in-place compaction: the broadcast shipped
+			// parts[i]/ids[i] by reference, and peers are still reading
+			// those backing arrays through their inboxes in this very
+			// superstep. (Classic Run compacts in luby/remove, a round
+			// after the broadcast's consumers are done.)
+			kept := make(map[int]bool, remaining)
+			for u := range allIDs {
+				if alive[u] && own[allIDs[u]] {
+					kept[allIDs[u]] = true
+				}
+			}
+			keptP := make([]metric.Point, 0, len(kept))
+			keptI := make([]int, 0, len(kept))
+			for t, id := range ids[i] {
+				if kept[id] {
+					keptP = append(keptP, parts[i][t])
+					keptI = append(keptI, id)
+				}
+			}
+			parts[i] = keptP
+			ids[i] = keptI
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		if m > 0 {
+			res.Rounds += iters[0]
+		}
+		for i := 0; i < m; i++ {
+			res.IDs = append(res.IDs, winnersPer[i]...)
+			res.Points = append(res.Points, winnerPtsPer[i]...)
+		}
+		active = 0
+		for i := 0; i < m; i++ {
+			active += len(parts[i])
+		}
+	}
+	return res, nil
+}

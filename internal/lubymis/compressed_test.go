@@ -1,0 +1,161 @@
+package lubymis
+
+import (
+	"testing"
+	"testing/quick"
+
+	"parclust/internal/mpc"
+	"parclust/internal/rng"
+	"parclust/internal/workload"
+)
+
+func TestCompressedProducesMIS(t *testing.T) {
+	r := rng.New(11)
+	for _, tau := range []float64{0.5, 2, 8} {
+		for _, steps := range []int{1, 3, 5} {
+			pts := workload.UniformCube(r, 200, 2, 20)
+			in := makeInstance(pts, 4)
+			c := mpc.NewCluster(4, 9)
+			res, err := RunCompressed(c, in, tau, steps, 0)
+			if err != nil {
+				t.Fatalf("tau %v steps %d: %v", tau, steps, err)
+			}
+			verifyMIS(t, in, tau, res)
+		}
+	}
+}
+
+// TestCompressedSavesRounds is the point of the variant: on the same
+// instance, the compressed run must finish in strictly fewer MPC rounds
+// than classic Luby — 2 rounds per steps-iteration block versus 3 per
+// iteration — while still producing a valid MIS.
+func TestCompressedSavesRounds(t *testing.T) {
+	r := rng.New(12)
+	pts := workload.UniformCube(r, 600, 2, 30)
+	tau := 2.0
+
+	inA := makeInstance(pts, 6)
+	cA := mpc.NewCluster(6, 5)
+	classic, err := Run(cA, inA, tau, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inB := makeInstance(pts, 6)
+	cB := mpc.NewCluster(6, 5)
+	comp, err := RunCompressed(cB, inB, tau, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyMIS(t, inB, tau, comp)
+
+	if got, limit := cB.Stats().Rounds, cA.Stats().Rounds; got >= limit {
+		t.Fatalf("compressed used %d MPC rounds, classic used %d — no compression", got, limit)
+	}
+	// Sanity: the round bill matches the 2-per-block shape.
+	blocks := (comp.Rounds + 3) / 4
+	if got := cB.Stats().Rounds; got > 2*blocks {
+		t.Fatalf("compressed used %d MPC rounds for %d iterations (max %d blocks)",
+			got, comp.Rounds, blocks)
+	}
+	_ = classic
+}
+
+func TestCompressedStepsOneStillTwoRoundsPerIteration(t *testing.T) {
+	r := rng.New(13)
+	pts := workload.UniformCube(r, 150, 2, 10)
+	in := makeInstance(pts, 3)
+	c := mpc.NewCluster(3, 7)
+	res, err := RunCompressed(c, in, 1.5, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyMIS(t, in, 1.5, res)
+	if got := c.Stats().Rounds; got != 2*res.Rounds {
+		t.Fatalf("steps=1: %d MPC rounds for %d iterations, want exactly 2 per iteration",
+			got, res.Rounds)
+	}
+}
+
+func TestCompressedEmptyGraph(t *testing.T) {
+	in := makeInstance(nil, 3)
+	c := mpc.NewCluster(3, 1)
+	res, err := RunCompressed(c, in, 1, 0, 0)
+	if err != nil || len(res.IDs) != 0 || res.Rounds != 0 {
+		t.Fatalf("empty: %+v %v", res, err)
+	}
+}
+
+func TestCompressedCompleteGraph(t *testing.T) {
+	r := rng.New(14)
+	pts := workload.UniformCube(r, 50, 2, 1)
+	in := makeInstance(pts, 4)
+	c := mpc.NewCluster(4, 3)
+	res, err := RunCompressed(c, in, 1000, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IDs) != 1 {
+		t.Fatalf("complete graph MIS size %d", len(res.IDs))
+	}
+	if res.Rounds != 1 {
+		t.Fatalf("complete graph resolved in %d iterations, want 1 (block stops when nothing is active)", res.Rounds)
+	}
+}
+
+func TestCompressedMismatchRejected(t *testing.T) {
+	in := makeInstance(workload.Line(4), 2)
+	if _, err := RunCompressed(mpc.NewCluster(3, 1), in, 1, 4, 0); err == nil {
+		t.Fatal("mismatch accepted")
+	}
+}
+
+func TestCompressedDeterministic(t *testing.T) {
+	r := rng.New(15)
+	pts := workload.UniformCube(r, 150, 2, 10)
+	run := func() (int, int) {
+		in := makeInstance(pts, 3)
+		c := mpc.NewCluster(3, 77)
+		res, err := RunCompressed(c, in, 1.5, 4, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(res.IDs), res.Rounds
+	}
+	a1, r1 := run()
+	a2, r2 := run()
+	if a1 != a2 || r1 != r2 {
+		t.Fatalf("nondeterministic: (%d, %d) vs (%d, %d)", a1, r1, a2, r2)
+	}
+}
+
+// Property: valid maximal IS across random sizes, partitions and steps.
+func TestCompressedAlwaysMISProperty(t *testing.T) {
+	r := rng.New(16)
+	f := func(nRaw, mRaw, tauRaw, stepsRaw uint8, seed uint16) bool {
+		n := int(nRaw)%80 + 2
+		m := int(mRaw)%4 + 1
+		tau := float64(tauRaw%30)/10 + 0.1
+		steps := int(stepsRaw)%6 + 1
+		pts := workload.UniformCube(r, n, 2, 8)
+		in := makeInstance(pts, m)
+		c := mpc.NewCluster(m, uint64(seed))
+		res, err := RunCompressed(c, in, tau, steps, 0)
+		if err != nil {
+			return false
+		}
+		g, gids := in.Graph(tau)
+		pos := make(map[int]int, len(gids))
+		for v, id := range gids {
+			pos[id] = v
+		}
+		verts := make([]int, len(res.IDs))
+		for i, id := range res.IDs {
+			verts[i] = pos[id]
+		}
+		return g.IsMaximalIndependent(verts)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

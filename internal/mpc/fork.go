@@ -79,6 +79,24 @@ func (c *Cluster) Fork(rung int) *Cluster {
 	return f
 }
 
+// SetSchedTags stamps the adaptive scheduler's wave decision onto every
+// round the cluster subsequently runs (RoundStats.SchedWidth /
+// SchedCostNanos / SchedOccupancy, the trace's sched_* fields): width is
+// the total wave width the cost model chose, costNs its predicted
+// critical-path time for the remaining search, and occupancy the shared
+// pool's in-use token count at planning time. The wave layer calls this
+// on each fork of an adaptively-planned wave (and again on retry forks,
+// so recovery rounds carry the same decision); width <= 0 clears the
+// tags. Call before the cluster runs supersteps — the tags are read
+// without synchronization by the superstep goroutine's accounting.
+func (c *Cluster) SetSchedTags(width int, costNs int64, occupancy int) {
+	if width <= 0 {
+		c.schedWidth, c.schedCostNs, c.schedPool = 0, 0, 0
+		return
+	}
+	c.schedWidth, c.schedCostNs, c.schedPool = width, costNs, occupancy
+}
+
 // rootCluster walks the parent chain to the cluster that owns the worker
 // pool.
 func (c *Cluster) rootCluster() *Cluster {

@@ -224,6 +224,15 @@ type Cluster struct {
 	parent   *Cluster
 	forkRung int
 
+	// schedWidth/schedCostNs/schedPool, when schedWidth > 0, are the
+	// adaptive scheduler's wave decision stamped onto every round this
+	// cluster runs (SetSchedTags, set by internal/wave on the forks of an
+	// adaptively-planned wave). Zero on fixed-width runs so their traces
+	// stay byte-identical to the pre-scheduler schema.
+	schedWidth  int
+	schedCostNs int64
+	schedPool   int
+
 	// tasks feeds the persistent worker pool shared by Superstep and
 	// Local: min(GOMAXPROCS, m) goroutines started at construction and
 	// shut down by a finalizer, replacing m goroutine spawns per round.
@@ -440,6 +449,11 @@ func (c *Cluster) Superstep(name string, fn func(m *Machine) error) error {
 	// RoundStats retained in Stats.PerRound carries per-machine vectors
 	// only when a Tracer or TraceRecorder consumes them (see stats.go).
 	rs := RoundStats{Name: name, Transport: c.transport.Name()}
+	if c.schedWidth > 0 {
+		rs.SchedWidth = c.schedWidth
+		rs.SchedCostNanos = c.schedCostNs
+		rs.SchedOccupancy = c.schedPool
+	}
 	sentWords := c.sentScratch
 	recvWords := c.recvScratch
 	for i := range sentWords {

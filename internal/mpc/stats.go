@@ -64,6 +64,18 @@ type RoundStats struct {
 	// fault kind ("crash", "drop", "duplicate", "probe-retry").
 	Recovery bool
 	Fault    string
+	// SchedWidth / SchedCostNanos / SchedOccupancy describe the adaptive
+	// scheduler's decision for the wave this forked round's probe
+	// belonged to: the total wave width the cost model chose, its
+	// predicted critical-path nanoseconds for the remaining search, and
+	// the shared pool's in-use token count at planning time
+	// (internal/sched). Populated only on rounds run under
+	// Config.Speculation = sched.Adaptive — fixed-width and sequential
+	// runs leave them zero, keeping their traces byte-identical to the
+	// pre-scheduler schema.
+	SchedWidth     int
+	SchedCostNanos int64
+	SchedOccupancy int
 	// PrefilterHits / PrefilterMisses are the metric-layer quantized
 	// prefilter's decide and exact-fallback row counts observed during
 	// this round (deltas of metric.PrefilterCounters). Populated only

@@ -139,6 +139,19 @@ type TraceEvent struct {
 	// so default traces are byte-identical to the pre-prefilter schema.
 	PrefilterHits   int64 `json:"prefilter_hits,omitempty"`
 	PrefilterMisses int64 `json:"prefilter_misses,omitempty"`
+	// SchedWidth / SchedCostNanos / SchedOccupancy are the adaptive
+	// scheduler's decision for the wave this forked round's probe
+	// belonged to: chosen total wave width, the cost model's predicted
+	// critical-path nanoseconds, and the shared pool's in-use tokens at
+	// planning time (internal/sched). Present only on rounds run under
+	// Config.Speculation = sched.Adaptive; omitted everywhere else, so
+	// pre-scheduler traces stay byte-identical. Like wall_ns they
+	// describe scheduling, not computation: stripping sched_* fields
+	// from an adaptive run's winning trace yields the fixed-width trace
+	// of the same seed — the adaptive-parity contract.
+	SchedWidth     int   `json:"sched_width,omitempty"`
+	SchedCostNanos int64 `json:"sched_cost_ns,omitempty"`
+	SchedOccupancy int   `json:"sched_pool,omitempty"`
 	// Transport names the message-delivery backend the round ran on
 	// (RoundStats.Transport). Omitted for the default in-process
 	// backend, so existing traces stay byte-identical; present on every
@@ -184,6 +197,10 @@ func (r *TraceRecorder) record(round, machines int, rs RoundStats) {
 
 		PrefilterHits:   rs.PrefilterHits,
 		PrefilterMisses: rs.PrefilterMisses,
+
+		SchedWidth:     rs.SchedWidth,
+		SchedCostNanos: rs.SchedCostNanos,
+		SchedOccupancy: rs.SchedOccupancy,
 	}
 	if rs.Transport != "" && rs.Transport != "inproc" {
 		ev.Transport = rs.Transport

@@ -1,0 +1,130 @@
+package sched
+
+import "sync"
+
+// Estimator maintains exponentially-decayed estimates of per-probe wall
+// time, bucketed by (algorithm, descent depth), plus one estimate of the
+// per-probe fork overhead. Samples come from the tracer's existing
+// per-round WallNanos, summed over a finished probe's fork — so the
+// estimator costs nothing the simulator was not already measuring.
+//
+// Probes that run concurrently inflate each other's wall clock, and an
+// injected straggler can stretch one sample by orders of magnitude, so
+// Observe clamps any sample above OutlierCut times the current estimate
+// before folding it in: a skewed tail nudges the estimate instead of
+// capturing it. All methods are safe for concurrent use — probes finish
+// on their own goroutines.
+type Estimator struct {
+	// Alpha is the EWMA weight of a new sample, in (0, 1]; higher adapts
+	// faster. NewEstimator sets 0.3: a few probes dominate the estimate,
+	// matching how quickly per-probe cost drifts down a τ-ladder.
+	Alpha float64
+	// OutlierCut clamps samples above OutlierCut·estimate (stragglers,
+	// contention spikes). NewEstimator sets 8.
+	OutlierCut float64
+
+	mu    sync.Mutex
+	probe map[bucket]float64
+	fork  float64
+	forkN int
+}
+
+// bucket keys a per-probe estimate: the algorithm running the ladder
+// and the descent depth (halving steps already resolved) of the wave
+// the probe belonged to. Probe cost drifts with depth — smaller τ means
+// more MIS iterations for the descending ladders — which is why depth
+// is part of the key rather than averaged away.
+type bucket struct {
+	algo  string
+	depth int
+}
+
+// NewEstimator returns an empty estimator with the default decay and
+// outlier cut.
+func NewEstimator() *Estimator {
+	return &Estimator{Alpha: 0.3, OutlierCut: 8}
+}
+
+// ObserveProbe folds one finished probe's wall time into the
+// (algo, depth) bucket. Non-positive samples are ignored.
+func (e *Estimator) ObserveProbe(algo string, depth int, nanos int64) {
+	if nanos <= 0 {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.probe == nil {
+		e.probe = make(map[bucket]float64)
+	}
+	k := bucket{algo, depth}
+	cur, seen := e.probe[k]
+	if !seen {
+		e.probe[k] = float64(nanos)
+		return
+	}
+	e.probe[k] = cur + e.Alpha*(e.clamp(float64(nanos), cur)-cur)
+}
+
+// ObserveFork folds one fork-construction overhead sample in.
+func (e *Estimator) ObserveFork(nanos int64) {
+	if nanos <= 0 {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.forkN == 0 {
+		e.fork, e.forkN = float64(nanos), 1
+		return
+	}
+	e.forkN++
+	e.fork += e.Alpha * (e.clamp(float64(nanos), e.fork) - e.fork)
+}
+
+// clamp applies the straggler cut against the current estimate.
+func (e *Estimator) clamp(sample, cur float64) float64 {
+	if cut := e.OutlierCut; cut > 0 && cur > 0 && sample > cut*cur {
+		return cut * cur
+	}
+	return sample
+}
+
+// Probe returns the estimated wall time of one probe for (algo, depth).
+// With no sample at that exact depth it falls back to the nearest
+// sampled depth of the same algorithm — ladder probes at neighboring
+// depths cost about the same, and a warm neighboring bucket beats a
+// cold start. ok is false only when the algorithm has no samples at
+// all: the caller must calibrate (run one unspeculated probe) before
+// planning.
+func (e *Estimator) Probe(algo string, depth int) (nanos int64, ok bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if v, seen := e.probe[bucket{algo, depth}]; seen {
+		return int64(v), true
+	}
+	bestDist := -1
+	var best float64
+	for k, v := range e.probe {
+		if k.algo != algo {
+			continue
+		}
+		d := k.depth - depth
+		if d < 0 {
+			d = -d
+		}
+		if bestDist < 0 || d < bestDist {
+			bestDist, best = d, v
+		}
+	}
+	if bestDist < 0 {
+		return 0, false
+	}
+	return int64(best), true
+}
+
+// Fork returns the estimated per-probe fork overhead (0 before the
+// first sample — planning proceeds, it just prices forks as free).
+func (e *Estimator) Fork() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return int64(e.fork)
+}

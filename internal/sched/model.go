@@ -1,0 +1,81 @@
+package sched
+
+import "math/bits"
+
+// ModelInput carries everything the wave-depth cost model needs to price
+// one candidate width. All quantities are per descent decision, taken at
+// the moment a wave is about to launch.
+type ModelInput struct {
+	// Rungs is the number of unresolved ladder rungs still in play:
+	// searching a (lo, hi) boundary interval of t = hi-lo rungs takes
+	// ceil(log2(t+1)) halving probes sequentially.
+	Rungs int
+	// ProbeNs is the estimated wall time of one probe (Estimator.Probe).
+	ProbeNs int64
+	// ForkNs is the estimated overhead of constructing one forked shadow
+	// cluster (Estimator.Fork). Charged once per speculative probe; the
+	// required probe's fork is built at every width, so it cancels out of
+	// the comparison and is left uncharged.
+	ForkNs int64
+	// Parallel is how many probes can actually run concurrently: the
+	// required probe plus however many pool tokens are free, capped by
+	// GOMAXPROCS. Probes beyond Parallel serialize on the same silicon.
+	Parallel int
+	// MaxWidth caps the candidate widths considered (inclusive, total
+	// probes per wave — width 1 is the unspeculated sequential wave).
+	MaxWidth int
+}
+
+// Log2Ceil returns ceil(log2(n+1)): the number of halving probes a
+// sequential boundary search over an n-rung interval needs, and the
+// depth unit the estimator buckets by. Log2Ceil(0) = 0.
+func Log2Ceil(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return bits.Len(uint(n))
+}
+
+// ChooseWidth evaluates the BENCH_pr4 wave-depth model over candidate
+// total widths 1..MaxWidth and returns the width minimizing expected
+// critical-path time, with its predicted cost in nanoseconds.
+//
+// The model: a wave of total width w (the required rung plus w-1
+// speculative rungs) resolves floor(log2(w+1)) descent levels, so a
+// search needing R = ceil(log2(Rungs+1)) sequential probes finishes in
+// ceil(R / floor(log2(w+1))) waves. One wave's wall time is
+// ProbeNs * ceil(w/Parallel) — probes beyond the free silicon serialize
+// — plus ForkNs * (w-1) for constructing the speculative shadow
+// clusters.
+//
+// Ties break toward the smallest width: equal predicted latency for
+// less speculative work. With Parallel == 1 every extra probe
+// serializes, so width 1 always wins — the single-core convergence the
+// acceptance criteria pin. Only widths of the form 2^j - 1 ever win
+// outright (intermediate widths buy no extra guaranteed level), which
+// is why the chosen widths cluster at 1, 3, 7, 15.
+func ChooseWidth(in ModelInput) (width int, costNs int64) {
+	r := int64(Log2Ceil(in.Rungs))
+	if r == 0 {
+		return 1, 0
+	}
+	par := in.Parallel
+	if par < 1 {
+		par = 1
+	}
+	maxW := in.MaxWidth
+	if maxW < 1 {
+		maxW = 1
+	}
+	best, bestCost := 1, int64(-1)
+	for w := 1; w <= maxW; w++ {
+		levels := int64(bits.Len(uint(w+1)) - 1) // floor(log2(w+1))
+		waves := (r + levels - 1) / levels
+		perWave := in.ProbeNs*int64((w+par-1)/par) + in.ForkNs*int64(w-1)
+		cost := waves * perWave
+		if bestCost < 0 || cost < bestCost {
+			best, bestCost = w, cost
+		}
+	}
+	return best, bestCost
+}

@@ -1,0 +1,89 @@
+package sched
+
+import "sync"
+
+// Pool is a process-wide budget of speculative worker slots. Every
+// speculative ladder probe an adaptive wave launches holds one token for
+// the probe's whole lifetime (fault retries included); the probe the
+// sequential search needs next never takes one, so a Solve always makes
+// progress even against an exhausted pool and concurrent Solves can
+// never deadlock on each other. Sharing one Pool across every Solve in
+// the process is what keeps N concurrent searches from oversubscribing
+// the host with N·w forked probes: once the tokens are out, late
+// planners see Available()==0 and fall back to unspeculated waves.
+//
+// All methods are safe for concurrent use.
+type Pool struct {
+	mu    sync.Mutex
+	cap   int
+	inUse int
+}
+
+// NewPool returns a pool of n tokens. n < 0 is treated as 0 (a pool
+// that never grants a slot — the adaptive search degrades to the
+// sequential probe order).
+func NewPool(n int) *Pool {
+	if n < 0 {
+		n = 0
+	}
+	return &Pool{cap: n}
+}
+
+// Cap returns the pool's token capacity.
+func (p *Pool) Cap() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cap
+}
+
+// InUse returns the number of tokens currently held.
+func (p *Pool) InUse() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.inUse
+}
+
+// Available returns the number of tokens that could be acquired now.
+func (p *Pool) Available() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cap - p.inUse
+}
+
+// TryAcquire takes up to n tokens without blocking and returns how many
+// it got (possibly 0). Blocking would serialize concurrent Solves on
+// each other's speculation — the opposite of the pool's purpose — so a
+// caller that gets fewer tokens than planned simply runs a narrower
+// wave.
+func (p *Pool) TryAcquire(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	got := p.cap - p.inUse
+	if got > n {
+		got = n
+	}
+	if got < 0 {
+		got = 0
+	}
+	p.inUse += got
+	return got
+}
+
+// Release returns n tokens. Releasing more than acquired panics: a
+// double release means some probe's accounting is broken, and silently
+// inflating the budget would hide the oversubscription the pool exists
+// to prevent.
+func (p *Pool) Release(n int) {
+	if n <= 0 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.inUse -= n
+	if p.inUse < 0 {
+		panic("sched: pool released more tokens than were acquired")
+	}
+}

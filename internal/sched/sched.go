@@ -1,0 +1,212 @@
+// Package sched chooses speculative wave widths for the τ-ladder
+// boundary search online. PR 4's wave layer takes a fixed width; the
+// right width is a function of how expensive a probe is, how much fork
+// construction costs, how many cores are idle, and how much ladder is
+// left — quantities that are only known at run time. The scheduler
+// closes that loop: an Estimator samples per-probe wall time and fork
+// overhead from the tracer's existing WallNanos, the BENCH_pr4
+// wave-depth model (ChooseWidth) prices candidate widths against the
+// currently-free slots, and a process-wide Pool of worker tokens keeps
+// concurrent Solves from oversubscribing the host.
+//
+// Drivers opt in by setting Config.Speculation = sched.Adaptive; the
+// wave layer then consults a Session per search. Width choices never
+// affect results — PR 4's width-invariance contract pins every rung's
+// randomness to its fork seed — so the scheduler is free to be wrong:
+// a bad width costs time, never correctness.
+package sched
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Adaptive is the Config.Speculation sentinel that selects
+// scheduler-chosen wave widths. It is distinct from the fixed widths
+// (positive), the probe-everything width (-1), and disabled speculation
+// (0).
+const Adaptive = -2
+
+// Config configures a Scheduler. The zero value is usable: every field
+// defaults as documented.
+type Config struct {
+	// Pool is the worker-slot budget speculative probes draw from.
+	// Defaults to a new pool of min(GOMAXPROCS, MaxParallel)-1 tokens:
+	// the required probe always runs, so only the cores beyond the first
+	// are worth speculating onto.
+	Pool *Pool
+	// Estimator holds the online cost estimates. Defaults to a fresh
+	// NewEstimator.
+	Estimator *Estimator
+	// MaxWidth caps the total wave width the model may choose.
+	// Defaults to 16.
+	MaxWidth int
+	// MaxParallel is the hardware-parallelism ceiling the model prices
+	// probes against. Defaults to runtime.NumCPU(): GOMAXPROCS alone can
+	// overstate real parallelism (raising it above the physical core
+	// count timeshares rather than parallelises, so speculation only
+	// adds overhead), and sessions additionally cap at the GOMAXPROCS in
+	// force at search start. Tests raise MaxParallel to force wide waves
+	// on small hosts.
+	MaxParallel int
+}
+
+// Scheduler owns the shared pieces — pool, estimator, width cap — and
+// mints per-search Sessions. Safe for concurrent use; one Scheduler is
+// meant to be shared by every Solve in the process (Default).
+type Scheduler struct {
+	pool     *Pool
+	est      *Estimator
+	maxWidth int
+	maxPar   int
+}
+
+// NewScheduler builds a Scheduler from cfg, applying defaults for zero
+// fields.
+func NewScheduler(cfg Config) *Scheduler {
+	if cfg.MaxParallel < 1 {
+		cfg.MaxParallel = runtime.NumCPU()
+	}
+	if cfg.Pool == nil {
+		// The required probe always runs, so only the usable cores beyond
+		// the first are worth pooling — usable meaning both scheduled
+		// (GOMAXPROCS) and physically present (MaxParallel).
+		tokens := cfg.MaxParallel
+		if g := runtime.GOMAXPROCS(0); g < tokens {
+			tokens = g
+		}
+		cfg.Pool = NewPool(tokens - 1)
+	}
+	if cfg.Estimator == nil {
+		cfg.Estimator = NewEstimator()
+	}
+	if cfg.MaxWidth < 1 {
+		cfg.MaxWidth = 16
+	}
+	return &Scheduler{pool: cfg.Pool, est: cfg.Estimator, maxWidth: cfg.MaxWidth, maxPar: cfg.MaxParallel}
+}
+
+// Pool returns the scheduler's token pool (for occupancy inspection).
+func (s *Scheduler) Pool() *Pool { return s.pool }
+
+// Estimator returns the scheduler's shared estimator.
+func (s *Scheduler) Estimator() *Estimator { return s.est }
+
+// defaultSched is the process-wide scheduler used when a driver asks
+// for Adaptive without supplying its own. Lazily built on first use so
+// it observes the GOMAXPROCS in force when Solves actually run.
+var (
+	defaultOnce  sync.Once
+	defaultSched *Scheduler
+)
+
+// Default returns the process-wide Scheduler, creating it on first
+// call. Every Solve that selects Adaptive without an explicit Config
+// shares this instance — its Pool is what stops N concurrent Solves
+// from launching N·w probes onto the same cores.
+func Default() *Scheduler {
+	defaultOnce.Do(func() { defaultSched = NewScheduler(Config{}) })
+	return defaultSched
+}
+
+// Plan is one wave's scheduling decision.
+type Plan struct {
+	// Width is the total batch width chosen (>= 1; 1 means no
+	// speculation this wave).
+	Width int
+	// CostNs is the model's predicted critical-path time for the
+	// remaining search at Width (0 when cold).
+	CostNs int64
+	// ProbeNs is the per-probe estimate the model consumed (0 when
+	// cold).
+	ProbeNs int64
+	// Occupancy is the pool's InUse count at planning time.
+	Occupancy int
+	// Warm reports whether the estimator had any sample for this
+	// algorithm. A cold plan is always Width 1: the first, unspeculated
+	// probe doubles as the calibration run.
+	Warm bool
+}
+
+// Session scopes scheduling to one ladder search: it fixes the
+// algorithm bucket, the ladder's total depth (so interval sizes map to
+// absolute descent depths), and the parallelism ceiling observed at
+// search start.
+type Session struct {
+	s        *Scheduler
+	algo     string
+	depth0   int
+	maxProcs int
+}
+
+// Session starts a scheduling session for one boundary search over a
+// ladder of the given total rung count. algo namespaces the estimator
+// buckets ("kcenter", "diversity", "ksupplier"). The session's
+// parallelism ceiling is min(GOMAXPROCS, MaxParallel) observed here:
+// GOMAXPROCS is what the runtime will schedule, MaxParallel is what the
+// silicon can actually run side by side.
+func (s *Scheduler) Session(algo string, rungs int) *Session {
+	procs := runtime.GOMAXPROCS(0)
+	if s.maxPar < procs {
+		procs = s.maxPar
+	}
+	return &Session{s: s, algo: algo, depth0: Log2Ceil(rungs), maxProcs: procs}
+}
+
+// Depth maps a current interval size t to the estimator's descent-depth
+// bucket: how many halving steps the search has already resolved.
+func (ss *Session) Depth(t int) int {
+	d := ss.depth0 - Log2Ceil(t)
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// Plan chooses the wave width for an interval of t unresolved rungs.
+// It reads pool availability without acquiring: the caller follows up
+// with Acquire for the speculative slots it will actually use, and may
+// be granted fewer if a concurrent Solve got there first — it then
+// simply runs a narrower wave.
+func (ss *Session) Plan(t int) Plan {
+	p := Plan{Width: 1, Occupancy: ss.s.pool.InUse()}
+	if t <= 1 {
+		return p
+	}
+	probeNs, warm := ss.s.est.Probe(ss.algo, ss.Depth(t))
+	if !warm {
+		return p
+	}
+	par := ss.s.pool.Available() + 1
+	if par > ss.maxProcs {
+		par = ss.maxProcs
+	}
+	maxW := ss.s.maxWidth
+	if maxW > t {
+		maxW = t
+	}
+	w, cost := ChooseWidth(ModelInput{
+		Rungs:    t,
+		ProbeNs:  probeNs,
+		ForkNs:   ss.s.est.Fork(),
+		Parallel: par,
+		MaxWidth: maxW,
+	})
+	return Plan{Width: w, CostNs: cost, ProbeNs: probeNs, Occupancy: p.Occupancy, Warm: true}
+}
+
+// Acquire takes up to n speculative slots from the shared pool and
+// returns how many it got. Non-blocking — see Pool.TryAcquire.
+func (ss *Session) Acquire(n int) int { return ss.s.pool.TryAcquire(n) }
+
+// Release returns n slots to the pool.
+func (ss *Session) Release(n int) { ss.s.pool.Release(n) }
+
+// ObserveProbe folds one finished probe's wall time into the estimator,
+// bucketed by the interval size t the probe's wave was planned at.
+func (ss *Session) ObserveProbe(t int, nanos int64) {
+	ss.s.est.ObserveProbe(ss.algo, ss.Depth(t), nanos)
+}
+
+// ObserveFork folds one fork-construction overhead sample in.
+func (ss *Session) ObserveFork(nanos int64) { ss.s.est.ObserveFork(nanos) }

@@ -1,0 +1,305 @@
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestPoolBasics(t *testing.T) {
+	p := NewPool(3)
+	if p.Cap() != 3 || p.InUse() != 0 || p.Available() != 3 {
+		t.Fatalf("fresh pool: cap=%d inUse=%d avail=%d", p.Cap(), p.InUse(), p.Available())
+	}
+	if got := p.TryAcquire(2); got != 2 {
+		t.Fatalf("TryAcquire(2) = %d, want 2", got)
+	}
+	if got := p.TryAcquire(5); got != 1 {
+		t.Fatalf("TryAcquire(5) on 1 free = %d, want 1", got)
+	}
+	if got := p.TryAcquire(1); got != 0 {
+		t.Fatalf("TryAcquire on empty pool = %d, want 0", got)
+	}
+	p.Release(3)
+	if p.InUse() != 0 {
+		t.Fatalf("after full release InUse = %d, want 0", p.InUse())
+	}
+	if got := p.TryAcquire(0); got != 0 {
+		t.Fatalf("TryAcquire(0) = %d, want 0", got)
+	}
+}
+
+func TestPoolNegativeCapacity(t *testing.T) {
+	p := NewPool(-4)
+	if p.Cap() != 0 || p.Available() != 0 {
+		t.Fatalf("NewPool(-4): cap=%d avail=%d, want 0, 0", p.Cap(), p.Available())
+	}
+	if got := p.TryAcquire(1); got != 0 {
+		t.Fatalf("TryAcquire on empty pool = %d, want 0", got)
+	}
+}
+
+func TestPoolOverReleasePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Release beyond acquired did not panic")
+		}
+	}()
+	p := NewPool(2)
+	p.TryAcquire(1)
+	p.Release(2)
+}
+
+// TestPoolConcurrent hammers acquire/release from many goroutines and
+// checks the invariants the scheduler relies on: InUse never exceeds
+// Cap, and everything acquired is returned. Run under -race in CI.
+func TestPoolConcurrent(t *testing.T) {
+	p := NewPool(4)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				got := p.TryAcquire(3)
+				if u := p.InUse(); u > p.Cap() {
+					t.Errorf("InUse %d exceeds Cap %d", u, p.Cap())
+				}
+				p.Release(got)
+			}
+		}()
+	}
+	wg.Wait()
+	if p.InUse() != 0 {
+		t.Fatalf("tokens leaked: InUse = %d after all releases", p.InUse())
+	}
+}
+
+func TestEstimatorColdStart(t *testing.T) {
+	e := NewEstimator()
+	if _, ok := e.Probe("kcenter", 0); ok {
+		t.Fatal("cold estimator reported a probe estimate")
+	}
+	e.ObserveProbe("kcenter", 0, 1000)
+	ns, ok := e.Probe("kcenter", 0)
+	if !ok || ns != 1000 {
+		t.Fatalf("after one sample Probe = (%d, %v), want (1000, true)", ns, ok)
+	}
+	// A different algorithm stays cold: buckets are namespaced.
+	if _, ok := e.Probe("diversity", 0); ok {
+		t.Fatal("estimate leaked across algorithm buckets")
+	}
+	// A different depth of the same algorithm falls back to the nearest
+	// sampled depth instead of going cold.
+	ns, ok = e.Probe("kcenter", 3)
+	if !ok || ns != 1000 {
+		t.Fatalf("nearest-depth fallback = (%d, %v), want (1000, true)", ns, ok)
+	}
+}
+
+func TestEstimatorDecay(t *testing.T) {
+	e := NewEstimator()
+	e.ObserveProbe("a", 0, 1000)
+	for i := 0; i < 40; i++ {
+		e.ObserveProbe("a", 0, 2000)
+	}
+	ns, _ := e.Probe("a", 0)
+	// EWMA with alpha 0.3 converges geometrically: after 40 samples of
+	// 2000 the 1000 start is long gone.
+	if ns < 1990 || ns > 2000 {
+		t.Fatalf("estimate after decay = %d, want ~2000", ns)
+	}
+}
+
+func TestEstimatorStragglerRejection(t *testing.T) {
+	e := NewEstimator()
+	for i := 0; i < 10; i++ {
+		e.ObserveProbe("a", 0, 1000)
+	}
+	// One straggler-skewed sample, 1000x the estimate. The outlier cut
+	// clamps it to 8x before folding, so the estimate moves to at most
+	// 1000 + 0.3*(8000-1000) = 3100 instead of ~300k.
+	e.ObserveProbe("a", 0, 1_000_000)
+	ns, _ := e.Probe("a", 0)
+	if ns > 3200 {
+		t.Fatalf("straggler captured the estimate: %d", ns)
+	}
+	if ns <= 1000 {
+		t.Fatalf("straggler ignored entirely: %d (the clamp should nudge, not drop)", ns)
+	}
+}
+
+func TestEstimatorIgnoresNonPositive(t *testing.T) {
+	e := NewEstimator()
+	e.ObserveProbe("a", 0, 0)
+	e.ObserveProbe("a", 0, -5)
+	if _, ok := e.Probe("a", 0); ok {
+		t.Fatal("non-positive samples should not warm the estimator")
+	}
+	e.ObserveFork(0)
+	if e.Fork() != 0 {
+		t.Fatalf("Fork after zero sample = %d, want 0", e.Fork())
+	}
+	e.ObserveFork(77)
+	if e.Fork() != 77 {
+		t.Fatalf("Fork = %d, want 77", e.Fork())
+	}
+}
+
+func TestLog2Ceil(t *testing.T) {
+	cases := [][2]int{{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4}, {100, 7}}
+	for _, c := range cases {
+		if got := Log2Ceil(c[0]); got != c[1] {
+			t.Errorf("Log2Ceil(%d) = %d, want %d", c[0], got, c[1])
+		}
+	}
+}
+
+func TestChooseWidthSingleCore(t *testing.T) {
+	// Parallel 1: every extra probe serializes, so width 1 must win at
+	// any ladder length and any cost mix — the single-core convergence
+	// the acceptance criteria pin.
+	for _, rungs := range []int{2, 10, 100} {
+		w, _ := ChooseWidth(ModelInput{Rungs: rungs, ProbeNs: 1_000_000, ForkNs: 1000, Parallel: 1, MaxWidth: 16})
+		if w != 1 {
+			t.Fatalf("Parallel=1 Rungs=%d chose width %d, want 1", rungs, w)
+		}
+	}
+}
+
+func TestChooseWidthScalesWithParallelism(t *testing.T) {
+	base := ModelInput{Rungs: 100, ProbeNs: 1_000_000, ForkNs: 1000, MaxWidth: 16}
+	cases := []struct{ par, want int }{
+		{1, 1},
+		{4, 3}, // 2 levels per wave at one wave-latency
+		{8, 7}, // 3 levels per wave
+		{16, 15},
+	}
+	for _, c := range cases {
+		in := base
+		in.Parallel = c.par
+		w, cost := ChooseWidth(in)
+		if w != c.want {
+			t.Errorf("Parallel=%d chose width %d (cost %d), want %d", c.par, w, cost, c.want)
+		}
+	}
+}
+
+func TestChooseWidthForkOverheadDamps(t *testing.T) {
+	// When forking costs as much as probing, wide waves stop paying.
+	in := ModelInput{Rungs: 100, ProbeNs: 1000, ForkNs: 1000, Parallel: 16, MaxWidth: 16}
+	w, _ := ChooseWidth(in)
+	if w >= 15 {
+		t.Fatalf("fork-dominated model still chose width %d", w)
+	}
+	in.ForkNs = 100_000
+	w, _ = ChooseWidth(in)
+	if w != 1 {
+		t.Fatalf("fork overhead 100x probe cost: width %d, want 1", w)
+	}
+}
+
+func TestChooseWidthDegenerate(t *testing.T) {
+	if w, cost := ChooseWidth(ModelInput{Rungs: 0, ProbeNs: 100, Parallel: 8, MaxWidth: 8}); w != 1 || cost != 0 {
+		t.Fatalf("empty ladder: (%d, %d), want (1, 0)", w, cost)
+	}
+	if w, _ := ChooseWidth(ModelInput{Rungs: 10, ProbeNs: 100, Parallel: 8, MaxWidth: 0}); w != 1 {
+		t.Fatalf("MaxWidth 0 clamps to 1, got %d", w)
+	}
+}
+
+func TestSchedulerSessionPlan(t *testing.T) {
+	s := NewScheduler(Config{Pool: NewPool(8), MaxWidth: 16})
+	sess := s.Session("kcenter", 100)
+
+	// Cold: width 1, unconditionally — the calibration probe.
+	p := sess.Plan(100)
+	if p.Width != 1 || p.Warm {
+		t.Fatalf("cold plan = %+v, want width 1, Warm false", p)
+	}
+
+	// Warm: the plan follows the model (bounded by GOMAXPROCS, so just
+	// sanity-check the envelope rather than pin an exact width).
+	sess.ObserveProbe(100, 1_000_000)
+	p = sess.Plan(100)
+	if !p.Warm || p.Width < 1 || p.Width > 16 {
+		t.Fatalf("warm plan = %+v", p)
+	}
+	if p.ProbeNs != 1_000_000 {
+		t.Fatalf("plan consumed ProbeNs %d, want 1000000", p.ProbeNs)
+	}
+
+	// Tiny intervals never speculate.
+	if p := sess.Plan(1); p.Width != 1 {
+		t.Fatalf("Plan(1).Width = %d, want 1", p.Width)
+	}
+}
+
+func TestSessionPoolExhaustion(t *testing.T) {
+	// All tokens held elsewhere: Parallel collapses to 1 and the plan
+	// must be width 1 — the width-0-speculation fallback.
+	pool := NewPool(8)
+	pool.TryAcquire(8)
+	s := NewScheduler(Config{Pool: pool, MaxWidth: 16})
+	sess := s.Session("kcenter", 100)
+	sess.ObserveProbe(100, 1_000_000)
+	if p := sess.Plan(100); p.Width != 1 {
+		t.Fatalf("exhausted pool planned width %d, want 1", p.Width)
+	}
+	if got := sess.Acquire(3); got != 0 {
+		t.Fatalf("Acquire on exhausted pool = %d, want 0", got)
+	}
+}
+
+// TestSessionParallelismCaps pins the two hardware ceilings the session
+// observes at start: MaxParallel 1 forces width-1 plans no matter how
+// many pool tokens or GOMAXPROCS are on offer (raising GOMAXPROCS above
+// the physical core count — a -cpu sweep on a one-core host — must not
+// fool the model into speculating), and GOMAXPROCS 1 pins width 1 even
+// when MaxParallel is raised.
+func TestSessionParallelismCaps(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+
+	s := NewScheduler(Config{Pool: NewPool(8), MaxWidth: 16, MaxParallel: 1})
+	sess := s.Session("kcenter", 100)
+	sess.ObserveProbe(100, 1_000_000)
+	if p := sess.Plan(100); p.Width != 1 {
+		t.Fatalf("MaxParallel 1 planned width %d, want 1", p.Width)
+	}
+
+	s = NewScheduler(Config{Pool: NewPool(8), MaxWidth: 16, MaxParallel: 8})
+	sess = s.Session("kcenter", 100)
+	sess.ObserveProbe(100, 1_000_000)
+	if p := sess.Plan(100); p.Width <= 1 {
+		t.Fatalf("MaxParallel 8 planned width %d, want > 1", p.Width)
+	}
+
+	runtime.GOMAXPROCS(1)
+	sess = s.Session("kcenter", 100) // ceiling re-observed at session start
+	if p := sess.Plan(100); p.Width != 1 {
+		t.Fatalf("GOMAXPROCS 1 planned width %d, want 1", p.Width)
+	}
+}
+
+func TestSessionDepth(t *testing.T) {
+	s := NewScheduler(Config{Pool: NewPool(4)})
+	sess := s.Session("a", 100) // depth0 = 7
+	if d := sess.Depth(100); d != 0 {
+		t.Fatalf("Depth(100) = %d, want 0", d)
+	}
+	if d := sess.Depth(50); d != 1 {
+		t.Fatalf("Depth(50) = %d, want 1", d)
+	}
+	if d := sess.Depth(1); d != 6 {
+		t.Fatalf("Depth(1) = %d, want 6", d)
+	}
+}
+
+func TestDefaultSchedulerShared(t *testing.T) {
+	if Default() != Default() {
+		t.Fatal("Default() is not a singleton")
+	}
+	if Default().Pool() == nil || Default().Estimator() == nil {
+		t.Fatal("default scheduler missing pool or estimator")
+	}
+}

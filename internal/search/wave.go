@@ -46,7 +46,7 @@ type outcome struct {
 // the path covers every consumed rung up to and including the one that
 // failed.
 func BoundaryWave(lo, hi, width int, batch Batch) (int, []int, error) {
-	return boundaryWave(lo, hi, width, false, batch)
+	return boundaryWave(lo, hi, fixedWidth(width), false, batch)
 }
 
 // BoundaryUpWave is BoundaryUp with wave-parallel speculation: it finds
@@ -54,16 +54,43 @@ func BoundaryWave(lo, hi, width int, batch Batch) (int, []int, error) {
 // probe(lo) false and probe(hi) true. Same contract as BoundaryWave
 // otherwise.
 func BoundaryUpWave(lo, hi, width int, batch Batch) (int, []int, error) {
-	return boundaryWave(lo, hi, width, true, batch)
+	return boundaryWave(lo, hi, fixedWidth(width), true, batch)
 }
 
-func boundaryWave(lo, hi, width int, up bool, batch Batch) (int, []int, error) {
-	if width < 1 {
-		width = 1
-	}
+// WidthFunc chooses the width of the next wave given the current search
+// interval (lo, hi). It is consulted once per wave, immediately before
+// the frontier is computed, which is what lets an online cost model
+// (internal/sched) re-plan at every descent level as estimates warm up
+// and pool availability shifts. Results below 1 are treated as 1.
+type WidthFunc func(lo, hi int) int
+
+// BoundaryWaveFunc is BoundaryWave with a per-wave width: widthAt is
+// called before each wave with the current interval and its result
+// bounds that wave's batch size. The bracket index and path are
+// identical to BoundaryWave's for every width sequence — width only
+// shapes how much speculation rides alongside the required probes.
+func BoundaryWaveFunc(lo, hi int, widthAt WidthFunc, batch Batch) (int, []int, error) {
+	return boundaryWave(lo, hi, widthAt, false, batch)
+}
+
+// BoundaryUpWaveFunc is BoundaryUpWave with a per-wave width. Same
+// contract as BoundaryWaveFunc otherwise.
+func BoundaryUpWaveFunc(lo, hi int, widthAt WidthFunc, batch Batch) (int, []int, error) {
+	return boundaryWave(lo, hi, widthAt, true, batch)
+}
+
+func fixedWidth(width int) WidthFunc {
+	return func(int, int) int { return width }
+}
+
+func boundaryWave(lo, hi int, widthAt WidthFunc, up bool, batch Batch) (int, []int, error) {
 	known := make(map[int]outcome)
 	var path []int
 	for hi-lo > 1 {
+		width := widthAt(lo, hi)
+		if width < 1 {
+			width = 1
+		}
 		want := frontier(lo, hi, width, up, func(i int) (outcome, bool) {
 			o, seen := known[i]
 			return o, seen

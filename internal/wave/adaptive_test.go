@@ -1,0 +1,223 @@
+package wave
+
+import (
+	"errors"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+
+	"parclust/internal/mpc"
+	"parclust/internal/sched"
+)
+
+// warmScheduler returns a scheduler whose estimator already has probe
+// samples for the default "ladder" bucket, so the first Plan is warm and
+// the model is free to choose wide waves. MaxParallel is raised so the
+// tests speculate even on single-core hosts, where the NumCPU default
+// would (correctly) pin every plan to width 1.
+func warmScheduler(poolSize int) *sched.Scheduler {
+	s := sched.NewScheduler(sched.Config{Pool: sched.NewPool(poolSize), MaxWidth: 16, MaxParallel: 8})
+	for d := 0; d < 8; d++ {
+		s.Estimator().ObserveProbe("ladder", d, 1_000_000)
+	}
+	s.Estimator().ObserveFork(1_000)
+	return s
+}
+
+// TestRunAdaptiveMatchesSequential is the width-invariance contract for
+// scheduler-chosen widths: whatever widths the model picks, J and Path
+// equal the sequential search's. Runs with GOMAXPROCS raised so the
+// model actually speculates.
+func TestRunAdaptiveMatchesSequential(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	r := func(seed uint64) uint64 {
+		seed += 0x9E3779B97F4A7C15
+		z := seed
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		return z ^ (z >> 31)
+	}
+	for trial := 0; trial < 25; trial++ {
+		hi := 2 + int(r(uint64(trial))%20)
+		vec := make([]bool, hi+1)
+		for i := range vec {
+			vec[i] = r(uint64(trial*1000+i))%2 == 0
+		}
+		for _, up := range []bool{false, true} {
+			wantJ, wantPath := sequentialReference(t, vec, 0, hi, up)
+			for _, cold := range []bool{true, false} {
+				var s *sched.Scheduler
+				if cold {
+					s = sched.NewScheduler(sched.Config{Pool: sched.NewPool(8), MaxWidth: 16, MaxParallel: 8})
+				} else {
+					s = warmScheduler(8)
+				}
+				c := mpc.NewCluster(3, 42)
+				body := func(fc *mpc.Cluster, rung int) (bool, error) {
+					err := fc.Superstep("wave/probe", func(m *mpc.Machine) error {
+						m.SendCentral(mpc.Int(rung))
+						return nil
+					})
+					return vec[rung], err
+				}
+				res, err := RunOpts(c, 0, hi, sched.Adaptive, up, body, Options{Sched: s})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.J != wantJ || !reflect.DeepEqual(res.Path, wantPath) {
+					t.Fatalf("trial %d up=%v cold=%v: got j=%d path=%v, want j=%d path=%v (widths=%v vec=%v)",
+						trial, up, cold, res.J, res.Path, wantJ, wantPath, res.Widths, vec)
+				}
+				if len(res.Widths) == 0 {
+					t.Fatalf("adaptive run recorded no widths")
+				}
+				if cold && res.Widths[0] != 1 {
+					t.Fatalf("cold first wave width = %d, want 1 (the calibration probe)", res.Widths[0])
+				}
+				if got := s.Pool().InUse(); got != 0 {
+					t.Fatalf("trial %d up=%v cold=%v: %d pool tokens leaked", trial, up, cold, got)
+				}
+			}
+		}
+	}
+}
+
+// TestRunAdaptiveSingleCoreConvergence pins the acceptance criterion: at
+// GOMAXPROCS=1 the model must choose width 1 everywhere — zero
+// speculative probes, sequential probe order.
+func TestRunAdaptiveSingleCoreConvergence(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	s := warmScheduler(8) // tokens are free; GOMAXPROCS is the binding cap
+	c := mpc.NewCluster(3, 42)
+	body := func(fc *mpc.Cluster, rung int) (bool, error) {
+		err := fc.Superstep("wave/probe", func(m *mpc.Machine) error {
+			m.SendCentral(mpc.Int(rung))
+			return nil
+		})
+		return rung <= 5, err
+	}
+	res, err := RunOpts(c, 0, 20, sched.Adaptive, false, body, Options{Sched: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range res.Widths {
+		if w > 1 {
+			t.Fatalf("single-core wave %d ran width %d, want <= 1 (widths=%v)", i, w, res.Widths)
+		}
+	}
+	if len(res.Speculative) != 0 {
+		t.Fatalf("single-core run speculated: %v", res.Speculative)
+	}
+	if got := s.Pool().InUse(); got != 0 {
+		t.Fatalf("%d pool tokens leaked", got)
+	}
+}
+
+// TestRunAdaptivePoolExhaustion: with every token held elsewhere the
+// search must degrade to unspeculated width-1 waves and still finish.
+func TestRunAdaptivePoolExhaustion(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	s := warmScheduler(8)
+	s.Pool().TryAcquire(8) // exhaust
+	c := mpc.NewCluster(3, 42)
+	body := func(fc *mpc.Cluster, rung int) (bool, error) {
+		err := fc.Superstep("wave/probe", func(m *mpc.Machine) error {
+			m.SendCentral(mpc.Int(rung))
+			return nil
+		})
+		return rung <= 5, err
+	}
+	res, err := RunOpts(c, 0, 20, sched.Adaptive, false, body, Options{Sched: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range res.Widths {
+		if w != 1 {
+			t.Fatalf("wave %d ran width %d against an exhausted pool (widths=%v)", i, w, res.Widths)
+		}
+	}
+	if len(res.Speculative) != 0 {
+		t.Fatalf("exhausted pool still speculated: %v", res.Speculative)
+	}
+	if got := s.Pool().InUse(); got != 8 {
+		t.Fatalf("pool InUse = %d, want the 8 held externally", got)
+	}
+}
+
+// TestRunAdaptiveErrorReleasesTokens: a failing path probe aborts the
+// search; every token acquired for in-flight speculation must come back.
+func TestRunAdaptiveErrorReleasesTokens(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	boom := errors.New("probe exploded")
+	for trial := 0; trial < 10; trial++ {
+		s := warmScheduler(8)
+		c := mpc.NewCluster(3, 42)
+		var mu sync.Mutex
+		probed := 0
+		failAfter := trial % 4
+		body := func(fc *mpc.Cluster, rung int) (bool, error) {
+			err := fc.Superstep("wave/probe", func(m *mpc.Machine) error {
+				m.SendCentral(mpc.Int(rung))
+				return nil
+			})
+			if err != nil {
+				return false, err
+			}
+			mu.Lock()
+			n := probed
+			probed++
+			mu.Unlock()
+			if n >= failAfter {
+				return false, boom
+			}
+			return rung <= 5, nil
+		}
+		res, err := RunOpts(c, 0, 20, sched.Adaptive, false, body, Options{Sched: s})
+		if err == nil {
+			t.Fatalf("trial %d: expected an error", trial)
+		}
+		if len(res.Speculative) != 0 {
+			t.Fatalf("trial %d: error path reported speculation: %v", trial, res.Speculative)
+		}
+		if got := s.Pool().InUse(); got != 0 {
+			t.Fatalf("trial %d: %d pool tokens leaked on the error path", trial, got)
+		}
+	}
+}
+
+// TestRunAdaptiveTracesSchedTags: every forked round of an adaptive run
+// carries sched_width >= 1; fixed-width runs carry none — the schema
+// discipline that keeps pre-scheduler NDJSON byte-identical.
+func TestRunAdaptiveTracesSchedTags(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	body := func(fc *mpc.Cluster, rung int) (bool, error) {
+		err := fc.Superstep("wave/probe", func(m *mpc.Machine) error {
+			m.SendCentral(mpc.Int(rung))
+			return nil
+		})
+		return rung <= 5, err
+	}
+
+	rec := mpc.NewTraceRecorder()
+	c := mpc.NewCluster(3, 42, mpc.WithRecorder(rec))
+	if _, err := RunOpts(c, 0, 20, sched.Adaptive, false, body, Options{Sched: warmScheduler(8)}); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range rec.Events() {
+		if ev.SchedWidth < 1 {
+			t.Fatalf("adaptive event missing sched_width: %+v", ev)
+		}
+	}
+
+	rec = mpc.NewTraceRecorder()
+	c = mpc.NewCluster(3, 42, mpc.WithRecorder(rec))
+	if _, err := Run(c, 0, 20, 4, false, body); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range rec.Events() {
+		if ev.SchedWidth != 0 || ev.SchedCostNanos != 0 || ev.SchedOccupancy != 0 {
+			t.Fatalf("fixed-width event carries sched tags: %+v", ev)
+		}
+	}
+}

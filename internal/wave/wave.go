@@ -14,6 +14,15 @@
 // when it fails. Run folds that endpoint into the first wave, so the
 // endpoint probe overlaps with the first speculative frontier instead of
 // serializing ahead of it.
+//
+// Width may be fixed (Config.Speculation > 0, or -1 for the whole
+// ladder at once) or chosen online per wave by the cost-model scheduler
+// (sched.Adaptive): RunOpts then plans each wave against the
+// estimator's probe-cost samples and draws speculative worker slots
+// from the scheduler's shared Pool, so concurrent Solves split the
+// host instead of oversubscribing it. The adaptive path reuses the
+// identical launch/merge machinery — width never affects the result,
+// only how much speculation rides alongside the required probes.
 package wave
 
 import (
@@ -23,6 +32,7 @@ import (
 	"time"
 
 	"parclust/internal/mpc"
+	"parclust/internal/sched"
 	"parclust/internal/search"
 )
 
@@ -33,6 +43,19 @@ import (
 // concurrently: shared inputs must be read-only (or internally
 // synchronized, like the probe acceleration context).
 type Body func(fc *mpc.Cluster, rung int) (bool, error)
+
+// Options carries the adaptive-scheduling inputs of RunOpts. The zero
+// value selects the fixed-width behavior of Run.
+type Options struct {
+	// Algo namespaces the scheduler's estimator buckets — probe cost
+	// differs per driver ("kcenter", "diversity", "ksupplier").
+	// Defaults to "ladder".
+	Algo string
+	// Sched supplies the scheduler for width == sched.Adaptive; nil
+	// falls back to the process-wide sched.Default(). Ignored at fixed
+	// widths.
+	Sched *sched.Scheduler
+}
 
 // Result describes a completed wave search.
 type Result struct {
@@ -47,6 +70,10 @@ type Result struct {
 	// Speculative lists the probed-but-discarded rungs in ascending
 	// order; their rounds merged as speculative.
 	Speculative []int
+	// Widths lists the total wave width the scheduler chose for each
+	// wave (after pool grants), in wave order. Populated only by
+	// adaptive runs; nil at fixed widths.
+	Widths []int
 }
 
 // outcome tracks one in-flight or finished probe. failed holds forks
@@ -58,6 +85,15 @@ type outcome struct {
 	done   chan struct{}
 	ok     bool
 	err    error
+}
+
+// schedTag is the wave decision stamped onto a probe's forks
+// (mpc.Cluster.SetSchedTags) so the trace records what the scheduler
+// chose. Zero on fixed-width runs.
+type schedTag struct {
+	width  int
+	costNs int64
+	pool   int
 }
 
 // runProbe executes body on the fork, converting a panic into an error:
@@ -72,10 +108,152 @@ func runProbe(fc *mpc.Cluster, rung int, body Body) (ok bool, err error) {
 	return body(fc, rung)
 }
 
+// runner owns one wave search's probe bookkeeping: the memoized probe
+// map, the fault-retry policy, and — on adaptive runs — the scheduler
+// session whose pool tokens speculative probes hold and whose estimator
+// finished probes feed.
+type runner struct {
+	c        *mpc.Cluster
+	body     Body
+	maxRetry int
+	pol      mpc.FaultPolicy
+	probes   map[int]*outcome
+	sess     *sched.Session // nil on fixed-width runs
+}
+
+func newRunner(c *mpc.Cluster, body Body, sess *sched.Session) *runner {
+	r := &runner{c: c, body: body, probes: make(map[int]*outcome), sess: sess}
+	r.pol = c.FaultPolicy()
+	if r.pol != nil {
+		r.maxRetry = r.pol.ProbeRetries()
+	}
+	return r
+}
+
+// started reports whether a probe for rung is already in flight or done.
+func (r *runner) started(rung int) bool {
+	_, ok := r.probes[rung]
+	return ok
+}
+
+// launch starts the probe for rung unless one is already in flight. t is
+// the search-interval size the probe's wave was planned at (the
+// estimator's depth key; ignored on fixed-width runs). tokened marks a
+// speculative probe holding one pool slot: the slot is released when the
+// probe's goroutine finishes, fault retries included, so error paths can
+// never leak tokens. tag is stamped onto every fork the probe creates.
+func (r *runner) launch(rung, t int, tokened bool, tag schedTag) *outcome {
+	if o, started := r.probes[rung]; started {
+		return o
+	}
+	o := &outcome{done: make(chan struct{})}
+	r.probes[rung] = o
+	go func() {
+		defer close(o.done)
+		if tokened {
+			defer r.sess.Release(1)
+		}
+		// Probe-level fault retry: a rung that dies on an injected
+		// fault is re-probed on a fresh fork at the next fault epoch.
+		// The fork seed depends only on the rung, so the retry
+		// replays the identical probe — minus the fault.
+		for attempt := 0; ; attempt++ {
+			var fc *mpc.Cluster
+			if r.sess != nil {
+				forkStart := time.Now()
+				fc = r.c.Fork(rung)
+				r.sess.ObserveFork(time.Since(forkStart).Nanoseconds())
+				fc.SetSchedTags(tag.width, tag.costNs, tag.pool)
+			} else {
+				fc = r.c.Fork(rung)
+			}
+			if attempt > 0 {
+				fc.SetFaultEpoch(attempt)
+			}
+			ok, err := runProbe(fc, rung, r.body)
+			if err != nil && errors.Is(err, mpc.ErrFault) && attempt < r.maxRetry {
+				o.failed = append(o.failed, fc)
+				if d := r.pol.ProbeBackoff(attempt); d > 0 {
+					time.Sleep(d)
+				}
+				continue
+			}
+			o.fork, o.ok, o.err = fc, ok, err
+			if r.sess != nil && err == nil {
+				var ns int64
+				for _, rs := range fc.Stats().PerRound {
+					ns += rs.WallNanos
+				}
+				r.sess.ObserveProbe(t, ns)
+			}
+			return
+		}
+	}()
+	return o
+}
+
+func (r *runner) wait(rung int) *outcome {
+	o := r.probes[rung]
+	<-o.done
+	return o
+}
+
+// merge folds the finished probes back into the parent cluster: winning
+// rungs in sequential probe order, then discarded speculation in
+// ascending rung order (a fixed order keeps traces deterministic).
+// Fault-killed attempts of a rung merge as recovery rounds just before
+// the attempt that replaced them. Adopt needs finished forks, so
+// in-flight probes are drained first. On a search error the committed
+// path still merges — its accounting matches the failed sequential
+// search — but unconsumed speculation is drained and discarded, and
+// Result.Speculative is cleared.
+func (r *runner) merge(res *Result, searchErr error) {
+	onPath := make(map[int]bool, len(res.Path))
+	for _, rung := range res.Path {
+		onPath[rung] = true
+	}
+	for rung := range r.probes {
+		if !onPath[rung] {
+			res.Speculative = append(res.Speculative, rung)
+		}
+	}
+	sort.Ints(res.Speculative)
+	for _, rung := range res.Path {
+		o := r.wait(rung)
+		for _, f := range o.failed {
+			r.c.AdoptFailed(f)
+		}
+		r.c.Adopt(o.fork, false)
+	}
+	if searchErr == nil {
+		for _, rung := range res.Speculative {
+			o := r.wait(rung)
+			for _, f := range o.failed {
+				r.c.AdoptFailed(f)
+			}
+			r.c.Adopt(o.fork, true)
+		}
+		return
+	}
+	// A failed search charges exactly what the failed sequential search
+	// would have: its committed path (including that path's recovery
+	// overhead, merged above). Speculative probes the search never
+	// consumed are drained — their goroutines share the worker pool —
+	// but discarded unmerged: adopting them would leak partial
+	// SpeculativeRounds/Words and orphan trace rows that the sequential
+	// error path does not produce.
+	for _, rung := range res.Speculative {
+		<-r.probes[rung].done
+	}
+	res.Speculative = nil
+}
+
 // Run executes the boundary search over the interval (lo, hi) with up to
 // width probes in flight, each on its own fork of c. up selects the
 // ascending (BoundaryUp) orientation. width is clamped to [1, hi-lo];
-// pass a negative width to probe the whole ladder in one wave. The
+// pass -1 (or any other negative width except sched.Adaptive) to probe
+// the whole ladder in one wave, or sched.Adaptive to let the cost-model
+// scheduler choose per wave (RunOpts supplies the scheduler). The
 // result — J, Path, and the probe outcome at every path rung — is
 // identical for every width, because each rung's randomness is pinned to
 // its fork seed. On a path-rung probe error Run merges the committed
@@ -94,8 +272,26 @@ func runProbe(fc *mpc.Cluster, rung int, body Body) (ok bool, err error) {
 // Run must not race with supersteps on c itself: the caller owns c for
 // the duration of the call, as the ladder drivers naturally do.
 func Run(c *mpc.Cluster, lo, hi, width int, up bool, body Body) (Result, error) {
+	return RunOpts(c, lo, hi, width, up, body, Options{})
+}
+
+// RunOpts is Run with adaptive-scheduling options. At fixed widths it
+// behaves exactly like Run and ignores opts; at width == sched.Adaptive
+// it plans every wave online — see the package comment.
+func RunOpts(c *mpc.Cluster, lo, hi, width int, up bool, body Body, opts Options) (Result, error) {
 	if hi <= lo {
 		return Result{}, fmt.Errorf("wave: empty interval (%d, %d)", lo, hi)
+	}
+	if width == sched.Adaptive {
+		s := opts.Sched
+		if s == nil {
+			s = sched.Default()
+		}
+		algo := opts.Algo
+		if algo == "" {
+			algo = "ladder"
+		}
+		return runAdaptive(c, lo, hi, up, body, algo, s)
 	}
 	// hi-lo rungs are probeable: the interior plus the mandatory endpoint.
 	if width < 1 || width > hi-lo {
@@ -105,64 +301,22 @@ func Run(c *mpc.Cluster, lo, hi, width int, up bool, body Body) (Result, error) 
 	if up {
 		endpoint = lo
 	}
-
-	pol := c.FaultPolicy()
-	maxRetry := 0
-	if pol != nil {
-		maxRetry = pol.ProbeRetries()
-	}
-	probes := make(map[int]*outcome)
-	launch := func(rung int) *outcome {
-		if o, started := probes[rung]; started {
-			return o
-		}
-		o := &outcome{done: make(chan struct{})}
-		probes[rung] = o
-		go func() {
-			defer close(o.done)
-			// Probe-level fault retry: a rung that dies on an injected
-			// fault is re-probed on a fresh fork at the next fault epoch.
-			// The fork seed depends only on the rung, so the retry
-			// replays the identical probe — minus the fault.
-			for attempt := 0; ; attempt++ {
-				fc := c.Fork(rung)
-				if attempt > 0 {
-					fc.SetFaultEpoch(attempt)
-				}
-				ok, err := runProbe(fc, rung, body)
-				if err != nil && errors.Is(err, mpc.ErrFault) && attempt < maxRetry {
-					o.failed = append(o.failed, fc)
-					if d := pol.ProbeBackoff(attempt); d > 0 {
-						time.Sleep(d)
-					}
-					continue
-				}
-				o.fork, o.ok, o.err = fc, ok, err
-				return
-			}
-		}()
-		return o
-	}
-	wait := func(rung int) *outcome {
-		o := launch(rung)
-		<-o.done
-		return o
-	}
+	r := newRunner(c, body, nil)
 
 	// First wave: the mandatory endpoint plus the first width-1 rungs of
 	// the interior speculative frontier (the midpoints the binary search
 	// reaches first if the endpoint fails).
-	launch(endpoint)
+	r.launch(endpoint, 0, false, schedTag{})
 	if width > 1 {
 		first := search.Frontier(lo, hi, width-1, up, func(int) (bool, bool) { return false, false })
-		for _, r := range first {
-			launch(r)
+		for _, rung := range first {
+			r.launch(rung, 0, false, schedTag{})
 		}
 	}
 
 	res := Result{Path: []int{endpoint}}
 	var searchErr error
-	end := wait(endpoint)
+	end := r.wait(endpoint)
 	switch {
 	case end.err != nil:
 		searchErr = end.err
@@ -170,14 +324,14 @@ func Run(c *mpc.Cluster, lo, hi, width int, up bool, body Body) (Result, error) 
 		res.J = endpoint
 	default:
 		batch := func(rungs []int) ([]bool, []error) {
-			for _, r := range rungs {
-				launch(r)
+			for _, rung := range rungs {
+				r.launch(rung, 0, false, schedTag{})
 			}
 			oks := make([]bool, len(rungs))
 			errs := make([]error, len(rungs))
-			for t, r := range rungs {
-				o := wait(r)
-				oks[t], errs[t] = o.ok, o.err
+			for i, rung := range rungs {
+				o := r.wait(rung)
+				oks[i], errs[i] = o.ok, o.err
 			}
 			return oks, errs
 		}
@@ -192,50 +346,123 @@ func Run(c *mpc.Cluster, lo, hi, width int, up bool, body Body) (Result, error) 
 		res.Path = append(res.Path, path...)
 	}
 
-	// Merge: winning rungs in sequential probe order, then discarded
-	// speculation in ascending rung order (a fixed order keeps traces
-	// deterministic). Fault-killed attempts of a rung merge as recovery
-	// rounds just before the attempt that replaced them. Adopt needs
-	// finished forks, so in-flight probes are drained first.
-	onPath := make(map[int]bool, len(res.Path))
-	for _, r := range res.Path {
-		onPath[r] = true
+	r.merge(&res, searchErr)
+	return res, searchErr
+}
+
+// runAdaptive is the scheduler-driven search: every wave's width is
+// chosen by the cost model from the current probe-cost estimate and the
+// pool slots free right now, and every speculative probe holds one pool
+// token for its lifetime. The required probe of each wave never takes a
+// token, so a Solve always progresses — an exhausted pool degrades the
+// search to the sequential probe order (width 1), it never stalls it.
+// The first wave of a cold estimator is always width 1: the mandatory
+// endpoint probe doubles as the calibration run the model needs.
+func runAdaptive(c *mpc.Cluster, lo, hi int, up bool, body Body, algo string, s *sched.Scheduler) (Result, error) {
+	sess := s.Session(algo, hi-lo)
+	endpoint := hi
+	if up {
+		endpoint = lo
 	}
-	for r := range probes {
-		if !onPath[r] {
-			res.Speculative = append(res.Speculative, r)
+	r := newRunner(c, body, sess)
+	res := Result{Path: []int{endpoint}}
+
+	// First wave: plan against the full interval. granted tokens fund
+	// the speculative frontier alongside the mandatory endpoint; the
+	// frontier may be smaller than the grant (pruned midpoints), in
+	// which case the leftovers go straight back.
+	plan := sess.Plan(hi - lo)
+	granted := 0
+	if plan.Width > 1 {
+		granted = sess.Acquire(plan.Width - 1)
+	}
+	tag := schedTag{width: granted + 1, costNs: plan.CostNs, pool: plan.Occupancy}
+	res.Widths = append(res.Widths, granted+1)
+	r.launch(endpoint, hi-lo, false, tag)
+	if granted > 0 {
+		first := search.Frontier(lo, hi, granted, up, func(int) (bool, bool) { return false, false })
+		for _, rung := range first {
+			r.launch(rung, hi-lo, true, tag)
+		}
+		if len(first) < granted {
+			sess.Release(granted - len(first))
 		}
 	}
-	sort.Ints(res.Speculative)
-	for _, r := range res.Path {
-		o := probes[r]
-		<-o.done
-		for _, f := range o.failed {
-			c.AdoptFailed(f)
+
+	var searchErr error
+	end := r.wait(endpoint)
+	switch {
+	case end.err != nil:
+		searchErr = end.err
+	case end.ok:
+		res.J = endpoint
+	default:
+		// pend carries one wave's plan from widthAt (where tokens are
+		// acquired) to the batch call that launches it. Both closures
+		// run on this goroutine, in strict widthAt-then-batch
+		// alternation (search.boundaryWave's loop), so plain variables
+		// suffice.
+		var pend struct {
+			granted int
+			t       int
+			tag     schedTag
 		}
-		c.Adopt(o.fork, false)
-	}
-	if searchErr == nil {
-		for _, r := range res.Speculative {
-			o := probes[r]
-			<-o.done
-			for _, f := range o.failed {
-				c.AdoptFailed(f)
+		widthAt := func(wlo, whi int) int {
+			if pend.granted > 0 { // previous plan's batch never ran
+				sess.Release(pend.granted)
 			}
-			c.Adopt(o.fork, true)
+			t := whi - wlo
+			p := sess.Plan(t)
+			g := 0
+			if p.Width > 1 {
+				g = sess.Acquire(p.Width - 1)
+			}
+			pend.granted, pend.t = g, t
+			pend.tag = schedTag{width: g + 1, costNs: p.CostNs, pool: p.Occupancy}
+			res.Widths = append(res.Widths, g+1)
+			return g + 1
 		}
-		return res, nil
+		batch := func(rungs []int) ([]bool, []error) {
+			g := pend.granted
+			pend.granted = 0
+			// rungs[0] is the required midpoint of the current interval:
+			// it runs token-free so the search progresses even with an
+			// empty pool. The rest are speculation — one token each,
+			// except rungs already launched by an earlier wave, which
+			// still hold their original token.
+			for i, rung := range rungs {
+				tokened := false
+				if i > 0 && g > 0 && !r.started(rung) {
+					tokened = true
+					g--
+				}
+				r.launch(rung, pend.t, tokened, pend.tag)
+			}
+			if g > 0 {
+				sess.Release(g)
+			}
+			oks := make([]bool, len(rungs))
+			errs := make([]error, len(rungs))
+			for i, rung := range rungs {
+				o := r.wait(rung)
+				oks[i], errs[i] = o.ok, o.err
+			}
+			return oks, errs
+		}
+		var j int
+		var path []int
+		if up {
+			j, path, searchErr = search.BoundaryUpWaveFunc(lo, hi, widthAt, batch)
+		} else {
+			j, path, searchErr = search.BoundaryWaveFunc(lo, hi, widthAt, batch)
+		}
+		if pend.granted > 0 { // defensive: a plan whose batch never ran
+			sess.Release(pend.granted)
+		}
+		res.J = j
+		res.Path = append(res.Path, path...)
 	}
-	// A failed search charges exactly what the failed sequential search
-	// would have: its committed path (including that path's recovery
-	// overhead, merged above). Speculative probes the search never
-	// consumed are drained — their goroutines share the worker pool —
-	// but discarded unmerged: adopting them would leak partial
-	// SpeculativeRounds/Words and orphan trace rows that the sequential
-	// error path does not produce.
-	for _, r := range res.Speculative {
-		<-probes[r].done
-	}
-	res.Speculative = nil
+
+	r.merge(&res, searchErr)
 	return res, searchErr
 }

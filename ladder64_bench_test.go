@@ -8,6 +8,7 @@ import (
 	"parclust/internal/metric"
 	"parclust/internal/mpc"
 	"parclust/internal/rng"
+	"parclust/internal/sched"
 	"parclust/internal/workload"
 )
 
@@ -62,3 +63,22 @@ func BenchmarkLadder64Cosine(b *testing.B) { benchLadder64(b, metric.Angular{}, 
 
 // BenchmarkLadder64CosineF32 forces the cosine ladder onto the f32 lane.
 func BenchmarkLadder64CosineF32(b *testing.B) { benchLadder64(b, metric.Angular{}, true) }
+
+// BenchmarkLadder64Widths is the dim-64 leg of the BENCH_pr8.json width
+// sweep: the same fixed-width-vs-adaptive matrix as BenchmarkLadderWidths
+// but on the embedding-style workload, where each probe streams 8× the
+// coordinate bytes and the per-probe cost the scheduler estimates is an
+// order of magnitude higher. The probe index stays disabled, matching
+// the other dim-64 ladder baselines.
+func BenchmarkLadder64Widths(b *testing.B) {
+	in := ladder64Instance(metric.L2{})
+	for _, w := range []struct {
+		name  string
+		width int
+	}{
+		{"w0", 0}, {"w1", 1}, {"w2", 2}, {"w4", 4}, {"w8", 8},
+		{"adaptive", sched.Adaptive},
+	} {
+		b.Run(w.name, func(b *testing.B) { benchLadderWaves(b, in, true, w.width) })
+	}
+}

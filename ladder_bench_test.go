@@ -2,6 +2,7 @@ package parclust
 
 import (
 	"runtime"
+	"sort"
 	"testing"
 
 	"parclust/internal/instance"
@@ -9,6 +10,7 @@ import (
 	"parclust/internal/metric"
 	"parclust/internal/mpc"
 	"parclust/internal/rng"
+	"parclust/internal/sched"
 	"parclust/internal/workload"
 )
 
@@ -49,6 +51,66 @@ func BenchmarkLadderProbes(b *testing.B) { benchLadder(b, false, 0) }
 // disabled: the before/after pair for docs/PERFORMANCE.md.
 func BenchmarkLadderProbesUncached(b *testing.B) { benchLadder(b, true, 0) }
 
+// benchLadderWaves runs the wave workload with a trace recorder and
+// reports, besides ns/op, the winning-path probe latency percentiles:
+// the per-probe wall time of the rungs the search kept (speculative and
+// recovery rounds excluded), which is exactly the quantity the adaptive
+// scheduler's cost model estimates online. A probe's latency is the sum
+// of WallNanos over its forked rung's non-speculative rounds; width-0
+// runs fork nothing, so they report ns/op only. An adaptive run
+// (speculation == sched.Adaptive) shares one scheduler across the b.N
+// iterations — cold on the first Solve, warm after, the serving shape.
+func benchLadderWaves(b *testing.B, in *instance.Instance, disable bool, speculation int) {
+	var sch *sched.Scheduler
+	if speculation == sched.Adaptive {
+		// Production defaults on purpose: the pool and the parallelism
+		// ceiling come from min(GOMAXPROCS, NumCPU), so a -cpu sweep on a
+		// single-core host shows adaptive (correctly) refusing to
+		// speculate rather than timesharing wide waves on one core.
+		sch = sched.NewScheduler(sched.Config{})
+	}
+	var probeNs []int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := mpc.NewTraceRecorder()
+		c := mpc.NewCluster(in.Machines(), 42, mpc.WithRecorder(rec))
+		res, err := kcenter.Solve(c, in, kcenter.Config{
+			K: 16, DisableProbeIndex: disable, Speculation: speculation, Sched: sch,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Centers) == 0 {
+			b.Fatal("no centers")
+		}
+		perRung := map[int]int64{}
+		for _, ev := range rec.Events() {
+			if ev.ForkRung == nil || ev.Speculative || ev.Recovery {
+				continue
+			}
+			perRung[*ev.ForkRung] += ev.WallNanos
+		}
+		for _, ns := range perRung {
+			probeNs = append(probeNs, ns)
+		}
+	}
+	b.StopTimer()
+	if len(probeNs) > 0 {
+		b.ReportMetric(percentileNs(probeNs, 50), "p50-probe-ns")
+		b.ReportMetric(percentileNs(probeNs, 95), "p95-probe-ns")
+	}
+}
+
+// percentileNs returns the p-th percentile (nearest-rank) of samples.
+func percentileNs(samples []int64, p int) float64 {
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	idx := (len(samples)*p + 99) / 100
+	if idx > 0 {
+		idx--
+	}
+	return float64(samples[idx])
+}
+
 // BenchmarkLadderWaves is the speculative-search headline: the same
 // workload with the wave width tied to GOMAXPROCS, so a -cpu 1,2,4,8
 // sweep scales the speculation with the cores available to absorb it.
@@ -56,4 +118,25 @@ func BenchmarkLadderProbesUncached(b *testing.B) { benchLadder(b, true, 0) }
 // work plus pure speculation overhead — which bounds the scheme's
 // cost floor; wall-clock gains over BenchmarkLadderProbes appear only
 // with real parallelism (wave-depth model in docs/PERFORMANCE.md).
-func BenchmarkLadderWaves(b *testing.B) { benchLadder(b, false, runtime.GOMAXPROCS(0)) }
+func BenchmarkLadderWaves(b *testing.B) {
+	benchLadderWaves(b, ladderInstance(), false, runtime.GOMAXPROCS(0))
+}
+
+// BenchmarkLadderWidths sweeps fixed wave widths against the adaptive
+// scheduler on the dim-8 ladder — the BENCH_pr8.json matrix. Crossed
+// with -cpu 1,2,4,8 it exposes the regime the cost model navigates:
+// fixed width 8 pays pure overhead on one core while adaptive converges
+// to width 1 there, and on idle cores adaptive should track the best
+// fixed width.
+func BenchmarkLadderWidths(b *testing.B) {
+	in := ladderInstance()
+	for _, w := range []struct {
+		name  string
+		width int
+	}{
+		{"w0", 0}, {"w1", 1}, {"w2", 2}, {"w4", 4}, {"w8", 8},
+		{"adaptive", sched.Adaptive},
+	} {
+		b.Run(w.name, func(b *testing.B) { benchLadderWaves(b, in, false, w.width) })
+	}
+}
