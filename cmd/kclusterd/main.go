@@ -16,6 +16,7 @@
 //	kclusterd -run kcenter -workers 127.0.0.1:9001,127.0.0.1:9002 -n 400 -m 4 -k 6
 //	kclusterd -run diversity -workers 127.0.0.1:9001 -n 400 -m 4 -k 6 -metric l1
 //	kclusterd -run ksupplier -workers 127.0.0.1:9001,127.0.0.1:9002 -n 400 -m 4 -k 6 -check
+//	kclusterd -run kcenter -workers 127.0.0.1:9001,127.0.0.1:9002 -n 400 -m 4 -k 6 -spmd -check
 //
 // With -check the coordinator reruns the identical configuration on the
 // in-process backend and fails unless results match exactly — the
@@ -62,6 +63,7 @@ type cliFlags struct {
 	seed     uint64
 	metricID string
 	check    bool
+	spmd     bool
 }
 
 // newFlagSet builds the kclusterd flag set bound to a fresh cliFlags.
@@ -81,6 +83,7 @@ func newFlagSet() (*flag.FlagSet, *cliFlags) {
 	fs.Uint64Var(&fl.seed, "seed", 1, "coordinator mode: random seed; identical seeds reproduce runs exactly on every backend")
 	fs.StringVar(&fl.metricID, "metric", "l2", "coordinator mode: l2 | l1 | linf | angular | hamming")
 	fs.BoolVar(&fl.check, "check", false, "coordinator mode: rerun on the in-process backend and fail unless results match exactly")
+	fs.BoolVar(&fl.spmd, "spmd", false, "coordinator mode: execute registered supersteps inside the workers holding their machine partitions (SPMD sessions); the coordinator link carries only control messages and results are unchanged")
 	return fs, fl
 }
 
@@ -98,6 +101,9 @@ func validateFlags(fl *cliFlags) error {
 		return fmt.Errorf("-max-frame %d: must be >= 0", fl.maxFrame)
 	}
 	if worker {
+		if fl.spmd {
+			return fmt.Errorf("-spmd is a coordinator flag (workers serve SPMD sessions unconditionally)")
+		}
 		return nil
 	}
 	switch fl.run {
@@ -241,6 +247,9 @@ func solve(fl *cliFlags, t mpc.Transport) (result, error) {
 	var opts []mpc.Option
 	if t != nil {
 		opts = append(opts, mpc.WithTransport(t))
+		if fl.spmd {
+			opts = append(opts, mpc.WithSPMD())
+		}
 	}
 	c := mpc.NewCluster(fl.m, fl.seed, opts...)
 

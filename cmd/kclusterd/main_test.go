@@ -26,6 +26,8 @@ func TestValidateFlags(t *testing.T) {
 		{"bad metric", []string{"-run", "kcenter", "-workers", "a:1", "-metric", "cosine"}, false},
 		{"bad sizes", []string{"-run", "kcenter", "-workers", "a:1", "-m", "0"}, false},
 		{"negative frame cap", []string{"-listen", ":1", "-max-frame", "-1"}, false},
+		{"spmd coordinator", []string{"-run", "kcenter", "-workers", "a:1", "-spmd"}, true},
+		{"spmd on worker", []string{"-listen", ":1", "-spmd"}, false},
 	}
 	for _, tc := range cases {
 		fs, fl := newFlagSet()
@@ -114,6 +116,42 @@ func TestTwoProcessParity(t *testing.T) {
 		if out.Workers != 2 {
 			t.Fatalf("%s: %d workers reported, want 2", algo, out.Workers)
 		}
+	}
+}
+
+// TestTwoProcessSPMDParity is the SPMD half of the two-process
+// contract: with -spmd the registered supersteps execute inside the
+// worker OS processes (machine state resident there, the coordinator
+// link carrying only control frames, shards moving over the
+// worker-to-worker peer mesh), and -check still proves the result
+// byte-identical to the in-process rerun. CI runs this leg at
+// GOMAXPROCS=1 and GOMAXPROCS=4 (see .github/workflows/ci.yml).
+func TestTwoProcessSPMDParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes")
+	}
+	addr := startWorkerProcess(t)
+	addr2 := startWorkerProcess(t)
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-run", "kcenter",
+		"-workers", addr + "," + addr2,
+		"-n", "200", "-m", "4", "-k", "4",
+		"-spmd", "-check",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	var out output
+	if err := json.Unmarshal(stdout.Bytes(), &out); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, stdout.String())
+	}
+	if out.Check == "" {
+		t.Fatalf("-check produced no verdict: %s", stdout.String())
+	}
+	if out.Transport.Exchanges == 0 {
+		t.Fatalf("no exchanges crossed the wire: %+v", out.Transport)
 	}
 }
 

@@ -15,40 +15,44 @@ func TestValidateFlags(t *testing.T) {
 		budgets     bool
 		transport   string
 		workers     string
+		spmd        bool
 		wantErr     string // substring; empty means accept
 		wantWidth   int    // resolved specWidth when accepted
 	}{
-		{"defaults", "0", "", false, "inproc", "", "", 0},
-		{"empty-defaults-to-sequential", "", "", false, "inproc", "", "", 0},
-		{"sequential-width", "0", "", true, "inproc", "", "", 0},
-		{"whole-ladder", "-1", "", false, "inproc", "", "", -1},
-		{"positive-width", "4", "", false, "inproc", "", "", 4},
-		{"adaptive", "adaptive", "", false, "inproc", "", "", sched.Adaptive},
-		{"adaptive-with-budgets", "adaptive", "", true, "inproc", "", "", sched.Adaptive},
-		{"width-below-minus-one", "-2", "", false, "inproc", "", "-speculation -2", 0},
-		{"very-negative-width", "-100", "", true, "inproc", "", "-speculation -100", 0},
-		{"garbage-width", "wide", "", false, "inproc", "", "-speculation \"wide\"", 0},
-		{"adaptive-typo", "Adaptive", "", false, "inproc", "", "-speculation \"Adaptive\"", 0},
-		{"faults-with-budgets", "0", "crash:0.05,drop:0.02", true, "inproc", "", "", 0},
-		{"all-kinds", "2", "crash:0.1,drop:0.1,duplicate:0.1,straggler:0.1,abort:0.1", true, "inproc", "", "", 2},
-		{"adaptive-with-faults", "adaptive", "crash:0.05", true, "inproc", "", "", sched.Adaptive},
-		{"faults-without-budgets", "0", "crash:0.05", false, "inproc", "", "-faults requires -budgets", 0},
-		{"unknown-kind", "0", "meteor:0.1", true, "inproc", "", "-faults", 0},
-		{"missing-rate", "0", "crash", true, "inproc", "", "-faults", 0},
-		{"rate-above-one", "0", "crash:1.5", true, "inproc", "", "-faults", 0},
-		{"negative-rate", "0", "crash:-0.1", true, "inproc", "", "-faults", 0},
-		{"trailing-comma-tolerated", "0", "crash:0.1,", true, "inproc", "", "", 0},
-		{"space-separated", "0", "crash:0.1 drop:0.1", true, "inproc", "", "-faults", 0},
-		{"tcp-with-workers", "0", "", false, "tcp", "127.0.0.1:9001,127.0.0.1:9002", "", 0},
-		{"tcp-without-workers", "0", "", false, "tcp", "", "-transport=tcp requires -workers", 0},
-		{"workers-without-tcp", "0", "", false, "inproc", "127.0.0.1:9001", "-workers requires -transport=tcp", 0},
-		{"unknown-transport", "0", "", false, "udp", "", "-transport", 0},
+		{"defaults", "0", "", false, "inproc", "", false, "", 0},
+		{"empty-defaults-to-sequential", "", "", false, "inproc", "", false, "", 0},
+		{"sequential-width", "0", "", true, "inproc", "", false, "", 0},
+		{"whole-ladder", "-1", "", false, "inproc", "", false, "", -1},
+		{"positive-width", "4", "", false, "inproc", "", false, "", 4},
+		{"adaptive", "adaptive", "", false, "inproc", "", false, "", sched.Adaptive},
+		{"adaptive-with-budgets", "adaptive", "", true, "inproc", "", false, "", sched.Adaptive},
+		{"width-below-minus-one", "-2", "", false, "inproc", "", false, "-speculation -2", 0},
+		{"very-negative-width", "-100", "", true, "inproc", "", false, "-speculation -100", 0},
+		{"garbage-width", "wide", "", false, "inproc", "", false, "-speculation \"wide\"", 0},
+		{"adaptive-typo", "Adaptive", "", false, "inproc", "", false, "-speculation \"Adaptive\"", 0},
+		{"faults-with-budgets", "0", "crash:0.05,drop:0.02", true, "inproc", "", false, "", 0},
+		{"all-kinds", "2", "crash:0.1,drop:0.1,duplicate:0.1,straggler:0.1,abort:0.1", true, "inproc", "", false, "", 2},
+		{"adaptive-with-faults", "adaptive", "crash:0.05", true, "inproc", "", false, "", sched.Adaptive},
+		{"faults-without-budgets", "0", "crash:0.05", false, "inproc", "", false, "-faults requires -budgets", 0},
+		{"unknown-kind", "0", "meteor:0.1", true, "inproc", "", false, "-faults", 0},
+		{"missing-rate", "0", "crash", true, "inproc", "", false, "-faults", 0},
+		{"rate-above-one", "0", "crash:1.5", true, "inproc", "", false, "-faults", 0},
+		{"negative-rate", "0", "crash:-0.1", true, "inproc", "", false, "-faults", 0},
+		{"trailing-comma-tolerated", "0", "crash:0.1,", true, "inproc", "", false, "", 0},
+		{"space-separated", "0", "crash:0.1 drop:0.1", true, "inproc", "", false, "-faults", 0},
+		{"tcp-with-workers", "0", "", false, "tcp", "127.0.0.1:9001,127.0.0.1:9002", false, "", 0},
+		{"tcp-without-workers-spawns-fleet", "0", "", false, "tcp", "", false, "", 0},
+		{"workers-without-tcp", "0", "", false, "inproc", "127.0.0.1:9001", false, "-workers requires -transport=tcp", 0},
+		{"unknown-transport", "0", "", false, "udp", "", false, "-transport", 0},
+		{"spmd-over-tcp", "0", "", true, "tcp", "", true, "", 0},
+		{"spmd-over-tcp-with-workers", "0", "", true, "tcp", "127.0.0.1:9001", true, "", 0},
+		{"spmd-without-tcp", "0", "", true, "inproc", "", true, "-spmd requires -transport=tcp", 0},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			fl := &cliFlags{
 				spec: tc.speculation, faults: tc.faults, budgets: tc.budgets,
-				transport: tc.transport, workers: tc.workers,
+				transport: tc.transport, workers: tc.workers, spmd: tc.spmd,
 			}
 			err := validateFlags(fl)
 			if tc.wantErr == "" {

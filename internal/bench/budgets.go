@@ -44,7 +44,7 @@ func BudgetValidation(cfg RunConfig, rec *mpc.TraceRecorder) (*Table, int, error
 		ID:    "V1",
 		Title: "observed vs theorem budget (enforced; any VIOLATED row is a contract breach)",
 		Columns: []string{"algorithm", "theorem", "rounds", "r-budget",
-			"maxcomm", "c-budget", "mem", "m-budget", "status"},
+			"maxcomm", "c-budget", "mem", "m-budget", "wire-data", "wire-ctrl", "status"},
 	}
 
 	n, m, k := 400, 4, 6
@@ -123,6 +123,7 @@ func BudgetValidation(cfg RunConfig, rec *mpc.TraceRecorder) (*Table, int, error
 			// The reports below carry the diff; keep going so the table
 			// shows every entry point even when one breaches.
 		}
+		wireData, wireCtrl := wireTotals(c.Stats().PerRound)
 		for _, rep := range worstPerAlgorithm(c.BudgetReports()) {
 			status := "ok"
 			if !rep.OK {
@@ -133,10 +134,12 @@ func BudgetValidation(cfg RunConfig, rec *mpc.TraceRecorder) (*Table, int, error
 				d(rep.Observed.Rounds), d(rep.Budget.MaxRounds),
 				w(rep.Observed.MaxRoundComm), w(rep.Budget.MaxRoundComm),
 				w(rep.Observed.MemoryWords), w(rep.Budget.MaxMemoryWords),
+				w(wireData), w(wireCtrl),
 				status)
 		}
 	}
 	tab.AddNote("budgets are the explicit-constant forms from docs/GUARANTEES.md; inner guarded calls (degree inside kbmis inside the ladder algorithms) report the worst window seen")
+	tab.AddNote("wire-data/wire-ctrl split the run's metered wire traffic into payload vs control-plane words; only a metering backend (-transport=tcp) fills them, and -spmd moves the data plane off the coordinator link (docs/OBSERVABILITY.md)")
 	if violations > 0 {
 		tab.AddNote(fmt.Sprintf("%d budget(s) VIOLATED — the theorem contract does not hold on this run", violations))
 	}
@@ -170,6 +173,17 @@ func worstPerAlgorithm(reports []mpc.BudgetReport) []mpc.BudgetReport {
 		}
 	}
 	return out
+}
+
+// wireTotals sums a run's wire-level traffic split over its rounds.
+// Rounds delivered by a non-metering backend (inproc) contribute zero,
+// so the columns read 0 everywhere except tcp runs.
+func wireTotals(rounds []mpc.RoundStats) (data, ctrl int64) {
+	for _, rs := range rounds {
+		data += rs.WireDataWords
+		ctrl += rs.WireCtrlWords
+	}
+	return data, ctrl
 }
 
 // w formats a word count compactly (budgets run to megawords).

@@ -52,6 +52,15 @@ type RunConfig struct {
 	// factory may return a shared backend: exchanges are self-contained,
 	// so clusters of the same size can reuse one connection set.
 	Transport func(m int) (mpc.Transport, error)
+	// SPMD requests worker-resident execution (mpc.WithSPMD) on every
+	// cluster an experiment constructs: registered supersteps run inside
+	// the transport workers that hold their machine partitions, and the
+	// coordinator link carries control messages only. Requires a
+	// Transport whose backend implements mpc.SPMDTransport (the tcp
+	// backend does); supersteps the session cannot serve fall back to
+	// coordinator-compute per superstep, so results and charged budgets
+	// stay identical either way (the SPMD parity suite pins this).
+	SPMD bool
 }
 
 // cluster builds an experiment cluster of m machines, installing the
@@ -65,6 +74,9 @@ func (cfg RunConfig) cluster(m int, seed uint64, opts ...mpc.Option) (*mpc.Clust
 			return nil, fmt.Errorf("bench: transport for m=%d: %w", m, err)
 		}
 		opts = append(opts, mpc.WithTransport(t))
+	}
+	if cfg.SPMD {
+		opts = append(opts, mpc.WithSPMD())
 	}
 	return mpc.NewCluster(m, seed, opts...), nil
 }

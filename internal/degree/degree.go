@@ -9,6 +9,14 @@
 // unless there are too many light vertices, in which case an independent
 // set of size k can be extracted from them directly (Lemma 6) and the
 // caller is done.
+//
+// The supersteps are registered mpc bodies ("degree/*", mpc.Register):
+// they read the instance from the cluster env and the machine's active
+// vertex set from its bag, take their per-round scalars from mpc.Args,
+// and report central decisions through yields. The driver below sends
+// only those scalars per round, so under an SPMD transport the bodies
+// execute inside the workers that hold the partitions and the
+// coordinator link carries control messages only (docs/TRANSPORT.md).
 package degree
 
 import (
@@ -20,6 +28,368 @@ import (
 	"parclust/internal/mpc"
 	"parclust/internal/probe"
 )
+
+// Bag keys used by the degree bodies (and shared with kbmis, whose
+// remove step maintains the active set the degree rounds read).
+const (
+	// BagActivePts / BagActiveIDs hold the machine's active vertex set:
+	// []metric.Point and []int aligned slices. Loaded from the env by
+	// "degree/load" (or "kbmis/load") and only ever shrunk in place.
+	BagActivePts = "act.pts"
+	BagActiveIDs = "act.ids"
+	// BagSampleCnt ([]int) holds |N(v) ∩ S| per active vertex, written by
+	// "degree/classify"; BagLight ([]int) the active-local indices of
+	// light vertices.
+	BagSampleCnt = "deg.cnt"
+	BagLight     = "deg.light"
+	// BagEstimates ([]float64) holds the per-vertex degree estimates,
+	// written by "degree/assemble" and consumed by "kbmis/sample" (or
+	// injected by the driver in the exact-degree ablation).
+	BagEstimates = "deg.est"
+)
+
+// SessionEnv builds the registered-superstep env for an instance: the
+// replicated read-only context every "degree/*" and "kbmis/*" body reads.
+// pc (optional) is the driver-process probe context; thresholds
+// (optional) is the enclosing search's τ ladder, shipped to SPMD workers
+// so they can build their own probe context.
+func SessionEnv(in *instance.Instance, pc *probe.Context, thresholds []float64) *mpc.Env {
+	return &mpc.Env{
+		Key:        in,
+		SpaceName:  in.Space.Name(),
+		Space:      in.Space,
+		Parts:      in.Parts,
+		IDs:        in.IDs,
+		Thresholds: thresholds,
+		Local:      pc,
+	}
+}
+
+// activeSet reads the machine's active vertex set from its bag.
+func activeSet(mc *mpc.Machine) ([]metric.Point, []int) {
+	bag := mc.Bag()
+	pts, _ := bag[BagActivePts].([]metric.Point)
+	ids, _ := bag[BagActiveIDs].([]int)
+	return pts, ids
+}
+
+// envProbe returns the probe context of the executing process, or nil.
+// Bodies pass the (possibly nil) context to its nil-safe query methods:
+// the probe contract guarantees byte-identical results either way, which
+// is what lets a worker replica run with its own context — or none.
+func envProbe(mc *mpc.Machine) *probe.Context {
+	if env := mc.Env(); env != nil {
+		if pc, ok := env.Local.(*probe.Context); ok {
+			return pc
+		}
+	}
+	return nil
+}
+
+func init() {
+	mpc.Register("degree/load", loadBody)
+	mpc.Register("degree/sample", sampleBody)
+	mpc.Register("degree/classify", classifyBody)
+	mpc.Register("degree/decide", decideBody)
+	mpc.Register("degree/overflow-ship", overflowShipBody)
+	mpc.Register("degree/overflow-extract", overflowExtractBody)
+	mpc.Register("degree/light-bcast", lightBcastBody)
+	mpc.Register("degree/light-count", lightCountBody)
+	mpc.Register("degree/assemble", assembleBody)
+}
+
+// loadBody (Local) copies the machine's env partition into its bag as
+// the active vertex set. Free local computation: the MPC model does not
+// charge input loading.
+func loadBody(mc *mpc.Machine) error {
+	env := mc.Env()
+	if env == nil {
+		return fmt.Errorf("degree: no env installed")
+	}
+	i := mc.ID()
+	bag := mc.Bag()
+	bag[BagActivePts] = append([]metric.Point(nil), env.Parts[i]...)
+	bag[BagActiveIDs] = append([]int(nil), env.IDs[i]...)
+	return nil
+}
+
+// sampleBody (round 1): sample active vertices with probability 1/m and
+// broadcast the sample.
+func sampleBody(mc *mpc.Machine) error {
+	pts, vids := activeSet(mc)
+	p := 1.0 / float64(mc.NumMachines())
+	var ids []int
+	var spts []metric.Point
+	for j, pt := range pts {
+		if mc.RNG.Bernoulli(p) {
+			ids = append(ids, vids[j])
+			spts = append(spts, pt)
+		}
+	}
+	mc.BroadcastAll(mpc.IndexedPoints{IDs: ids, Pts: spts})
+	return nil
+}
+
+// classifyBody (round 2): classify vertices against the sample; report
+// the light count centrally. Args: F = [tau, threshold]. The per-vertex
+// sampled-neighbor count runs on the batched sqrt-free CountWithin
+// kernel; a vertex that sampled itself is corrected out (it is within
+// its own ball at distance 0 but is not a neighbor). Yields
+// Ints{active, lights} so the driver can assemble the classification
+// split without seeing the data.
+func classifyBody(mc *mpc.Machine) error {
+	tau := mc.Args().F[0]
+	threshold := mc.Args().F[1]
+	pts, vids := activeSet(mc)
+	space := mc.Env().Space
+	pc := envProbe(mc)
+	sIDs, sPts := mpc.CollectIndexed(mc.Inbox())
+	mc.NoteMemory(int64(len(sIDs) + metric.TotalWords(sPts)))
+	// With a probe context the sampled-neighbor counts come from the
+	// precomputed pair distances (sRows maps the sample into the
+	// reference); the PointSet is only materialized for vertices the
+	// context declines.
+	sRows := pc.Rows(sIDs)
+	var sampleSet *metric.PointSet
+	uncachedSample := func() *metric.PointSet {
+		if sampleSet == nil {
+			sampleSet = metric.FromPoints(sPts)
+			// Every local vertex scans this same sample set, so the
+			// one-pass quantized prefilter pays for itself immediately
+			// (answers are byte-identical with or without it).
+			sampleSet.EnsurePrefilter(space)
+		}
+		return sampleSet
+	}
+	sampled := make(map[int]bool, len(sIDs))
+	for _, id := range sIDs {
+		sampled[id] = true
+	}
+	cnts := make([]int, len(pts))
+	var lights []int
+	for j, v := range pts {
+		id := vids[j]
+		cnt, ok := pc.CountRows(v, id, sRows, tau)
+		if !ok {
+			cnt = metric.CountWithin(space, v, uncachedSample(), tau)
+		}
+		if tau >= 0 && sampled[id] {
+			cnt--
+		}
+		cnts[j] = cnt
+		if float64(cnt) < threshold {
+			lights = append(lights, j)
+		}
+	}
+	bag := mc.Bag()
+	bag[BagSampleCnt] = cnts
+	bag[BagLight] = lights
+	mc.SendCentral(mpc.Int(len(lights)))
+	mc.Yield(mpc.Ints{len(pts), len(lights)})
+	return nil
+}
+
+// decideBody (round 3): the central machine decides between the overflow
+// path and the exact-light path and broadcasts the decision. Args:
+// F = [overflowCap]. Yields Ints{flag, totalLight} (central only).
+func decideBody(mc *mpc.Machine) error {
+	if !mc.IsCentral() {
+		return nil
+	}
+	overflowCap := mc.Args().F[0]
+	totalLight := 0
+	for _, cnt := range mpc.CollectInts(mc.Inbox()) {
+		totalLight += cnt
+	}
+	flag := 0
+	if float64(totalLight) > overflowCap {
+		flag = 1
+	}
+	mc.BroadcastAll(mpc.Ints{flag, totalLight})
+	mc.Yield(mpc.Ints{flag, totalLight})
+	return nil
+}
+
+// overflowShipBody (Lemma 6, round 4a): each machine ships a ρ fraction
+// of its light vertices to the central machine. Args: F = [rho].
+func overflowShipBody(mc *mpc.Machine) error {
+	rho := mc.Args().F[0]
+	pts, vids := activeSet(mc)
+	lights, _ := mc.Bag()[BagLight].([]int)
+	var ids []int
+	var spts []metric.Point
+	for _, j := range lights {
+		if mc.RNG.Bernoulli(rho) {
+			ids = append(ids, vids[j])
+			spts = append(spts, pts[j])
+		}
+	}
+	mc.SendCentral(mpc.IndexedPoints{IDs: ids, Pts: spts})
+	return nil
+}
+
+// overflowExtractBody (round 5a): the central machine extracts an
+// independent set of size k greedily from the shipped light vertices and
+// broadcasts it. Args: I = [k], F = [tau]. Yields the extracted set
+// (central only).
+func overflowExtractBody(mc *mpc.Machine) error {
+	if !mc.IsCentral() {
+		return nil
+	}
+	k := mc.Args().I[0]
+	tau := mc.Args().F[0]
+	space := mc.Env().Space
+	ids, pts := mpc.CollectIndexed(mc.Inbox())
+	mc.NoteMemory(int64(len(ids) + metric.TotalWords(pts)))
+	// Greedy independent set over the shipped light vertices.
+	var isIDs []int
+	var isPts []metric.Point
+	for t, pt := range pts {
+		if len(isIDs) >= k {
+			break
+		}
+		indep := true
+		for _, q := range isPts {
+			if metric.DistLE(space, pt, q, tau) {
+				indep = false
+				break
+			}
+		}
+		if indep {
+			isIDs = append(isIDs, ids[t])
+			isPts = append(isPts, pts[t])
+		}
+	}
+	mc.Broadcast(mpc.IndexedPoints{IDs: isIDs, Pts: isPts})
+	mc.Yield(mpc.IndexedPoints{IDs: isIDs, Pts: isPts})
+	return nil
+}
+
+// lightBcastBody (round 4b): broadcast light vertices.
+func lightBcastBody(mc *mpc.Machine) error {
+	pts, vids := activeSet(mc)
+	lights, _ := mc.Bag()[BagLight].([]int)
+	var ids []int
+	var spts []metric.Point
+	for _, j := range lights {
+		ids = append(ids, vids[j])
+		spts = append(spts, pts[j])
+	}
+	mc.BroadcastAll(mpc.IndexedPoints{IDs: ids, Pts: spts})
+	return nil
+}
+
+// lightCountBody (round 5b): compute local adjacency counts for every
+// light vertex and send them to the vertex's owner. Args: F = [tau].
+// Light vertices are broadcast by the machine that owns them, so the
+// owner of every vertex in a message is the message's sender — no id→
+// owner map needs to exist where this body runs. Each count is one
+// batched sweep over the machine's active points; a light vertex counted
+// against its own machine is corrected out of its own ball.
+func lightCountBody(mc *mpc.Machine) error {
+	tau := mc.Args().F[0]
+	i := mc.ID()
+	pts, vids := activeSet(mc)
+	space := mc.Env().Space
+	pc := envProbe(mc)
+	// Note the collected light set exactly like the one-shot collect did.
+	nIDs, nWords := 0, 0
+	for _, msg := range mc.Inbox() {
+		if wp, ok := msg.Payload.(mpc.IndexedPoints); ok {
+			nIDs += len(wp.IDs)
+			nWords += metric.TotalWords(wp.Pts)
+		}
+	}
+	mc.NoteMemory(int64(nIDs + nWords))
+	// Indexed fast paths, in order of preference: an intact part is one
+	// precomputed segment count per light vertex; a shrunken part still
+	// resolves to reference rows; anything the probe context declines
+	// runs the uncached sweep.
+	intact := pc.SegmentIntact(i, vids)
+	var pRows []int32
+	if !intact {
+		pRows = pc.Rows(vids)
+	}
+	var localSet *metric.PointSet
+	uncachedLocal := func() *metric.PointSet {
+		if localSet == nil {
+			localSet = metric.FromPoints(pts)
+			// Shared by every light vertex the probe context declines;
+			// same byte-identical prefilter bargain as the sample set.
+			localSet.EnsurePrefilter(space)
+		}
+		return localSet
+	}
+	// One reply per sender: the sender owns every vertex it broadcast, so
+	// walking the inbox in (sorted) sender order visits the same light
+	// vertices in the same order as the flattened collect did.
+	for _, msg := range mc.Inbox() {
+		wp, ok := msg.Payload.(mpc.IndexedPoints)
+		if !ok || len(wp.IDs) == 0 {
+			continue
+		}
+		kf := mpc.KeyedFloats{}
+		for t, lp := range wp.Pts {
+			id := wp.IDs[t]
+			cnt, ok := 0, false
+			if intact {
+				cnt, ok = pc.CountSegment(lp, id, i, tau)
+			} else {
+				cnt, ok = pc.CountRows(lp, id, pRows, tau)
+			}
+			if !ok {
+				cnt = metric.CountWithin(space, lp, uncachedLocal(), tau)
+			}
+			if tau >= 0 && msg.From == i {
+				cnt--
+			}
+			kf.Keys = append(kf.Keys, id)
+			kf.Vals = append(kf.Vals, float64(cnt))
+		}
+		mc.Send(msg.From, kf)
+	}
+	return nil
+}
+
+// assembleBody (round 6b): owners sum the per-machine counts for their
+// light vertices and set heavy estimates from the sample counts, storing
+// the result in the bag for the enclosing MIS iteration. Args:
+// I = [wantEstimates]; when 1, every machine yields its estimate vector
+// (standalone Approximate callers read it; the MIS driver does not need
+// the values and leaves them worker-resident).
+func assembleBody(mc *mpc.Machine) error {
+	m := mc.NumMachines()
+	sums := make(map[int]float64)
+	for _, msg := range mc.Inbox() {
+		if kf, ok := msg.Payload.(mpc.KeyedFloats); ok {
+			for t, key := range kf.Keys {
+				sums[key] += kf.Vals[t]
+			}
+		}
+	}
+	pts, vids := activeSet(mc)
+	bag := mc.Bag()
+	cnts, _ := bag[BagSampleCnt].([]int)
+	lights, _ := bag[BagLight].([]int)
+	light := make(map[int]bool, len(lights))
+	for _, j := range lights {
+		light[j] = true
+	}
+	est := make([]float64, len(pts))
+	for j := range pts {
+		id := vids[j]
+		if light[j] {
+			est[j] = sums[id]
+		} else {
+			est[j] = float64(cnts[j]) * float64(m)
+		}
+	}
+	bag[BagEstimates] = est
+	if mc.Args().I[0] == 1 {
+		mc.Yield(mpc.Floats(est))
+	}
+	return nil
+}
 
 // Config parameterizes Algorithm 3.
 type Config struct {
@@ -48,7 +418,9 @@ type Config struct {
 	// classify and light-count rounds are answered from its precomputed
 	// pair distances instead of fresh scans. Results, oracle charges and
 	// communication are byte-identical with or without it; queries it
-	// cannot answer identically fall back to the uncached kernels.
+	// cannot answer identically fall back to the uncached kernels. The
+	// context is installed on the cluster env (SessionEnv), where the
+	// bodies read it — worker replicas substitute their own.
 	Probe *probe.Context
 }
 
@@ -75,7 +447,9 @@ func (c Config) withDefaults(n int) Config {
 // (i, j) within 1 ± ε w.h.p.
 type Result struct {
 	// Estimates are per-machine degree estimates aligned with the
-	// instance's Parts. Nil when the overflow path fired.
+	// instance's Parts. Nil when the overflow path fired, and nil on
+	// ApproximateActive calls (the estimates stay in the machine bags,
+	// where the MIS sampling round reads them).
 	Estimates [][]float64
 	// IS holds the global ids of an independent set extracted from the
 	// light vertices (overflow path); ISPoints are the matching points.
@@ -135,12 +509,30 @@ func Approximate(c *mpc.Cluster, in *instance.Instance, tau float64, cfg Config)
 	if c.NumMachines() != in.Machines() {
 		return nil, fmt.Errorf("degree: cluster has %d machines, instance has %d parts", c.NumMachines(), in.Machines())
 	}
-	budget := TheoremBudget(in.N, in.Machines(), cfg.withDefaults(in.N).K, in.Dim())
+	if err := c.EnsureEnv(SessionEnv(in, cfg.Probe, nil)); err != nil {
+		return nil, err
+	}
+	if _, err := c.RunLocal("degree/load", mpc.Args{}); err != nil {
+		return nil, err
+	}
+	return ApproximateActive(c, in.N, in.Dim(), tau, cfg, true)
+}
+
+// ApproximateActive runs Algorithm 3 over the active vertex sets already
+// loaded into the machine bags (BagActivePts/BagActiveIDs), without
+// touching the env. activeN and dim describe that active set (they
+// parameterize the Theorem 9 budget exactly as the instance's N and Dim
+// would). wantEstimates controls whether the estimate vectors are
+// yielded back into Result.Estimates; the k-bounded MIS driver passes
+// false and leaves them in the bags, where its sampling round reads
+// them. The call runs under its Theorem 9 budget like Approximate.
+func ApproximateActive(c *mpc.Cluster, activeN, dim int, tau float64, cfg Config, wantEstimates bool) (*Result, error) {
+	budget := TheoremBudget(activeN, c.NumMachines(), cfg.withDefaults(activeN).K, dim)
 	if cfg.Budget != nil {
 		budget = *cfg.Budget
 	}
 	guard := c.Guard(budget)
-	res, err := approximate(c, in, tau, cfg)
+	res, err := approximate(c, activeN, tau, cfg, wantEstimates)
 	if err != nil {
 		return nil, err
 	}
@@ -150,125 +542,48 @@ func Approximate(c *mpc.Cluster, in *instance.Instance, tau float64, cfg Config)
 	return res, nil
 }
 
-// approximate is the guarded body of Approximate.
-func approximate(c *mpc.Cluster, in *instance.Instance, tau float64, cfg Config) (*Result, error) {
-	m := in.Machines()
-	cfg = cfg.withDefaults(in.N)
+// approximate is the guarded body of ApproximateActive.
+func approximate(c *mpc.Cluster, activeN int, tau float64, cfg Config, wantEstimates bool) (*Result, error) {
+	m := c.NumMachines()
+	cfg = cfg.withDefaults(activeN)
 	threshold := cfg.Delta * cfg.LogN // heavy iff |N(v) ∩ S| ≥ δ ln n
 
-	owner := in.Owner()
-
-	// Per-machine scratch, each slot written only by its machine.
-	sampleCnt := make([][]int, m)  // |N(v) ∩ S| per local vertex
-	lightLocal := make([][]int, m) // local indices of light vertices
-	estimates := make([][]float64, m)
-	for i := range estimates {
-		estimates[i] = make([]float64, len(in.Parts[i]))
-	}
-
 	// Round 1: sample with probability 1/m and broadcast the sample.
-	p := 1.0 / float64(m)
-	err := c.Superstep("degree/sample", func(mc *mpc.Machine) error {
-		i := mc.ID()
-		var ids []int
-		var pts []metric.Point
-		for j, pt := range in.Parts[i] {
-			if mc.RNG.Bernoulli(p) {
-				ids = append(ids, in.IDs[i][j])
-				pts = append(pts, pt)
-			}
-		}
-		mc.BroadcastAll(mpc.IndexedPoints{IDs: ids, Pts: pts})
-		return nil
-	})
-	if err != nil {
+	if _, err := c.RunStep("degree/sample", mpc.Args{}); err != nil {
 		return nil, err
 	}
 
 	// Round 2: classify vertices against the sample; report light count.
-	// The per-vertex sampled-neighbor count runs on the batched sqrt-free
-	// CountWithin kernel; a vertex that sampled itself is corrected out
-	// (it is within its own ball at distance 0 but is not a neighbor).
-	err = c.Superstep("degree/classify", func(mc *mpc.Machine) error {
-		i := mc.ID()
-		sIDs, sPts := mpc.CollectIndexed(mc.Inbox())
-		mc.NoteMemory(int64(len(sIDs) + metric.TotalWords(sPts)))
-		// With a probe context the sampled-neighbor counts come from the
-		// precomputed pair distances (sRows maps the sample into the
-		// reference); the PointSet is only materialized for vertices the
-		// context declines.
-		sRows := cfg.Probe.Rows(sIDs)
-		var sampleSet *metric.PointSet
-		uncachedSample := func() *metric.PointSet {
-			if sampleSet == nil {
-				sampleSet = metric.FromPoints(sPts)
-				// Every local vertex scans this same sample set, so the
-				// one-pass quantized prefilter pays for itself immediately
-				// (answers are byte-identical with or without it).
-				sampleSet.EnsurePrefilter(in.Space)
-			}
-			return sampleSet
-		}
-		sampled := make(map[int]bool, len(sIDs))
-		for _, id := range sIDs {
-			sampled[id] = true
-		}
-		cnts := make([]int, len(in.Parts[i]))
-		var lights []int
-		for j, v := range in.Parts[i] {
-			id := in.IDs[i][j]
-			cnt, ok := cfg.Probe.CountRows(v, id, sRows, tau)
-			if !ok {
-				cnt = metric.CountWithin(in.Space, v, uncachedSample(), tau)
-			}
-			if tau >= 0 && sampled[id] {
-				cnt--
-			}
-			cnts[j] = cnt
-			if float64(cnt) < threshold {
-				lights = append(lights, j)
-			}
-		}
-		sampleCnt[i] = cnts
-		lightLocal[i] = lights
-		mc.SendCentral(mpc.Int(len(lights)))
-		return nil
-	})
+	ys, err := c.RunStep("degree/classify", mpc.Args{F: []float64{tau, threshold}})
 	if err != nil {
 		return nil, err
+	}
+	res := &Result{}
+	for _, y := range ys {
+		if v, ok := y.Payload.(mpc.Ints); ok && len(v) == 2 {
+			res.HeavyCount += v[0] - v[1]
+		}
 	}
 
 	// Round 3: the central machine decides between the overflow path and
 	// the exact-light path, and broadcasts the decision.
 	overflowCap := 2 * cfg.Delta * float64(m) * float64(cfg.K) * cfg.LogN
-	var totalLight int
-	err = c.Superstep("degree/decide", func(mc *mpc.Machine) error {
-		if !mc.IsCentral() {
-			return nil
-		}
-		for _, cnt := range mpc.CollectInts(mc.Inbox()) {
-			totalLight += cnt
-		}
-		flag := 0
-		if float64(totalLight) > overflowCap {
-			flag = 1
-		}
-		mc.BroadcastAll(mpc.Ints{flag, totalLight})
-		return nil
-	})
+	ys, err = c.RunStep("degree/decide", mpc.Args{F: []float64{overflowCap}})
 	if err != nil {
 		return nil, err
 	}
-
-	res := &Result{LightCount: totalLight}
-	for i := range in.Parts {
-		res.HeavyCount += len(in.Parts[i]) - len(lightLocal[i])
+	overflow := false
+	for _, y := range ys {
+		if v, ok := y.Payload.(mpc.Ints); ok && len(v) == 2 {
+			overflow = v[0] == 1
+			res.LightCount = v[1]
+		}
 	}
 
-	if float64(totalLight) > overflowCap {
-		return overflowPath(c, in, tau, cfg, lightLocal, totalLight, res)
+	if overflow {
+		return overflowPath(c, m, tau, cfg, res)
 	}
-	return exactLightPath(c, in, tau, cfg, owner, sampleCnt, lightLocal, estimates, res)
+	return exactLightPath(c, tau, res, wantEstimates)
 }
 
 // overflowPath implements Lemma 6: each machine sends a ρ fraction of its
@@ -277,182 +592,57 @@ func approximate(c *mpc.Cluster, in *instance.Instance, tau float64, cfg Config)
 // independent vertices exist in the shipped set, IS holds what was found
 // and the caller decides how to proceed (k-bounded MIS falls back to the
 // normal path).
-func overflowPath(c *mpc.Cluster, in *instance.Instance, tau float64, cfg Config,
-	lightLocal [][]int, totalLight int, res *Result) (*Result, error) {
-
-	rho := 2 * cfg.Delta * float64(in.Machines()) * float64(cfg.K) * cfg.LogN / float64(totalLight)
+func overflowPath(c *mpc.Cluster, m int, tau float64, cfg Config, res *Result) (*Result, error) {
+	rho := 2 * cfg.Delta * float64(m) * float64(cfg.K) * cfg.LogN / float64(res.LightCount)
 	if rho > 1 {
 		rho = 1
 	}
-	err := c.Superstep("degree/overflow-ship", func(mc *mpc.Machine) error {
-		i := mc.ID()
-		var ids []int
-		var pts []metric.Point
-		for _, j := range lightLocal[i] {
-			if mc.RNG.Bernoulli(rho) {
-				ids = append(ids, in.IDs[i][j])
-				pts = append(pts, in.Parts[i][j])
-			}
-		}
-		mc.SendCentral(mpc.IndexedPoints{IDs: ids, Pts: pts})
-		return nil
-	})
+	if _, err := c.RunStep("degree/overflow-ship", mpc.Args{F: []float64{rho}}); err != nil {
+		return nil, err
+	}
+	ys, err := c.RunStep("degree/overflow-extract", mpc.Args{I: []int{cfg.K}, F: []float64{tau}})
 	if err != nil {
 		return nil, err
 	}
-
-	var isIDs []int
-	var isPts []metric.Point
-	err = c.Superstep("degree/overflow-extract", func(mc *mpc.Machine) error {
-		if !mc.IsCentral() {
-			return nil
+	for _, y := range ys {
+		if wp, ok := y.Payload.(mpc.IndexedPoints); ok {
+			res.IS = wp.IDs
+			res.ISPoints = wp.Pts
 		}
-		ids, pts := mpc.CollectIndexed(mc.Inbox())
-		mc.NoteMemory(int64(len(ids) + metric.TotalWords(pts)))
-		// Greedy independent set over the shipped light vertices.
-		for t, pt := range pts {
-			if len(isIDs) >= cfg.K {
-				break
-			}
-			indep := true
-			for _, q := range isPts {
-				if metric.DistLE(in.Space, pt, q, tau) {
-					indep = false
-					break
-				}
-			}
-			if indep {
-				isIDs = append(isIDs, ids[t])
-				isPts = append(isPts, pts[t])
-			}
-		}
-		mc.Broadcast(mpc.IndexedPoints{IDs: isIDs, Pts: isPts})
-		return nil
-	})
-	if err != nil {
-		return nil, err
 	}
-	res.IS = isIDs
-	res.ISPoints = isPts
 	return res, nil
 }
 
 // exactLightPath implements lines 7–13 of Algorithm 3: light vertices are
 // broadcast, every machine reports its local adjacency counts d_i(v) to
-// the owner of v, and owners assemble exact light degrees while heavy
-// vertices take the sampled estimate m·|N(v) ∩ S|.
-func exactLightPath(c *mpc.Cluster, in *instance.Instance, tau float64, cfg Config,
-	owner map[int]int, sampleCnt, lightLocal [][]int, estimates [][]float64, res *Result) (*Result, error) {
-
-	m := in.Machines()
-
+// the owner of v (its sender), and owners assemble exact light degrees
+// while heavy vertices take the sampled estimate m·|N(v) ∩ S|.
+func exactLightPath(c *mpc.Cluster, tau float64, res *Result, wantEstimates bool) (*Result, error) {
 	// Round 4: broadcast light vertices.
-	err := c.Superstep("degree/light-bcast", func(mc *mpc.Machine) error {
-		i := mc.ID()
-		var ids []int
-		var pts []metric.Point
-		for _, j := range lightLocal[i] {
-			ids = append(ids, in.IDs[i][j])
-			pts = append(pts, in.Parts[i][j])
-		}
-		mc.BroadcastAll(mpc.IndexedPoints{IDs: ids, Pts: pts})
-		return nil
-	})
+	if _, err := c.RunStep("degree/light-bcast", mpc.Args{}); err != nil {
+		return nil, err
+	}
+	// Round 5: local adjacency counts, replied to each vertex's owner.
+	if _, err := c.RunStep("degree/light-count", mpc.Args{F: []float64{tau}}); err != nil {
+		return nil, err
+	}
+	// Round 6: owners assemble exact light degrees and heavy estimates.
+	want := 0
+	if wantEstimates {
+		want = 1
+	}
+	ys, err := c.RunStep("degree/assemble", mpc.Args{I: []int{want}})
 	if err != nil {
 		return nil, err
 	}
-
-	// Round 5: compute local adjacency counts for every light vertex and
-	// send them to the vertex's owner. Each count is one batched sweep
-	// over the machine's contiguous local points; a light vertex counted
-	// against its own machine is corrected out of its own ball.
-	err = c.Superstep("degree/light-count", func(mc *mpc.Machine) error {
-		i := mc.ID()
-		lIDs, lPts := mpc.CollectIndexed(mc.Inbox())
-		mc.NoteMemory(int64(len(lIDs) + metric.TotalWords(lPts)))
-		// Indexed fast paths, in order of preference: an intact part is
-		// one precomputed segment count per light vertex; a shrunken part
-		// still resolves to reference rows; anything the probe context
-		// declines runs the uncached sweep.
-		intact := cfg.Probe.SegmentIntact(i, in.IDs[i])
-		var pRows []int32
-		if !intact {
-			pRows = cfg.Probe.Rows(in.IDs[i])
+	if wantEstimates {
+		res.Estimates = make([][]float64, c.NumMachines())
+		for _, y := range ys {
+			if v, ok := y.Payload.(mpc.Floats); ok {
+				res.Estimates[y.Machine] = v
+			}
 		}
-		var localSet *metric.PointSet
-		uncachedLocal := func() *metric.PointSet {
-			if localSet == nil {
-				localSet = metric.FromPoints(in.Parts[i])
-				// Shared by every light vertex the probe context declines;
-				// same byte-identical prefilter bargain as the sample set.
-				localSet.EnsurePrefilter(in.Space)
-			}
-			return localSet
-		}
-		perOwner := make(map[int]*mpc.KeyedFloats)
-		for t, lp := range lPts {
-			id := lIDs[t]
-			cnt, ok := 0, false
-			if intact {
-				cnt, ok = cfg.Probe.CountSegment(lp, id, i, tau)
-			} else {
-				cnt, ok = cfg.Probe.CountRows(lp, id, pRows, tau)
-			}
-			if !ok {
-				cnt = metric.CountWithin(in.Space, lp, uncachedLocal(), tau)
-			}
-			o := owner[id]
-			if tau >= 0 && o == i {
-				cnt--
-			}
-			kf := perOwner[o]
-			if kf == nil {
-				kf = &mpc.KeyedFloats{}
-				perOwner[o] = kf
-			}
-			kf.Keys = append(kf.Keys, id)
-			kf.Vals = append(kf.Vals, float64(cnt))
-		}
-		for o, kf := range perOwner {
-			mc.Send(o, *kf)
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
 	}
-
-	// Round 6: owners sum the per-machine counts for their light vertices
-	// and set heavy estimates from the sample counts.
-	err = c.Superstep("degree/assemble", func(mc *mpc.Machine) error {
-		i := mc.ID()
-		sums := make(map[int]float64)
-		for _, msg := range mc.Inbox() {
-			if kf, ok := msg.Payload.(mpc.KeyedFloats); ok {
-				for t, key := range kf.Keys {
-					sums[key] += kf.Vals[t]
-				}
-			}
-		}
-		light := make(map[int]bool, len(lightLocal[i]))
-		for _, j := range lightLocal[i] {
-			light[j] = true
-		}
-		for j := range in.Parts[i] {
-			id := in.IDs[i][j]
-			if light[j] {
-				estimates[i][j] = sums[id]
-			} else {
-				estimates[i][j] = float64(sampleCnt[i][j]) * float64(m)
-			}
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-
-	res.Estimates = estimates
 	res.Exact = res.HeavyCount == 0
 	return res, nil
 }

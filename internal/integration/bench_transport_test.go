@@ -1,0 +1,88 @@
+// BenchmarkTransportExchange quantifies the PR's headline win: with
+// SPMD sessions the coordinator link carries only control messages, so
+// per-round coordinator traffic collapses versus coordinator-compute,
+// where every round's full message shards cross the link twice (request
+// out, reply back). The benchmark runs the kcenter ladder end-to-end
+// over a real localhost TCP fleet in both placements and reports
+//
+//	coord-B/round — frame-body bytes over the coordinator link,
+//	                averaged over the run's superstep rounds
+//	coord-B/run   — the same, whole-run total
+//
+// alongside the usual ns/op wall time. BENCH_pr9.json records a
+// measured pair with the exact command line.
+package integration_test
+
+import (
+	"testing"
+
+	"parclust/internal/instance"
+	"parclust/internal/kcenter"
+	"parclust/internal/metric"
+	"parclust/internal/mpc"
+	"parclust/internal/rng"
+	"parclust/internal/workload"
+)
+
+func BenchmarkTransportExchange(b *testing.B) {
+	const n, m, k, seed = 160, waveM, 5, 11
+	pts := workload.GaussianMixture(rng.New(seed), n, 6, 8, 20, 2)
+	in := instance.New(metric.L2{}, workload.PartitionRoundRobin(nil, pts, m))
+	addrs := startFleet(b, 2)
+
+	for _, mode := range []struct {
+		name string
+		opts []mpc.Option
+	}{
+		{"coordinator-compute", nil},
+		{"spmd", []mpc.Option{mpc.WithSPMD()}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			var coordBytes, rounds int64
+			for i := 0; i < b.N; i++ {
+				// A fresh client per iteration keeps the byte counters
+				// scoped to exactly one run.
+				cl := dialFleet(b, addrs)
+				opts := append([]mpc.Option{mpc.WithTransport(cl)}, mode.opts...)
+				c := mpc.NewCluster(m, seed+99, opts...)
+				if _, err := kcenter.Solve(c, in, kcenter.Config{K: k}); err != nil {
+					b.Fatal(err)
+				}
+				st := cl.Stats()
+				coordBytes += st.BytesSent + st.BytesRecv
+				rounds += int64(c.Stats().Rounds)
+				cl.Close()
+			}
+			b.ReportMetric(float64(coordBytes)/float64(rounds), "coord-B/round")
+			b.ReportMetric(float64(coordBytes)/float64(b.N), "coord-B/run")
+		})
+	}
+}
+
+// TestSPMDCoordinatorByteReduction pins the acceptance bar behind the
+// benchmark as a plain test: the SPMD placement must cut coordinator
+// wire bytes by at least 10x on the kcenter run the benchmark measures.
+func TestSPMDCoordinatorByteReduction(t *testing.T) {
+	const n, m, k, seed = 160, waveM, 5, 11
+	pts := workload.GaussianMixture(rng.New(seed), n, 6, 8, 20, 2)
+	in := instance.New(metric.L2{}, workload.PartitionRoundRobin(nil, pts, m))
+	addrs := startFleet(t, 2)
+
+	bytesFor := func(opts ...mpc.Option) int64 {
+		cl := dialFleet(t, addrs)
+		defer cl.Close()
+		c := mpc.NewCluster(m, seed+99, append([]mpc.Option{mpc.WithTransport(cl)}, opts...)...)
+		if _, err := kcenter.Solve(c, in, kcenter.Config{K: k}); err != nil {
+			t.Fatal(err)
+		}
+		st := cl.Stats()
+		return st.BytesSent + st.BytesRecv
+	}
+	coord := bytesFor()
+	spmd := bytesFor(mpc.WithSPMD())
+	t.Logf("coordinator link: %d B coordinator-compute, %d B spmd (%.1fx)",
+		coord, spmd, float64(coord)/float64(spmd))
+	if spmd*10 > coord {
+		t.Fatalf("spmd coordinator traffic %d B is not 10x below coordinator-compute %d B", spmd, coord)
+	}
+}

@@ -1,0 +1,122 @@
+// SPMD parity: the acceptance contract of the worker-resident execution
+// path. A cluster built mpc.WithSPMD over the tcp backend runs every
+// registered superstep inside the workers that hold its machine
+// partitions (internal/transport SPMD sessions) — and must still match
+// the in-process baseline AND the tcp coordinator-compute run on every
+// backend-invariant view: results, tag-stripped winning traces, winning
+// budget reports, and the round/word totals. The only extra liberty SPMD
+// takes over plain tcp is the wire-traffic split (data-plane words are
+// peer-mesh shard payloads instead of full coordinator mailboxes), which
+// normalizeTransport already strips.
+//
+// Configurations that SPMD cannot serve — fault schedules, speculative
+// forks — must degrade per superstep to the PR 7 coordinator-compute
+// path with no observable difference; the fault and speculation cases
+// here pin exactly that.
+package integration_test
+
+import (
+	"bytes"
+	"testing"
+
+	"parclust/internal/fault"
+	"parclust/internal/metric"
+	"parclust/internal/mpc"
+)
+
+// wireDataTotal sums the metered data-plane wire words over a run's
+// rounds (recovery rounds carry no split and sum as zero).
+func wireDataTotal(run waveRun) int64 {
+	var total int64
+	for _, rs := range run.stats.PerRound {
+		total += rs.WireDataWords
+	}
+	return total
+}
+
+// TestSPMDParity is the acceptance matrix: kcenter across 3 metrics,
+// byte-identical across inproc, tcp coordinator-compute, and tcp SPMD.
+func TestSPMDParity(t *testing.T) {
+	cl := dialFleet(t, startFleet(t, 2))
+	spaces := []metric.Space{metric.L2{}, metric.L1{}, metric.LInf{}}
+	for _, space := range spaces {
+		const seed = 11
+		tag := "kcenter/spmd/" + space.Name()
+		inproc := runWave(t, "kcenter", space, seed, 0, nil)
+		coord := runWave(t, "kcenter", space, seed, 0, nil, mpc.WithTransport(cl))
+		spmd := runWave(t, "kcenter", space, seed, 0, nil, mpc.WithTransport(cl), mpc.WithSPMD())
+		compareBackends(t, tag+"/coordinator-compute", inproc, coord)
+		compareBackends(t, tag, inproc, spmd)
+		if !bytes.Equal(stripTransportTags(spmd.ndjsonBytes), inproc.ndjsonBytes) {
+			t.Errorf("%s: SPMD NDJSON with transport tags stripped is not byte-identical to inproc", tag)
+		}
+		// SPMD must actually have moved compute to the workers: its
+		// data-plane wire traffic is cross-worker shards only, strictly
+		// below the coordinator-compute path's full mailbox round-trips.
+		// Were the SPMD path silently falling back, the sums would tie.
+		coordData, spmdData := wireDataTotal(coord), wireDataTotal(spmd)
+		if spmdData >= coordData {
+			t.Errorf("%s: SPMD data-plane words %d not below coordinator-compute %d — worker-side execution never engaged",
+				tag, spmdData, coordData)
+		}
+	}
+}
+
+// TestSPMDParityAllAlgorithms extends the contract to the other two
+// ladder entry points on the default metric.
+func TestSPMDParityAllAlgorithms(t *testing.T) {
+	cl := dialFleet(t, startFleet(t, 2))
+	for _, algo := range []string{"diversity", "ksupplier"} {
+		const seed = 11
+		tag := algo + "/spmd"
+		inproc := runWave(t, algo, metric.L2{}, seed, 0, nil)
+		spmd := runWave(t, algo, metric.L2{}, seed, 0, nil, mpc.WithTransport(cl), mpc.WithSPMD())
+		compareBackends(t, tag, inproc, spmd)
+		if !bytes.Equal(stripTransportTags(spmd.ndjsonBytes), inproc.ndjsonBytes) {
+			t.Errorf("%s: SPMD NDJSON with transport tags stripped is not byte-identical to inproc", tag)
+		}
+	}
+}
+
+// TestSPMDParityUnderFaults pins the fallback half of the contract: a
+// fault schedule makes the cluster SPMD-ineligible (worker-resident
+// state cannot participate in checkpoint rollback), so a WithSPMD
+// cluster under crash+drop faults must take the coordinator-compute
+// path per superstep and still match the fault-free inproc baseline on
+// every winning view.
+func TestSPMDParityUnderFaults(t *testing.T) {
+	cl := dialFleet(t, startFleet(t, 2))
+	rates := fault.Rates{Crash: 0.1, Drop: 0.1}
+	for _, algo := range []string{"kcenter", "diversity"} {
+		const seed = 11
+		tag := algo + "/spmd-faults"
+		clean := runWave(t, algo, metric.L2{}, seed, 0, nil)
+		sched := fault.NewRandom(seed+7, rates)
+		spmd := runWave(t, algo, metric.L2{}, seed, 0, sched, mpc.WithTransport(cl), mpc.WithSPMD())
+		compareBackends(t, tag, clean, spmd)
+		if sched.Fired() == 0 {
+			t.Errorf("%s: fault schedule never fired — the run was not exercised", tag)
+		}
+		if spmd.stats.RecoveryRounds == 0 {
+			t.Errorf("%s: faults fired but no recovery recorded", tag)
+		}
+	}
+}
+
+// TestSPMDParityUnderSpeculation pins the other fallback: forked shadow
+// clusters never open SPMD sessions (their state diverges from the
+// worker-held partitions), so the wave-parallel search over a WithSPMD
+// cluster must match the in-process run of the same width exactly.
+func TestSPMDParityUnderSpeculation(t *testing.T) {
+	cl := dialFleet(t, startFleet(t, 3))
+	for _, width := range []int{2, -1} {
+		const seed = 11
+		tag := "kcenter/spmd-speculation"
+		inproc := runWave(t, "kcenter", metric.L2{}, seed, width, nil)
+		spmd := runWave(t, "kcenter", metric.L2{}, seed, width, nil, mpc.WithTransport(cl), mpc.WithSPMD())
+		compareBackends(t, tag, inproc, spmd)
+		if width == -1 && spmd.specProbes == 0 {
+			t.Errorf("%s width -1: no speculation happened over tcp SPMD", tag)
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"bytes"
 	"net"
 	"reflect"
+	"regexp"
 	"testing"
 	"time"
 
@@ -30,7 +31,7 @@ import (
 // startFleet launches n transport workers on ephemeral localhost ports
 // inside this test process (the OS-process variant lives in
 // cmd/kclusterd's tests) and returns their addresses.
-func startFleet(t *testing.T, n int) []string {
+func startFleet(t testing.TB, n int) []string {
 	t.Helper()
 	addrs := make([]string, n)
 	for i := range addrs {
@@ -46,7 +47,7 @@ func startFleet(t *testing.T, n int) []string {
 }
 
 // dialFleet connects a tcp transport for runWave's cluster size.
-func dialFleet(t *testing.T, addrs []string) *transport.Client {
+func dialFleet(t testing.TB, addrs []string) *transport.Client {
 	t.Helper()
 	cl, err := transport.Dial(transport.DialConfig{Workers: addrs, Machines: waveM})
 	if err != nil {
@@ -56,13 +57,16 @@ func dialFleet(t *testing.T, addrs []string) *transport.Client {
 	return cl
 }
 
-// normalizeTransport clears the backend tag from a run's winning events
-// so inproc and tcp runs compare on content. Everything else — Seq,
-// names, word counts, fork fields — must already match exactly.
+// normalizeTransport clears the backend tag and the wire-level traffic
+// split from a run's winning events so inproc and tcp runs compare on
+// content: both describe delivery infrastructure, not computation.
+// Everything else — Seq, names, word counts, fork fields — must already
+// match exactly.
 func normalizeTransport(events []mpc.TraceEvent) []mpc.TraceEvent {
 	out := make([]mpc.TraceEvent, len(events))
 	for i, ev := range events {
 		ev.Transport = ""
+		ev.WireDataWords, ev.WireCtrlWords = 0, 0
 		out[i] = ev
 	}
 	return out
@@ -160,18 +164,31 @@ func TestTransportParityUnderFaults(t *testing.T) {
 	}
 }
 
+// stripTransportTags removes the tcp-only NDJSON keys — the backend tag
+// and the wire-traffic split — from a trace. The wire_* values vary with
+// framing, so they are matched by pattern, not literal.
+var wireTagRE = regexp.MustCompile(`,"wire_(data|ctrl)_words":\d+`)
+
+func stripTransportTags(ndjson []byte) []byte {
+	out := bytes.ReplaceAll(ndjson, []byte(`,"transport":"tcp"`), nil)
+	return wireTagRE.ReplaceAll(out, nil)
+}
+
 // TestTransportTraceTagging pins the trace-schema side of the parity
-// contract: an inproc run emits no "transport" key anywhere (existing
-// traces stay byte-identical), a tcp run tags every row, and stripping
-// that tag recovers the inproc NDJSON byte for byte.
+// contract: an inproc run emits neither a "transport" key nor a wire_*
+// traffic split anywhere (existing traces stay byte-identical), a tcp
+// run tags every row and meters its round rows, and stripping the
+// tcp-only keys recovers the inproc NDJSON byte for byte.
 func TestTransportTraceTagging(t *testing.T) {
 	cl := dialFleet(t, startFleet(t, 2))
 	const seed = 11
 	inproc := runWave(t, "kcenter", metric.L2{}, seed, 0, nil)
 	tcp := runWave(t, "kcenter", metric.L2{}, seed, 0, nil, mpc.WithTransport(cl))
 
-	if bytes.Contains(inproc.ndjsonBytes, []byte(`"transport"`)) {
-		t.Error("inproc trace carries a transport tag; the default backend must keep the legacy schema")
+	for _, key := range []string{`"transport"`, `"wire_data_words"`, `"wire_ctrl_words"`} {
+		if bytes.Contains(inproc.ndjsonBytes, []byte(key)) {
+			t.Errorf("inproc trace carries %s; the default backend must keep the legacy schema", key)
+		}
 	}
 	lines := bytes.Split(bytes.TrimSpace(tcp.ndjsonBytes), []byte("\n"))
 	for i, line := range lines {
@@ -179,9 +196,12 @@ func TestTransportTraceTagging(t *testing.T) {
 			t.Fatalf("tcp trace row %d lacks the backend tag: %s", i, line)
 		}
 	}
-	stripped := bytes.ReplaceAll(tcp.ndjsonBytes, []byte(`,"transport":"tcp"`), nil)
+	if !bytes.Contains(tcp.ndjsonBytes, []byte(`"wire_data_words"`)) {
+		t.Error("tcp trace never metered data-plane wire traffic")
+	}
+	stripped := stripTransportTags(tcp.ndjsonBytes)
 	if !bytes.Equal(stripped, inproc.ndjsonBytes) {
-		t.Error("tcp NDJSON with the transport tag stripped is not byte-identical to the inproc trace")
+		t.Error("tcp NDJSON with the transport tags stripped is not byte-identical to the inproc trace")
 	}
 }
 

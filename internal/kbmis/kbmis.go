@@ -37,6 +37,419 @@ const (
 	ExitFallbackGather ExitPath = "fallback-gather"
 )
 
+// Bag keys private to the kbmis bodies. The active vertex set lives
+// under the degree package's keys (degree.BagActivePts/BagActiveIDs):
+// the degree rounds read the same set the remove step maintains.
+const (
+	// bagSamples ([][]weighted) holds the machine's m sample streams
+	// S_i^j, drawn by "kbmis/sample" and consumed by the pruning or
+	// central-Luby rounds of the same iteration.
+	bagSamples = "kbmis.smp"
+	// bagMIS ([]weighted, central machine only) accumulates the MIS as
+	// the central machine learns it; "kbmis/fallback-finish" tests
+	// candidates against it.
+	bagMIS = "kbmis.mis"
+	// bagFastPath ([]weighted, central machine only) carries a pruning
+	// fast-path subset from "kbmis/prune-union" to "kbmis/prune-collect".
+	bagFastPath = "kbmis.fastpath"
+	// bagAdditions ([]weighted, central machine only) carries the
+	// central-Luby additions from "kbmis/central-luby" to "kbmis/remove".
+	bagAdditions = "kbmis.additions"
+)
+
+func init() {
+	mpc.Register("kbmis/load", loadBody)
+	mpc.Register("kbmis/sample", sampleBody)
+	mpc.Register("kbmis/prune-decide", pruneDecideBody)
+	mpc.Register("kbmis/prune-local", pruneLocalBody)
+	mpc.Register("kbmis/prune-union", pruneUnionBody)
+	mpc.Register("kbmis/prune-collect", pruneCollectBody)
+	mpc.Register("kbmis/ship-samples", shipSamplesBody)
+	mpc.Register("kbmis/central-luby", centralLubyBody)
+	mpc.Register("kbmis/remove", removeBody)
+	mpc.Register("kbmis/fallback-gather", fallbackGatherBody)
+	mpc.Register("kbmis/fallback-finish", fallbackFinishBody)
+}
+
+// activeSet reads the machine's active vertex set from its bag.
+func activeSet(mc *mpc.Machine) ([]metric.Point, []int) {
+	bag := mc.Bag()
+	pts, _ := bag[degree.BagActivePts].([]metric.Point)
+	ids, _ := bag[degree.BagActiveIDs].([]int)
+	return pts, ids
+}
+
+// misFromBag reads the central machine's accumulated MIS.
+func misFromBag(bag mpc.Bag) []weighted {
+	mis, _ := bag[bagMIS].([]weighted)
+	return mis
+}
+
+// envAdj builds the pair-adjacency test at τ for the executing process:
+// the probe-context lookup when one is installed on the env, the
+// uncached oracle otherwise. The probe contract makes the two
+// byte-identical, so driver and worker replicas agree.
+func envAdj(mc *mpc.Machine, tau float64) func(v, u weighted) bool {
+	env := mc.Env()
+	if pc, ok := env.Local.(*probe.Context); ok && pc != nil {
+		return func(v, u weighted) bool {
+			return pc.DistLE(v.id, v.pt, u.id, u.pt, tau)
+		}
+	}
+	return oracleAdj(env.Space, tau)
+}
+
+// bodyTrim dispatches between the tie-broken and strict trim rules.
+func bodyTrim(s []weighted, adj func(v, u weighted) bool, strict bool) []weighted {
+	if strict {
+		return trimWith(s, adj, strictBeats)
+	}
+	return trimWith(s, adj, beats)
+}
+
+// trimArgs decodes the common (need, strict, tau) argument layout of the
+// trim-running rounds.
+func trimArgs(mc *mpc.Machine) (need int, strict bool, tau float64) {
+	a := mc.Args()
+	return a.I[0], a.I[1] == 1, a.F[0]
+}
+
+// loadBody (Local) copies the machine's env partition into its bag as
+// the active vertex set and clears state left by a previous run on the
+// same cluster.
+func loadBody(mc *mpc.Machine) error {
+	env := mc.Env()
+	if env == nil {
+		return fmt.Errorf("kbmis: no env installed")
+	}
+	i := mc.ID()
+	bag := mc.Bag()
+	bag[degree.BagActivePts] = append([]metric.Point(nil), env.Parts[i]...)
+	bag[degree.BagActiveIDs] = append([]int(nil), env.IDs[i]...)
+	delete(bag, degree.BagSampleCnt)
+	delete(bag, degree.BagLight)
+	delete(bag, degree.BagEstimates)
+	delete(bag, bagSamples)
+	delete(bag, bagMIS)
+	delete(bag, bagFastPath)
+	delete(bag, bagAdditions)
+	return nil
+}
+
+// sampleBody (line 5): draw m independent samples of the active
+// vertices, keeping each with probability 1/(2 p_v), and report the
+// expected sample volume for the pruning decision.
+func sampleBody(mc *mpc.Machine) error {
+	m := mc.NumMachines()
+	pts, vids := activeSet(mc)
+	bag := mc.Bag()
+	est, _ := bag[degree.BagEstimates].([]float64)
+	smp := make([][]weighted, m)
+	for j := 0; j < m; j++ {
+		for t, pt := range pts {
+			if mc.RNG.Bernoulli(sampleProb(est[t])) {
+				smp[j] = append(smp[j], weighted{id: vids[t], pt: pt, w: est[t]})
+			}
+		}
+	}
+	bag[bagSamples] = smp
+	sum := 0.0
+	for t := range pts {
+		sum += sampleProb(est[t])
+	}
+	mc.SendCentral(mpc.Float(sum))
+	return nil
+}
+
+// pruneDecideBody (line 6): the central machine aggregates Σ_v 1/(2p_v)
+// and broadcasts whether it exceeds the pruning threshold. Args:
+// F = [threshold]. Yields Int(decision) (central only).
+func pruneDecideBody(mc *mpc.Machine) error {
+	if !mc.IsCentral() {
+		return nil
+	}
+	threshold := mc.Args().F[0]
+	total := 0.0
+	for _, v := range mpc.CollectFloats(mc.Inbox()) {
+		total += v
+	}
+	d := 0
+	if total > threshold {
+		d = 1
+	}
+	mc.BroadcastAll(mpc.Int(d))
+	mc.Yield(mpc.Int(d))
+	return nil
+}
+
+// pruneLocalBody (pruning round 1): machines trim their samples locally.
+// A machine whose local trim already reaches `need` short-circuits by
+// sending that subset straight to the central machine (the optimization
+// noted in the proof of Theorem 14). Args: I = [need, strict], F = [tau].
+func pruneLocalBody(mc *mpc.Machine) error {
+	need, strict, tau := trimArgs(mc)
+	adj := envAdj(mc, tau)
+	m := mc.NumMachines()
+	smp, _ := mc.Bag()[bagSamples].([][]weighted)
+	for j := 0; j < m; j++ {
+		t := bodyTrim(smp[j], adj, strict)
+		if len(t) >= need {
+			mc.SendCentral(toWeightedPayload(t[:need], -1))
+			return nil
+		}
+		mc.Send(j, toWeightedPayload(t, j))
+	}
+	return nil
+}
+
+// pruneUnionBody (pruning round 2): machine j unions the stream-j pieces
+// and trims again, sending at most `need` vertices to the central
+// machine. Fast-path subsets (tag -1) pass through central's inbox and
+// are parked in its bag for the collect round. Args: I = [need, strict],
+// F = [tau].
+func pruneUnionBody(mc *mpc.Machine) error {
+	need, strict, tau := trimArgs(mc)
+	adj := envAdj(mc, tau)
+	bag := mc.Bag()
+	if mc.IsCentral() {
+		delete(bag, bagFastPath)
+	}
+	var pieces []weighted
+	for _, msg := range mc.Inbox() {
+		wp, ok := msg.Payload.(mpc.WeightedPoints)
+		if !ok {
+			continue
+		}
+		if wp.Tag == -1 {
+			// First fast-path subset wins (inboxes are sorted by sender).
+			if mc.IsCentral() {
+				if _, have := bag[bagFastPath]; !have {
+					bag[bagFastPath] = fromWeightedPayload(wp)
+				}
+			}
+			continue
+		}
+		pieces = append(pieces, fromWeightedPayload(wp)...)
+	}
+	mc.NoteMemory(int64(3 * len(pieces)))
+	tj := bodyTrim(pieces, adj, strict)
+	if len(tj) > need {
+		tj = tj[:need]
+	}
+	mc.SendCentral(toWeightedPayload(tj, mc.ID()))
+	return nil
+}
+
+// pruneCollectBody (pruning round 3): central picks the fast-path set or
+// the largest T_j and broadcasts the outcome; the winning set joins its
+// accumulated MIS. Args: I = [need]. Yields the winner with Tag 1 when
+// `need` vertices were secured, Tag 0 otherwise (central only).
+func pruneCollectBody(mc *mpc.Machine) error {
+	if !mc.IsCentral() {
+		return nil
+	}
+	need := mc.Args().I[0]
+	bag := mc.Bag()
+	best, _ := bag[bagFastPath].([]weighted)
+	delete(bag, bagFastPath)
+	for _, msg := range mc.Inbox() {
+		if wp, ok := msg.Payload.(mpc.WeightedPoints); ok {
+			cand := fromWeightedPayload(wp)
+			if len(cand) > len(best) {
+				best = cand
+			}
+		}
+	}
+	if len(best) > need {
+		best = best[:need]
+	}
+	var winner []weighted
+	if len(best) == need {
+		winner = best
+	}
+	mc.Broadcast(toWeightedPayload(winner, -2))
+	found := 0
+	if winner != nil {
+		found = 1
+		bag[bagMIS] = append(misFromBag(bag), winner...)
+	}
+	mc.Yield(toWeightedPayload(winner, found))
+	return nil
+}
+
+// shipSamplesBody (line 10): all sample streams go to the central
+// machine, tagged by stream index.
+func shipSamplesBody(mc *mpc.Machine) error {
+	m := mc.NumMachines()
+	smp, _ := mc.Bag()[bagSamples].([][]weighted)
+	for j := 0; j < m; j++ {
+		mc.SendCentral(toWeightedPayload(smp[j], j))
+	}
+	return nil
+}
+
+// centralLubyBody (lines 11–17): the central machine peels independent
+// sets M_j = trim(S_j) stream by stream, removing each M_j's closed
+// neighborhood from its sample-local view of the graph, then broadcasts
+// the additions. Args: I = [need, strict], F = [tau]. Yields the
+// additions (central only).
+func centralLubyBody(mc *mpc.Machine) error {
+	if !mc.IsCentral() {
+		return nil
+	}
+	need, strict, tau := trimArgs(mc)
+	adj := envAdj(mc, tau)
+	m := mc.NumMachines()
+	streams := make([][]weighted, m)
+	words := 0
+	for _, msg := range mc.Inbox() {
+		if wp, ok := msg.Payload.(mpc.WeightedPoints); ok && wp.Tag >= 0 && wp.Tag < m {
+			streams[wp.Tag] = append(streams[wp.Tag], fromWeightedPayload(wp)...)
+			words += wp.Words()
+		}
+	}
+	mc.NoteMemory(int64(words))
+	removed := make(map[int]bool)
+	var additions []weighted
+	for j := 0; j < m && len(additions) < need; j++ {
+		// S_j ∩ V(G): drop vertices removed by earlier streams this
+		// round — by id, or by adjacency to an earlier addition.
+		var sj []weighted
+		for _, v := range streams[j] {
+			if removed[v.id] {
+				continue
+			}
+			adjacent := false
+			for _, a := range additions {
+				if v.id != a.id && adj(v, a) {
+					adjacent = true
+					break
+				}
+			}
+			if !adjacent {
+				sj = append(sj, v)
+			}
+		}
+		mj := bodyTrim(sj, adj, strict)
+		if rem := need - len(additions); len(mj) > rem {
+			mj = mj[:rem]
+		}
+		for _, v := range mj {
+			removed[v.id] = true
+		}
+		additions = append(additions, mj...)
+	}
+	mc.Broadcast(toWeightedPayload(additions, -3))
+	mc.Bag()[bagAdditions] = additions
+	mc.Yield(toWeightedPayload(additions, -3))
+	return nil
+}
+
+// removeBody (line 18): every machine removes MIS ∪ N(MIS) from its
+// active vertices; the central machine folds the additions into its
+// accumulated MIS. Args: F = [tau]. Yields Ints{active, maxWidth} per
+// machine — the converge-cast the driver reads for the loop condition
+// and the next iteration's budget dimensions.
+func removeBody(mc *mpc.Machine) error {
+	tau := mc.Args().F[0]
+	adj := envAdj(mc, tau)
+	bag := mc.Bag()
+	var adds []weighted
+	if mc.IsCentral() {
+		adds, _ = bag[bagAdditions].([]weighted)
+		delete(bag, bagAdditions)
+		bag[bagMIS] = append(misFromBag(bag), adds...)
+	} else {
+		for _, msg := range mc.Inbox() {
+			if wp, ok := msg.Payload.(mpc.WeightedPoints); ok && wp.Tag == -3 {
+				adds = append(adds, fromWeightedPayload(wp)...)
+			}
+		}
+	}
+	pts, vids := activeSet(mc)
+	if len(adds) > 0 {
+		keptP := pts[:0]
+		keptI := vids[:0]
+		for t, pt := range pts {
+			id := vids[t]
+			v := weighted{id: id, pt: pt}
+			drop := false
+			for _, a := range adds {
+				if id == a.id || adj(v, a) {
+					drop = true
+					break
+				}
+			}
+			if !drop {
+				keptP = append(keptP, pt)
+				keptI = append(keptI, id)
+			}
+		}
+		pts, vids = keptP, keptI
+		bag[degree.BagActivePts] = pts
+		bag[degree.BagActiveIDs] = vids
+	}
+	maxWidth := 0
+	for _, pt := range pts {
+		if len(pt) > maxWidth {
+			maxWidth = len(pt)
+		}
+	}
+	mc.Yield(mpc.Ints{len(pts), maxWidth})
+	return nil
+}
+
+// fallbackGatherBody: ship every remaining active vertex to the central
+// machine.
+func fallbackGatherBody(mc *mpc.Machine) error {
+	pts, vids := activeSet(mc)
+	var ids []int
+	var spts []metric.Point
+	for t, pt := range pts {
+		ids = append(ids, vids[t])
+		spts = append(spts, pt)
+	}
+	mc.SendCentral(mpc.IndexedPoints{IDs: ids, Pts: spts})
+	return nil
+}
+
+// fallbackFinishBody: the central machine finishes greedily against its
+// accumulated MIS. Args: I = [k], F = [tau]. Yields the newly added
+// vertices (central only).
+func fallbackFinishBody(mc *mpc.Machine) error {
+	if !mc.IsCentral() {
+		return nil
+	}
+	k := mc.Args().I[0]
+	tau := mc.Args().F[0]
+	adj := envAdj(mc, tau)
+	ids, pts := mpc.CollectIndexed(mc.Inbox())
+	mc.NoteMemory(int64(len(ids) + metric.TotalWords(pts)))
+	bag := mc.Bag()
+	mis := misFromBag(bag)
+	var newly []weighted
+	for t := range ids {
+		if len(mis) >= k {
+			break
+		}
+		v := weighted{id: ids[t], pt: pts[t]}
+		indep := true
+		for _, u := range mis {
+			if v.id != u.id && adj(v, u) {
+				indep = false
+				break
+			}
+		}
+		if indep {
+			mis = append(mis, v)
+			newly = append(newly, v)
+		}
+	}
+	bag[bagMIS] = mis
+	mc.Yield(toWeightedPayload(newly, 0))
+	return nil
+}
+
 // Config parameterizes a k-bounded MIS computation.
 type Config struct {
 	// K bounds the independent set (Definition 1).
@@ -55,7 +468,8 @@ type Config struct {
 	MaxIterations int
 	// UseExactDegrees replaces the Algorithm 3 estimates with exact
 	// degrees computed by the driver (ablation A2: isolates the effect of
-	// degree-approximation error on progress).
+	// degree-approximation error on progress). Forces coordinator-compute
+	// execution: the driver must observe the machines' active sets.
 	UseExactDegrees bool
 	// StrictTrim uses the paper's literal trim rule without id
 	// tie-breaking (ablation A1).
@@ -63,7 +477,8 @@ type Config struct {
 	// TrackEdges records the number of edges among active vertices at
 	// the start of every iteration (drives experiment F2). Verification
 	// only: it inspects global state and costs O(n²) oracle calls per
-	// iteration.
+	// iteration. Forces coordinator-compute execution like
+	// UseExactDegrees.
 	TrackEdges bool
 	// Budget overrides the Theorems 13–15 runtime contract asserted when
 	// the cluster enforces budgets (mpc.WithBudgetEnforcement); nil
@@ -76,6 +491,8 @@ type Config struct {
 	// pair tests, plus the degree primitive's neighbor counts, are
 	// answered from its precomputed pair distances. Results, oracle
 	// charges and communication are byte-identical with or without it.
+	// Installed on the cluster env (degree.SessionEnv), where the bodies
+	// read it — worker replicas substitute their own.
 	Probe *probe.Context
 }
 
@@ -114,20 +531,29 @@ type Result struct {
 	EdgeHistory []int
 }
 
+// runner drives the outer loop of Algorithm 4. The machines hold the
+// mutable state (active sets, samples, the accumulated MIS on the
+// central machine); the runner keeps only the control mirror it needs
+// for loop decisions — the MIS so far (reassembled from yields), the
+// active count and width (from the remove round's converge-cast), and,
+// on the driver-observing ablation paths, a read-only view of the
+// machines' active partitions.
 type runner struct {
-	c     *mpc.Cluster
-	in    *instance.Instance
-	tau   float64
-	cfg   Config
-	m     int
-	k     int
-	parts [][]metric.Point // active points per machine
-	ids   [][]int          // active ids per machine
-	mis   []weighted       // accumulated MIS
-	res   *Result
-	// adj is the pair-adjacency test at the run's τ — the probe-context
-	// lookup when cfg.Probe is set, the uncached oracle otherwise.
-	adj func(v, u weighted) bool
+	c   *mpc.Cluster
+	in  *instance.Instance
+	tau float64
+	cfg Config
+	m   int
+	k   int
+	// activeN / activeDim track the active sub-instance's size and point
+	// width across iterations (they parameterize the degree primitive's
+	// Theorem 9 budget exactly as a materialized sub-instance would).
+	activeN   int
+	activeDim int
+	parts     [][]metric.Point // driver mirror of active points (ablations)
+	ids       [][]int          // driver mirror of active ids (ablations)
+	mis       []weighted       // accumulated MIS (driver mirror)
+	res       *Result
 }
 
 // sampleProb returns the clamped sampling probability min(1, 1/(2p)).
@@ -184,10 +610,10 @@ func TheoremBudget(n, m, k, dim int) mpc.Budget {
 // c may be a forked shadow cluster (mpc.Cluster.Fork): the speculative
 // ladder search runs concurrent Run calls on sibling forks sharing one
 // instance and one probe context. That is safe because a run's mutable
-// state lives in its runner (active parts and ids are copied, never
-// mutated in place on the instance), randomness comes exclusively from
-// c's machines, and the shared probe context and Counting oracle are
-// internally synchronized.
+// state lives in its runner and the machines' bags, randomness comes
+// exclusively from c's machines, and the shared probe context and
+// Counting oracle are internally synchronized. (Forked clusters always
+// execute coordinator-compute: SPMD residency belongs to the root.)
 func Run(c *mpc.Cluster, in *instance.Instance, tau float64, cfg Config) (*Result, error) {
 	if c.NumMachines() != in.Machines() {
 		return nil, fmt.Errorf("kbmis: cluster has %d machines, instance has %d parts",
@@ -226,19 +652,19 @@ func run(c *mpc.Cluster, in *instance.Instance, tau float64, cfg Config) (*Resul
 		r.res.Exit = ExitSizeK
 		return r.res, nil
 	}
-	if pc := cfg.Probe; pc != nil {
-		r.adj = func(v, u weighted) bool {
-			return pc.DistLE(v.id, v.pt, u.id, u.pt, tau)
-		}
-	} else {
-		r.adj = oracleAdj(in.Space, tau)
+	if err := c.EnsureEnv(degree.SessionEnv(in, cfg.Probe, nil)); err != nil {
+		return nil, err
 	}
-	r.parts = make([][]metric.Point, r.m)
-	r.ids = make([][]int, r.m)
-	for i := range in.Parts {
-		r.parts[i] = append([]metric.Point(nil), in.Parts[i]...)
-		r.ids[i] = append([]int(nil), in.IDs[i]...)
+	if cfg.UseExactDegrees || cfg.TrackEdges {
+		// Ablation paths observe the machines' active sets from the
+		// driver, so the bodies must execute driver-side.
+		defer c.SuspendSPMD()()
 	}
+	if _, err := c.RunLocal("kbmis/load", mpc.Args{}); err != nil {
+		return nil, err
+	}
+	r.activeN = in.N
+	r.activeDim = in.Dim()
 	return r.run()
 }
 
@@ -248,7 +674,7 @@ func (r *runner) run() (*Result, error) {
 		if len(r.mis) >= r.k {
 			return r.finish(ExitSizeK)
 		}
-		if r.activeCount() == 0 {
+		if r.activeN == 0 {
 			return r.finish(ExitMaximal)
 		}
 		if iter >= r.cfg.MaxIterations || overflowFailures >= 3 {
@@ -258,16 +684,19 @@ func (r *runner) run() (*Result, error) {
 		if r.cfg.TrackEdges {
 			r.res.EdgeHistory = append(r.res.EdgeHistory, r.activeEdges())
 		}
-
-		sub, err := instance.NewWithIDs(r.in.Space, r.parts, r.ids)
-		if err != nil {
-			return nil, err
+		if iter == 0 {
+			// Validate the input partition once; later iterations only
+			// filter it, which cannot introduce shape or id violations.
+			if _, err := instance.NewWithIDs(r.in.Space, r.in.Parts, r.in.IDs); err != nil {
+				return nil, err
+			}
 		}
 		need := r.k - len(r.mis)
 
-		// Line 3: degree estimates for every active vertex, or a direct
-		// independent set if light vertices overflow (line 4).
-		est, overflowIS, err := r.degreeEstimates(sub, need)
+		// Line 3: degree estimates for every active vertex (left resident
+		// in the machine bags), or a direct independent set if light
+		// vertices overflow (line 4).
+		overflowIS, err := r.degreeEstimates(need)
 		if err != nil {
 			return nil, err
 		}
@@ -286,17 +715,16 @@ func (r *runner) run() (*Result, error) {
 		// Line 5: every machine draws m independent samples, keeping each
 		// vertex with probability 1/(2 p_v); machines also report the
 		// expected sample volume for the pruning decision (line 6).
-		samples, err := r.drawSamples(est)
-		if err != nil {
+		if _, err := r.c.RunStep("kbmis/sample", mpc.Args{}); err != nil {
 			return nil, err
 		}
-		prune, err := r.pruneDecision(est)
+		prune, err := r.pruneDecision()
 		if err != nil {
 			return nil, err
 		}
 		if prune {
 			r.res.PruningAttempts++
-			done, err := r.pruneHarvest(samples, need)
+			done, err := r.pruneHarvest(need)
 			if err != nil {
 				return nil, err
 			}
@@ -310,28 +738,41 @@ func (r *runner) run() (*Result, error) {
 		// Lines 10–18: ship samples to the central machine, run the
 		// localized Luby iterations there, broadcast the additions, and
 		// remove their closed neighborhoods everywhere.
-		if err := r.centralLuby(samples); err != nil {
+		if err := r.centralLuby(need); err != nil {
 			return nil, err
 		}
 	}
 }
 
-// activeCount returns the number of active vertices across machines.
-// In a physical deployment this is a piggybacked one-word converge-cast
-// on the round that broadcasts MIS additions; the simulator driver reads
-// it directly and does not charge a separate round.
-func (r *runner) activeCount() int {
-	n := 0
-	for _, p := range r.parts {
-		n += len(p)
+// strictArg encodes the trim-rule ablation flag for round args.
+func (r *runner) strictArg() int {
+	if r.cfg.StrictTrim {
+		return 1
 	}
-	return n
+	return 0
+}
+
+// mirrorActive refreshes the driver's read-only view of the machines'
+// active partitions. Only the ablation paths (UseExactDegrees,
+// TrackEdges) call it; they run under SuspendSPMD, so the bags are
+// driver-resident.
+func (r *runner) mirrorActive() {
+	if r.parts == nil {
+		r.parts = make([][]metric.Point, r.m)
+		r.ids = make([][]int, r.m)
+	}
+	for i := 0; i < r.m; i++ {
+		bag := r.c.LocalBag(i)
+		r.parts[i], _ = bag[degree.BagActivePts].([]metric.Point)
+		r.ids[i], _ = bag[degree.BagActiveIDs].([]int)
+	}
 }
 
 // activeEdges counts edges of the active subgraph (verification only).
 // The O(n²) pair sweep runs on the parallel pool with the batched
 // sqrt-free kernel.
 func (r *runner) activeEdges() int {
+	r.mirrorActive()
 	var all []metric.Point
 	for i := range r.parts {
 		all = append(all, r.parts[i]...)
@@ -343,359 +784,143 @@ func (r *runner) activeEdges() int {
 	})
 }
 
-// degreeEstimates returns per-machine degree estimates for the active
-// sub-instance, or an overflow independent set (as weighted vertices).
-func (r *runner) degreeEstimates(sub *instance.Instance, need int) ([][]float64, []weighted, error) {
+// degreeEstimates runs the degree primitive over the active vertex sets,
+// leaving the estimates in the machine bags where the sampling round
+// reads them; it returns an overflow independent set (as weighted
+// vertices) when the light vertices overflowed.
+func (r *runner) degreeEstimates(need int) ([]weighted, error) {
 	if r.cfg.UseExactDegrees {
-		// Ablation A2: the driver computes exact degrees directly.
+		// Ablation A2: the driver computes exact degrees directly and
+		// injects them as the machines' estimate vectors.
+		r.mirrorActive()
+		sub, err := instance.NewWithIDs(r.in.Space, r.parts, r.ids)
+		if err != nil {
+			return nil, err
+		}
 		g, gids := sub.Graph(r.tau)
 		deg := make(map[int]int, sub.N)
 		for v := 0; v < g.N(); v++ {
 			deg[gids[v]] = g.Degree(v)
 		}
-		est := make([][]float64, r.m)
 		for i := range r.parts {
-			est[i] = make([]float64, len(r.parts[i]))
+			est := make([]float64, len(r.parts[i]))
 			for j := range r.parts[i] {
-				est[i][j] = float64(deg[r.ids[i][j]])
+				est[j] = float64(deg[r.ids[i][j]])
 			}
+			r.c.LocalBag(i)[degree.BagEstimates] = est
 		}
-		return est, nil, nil
+		return nil, nil
 	}
-	dres, err := degree.Approximate(r.c, sub, r.tau, degree.Config{
+	dres, err := degree.ApproximateActive(r.c, r.activeN, r.activeDim, r.tau, degree.Config{
 		Eps:   r.cfg.Eps,
 		Delta: r.cfg.Delta,
 		K:     need,
 		LogN:  r.cfg.LogN,
 		Probe: r.cfg.Probe,
-	})
+	}, false)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	if dres.IS != nil {
 		ws := make([]weighted, len(dres.IS))
 		for i := range dres.IS {
 			ws[i] = weighted{id: dres.IS[i], pt: dres.ISPoints[i]}
 		}
-		return nil, ws, nil
+		return ws, nil
 	}
-	return dres.Estimates, nil, nil
+	return nil, nil
 }
 
-// drawSamples has every machine draw m independent samples of its active
-// vertices (line 5). The samples stay machine-local; only the pruning
-// decision and the later shipping round move data.
-func (r *runner) drawSamples(est [][]float64) ([][][]weighted, error) {
-	samples := make([][][]weighted, r.m) // samples[i][j] = S_i^j
-	err := r.c.Superstep("kbmis/sample", func(mc *mpc.Machine) error {
-		i := mc.ID()
-		samples[i] = make([][]weighted, r.m)
-		for j := 0; j < r.m; j++ {
-			for t, pt := range r.parts[i] {
-				if mc.RNG.Bernoulli(sampleProb(est[i][t])) {
-					samples[i][j] = append(samples[i][j], weighted{
-						id: r.ids[i][t], pt: pt, w: est[i][t],
-					})
-				}
-			}
-		}
-		// Report the local expected sample volume for the prune check.
-		sum := 0.0
-		for t := range r.parts[i] {
-			sum += sampleProb(est[i][t])
-		}
-		mc.SendCentral(mpc.Float(sum))
-		return nil
-	})
-	return samples, err
-}
-
-// pruneDecision aggregates Σ_v 1/(2p_v) at the central machine and
-// broadcasts whether it exceeds 10·k·ln n (line 6).
-func (r *runner) pruneDecision(est [][]float64) (bool, error) {
+// pruneDecision runs the line 6 check and decodes the central verdict.
+func (r *runner) pruneDecision() (bool, error) {
 	threshold := 10 * float64(r.k) * r.cfg.LogN
-	var decision bool
-	err := r.c.Superstep("kbmis/prune-decide", func(mc *mpc.Machine) error {
-		if !mc.IsCentral() {
-			return nil
-		}
-		total := 0.0
-		for _, v := range mpc.CollectFloats(mc.Inbox()) {
-			total += v
-		}
-		d := 0
-		if total > threshold {
-			d = 1
-			decision = true
-		}
-		mc.BroadcastAll(mpc.Int(d))
-		return nil
-	})
-	return decision, err
-}
-
-// pruneHarvest implements lines 7–8 and Theorem 14: machines trim their
-// samples locally, trimmed pieces for stream j are unioned and re-trimmed
-// on machine j, and the central machine returns a k-subset of the largest
-// T_j. Returns true when `need` independent vertices were secured.
-func (r *runner) pruneHarvest(samples [][][]weighted, need int) (bool, error) {
-	// Round 1: local trims. A machine whose local trim already reaches
-	// `need` short-circuits by sending that subset straight to the
-	// central machine (the optimization noted in the proof of Theorem 14).
-	err := r.c.Superstep("kbmis/prune-local", func(mc *mpc.Machine) error {
-		i := mc.ID()
-		for j := 0; j < r.m; j++ {
-			t := r.localTrim(samples[i][j])
-			if len(t) >= need {
-				mc.SendCentral(toWeightedPayload(t[:need], -1))
-				return nil
-			}
-			mc.Send(j, toWeightedPayload(t, j))
-		}
-		return nil
-	})
+	ys, err := r.c.RunStep("kbmis/prune-decide", mpc.Args{F: []float64{threshold}})
 	if err != nil {
 		return false, err
 	}
+	for _, y := range ys {
+		if v, ok := y.Payload.(mpc.Int); ok {
+			return int(v) == 1, nil
+		}
+	}
+	return false, nil
+}
 
-	// Round 2: machine j unions the stream-j pieces and trims again,
-	// sending at most `need` vertices to the central machine. Fast-path
-	// subsets (tag -1) pass through central's inbox from round 1; central
-	// re-broadcasts nothing yet.
-	var fastPath []weighted
-	err = r.c.Superstep("kbmis/prune-union", func(mc *mpc.Machine) error {
-		var pieces []weighted
-		for _, msg := range mc.Inbox() {
-			wp, ok := msg.Payload.(mpc.WeightedPoints)
-			if !ok {
-				continue
-			}
-			if wp.Tag == -1 {
-				if mc.IsCentral() && fastPath == nil {
-					fastPath = fromWeightedPayload(wp)
-				}
-				continue
-			}
-			pieces = append(pieces, fromWeightedPayload(wp)...)
-		}
-		mc.NoteMemory(int64(3 * len(pieces)))
-		tj := r.localTrim(pieces)
-		if len(tj) > need {
-			tj = tj[:need]
-		}
-		mc.SendCentral(toWeightedPayload(tj, mc.ID()))
-		return nil
-	})
+// pruneHarvest implements lines 7–8 and Theorem 14 over three rounds.
+// Returns true when `need` independent vertices were secured.
+func (r *runner) pruneHarvest(need int) (bool, error) {
+	args := mpc.Args{I: []int{need, r.strictArg()}, F: []float64{r.tau}}
+	if _, err := r.c.RunStep("kbmis/prune-local", args); err != nil {
+		return false, err
+	}
+	if _, err := r.c.RunStep("kbmis/prune-union", args); err != nil {
+		return false, err
+	}
+	ys, err := r.c.RunStep("kbmis/prune-collect", mpc.Args{I: []int{need}})
 	if err != nil {
 		return false, err
 	}
-
-	// Round 3: central picks the fast-path set or the largest T_j and
-	// broadcasts the outcome; machines only need the verdict, the winning
-	// set joins the accumulated MIS in the driver.
-	var winner []weighted
-	err = r.c.Superstep("kbmis/prune-collect", func(mc *mpc.Machine) error {
-		if !mc.IsCentral() {
-			return nil
+	for _, y := range ys {
+		if wp, ok := y.Payload.(mpc.WeightedPoints); ok && wp.Tag == 1 {
+			r.mis = append(r.mis, fromWeightedPayload(wp)...)
+			return true, nil
 		}
-		best := fastPath
-		for _, msg := range mc.Inbox() {
-			if wp, ok := msg.Payload.(mpc.WeightedPoints); ok {
-				cand := fromWeightedPayload(wp)
-				if len(cand) > len(best) {
-					best = cand
-				}
-			}
-		}
-		if len(best) > need {
-			best = best[:need]
-		}
-		if len(best) == need {
-			winner = best
-		}
-		mc.Broadcast(toWeightedPayload(winner, -2))
-		return nil
-	})
-	if err != nil {
-		return false, err
 	}
-	if winner == nil {
-		return false, nil
-	}
-	r.mis = append(r.mis, winner...)
-	return true, nil
+	return false, nil
 }
 
-// localTrim dispatches between the tie-broken and strict trim rules,
-// running the shared loop over the runner's adjacency test.
-func (r *runner) localTrim(s []weighted) []weighted {
-	if r.cfg.StrictTrim {
-		return trimWith(s, r.adj, strictBeats)
+// centralLuby implements lines 10–18 over three rounds, mirroring the
+// additions and the post-removal active census from the yields.
+func (r *runner) centralLuby(need int) error {
+	if _, err := r.c.RunStep("kbmis/ship-samples", mpc.Args{}); err != nil {
+		return err
 	}
-	return trimWith(s, r.adj, beats)
-}
-
-// centralLuby implements lines 10–18: all samples go to the central
-// machine, which peels independent sets M_j = trim(S_j) stream by stream,
-// removing each M_j's closed neighborhood from its sample-local view of
-// the graph; the additions are then broadcast and every machine removes
-// their closed neighborhood from its active vertices.
-func (r *runner) centralLuby(samples [][][]weighted) error {
-	err := r.c.Superstep("kbmis/ship-samples", func(mc *mpc.Machine) error {
-		i := mc.ID()
-		for j := 0; j < r.m; j++ {
-			mc.SendCentral(toWeightedPayload(samples[i][j], j))
-		}
-		return nil
+	ys, err := r.c.RunStep("kbmis/central-luby", mpc.Args{
+		I: []int{need, r.strictArg()}, F: []float64{r.tau},
 	})
 	if err != nil {
 		return err
 	}
-
 	var additions []weighted
-	err = r.c.Superstep("kbmis/central-luby", func(mc *mpc.Machine) error {
-		if !mc.IsCentral() {
-			return nil
+	for _, y := range ys {
+		if wp, ok := y.Payload.(mpc.WeightedPoints); ok {
+			additions = fromWeightedPayload(wp)
 		}
-		streams := make([][]weighted, r.m)
-		words := 0
-		for _, msg := range mc.Inbox() {
-			if wp, ok := msg.Payload.(mpc.WeightedPoints); ok && wp.Tag >= 0 && wp.Tag < r.m {
-				streams[wp.Tag] = append(streams[wp.Tag], fromWeightedPayload(wp)...)
-				words += wp.Words()
-			}
-		}
-		mc.NoteMemory(int64(words))
-		removed := make(map[int]bool)
-		for j := 0; j < r.m && len(r.mis)+len(additions) < r.k; j++ {
-			// S_j ∩ V(G): drop vertices removed by earlier streams this
-			// round — by id, or by adjacency to an earlier addition.
-			var sj []weighted
-			for _, v := range streams[j] {
-				if removed[v.id] {
-					continue
-				}
-				adj := false
-				for _, a := range additions {
-					if v.id != a.id && r.adj(v, a) {
-						adj = true
-						break
-					}
-				}
-				if !adj {
-					sj = append(sj, v)
-				}
-			}
-			mj := r.localTrim(sj)
-			if rem := r.k - len(r.mis) - len(additions); len(mj) > rem {
-				mj = mj[:rem]
-			}
-			for _, v := range mj {
-				removed[v.id] = true
-			}
-			additions = append(additions, mj...)
-		}
-		mc.Broadcast(toWeightedPayload(additions, -3))
-		return nil
-	})
+	}
+	ys, err = r.c.RunStep("kbmis/remove", mpc.Args{F: []float64{r.tau}})
 	if err != nil {
 		return err
 	}
-
-	// Line 18: every machine removes MIS ∪ N(MIS) from its vertices. The
-	// broadcast is consumed here; removal is local computation.
-	err = r.c.Superstep("kbmis/remove", func(mc *mpc.Machine) error {
-		i := mc.ID()
-		adds := additions
-		if !mc.IsCentral() {
-			adds = nil
-			for _, msg := range mc.Inbox() {
-				if wp, ok := msg.Payload.(mpc.WeightedPoints); ok && wp.Tag == -3 {
-					adds = append(adds, fromWeightedPayload(wp)...)
-				}
+	r.activeN, r.activeDim = 0, 0
+	for _, y := range ys {
+		if v, ok := y.Payload.(mpc.Ints); ok && len(v) == 2 {
+			r.activeN += v[0]
+			if v[1] > r.activeDim {
+				r.activeDim = v[1]
 			}
 		}
-		r.removeClosedNeighborhood(i, adds)
-		return nil
-	})
-	if err != nil {
-		return err
 	}
 	r.mis = append(r.mis, additions...)
 	return nil
-}
-
-// removeClosedNeighborhood drops from machine i's active set every vertex
-// that is in adds or adjacent to a member of adds.
-func (r *runner) removeClosedNeighborhood(i int, adds []weighted) {
-	if len(adds) == 0 {
-		return
-	}
-	keptP := r.parts[i][:0]
-	keptI := r.ids[i][:0]
-	for t, pt := range r.parts[i] {
-		id := r.ids[i][t]
-		v := weighted{id: id, pt: pt}
-		drop := false
-		for _, a := range adds {
-			if id == a.id || r.adj(v, a) {
-				drop = true
-				break
-			}
-		}
-		if !drop {
-			keptP = append(keptP, pt)
-			keptI = append(keptI, id)
-		}
-	}
-	r.parts[i] = keptP
-	r.ids[i] = keptI
 }
 
 // fallbackGather ships every remaining active vertex to the central
 // machine and finishes greedily. Correct in all cases; outside the Õ(mk)
 // budget, hence recorded as its own exit path.
 func (r *runner) fallbackGather() (*Result, error) {
-	err := r.c.Superstep("kbmis/fallback-gather", func(mc *mpc.Machine) error {
-		i := mc.ID()
-		var ids []int
-		var pts []metric.Point
-		for t, pt := range r.parts[i] {
-			ids = append(ids, r.ids[i][t])
-			pts = append(pts, pt)
-		}
-		mc.SendCentral(mpc.IndexedPoints{IDs: ids, Pts: pts})
-		return nil
+	if _, err := r.c.RunStep("kbmis/fallback-gather", mpc.Args{}); err != nil {
+		return nil, err
+	}
+	ys, err := r.c.RunStep("kbmis/fallback-finish", mpc.Args{
+		I: []int{r.k}, F: []float64{r.tau},
 	})
 	if err != nil {
 		return nil, err
 	}
-	err = r.c.Superstep("kbmis/fallback-finish", func(mc *mpc.Machine) error {
-		if !mc.IsCentral() {
-			return nil
+	for _, y := range ys {
+		if wp, ok := y.Payload.(mpc.WeightedPoints); ok {
+			r.mis = append(r.mis, fromWeightedPayload(wp)...)
 		}
-		ids, pts := mpc.CollectIndexed(mc.Inbox())
-		mc.NoteMemory(int64(len(ids) + metric.TotalWords(pts)))
-		for t := range ids {
-			if len(r.mis) >= r.k {
-				break
-			}
-			v := weighted{id: ids[t], pt: pts[t]}
-			indep := true
-			for _, u := range r.mis {
-				if v.id != u.id && r.adj(v, u) {
-					indep = false
-					break
-				}
-			}
-			if indep {
-				r.mis = append(r.mis, v)
-			}
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
 	}
 	if len(r.mis) >= r.k {
 		return r.finish2(ExitFallbackGather, true, false)

@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"parclust/internal/coreset"
+	"parclust/internal/degree"
 	"parclust/internal/instance"
 	"parclust/internal/kbmis"
 	"parclust/internal/metric"
@@ -200,12 +201,22 @@ func solve(c *mpc.Cluster, in *instance.Instance, cfg Config) (*Result, error) {
 	// so the context pretabulates segment counts at each of them.
 	misCfg := cfg.MIS
 	misCfg.K = k + 1
+	ths := make([]float64, 0, t)
+	for i := 1; i <= t; i++ {
+		ths = append(ths, tau(i))
+	}
 	if misCfg.Probe == nil && !cfg.DisableProbeIndex {
-		ths := make([]float64, 0, t)
-		for i := 1; i <= t; i++ {
-			ths = append(ths, tau(i))
-		}
 		misCfg.Probe = probe.NewContext(in, probe.Options{Thresholds: ths})
+	}
+
+	// Install the superstep session env now that the τ ladder is known:
+	// every inner kbmis.Run keeps it (EnsureEnv, same instance key), so
+	// under an SPMD transport the one-time setup ships the instance and
+	// these thresholds to the workers, which rebuild the probe context on
+	// their side. SetEnv (not EnsureEnv) so a reused cluster drops a
+	// previous Solve's env.
+	if err := c.SetEnv(degree.SessionEnv(in, misCfg.Probe, ths)); err != nil {
+		return nil, err
 	}
 
 	// Lines 5–6: probe with (k+1)-bounded MIS. probe(i) reports

@@ -76,6 +76,13 @@ type Machine struct {
 
 	sentWords int64
 	err       error
+
+	// args/yieldP/yieldSet are the registered-superstep invocation state
+	// (registry.go): the per-round scalars installed by RunStep/RunLocal
+	// and the machine's driver-visible result payload.
+	args     Args
+	yieldP   Payload
+	yieldSet bool
 }
 
 // ID returns the machine's index in [0, NumMachines).
@@ -254,6 +261,23 @@ type Cluster struct {
 
 	reportMu sync.Mutex
 	reports  []BudgetReport
+
+	// env/bags are the registered-superstep context (registry.go): the
+	// replicated read-only env and the per-machine mutable bags.
+	env  *Env
+	bags []Bag
+
+	// SPMD execution state (spmd.go). spmdWant records the WithSPMD
+	// option; spmdSuspend > 0 forces registered supersteps onto the
+	// driver (SuspendSPMD); spmdSess is the live worker session, if any;
+	// spmdResident marks that machine state (pending mailboxes, RNG
+	// positions) currently lives in the workers; spmdPrev tells the next
+	// session call what to do with the previous round's staged messages.
+	spmdWant     bool
+	spmdSuspend  int
+	spmdSess     SPMDSession
+	spmdResident bool
+	spmdPrev     byte
 }
 
 // NewCluster creates a cluster of m machines whose random streams derive
@@ -400,6 +424,13 @@ func (c *Cluster) noteMemory(words int64) {
 // the communication-cap check is returned; on error the round still counts
 // and queued messages are discarded.
 func (c *Cluster) Superstep(name string, fn func(m *Machine) error) error {
+	// A closure superstep must run against driver-held state: if an SPMD
+	// session currently holds the machines' mailboxes and RNG positions,
+	// pull them back first (spmd.go). Converted supersteps go through
+	// RunStep instead and stay worker-resident.
+	if err := c.spmdDownSync(); err != nil {
+		return fmt.Errorf("mpc: round %q: %w", name, err)
+	}
 	start := time.Now()
 	var preHits0, preMiss0 int64
 	if c.prefilterStats {
@@ -501,7 +532,6 @@ func (c *Cluster) Superstep(name string, fn func(m *Machine) error) error {
 	c.memMu.Lock()
 	rs.MemoryWords = c.roundMem
 	c.memMu.Unlock()
-	rs.WallNanos = time.Since(start).Nanoseconds()
 	if c.prefilterStats {
 		h, m := metric.PrefilterCounters()
 		rs.PrefilterHits = h - preHits0
@@ -509,6 +539,29 @@ func (c *Cluster) Superstep(name string, fn func(m *Machine) error) error {
 		c.stats.PrefilterHits += rs.PrefilterHits
 		c.stats.PrefilterMisses += rs.PrefilterMisses
 	}
+
+	// On the fault-free path, deliver through the transport before the
+	// round is recorded, so wire-level accounting (the data/control
+	// split a metering backend exposes via WireMeter) lands on this
+	// round's stats. The round index passed to the transport is the same
+	// value as after the increment below. With a fault policy installed
+	// the exchange stays after recording (transit faults strike queued
+	// messages and emit recovery events after the round's own event) —
+	// those rounds carry no wire split, matching the fact that SPMD and
+	// fault schedules are mutually exclusive.
+	var exchErr error
+	if firstErr == nil && c.faults == nil {
+		if wm, ok := c.transport.(WireMeter); ok {
+			wm.TakeRoundWire() // drop bytes accrued since the last drain (e.g. concurrent forks)
+			exchErr = c.exchange(c.stats.Rounds)
+			if c.parent == nil {
+				rs.WireDataWords, rs.WireCtrlWords = wm.TakeRoundWire()
+			}
+		} else {
+			exchErr = c.exchange(c.stats.Rounds)
+		}
+	}
+	rs.WallNanos = time.Since(start).Nanoseconds()
 	c.stats.Rounds++
 	c.stats.TotalWords += rs.TotalWords
 	if m := rs.MaxSent; m > c.stats.MaxRoundSent {
@@ -540,11 +593,13 @@ func (c *Cluster) Superstep(name string, fn func(m *Machine) error) error {
 		}
 		return firstErr
 	}
-
-	// Queue outboxes for the next round through the transport. Every
-	// backend must walk sources in id order — the invariant the
-	// delivery-phase sortedness check relies on.
-	return c.exchange(c.stats.Rounds - 1)
+	if c.faults != nil {
+		// Queue outboxes for the next round through the transport. Every
+		// backend must walk sources in id order — the invariant the
+		// delivery-phase sortedness check relies on.
+		return c.exchange(c.stats.Rounds - 1)
+	}
+	return exchErr
 }
 
 // sortedBySender reports whether msgs are ordered by ascending sender id.
@@ -572,6 +627,10 @@ func resetOutbox(m *Machine) {
 // machine's error (the outbox is restored either way) instead of killing
 // the simulated cluster.
 func (c *Cluster) Local(fn func(m *Machine) error) error {
+	// Like Superstep: closure Local blocks need driver-held state.
+	if err := c.spmdDownSync(); err != nil {
+		return fmt.Errorf("mpc: Local: %w", err)
+	}
 	errs := make([]error, c.m)
 	c.runAll(
 		func(i int, mc *Machine) error {

@@ -1,0 +1,302 @@
+package mpc
+
+import (
+	"fmt"
+	"sync"
+
+	"parclust/internal/metric"
+)
+
+// This file is the superstep registry: the SPMD execution contract that
+// lets a superstep body run either on the driver (coordinator-compute,
+// the PR 7 path) or inside a kclusterd worker process holding the
+// machine's partition (docs/TRANSPORT.md "SPMD supersteps").
+//
+// A Body is a named, closure-free superstep function. Where the closure
+// form captured driver-side slices, a Body reads everything through the
+// Machine it is handed:
+//
+//   - Env():  replicated read-only context (instance points, ids, the
+//     τ-ladder thresholds, the metric space) shipped to workers once per
+//     session, never per round.
+//   - Bag():  the machine's private mutable state (active points, degree
+//     counts, sample buffers) that lives where the machine lives.
+//   - Args(): the per-round scalars (thresholds, counts, flags) the
+//     driver picked for this invocation — the only per-round data the
+//     coordinator has to put on the wire in SPMD mode.
+//   - Yield(): a small result payload returned to the driver, replacing
+//     the closure writes drivers used to observe central decisions.
+//
+// Bodies must be deterministic given (Env, Bag, Args, inbox, RNG): the
+// same invocation must draw the same RNG values, queue the same messages
+// in the same order, and make the same NoteMemory calls regardless of
+// where it executes. That is the invariant the SPMD parity suite pins.
+
+// Body is a registered superstep function. It is invoked once per
+// machine per round, exactly like the closure argument to Superstep.
+type Body func(mc *Machine) error
+
+// Args carries the per-round scalar arguments of a registered superstep:
+// small int and float vectors chosen by the driver. In SPMD mode this is
+// the entire data the coordinator ships for the round, so keep it to
+// O(1) scalars — bulk data belongs in Env (shipped once) or Bag
+// (resident). Bodies must treat the slices as read-only.
+type Args struct {
+	I []int
+	F []float64
+}
+
+// Yield is a per-machine result payload returned by RunStep/RunLocal to
+// the driver, in ascending machine order, for machines that called
+// Machine.Yield. Yields are driver-visible control data — the moral
+// equivalent of the closure-captured result variables of the
+// coordinator-compute form — and are not metered as round communication.
+type Yield struct {
+	Machine int
+	Payload Payload
+}
+
+// Bag is a machine's private mutable state across rounds of one
+// algorithm run: active partitions, counters, sample buffers. Bags live
+// wherever the machine's compute runs (driver process or SPMD worker),
+// are never serialized, and are reset by each algorithm's load step —
+// so checkpoint/rollback and residency transitions never need to ship
+// them.
+type Bag map[string]any
+
+// Env is the replicated read-only context of a registered-superstep
+// session: everything bodies need that is not per-round. It is shipped
+// to SPMD workers once at session setup. Bodies and drivers must not
+// mutate it after SetEnv.
+type Env struct {
+	// Key identifies the env's source (conventionally the *instance.Instance
+	// pointer); EnsureEnv uses it to keep the first env installed for a
+	// given input rather than re-shipping an identical one.
+	Key any
+	// SpaceName is the metric space's wire name (metric.Space.Name); SPMD
+	// workers reconstruct the space from it. Oracle-call counting wrappers
+	// report their inner space's name, so a Counting-wrapped driver space
+	// and the worker's bare reconstruction compute identical distances.
+	SpaceName string
+	// Space is the driver-side metric space (possibly a Counting wrapper;
+	// worker replicas substitute their reconstruction).
+	Space metric.Space
+	// Parts and IDs are the full input partition: Parts[i]/IDs[i] is
+	// machine i's slice of the instance. Replicated to every worker so
+	// central bodies (which gather points from everywhere) can run on
+	// whichever worker owns machine 0.
+	Parts [][]metric.Point
+	IDs   [][]int
+	// Thresholds is the τ ladder of the enclosing search, when there is
+	// one; worker replicas build their probe context from it.
+	Thresholds []float64
+	// Local is driver-process-only acceleration state (e.g. the
+	// *probe.Context). It is never serialized: worker replicas substitute
+	// their own (or nil — the probe layer's nil-receiver contract makes
+	// either choice byte-identical).
+	Local any
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Body{}
+)
+
+// Register adds a named superstep body to the process-global registry.
+// It is called from package init functions (internal/degree,
+// internal/kbmis); both the driver and the kclusterd worker binary link
+// those packages, so the same name resolves to the same code on both
+// sides. Register panics on an empty name or a duplicate registration.
+func Register(name string, body Body) {
+	if name == "" {
+		panic("mpc: Register with empty superstep name")
+	}
+	if body == nil {
+		panic("mpc: Register with nil body for " + name)
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic("mpc: duplicate superstep registration: " + name)
+	}
+	registry[name] = body
+}
+
+// RegisteredBody looks up a registered superstep body by name.
+func RegisteredBody(name string) (Body, bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	b, ok := registry[name]
+	return b, ok
+}
+
+// Env returns the cluster's replicated read-only context, or nil when no
+// env is installed. Bodies must treat it as immutable.
+func (m *Machine) Env() *Env { return m.cluster.env }
+
+// Bag returns this machine's private mutable state, creating it on first
+// use. Only the superstep function currently executing for the machine
+// may touch it.
+func (m *Machine) Bag() Bag {
+	c := m.cluster
+	c.ensureBags()
+	if c.bags[m.id] == nil {
+		c.bags[m.id] = make(Bag)
+	}
+	return c.bags[m.id]
+}
+
+// ensureBags allocates the per-machine bag slots. RunStep/RunLocal call
+// it before fanning bodies out to machine goroutines so the lazy slice
+// allocation never races; per-slot creation in Bag touches distinct
+// indices and is goroutine-safe.
+func (c *Cluster) ensureBags() {
+	if c.bags == nil {
+		c.bags = make([]Bag, c.m)
+	}
+}
+
+// Args returns the per-round scalars of the current RunStep/RunLocal
+// invocation. Zero-valued when the round was entered via the plain
+// closure Superstep.
+func (m *Machine) Args() Args { return m.args }
+
+// Yield records p as this machine's driver-visible result for the
+// current registered round. At most one yield per machine per round; a
+// second call replaces the first. Yields are not metered.
+func (m *Machine) Yield(p Payload) {
+	m.yieldP = p
+	m.yieldSet = true
+}
+
+// SetEnv installs env as the cluster's replicated read-only context,
+// replacing any previous one. If an SPMD session is live its resident
+// state is synced back and the session is torn down — the next RunStep
+// sets up a fresh session around the new env.
+func (c *Cluster) SetEnv(env *Env) error {
+	if err := c.spmdInvalidate(); err != nil {
+		return err
+	}
+	c.env = env
+	return nil
+}
+
+// EnsureEnv installs env unless the currently-installed env has the same
+// Key, in which case the existing one (and any live SPMD session built
+// around it) is kept. Algorithms call it on entry so that an enclosing
+// driver (e.g. kcenter, which installs the env with the τ ladder before
+// its first probe) wins over the per-call env a sub-algorithm would
+// build.
+func (c *Cluster) EnsureEnv(env *Env) error {
+	if c.env != nil && env != nil && c.env.Key == env.Key {
+		return nil
+	}
+	return c.SetEnv(env)
+}
+
+// CurrentEnv returns the installed env (nil when none).
+func (c *Cluster) CurrentEnv() *Env { return c.env }
+
+// LocalBag returns machine i's bag for driver-side access, creating it
+// on first use. It is only meaningful in coordinator-compute mode —
+// drivers that reach into bags (e.g. kbmis's exact-degree and edge-
+// tracking paths) must suspend SPMD first (SuspendSPMD), which those
+// paths do.
+func (c *Cluster) LocalBag(i int) Bag {
+	if c.bags == nil {
+		c.bags = make([]Bag, c.m)
+	}
+	if c.bags[i] == nil {
+		c.bags[i] = make(Bag)
+	}
+	return c.bags[i]
+}
+
+// SuspendSPMD forces registered supersteps onto the driver-side
+// coordinator-compute path until the returned resume function is called.
+// Drivers use it around code that must observe machine bags directly.
+// Nestable; safe to call when SPMD was never enabled.
+func (c *Cluster) SuspendSPMD() (resume func()) {
+	c.spmdSuspend++
+	return func() { c.spmdSuspend-- }
+}
+
+// RunStep executes the registered superstep name as one MPC round, with
+// args as its per-round scalars, and returns the machines' yields in
+// ascending machine order. Statistics, budgets, traces and errors are
+// identical to running the body through Superstep directly.
+//
+// When the cluster was built WithSPMD over a transport that supports it
+// and the step is eligible (see docs/TRANSPORT.md: no faults, no fork,
+// no prefilter attribution, env installed and encodable), the bodies
+// execute inside the workers that hold the machines' state and the
+// coordinator exchanges only control messages; otherwise the body runs
+// on the driver exactly like the PR 7 path.
+func (c *Cluster) RunStep(name string, args Args) ([]Yield, error) {
+	body, ok := RegisteredBody(name)
+	if !ok {
+		return nil, fmt.Errorf("mpc: superstep %q is not registered", name)
+	}
+	if c.spmdEligible() {
+		return c.remoteStep(name, args, false)
+	}
+	if err := c.spmdDownSync(); err != nil {
+		return nil, err
+	}
+	c.ensureBags()
+	err := c.Superstep(name, c.wrapBody(body, args))
+	yields := c.collectYields()
+	if err != nil {
+		return nil, err
+	}
+	return yields, nil
+}
+
+// RunLocal executes the registered superstep name as a Local block (no
+// MPC round, no messages) and returns the machines' yields. Algorithms
+// use it for free local work such as loading the active partition from
+// the env into bags.
+func (c *Cluster) RunLocal(name string, args Args) ([]Yield, error) {
+	body, ok := RegisteredBody(name)
+	if !ok {
+		return nil, fmt.Errorf("mpc: superstep %q is not registered", name)
+	}
+	if c.spmdEligible() {
+		return c.remoteStep(name, args, true)
+	}
+	if err := c.spmdDownSync(); err != nil {
+		return nil, err
+	}
+	c.ensureBags()
+	err := c.Local(c.wrapBody(body, args))
+	yields := c.collectYields()
+	if err != nil {
+		return nil, err
+	}
+	return yields, nil
+}
+
+// wrapBody adapts a registered body to the Superstep/Local closure
+// contract: install the round args, clear the yield slot, run.
+func (c *Cluster) wrapBody(body Body, args Args) func(*Machine) error {
+	return func(mc *Machine) error {
+		mc.args = args
+		mc.yieldP = nil
+		mc.yieldSet = false
+		return body(mc)
+	}
+}
+
+// collectYields drains the machines' yield slots in ascending machine
+// order.
+func (c *Cluster) collectYields() []Yield {
+	var out []Yield
+	for _, mach := range c.machines {
+		if mach.yieldSet {
+			out = append(out, Yield{Machine: mach.id, Payload: mach.yieldP})
+			mach.yieldP = nil
+			mach.yieldSet = false
+		}
+	}
+	return out
+}

@@ -1,0 +1,270 @@
+package mpc
+
+import (
+	"fmt"
+	"sort"
+
+	"parclust/internal/rng"
+)
+
+// Replica is the worker-side half of SPMD superstep execution: it owns a
+// contiguous machine group [Lo, Hi) of an m-machine cluster and executes
+// registered superstep bodies against the group's held state (pending
+// mailboxes, RNG positions, bags) on behalf of a coordinator that only
+// sends control messages. The transport server (internal/transport)
+// hosts one Replica per SPMD session and handles the wire protocol; the
+// Replica reproduces the simulator's execution semantics so the
+// coordinator can synthesize byte-identical RoundStats from its
+// accounting.
+//
+// Execution model per round (RunBody):
+//
+//  1. staged messages from the previous round were already committed or
+//     aborted by the server (CommitStaged/AbortStaged, driven by the
+//     SPMDRun.Prev flag);
+//  2. pending mailboxes are delivered to the group's machines, sorted by
+//     sender exactly like Cluster.Superstep;
+//  3. bodies run for the group's machines in ascending machine order
+//     (sequential — determinism comes from per-machine RNG streams, not
+//     scheduling);
+//  4. queued outboxes are metered and split: messages to machines inside
+//     the group are returned as local staging, messages to other groups
+//     as shards for worker-to-worker transfer.
+//
+// The server stages local messages and incoming peer shards in ascending
+// source-group order; groups are contiguous ascending machine ranges, so
+// staged mailboxes end up sorted by sender — the simulator's inbox
+// invariant — without a per-round sort.
+type Replica struct {
+	c      *Cluster
+	lo, hi int
+	// stagedArea[dst] accumulates next-round messages for group machine
+	// dst while the coordinator decides the round's outcome.
+	stagedArea [][]Message
+}
+
+// ReplicaShard is one cross-group message produced by a round: src and
+// dst are machine ids, dst owned by another group's worker.
+type ReplicaShard struct {
+	Src, Dst int
+	Payload  Payload
+}
+
+// ReplicaRound is the result of one RunBody call: the per-machine
+// accounting the coordinator needs (ascending machine order over
+// [Lo, Hi)), the full-cluster receive vector contribution, the group's
+// memory high water, the group's yields, plus the round's outgoing
+// messages split into in-group staging and cross-group shards.
+type ReplicaRound struct {
+	Acct   []SPMDMachineReport
+	Recv   []int64
+	Mem    int64
+	Yields []Yield
+	// Local[i] holds the messages this group's machines queued for group
+	// machine Lo+i, in ascending sender order. The server stages them
+	// (together with peer shards) for the next round.
+	Local [][]Message
+	// Shards holds the messages queued for machines outside [Lo, Hi), in
+	// ascending sender order (per-sender queue order preserved).
+	Shards []ReplicaShard
+}
+
+// NewReplica builds a worker-side replica for machine group [lo, hi) of
+// an m-machine cluster. env must be fully resolved for this process:
+// Space reconstructed (SPMDResolveSpace), Local acceleration state built
+// locally or nil. Machine RNG positions are unset until SetState — the
+// coordinator always pushes state before the first round.
+func NewReplica(m, lo, hi int, env *Env) (*Replica, error) {
+	if m < 1 || lo < 0 || hi > m || lo >= hi {
+		return nil, fmt.Errorf("mpc: replica group [%d,%d) invalid for m=%d", lo, hi, m)
+	}
+	c := NewCluster(m, 0)
+	c.env = env
+	return &Replica{c: c, lo: lo, hi: hi}, nil
+}
+
+// Lo returns the first machine id of the group this replica owns.
+func (r *Replica) Lo() int { return r.lo }
+
+// Hi returns one past the last machine id of the group this replica owns.
+func (r *Replica) Hi() int { return r.hi }
+
+// SetState installs machine i's RNG position and pending mailbox
+// (coordinator → worker state push). i must be in [Lo, Hi).
+func (r *Replica) SetState(i int, st rng.State, pending []Message) error {
+	if i < r.lo || i >= r.hi {
+		return fmt.Errorf("mpc: replica state for machine %d outside group [%d,%d)", i, r.lo, r.hi)
+	}
+	r.c.machines[i].RNG.SetState(st)
+	r.c.pending[i] = pending
+	r.ensureStaged()
+	r.stagedArea[i] = nil
+	return nil
+}
+
+// State returns machine i's RNG position and pending mailbox (worker →
+// coordinator state sync). The caller must resolve staged messages
+// (CommitStaged/AbortStaged) first.
+func (r *Replica) State(i int) (rng.State, []Message, error) {
+	if i < r.lo || i >= r.hi {
+		return rng.State{}, nil, fmt.Errorf("mpc: replica state for machine %d outside group [%d,%d)", i, r.lo, r.hi)
+	}
+	return r.c.machines[i].RNG.State(), r.c.pending[i], nil
+}
+
+func (r *Replica) ensureStaged() {
+	if r.stagedArea == nil {
+		r.stagedArea = make([][]Message, r.c.m)
+	}
+}
+
+// Stage appends msgs to the staging area for group machine dst. The
+// server must call it in ascending source-group order so staged
+// mailboxes stay sorted by sender.
+func (r *Replica) Stage(dst int, msgs []Message) error {
+	if dst < r.lo || dst >= r.hi {
+		return fmt.Errorf("mpc: staged messages for machine %d outside group [%d,%d)", dst, r.lo, r.hi)
+	}
+	r.ensureStaged()
+	r.stagedArea[dst] = append(r.stagedArea[dst], msgs...)
+	return nil
+}
+
+// CommitStaged makes the staged messages the pending mailboxes (the
+// previous round succeeded).
+func (r *Replica) CommitStaged() {
+	r.ensureStaged()
+	for i := r.lo; i < r.hi; i++ {
+		r.c.pending[i] = r.stagedArea[i]
+		r.stagedArea[i] = nil
+	}
+}
+
+// AbortStaged discards the staged messages (the previous round failed:
+// "queued messages are discarded"). Pending mailboxes were already
+// consumed by the failed round's delivery, so they stay empty.
+func (r *Replica) AbortStaged() {
+	r.ensureStaged()
+	for i := r.lo; i < r.hi; i++ {
+		r.c.pending[i] = nil
+		r.stagedArea[i] = nil
+	}
+}
+
+// RunBody executes the registered superstep name for every machine in
+// the group, with local selecting Local-block semantics (no delivery, no
+// messages). The returned ReplicaRound carries accounting in ascending
+// machine order.
+func (r *Replica) RunBody(name string, args Args, local bool) (*ReplicaRound, error) {
+	body, ok := RegisteredBody(name)
+	if !ok {
+		return nil, fmt.Errorf("mpc: superstep %q is not registered in this worker", name)
+	}
+	c := r.c
+	c.memMu.Lock()
+	c.roundMem = 0
+	c.memMu.Unlock()
+
+	if !local {
+		// Deliver pending messages, mirroring Superstep's defensive sort.
+		for i := r.lo; i < r.hi; i++ {
+			mach := c.machines[i]
+			msgs := c.pending[i]
+			if !sortedBySender(msgs) {
+				sort.SliceStable(msgs, func(a, b int) bool { return msgs[a].From < msgs[b].From })
+			}
+			c.pending[i] = nil
+			mach.inbox = msgs
+		}
+	}
+
+	for i := r.lo; i < r.hi; i++ {
+		mach := c.machines[i]
+		mach.sentWords = 0
+		mach.err = nil
+		mach.args = args
+		mach.yieldP = nil
+		mach.yieldSet = false
+		runReplicaBody(mach, body, local)
+	}
+
+	out := &ReplicaRound{
+		Acct: make([]SPMDMachineReport, r.hi-r.lo),
+		Recv: make([]int64, c.m),
+	}
+	c.memMu.Lock()
+	out.Mem = c.roundMem
+	c.memMu.Unlock()
+	for i := r.lo; i < r.hi; i++ {
+		mach := c.machines[i]
+		rep := &out.Acct[i-r.lo]
+		rep.SentWords = mach.sentWords
+		if mach.err != nil {
+			rep.Err = mach.err.Error()
+		}
+		if mach.yieldSet {
+			out.Yields = append(out.Yields, Yield{Machine: i, Payload: mach.yieldP})
+			mach.yieldP = nil
+			mach.yieldSet = false
+		}
+		if len(mach.outbox) == 0 {
+			continue
+		}
+		rep.SentAny = true
+		rep.AllCentral = true
+		dsts := make(map[int]bool, len(mach.outbox))
+		for _, om := range mach.outbox {
+			dsts[om.Dst] = true
+			if om.Dst != CentralID {
+				rep.AllCentral = false
+			}
+			out.Recv[om.Dst] += int64(om.Payload.Words())
+		}
+		rep.DistinctDsts = len(dsts)
+	}
+	// Split outgoing messages, walking machines in ascending order so
+	// every per-destination sequence is sorted by sender.
+	if !local {
+		out.Local = make([][]Message, r.hi-r.lo)
+		for i := r.lo; i < r.hi; i++ {
+			mach := c.machines[i]
+			for _, om := range mach.outbox {
+				if om.Dst >= r.lo && om.Dst < r.hi {
+					out.Local[om.Dst-r.lo] = append(out.Local[om.Dst-r.lo], Message{From: i, Payload: om.Payload})
+				} else {
+					out.Shards = append(out.Shards, ReplicaShard{Src: i, Dst: om.Dst, Payload: om.Payload})
+				}
+			}
+			resetOutbox(mach)
+			mach.inbox = nil
+		}
+	}
+	return out, nil
+}
+
+// runReplicaBody executes body for one machine with the simulator's
+// panic-to-error conversion (runAll) and, for Local-block rounds, the
+// Local send guard — including its exact error strings.
+func runReplicaBody(mach *Machine, body Body, local bool) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			mach.fail(fmt.Errorf("panic: %v", rec))
+		}
+	}()
+	if !local {
+		if err := body(mach); err != nil {
+			mach.fail(err)
+		}
+		return
+	}
+	saved := mach.outbox
+	mach.outbox = nil
+	defer func() { mach.outbox = saved }()
+	if err := body(mach); err != nil {
+		mach.fail(err)
+		return
+	}
+	if len(mach.outbox) > 0 {
+		mach.fail(fmt.Errorf("machine %d called Send inside Local", mach.id))
+	}
+}

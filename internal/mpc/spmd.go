@@ -1,0 +1,423 @@
+package mpc
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"parclust/internal/metric"
+	"parclust/internal/rng"
+)
+
+// This file is the coordinator side of SPMD superstep execution: when a
+// cluster is built WithSPMD over a transport backend that implements
+// SPMDTransport, registered supersteps (registry.go) execute inside the
+// worker processes that hold the machines' partitions, and the
+// coordinator link carries only control messages — the superstep name,
+// the round tag, the per-round Args scalars, and the per-round
+// accounting needed to synthesize RoundStats byte-identically to the
+// driver-side path. docs/TRANSPORT.md ("SPMD supersteps") documents the
+// session protocol and the fallback rules.
+
+// WithSPMD requests SPMD execution of registered supersteps. It takes
+// effect only when the cluster's transport implements SPMDTransport and
+// the per-cluster eligibility rules hold (no fault policy, no prefilter
+// attribution, not a fork, env installed with an encodable space);
+// otherwise registered supersteps transparently run on the driver, the
+// PR 7 coordinator-compute path.
+func WithSPMD() Option {
+	return func(c *Cluster) { c.spmdWant = true }
+}
+
+// Staged-message outcomes carried on the next session call: what the
+// worker should do with the messages staged by the previous Run before
+// acting. A successful superstep commits (staged messages become the
+// pending mailboxes), a failed one aborts (staged messages are
+// discarded, mirroring the driver's "queued messages are discarded on
+// error"), and calls that follow a Local run or a state push have
+// nothing staged.
+const (
+	SPMDPrevNone   byte = 0
+	SPMDPrevCommit byte = 1
+	SPMDPrevAbort  byte = 2
+)
+
+// SPMDSetup is the session-setup payload: the replicated read-only
+// context shipped to every worker once, before any round runs.
+type SPMDSetup struct {
+	M          int
+	SpaceName  string
+	Parts      [][]metric.Point
+	IDs        [][]int
+	Thresholds []float64
+}
+
+// SPMDRun is one control message: execute the registered superstep Name
+// with the given per-round scalars against worker-held machine state.
+type SPMDRun struct {
+	Name  string
+	Local bool // Local-block semantics: no round, no messages
+	Prev  byte // SPMDPrev* outcome for the previously staged messages
+	I     []int
+	F     []float64
+}
+
+// SPMDMachineReport is one machine's per-round accounting, produced by
+// the worker that ran it: everything the coordinator needs to rebuild
+// the machine's row of RoundStats (and the collective classification)
+// without seeing its messages.
+type SPMDMachineReport struct {
+	// SentWords is the machine's metered outbox total for the round.
+	SentWords int64
+	// SentAny reports a non-empty outbox; DistinctDsts counts its
+	// distinct destinations; AllCentral reports that every destination
+	// was the central machine. Together these reproduce
+	// classifyCollective's per-machine observations.
+	SentAny      bool
+	DistinctDsts int
+	AllCentral   bool
+	// Err is the machine's body error (or panic) rendered as a string,
+	// empty when the machine succeeded.
+	Err string
+}
+
+// SPMDReply is the worker-side result of one SPMDRun, merged across
+// workers by the session implementation into full cluster-length
+// vectors.
+type SPMDReply struct {
+	// Machines has one report per machine, ascending machine order.
+	Machines []SPMDMachineReport
+	// Recv[i] is the words queued for machine i this round, summed over
+	// all senders (the driver path's recvWords vector).
+	Recv []int64
+	// MemoryWords is the largest NoteMemory value any machine recorded
+	// during the round.
+	MemoryWords int64
+	// Yields are the machines' driver-visible results, ascending machine
+	// order.
+	Yields []Yield
+	// WireDataWords / WireCtrlWords split the round's wire traffic:
+	// payload words that crossed a network link (worker-to-worker shard
+	// transfer) versus coordinator-link control bytes in words.
+	WireDataWords int64
+	WireCtrlWords int64
+}
+
+// SPMDState is the machine state that moves between driver and workers
+// on residency transitions: every machine's RNG position and pending
+// mailbox. Bags never move — they are algorithm-run-local and reset by
+// load steps — and env is shipped once at setup.
+type SPMDState struct {
+	RNG     []rng.State
+	Pending [][]Message
+}
+
+// SPMDSession is a live worker-held execution session for one cluster.
+// Implementations (transport.Client) fan control messages out to the
+// session's workers and merge their replies.
+type SPMDSession interface {
+	// Run executes one registered superstep (or Local block) remotely.
+	Run(req *SPMDRun) (*SPMDReply, error)
+	// Push ships machine state to the workers (driver → worker
+	// transition), replacing any worker-held pending state.
+	Push(st *SPMDState) error
+	// Sync applies prev to the staged messages and returns the full
+	// machine state (worker → driver transition).
+	Sync(prev byte) (*SPMDState, error)
+	// Close ends the session; worker-held state is discarded.
+	Close() error
+}
+
+// SPMDTransport is implemented by transport backends that can execute
+// registered supersteps worker-side. Exchange remains the
+// coordinator-compute delivery path for ineligible rounds.
+type SPMDTransport interface {
+	Transport
+	SPMDSetup(setup *SPMDSetup) (SPMDSession, error)
+}
+
+// WireMeter is optionally implemented by transport backends that meter
+// wire traffic. TakeRoundWire returns and resets the counters accrued
+// since the last call: data-plane payload words that crossed a network
+// link, and control-plane overhead (framing, handshakes, codec
+// envelopes) in words. Superstep drains it around each exchange so the
+// split lands on the round's RoundStats.
+type WireMeter interface {
+	TakeRoundWire() (dataWords, ctrlWords int64)
+}
+
+// SPMDResolveSpace reconstructs a metric space from its wire name — the
+// set of spaces an SPMD session can replicate to workers. An
+// oracle-counting wrapper is transparent: Counting.Name() reports the
+// inner space, and distance results are identical either way, so a
+// Counting-wrapped driver space is encodable under its inner name.
+// Clusters whose env names any other space fall back to
+// coordinator-compute.
+func SPMDResolveSpace(name string) (metric.Space, bool) {
+	switch name {
+	case "l2":
+		return metric.L2{}, true
+	case "l1":
+		return metric.L1{}, true
+	case "linf":
+		return metric.LInf{}, true
+	case "angular":
+		return metric.Angular{}, true
+	case "hamming":
+		return metric.Hamming{}, true
+	}
+	return nil, false
+}
+
+// spmdEligible reports whether registered supersteps may currently run
+// worker-side. Every false answer falls back to the driver-side
+// coordinator-compute path — the fallback rules in docs/TRANSPORT.md.
+func (c *Cluster) spmdEligible() bool {
+	if !c.spmdWant || c.spmdSuspend > 0 {
+		return false
+	}
+	if c.parent != nil || c.faults != nil || c.prefilterStats {
+		return false
+	}
+	if c.env == nil {
+		return false
+	}
+	if _, ok := SPMDResolveSpace(c.env.SpaceName); !ok {
+		return false
+	}
+	if _, ok := c.transport.(SPMDTransport); !ok {
+		return false
+	}
+	return true
+}
+
+// spmdEnsureResident sets up the worker session on first use and pushes
+// driver-held machine state (pending mailboxes, RNG positions) to the
+// workers when the cluster is not already worker-resident.
+func (c *Cluster) spmdEnsureResident() error {
+	if c.spmdSess == nil {
+		st, ok := c.transport.(SPMDTransport)
+		if !ok {
+			return fmt.Errorf("mpc: transport %q does not support SPMD: %w", c.transport.Name(), ErrTransport)
+		}
+		sess, err := st.SPMDSetup(&SPMDSetup{
+			M:          c.m,
+			SpaceName:  c.env.SpaceName,
+			Parts:      c.env.Parts,
+			IDs:        c.env.IDs,
+			Thresholds: c.env.Thresholds,
+		})
+		if err != nil {
+			return fmt.Errorf("mpc: SPMD session setup on %q backend: %w: %w", c.transport.Name(), ErrTransport, err)
+		}
+		c.spmdSess = sess
+	}
+	if c.spmdResident {
+		return nil
+	}
+	st := &SPMDState{
+		RNG:     make([]rng.State, c.m),
+		Pending: make([][]Message, c.m),
+	}
+	for i, mach := range c.machines {
+		st.RNG[i] = mach.RNG.State()
+		st.Pending[i] = c.pending[i]
+	}
+	if err := c.spmdSess.Push(st); err != nil {
+		return fmt.Errorf("mpc: SPMD state push on %q backend: %w: %w", c.transport.Name(), ErrTransport, err)
+	}
+	// Ownership of the pending mailboxes moved to the workers.
+	for i := range c.pending {
+		clear(c.pending[i])
+		c.pending[i] = c.pending[i][:0]
+	}
+	c.spmdResident = true
+	c.spmdPrev = SPMDPrevNone
+	return nil
+}
+
+// spmdDownSync pulls worker-held machine state back to the driver. It is
+// a no-op unless the cluster is worker-resident; Superstep, Local and
+// the driver-side RunStep path call it so closure supersteps always see
+// current state.
+func (c *Cluster) spmdDownSync() error {
+	if !c.spmdResident {
+		return nil
+	}
+	prev := c.spmdPrev
+	c.spmdPrev = SPMDPrevNone
+	st, err := c.spmdSess.Sync(prev)
+	if err != nil {
+		return fmt.Errorf("mpc: SPMD state sync on %q backend: %w: %w", c.transport.Name(), ErrTransport, err)
+	}
+	if len(st.RNG) != c.m || len(st.Pending) != c.m {
+		return fmt.Errorf("mpc: SPMD state sync returned %d/%d machines, want %d: %w",
+			len(st.RNG), len(st.Pending), c.m, ErrTransport)
+	}
+	for i, mach := range c.machines {
+		mach.RNG.SetState(st.RNG[i])
+		c.pending[i] = st.Pending[i]
+	}
+	c.spmdResident = false
+	return nil
+}
+
+// spmdInvalidate tears down the SPMD session (pulling resident state
+// back first), used when the env changes under a live session.
+func (c *Cluster) spmdInvalidate() error {
+	if err := c.spmdDownSync(); err != nil {
+		return err
+	}
+	if c.spmdSess != nil {
+		err := c.spmdSess.Close()
+		c.spmdSess = nil
+		if err != nil {
+			return fmt.Errorf("mpc: SPMD session close: %w", err)
+		}
+	}
+	return nil
+}
+
+// remoteStep executes one registered superstep worker-side and
+// synthesizes the round's statistics from the workers' accounting,
+// byte-identically to the driver-side path in Superstep: same
+// error strings and precedence, same collective classification, same
+// budget/trace bookkeeping.
+func (c *Cluster) remoteStep(name string, args Args, local bool) ([]Yield, error) {
+	if err := c.spmdEnsureResident(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	prev := c.spmdPrev
+	c.spmdPrev = SPMDPrevNone
+	rep, err := c.spmdSess.Run(&SPMDRun{Name: name, Local: local, Prev: prev, I: args.I, F: args.F})
+	if err != nil {
+		return nil, fmt.Errorf("mpc: SPMD round %q on %q backend: %w: %w", name, c.transport.Name(), ErrTransport, err)
+	}
+	if len(rep.Machines) != c.m || len(rep.Recv) != c.m {
+		return nil, fmt.Errorf("mpc: SPMD round %q reply covers %d/%d machines, want %d: %w",
+			name, len(rep.Machines), len(rep.Recv), c.m, ErrTransport)
+	}
+
+	if local {
+		// Local-block semantics: no round is counted and no messages
+		// move; only per-machine errors are reproduced, with the driver
+		// path's exact wrapping.
+		for i := range rep.Machines {
+			if e := rep.Machines[i].Err; e != "" {
+				return nil, fmt.Errorf("mpc: machine %d in Local: %w", i, errors.New(e))
+			}
+		}
+		return rep.Yields, nil
+	}
+
+	// Synthesize the RoundStats exactly as Superstep would have.
+	rs := RoundStats{Name: name, Transport: c.transport.Name()}
+	if c.schedWidth > 0 {
+		rs.SchedWidth = c.schedWidth
+		rs.SchedCostNanos = c.schedCostNs
+		rs.SchedOccupancy = c.schedPool
+	}
+	var firstErr error
+	for i := range rep.Machines {
+		mr := &rep.Machines[i]
+		c.stats.SentWords[i] += mr.SentWords
+		c.stats.RecvWords[i] += rep.Recv[i]
+		rs.TotalWords += mr.SentWords
+		if mr.SentWords > rs.MaxSent {
+			rs.MaxSent = mr.SentWords
+		}
+		if rep.Recv[i] > rs.MaxRecv {
+			rs.MaxRecv = rep.Recv[i]
+		}
+		if mr.Err != "" && firstErr == nil {
+			firstErr = fmt.Errorf("mpc: machine %d in round %q: %w", i, name, errors.New(mr.Err))
+		}
+		if c.commCap > 0 && firstErr == nil {
+			if mr.SentWords > c.commCap {
+				firstErr = fmt.Errorf("machine %d sent %d words in round %q (cap %d): %w",
+					i, mr.SentWords, name, c.commCap, ErrCommCap)
+			} else if rep.Recv[i] > c.commCap {
+				firstErr = fmt.Errorf("machine %d received %d words in round %q (cap %d): %w",
+					i, rep.Recv[i], name, c.commCap, ErrCommCap)
+			}
+		}
+	}
+	if c.tracer != nil || c.recorder != nil || c.traceVectors {
+		rs.Sent = make([]int64, c.m)
+		rs.Recv = append([]int64(nil), rep.Recv...)
+		for i := range rep.Machines {
+			rs.Sent[i] = rep.Machines[i].SentWords
+		}
+	}
+	rs.Collective = classifyFromReports(rep.Machines, c.m, rs.TotalWords)
+	rs.MemoryWords = rep.MemoryWords
+	c.memMu.Lock()
+	if rep.MemoryWords > c.stats.MaxMemoryWords {
+		c.stats.MaxMemoryWords = rep.MemoryWords
+	}
+	c.memMu.Unlock()
+	rs.WireDataWords = rep.WireDataWords
+	rs.WireCtrlWords = rep.WireCtrlWords
+	rs.WallNanos = time.Since(start).Nanoseconds()
+	c.stats.Rounds++
+	c.stats.TotalWords += rs.TotalWords
+	if m := rs.MaxSent; m > c.stats.MaxRoundSent {
+		c.stats.MaxRoundSent = m
+	}
+	if m := rs.MaxRecv; m > c.stats.MaxRoundRecv {
+		c.stats.MaxRoundRecv = m
+	}
+	c.stats.PerRound = append(c.stats.PerRound, rs)
+	if c.tracer != nil {
+		c.tracer(c.stats.Rounds-1, rs)
+	}
+	if c.recorder != nil {
+		c.recorder.record(c.stats.Rounds-1, c.m, rs)
+	}
+	if firstErr != nil {
+		// Mirror the driver path: the round counts, its staged messages
+		// are discarded (by the next control message).
+		c.spmdPrev = SPMDPrevAbort
+		return nil, firstErr
+	}
+	c.spmdPrev = SPMDPrevCommit
+	return rep.Yields, nil
+}
+
+// classifyFromReports reproduces classifyCollective (trace.go) from the
+// workers' per-machine observations instead of live outboxes. The two
+// must stay in lockstep — the SPMD parity suite pins it.
+func classifyFromReports(reps []SPMDMachineReport, m int, totalWords int64) string {
+	if totalWords == 0 {
+		return "local"
+	}
+	senders := 0
+	var single *SPMDMachineReport
+	allCentral := true
+	wide := 0
+	for i := range reps {
+		r := &reps[i]
+		if !r.SentAny {
+			continue
+		}
+		senders++
+		single = r
+		if !r.AllCentral {
+			allCentral = false
+		}
+		if r.DistinctDsts >= m-1 {
+			wide++
+		}
+	}
+	if senders == 1 && (single.DistinctDsts >= m-1 && m > 1 || m == 1) {
+		return "broadcast"
+	}
+	if allCentral {
+		return "gather"
+	}
+	if wide*2 >= m && senders*2 >= m {
+		return "all-to-all"
+	}
+	return "p2p"
+}

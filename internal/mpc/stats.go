@@ -85,6 +85,18 @@ type RoundStats struct {
 	// traces byte-identical to the pre-prefilter schema.
 	PrefilterHits   int64
 	PrefilterMisses int64
+	// WireDataWords / WireCtrlWords split the round's traffic as observed
+	// on real network links by a metering transport backend (WireMeter):
+	// data-plane payload words that crossed a wire to be delivered, and
+	// control-plane overhead (framing, handshakes, SPMD control messages)
+	// in words. On the coordinator-compute tcp path data words equal
+	// TotalWords — every queued word crosses the coordinator link; in
+	// SPMD mode only worker-to-worker shard words are data, and the
+	// coordinator link carries pure control. Zero on the in-process
+	// backend and on fault-schedule rounds, keeping those traces
+	// byte-identical to the pre-split schema.
+	WireDataWords int64
+	WireCtrlWords int64
 }
 
 // MaxComm returns the larger of MaxSent and MaxRecv: the round's

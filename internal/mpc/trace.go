@@ -159,6 +159,16 @@ type TraceEvent struct {
 	// computation: stripping it (and wall_ns) from a tcp trace yields
 	// the inproc trace of the same seed — the transport-parity contract.
 	Transport string `json:"transport,omitempty"`
+	// WireDataWords / WireCtrlWords are the round's wire-level traffic
+	// split (RoundStats.WireDataWords/WireCtrlWords): data-plane payload
+	// words that crossed a network link versus control-plane overhead in
+	// words. Present only on rounds run over a metering remote backend;
+	// omitted on in-process rounds, so existing traces stay
+	// byte-identical. Like transport/wall_ns they describe
+	// infrastructure: stripping wire_* (with transport and wall_ns) from
+	// a tcp trace yields the inproc trace of the same seed.
+	WireDataWords int64 `json:"wire_data_words,omitempty"`
+	WireCtrlWords int64 `json:"wire_ctrl_words,omitempty"`
 }
 
 // TraceRecorder accumulates TraceEvents. All methods are safe for
@@ -201,6 +211,9 @@ func (r *TraceRecorder) record(round, machines int, rs RoundStats) {
 		SchedWidth:     rs.SchedWidth,
 		SchedCostNanos: rs.SchedCostNanos,
 		SchedOccupancy: rs.SchedOccupancy,
+
+		WireDataWords: rs.WireDataWords,
+		WireCtrlWords: rs.WireCtrlWords,
 	}
 	if rs.Transport != "" && rs.Transport != "inproc" {
 		ev.Transport = rs.Transport

@@ -1,0 +1,432 @@
+package transport
+
+// Control-plane codec for the SPMD session frames (frame.go, types
+// frameSPMDSetup..framePeerShard). Like the payload codec in codec.go the
+// encoding is canonical — the same value always produces the same bytes —
+// and every length is validated against the remaining buffer before any
+// allocation. Body layouts (strings are u32 len | utf-8 bytes; vectors
+// are the codec.go u64vec form; messages are the codec.go message form):
+//
+//	spmdSetup    id16 | u32 m | u32 workers | u32 self |
+//	             workers×(u32 lo | u32 hi) | workers×str addr |
+//	             str spaceName | f64vec thresholds |
+//	             u32 nParts | nParts×(u64vec ids | points)
+//	spmdConnect  id16
+//	spmdRun      id16 | u8 prev | u8 local | u32 round | str name |
+//	             u64vec I | f64vec F
+//	spmdRunOK    u64 shardWords | u64 memoryWords | u64vec recv |
+//	             u32 nReports | nReports×(u64 sentWords | u8 flags |
+//	             u32 distinctDsts | str err) |
+//	             u32 nYields | nYields×(u32 machine | payload)
+//	spmdPush     id16 | u32 count | count×machineState
+//	spmdSync     id16 | u8 prev
+//	spmdSyncOK   u32 count | count×machineState
+//	spmdEnd      id16
+//	peerHello    id16 | u32 srcGroup
+//	peerShard    u32 round | u32 msgCount | messages (the frameExchange
+//	             layout, shared with decodeExchangeBody)
+//
+//	machineState = u64 rngS | u64 rngGamma | u8 haveGauss |
+//	               u64 gaussBits | u32 msgCount | messages
+//
+// where machineState messages carry dst = the owning machine id, reusing
+// the message codec's range validation. Report flags: bit 0 = sentAny,
+// bit 1 = allCentral.
+
+import (
+	"math"
+
+	"parclust/internal/metric"
+	"parclust/internal/mpc"
+	"parclust/internal/rng"
+)
+
+// spmdIDLen is the length of an SPMD session id: 16 opaque bytes chosen
+// by the coordinator.
+const spmdIDLen = 16
+
+// spmdSetupMsg is the decoded form of a frameSPMDSetup body: one
+// worker's view of a new SPMD session.
+type spmdSetupMsg struct {
+	ID     string
+	M      int
+	Self   int
+	Groups []Group
+	Addrs  []string
+
+	SpaceName  string
+	Thresholds []float64
+	Parts      [][]metric.Point
+	IDs        [][]int
+}
+
+// spmdRunReplyMsg is the decoded form of a frameSPMDRunOK body: one
+// group's accounting for one executed superstep.
+type spmdRunReplyMsg struct {
+	// ShardWords is the payload words this worker shipped to peer
+	// workers this round — its contribution to the round's data plane.
+	ShardWords int64
+	// MemoryWords, Recv, Reports and Yields carry the group's share of
+	// the mpc.SPMDReply the coordinator merges. Recv is full cluster
+	// length; Reports covers the group's machines in ascending order.
+	MemoryWords int64
+	Recv        []int64
+	Reports     []mpc.SPMDMachineReport
+	Yields      []mpc.Yield
+}
+
+func appendStr(b []byte, s string) []byte {
+	b = appendU32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+// str reads a u32-length-prefixed string, bounds-checked.
+func (d *decoder) str() string {
+	n := d.u32()
+	if d.err != nil {
+		return ""
+	}
+	if uint64(n) > uint64(len(d.b)) {
+		d.fail("string length %d exceeds remaining %d bytes", n, len(d.b))
+		return ""
+	}
+	s := string(d.b[:n])
+	d.b = d.b[n:]
+	return s
+}
+
+// sessionID reads the fixed-length session id that opens every SPMD
+// request body.
+func (d *decoder) sessionID() string {
+	if d.err != nil {
+		return ""
+	}
+	if len(d.b) < spmdIDLen {
+		d.fail("truncated session id (%d bytes left)", len(d.b))
+		return ""
+	}
+	id := string(d.b[:spmdIDLen])
+	d.b = d.b[spmdIDLen:]
+	return id
+}
+
+// trailing fails the decode when body bytes remain after what, a frame
+// type name for the error message.
+func (d *decoder) trailing(what string) {
+	if d.err == nil && len(d.b) != 0 {
+		d.fail("%d trailing bytes in %s body", len(d.b), what)
+	}
+}
+
+func appendInt64Vec(b []byte, vs []int64) []byte {
+	b = appendU32(b, uint32(len(vs)))
+	for _, v := range vs {
+		b = appendU64(b, uint64(v))
+	}
+	return b
+}
+
+func (d *decoder) int64Vec() []int64 {
+	n := d.vecLen()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(d.u64())
+	}
+	return out
+}
+
+// appendSPMDSetup encodes a frameSPMDSetup body.
+func appendSPMDSetup(b []byte, msg *spmdSetupMsg) []byte {
+	b = append(b, msg.ID...)
+	b = appendU32(b, uint32(msg.M))
+	b = appendU32(b, uint32(len(msg.Groups)))
+	b = appendU32(b, uint32(msg.Self))
+	for _, g := range msg.Groups {
+		b = appendU32(b, uint32(g.Lo))
+		b = appendU32(b, uint32(g.Hi))
+	}
+	for _, a := range msg.Addrs {
+		b = appendStr(b, a)
+	}
+	b = appendStr(b, msg.SpaceName)
+	b = appendFloatVec(b, msg.Thresholds)
+	b = appendU32(b, uint32(len(msg.Parts)))
+	for i := range msg.Parts {
+		b = appendIntVec(b, msg.IDs[i])
+		b = appendPoints(b, msg.Parts[i])
+	}
+	return b
+}
+
+// decodeSPMDSetup decodes and validates a frameSPMDSetup body: the
+// groups must partition [0, m) contiguously, one address per group, one
+// part per machine.
+func decodeSPMDSetup(body []byte) (*spmdSetupMsg, error) {
+	d := &decoder{b: body}
+	msg := &spmdSetupMsg{ID: d.sessionID()}
+	msg.M = int(d.u32())
+	workers := int(d.u32())
+	msg.Self = int(d.u32())
+	if d.err == nil && (msg.M < 1 || workers < 1 || msg.Self < 0 || msg.Self >= workers) {
+		d.fail("invalid spmd setup geometry: m=%d workers=%d self=%d", msg.M, workers, msg.Self)
+	}
+	if d.err == nil && uint64(workers)*8 > uint64(len(d.b)) {
+		d.fail("worker count %d exceeds remaining %d bytes", workers, len(d.b))
+	}
+	for w := 0; d.err == nil && w < workers; w++ {
+		g := Group{Lo: int(d.u32()), Hi: int(d.u32())}
+		want := 0
+		if w > 0 {
+			want = msg.Groups[w-1].Hi
+		}
+		if d.err == nil && (g.Lo != want || g.Hi < g.Lo || g.Hi > msg.M) {
+			d.fail("group %d = [%d,%d) does not continue the partition at %d", w, g.Lo, g.Hi, want)
+		}
+		msg.Groups = append(msg.Groups, g)
+	}
+	if d.err == nil && msg.Groups[workers-1].Hi != msg.M {
+		d.fail("groups cover [0,%d), want [0,%d)", msg.Groups[workers-1].Hi, msg.M)
+	}
+	for w := 0; d.err == nil && w < workers; w++ {
+		msg.Addrs = append(msg.Addrs, d.str())
+	}
+	msg.SpaceName = d.str()
+	msg.Thresholds = d.floatVec()
+	nParts := int(d.u32())
+	if d.err == nil && nParts != msg.M {
+		d.fail("spmd setup carries %d parts for %d machines", nParts, msg.M)
+	}
+	if d.err == nil {
+		msg.Parts = make([][]metric.Point, nParts)
+		msg.IDs = make([][]int, nParts)
+		for i := 0; d.err == nil && i < nParts; i++ {
+			msg.IDs[i] = d.intVec()
+			msg.Parts[i] = d.points()
+			if d.err == nil && len(msg.IDs[i]) != len(msg.Parts[i]) {
+				d.fail("machine %d part has %d points vs %d ids", i, len(msg.Parts[i]), len(msg.IDs[i]))
+			}
+		}
+	}
+	d.trailing("spmd setup")
+	if d.err != nil {
+		return nil, d.err
+	}
+	return msg, nil
+}
+
+// appendMachineState encodes one machine's residency state: RNG position
+// plus pending mailbox. Messages are encoded with dst = id so the shared
+// message codec validates them on the way back in.
+func appendMachineState(b []byte, id int, st rng.State, pending []mpc.Message) ([]byte, error) {
+	b = appendU64(b, st.S)
+	b = appendU64(b, st.Gamma)
+	if st.HaveGauss {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = appendU64(b, math.Float64bits(st.Gauss))
+	b = appendU32(b, uint32(len(pending)))
+	var err error
+	for _, msg := range pending {
+		if b, err = appendMessage(b, msg.From, id, msg.Payload); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+// machineState decodes one machine's residency state; id is the machine
+// the state belongs to, m the cluster size.
+func (d *decoder) machineState(m, id int) (st rng.State, pending []mpc.Message) {
+	st.S = d.u64()
+	st.Gamma = d.u64()
+	switch flag := d.u8(); flag {
+	case 0:
+	case 1:
+		st.HaveGauss = true
+	default:
+		d.fail("machine %d state: haveGauss flag %d", id, flag)
+	}
+	st.Gauss = math.Float64frombits(d.u64())
+	count := d.u32()
+	// Each message costs at least 9 bytes (src, dst, kind).
+	if d.err == nil && uint64(count)*9 > uint64(len(d.b)) {
+		d.fail("machine %d state: %d messages exceed remaining %d bytes", id, count, len(d.b))
+	}
+	for i := uint32(0); d.err == nil && i < count; i++ {
+		src, _, p := d.message(m, id, id+1)
+		if d.err != nil {
+			break
+		}
+		pending = append(pending, mpc.Message{From: src, Payload: p})
+	}
+	return st, pending
+}
+
+// appendSPMDRun encodes a frameSPMDRun body.
+func appendSPMDRun(b []byte, id string, round uint32, req *mpc.SPMDRun) []byte {
+	b = append(b, id...)
+	b = append(b, req.Prev)
+	if req.Local {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = appendU32(b, round)
+	b = appendStr(b, req.Name)
+	b = appendIntVec(b, req.I)
+	b = appendFloatVec(b, req.F)
+	return b
+}
+
+// decodeSPMDRun decodes a frameSPMDRun body.
+func decodeSPMDRun(body []byte) (id string, round uint32, req *mpc.SPMDRun, err error) {
+	d := &decoder{b: body}
+	id = d.sessionID()
+	req = &mpc.SPMDRun{}
+	req.Prev = d.u8()
+	if d.err == nil && req.Prev > mpc.SPMDPrevAbort {
+		d.fail("spmd run: staged outcome %d", req.Prev)
+	}
+	switch flag := d.u8(); flag {
+	case 0:
+	case 1:
+		req.Local = true
+	default:
+		d.fail("spmd run: local flag %d", flag)
+	}
+	round = d.u32()
+	req.Name = d.str()
+	req.I = d.intVec()
+	req.F = d.floatVec()
+	d.trailing("spmd run")
+	if d.err != nil {
+		return "", 0, nil, d.err
+	}
+	return id, round, req, nil
+}
+
+// appendSPMDRunReply encodes a frameSPMDRunOK body. Yields carry
+// payloads, so encoding can fail on an out-of-vocabulary type.
+func appendSPMDRunReply(b []byte, msg *spmdRunReplyMsg) ([]byte, error) {
+	b = appendU64(b, uint64(msg.ShardWords))
+	b = appendU64(b, uint64(msg.MemoryWords))
+	b = appendInt64Vec(b, msg.Recv)
+	b = appendU32(b, uint32(len(msg.Reports)))
+	for i := range msg.Reports {
+		r := &msg.Reports[i]
+		b = appendU64(b, uint64(r.SentWords))
+		var flags byte
+		if r.SentAny {
+			flags |= 1
+		}
+		if r.AllCentral {
+			flags |= 2
+		}
+		b = append(b, flags)
+		b = appendU32(b, uint32(r.DistinctDsts))
+		b = appendStr(b, r.Err)
+	}
+	b = appendU32(b, uint32(len(msg.Yields)))
+	var err error
+	for _, y := range msg.Yields {
+		b = appendU32(b, uint32(y.Machine))
+		if b, err = appendPayload(b, y.Payload); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+// decodeSPMDRunReply decodes a frameSPMDRunOK body. m bounds the yield
+// machine ids; the caller validates Recv/Reports lengths against the
+// group it asked about.
+func decodeSPMDRunReply(body []byte, m int) (*spmdRunReplyMsg, error) {
+	d := &decoder{b: body}
+	msg := &spmdRunReplyMsg{
+		ShardWords:  int64(d.u64()),
+		MemoryWords: int64(d.u64()),
+		Recv:        d.int64Vec(),
+	}
+	nReports := int(d.u32())
+	// Each report costs at least 17 bytes (sentWords, flags, dsts, errLen).
+	if d.err == nil && uint64(nReports)*17 > uint64(len(d.b)) {
+		d.fail("report count %d exceeds remaining %d bytes", nReports, len(d.b))
+	}
+	for i := 0; d.err == nil && i < nReports; i++ {
+		r := mpc.SPMDMachineReport{SentWords: int64(d.u64())}
+		flags := d.u8()
+		if d.err == nil && flags > 3 {
+			d.fail("report %d flags %d", i, flags)
+		}
+		r.SentAny = flags&1 != 0
+		r.AllCentral = flags&2 != 0
+		r.DistinctDsts = int(d.u32())
+		r.Err = d.str()
+		msg.Reports = append(msg.Reports, r)
+	}
+	nYields := int(d.u32())
+	// Each yield costs at least 5 bytes (machine, kind).
+	if d.err == nil && uint64(nYields)*5 > uint64(len(d.b)) {
+		d.fail("yield count %d exceeds remaining %d bytes", nYields, len(d.b))
+	}
+	last := -1
+	for i := 0; d.err == nil && i < nYields; i++ {
+		mach := int(d.u32())
+		if d.err == nil && (mach < 0 || mach >= m) {
+			d.fail("yield machine %d out of cluster range [0,%d)", mach, m)
+			break
+		}
+		if d.err == nil && mach <= last {
+			d.fail("yield machines out of order: %d after %d", mach, last)
+			break
+		}
+		last = mach
+		p := d.payload()
+		if d.err != nil {
+			break
+		}
+		msg.Yields = append(msg.Yields, mpc.Yield{Machine: mach, Payload: p})
+	}
+	d.trailing("spmd runOK")
+	if d.err != nil {
+		return nil, d.err
+	}
+	return msg, nil
+}
+
+// appendSPMDStates encodes the group-state sequence shared by
+// frameSPMDPush (after the session id) and frameSPMDSyncOK: a count then
+// one machineState per machine in ascending id order from lo.
+func appendSPMDStates(b []byte, lo int, sts []rng.State, pending [][]mpc.Message) ([]byte, error) {
+	b = appendU32(b, uint32(len(sts)))
+	var err error
+	for i := range sts {
+		if b, err = appendMachineState(b, lo+i, sts[i], pending[i]); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+// spmdStates decodes the group-state sequence for machines [lo, hi) of
+// an m-machine cluster.
+func (d *decoder) spmdStates(m, lo, hi int) (sts []rng.State, pending [][]mpc.Message) {
+	count := int(d.u32())
+	if d.err == nil && count != hi-lo {
+		d.fail("state for %d machines, want group [%d,%d)", count, lo, hi)
+	}
+	if d.err != nil {
+		return nil, nil
+	}
+	sts = make([]rng.State, count)
+	pending = make([][]mpc.Message, count)
+	for i := 0; d.err == nil && i < count; i++ {
+		sts[i], pending[i] = d.machineState(m, lo+i)
+	}
+	return sts, pending
+}

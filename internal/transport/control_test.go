@@ -1,0 +1,398 @@
+package transport
+
+// Property tests for the SPMD control-plane codec (control.go). The
+// contract mirrors codec_test.go's for payloads: round-trips are exact,
+// encodings are canonical (the same value always produces the same
+// bytes, so re-encoding a decode reproduces the input), every length
+// field is bounds-checked against the remaining buffer before any
+// allocation, and malformed bodies produce errors instead of garbage.
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+
+	"parclust/internal/metric"
+	"parclust/internal/mpc"
+	"parclust/internal/rng"
+)
+
+// sampleSetup builds a representative 2-worker, 4-machine setup body
+// with asymmetric groups, replicated thresholds and per-machine parts.
+func sampleSetup() *spmdSetupMsg {
+	return &spmdSetupMsg{
+		ID:     "0123456789abcdef",
+		M:      4,
+		Self:   1,
+		Groups: []Group{{Lo: 0, Hi: 1}, {Lo: 1, Hi: 4}},
+		Addrs:  []string{"127.0.0.1:9001", "127.0.0.1:9002"},
+
+		SpaceName:  "l2",
+		Thresholds: []float64{0.5, 1, 2, 4.25},
+		Parts: [][]metric.Point{
+			{{1, 2}, {3, 4}},
+			{{5, 6}},
+			nil,
+			{{-7.5, 8}, {9, math.Inf(1)}},
+		},
+		IDs: [][]int{{10, 11}, {12}, nil, {13, 14}},
+	}
+}
+
+func TestSPMDSetupRoundTrip(t *testing.T) {
+	msg := sampleSetup()
+	b := appendSPMDSetup(nil, msg)
+	got, err := decodeSPMDSetup(b)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, msg) {
+		t.Fatalf("round trip mismatch:\n got  %+v\n want %+v", got, msg)
+	}
+	// Canonical: re-encoding the decode reproduces the bytes.
+	if re := appendSPMDSetup(nil, got); !bytes.Equal(re, b) {
+		t.Fatalf("setup encoding not canonical:\n in  %x\n out %x", b, re)
+	}
+}
+
+func TestSPMDSetupRejectsBadGeometry(t *testing.T) {
+	corrupt := func(name string, f func(*spmdSetupMsg)) {
+		msg := sampleSetup()
+		f(msg)
+		if _, err := decodeSPMDSetup(appendSPMDSetup(nil, msg)); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+	corrupt("zero machines", func(m *spmdSetupMsg) { m.M = 0 })
+	corrupt("self out of range", func(m *spmdSetupMsg) { m.Self = 2 })
+	corrupt("negative self", func(m *spmdSetupMsg) { m.Self = -1 })
+	corrupt("gap in partition", func(m *spmdSetupMsg) { m.Groups[1].Lo = 2 })
+	corrupt("overlapping groups", func(m *spmdSetupMsg) { m.Groups[0].Hi = 2 })
+	corrupt("inverted group", func(m *spmdSetupMsg) { m.Groups[1] = Group{Lo: 1, Hi: 0} })
+	corrupt("groups exceed m", func(m *spmdSetupMsg) { m.Groups[1].Hi = 5 })
+	corrupt("groups undershoot m", func(m *spmdSetupMsg) { m.Groups[1].Hi = 3 })
+	corrupt("part count below m", func(m *spmdSetupMsg) {
+		m.Parts = m.Parts[:3]
+		m.IDs = m.IDs[:3]
+	})
+	corrupt("ids/points length mismatch", func(m *spmdSetupMsg) { m.IDs[0] = []int{10} })
+
+	// Truncations at every prefix must error, never panic.
+	full := appendSPMDSetup(nil, sampleSetup())
+	for i := 0; i < len(full); i++ {
+		if _, err := decodeSPMDSetup(full[:i]); err == nil {
+			t.Fatalf("truncated setup body (%d of %d bytes) decoded without error", i, len(full))
+		}
+	}
+	if _, err := decodeSPMDSetup(append(append([]byte{}, full...), 0)); err == nil {
+		t.Fatal("setup body with a trailing byte decoded without error")
+	}
+}
+
+// TestSPMDSetupRejectsOversizedCounts feeds hand-built bodies whose
+// count fields claim more elements than the buffer can hold; the
+// decoder must reject them before allocating.
+func TestSPMDSetupRejectsOversizedCounts(t *testing.T) {
+	id := []byte("0123456789abcdef")
+	huge := func(workers uint32) []byte {
+		b := append([]byte{}, id...)
+		b = appendU32(b, 4)       // m
+		b = appendU32(b, workers) // claimed worker count
+		b = appendU32(b, 0)       // self
+		return b
+	}
+	cases := map[string][]byte{
+		"worker count exceeds buffer": huge(1 << 30),
+		"string length exceeds buffer": func() []byte {
+			b := huge(1)
+			b = appendU32(b, 0) // lo
+			b = appendU32(b, 4) // hi
+			b = appendU32(b, 1<<31)
+			return b
+		}(),
+	}
+	for name, body := range cases {
+		if _, err := decodeSPMDSetup(body); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+func TestSPMDRunRoundTrip(t *testing.T) {
+	for _, req := range []*mpc.SPMDRun{
+		{Name: "degree/count", Prev: mpc.SPMDPrevNone, I: []int{3, -1}, F: []float64{0.25}},
+		{Name: "kbmis/luby", Prev: mpc.SPMDPrevCommit, Local: true},
+		{Name: "", Prev: mpc.SPMDPrevAbort, I: nil, F: nil},
+	} {
+		b := appendSPMDRun(nil, "0123456789abcdef", 42, req)
+		id, round, got, err := decodeSPMDRun(b)
+		if err != nil {
+			t.Fatalf("%q: decode: %v", req.Name, err)
+		}
+		if id != "0123456789abcdef" || round != 42 {
+			t.Fatalf("%q: id/round = %q/%d", req.Name, id, round)
+		}
+		if got.Name != req.Name || got.Prev != req.Prev || got.Local != req.Local ||
+			!reflect.DeepEqual(normInts(got.I), normInts(req.I)) ||
+			!reflect.DeepEqual(normFloats(got.F), normFloats(req.F)) {
+			t.Fatalf("%q: round trip mismatch: %+v vs %+v", req.Name, got, req)
+		}
+		if re := appendSPMDRun(nil, id, round, got); !bytes.Equal(re, b) {
+			t.Fatalf("%q: run encoding not canonical:\n in  %x\n out %x", req.Name, b, re)
+		}
+	}
+}
+
+func TestSPMDRunRejectsBadFlags(t *testing.T) {
+	good := appendSPMDRun(nil, "0123456789abcdef", 7, &mpc.SPMDRun{Name: "x"})
+	// Byte 16 is prev, byte 17 the local flag.
+	for _, tc := range []struct {
+		name string
+		at   int
+		v    byte
+	}{
+		{"staged outcome beyond abort", spmdIDLen, mpc.SPMDPrevAbort + 1},
+		{"local flag beyond bool", spmdIDLen + 1, 2},
+	} {
+		bad := append([]byte{}, good...)
+		bad[tc.at] = tc.v
+		if _, _, _, err := decodeSPMDRun(bad); err == nil {
+			t.Errorf("%s: decoded without error", tc.name)
+		}
+	}
+	for i := 0; i < len(good); i++ {
+		if _, _, _, err := decodeSPMDRun(good[:i]); err == nil {
+			t.Fatalf("truncated run body (%d bytes) decoded without error", i)
+		}
+	}
+	if _, _, _, err := decodeSPMDRun(append(append([]byte{}, good...), 0)); err == nil {
+		t.Fatal("run body with a trailing byte decoded without error")
+	}
+}
+
+func sampleRunReply() *spmdRunReplyMsg {
+	return &spmdRunReplyMsg{
+		ShardWords:  17,
+		MemoryWords: 4096,
+		Recv:        []int64{1, 0, 5, 2},
+		Reports: []mpc.SPMDMachineReport{
+			{SentWords: 12, SentAny: true, DistinctDsts: 3},
+			{SentWords: 0, AllCentral: true, Err: "machine 2: bag overflow"},
+		},
+		Yields: []mpc.Yield{
+			{Machine: 1, Payload: mpc.Ints{9, -9}},
+			{Machine: 3, Payload: mpc.Float(2.5)},
+		},
+	}
+}
+
+func TestSPMDRunReplyRoundTrip(t *testing.T) {
+	msg := sampleRunReply()
+	b, err := appendSPMDRunReply(nil, msg)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := decodeSPMDRunReply(b, 4)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, msg) {
+		t.Fatalf("round trip mismatch:\n got  %+v\n want %+v", got, msg)
+	}
+	re, err := appendSPMDRunReply(nil, got)
+	if err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	if !bytes.Equal(re, b) {
+		t.Fatalf("runOK encoding not canonical:\n in  %x\n out %x", b, re)
+	}
+}
+
+func TestSPMDRunReplyRejectsMalformed(t *testing.T) {
+	encode := func(msg *spmdRunReplyMsg) []byte {
+		t.Helper()
+		b, err := appendSPMDRunReply(nil, msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	reject := func(name string, body []byte) {
+		t.Helper()
+		if _, err := decodeSPMDRunReply(body, 4); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+
+	// Yield machine out of the cluster range.
+	bad := sampleRunReply()
+	bad.Yields[1].Machine = 4
+	reject("yield machine beyond m", encode(bad))
+
+	// Yields out of ascending order (and duplicates, the degenerate case).
+	bad = sampleRunReply()
+	bad.Yields[0], bad.Yields[1] = bad.Yields[1], bad.Yields[0]
+	reject("yields out of order", encode(bad))
+	bad = sampleRunReply()
+	bad.Yields[1].Machine = 1
+	reject("duplicate yield machine", encode(bad))
+
+	// Report flags byte with bits beyond sentAny|allCentral set.
+	good := encode(sampleRunReply())
+	flagAt := 8 + 8 + 4 + 4*8 + 4 + 8 // shard, mem, recv len, recv, nReports, sentWords
+	withFlag := append([]byte{}, good...)
+	withFlag[flagAt] = 4
+	reject("report flags beyond bit 1", withFlag)
+
+	// Oversized counts must fail the pre-check before allocation.
+	header := appendU64(appendU64(nil, 1), 1)
+	header = appendU32(header, 0) // empty recv
+	reject("report count exceeds buffer", appendU32(append([]byte{}, header...), 1<<30))
+	withReports := appendU32(append([]byte{}, header...), 0)
+	reject("yield count exceeds buffer", appendU32(withReports, 1<<30))
+
+	for i := 0; i < len(good); i++ {
+		if _, err := decodeSPMDRunReply(good[:i], 4); err == nil {
+			t.Fatalf("truncated runOK body (%d of %d bytes) decoded without error", i, len(good))
+		}
+	}
+	reject("trailing byte", append(append([]byte{}, good...), 0))
+}
+
+func TestSPMDStatesRoundTrip(t *testing.T) {
+	const m, lo = 4, 1
+	sts := []rng.State{
+		{S: 1, Gamma: 3},
+		{S: 1 << 60, Gamma: 5, HaveGauss: true, Gauss: -1.75},
+		{S: 9, Gamma: 7, Gauss: math.Copysign(0, -1)},
+	}
+	pending := [][]mpc.Message{
+		{{From: 0, Payload: mpc.Ints{1, 2}}, {From: 3, Payload: mpc.Float(0.5)}},
+		nil,
+		{{From: 3, Payload: mpc.Floats{1, 2, 3}}},
+	}
+	b, err := appendSPMDStates(nil, lo, sts, pending)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	d := &decoder{b: b}
+	gotSts, gotPending := d.spmdStates(m, lo, lo+len(sts))
+	if d.err != nil {
+		t.Fatalf("decode: %v", d.err)
+	}
+	if len(d.b) != 0 {
+		t.Fatalf("decode left %d trailing bytes", len(d.b))
+	}
+	if !reflect.DeepEqual(gotSts, sts) {
+		t.Fatalf("states mismatch: %+v vs %+v", gotSts, sts)
+	}
+	for i := range pending {
+		if len(gotPending[i]) != len(pending[i]) {
+			t.Fatalf("machine %d: %d pending messages, want %d", lo+i, len(gotPending[i]), len(pending[i]))
+		}
+		for j, msg := range pending[i] {
+			if gotPending[i][j].From != msg.From || !payloadsEqual(gotPending[i][j].Payload, msg.Payload) {
+				t.Fatalf("machine %d message %d mismatch", lo+i, j)
+			}
+		}
+	}
+	re, err := appendSPMDStates(nil, lo, gotSts, gotPending)
+	if err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	if !bytes.Equal(re, b) {
+		t.Fatalf("states encoding not canonical:\n in  %x\n out %x", b, re)
+	}
+}
+
+func TestSPMDStatesRejectsMalformed(t *testing.T) {
+	const m, lo, hi = 4, 1, 3
+	sts := []rng.State{{S: 1, Gamma: 3}, {S: 2, Gamma: 5}}
+	pending := [][]mpc.Message{nil, {{From: 0, Payload: mpc.Ints{7}}}}
+	good, err := appendSPMDStates(nil, lo, sts, pending)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	decode := func(body []byte) error {
+		d := &decoder{b: body}
+		d.spmdStates(m, lo, hi)
+		if d.err == nil && len(d.b) != 0 {
+			d.fail("%d trailing bytes", len(d.b))
+		}
+		return d.err
+	}
+	if err := decode(good); err != nil {
+		t.Fatalf("well-formed states rejected: %v", err)
+	}
+
+	// Count must equal the group width exactly.
+	short := appendU32(nil, uint32(hi-lo-1))
+	if err := decode(short); err == nil {
+		t.Error("state count below group width decoded without error")
+	}
+	long := appendU32(nil, uint32(hi-lo+1))
+	if err := decode(long); err == nil {
+		t.Error("state count above group width decoded without error")
+	}
+
+	// The haveGauss byte is a strict bool.
+	bad := append([]byte{}, good...)
+	bad[4+8+8] = 2 // count(4) + S(8) + Gamma(8) → first haveGauss flag
+	if err := decode(bad); err == nil {
+		t.Error("haveGauss flag 2 decoded without error")
+	}
+
+	// A pending message claiming a huge count must fail the pre-check.
+	huge := appendU32(nil, uint32(hi-lo))
+	huge = appendU64(huge, 1)
+	huge = appendU64(huge, 3)
+	huge = append(huge, 0)
+	huge = appendU64(huge, 0)
+	huge = appendU32(huge, 1<<30) // msgCount far beyond the buffer
+	if err := decode(huge); err == nil {
+		t.Error("message count exceeding buffer decoded without error")
+	}
+
+	for i := 0; i < len(good); i++ {
+		if err := decode(good[:i]); err == nil {
+			t.Fatalf("truncated states body (%d of %d bytes) decoded without error", i, len(good))
+		}
+	}
+}
+
+// TestSessionIDAndStrHelpers pins the low-level readers the session
+// frames share: fixed-width ids and bounds-checked strings.
+func TestSessionIDAndStrHelpers(t *testing.T) {
+	d := &decoder{b: []byte("0123456789abcdefrest")}
+	if id := d.sessionID(); id != "0123456789abcdef" || d.err != nil {
+		t.Fatalf("sessionID = %q, err %v", id, d.err)
+	}
+	if string(d.b) != "rest" {
+		t.Fatalf("sessionID consumed wrong bytes, %q left", d.b)
+	}
+	d = &decoder{b: []byte("too short")}
+	if d.sessionID(); d.err == nil {
+		t.Fatal("short session id decoded without error")
+	}
+
+	b := appendStr(nil, "hello")
+	d = &decoder{b: b}
+	if s := d.str(); s != "hello" || d.err != nil || len(d.b) != 0 {
+		t.Fatalf("str round trip: %q err %v rest %d", s, d.err, len(d.b))
+	}
+	d = &decoder{b: appendU32(nil, 1<<30)}
+	if d.str(); d.err == nil {
+		t.Fatal("oversized string length decoded without error")
+	}
+
+	vec := appendInt64Vec(nil, []int64{-1, 0, math.MaxInt64})
+	d = &decoder{b: vec}
+	if got := d.int64Vec(); d.err != nil || !reflect.DeepEqual(got, []int64{-1, 0, math.MaxInt64}) {
+		t.Fatalf("int64Vec round trip: %v err %v", got, d.err)
+	}
+	if re := appendInt64Vec(nil, []int64{-1, 0, math.MaxInt64}); !bytes.Equal(re, vec) {
+		t.Fatal("int64Vec encoding not canonical")
+	}
+}

@@ -56,6 +56,59 @@ const (
 	// frameGoodbye (coordinator → worker) ends the session cleanly;
 	// empty body.
 	frameGoodbye = 8
+
+	// SPMD session frames (docs/TRANSPORT.md, "SPMD supersteps"). Every
+	// coordinator-link SPMD request opens with the 16-byte session id;
+	// body layouts are defined by the control-plane codec in control.go.
+
+	// frameSPMDSetup (coordinator → worker) creates a worker-side SPMD
+	// session: session id, cluster geometry, the fleet's groups and
+	// addresses, and the replicated read-only env (space name, τ ladder,
+	// the full input partition).
+	frameSPMDSetup = 9
+	// frameSPMDSetupOK (worker → coordinator) accepts it; empty body.
+	frameSPMDSetupOK = 10
+	// frameSPMDConnect (coordinator → worker) tells the worker to dial
+	// its peer mesh: session id. Sent only after every worker in the
+	// session answered setupOK, so a peer hello never races session
+	// creation.
+	frameSPMDConnect = 11
+	// frameSPMDConnectOK (worker → coordinator); empty body.
+	frameSPMDConnectOK = 12
+	// frameSPMDRun (coordinator → worker) executes one registered
+	// superstep against worker-held state: session id, staged-message
+	// outcome, Local flag, round tag, superstep name, per-round scalars.
+	frameSPMDRun = 13
+	// frameSPMDRunOK (worker → coordinator) returns the group's
+	// accounting: shard words, memory high-water, receive vector,
+	// per-machine reports, yields.
+	frameSPMDRunOK = 14
+	// frameSPMDPush (coordinator → worker) ships the group's machine
+	// state (RNG positions, pending mailboxes) on a driver → worker
+	// residency transition.
+	frameSPMDPush = 15
+	// frameSPMDPushOK (worker → coordinator); empty body.
+	frameSPMDPushOK = 16
+	// frameSPMDSync (coordinator → worker) resolves staged messages and
+	// requests the group's machine state back (worker → driver
+	// transition): session id, staged-message outcome.
+	frameSPMDSync = 17
+	// frameSPMDSyncOK (worker → coordinator): the group's machine state.
+	frameSPMDSyncOK = 18
+	// frameSPMDEnd (coordinator → worker) tears the session down:
+	// session id.
+	frameSPMDEnd = 19
+	// frameSPMDEndOK (worker → coordinator); empty body.
+	frameSPMDEndOK = 20
+	// framePeerHello (worker → worker) opens one direction of the peer
+	// mesh: session id, source group index.
+	framePeerHello = 21
+	// framePeerHelloOK (worker → worker); empty body.
+	framePeerHelloOK = 22
+	// framePeerShard (worker → worker) carries one round's cross-group
+	// messages; the body layout is exactly frameExchange's
+	// (u32 round | u32 msgCount | messages), decoded by the same path.
+	framePeerShard = 23
 )
 
 // DefaultMaxFrameBytes caps one frame's body. A frame holds one round's
@@ -101,7 +154,7 @@ func parseFrameHeader(hdr []byte, maxBody uint32) (typ byte, bodyLen uint32, err
 		return 0, 0, fmt.Errorf("%w: protocol version %d, want %d", ErrFrame, hdr[2], ProtoVersion)
 	}
 	typ = hdr[3]
-	if typ < frameHello || typ > frameGoodbye {
+	if typ < frameHello || typ > framePeerShard {
 		return 0, 0, fmt.Errorf("%w: unknown frame type %d", ErrFrame, typ)
 	}
 	bodyLen = binary.BigEndian.Uint32(hdr[4:])

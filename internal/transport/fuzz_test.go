@@ -4,7 +4,9 @@ import (
 	"bytes"
 	"testing"
 
+	"parclust/internal/metric"
 	"parclust/internal/mpc"
+	"parclust/internal/rng"
 )
 
 // FuzzFrameDecode feeds arbitrary bytes through the frame reader and,
@@ -29,6 +31,39 @@ func FuzzFrameDecode(f *testing.F) {
 	f.Add(appendFrameHeader(nil, frameGoodbye, 0))
 	f.Add([]byte{'p', 'c', ProtoVersion, frameExchange, 0xFF, 0xFF, 0xFF, 0xFF})
 	f.Add([]byte{'p', 'c', 99, frameHello, 0, 0, 0, 0})
+	// …and well-formed SPMD control-plane frames so the fuzzer starts
+	// inside the session codec's happy paths (frame types 9–23).
+	setup := appendSPMDSetup(nil, &spmdSetupMsg{
+		ID: "0123456789abcdef", M: 2, Self: 0,
+		Groups: []Group{{Lo: 0, Hi: 2}}, Addrs: []string{"a:1"},
+		SpaceName: "l2", Thresholds: []float64{1, 2},
+		Parts: [][]metric.Point{{{1, 2}}, nil}, IDs: [][]int{{5}, nil},
+	})
+	f.Add(append(appendFrameHeader(nil, frameSPMDSetup, len(setup)), setup...))
+	run := appendSPMDRun(nil, "0123456789abcdef", 3,
+		&mpc.SPMDRun{Name: "degree/count", Prev: mpc.SPMDPrevCommit, I: []int{1}, F: []float64{0.5}})
+	f.Add(append(appendFrameHeader(nil, frameSPMDRun, len(run)), run...))
+	reply, err := appendSPMDRunReply(nil, &spmdRunReplyMsg{
+		ShardWords: 2, MemoryWords: 64, Recv: []int64{1, 0},
+		Reports: []mpc.SPMDMachineReport{{SentWords: 2, SentAny: true, DistinctDsts: 1}},
+		Yields:  []mpc.Yield{{Machine: 1, Payload: mpc.Ints{7}}},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(append(appendFrameHeader(nil, frameSPMDRunOK, len(reply)), reply...))
+	states, err := appendSPMDStates([]byte("0123456789abcdef"), 0,
+		[]rng.State{{S: 1, Gamma: 3}, {S: 2, Gamma: 5, HaveGauss: true, Gauss: 0.5}},
+		[][]mpc.Message{{{From: 1, Payload: mpc.Float(1.5)}}, nil})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(append(appendFrameHeader(nil, frameSPMDPush, len(states)), states...))
+	sync := append([]byte("0123456789abcdef"), mpc.SPMDPrevAbort)
+	f.Add(append(appendFrameHeader(nil, frameSPMDSync, len(sync)), sync...))
+	peerHello := appendU32([]byte("0123456789abcdef"), 1)
+	f.Add(append(appendFrameHeader(nil, framePeerHello, len(peerHello)), peerHello...))
+	f.Add(append(appendFrameHeader(nil, framePeerShard, len(body)), body...))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		const frameCap = 1 << 16 // small cap so the fuzzer cannot make us allocate much
@@ -39,7 +74,8 @@ func FuzzFrameDecode(f *testing.F) {
 		if uint32(len(body)) > frameCap {
 			t.Fatalf("frame body %d bytes exceeds cap %d", len(body), frameCap)
 		}
-		if typ == frameExchange || typ == frameExchangeOK {
+		switch typ {
+		case frameExchange, frameExchangeOK, framePeerShard:
 			raw := body
 			if typ == frameExchangeOK {
 				d := &decoder{b: raw}
@@ -60,6 +96,68 @@ func FuzzFrameDecode(f *testing.F) {
 			if err == nil && words < 0 {
 				t.Fatalf("negative word total %d", words)
 			}
+		case frameSPMDSetup:
+			msg, err := decodeSPMDSetup(body)
+			if err != nil {
+				return
+			}
+			// Canonical: whatever survives validation re-encodes to the
+			// exact frame body (the SPMD worker relies on this to account
+			// control bytes symmetrically with the coordinator).
+			if re := appendSPMDSetup(nil, msg); !bytes.Equal(re, body) {
+				t.Fatalf("spmd setup decode/encode not canonical:\n in  %x\n out %x", body, re)
+			}
+		case frameSPMDRun:
+			id, round, req, err := decodeSPMDRun(body)
+			if err != nil {
+				return
+			}
+			if re := appendSPMDRun(nil, id, round, req); !bytes.Equal(re, body) {
+				t.Fatalf("spmd run decode/encode not canonical:\n in  %x\n out %x", body, re)
+			}
+		case frameSPMDRunOK:
+			msg, err := decodeSPMDRunReply(body, 16)
+			if err != nil {
+				return
+			}
+			re, err := appendSPMDRunReply(nil, msg)
+			if err != nil {
+				t.Fatalf("re-encoding decoded runOK: %v", err)
+			}
+			if !bytes.Equal(re, body) {
+				t.Fatalf("spmd runOK decode/encode not canonical:\n in  %x\n out %x", body, re)
+			}
+		case frameSPMDPush, frameSPMDSyncOK:
+			d := &decoder{b: body}
+			var prefix []byte
+			if typ == frameSPMDPush {
+				prefix = []byte(d.sessionID())
+			}
+			const m, lo, hi = 4, 1, 3
+			sts, pending := d.spmdStates(m, lo, hi)
+			d.trailing("spmd states")
+			if d.err != nil {
+				return
+			}
+			re, err := appendSPMDStates(prefix, lo, sts, pending)
+			if err != nil {
+				t.Fatalf("re-encoding decoded states: %v", err)
+			}
+			if !bytes.Equal(re, body) {
+				t.Fatalf("spmd states decode/encode not canonical:\n in  %x\n out %x", body, re)
+			}
+		case frameSPMDConnect, frameSPMDEnd, frameSPMDSync, framePeerHello:
+			d := &decoder{b: body}
+			d.sessionID()
+			if typ == frameSPMDSync {
+				if prev := d.u8(); d.err == nil && prev > mpc.SPMDPrevAbort {
+					return // the server rejects this; nothing to re-encode
+				}
+			}
+			if typ == framePeerHello {
+				d.u32()
+			}
+			d.trailing("spmd control")
 		}
 	})
 }

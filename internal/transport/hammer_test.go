@@ -1,0 +1,220 @@
+package transport
+
+// The redial-and-resend race hammer. The reconnect tests above sever
+// connections between rounds, with the client idle; this suite cuts
+// them MID-exchange, while the per-worker goroutines are blocked in
+// writeFrame/readFrame, by fronting each worker with a chaos proxy that
+// keeps killing whatever it is relaying. The client must keep retrying
+// (fresh dial + resend, rounds are idempotent on stateless workers)
+// until the round lands, and the final sums must still be byte-exact
+// against the in-process baseline. Run under -race this also pins that
+// concurrent conn teardown against in-flight I/O is data-race-free.
+
+import (
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"parclust/internal/mpc"
+)
+
+// chaosProxy relays TCP between the client and one worker while letting
+// the test kill every live relayed connection at any moment.
+type chaosProxy struct {
+	addr string
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+}
+
+// startChaosProxy listens on an ephemeral port and relays to backend.
+func startChaosProxy(t *testing.T, backend string) *chaosProxy {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	p := &chaosProxy{addr: ln.Addr().String(), conns: map[net.Conn]struct{}{}}
+	go func() {
+		for {
+			in, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			out, err := net.Dial("tcp", backend)
+			if err != nil {
+				in.Close()
+				continue
+			}
+			p.track(in)
+			p.track(out)
+			relay := func(dst, src net.Conn) {
+				io.Copy(dst, src)
+				dst.Close()
+				src.Close()
+				p.untrack(dst)
+				p.untrack(src)
+			}
+			go relay(out, in)
+			go relay(in, out)
+		}
+	}()
+	return p
+}
+
+func (p *chaosProxy) track(c net.Conn) {
+	p.mu.Lock()
+	p.conns[c] = struct{}{}
+	p.mu.Unlock()
+}
+
+func (p *chaosProxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+// sever closes every connection the proxy is currently relaying —
+// including ones with a request or reply frame in flight — and returns
+// how many it cut.
+func (p *chaosProxy) sever() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for c := range p.conns {
+		c.Close()
+	}
+	n := len(p.conns)
+	for c := range p.conns {
+		delete(p.conns, c)
+	}
+	return n
+}
+
+// TestClientRedialUnderMidExchangeSever is the race hammer: a workload
+// of rounds runs while a chaos goroutine keeps cutting the proxied
+// connections under the in-flight per-worker exchanges. With a retry
+// budget sized for the chaos rate, every round must eventually land and
+// the result must match the in-process run exactly.
+func TestClientRedialUnderMidExchangeSever(t *testing.T) {
+	const m, rounds = 6, 40
+	ref := runRing(t, mpc.NewCluster(m, 71), rounds)
+
+	addrs, _ := startWorkers(t, 3)
+	proxied := make([]string, len(addrs))
+	proxies := make([]*chaosProxy, len(addrs))
+	for i, a := range addrs {
+		proxies[i] = startChaosProxy(t, a)
+		proxied[i] = proxies[i].addr
+	}
+	cl, err := Dial(DialConfig{Workers: proxied, Machines: m, Retries: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	cut := 0
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// Rotate through the proxies so cuts land on different
+			// workers of the same round; the tiny sleep keeps the cut
+			// rate high relative to round duration so many land while a
+			// frame is in flight.
+			cut += proxies[i%len(proxies)].sever()
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	c := mpc.NewCluster(m, 71, mpc.WithTransport(cl))
+	got := runRing(t, c, rounds)
+	close(stop)
+	wg.Wait()
+
+	for i := range ref {
+		if got[i] != ref[i] {
+			t.Fatalf("machine %d: sum %v under chaos, want %v", i, got[i], ref[i])
+		}
+	}
+	st := cl.Stats()
+	if st.Exchanges != rounds {
+		t.Fatalf("%d exchanges recorded, want %d", st.Exchanges, rounds)
+	}
+	if cut == 0 {
+		t.Fatal("the chaos goroutine never cut a connection — the hammer did not hammer")
+	}
+	if st.Retries == 0 || st.Reconnects == 0 {
+		t.Logf("chaos cut %d conns but the client never retried (retries=%d reconnects=%d); timing was too kind — still a valid parity run",
+			cut, st.Retries, st.Reconnects)
+	}
+}
+
+// TestClientRedialChaosWithConcurrentForks layers fork-shared use on the
+// hammer: two forked shadow clusters interleave rounds over one chaotic
+// Client (Exchange serializes them), and both must match their
+// in-process twins.
+func TestClientRedialChaosWithConcurrentForks(t *testing.T) {
+	const m, rounds = 4, 12
+	refA := runRing(t, mpc.NewCluster(m, 81).Fork(1), rounds)
+	refB := runRing(t, mpc.NewCluster(m, 81).Fork(2), rounds)
+
+	addrs, _ := startWorkers(t, 2)
+	proxies := make([]*chaosProxy, len(addrs))
+	proxied := make([]string, len(addrs))
+	for i, a := range addrs {
+		proxies[i] = startChaosProxy(t, a)
+		proxied[i] = proxies[i].addr
+	}
+	cl, err := Dial(DialConfig{Workers: proxied, Machines: m, Retries: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			proxies[i%len(proxies)].sever()
+			time.Sleep(300 * time.Microsecond)
+		}
+	}()
+
+	parent := mpc.NewCluster(m, 81, mpc.WithTransport(cl))
+	forkA, forkB := parent.Fork(1), parent.Fork(2)
+	var fw sync.WaitGroup
+	gotA := make([]float64, 0)
+	gotB := make([]float64, 0)
+	fw.Add(2)
+	go func() { defer fw.Done(); gotA = runRing(t, forkA, rounds) }()
+	go func() { defer fw.Done(); gotB = runRing(t, forkB, rounds) }()
+	fw.Wait()
+	close(stop)
+	wg.Wait()
+
+	for i := range refA {
+		if gotA[i] != refA[i] {
+			t.Fatalf("fork 1 machine %d: sum %v under chaos, want %v", i, gotA[i], refA[i])
+		}
+		if gotB[i] != refB[i] {
+			t.Fatalf("fork 2 machine %d: sum %v under chaos, want %v", i, gotB[i], refB[i])
+		}
+	}
+}

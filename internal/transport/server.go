@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sync"
 	"sync/atomic"
 
 	"parclust/internal/mpc"
@@ -57,6 +58,12 @@ type Server struct {
 	sessions, rounds, frames atomic.Int64
 	bytesIn, bytesOut        atomic.Int64
 	words                    atomic.Int64
+
+	// spmd routes live SPMD sessions by their coordinator-chosen id, so
+	// peer-mesh connections from other workers can find the replica
+	// their shards belong to (spmd_server.go).
+	spmdMu sync.Mutex
+	spmd   map[string]*spmdWorkerSession
 }
 
 // NewServer returns a worker with the given configuration.
@@ -101,21 +108,40 @@ func (s *Server) Serve(ln net.Listener) error {
 	}
 }
 
-// session speaks the worker protocol on one connection: hello
-// handshake, then exchange/stats frames until goodbye or EOF. Protocol
-// violations answer with a frameError and close the session; the
-// coordinator surfaces them as mpc.ErrTransport.
+// session speaks the worker protocol on one connection. A coordinator
+// connection runs hello handshake, then exchange/stats/SPMD frames until
+// goodbye or EOF; a connection opening with a peer hello is the inbound
+// half of another worker's SPMD shard mesh and is handed to servePeer.
+// Protocol violations answer with a frameError and close the session;
+// the coordinator surfaces them as mpc.ErrTransport. SPMD sessions
+// created on a coordinator connection die with it.
 func (s *Server) session(conn net.Conn) {
 	defer conn.Close()
 	s.sessions.Add(1)
 	peer := conn.RemoteAddr()
 
-	m, grp, err := s.handshake(conn)
+	firstTyp, firstBody, err := readFrame(conn, s.cfg.MaxFrameBytes)
+	if err != nil {
+		s.logf("session %v: first frame: %v", peer, err)
+		return
+	}
+	if firstTyp == framePeerHello {
+		s.servePeer(conn, firstBody)
+		return
+	}
+	m, grp, err := s.handshake(conn, firstTyp, firstBody)
 	if err != nil {
 		s.logf("session %v: handshake: %v", peer, err)
 		return
 	}
 	s.logf("session %v: open (machines=%d group=[%d,%d))", peer, m, grp.Lo, grp.Hi)
+
+	var owned []string
+	defer func() {
+		for _, id := range owned {
+			s.spmdDrop(id)
+		}
+	}()
 
 	for {
 		typ, body, err := readFrame(conn, s.cfg.MaxFrameBytes)
@@ -144,6 +170,50 @@ func (s *Server) session(conn net.Conn) {
 			if err := writeFrame(conn, frameStatsOK, resp); err != nil {
 				return
 			}
+		case frameSPMDSetup:
+			id, err := s.serveSPMDSetup(conn, body)
+			if err != nil {
+				s.logf("session %v: spmd setup: %v", peer, err)
+				s.fail(conn, err)
+				return
+			}
+			owned = append(owned, id)
+		case frameSPMDConnect:
+			if err := s.serveSPMDConnect(conn, body); err != nil {
+				s.logf("session %v: spmd connect: %v", peer, err)
+				s.fail(conn, err)
+				return
+			}
+		case frameSPMDRun:
+			if err := s.serveSPMDRun(conn, body); err != nil {
+				s.logf("session %v: spmd run: %v", peer, err)
+				s.fail(conn, err)
+				return
+			}
+		case frameSPMDPush:
+			if err := s.serveSPMDPush(conn, body); err != nil {
+				s.logf("session %v: spmd push: %v", peer, err)
+				s.fail(conn, err)
+				return
+			}
+		case frameSPMDSync:
+			if err := s.serveSPMDSync(conn, body); err != nil {
+				s.logf("session %v: spmd sync: %v", peer, err)
+				s.fail(conn, err)
+				return
+			}
+		case frameSPMDEnd:
+			d := &decoder{b: body}
+			id := d.sessionID()
+			d.trailing("spmd end")
+			if d.err != nil {
+				s.fail(conn, d.err)
+				return
+			}
+			s.spmdDrop(id)
+			if err := s.reply(conn, frameSPMDEndOK, nil); err != nil {
+				return
+			}
 		case frameGoodbye:
 			s.logf("session %v: closed", peer)
 			return
@@ -154,13 +224,9 @@ func (s *Server) session(conn net.Conn) {
 	}
 }
 
-// handshake validates the hello frame and answers with the worker's
-// frame cap.
-func (s *Server) handshake(conn net.Conn) (m int, grp Group, err error) {
-	typ, body, err := readFrame(conn, s.cfg.MaxFrameBytes)
-	if err != nil {
-		return 0, Group{}, err
-	}
+// handshake validates the already-read hello frame and answers with the
+// worker's frame cap.
+func (s *Server) handshake(conn net.Conn, typ byte, body []byte) (m int, grp Group, err error) {
 	if typ != frameHello {
 		err := fmt.Errorf("first frame type %d, want hello", typ)
 		s.fail(conn, err)

@@ -1,0 +1,292 @@
+package transport
+
+// Coordinator-side SPMD sessions: Client implements mpc.SPMDTransport,
+// so a cluster built WithSPMD over this backend executes registered
+// supersteps inside the kclusterd workers that hold the machine
+// partitions. Per round the coordinator link carries one small control
+// frame per worker (superstep name, round tag, per-round scalars) and
+// the workers' accounting replies; the round's payload traffic moves
+// worker-to-worker over the peer mesh. Unlike Exchange, session calls do
+// not redial: worker-held state dies with its connection, so a lost
+// connection mid-session is a hard mpc.ErrTransport, not a retry
+// (docs/TRANSPORT.md, "Failure handling").
+
+import (
+	"crypto/rand"
+	"fmt"
+
+	"parclust/internal/mpc"
+	"parclust/internal/rng"
+)
+
+// spmdClientSession is a live SPMD session from the coordinator's side.
+type spmdClientSession struct {
+	c     *Client
+	id    string
+	round uint32
+	// pendingCtrl accrues the control-plane words of setup/push/sync
+	// calls between rounds; the next Run folds them into its reply so no
+	// coordinator-link traffic escapes the per-round split.
+	pendingCtrl int64
+	closed      bool
+}
+
+// ctrlWords converts coordinator-link frame bytes to whole words.
+func ctrlWords(bytes int64) int64 { return (bytes + 7) / 8 }
+
+// SPMDSetup creates a worker-side session for the cluster described by
+// setup and returns it. The setup phase ships each worker the session
+// geometry and the replicated read-only env once; a second connect pass
+// (sent only after every worker acknowledged the session) has the
+// workers dial their peer mesh.
+func (c *Client) SPMDSetup(setup *mpc.SPMDSetup) (mpc.SPMDSession, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if setup.M != c.m {
+		return nil, fmt.Errorf("spmd setup for %d machines on a %d-machine transport", setup.M, c.m)
+	}
+	idBytes := make([]byte, spmdIDLen)
+	if _, err := rand.Read(idBytes); err != nil {
+		return nil, fmt.Errorf("spmd session id: %w", err)
+	}
+	id := string(idBytes)
+
+	groups := make([]Group, len(c.workers))
+	for w, wc := range c.workers {
+		groups[w] = wc.group
+	}
+	bodies := make([][]byte, len(c.workers))
+	for w := range c.workers {
+		bodies[w] = appendSPMDSetup(nil, &spmdSetupMsg{
+			ID:         id,
+			M:          setup.M,
+			Self:       w,
+			Groups:     groups,
+			Addrs:      c.cfg.Workers,
+			SpaceName:  setup.SpaceName,
+			Thresholds: setup.Thresholds,
+			Parts:      setup.Parts,
+			IDs:        setup.IDs,
+		})
+	}
+	sess := &spmdClientSession{c: c, id: id}
+	_, setupBytes, err := c.spmdCall(frameSPMDSetup, frameSPMDSetupOK, bodies)
+	if err != nil {
+		return nil, err
+	}
+	connectBody := []byte(id)
+	_, connectBytes, err := c.spmdCall(frameSPMDConnect, frameSPMDConnectOK, c.sameBody(connectBody))
+	if err != nil {
+		return nil, err
+	}
+	sess.pendingCtrl = ctrlWords(setupBytes) + ctrlWords(connectBytes)
+	return sess, nil
+}
+
+// sameBody builds a per-worker body vector whose entries all alias body.
+func (c *Client) sameBody(body []byte) [][]byte {
+	bodies := make([][]byte, len(c.workers))
+	for w := range bodies {
+		bodies[w] = body
+	}
+	return bodies
+}
+
+// spmdCall performs one request/response pair with every worker
+// concurrently, with no retry: a failed worker call closes that
+// connection (abandoning the worker's session state) and fails the
+// call. It returns the reply bodies and the total coordinator-link
+// bytes (headers included, both directions). Callers hold c.mu.
+func (c *Client) spmdCall(reqType, wantType byte, bodies [][]byte) ([][]byte, int64, error) {
+	type result struct {
+		body  []byte
+		bytes int64
+		err   error
+	}
+	results := make([]result, len(c.workers))
+	done := make(chan int, len(c.workers))
+	for w := range c.workers {
+		go func(w int, wc *workerConn) {
+			defer func() { done <- w }()
+			res := &results[w]
+			if wc.conn == nil {
+				res.err = fmt.Errorf("worker %s: connection lost (SPMD sessions do not redial)", wc.addr)
+				return
+			}
+			res.bytes = int64(headerLen + len(bodies[w]))
+			if err := writeFrame(wc.conn, reqType, bodies[w]); err != nil {
+				res.err = fmt.Errorf("worker %s: %w", wc.addr, err)
+				return
+			}
+			typ, body, err := readFrame(wc.conn, wc.maxFrame)
+			if err != nil {
+				res.err = fmt.Errorf("worker %s: %w", wc.addr, err)
+				return
+			}
+			res.bytes += int64(headerLen + len(body))
+			switch {
+			case typ == frameError:
+				res.err = fmt.Errorf("worker %s: %s", wc.addr, body)
+			case typ != wantType:
+				res.err = fmt.Errorf("worker %s: frame type %d, want %d", wc.addr, typ, wantType)
+			default:
+				res.body = body
+			}
+		}(w, c.workers[w])
+	}
+	for range c.workers {
+		<-done
+	}
+	var firstErr error
+	var totalBytes int64
+	out := make([][]byte, len(c.workers))
+	for w := range results {
+		res := &results[w]
+		c.stats.FramesSent++
+		c.stats.BytesSent += int64(len(bodies[w]))
+		c.stats.BytesRecv += int64(len(res.body))
+		totalBytes += res.bytes
+		out[w] = res.body
+		if res.err != nil {
+			// The worker's session state is unrecoverable: kill the
+			// connection so a later coordinator-compute Exchange starts
+			// from a clean redial.
+			if wc := c.workers[w]; wc.conn != nil {
+				wc.conn.Close()
+				wc.conn = nil
+			}
+			if firstErr == nil {
+				firstErr = res.err
+			}
+		}
+	}
+	if firstErr != nil {
+		return nil, totalBytes, firstErr
+	}
+	return out, totalBytes, nil
+}
+
+// Run executes one registered superstep worker-side and merges the
+// workers' accounting into the coordinator's reply.
+func (s *spmdClientSession) Run(req *mpc.SPMDRun) (*mpc.SPMDReply, error) {
+	c := s.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("spmd session is closed")
+	}
+	round := s.round
+	s.round++
+	body := appendSPMDRun(nil, s.id, round, req)
+	replies, bytes, err := c.spmdCall(frameSPMDRun, frameSPMDRunOK, c.sameBody(body))
+	if err != nil {
+		return nil, err
+	}
+	out := &mpc.SPMDReply{
+		Machines:      make([]mpc.SPMDMachineReport, c.m),
+		Recv:          make([]int64, c.m),
+		WireCtrlWords: ctrlWords(bytes) + s.pendingCtrl,
+	}
+	s.pendingCtrl = 0
+	for w, wc := range c.workers {
+		msg, err := decodeSPMDRunReply(replies[w], c.m)
+		if err != nil {
+			return nil, fmt.Errorf("worker %s: %w", wc.addr, err)
+		}
+		g := wc.group
+		if len(msg.Reports) != g.Size() {
+			return nil, fmt.Errorf("worker %s: %d reports for group [%d,%d)", wc.addr, len(msg.Reports), g.Lo, g.Hi)
+		}
+		if len(msg.Recv) != 0 && len(msg.Recv) != c.m {
+			return nil, fmt.Errorf("worker %s: recv vector of %d entries, want %d", wc.addr, len(msg.Recv), c.m)
+		}
+		copy(out.Machines[g.Lo:g.Hi], msg.Reports)
+		for i, v := range msg.Recv {
+			out.Recv[i] += v
+		}
+		if msg.MemoryWords > out.MemoryWords {
+			out.MemoryWords = msg.MemoryWords
+		}
+		// Workers are visited in ascending group order and yields are
+		// ascending within a group, so appending keeps the cluster-wide
+		// ascending order RunStep promises.
+		out.Yields = append(out.Yields, msg.Yields...)
+		out.WireDataWords += msg.ShardWords
+	}
+	return out, nil
+}
+
+// Push ships machine state to the workers, each receiving its group's
+// slice.
+func (s *spmdClientSession) Push(st *mpc.SPMDState) error {
+	c := s.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("spmd session is closed")
+	}
+	if len(st.RNG) != c.m || len(st.Pending) != c.m {
+		return fmt.Errorf("spmd push covers %d/%d machines, want %d", len(st.RNG), len(st.Pending), c.m)
+	}
+	bodies := make([][]byte, len(c.workers))
+	for w, wc := range c.workers {
+		g := wc.group
+		b, err := appendSPMDStates([]byte(s.id), g.Lo, st.RNG[g.Lo:g.Hi], st.Pending[g.Lo:g.Hi])
+		if err != nil {
+			return err
+		}
+		bodies[w] = b
+	}
+	_, bytes, err := c.spmdCall(frameSPMDPush, frameSPMDPushOK, bodies)
+	s.pendingCtrl += ctrlWords(bytes)
+	return err
+}
+
+// Sync resolves the staged messages and pulls the full machine state
+// back from the workers.
+func (s *spmdClientSession) Sync(prev byte) (*mpc.SPMDState, error) {
+	c := s.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("spmd session is closed")
+	}
+	body := append([]byte(s.id), prev)
+	replies, bytes, err := c.spmdCall(frameSPMDSync, frameSPMDSyncOK, c.sameBody(body))
+	s.pendingCtrl += ctrlWords(bytes)
+	if err != nil {
+		return nil, err
+	}
+	st := &mpc.SPMDState{
+		RNG:     make([]rng.State, c.m),
+		Pending: make([][]mpc.Message, c.m),
+	}
+	for w, wc := range c.workers {
+		g := wc.group
+		d := &decoder{b: replies[w]}
+		sts, pending := d.spmdStates(c.m, g.Lo, g.Hi)
+		d.trailing("spmd syncOK")
+		if d.err != nil {
+			return nil, fmt.Errorf("worker %s: %w", wc.addr, d.err)
+		}
+		copy(st.RNG[g.Lo:g.Hi], sts)
+		copy(st.Pending[g.Lo:g.Hi], pending)
+	}
+	return st, nil
+}
+
+// Close tears the worker-side sessions down. Best-effort: a worker that
+// is already unreachable has no session state left to free, so its
+// failure only kills the connection (forcing a clean redial later) and
+// is not reported.
+func (s *spmdClientSession) Close() error {
+	c := s.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	_, _, _ = c.spmdCall(frameSPMDEnd, frameSPMDEndOK, c.sameBody([]byte(s.id)))
+	return nil
+}

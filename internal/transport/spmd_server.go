@@ -1,0 +1,529 @@
+package transport
+
+// Worker-side SPMD sessions: the Server half of SPMD superstep
+// execution (docs/TRANSPORT.md, "SPMD supersteps"). A session hosts an
+// mpc.Replica for one machine group of one cluster, executes registered
+// superstep bodies against the group's held state, and moves cross-group
+// messages directly between workers over a peer mesh — the coordinator
+// link carries only control frames. Sessions are keyed by the
+// coordinator-chosen 16-byte id so peer shard traffic can be routed to
+// the right replica; each session is owned by the coordinator connection
+// that set it up and is torn down with it.
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"parclust/internal/instance"
+	"parclust/internal/mpc"
+	"parclust/internal/probe"
+	"parclust/internal/rng"
+)
+
+// spmdPeerWait bounds how long a superstep waits for the round's shards
+// from every peer worker before failing the session: peers are driven by
+// the same coordinator, so anything past this is a wedged or dead fleet.
+const spmdPeerWait = 30 * time.Second
+
+// peerMsg is one staged cross-group message: the destination machine and
+// the sender-tagged payload.
+type peerMsg struct {
+	dst int
+	msg mpc.Message
+}
+
+// spmdWorkerSession is one worker's half of an SPMD session.
+type spmdWorkerSession struct {
+	id       string
+	m        int
+	self     int
+	groups   []Group
+	addrs    []string
+	dstOwner []int // machine id -> owning group index
+	rep      *mpc.Replica
+
+	// peers[g] is this worker's outbound shard connection to group g's
+	// worker (nil for self), dialed on frameSPMDConnect. Only the
+	// coordinator-connection goroutine writes to them: the coordinator
+	// serializes runs, so no lock is needed.
+	peers []net.Conn
+
+	// mu guards the inbound shard staging written by the peer-serving
+	// goroutines and read by the run handler; cond signals arrivals.
+	mu      sync.Mutex
+	cond    *sync.Cond
+	inbound map[uint32]map[int][]peerMsg // round -> source group -> shards
+	dead    bool
+}
+
+func (ws *spmdWorkerSession) group() Group { return ws.groups[ws.self] }
+
+// deliverShards stages one peer's shard set for one round, waking any
+// waiting run handler. A duplicate (round, group) delivery is a protocol
+// violation.
+func (ws *spmdWorkerSession) deliverShards(round uint32, srcGroup int, shards []peerMsg) error {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	if ws.dead {
+		return fmt.Errorf("spmd session %x is closed", ws.id)
+	}
+	byGroup := ws.inbound[round]
+	if byGroup == nil {
+		byGroup = make(map[int][]peerMsg)
+		ws.inbound[round] = byGroup
+	}
+	if _, dup := byGroup[srcGroup]; dup {
+		return fmt.Errorf("duplicate shard delivery for round %d from group %d", round, srcGroup)
+	}
+	byGroup[srcGroup] = shards
+	ws.cond.Broadcast()
+	return nil
+}
+
+// awaitShards blocks until every peer group's shard set for round has
+// arrived, then claims and returns them.
+func (ws *spmdWorkerSession) awaitShards(round uint32) (map[int][]peerMsg, error) {
+	deadline := time.Now().Add(spmdPeerWait)
+	timer := time.AfterFunc(spmdPeerWait, func() {
+		ws.mu.Lock()
+		ws.cond.Broadcast()
+		ws.mu.Unlock()
+	})
+	defer timer.Stop()
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	for {
+		if ws.dead {
+			return nil, fmt.Errorf("spmd session %x closed while waiting for round %d shards", ws.id, round)
+		}
+		if byGroup := ws.inbound[round]; len(byGroup) == len(ws.groups)-1 {
+			delete(ws.inbound, round)
+			return byGroup, nil
+		}
+		if time.Now().After(deadline) {
+			got := len(ws.inbound[round])
+			return nil, fmt.Errorf("round %d shards: %d/%d peer groups after %v", round, got, len(ws.groups)-1, spmdPeerWait)
+		}
+		ws.cond.Wait()
+	}
+}
+
+// teardown closes the session's outbound peer connections and wakes any
+// waiters. Idempotent.
+func (ws *spmdWorkerSession) teardown() {
+	ws.mu.Lock()
+	if ws.dead {
+		ws.mu.Unlock()
+		return
+	}
+	ws.dead = true
+	ws.cond.Broadcast()
+	ws.mu.Unlock()
+	for _, conn := range ws.peers {
+		if conn != nil {
+			conn.Close()
+		}
+	}
+}
+
+// spmdRegister adds a session to the server's routing table.
+func (s *Server) spmdRegister(ws *spmdWorkerSession) error {
+	s.spmdMu.Lock()
+	defer s.spmdMu.Unlock()
+	if s.spmd == nil {
+		s.spmd = make(map[string]*spmdWorkerSession)
+	}
+	if _, dup := s.spmd[ws.id]; dup {
+		return fmt.Errorf("spmd session %x already exists", ws.id)
+	}
+	s.spmd[ws.id] = ws
+	return nil
+}
+
+// spmdLookup resolves a session id, or nil.
+func (s *Server) spmdLookup(id string) *spmdWorkerSession {
+	s.spmdMu.Lock()
+	defer s.spmdMu.Unlock()
+	return s.spmd[id]
+}
+
+// spmdDrop tears a session down and removes it from the routing table.
+// Idempotent — both frameSPMDEnd and the owning connection's exit call
+// it.
+func (s *Server) spmdDrop(id string) {
+	s.spmdMu.Lock()
+	ws := s.spmd[id]
+	delete(s.spmd, id)
+	s.spmdMu.Unlock()
+	if ws != nil {
+		ws.teardown()
+	}
+}
+
+// serveSPMDSetup creates a session from a frameSPMDSetup body: resolve
+// the metric space, rebuild the replicated env (including this process's
+// own probe context — the probe contract makes a worker-built context,
+// or none, byte-identical to the driver's), and host a replica for this
+// worker's group. Peer dialing waits for frameSPMDConnect.
+func (s *Server) serveSPMDSetup(conn net.Conn, body []byte) (id string, err error) {
+	msg, err := decodeSPMDSetup(body)
+	if err != nil {
+		return "", err
+	}
+	if len(msg.ID) != spmdIDLen {
+		return "", fmt.Errorf("spmd setup: session id of %d bytes", len(msg.ID))
+	}
+	space, ok := mpc.SPMDResolveSpace(msg.SpaceName)
+	if !ok {
+		return "", fmt.Errorf("spmd setup: space %q is not replicable", msg.SpaceName)
+	}
+	env := &mpc.Env{
+		SpaceName:  msg.SpaceName,
+		Space:      space,
+		Parts:      msg.Parts,
+		IDs:        msg.IDs,
+		Thresholds: msg.Thresholds,
+	}
+	in, err := instance.NewWithIDs(space, msg.Parts, msg.IDs)
+	if err != nil {
+		return "", fmt.Errorf("spmd setup: rebuilding instance: %w", err)
+	}
+	env.Key = in
+	env.Local = probe.NewContext(in, probe.Options{Thresholds: msg.Thresholds})
+	grp := msg.Groups[msg.Self]
+	rep, err := mpc.NewReplica(msg.M, grp.Lo, grp.Hi, env)
+	if err != nil {
+		return "", fmt.Errorf("spmd setup: %w", err)
+	}
+	ws := &spmdWorkerSession{
+		id:       msg.ID,
+		m:        msg.M,
+		self:     msg.Self,
+		groups:   msg.Groups,
+		addrs:    msg.Addrs,
+		dstOwner: make([]int, msg.M),
+		rep:      rep,
+		peers:    make([]net.Conn, len(msg.Groups)),
+		inbound:  make(map[uint32]map[int][]peerMsg),
+	}
+	ws.cond = sync.NewCond(&ws.mu)
+	for g, grp := range msg.Groups {
+		for i := grp.Lo; i < grp.Hi; i++ {
+			ws.dstOwner[i] = g
+		}
+	}
+	if err := s.spmdRegister(ws); err != nil {
+		return "", err
+	}
+	if err := s.reply(conn, frameSPMDSetupOK, nil); err != nil {
+		s.spmdDrop(msg.ID)
+		return "", err
+	}
+	return msg.ID, nil
+}
+
+// serveSPMDConnect dials the session's peer mesh. The coordinator sends
+// it only after every worker answered setupOK, so the peer hellos below
+// always find their session.
+func (s *Server) serveSPMDConnect(conn net.Conn, body []byte) error {
+	d := &decoder{b: body}
+	id := d.sessionID()
+	d.trailing("spmd connect")
+	if d.err != nil {
+		return d.err
+	}
+	ws := s.spmdLookup(id)
+	if ws == nil {
+		return fmt.Errorf("spmd connect: unknown session %x", id)
+	}
+	for g := range ws.groups {
+		if g == ws.self || ws.peers[g] != nil {
+			continue
+		}
+		pc, err := net.DialTimeout("tcp", ws.addrs[g], spmdPeerWait)
+		if err != nil {
+			return fmt.Errorf("dialing peer group %d at %s: %w", g, ws.addrs[g], err)
+		}
+		hello := append([]byte(nil), ws.id...)
+		hello = appendU32(hello, uint32(ws.self))
+		if err := writeFrame(pc, framePeerHello, hello); err != nil {
+			pc.Close()
+			return fmt.Errorf("peer group %d hello: %w", g, err)
+		}
+		typ, rbody, err := readFrame(pc, s.cfg.MaxFrameBytes)
+		if err != nil {
+			pc.Close()
+			return fmt.Errorf("peer group %d hello reply: %w", g, err)
+		}
+		if typ == frameError {
+			pc.Close()
+			return fmt.Errorf("peer group %d rejected hello: %s", g, rbody)
+		}
+		if typ != framePeerHelloOK {
+			pc.Close()
+			return fmt.Errorf("peer group %d hello reply: frame type %d, want peerHelloOK", g, typ)
+		}
+		ws.peers[g] = pc
+	}
+	return s.reply(conn, frameSPMDConnectOK, nil)
+}
+
+// serveSPMDPush installs pushed machine state into the session's
+// replica.
+func (s *Server) serveSPMDPush(conn net.Conn, body []byte) error {
+	d := &decoder{b: body}
+	id := d.sessionID()
+	if d.err != nil {
+		return d.err
+	}
+	ws := s.spmdLookup(id)
+	if ws == nil {
+		return fmt.Errorf("spmd push: unknown session %x", id)
+	}
+	grp := ws.group()
+	sts, pending := d.spmdStates(ws.m, grp.Lo, grp.Hi)
+	d.trailing("spmd push")
+	if d.err != nil {
+		return d.err
+	}
+	for i := range sts {
+		if err := ws.rep.SetState(grp.Lo+i, sts[i], pending[i]); err != nil {
+			return err
+		}
+	}
+	return s.reply(conn, frameSPMDPushOK, nil)
+}
+
+// serveSPMDSync resolves staged messages and returns the group's machine
+// state to the coordinator.
+func (s *Server) serveSPMDSync(conn net.Conn, body []byte) error {
+	d := &decoder{b: body}
+	id := d.sessionID()
+	prev := d.u8()
+	d.trailing("spmd sync")
+	if d.err != nil {
+		return d.err
+	}
+	ws := s.spmdLookup(id)
+	if ws == nil {
+		return fmt.Errorf("spmd sync: unknown session %x", id)
+	}
+	if err := applyPrev(ws.rep, prev); err != nil {
+		return err
+	}
+	grp := ws.group()
+	sts := make([]rng.State, grp.Hi-grp.Lo)
+	pending := make([][]mpc.Message, grp.Hi-grp.Lo)
+	for i := range sts {
+		var err error
+		if sts[i], pending[i], err = ws.rep.State(grp.Lo + i); err != nil {
+			return err
+		}
+	}
+	resp, err := appendSPMDStates(nil, grp.Lo, sts, pending)
+	if err != nil {
+		return err
+	}
+	return s.reply(conn, frameSPMDSyncOK, resp)
+}
+
+// applyPrev resolves the previous round's staged messages.
+func applyPrev(rep *mpc.Replica, prev byte) error {
+	switch prev {
+	case mpc.SPMDPrevNone:
+	case mpc.SPMDPrevCommit:
+		rep.CommitStaged()
+	case mpc.SPMDPrevAbort:
+		rep.AbortStaged()
+	default:
+		return fmt.Errorf("staged outcome %d", prev)
+	}
+	return nil
+}
+
+// serveSPMDRun executes one registered superstep against the session's
+// replica: resolve the staged outcome, run the body, ship cross-group
+// messages to peers, stage the next round's mailboxes in ascending
+// source-group order, and answer with the group's accounting.
+func (s *Server) serveSPMDRun(conn net.Conn, body []byte) error {
+	id, round, req, err := decodeSPMDRun(body)
+	if err != nil {
+		return err
+	}
+	ws := s.spmdLookup(id)
+	if ws == nil {
+		return fmt.Errorf("spmd run: unknown session %x", id)
+	}
+	if err := applyPrev(ws.rep, req.Prev); err != nil {
+		return fmt.Errorf("spmd run %q: %w", req.Name, err)
+	}
+	rr, err := ws.rep.RunBody(req.Name, mpc.Args{I: req.I, F: req.F}, req.Local)
+	if err != nil {
+		return fmt.Errorf("spmd run %q: %w", req.Name, err)
+	}
+	reply := &spmdRunReplyMsg{
+		MemoryWords: rr.Mem,
+		Recv:        rr.Recv,
+		Reports:     rr.Acct,
+		Yields:      rr.Yields,
+	}
+	if !req.Local {
+		if err := ws.shipAndStage(round, rr, reply); err != nil {
+			return fmt.Errorf("spmd run %q round %d: %w", req.Name, round, err)
+		}
+	}
+	resp, err := appendSPMDRunReply(nil, reply)
+	if err != nil {
+		return fmt.Errorf("spmd run %q: encoding reply: %w", req.Name, err)
+	}
+	return s.reply(conn, frameSPMDRunOK, resp)
+}
+
+// shipAndStage moves one round's messages: cross-group messages go to
+// the peer mesh (one shard frame per peer, shipped even when empty —
+// the frame is the barrier that tells the peer this group is done
+// sending), then the next round's mailboxes are staged in ascending
+// source-group order, which keeps them sorted by sender because groups
+// are contiguous ascending machine ranges.
+func (ws *spmdWorkerSession) shipAndStage(round uint32, rr *mpc.ReplicaRound, reply *spmdRunReplyMsg) error {
+	// Encode per-peer shard frames. rr.Shards is in ascending sender
+	// order; a single pass bucketed by owner preserves that per group.
+	bodies := make([][]byte, len(ws.groups))
+	counts := make([]uint32, len(ws.groups))
+	for g := range ws.groups {
+		if g == ws.self {
+			continue
+		}
+		b := appendU32(nil, round)
+		bodies[g] = appendU32(b, 0) // msgCount, patched below
+	}
+	for _, sh := range rr.Shards {
+		g := ws.dstOwner[sh.Dst]
+		b, err := appendMessage(bodies[g], sh.Src, sh.Dst, sh.Payload)
+		if err != nil {
+			return err
+		}
+		bodies[g] = b
+		counts[g]++
+		reply.ShardWords += int64(sh.Payload.Words())
+	}
+	for g := range ws.groups {
+		if g == ws.self {
+			continue
+		}
+		b := bodies[g]
+		b[4] = byte(counts[g] >> 24)
+		b[5] = byte(counts[g] >> 16)
+		b[6] = byte(counts[g] >> 8)
+		b[7] = byte(counts[g])
+		if ws.peers[g] == nil {
+			return fmt.Errorf("no peer connection to group %d", g)
+		}
+		if err := writeFrame(ws.peers[g], framePeerShard, b); err != nil {
+			return fmt.Errorf("shipping shard to group %d: %w", g, err)
+		}
+	}
+	var inbound map[int][]peerMsg
+	if len(ws.groups) > 1 {
+		var err error
+		if inbound, err = ws.awaitShards(round); err != nil {
+			return err
+		}
+	}
+	grp := ws.group()
+	for g := range ws.groups {
+		if g == ws.self {
+			for i, msgs := range rr.Local {
+				if len(msgs) == 0 {
+					continue
+				}
+				if err := ws.rep.Stage(grp.Lo+i, msgs); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		for _, pm := range inbound[g] {
+			if err := ws.rep.Stage(pm.dst, []mpc.Message{pm.msg}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// servePeer runs one inbound peer-mesh connection: validate the hello,
+// then stage every shard frame into the session until the dialer closes.
+// Called with the already-read hello body.
+func (s *Server) servePeer(conn net.Conn, body []byte) {
+	peer := conn.RemoteAddr()
+	d := &decoder{b: body}
+	id := d.sessionID()
+	srcGroup := int(d.u32())
+	d.trailing("peer hello")
+	if d.err != nil {
+		s.logf("peer %v: hello: %v", peer, d.err)
+		s.fail(conn, d.err)
+		return
+	}
+	ws := s.spmdLookup(id)
+	if ws == nil {
+		err := fmt.Errorf("peer hello: unknown session %x", id)
+		s.logf("peer %v: %v", peer, err)
+		s.fail(conn, err)
+		return
+	}
+	if srcGroup < 0 || srcGroup >= len(ws.groups) || srcGroup == ws.self {
+		err := fmt.Errorf("peer hello: source group %d invalid for session %x", srcGroup, id)
+		s.logf("peer %v: %v", peer, err)
+		s.fail(conn, err)
+		return
+	}
+	if err := s.reply(conn, framePeerHelloOK, nil); err != nil {
+		return
+	}
+	src := ws.groups[srcGroup]
+	grp := ws.group()
+	for {
+		typ, sbody, err := readFrame(conn, s.cfg.MaxFrameBytes)
+		if err != nil {
+			// EOF here is the dialer tearing the session down.
+			return
+		}
+		s.frames.Add(1)
+		s.bytesIn.Add(int64(len(sbody)))
+		if typ != framePeerShard {
+			s.fail(conn, fmt.Errorf("frame type %d on peer connection, want peerShard", typ))
+			return
+		}
+		var shards []peerMsg
+		round, words, err := decodeExchangeBody(sbody, ws.m, grp.Lo, grp.Hi, func(srcID, dst int, p mpc.Payload) {
+			shards = append(shards, peerMsg{dst: dst, msg: mpc.Message{From: srcID, Payload: p}})
+		})
+		if err == nil {
+			for _, pm := range shards {
+				if pm.msg.From < src.Lo || pm.msg.From >= src.Hi {
+					err = fmt.Errorf("shard sender %d outside group %d = [%d,%d)", pm.msg.From, srcGroup, src.Lo, src.Hi)
+					break
+				}
+			}
+		}
+		if err == nil {
+			s.words.Add(words)
+			err = ws.deliverShards(uint32(round), srcGroup, shards)
+		}
+		if err != nil {
+			s.logf("peer %v: shard: %v", peer, err)
+			s.fail(conn, err)
+			return
+		}
+	}
+}
+
+// reply writes a response frame, counting it into the byte stats.
+func (s *Server) reply(conn net.Conn, typ byte, body []byte) error {
+	s.bytesOut.Add(int64(len(body)))
+	return writeFrame(conn, typ, body)
+}

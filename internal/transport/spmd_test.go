@@ -1,0 +1,251 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"parclust/internal/metric"
+	"parclust/internal/mpc"
+)
+
+// The SPMD test bodies. Registered once per process — both "driver" and
+// "worker" sides of these tests share the process, exactly like the real
+// kclusterd deployment shares the registrations by linking the same
+// packages. The bodies follow the registry contract: everything they
+// touch comes from Env, Bag, Args, Inbox and RNG.
+func init() {
+	mpc.Register("tptest/load", func(mc *mpc.Machine) error {
+		env := mc.Env()
+		bag := mc.Bag()
+		bag["tptest.sum"] = 0.0
+		bag["tptest.n"] = len(env.Parts[mc.ID()])
+		return nil
+	})
+	mpc.Register("tptest/mix", func(mc *mpc.Machine) error {
+		bag := mc.Bag()
+		sum := bag["tptest.sum"].(float64)
+		for _, msg := range mc.Inbox() {
+			if fs, ok := msg.Payload.(mpc.Floats); ok {
+				for _, v := range fs {
+					sum += v
+				}
+			}
+		}
+		sum += mc.RNG.Float64()
+		bag["tptest.sum"] = sum
+		step := mc.Args().I[0]
+		mc.Send((mc.ID()+step)%mc.NumMachines(), mpc.Floats{sum, float64(mc.ID())})
+		mc.SendCentral(mpc.Int(bag["tptest.n"].(int)))
+		mc.NoteMemory(int64(10 + mc.ID()))
+		mc.Yield(mpc.Floats{sum})
+		return nil
+	})
+	mpc.Register("tptest/boom", func(mc *mpc.Machine) error {
+		if mc.ID() == mc.Args().I[0] {
+			return fmt.Errorf("boom on %d", mc.ID())
+		}
+		mc.SendCentral(mpc.Int(1))
+		return nil
+	})
+}
+
+// spmdTestEnv builds a small valid session env over the l2 space.
+func spmdTestEnv(m int) *mpc.Env {
+	parts := make([][]metric.Point, m)
+	ids := make([][]int, m)
+	next := 0
+	for i := range parts {
+		for j := 0; j < 2+i%2; j++ {
+			parts[i] = append(parts[i], metric.Point{float64(i), float64(j)})
+			ids[i] = append(ids[i], next)
+			next++
+		}
+	}
+	return &mpc.Env{
+		Key:       "tptest-env",
+		SpaceName: "l2",
+		Space:     metric.L2{},
+		Parts:     parts,
+		IDs:       ids,
+	}
+}
+
+// runSPMDWorkload drives the mixed registered/closure sequence the
+// parity checks compare: a Local load, registered rounds with
+// cross-group traffic, a closure superstep mid-session (forcing a
+// worker → driver state sync and back), and more registered rounds.
+func runSPMDWorkload(t *testing.T, c *mpc.Cluster) [][]mpc.Yield {
+	t.Helper()
+	if err := c.SetEnv(spmdTestEnv(c.NumMachines())); err != nil {
+		t.Fatal(err)
+	}
+	var all [][]mpc.Yield
+	if _, err := c.RunLocal("tptest/load", mpc.Args{}); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 4; r++ {
+		ys, err := c.RunStep("tptest/mix", mpc.Args{I: []int{1 + r%3}})
+		if err != nil {
+			t.Fatalf("mix round %d: %v", r, err)
+		}
+		all = append(all, ys)
+	}
+	// A closure superstep is SPMD-ineligible: state must sync back to
+	// the driver (delivering the staged messages from the last mix), run
+	// here, then push back for the remaining registered rounds.
+	if err := c.Superstep("tptest/closure", func(mc *mpc.Machine) error {
+		n := 0
+		for _, msg := range mc.Inbox() {
+			n += msg.Payload.Words()
+		}
+		mc.Send((mc.ID()+1)%mc.NumMachines(), mpc.Ints{n, mc.ID()})
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 2; r++ {
+		ys, err := c.RunStep("tptest/mix", mpc.Args{I: []int{2}})
+		if err != nil {
+			t.Fatalf("post-closure mix round %d: %v", r, err)
+		}
+		all = append(all, ys)
+	}
+	return all
+}
+
+// normalizeRounds strips the fields that legitimately differ across
+// backends — wall time, the transport tag, and the wire-traffic split —
+// leaving everything the parity contract pins byte-identical.
+func normalizeRounds(prs []mpc.RoundStats) []mpc.RoundStats {
+	out := append([]mpc.RoundStats(nil), prs...)
+	for i := range out {
+		out[i].WallNanos = 0
+		out[i].Transport = ""
+		out[i].WireDataWords = 0
+		out[i].WireCtrlWords = 0
+	}
+	return out
+}
+
+// TestSPMDMatchesInproc is the transport-level SPMD parity check: the
+// registered-superstep workload run worker-side (machines resident in
+// kclusterd-style servers, coordinator sending only control frames)
+// produces yields and round statistics byte-identical to the in-process
+// coordinator-compute run.
+func TestSPMDMatchesInproc(t *testing.T) {
+	const m, seed = 6, 17
+	ref := mpc.NewCluster(m, seed)
+	refYields := runSPMDWorkload(t, ref)
+	refStats := ref.Stats()
+
+	for _, workers := range []int{1, 2, 3, 6} {
+		addrs, _ := startWorkers(t, workers)
+		cl := dialFleet(t, addrs, m)
+		c := mpc.NewCluster(m, seed, mpc.WithTransport(cl), mpc.WithSPMD())
+		gotYields := runSPMDWorkload(t, c)
+		if err := c.SetEnv(nil); err != nil { // tears the session down
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(gotYields, refYields) {
+			t.Fatalf("workers=%d: SPMD yields diverge from inproc:\n got %v\nwant %v", workers, gotYields, refYields)
+		}
+		gotStats := c.Stats()
+		if gotStats.Rounds != refStats.Rounds || gotStats.TotalWords != refStats.TotalWords ||
+			gotStats.MaxRoundSent != refStats.MaxRoundSent || gotStats.MaxRoundRecv != refStats.MaxRoundRecv ||
+			gotStats.MaxMemoryWords != refStats.MaxMemoryWords {
+			t.Fatalf("workers=%d: SPMD stats totals diverge: got %+v want %+v", workers, gotStats, refStats)
+		}
+		if !reflect.DeepEqual(gotStats.SentWords, refStats.SentWords) || !reflect.DeepEqual(gotStats.RecvWords, refStats.RecvWords) {
+			t.Fatalf("workers=%d: per-machine totals diverge", workers)
+		}
+		if !reflect.DeepEqual(normalizeRounds(gotStats.PerRound), normalizeRounds(refStats.PerRound)) {
+			t.Fatalf("workers=%d: per-round stats diverge:\n got %+v\nwant %+v",
+				workers, normalizeRounds(gotStats.PerRound), normalizeRounds(refStats.PerRound))
+		}
+		// The wire split: registered rounds ship only cross-group words
+		// as data; with one worker every destination is in-group, so the
+		// data plane is empty.
+		for i, rs := range gotStats.PerRound {
+			if rs.Name != "tptest/mix" {
+				continue
+			}
+			if workers == 1 && rs.WireDataWords != 0 {
+				t.Fatalf("workers=1 round %d: %d data words on the wire, want 0", i, rs.WireDataWords)
+			}
+			if workers > 1 && rs.WireDataWords >= rs.TotalWords {
+				t.Fatalf("workers=%d round %d: %d data words not below total %d", workers, i, rs.WireDataWords, rs.TotalWords)
+			}
+			if rs.WireCtrlWords == 0 {
+				t.Fatalf("workers=%d round %d: no control words metered", workers, i)
+			}
+		}
+	}
+}
+
+// TestSPMDErrorParity pins that a body error inside a worker reproduces
+// the driver path exactly: same error string, the round still counts,
+// its staged messages are discarded, and the session keeps working.
+func TestSPMDErrorParity(t *testing.T) {
+	const m, seed = 4, 23
+	run := func(c *mpc.Cluster) (string, []mpc.Yield, mpc.Stats) {
+		t.Helper()
+		if err := c.SetEnv(spmdTestEnv(m)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.RunLocal("tptest/load", mpc.Args{}); err != nil {
+			t.Fatal(err)
+		}
+		_, err := c.RunStep("tptest/boom", mpc.Args{I: []int{2}})
+		if err == nil {
+			t.Fatal("boom step succeeded")
+		}
+		ys, err2 := c.RunStep("tptest/mix", mpc.Args{I: []int{1}})
+		if err2 != nil {
+			t.Fatalf("mix after boom: %v", err2)
+		}
+		return err.Error(), ys, c.Stats()
+	}
+
+	refErr, refYields, refStats := run(mpc.NewCluster(m, seed))
+
+	addrs, _ := startWorkers(t, 2)
+	cl := dialFleet(t, addrs, m)
+	c := mpc.NewCluster(m, seed, mpc.WithTransport(cl), mpc.WithSPMD())
+	gotErr, gotYields, gotStats := run(c)
+
+	if gotErr != refErr {
+		t.Fatalf("SPMD error %q, inproc %q", gotErr, refErr)
+	}
+	if !reflect.DeepEqual(gotYields, refYields) {
+		t.Fatalf("post-error yields diverge: got %v want %v", gotYields, refYields)
+	}
+	if !reflect.DeepEqual(normalizeRounds(gotStats.PerRound), normalizeRounds(refStats.PerRound)) {
+		t.Fatalf("post-error per-round stats diverge")
+	}
+}
+
+// TestSPMDSessionLostConnection pins the failure contract: session calls
+// do not redial, so severing the connections mid-session turns the next
+// registered round into a hard transport error.
+func TestSPMDSessionLostConnection(t *testing.T) {
+	const m = 4
+	addrs, _ := startWorkers(t, 2)
+	cl := dialFleet(t, addrs, m)
+	c := mpc.NewCluster(m, 31, mpc.WithTransport(cl), mpc.WithSPMD())
+	if err := c.SetEnv(spmdTestEnv(m)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RunStep("tptest/mix", mpc.Args{I: []int{1}}); err != nil {
+		// The bag is unset on the first mix without a load — tolerate an
+		// algorithm error here, the point is the session exists.
+		if errors.Is(err, mpc.ErrTransport) {
+			t.Fatalf("setup round already failed with transport error: %v", err)
+		}
+	}
+	cl.SeverConnections()
+	if _, err := c.RunStep("tptest/mix", mpc.Args{I: []int{1}}); !errors.Is(err, mpc.ErrTransport) {
+		t.Fatalf("round after sever: %v, want mpc.ErrTransport", err)
+	}
+}

@@ -83,6 +83,15 @@ type Client struct {
 	mu    sync.Mutex // serializes Exchange/Close (fork-shared)
 	stats ClientStats
 
+	// roundData/roundCtrl accrue the wire-traffic split since the last
+	// TakeRoundWire drain (the mpc.WireMeter contract): payload words
+	// shipped over the coordinator link versus everything else — frame
+	// headers, round tags, metering fields, and the delivery echo — in
+	// words. SPMD rounds bypass these (their split rides the session
+	// reply); only coordinator-compute Exchange accrues here.
+	roundData int64
+	roundCtrl int64
+
 	// scratch reused across rounds: per-worker encoded request bodies.
 	reqs [][]byte
 }
@@ -264,8 +273,32 @@ func (c *Client) Exchange(round int, outboxes [][]mpc.Outbound, pending [][]mpc.
 	if metered != wireWords {
 		return fmt.Errorf("wire metering mismatch: workers measured %d words, driver queued %d", metered, wireWords)
 	}
+	// Accrue the round's wire split: the queued payload words are the
+	// data plane; codec envelopes, frame headers, and the delivery echo
+	// are coordinator-link overhead. Metered over the logical round (one
+	// request/reply per worker) so the split is canonical under retries.
+	var frameBytes int64
+	for w, res := range results {
+		frameBytes += int64(2*headerLen) + int64(len(c.reqs[w])) + res.bytesIn
+	}
+	c.roundData += wireWords
+	if overhead := frameBytes - 8*wireWords; overhead > 0 {
+		c.roundCtrl += ctrlWords(overhead)
+	}
 	c.stats.Exchanges++
 	return nil
+}
+
+// TakeRoundWire implements mpc.WireMeter: it returns and resets the
+// data/control wire-word split accrued since the last drain. Superstep
+// drains it around each delivery so the split lands on that round's
+// RoundStats.
+func (c *Client) TakeRoundWire() (dataWords, ctrlWords int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dataWords, ctrlWords = c.roundData, c.roundCtrl
+	c.roundData, c.roundCtrl = 0, 0
+	return dataWords, ctrlWords
 }
 
 // exchangeWorker runs one worker's round exchange with redial + resend
