@@ -21,6 +21,16 @@
 // With -check the coordinator reruns the identical configuration on the
 // in-process backend and fails unless results match exactly — the
 // single-command form of the transport-parity contract.
+//
+// Serve mode runs the long-lived clustering service (internal/serve,
+// docs/SERVING.md) in-process over a generated workload — preload,
+// then concurrent readers querying while mutations stream and async
+// re-solves trigger on staleness — and prints the sustained QPS and
+// freshness counters as JSON:
+//
+//	kclusterd -serve -n 2000 -m 4 -k 6 -ops 2000 -readers 4
+//	kclusterd -serve -n 2000 -m 4 -k 6 -window 500 -staleness 32 -diverse
+//	kclusterd -serve -n 1000 -m 2 -k 4 -deadline 50ms -write-frac 0.7 -seed 9
 package main
 
 import (
@@ -32,6 +42,7 @@ import (
 	"os"
 	"reflect"
 	"strings"
+	"time"
 
 	"parclust/internal/diversity"
 	"parclust/internal/instance"
@@ -64,6 +75,15 @@ type cliFlags struct {
 	metricID string
 	check    bool
 	spmd     bool
+	// serve mode
+	serve     bool
+	ops       int
+	readers   int
+	writeFrac float64
+	staleness int
+	window    int
+	deadline  time.Duration
+	diverse   bool
 }
 
 // newFlagSet builds the kclusterd flag set bound to a fresh cliFlags.
@@ -84,6 +104,14 @@ func newFlagSet() (*flag.FlagSet, *cliFlags) {
 	fs.StringVar(&fl.metricID, "metric", "l2", "coordinator mode: l2 | l1 | linf | angular | hamming")
 	fs.BoolVar(&fl.check, "check", false, "coordinator mode: rerun on the in-process backend and fail unless results match exactly")
 	fs.BoolVar(&fl.spmd, "spmd", false, "coordinator mode: execute registered supersteps inside the workers holding their machine partitions (SPMD sessions); the coordinator link carries only control messages and results are unchanged")
+	fs.BoolVar(&fl.serve, "serve", false, "serve mode: run the long-lived clustering service (internal/serve) over a generated workload and report sustained mixed-load QPS as JSON")
+	fs.IntVar(&fl.ops, "ops", 2000, "serve mode: mutations to stream after the preload (inserts and deletes, mixed by -write-frac)")
+	fs.IntVar(&fl.readers, "readers", 4, "serve mode: concurrent query goroutines")
+	fs.Float64Var(&fl.writeFrac, "write-frac", 0.5, "serve mode: fraction of streamed mutations that are inserts (the rest delete)")
+	fs.IntVar(&fl.staleness, "staleness", 64, "serve mode: mutations the cached solution may fall behind before an async re-solve triggers")
+	fs.IntVar(&fl.window, "window", 0, "serve mode: sliding window size; 0 keeps points until deleted")
+	fs.DurationVar(&fl.deadline, "deadline", 100*time.Millisecond, "serve mode: per-re-solve deadline for scheduler pool bidding; 0 disables bidding")
+	fs.BoolVar(&fl.diverse, "diverse", false, "serve mode: also maintain and report a k-diverse subset per solve")
 	return fs, fl
 }
 
@@ -94,8 +122,14 @@ func newFlagSet() (*flag.FlagSet, *cliFlags) {
 func validateFlags(fl *cliFlags) error {
 	worker := fl.listen != ""
 	coord := fl.run != ""
-	if worker == coord {
-		return fmt.Errorf("exactly one of -listen (worker) or -run (coordinator) is required")
+	modes := 0
+	for _, on := range []bool{worker, coord, fl.serve} {
+		if on {
+			modes++
+		}
+	}
+	if modes != 1 {
+		return fmt.Errorf("exactly one of -listen (worker), -run (coordinator) or -serve is required")
 	}
 	if fl.maxFrame < 0 {
 		return fmt.Errorf("-max-frame %d: must be >= 0", fl.maxFrame)
@@ -103,6 +137,27 @@ func validateFlags(fl *cliFlags) error {
 	if worker {
 		if fl.spmd {
 			return fmt.Errorf("-spmd is a coordinator flag (workers serve SPMD sessions unconditionally)")
+		}
+		return nil
+	}
+	if fl.serve {
+		if fl.spmd || fl.check || fl.workers != "" {
+			return fmt.Errorf("-spmd, -check and -workers are coordinator flags; serve mode runs in-process")
+		}
+		if fl.n < 1 || fl.m < 1 || fl.k < 1 {
+			return fmt.Errorf("-n, -m and -k must be positive (got %d, %d, %d)", fl.n, fl.m, fl.k)
+		}
+		if fl.ops < 0 || fl.readers < 1 {
+			return fmt.Errorf("-ops must be >= 0 and -readers >= 1 (got %d, %d)", fl.ops, fl.readers)
+		}
+		if fl.writeFrac < 0 || fl.writeFrac > 1 {
+			return fmt.Errorf("-write-frac %v: must be in [0, 1]", fl.writeFrac)
+		}
+		if fl.staleness < 1 || fl.window < 0 || fl.deadline < 0 {
+			return fmt.Errorf("-staleness must be >= 1, -window and -deadline >= 0")
+		}
+		if _, err := spaceByName(fl.metricID); err != nil {
+			return err
 		}
 		return nil
 	}
@@ -140,9 +195,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	var err error
-	if fl.listen != "" {
+	switch {
+	case fl.listen != "":
 		err = runWorker(fl, stderr)
-	} else {
+	case fl.serve:
+		err = runServe(fl, stdout)
+	default:
 		err = runCoordinator(fl, stdout)
 	}
 	if err != nil {

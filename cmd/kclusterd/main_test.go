@@ -28,6 +28,16 @@ func TestValidateFlags(t *testing.T) {
 		{"negative frame cap", []string{"-listen", ":1", "-max-frame", "-1"}, false},
 		{"spmd coordinator", []string{"-run", "kcenter", "-workers", "a:1", "-spmd"}, true},
 		{"spmd on worker", []string{"-listen", ":1", "-spmd"}, false},
+		{"serve", []string{"-serve"}, true},
+		{"serve full", []string{"-serve", "-n", "500", "-m", "3", "-k", "4", "-ops", "100", "-readers", "2", "-write-frac", "0.7", "-staleness", "32", "-window", "100", "-deadline", "50ms", "-diverse"}, true},
+		{"serve plus coordinator", []string{"-serve", "-run", "kcenter", "-workers", "a:1"}, false},
+		{"serve plus worker", []string{"-serve", "-listen", ":1"}, false},
+		{"serve with workers", []string{"-serve", "-workers", "a:1"}, false},
+		{"serve with spmd", []string{"-serve", "-spmd"}, false},
+		{"serve bad write-frac", []string{"-serve", "-write-frac", "1.5"}, false},
+		{"serve bad readers", []string{"-serve", "-readers", "0"}, false},
+		{"serve bad staleness", []string{"-serve", "-staleness", "0"}, false},
+		{"serve bad metric", []string{"-serve", "-metric", "cosine"}, false},
 	}
 	for _, tc := range cases {
 		fs, fl := newFlagSet()
@@ -165,5 +175,41 @@ func TestCoordinatorRejectsDeadWorker(t *testing.T) {
 	}, &stdout, &stderr)
 	if code == 0 {
 		t.Fatalf("coordinator succeeded against a dead worker: %s", stdout.String())
+	}
+}
+
+// TestServeModeReport runs serve mode end-to-end in-process and checks
+// the JSON report is well-formed and internally consistent.
+func TestServeModeReport(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-serve", "-n", "300", "-m", "3", "-k", "4",
+		"-ops", "200", "-readers", "2", "-staleness", "32", "-seed", "7", "-diverse",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	var rep struct {
+		Mode    string  `json:"mode"`
+		Ops     int64   `json:"ops"`
+		Queries int64   `json:"queries"`
+		QPS     float64 `json:"qps"`
+		Solves  uint64  `json:"solves"`
+		Seq     uint64  `json:"solution_seq"`
+		Bound   float64 `json:"radius_bound"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("report does not parse: %v\n%s", err, out.String())
+	}
+	// Ops = 300 preload inserts plus however many of the 200 streamed
+	// mutations landed (deletes of already-deleted ids are no-ops).
+	if rep.Mode != "serve" || rep.Ops < 300 || rep.Ops > 500 || rep.Solves == 0 || rep.Seq == 0 {
+		t.Fatalf("report %+v inconsistent", rep)
+	}
+	if rep.Queries == 0 || rep.QPS <= 0 {
+		t.Fatalf("report %+v recorded no query throughput", rep)
+	}
+	if rep.Bound <= 0 {
+		t.Fatalf("radius bound %v not positive", rep.Bound)
 	}
 }

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"parclust/internal/rng"
+	"parclust/internal/serve"
+	"parclust/internal/workload"
+)
+
+// serveOutput is serve mode's JSON report. Every float is finite:
+// non-finite objective values (a k-diverse subset of < 2 points has
+// diversity +Inf) are reported through their *_finite flag instead of
+// breaking encoding/json.
+type serveOutput struct {
+	Mode    string  `json:"mode"`
+	N       int     `json:"n"`
+	K       int     `json:"k"`
+	Shards  int     `json:"shards"`
+	Ops     int64   `json:"ops"`
+	Queries int64   `json:"queries"`
+	Seconds float64 `json:"mixed_seconds"`
+	QPS     float64 `json:"qps"`
+	// Freshness and solver counters at the end of the run.
+	Solves          uint64  `json:"solves"`
+	Rebuilds        int     `json:"sketch_rebuilds"`
+	Live            int     `json:"live_points"`
+	CoresetSize     int     `json:"coreset_size"`
+	RadiusBound     float64 `json:"radius_bound"`
+	Seq             uint64  `json:"solution_seq"`
+	OpsBehind       int64   `json:"ops_behind"`
+	Diversity       float64 `json:"diversity,omitempty"`
+	DiversityFinite bool    `json:"diversity_finite,omitempty"`
+}
+
+// runServe drives the in-process serving session: preload -n points,
+// solve once, then stream -ops mutations (insert fraction -write-frac)
+// while -readers goroutines query continuously, and report sustained
+// QPS plus the final solution's freshness metadata.
+func runServe(fl *cliFlags, stdout io.Writer) error {
+	space, err := spaceByName(fl.metricID)
+	if err != nil {
+		return err
+	}
+	r := rng.New(fl.seed)
+	pts := workload.GaussianMixture(r, fl.n, 2, fl.k, 20, 1)
+	svc := serve.New(serve.Config{
+		Space: space, K: fl.k, Eps: fl.eps, Shards: fl.m,
+		StalenessOps: fl.staleness, Window: fl.window,
+		Seed: fl.seed, Deadline: fl.deadline, Diversity: fl.diverse,
+	})
+	defer svc.Close()
+
+	for i, p := range pts {
+		svc.Insert(i, p)
+	}
+	svc.Resolve()
+	if err := svc.Err(); err != nil {
+		return err
+	}
+
+	var queries atomic.Int64
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for g := 0; g < fl.readers; g++ {
+		readers.Add(1)
+		go func(g int) {
+			defer readers.Done()
+			i := g
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				svc.Assign(pts[i%len(pts)])
+				queries.Add(1)
+				i += 13
+			}
+		}(g)
+	}
+
+	start := time.Now()
+	next := fl.n
+	for i := 0; i < fl.ops; i++ {
+		if r.Float64() < fl.writeFrac {
+			svc.Insert(next, pts[next%len(pts)])
+			next++
+		} else {
+			svc.Delete(r.Intn(next))
+		}
+	}
+	// Small -ops streams can finish before the readers are even
+	// scheduled; hold the measurement window open long enough for a
+	// meaningful sustained-QPS figure.
+	if min := 250 * time.Millisecond; time.Since(start) < min {
+		time.Sleep(min - time.Since(start))
+	}
+	elapsed := time.Since(start)
+	close(stop)
+	readers.Wait()
+	svc.Close()
+	if err := svc.Err(); err != nil {
+		return err
+	}
+
+	sol, st := svc.Solution()
+	stats := svc.Stats()
+	out := serveOutput{
+		Mode: "serve", N: fl.n, K: fl.k, Shards: fl.m,
+		Ops: stats.Ops, Queries: queries.Load(),
+		Seconds: elapsed.Seconds(),
+		Solves:  stats.Solves, Rebuilds: stats.Rebuilds, Live: stats.Live,
+		Seq: st.Seq, OpsBehind: st.OpsBehind,
+	}
+	if elapsed > 0 {
+		out.QPS = float64(out.Queries) / elapsed.Seconds()
+	}
+	if sol != nil {
+		out.CoresetSize = sol.CoresetSize
+		out.RadiusBound = sol.RadiusBound
+		if fl.diverse && !math.IsInf(sol.Diversity, 0) && !math.IsNaN(sol.Diversity) {
+			out.Diversity, out.DiversityFinite = sol.Diversity, true
+		}
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -42,7 +42,7 @@ func main() {
 			s.Add(p)
 		}
 		fmt.Printf("%-8d %-10d %-12.1f %.1f\n",
-			s.Seen(), len(s.Centers()), s.R(), s.RadiusBound())
+			s.Seen(), s.NumCenters(), s.R(), s.RadiusBound())
 		_ = phase
 	}
 
@@ -60,5 +60,5 @@ func main() {
 	}
 	fmt.Printf("offline (2+ε) MPC radius        : %.1f\n", off.Radius)
 	fmt.Printf("stream memory footprint         : %d points (vs %d in the full set)\n",
-		len(s.Centers()), len(all))
+		s.NumCenters(), len(all))
 }

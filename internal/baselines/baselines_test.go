@@ -114,3 +114,28 @@ func TestRandomSubsetRejects(t *testing.T) {
 		t.Fatal("mismatch accepted")
 	}
 }
+
+func TestAghamolaeiGhodsiCertifiedBound(t *testing.T) {
+	r := rng.New(5)
+	for trial := 0; trial < 20; trial++ {
+		pts := workload.UniformCube(r, 40, 2, 100)
+		in := makeInstance(pts, 4)
+		c := mpc.NewCluster(4, uint64(trial))
+		res, err := AghamolaeiGhodsiKCenter(c, in, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Centers) != 3 {
+			t.Fatalf("center count %d", len(res.Centers))
+		}
+		// The certificate is computed from shipped words only, yet must
+		// dominate the measured radius over the full point set.
+		if res.Radius > res.Bound+1e-9 {
+			t.Fatalf("trial %d: measured radius %v > certified bound %v", trial, res.Radius, res.Bound)
+		}
+		opt, _ := seq.ExactKCenter(metric.L2{}, pts, 3)
+		if res.Radius > 4*opt+1e-9 {
+			t.Fatalf("trial %d: AG radius %v > 4·opt %v", trial, res.Radius, opt)
+		}
+	}
+}

@@ -30,7 +30,12 @@ type Result struct {
 	// MachineSets[i] is T_i = GMM(V_i, k); MachineSetIDs the ids;
 	// MachineDivs[i] is div(T_i) when |T_i| = k and NaN otherwise (a
 	// selection smaller than k is the whole partition and its diversity
-	// is not a candidate in the max of Algorithm 2, line 3).
+	// is not a candidate in the max of Algorithm 2, line 3). Consumers
+	// must guard with math.IsNaN before comparing: every comparison
+	// against NaN is silently false, so a bare max happens to skip the
+	// sentinel but a min — or any branch taken on `<` — silently
+	// misclassifies it (TestCollectMachineDivsMixedSizes pins the
+	// producer side; diversity.bestCandidate is the guarded consumer).
 	MachineSets   [][]metric.Point
 	MachineSetIDs [][]int
 	MachineDivs   []float64
@@ -105,6 +110,13 @@ func Collect(c *mpc.Cluster, in *instance.Instance, k int) (*Result, error) {
 // broadcasts Q, every machine reports its local covering radius, and the
 // maximum is returned (and re-broadcast so all machines know it, matching
 // the model's accounting).
+//
+// Degenerate inputs follow metric.Radius exactly: a machine with an
+// empty partition reports 0 (it has nothing to cover), and an empty Q
+// over a non-empty partition reports +Inf (an empty center set covers
+// nothing), which propagates through the max. The serving layer relies
+// on both: empty shards must not drag the radius down, and a
+// no-solution query path must surface as +Inf, not a silent 0.
 func BroadcastRadius(c *mpc.Cluster, in *instance.Instance, q []metric.Point) (float64, error) {
 	err := c.Superstep("coreset/radius-bcast", func(mc *mpc.Machine) error {
 		if mc.IsCentral() {
@@ -118,11 +130,9 @@ func BroadcastRadius(c *mpc.Cluster, in *instance.Instance, q []metric.Point) (f
 	var radius float64
 	err = c.Superstep("coreset/radius-report", func(mc *mpc.Machine) error {
 		qq := mpc.CollectPoints(mc.Inbox())
-		local := metric.Radius(in.Space, in.Parts[mc.ID()], qq)
-		if len(in.Parts[mc.ID()]) == 0 {
-			local = 0
-		}
-		mc.SendCentral(mpc.Float(local))
+		// metric.Radius already returns 0 for an empty partition and +Inf
+		// for a non-empty partition with empty Q — no override needed.
+		mc.SendCentral(mpc.Float(metric.Radius(in.Space, in.Parts[mc.ID()], qq)))
 		return nil
 	})
 	if err != nil {

@@ -136,6 +136,83 @@ func TestBroadcastRadiusEmptyMachine(t *testing.T) {
 	}
 }
 
+// The degenerate-input contract of BroadcastRadius mirrors metric.Radius
+// exactly; the serving layer answers queries off these semantics, so
+// they are pinned here rather than left to the override that used to
+// shadow them: an empty partition contributes 0, and an empty Q over a
+// non-empty partition yields +Inf (an empty center set covers nothing).
+func TestBroadcastRadiusDegenerate(t *testing.T) {
+	cases := []struct {
+		name  string
+		parts [][]metric.Point
+		q     []metric.Point
+		want  float64
+	}{
+		{"empty Q, non-empty parts", [][]metric.Point{{{0}}, {{3}}}, nil, math.Inf(1)},
+		{"empty Q, one empty part", [][]metric.Point{{{0}}, {}}, nil, math.Inf(1)},
+		{"empty Q, all parts empty", [][]metric.Point{{}, {}}, nil, 0},
+		{"non-empty Q, all parts empty", [][]metric.Point{{}, {}}, []metric.Point{{7}}, 0},
+		{"non-empty Q covers", [][]metric.Point{{{0}}, {}}, []metric.Point{{0}}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			in := instance.New(metric.L2{}, tc.parts)
+			c := mpc.NewCluster(len(tc.parts), 1)
+			r, err := BroadcastRadius(c, in, tc.q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r != tc.want {
+				t.Fatalf("radius = %v, want %v", r, tc.want)
+			}
+		})
+	}
+}
+
+// The NaN "not a candidate" sentinel in MachineDivs: a mixed instance
+// where some shards reach |T_i| = k and one cannot. Every consumer must
+// test IsNaN explicitly — a bare `d > r` is silently false for NaN,
+// which happens to skip the entry, but `d < r` or a max written the
+// other way would silently admit it. This table pins the producer side:
+// NaN exactly on the undersized shard, finite (and usable in a
+// NaN-guarded max) everywhere else.
+func TestCollectMachineDivsMixedSizes(t *testing.T) {
+	// Machine 0: 5 points, machine 1: 5 points, machine 2: 2 points,
+	// with k = 3 — only machine 2 is undersized.
+	parts := [][]metric.Point{
+		{{0}, {10}, {20}, {30}, {40}},
+		{{100}, {110}, {120}, {130}, {140}},
+		{{200}, {210}},
+	}
+	in := instance.New(metric.L2{}, parts)
+	c := mpc.NewCluster(3, 1)
+	const k = 3
+	res, err := Collect(c, in, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []bool{false, false, true} {
+		if got := math.IsNaN(res.MachineDivs[i]); got != want {
+			t.Fatalf("machine %d: IsNaN(div) = %v, want %v (|T_%d| = %d, k = %d)",
+				i, got, i, len(res.MachineSets[i]), i, k)
+		}
+	}
+	if len(res.MachineSets[2]) != 2 {
+		t.Fatalf("undersized shard selection %d, want whole partition (2)", len(res.MachineSets[2]))
+	}
+	// The NaN-guarded max every consumer is expected to write: it must
+	// pick a finite machine div, never the sentinel.
+	best := math.Inf(-1)
+	for _, d := range res.MachineDivs {
+		if !math.IsNaN(d) && d > best {
+			best = d
+		}
+	}
+	if math.IsNaN(best) || math.IsInf(best, 0) {
+		t.Fatalf("NaN-guarded max over MachineDivs = %v, want finite", best)
+	}
+}
+
 // Communication accounting: round 1 moves exactly m selections of k
 // points (dim words each) plus k ids from every machine to the center.
 func TestCollectCommAccounting(t *testing.T) {

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"parclust/internal/coreset"
 	"parclust/internal/instance"
 	"parclust/internal/metric"
 	"parclust/internal/mpc"
@@ -242,5 +243,70 @@ func TestDeterministic(t *testing.T) {
 		if a[i] != b[i] {
 			t.Fatalf("nondeterministic at %d", i)
 		}
+	}
+}
+
+// bestCandidate is the one consumer of the MachineDivs NaN sentinel
+// (coreset.Result): an undersized shard — a partition smaller than k —
+// contributes NaN and must be skipped by the IsNaN guard, never compared
+// raw. This table walks the mixed cases the serving layer produces when
+// shard populations drift apart.
+func TestBestCandidateSkipsUndersizedShards(t *testing.T) {
+	cases := []struct {
+		name  string
+		parts [][]metric.Point
+		k     int
+	}{
+		{
+			// One shard has only 2 points with k = 3: its div is NaN and
+			// the winner must come from a full-size selection.
+			name: "one undersized shard",
+			parts: [][]metric.Point{
+				{{0}, {10}, {20}, {30}},
+				{{100}, {200}, {300}, {400}},
+				{{1000}, {1001}},
+			},
+			k: 3,
+		},
+		{
+			// Every shard undersized: only the central selection (which
+			// pools the union and does reach k) remains a candidate.
+			name: "all shards undersized",
+			parts: [][]metric.Point{
+				{{0}, {40}},
+				{{100}, {140}},
+				{{210}, {250}},
+			},
+			k: 3,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			in := instance.New(metric.L2{}, tc.parts)
+			c := mpc.NewCluster(len(tc.parts), 1)
+			cs, err := coreset.Collect(c, in, tc.k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, pts, _ := bestCandidate(cs, tc.k)
+			if math.IsNaN(r) || math.IsInf(r, 0) {
+				t.Fatalf("bestCandidate r = %v, want finite", r)
+			}
+			if len(pts) != tc.k {
+				t.Fatalf("bestCandidate returned %d points, want k = %d", len(pts), tc.k)
+			}
+			if got := metric.Diversity(in.Space, pts); got != r {
+				t.Fatalf("returned r = %v but div(points) = %v", r, got)
+			}
+			// End-to-end: the full algorithm must also survive the mix.
+			c2 := mpc.NewCluster(len(tc.parts), 1)
+			res, err := Maximize(c2, in, Config{K: tc.k})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Points) != tc.k || math.IsNaN(res.Diversity) {
+				t.Fatalf("Maximize over mixed shards: %+v", res)
+			}
+		})
 	}
 }

@@ -1,0 +1,110 @@
+package sched
+
+import "time"
+
+// Bid is a deadline-tagged admission claim on a Pool's tokens. Plain
+// TryAcquire is first-come-first-served: whichever Solve happens to plan
+// its wave first drains the pool, even when a more urgent request is
+// seconds from missing its deadline. A serving layer running concurrent
+// re-solves with per-request deadlines needs the opposite — earliest
+// deadline first — so it registers a Bid per re-solve and acquires
+// through it: a bid is granted tokens only while no other live bid
+// carries an earlier deadline (ties break toward the earlier
+// registration). Outbid acquirers get 0 and degrade to unspeculated
+// width-1 waves — they are never blocked, mirroring TryAcquire's
+// non-blocking contract — while the urgent re-solve finds the pool free.
+//
+// Deadlines are priorities, not timeouts: a bid whose deadline has
+// passed is the most urgent of all and keeps its claim until Close.
+// Legacy deadline-less TryAcquire calls ignore bids entirely (their
+// semantics are unchanged); mixing both styles on one pool is FCFS
+// against the bids, so a fleet that wants strict EDF should route every
+// acquirer through a Bid (Scheduler.WithDeadline does).
+//
+// All methods are safe for concurrent use. Close is idempotent and must
+// be called when the request finishes, or the bid outbids the pool
+// forever.
+type Bid struct {
+	p        *Pool
+	id       uint64
+	deadline time.Time
+}
+
+// RegisterBid enrolls a deadline-tagged claim on the pool and returns
+// the Bid to acquire through. The caller must Close it.
+func (p *Pool) RegisterBid(deadline time.Time) *Bid {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.bidSeq++
+	if p.bids == nil {
+		p.bids = make(map[uint64]time.Time)
+	}
+	p.bids[p.bidSeq] = deadline
+	return &Bid{p: p, id: p.bidSeq, deadline: deadline}
+}
+
+// outbid reports whether another live bid is more urgent than b:
+// strictly earlier deadline, or the same deadline registered earlier.
+// Caller holds p.mu.
+func (b *Bid) outbid() bool {
+	for id, d := range b.p.bids {
+		if id == b.id {
+			continue
+		}
+		if d.Before(b.deadline) || (d.Equal(b.deadline) && id < b.id) {
+			return true
+		}
+	}
+	return false
+}
+
+// TryAcquire takes up to n tokens without blocking, returning how many
+// it got. A closed or outbid bid gets 0: the tokens are left for the
+// more urgent request, and the caller runs a narrower (or width-1)
+// wave exactly as it would against an exhausted pool.
+func (b *Bid) TryAcquire(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	p := b.p
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, live := p.bids[b.id]; !live || b.outbid() {
+		return 0
+	}
+	got := p.cap - p.inUse
+	if got > n {
+		got = n
+	}
+	if got < 0 {
+		got = 0
+	}
+	p.inUse += got
+	return got
+}
+
+// Available returns how many tokens the bid could acquire right now:
+// 0 while closed or outbid, the pool's free tokens otherwise. Planners
+// price wave widths against this instead of Pool.Available so an outbid
+// request plans the width-1 wave it will actually get.
+func (b *Bid) Available() int {
+	p := b.p
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, live := p.bids[b.id]; !live || b.outbid() {
+		return 0
+	}
+	return p.cap - p.inUse
+}
+
+// Release returns n tokens to the pool (tokens are pool-owned; any
+// holder may return them through its bid).
+func (b *Bid) Release(n int) { b.p.Release(n) }
+
+// Close withdraws the bid, letting later-deadline bids compete again.
+// Idempotent; tokens already held must still be Released separately.
+func (b *Bid) Close() {
+	b.p.mu.Lock()
+	defer b.p.mu.Unlock()
+	delete(b.p.bids, b.id)
+}

@@ -1,0 +1,198 @@
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+var bidBase = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func TestBidEarliestDeadlineWins(t *testing.T) {
+	p := NewPool(4)
+	urgent := p.RegisterBid(bidBase.Add(time.Second))
+	lazy := p.RegisterBid(bidBase.Add(2 * time.Second))
+	defer urgent.Close()
+	defer lazy.Close()
+
+	if got := lazy.TryAcquire(2); got != 0 {
+		t.Fatalf("outbid request acquired %d tokens, want 0", got)
+	}
+	if got := lazy.Available(); got != 0 {
+		t.Fatalf("outbid Available = %d, want 0", got)
+	}
+	if got := urgent.TryAcquire(2); got != 2 {
+		t.Fatalf("urgent request acquired %d, want 2", got)
+	}
+	if got := urgent.Available(); got != 2 {
+		t.Fatalf("urgent Available = %d, want 2 (pool cap 4, 2 held)", got)
+	}
+	// Once the urgent request closes its bid, the lazy one competes again.
+	urgent.Close()
+	if got := lazy.TryAcquire(4); got != 2 {
+		t.Fatalf("after urgent close: acquired %d, want the remaining 2", got)
+	}
+	lazy.Release(2)
+	urgent.Release(2)
+	if p.InUse() != 0 {
+		t.Fatalf("pool InUse = %d after releases, want 0", p.InUse())
+	}
+}
+
+func TestBidTiesBreakByRegistrationOrder(t *testing.T) {
+	p := NewPool(2)
+	d := bidBase.Add(time.Second)
+	first := p.RegisterBid(d)
+	second := p.RegisterBid(d)
+	defer first.Close()
+	defer second.Close()
+	if got := second.TryAcquire(1); got != 0 {
+		t.Fatalf("later-registered equal-deadline bid acquired %d, want 0", got)
+	}
+	if got := first.TryAcquire(1); got != 1 {
+		t.Fatalf("earlier-registered bid acquired %d, want 1", got)
+	}
+	first.Release(1)
+}
+
+func TestBidPastDeadlineIsMostUrgent(t *testing.T) {
+	// Deadlines are priorities, not timeouts: an already-passed deadline
+	// outranks every future one until the bid closes.
+	p := NewPool(1)
+	overdue := p.RegisterBid(bidBase.Add(-time.Hour))
+	fresh := p.RegisterBid(bidBase.Add(time.Hour))
+	defer overdue.Close()
+	defer fresh.Close()
+	if got := fresh.TryAcquire(1); got != 0 {
+		t.Fatalf("fresh bid acquired %d against an overdue bid, want 0", got)
+	}
+	if got := overdue.TryAcquire(1); got != 1 {
+		t.Fatalf("overdue bid acquired %d, want 1", got)
+	}
+	overdue.Release(1)
+}
+
+func TestBidCloseIdempotentAndDead(t *testing.T) {
+	p := NewPool(3)
+	b := p.RegisterBid(bidBase)
+	b.Close()
+	b.Close() // idempotent
+	if got := b.TryAcquire(1); got != 0 {
+		t.Fatalf("closed bid acquired %d, want 0", got)
+	}
+	if got := b.Available(); got != 0 {
+		t.Fatalf("closed bid Available = %d, want 0", got)
+	}
+	// Tokens still held must be releasable after Close.
+	c := p.RegisterBid(bidBase)
+	if got := c.TryAcquire(2); got != 2 {
+		t.Fatalf("acquired %d, want 2", got)
+	}
+	c.Close()
+	c.Release(2)
+	if p.InUse() != 0 {
+		t.Fatalf("InUse = %d, want 0", p.InUse())
+	}
+}
+
+func TestPlainTryAcquireIgnoresBids(t *testing.T) {
+	// Legacy FCFS acquirers keep their exact semantics: an outstanding
+	// bid does not throttle them (strict EDF needs every acquirer to go
+	// through a bid — Scheduler.WithDeadline routes them).
+	p := NewPool(2)
+	b := p.RegisterBid(bidBase)
+	defer b.Close()
+	if got := p.TryAcquire(2); got != 2 {
+		t.Fatalf("plain TryAcquire got %d with a bid outstanding, want 2", got)
+	}
+	p.Release(2)
+}
+
+func TestSchedulerWithDeadlineSessions(t *testing.T) {
+	s := NewScheduler(Config{Pool: NewPool(4), MaxParallel: 8, MaxWidth: 8})
+	urgent := s.WithDeadline(bidBase.Add(time.Second)).Session("a", 8)
+	lazy := s.WithDeadline(bidBase.Add(time.Minute)).Session("b", 8)
+	defer urgent.Close()
+	defer lazy.Close()
+
+	if got := lazy.Acquire(3); got != 0 {
+		t.Fatalf("outbid session acquired %d, want 0", got)
+	}
+	if got := urgent.Acquire(3); got != 3 {
+		t.Fatalf("urgent session acquired %d, want 3", got)
+	}
+	urgent.Release(3)
+	urgent.Close()
+	if got := lazy.Acquire(3); got != 3 {
+		t.Fatalf("after urgent Close: lazy acquired %d, want 3", got)
+	}
+	lazy.Release(3)
+
+	// Deadline-less sessions stay FCFS and need no Close (no-op).
+	plain := s.Session("c", 8)
+	if got := plain.Acquire(1); got != 1 {
+		t.Fatalf("plain session acquired %d, want 1", got)
+	}
+	plain.Release(1)
+	plain.Close()
+}
+
+// An outbid deadline session must plan width 1 even with a warm
+// estimator: Plan prices against Bid.Available, which is 0 while a more
+// urgent request is live.
+func TestOutbidSessionPlansWidthOne(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	est := NewEstimator()
+	for i := 0; i < 8; i++ {
+		est.ObserveProbe("a", 0, 1_000_000)
+		est.ObserveProbe("b", 0, 1_000_000)
+	}
+	s := NewScheduler(Config{Pool: NewPool(4), Estimator: est, MaxParallel: 8, MaxWidth: 8})
+	urgent := s.WithDeadline(bidBase.Add(time.Second)).Session("a", 8)
+	lazy := s.WithDeadline(bidBase.Add(time.Minute)).Session("b", 8)
+	defer urgent.Close()
+	defer lazy.Close()
+
+	if plan := lazy.Plan(8); plan.Width != 1 {
+		t.Fatalf("outbid session planned width %d, want 1", plan.Width)
+	}
+	if plan := urgent.Plan(8); plan.Width <= 1 {
+		t.Fatalf("urgent session planned width %d, want > 1", plan.Width)
+	}
+	urgent.Close()
+	if plan := lazy.Plan(8); plan.Width <= 1 {
+		t.Fatalf("after urgent Close: lazy planned width %d, want > 1", plan.Width)
+	}
+}
+
+func TestBidConcurrentHammer(t *testing.T) {
+	// Concurrent bidders + legacy acquirers must never corrupt the pool:
+	// InUse returns to 0 and never exceeds cap.
+	p := NewPool(3)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if g%2 == 0 {
+					b := p.RegisterBid(bidBase.Add(time.Duration(g) * time.Second))
+					got := b.TryAcquire(2)
+					if p.InUse() > p.Cap() {
+						t.Errorf("InUse %d > cap %d", p.InUse(), p.Cap())
+					}
+					b.Release(got)
+					b.Close()
+				} else {
+					got := p.TryAcquire(1)
+					p.Release(got)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if p.InUse() != 0 {
+		t.Fatalf("InUse = %d after hammer, want 0", p.InUse())
+	}
+}

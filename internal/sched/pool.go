@@ -1,6 +1,9 @@
 package sched
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // Pool is a process-wide budget of speculative worker slots. Every
 // speculative ladder probe an adaptive wave launches holds one token for
@@ -17,6 +20,10 @@ type Pool struct {
 	mu    sync.Mutex
 	cap   int
 	inUse int
+	// bids holds the live deadline-tagged admission claims (RegisterBid)
+	// keyed by registration sequence; see Bid for the EDF contract.
+	bids   map[uint64]time.Time
+	bidSeq uint64
 }
 
 // NewPool returns a pool of n tokens. n < 0 is treated as 0 (a pool

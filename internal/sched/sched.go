@@ -19,6 +19,7 @@ package sched
 import (
 	"runtime"
 	"sync"
+	"time"
 )
 
 // Adaptive is the Config.Speculation sentinel that selects
@@ -59,6 +60,11 @@ type Scheduler struct {
 	est      *Estimator
 	maxWidth int
 	maxPar   int
+	// deadline, when set (hasDeadline), makes every Session minted from
+	// this view bid for pool tokens EDF-style instead of FCFS — see
+	// WithDeadline and Bid.
+	deadline    time.Time
+	hasDeadline bool
 }
 
 // NewScheduler builds a Scheduler from cfg, applying defaults for zero
@@ -88,6 +94,25 @@ func NewScheduler(cfg Config) *Scheduler {
 
 // Pool returns the scheduler's token pool (for occupancy inspection).
 func (s *Scheduler) Pool() *Pool { return s.pool }
+
+// WithDeadline returns a view of the scheduler that shares its pool,
+// estimator and caps, but whose Sessions bid for speculative tokens
+// with the given per-request deadline: while any live earlier-deadline
+// bid exists on the shared pool, this view's Sessions acquire nothing
+// and run unspeculated width-1 waves, leaving the tokens for the more
+// urgent request (earliest deadline first; see Bid). This is how a
+// serving layer lets concurrent re-solves with per-request deadlines
+// share one pool without the first-come-first-served TryAcquire race:
+//
+//	cfg.Sched = sched.Default().WithDeadline(time.Now().Add(dl))
+//
+// The receiver is unmodified; a view is cheap and single-use (one view
+// per request keeps the deadline honest).
+func (s *Scheduler) WithDeadline(d time.Time) *Scheduler {
+	cp := *s
+	cp.deadline, cp.hasDeadline = d, true
+	return &cp
+}
 
 // Estimator returns the scheduler's shared estimator.
 func (s *Scheduler) Estimator() *Estimator { return s.est }
@@ -137,6 +162,9 @@ type Session struct {
 	algo     string
 	depth0   int
 	maxProcs int
+	// bid carries the per-request deadline claim when the scheduler view
+	// was minted by WithDeadline; nil sessions acquire FCFS.
+	bid *Bid
 }
 
 // Session starts a scheduling session for one boundary search over a
@@ -144,13 +172,29 @@ type Session struct {
 // buckets ("kcenter", "diversity", "ksupplier"). The session's
 // parallelism ceiling is min(GOMAXPROCS, MaxParallel) observed here:
 // GOMAXPROCS is what the runtime will schedule, MaxParallel is what the
-// silicon can actually run side by side.
+// silicon can actually run side by side. On a WithDeadline view the
+// session registers its deadline bid on the shared pool; the caller
+// must Close the session (idempotent, a no-op on deadline-less
+// sessions) or the bid outbids every later deadline forever.
 func (s *Scheduler) Session(algo string, rungs int) *Session {
 	procs := runtime.GOMAXPROCS(0)
 	if s.maxPar < procs {
 		procs = s.maxPar
 	}
-	return &Session{s: s, algo: algo, depth0: Log2Ceil(rungs), maxProcs: procs}
+	sess := &Session{s: s, algo: algo, depth0: Log2Ceil(rungs), maxProcs: procs}
+	if s.hasDeadline {
+		sess.bid = s.pool.RegisterBid(s.deadline)
+	}
+	return sess
+}
+
+// Close withdraws the session's deadline bid, if any, letting
+// later-deadline requests compete for the pool again. Idempotent; a
+// no-op for sessions without a deadline.
+func (ss *Session) Close() {
+	if ss.bid != nil {
+		ss.bid.Close()
+	}
 }
 
 // Depth maps a current interval size t to the estimator's descent-depth
@@ -177,7 +221,7 @@ func (ss *Session) Plan(t int) Plan {
 	if !warm {
 		return p
 	}
-	par := ss.s.pool.Available() + 1
+	par := ss.available() + 1
 	if par > ss.maxProcs {
 		par = ss.maxProcs
 	}
@@ -195,9 +239,27 @@ func (ss *Session) Plan(t int) Plan {
 	return Plan{Width: w, CostNs: cost, ProbeNs: probeNs, Occupancy: p.Occupancy, Warm: true}
 }
 
+// available returns the tokens this session could acquire right now:
+// the pool's free tokens, or 0 while the session's deadline bid is
+// outbid — so an outbid request prices (and gets) the width-1 wave it
+// will actually run.
+func (ss *Session) available() int {
+	if ss.bid != nil {
+		return ss.bid.Available()
+	}
+	return ss.s.pool.Available()
+}
+
 // Acquire takes up to n speculative slots from the shared pool and
-// returns how many it got. Non-blocking — see Pool.TryAcquire.
-func (ss *Session) Acquire(n int) int { return ss.s.pool.TryAcquire(n) }
+// returns how many it got. Non-blocking — see Pool.TryAcquire. On a
+// deadline session the acquisition goes through the bid: an outbid
+// request gets 0 and leaves the tokens for the earlier deadline.
+func (ss *Session) Acquire(n int) int {
+	if ss.bid != nil {
+		return ss.bid.TryAcquire(n)
+	}
+	return ss.s.pool.TryAcquire(n)
+}
 
 // Release returns n slots to the pool.
 func (ss *Session) Release(n int) { ss.s.pool.Release(n) }

@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"parclust/internal/metric"
+	"parclust/internal/rng"
+	"parclust/internal/workload"
+)
+
+// TestRaceQueriesDuringResolves is the -race hammer the CI serve leg
+// runs at GOMAXPROCS 1 and 4: writer goroutines stream inserts and
+// deletes (spawning async re-solves), reader goroutines issue
+// assignment/radius/diversity queries the whole time, and one goroutine
+// forces synchronous re-solves — so cached-pointer installs race reads
+// from every angle the service supports. Beyond being race-clean, every
+// answer must be internally consistent: a finite distance implies a
+// live solution, and staleness never cites a future solve.
+func TestRaceQueriesDuringResolves(t *testing.T) {
+	var mu sync.Mutex
+	maxSeq := uint64(0)
+	s := New(Config{
+		Space: metric.L2{}, K: 3, Shards: 3, StalenessOps: 16,
+		Deadline: 50 * time.Millisecond, Diversity: true, Seed: 21,
+		OnSolve: func(sol *Solution) {
+			mu.Lock()
+			if sol.Seq > maxSeq {
+				maxSeq = sol.Seq
+			}
+			mu.Unlock()
+		},
+	})
+	r := rng.New(4)
+	pts := workload.GaussianMixture(r, 600, 2, 3, 12, 0.6)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(pts); i += 2 {
+				s.Insert(i, pts[i])
+				if i%4 == 0 && i > 40 {
+					s.Delete(i - 40)
+				}
+			}
+		}(w)
+	}
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 6; i++ {
+			s.Resolve()
+		}
+	}()
+
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			i := g
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := pts[i%len(pts)]
+				i += 7
+				a := s.Assign(q)
+				if !math.IsInf(a.Dist, 1) && a.Center < 0 {
+					t.Errorf("finite dist %v with center %d", a.Dist, a.Center)
+				}
+				if a.Staleness.Seq > 0 && a.Center < 0 {
+					sol, _ := s.Solution()
+					if sol != nil && len(sol.Centers) > 0 && a.Staleness.Seq == sol.Seq {
+						t.Errorf("solved service answered Assign with no center")
+					}
+				}
+				if bound, st := s.Radius(); st.Seq > 0 && (bound < 0 || math.IsNaN(bound)) {
+					t.Errorf("Radius = %v at seq %d", bound, st.Seq)
+				}
+				if pts, div, st := s.Diverse(); st.Seq > 0 && len(pts) > 1 && (div <= 0 || math.IsNaN(div)) {
+					t.Errorf("Diverse = (%d pts, %v)", len(pts), div)
+				}
+				mu.Lock()
+				seen := maxSeq
+				mu.Unlock()
+				if a.Staleness.Seq > seen+1 {
+					// +1: an install can beat its OnSolve recording, but a
+					// query can never observe a solve two ahead of the last
+					// recorded one.
+					t.Errorf("answer cites seq %d but OnSolve has only seen %d", a.Staleness.Seq, seen)
+				}
+			}
+		}(g)
+	}
+
+	// Let writers and the resolver finish, then stop the readers.
+	done := make(chan struct{})
+	go func() {
+		// Writers are the first 3 wg members; simplest is a timed overlap.
+		time.Sleep(50 * time.Millisecond)
+		close(done)
+	}()
+	<-done
+	close(stop)
+	wg.Wait()
+	s.Close()
+	if err := s.Err(); err != nil {
+		t.Fatalf("solve error under hammer: %v", err)
+	}
+	if s.Stats().Solves == 0 {
+		t.Fatal("hammer never completed a solve")
+	}
+}
+
+// TestRaceConcurrentServicesShareScheduler pins the deadline-bidding
+// integration: several services with different per-request deadlines
+// re-solve concurrently against the process-default scheduler's shared
+// pool. EDF admission must stay race-clean and every service must still
+// complete its solves (outbid solves degrade to width-1, never block).
+func TestRaceConcurrentServicesShareScheduler(t *testing.T) {
+	r := rng.New(8)
+	pts := workload.UniformCube(r, 300, 2, 50)
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s := New(Config{
+				Space: metric.L2{}, K: 3, Shards: 2, StalenessOps: 32,
+				Deadline: time.Duration(i+1) * 20 * time.Millisecond, Seed: uint64(i),
+			})
+			defer s.Close()
+			for j, p := range pts {
+				s.Insert(j, p)
+			}
+			sol := s.Resolve()
+			if sol == nil || len(sol.Centers) == 0 {
+				t.Errorf("service %d: no solution (err %v)", i, s.Err())
+			}
+		}(i)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,488 @@
+// Package serve is the long-lived clustering service on top of the
+// batch solvers: it ingests inserts and deletes, maintains a decayed
+// streaming coreset per shard (internal/streaming's doubling sketch,
+// rebuilt when deletions accumulate), and answers assignment, radius
+// and diversity queries from a cached immutable Solution — re-solving
+// only the coreset, and only when it has drifted beyond a staleness
+// threshold, instead of re-clustering the world on every query.
+//
+// The contract (docs/SERVING.md):
+//
+//   - Mutations are cheap: an Insert or Delete touches one shard's
+//     sketch — O(k) distance evaluations amortized — never the solver.
+//   - Queries are cheaper: they read one atomic pointer and scan the
+//     ≤ k cached centers, with no locks shared with writers, and always
+//     reflect exactly the last completed re-solve (never a torn or
+//     partially updated one). Every answer carries explicit Staleness
+//     metadata: which solve it came from, how many mutations it is
+//     behind, and whether a fresher solve is in flight.
+//   - Re-solves are rare and bounded: triggered after StalenessOps
+//     mutations, they snapshot the per-shard coresets (m·(k+1) points,
+//     not n) and run the paper's ladder solver over an MPC cluster of
+//     m machines. Concurrent services bid for the shared sched.Pool
+//     with per-request deadlines (sched.Bid, earliest deadline first)
+//     instead of racing FCFS TryAcquire.
+//
+// Radius semantics: Solution.CoresetRadius is measured over the
+// snapshot coreset; Solution.RadiusBound adds the streaming slack
+// (max shard 8·r), so every point summarized at snapshot time is
+// certified within RadiusBound of some center. Points inserted after
+// the snapshot are not covered by the bound — that is what
+// Staleness.OpsBehind quantifies.
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"parclust/internal/diversity"
+	"parclust/internal/instance"
+	"parclust/internal/kcenter"
+	"parclust/internal/metric"
+	"parclust/internal/mpc"
+	"parclust/internal/sched"
+)
+
+// Config parameterizes a Service. Zero fields default as documented.
+type Config struct {
+	// Space is the metric; required.
+	Space metric.Space
+	// K is the number of centers (and diversity subset size); required.
+	K int
+	// Eps is the solver's ladder resolution. Defaults to 0.1.
+	Eps float64
+	// Shards is the number of ingest shards — and the machine count of
+	// the MPC cluster each re-solve runs on. Defaults to 4.
+	Shards int
+	// StalenessOps is how many mutations the cached solution may fall
+	// behind before a re-solve is triggered. Defaults to 64.
+	StalenessOps int
+	// Window, when positive, keeps only the last Window inserts live: an
+	// insert beyond the window deletes the oldest live insert. Ids must
+	// be unique across inserts in window mode. 0 keeps everything until
+	// explicitly deleted.
+	Window int
+	// RebuildFraction is the decayed fraction of a shard's sketch that
+	// forces a rebuild (see shard.maybeRebuild). Defaults to 0.5.
+	RebuildFraction float64
+	// Seed seeds each re-solve's cluster; solve seq is mixed in so
+	// repeated re-solves do not reuse randomness.
+	Seed uint64
+	// Deadline, when positive, gives each re-solve a per-request
+	// deadline of now+Deadline and makes it bid for the speculation
+	// pool EDF-style (sched.Scheduler.WithDeadline): while a
+	// tighter-deadline re-solve is live anywhere on the shared pool,
+	// this service's solves run unspeculated width-1 waves instead of
+	// racing it for tokens. Implies Speculation = sched.Adaptive.
+	Deadline time.Duration
+	// Sched is the scheduler the deadline views are minted from.
+	// Defaults to sched.Default(). Ignored when Deadline is 0 and
+	// Speculation != sched.Adaptive.
+	Sched *sched.Scheduler
+	// Speculation is passed to the solvers (see kcenter.Config).
+	// Defaults to 0 (sequential); Deadline > 0 overrides to Adaptive.
+	Speculation int
+	// Diversity additionally maintains a k-diverse subset per solve.
+	Diversity bool
+	// OnSolve, when set, is called synchronously with each installed
+	// Solution, after installation, from the solving goroutine. Parity
+	// tests use it to record the exact solutions queries may observe.
+	OnSolve func(*Solution)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Eps <= 0 {
+		c.Eps = 0.1
+	}
+	if c.Shards < 1 {
+		c.Shards = 4
+	}
+	if c.StalenessOps < 1 {
+		c.StalenessOps = 64
+	}
+	if c.RebuildFraction <= 0 || c.RebuildFraction >= 1 {
+		c.RebuildFraction = 0.5
+	}
+	if c.Sched == nil {
+		c.Sched = sched.Default()
+	}
+	if c.Deadline > 0 {
+		c.Speculation = sched.Adaptive
+	}
+	return c
+}
+
+// Solution is one completed re-solve. Immutable after installation:
+// queries that loaded the same Seq computed against byte-identical
+// state.
+type Solution struct {
+	// Seq numbers completed solves from 1; 0 never escapes.
+	Seq uint64
+	// Ops is the service mutation count at snapshot time; staleness of
+	// a later query is ops(now) - Ops.
+	Ops int64
+	// Centers is the k-center solution over the snapshot coreset.
+	Centers []metric.Point
+	// CoresetRadius is the measured covering radius over the coreset;
+	// RadiusBound adds CoresetSlack, certifying coverage of everything
+	// summarized at snapshot time.
+	CoresetRadius float64
+	RadiusBound   float64
+	// CoresetSlack is the max shard streaming slack (8·r) folded into
+	// RadiusBound.
+	CoresetSlack float64
+	// CoresetSize is the snapshot coreset's point count; Live the live
+	// point count at snapshot.
+	CoresetSize int
+	Live        int
+	// Diverse/Diversity carry the k-diverse subset when
+	// Config.Diversity is set (Diversity is +Inf for < 2 points).
+	Diverse   []metric.Point
+	Diversity float64
+	// SolveNanos is the wall time of the solve; CoordWords the total
+	// MPC communication volume (mpc.Stats.TotalWords, both solvers).
+	SolveNanos int64
+	CoordWords int64
+}
+
+// Staleness is the freshness metadata attached to every answer.
+type Staleness struct {
+	// Seq is the solution the answer was computed from (0: no solve has
+	// completed yet and the answer is vacuous).
+	Seq uint64
+	// OpsBehind is how many mutations the service has accepted since
+	// that solution's snapshot.
+	OpsBehind int64
+	// Resolving reports whether a fresher solve was in flight when the
+	// answer was produced.
+	Resolving bool
+}
+
+// Assignment is the answer to an Assign query.
+type Assignment struct {
+	// Center indexes Solution.Centers (-1 when the solution has none).
+	Center int
+	// Dist is the distance to that center (+Inf when none — the same
+	// empty-set convention as metric.DistToSet).
+	Dist      float64
+	Staleness Staleness
+}
+
+// Stats is a point-in-time operational snapshot.
+type Stats struct {
+	Ops      int64 // mutations accepted
+	Live     int   // live points across shards
+	Solves   uint64
+	Rebuilds int // sketch rebuilds across shards
+}
+
+// Service is the long-lived clustering service. All methods are safe
+// for concurrent use; Close must not race mutations from the caller's
+// own goroutine (it waits for in-flight solves, not for the caller).
+type Service struct {
+	cfg Config
+
+	shards   []*shard
+	shardMu  []sync.Mutex
+	winMu    sync.Mutex
+	win      []int
+	ops      atomic.Int64
+	seq      atomic.Uint64
+	sol      atomic.Pointer[Solution]
+	solveMu  sync.Mutex // serializes resolveOnce
+	pending  atomic.Bool
+	spawnMu  sync.Mutex
+	closed   bool
+	wg       sync.WaitGroup
+	errMu    sync.Mutex
+	lastErr  error
+	resolves atomic.Uint64 // live async resolve loops, for Staleness.Resolving
+}
+
+// New builds a Service. Panics on a missing Space or K < 1 — these are
+// programming errors, not runtime conditions.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	if cfg.Space == nil || cfg.K < 1 {
+		panic("serve: Config.Space and Config.K are required")
+	}
+	s := &Service{cfg: cfg}
+	s.shards = make([]*shard, cfg.Shards)
+	s.shardMu = make([]sync.Mutex, cfg.Shards)
+	for i := range s.shards {
+		s.shards[i] = newShard(cfg.Space, cfg.K, cfg.RebuildFraction)
+	}
+	return s
+}
+
+func (s *Service) shardFor(id int) int {
+	return int(uint(id) % uint(len(s.shards)))
+}
+
+// Insert adds (or replaces) point id. The point is copied, so the
+// caller may reuse the backing slice.
+func (s *Service) Insert(id int, p metric.Point) {
+	q := p.Clone()
+	i := s.shardFor(id)
+	s.shardMu[i].Lock()
+	s.shards[i].insert(id, q)
+	s.shardMu[i].Unlock()
+	if s.cfg.Window > 0 {
+		s.evictBeyondWindow(id)
+	}
+	s.noteMutation()
+}
+
+// evictBeyondWindow appends id to the insert FIFO and deletes the
+// oldest inserts once the window overflows (their deletions count as
+// mutations like any other).
+func (s *Service) evictBeyondWindow(id int) {
+	var evict []int
+	s.winMu.Lock()
+	s.win = append(s.win, id)
+	for len(s.win) > s.cfg.Window {
+		evict = append(evict, s.win[0])
+		s.win = s.win[1:]
+	}
+	s.winMu.Unlock()
+	for _, old := range evict {
+		s.Delete(old)
+	}
+}
+
+// Delete removes point id, reporting whether it was live. The point
+// decays out of its shard's sketch (see shard).
+func (s *Service) Delete(id int) bool {
+	i := s.shardFor(id)
+	s.shardMu[i].Lock()
+	ok := s.shards[i].remove(id)
+	s.shardMu[i].Unlock()
+	if ok {
+		s.noteMutation()
+	}
+	return ok
+}
+
+// noteMutation bumps the op counter and spawns an async re-solve loop
+// if the cached solution has fallen StalenessOps behind and no loop is
+// already running.
+func (s *Service) noteMutation() {
+	s.ops.Add(1)
+	if !s.stale() || !s.pending.CompareAndSwap(false, true) {
+		return
+	}
+	s.spawnMu.Lock()
+	if s.closed {
+		s.pending.Store(false)
+		s.spawnMu.Unlock()
+		return
+	}
+	s.wg.Add(1)
+	s.spawnMu.Unlock()
+	go s.resolveLoop()
+}
+
+// stale reports whether the cached solution is at least StalenessOps
+// mutations behind (a never-solved service is stale as soon as it has
+// that many ops).
+func (s *Service) stale() bool {
+	var at int64
+	if sol := s.sol.Load(); sol != nil {
+		at = sol.Ops
+	}
+	return s.ops.Load()-at >= int64(s.cfg.StalenessOps)
+}
+
+// resolveLoop re-solves until the service is no longer stale. The
+// pending flag is dropped before the final staleness check so a
+// mutation landing in the gap re-spawns rather than being lost.
+func (s *Service) resolveLoop() {
+	defer s.wg.Done()
+	s.resolves.Add(1)
+	defer func() { s.resolves.Add(^uint64(0)) }()
+	for {
+		ok := s.resolveOnce()
+		s.pending.Store(false)
+		// A failed solve leaves the service stale; bail instead of
+		// hot-looping — the next mutation retriggers.
+		if !ok || !s.stale() || !s.pending.CompareAndSwap(false, true) {
+			return
+		}
+	}
+}
+
+// Resolve runs one synchronous re-solve and returns the installed
+// solution (or the previous one if the solve failed — check Err).
+// Benchmarks and tests use it for deterministic sequencing.
+func (s *Service) Resolve() *Solution {
+	s.resolveOnce()
+	return s.sol.Load()
+}
+
+// resolveOnce snapshots the shard coresets and solves them, reporting
+// whether a solution was installed. Serialized by solveMu: concurrent
+// triggers queue rather than duplicate work.
+func (s *Service) resolveOnce() bool {
+	s.solveMu.Lock()
+	defer s.solveMu.Unlock()
+
+	start := time.Now()
+	opsAt := s.ops.Load()
+	parts := make([][]metric.Point, len(s.shards))
+	slack := 0.0
+	live, csize := 0, 0
+	for i, sh := range s.shards {
+		s.shardMu[i].Lock()
+		centers, sl := sh.summary()
+		live += len(sh.live)
+		s.shardMu[i].Unlock()
+		parts[i] = centers
+		csize += len(centers)
+		if sl > slack {
+			slack = sl
+		}
+	}
+
+	seq := s.seq.Add(1)
+	sol := &Solution{Seq: seq, Ops: opsAt, Live: live, CoresetSize: csize, CoresetSlack: slack}
+	if csize > 0 {
+		if err := s.solveSnapshot(parts, slack, sol); err != nil {
+			s.seq.Add(^uint64(0)) // failed solves do not consume a seq
+			s.errMu.Lock()
+			s.lastErr = fmt.Errorf("serve: solve %d: %w", seq, err)
+			s.errMu.Unlock()
+			return false
+		}
+	}
+	sol.SolveNanos = time.Since(start).Nanoseconds()
+	s.sol.Store(sol)
+	if s.cfg.OnSolve != nil {
+		s.cfg.OnSolve(sol)
+	}
+	return true
+}
+
+// solveSnapshot runs the batch solvers over the snapshot coreset.
+func (s *Service) solveSnapshot(parts [][]metric.Point, slack float64, sol *Solution) error {
+	scheduler := s.cfg.Sched
+	if s.cfg.Deadline > 0 {
+		scheduler = scheduler.WithDeadline(time.Now().Add(s.cfg.Deadline))
+	}
+	in := instance.New(s.cfg.Space, parts)
+	c := mpc.NewCluster(len(parts), s.cfg.Seed^(sol.Seq*0x9e3779b97f4a7c15+1))
+	res, err := kcenter.Solve(c, in, kcenter.Config{
+		K:           s.cfg.K,
+		Eps:         s.cfg.Eps,
+		Speculation: s.cfg.Speculation,
+		Sched:       scheduler,
+	})
+	if err != nil {
+		return err
+	}
+	sol.Centers = res.Centers
+	sol.CoresetRadius = res.Radius
+	sol.RadiusBound = res.RadiusBound + slack
+	sol.CoordWords = c.Stats().TotalWords
+
+	if s.cfg.Diversity {
+		cd := mpc.NewCluster(len(parts), s.cfg.Seed^(sol.Seq*0x9e3779b97f4a7c15+2))
+		dres, err := diversity.Maximize(cd, in, diversity.Config{
+			K:           s.cfg.K,
+			Eps:         s.cfg.Eps,
+			Speculation: s.cfg.Speculation,
+			Sched:       scheduler,
+		})
+		if err != nil {
+			return err
+		}
+		sol.Diverse = dres.Points
+		sol.Diversity = dres.Diversity
+		sol.CoordWords += cd.Stats().TotalWords
+	}
+	return nil
+}
+
+// staleness stamps freshness metadata for the given loaded solution.
+func (s *Service) staleness(sol *Solution) Staleness {
+	st := Staleness{Resolving: s.resolves.Load() > 0}
+	if sol != nil {
+		st.Seq = sol.Seq
+		st.OpsBehind = s.ops.Load() - sol.Ops
+	} else {
+		st.OpsBehind = s.ops.Load()
+	}
+	return st
+}
+
+// Solution returns the cached solution (nil before the first completed
+// solve) with its staleness.
+func (s *Service) Solution() (*Solution, Staleness) {
+	sol := s.sol.Load()
+	return sol, s.staleness(sol)
+}
+
+// Assign answers a nearest-center query from the cached solution.
+func (s *Service) Assign(p metric.Point) Assignment {
+	sol := s.sol.Load()
+	a := Assignment{Center: -1, Dist: math.Inf(1), Staleness: s.staleness(sol)}
+	if sol != nil && len(sol.Centers) > 0 {
+		a.Center, a.Dist = metric.Nearest(s.cfg.Space, p, sol.Centers)
+	}
+	return a
+}
+
+// Radius answers the certified covering-radius query: every point
+// summarized at the solution's snapshot lies within bound of some
+// center. 0 before the first solve (vacuous — check Staleness.Seq).
+func (s *Service) Radius() (bound float64, st Staleness) {
+	sol := s.sol.Load()
+	st = s.staleness(sol)
+	if sol != nil {
+		bound = sol.RadiusBound
+	}
+	return bound, st
+}
+
+// Diverse answers the diversity query from the cached solution (nil
+// and 0 before the first solve or when Config.Diversity is unset).
+func (s *Service) Diverse() (pts []metric.Point, div float64, st Staleness) {
+	sol := s.sol.Load()
+	st = s.staleness(sol)
+	if sol != nil {
+		pts, div = sol.Diverse, sol.Diversity
+	}
+	return pts, div, st
+}
+
+// Err returns the most recent solve error, if any. Failed solves keep
+// the previous solution installed.
+func (s *Service) Err() error {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.lastErr
+}
+
+// Stats returns operational counters.
+func (s *Service) Stats() Stats {
+	st := Stats{Ops: s.ops.Load(), Solves: s.seq.Load()}
+	for i, sh := range s.shards {
+		s.shardMu[i].Lock()
+		st.Live += len(sh.live)
+		st.Rebuilds += sh.rebuilds
+		s.shardMu[i].Unlock()
+	}
+	return st
+}
+
+// Close stops accepting re-solve triggers and waits for in-flight
+// solves to finish. Mutations after Close still update the sketches
+// but never spawn solves; queries keep working.
+func (s *Service) Close() {
+	s.spawnMu.Lock()
+	s.closed = true
+	s.spawnMu.Unlock()
+	s.wg.Wait()
+}

@@ -1,0 +1,272 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"parclust/internal/metric"
+	"parclust/internal/rng"
+	"parclust/internal/workload"
+)
+
+func newTestService(t *testing.T, cfg Config) *Service {
+	t.Helper()
+	if cfg.Space == nil {
+		cfg.Space = metric.L2{}
+	}
+	s := New(cfg)
+	t.Cleanup(s.Close)
+	return s
+}
+
+func TestEmptyServiceQueries(t *testing.T) {
+	s := newTestService(t, Config{K: 3, Shards: 2})
+	a := s.Assign(metric.Point{0, 0})
+	if a.Center != -1 || !math.IsInf(a.Dist, 1) {
+		t.Fatalf("empty Assign = (%d, %v), want (-1, +Inf)", a.Center, a.Dist)
+	}
+	if a.Staleness.Seq != 0 || a.Staleness.OpsBehind != 0 {
+		t.Fatalf("empty staleness = %+v, want zero", a.Staleness)
+	}
+	if r, st := s.Radius(); r != 0 || st.Seq != 0 {
+		t.Fatalf("empty Radius = (%v, %+v)", r, st)
+	}
+	if sol, _ := s.Solution(); sol != nil {
+		t.Fatalf("empty Solution = %+v, want nil", sol)
+	}
+}
+
+func TestResolveCoversLivePoints(t *testing.T) {
+	s := newTestService(t, Config{K: 3, Shards: 3, Seed: 7})
+	r := rng.New(1)
+	pts := workload.GaussianMixture(r, 120, 2, 3, 10, 0.4)
+	for i, p := range pts {
+		s.Insert(i, p)
+	}
+	sol := s.Resolve()
+	if sol == nil {
+		t.Fatalf("Resolve returned nil (err: %v)", s.Err())
+	}
+	if sol.Seq == 0 || sol.Live != 120 || len(sol.Centers) == 0 || len(sol.Centers) > 3 {
+		t.Fatalf("solution %+v malformed", sol)
+	}
+	// The certified bound must cover every live point: each is within
+	// its shard's streaming slack of a coreset point, and the solve
+	// covers the coreset.
+	for i, p := range pts {
+		if d := metric.DistToSet(metric.L2{}, p, sol.Centers); d > sol.RadiusBound+1e-9 {
+			t.Fatalf("point %d at dist %v > RadiusBound %v", i, d, sol.RadiusBound)
+		}
+	}
+	// Assign agrees with a direct Nearest over the cached centers.
+	for i := 0; i < 10; i++ {
+		a := s.Assign(pts[i])
+		wi, wd := metric.Nearest(metric.L2{}, pts[i], sol.Centers)
+		if a.Center != wi || a.Dist != wd || a.Staleness.Seq != sol.Seq {
+			t.Fatalf("Assign(%d) = %+v, want (%d, %v, seq %d)", i, a, wi, wd, sol.Seq)
+		}
+	}
+}
+
+func TestStalenessMetadata(t *testing.T) {
+	s := newTestService(t, Config{K: 2, Shards: 2, StalenessOps: 1 << 30})
+	for i := 0; i < 20; i++ {
+		s.Insert(i, metric.Point{float64(i), 0})
+	}
+	sol := s.Resolve()
+	if sol.Ops != 20 {
+		t.Fatalf("solution Ops = %d, want 20", sol.Ops)
+	}
+	if _, st := s.Solution(); st.OpsBehind != 0 || st.Seq != sol.Seq {
+		t.Fatalf("fresh staleness = %+v", st)
+	}
+	s.Insert(100, metric.Point{1, 1})
+	s.Delete(0)
+	s.Delete(0) // second delete of same id is a no-op, not an op
+	if _, st := s.Solution(); st.OpsBehind != 2 {
+		t.Fatalf("OpsBehind = %d, want 2", st.OpsBehind)
+	}
+}
+
+func TestAsyncResolveTriggers(t *testing.T) {
+	solved := make(chan *Solution, 64)
+	s := newTestService(t, Config{
+		K: 2, Shards: 2, StalenessOps: 8, Seed: 3,
+		OnSolve: func(sol *Solution) { solved <- sol },
+	})
+	for i := 0; i < 8; i++ {
+		s.Insert(i, metric.Point{float64(i)})
+	}
+	sol := <-solved
+	if sol.Seq != 1 || sol.Ops < 8 {
+		t.Fatalf("first async solution %+v", sol)
+	}
+	// Another burst re-triggers.
+	for i := 8; i < 16; i++ {
+		s.Insert(i, metric.Point{float64(i)})
+	}
+	sol = <-solved
+	if sol.Seq < 2 {
+		t.Fatalf("second async solution %+v", sol)
+	}
+}
+
+func TestDeletesDecayAndRebuild(t *testing.T) {
+	s := newTestService(t, Config{K: 2, Shards: 1, StalenessOps: 1 << 30, RebuildFraction: 0.5})
+	// Two far clusters; delete one entirely and the re-solve must stop
+	// covering it.
+	for i := 0; i < 10; i++ {
+		s.Insert(i, metric.Point{float64(i % 3), 0})
+	}
+	for i := 10; i < 20; i++ {
+		s.Insert(i, metric.Point{1000 + float64(i%3), 0})
+	}
+	for i := 10; i < 20; i++ {
+		if !s.Delete(i) {
+			t.Fatalf("Delete(%d) = false", i)
+		}
+	}
+	if st := s.Stats(); st.Rebuilds == 0 {
+		t.Fatalf("expected at least one sketch rebuild, got stats %+v", st)
+	}
+	sol := s.Resolve()
+	if sol.Live != 10 {
+		t.Fatalf("Live = %d, want 10", sol.Live)
+	}
+	for _, c := range sol.Centers {
+		if c[0] > 100 {
+			t.Fatalf("center %v survives from the deleted cluster", c)
+		}
+	}
+	if sol.RadiusBound > 50 {
+		t.Fatalf("RadiusBound %v still sized for the deleted cluster", sol.RadiusBound)
+	}
+}
+
+func TestSlidingWindowEvicts(t *testing.T) {
+	s := newTestService(t, Config{K: 2, Shards: 2, Window: 16, StalenessOps: 1 << 30})
+	for i := 0; i < 50; i++ {
+		s.Insert(i, metric.Point{float64(i)})
+	}
+	if st := s.Stats(); st.Live != 16 {
+		t.Fatalf("Live = %d, want window 16", st.Live)
+	}
+	sol := s.Resolve()
+	// Evicted points decay: a center may cite an evicted point until its
+	// shard rebuilds, but each shard rebuilds after at most `live` decays
+	// (RebuildFraction 0.5), so nothing older than two window-widths of
+	// the live minimum (id 34) can survive.
+	for _, c := range sol.Centers {
+		if c[0] < 18 {
+			t.Fatalf("center %v from a point evicted before the last possible rebuild", c)
+		}
+	}
+}
+
+func TestDiversityQuery(t *testing.T) {
+	s := newTestService(t, Config{K: 3, Shards: 2, Diversity: true, Seed: 5})
+	r := rng.New(2)
+	for i, p := range workload.UniformCube(r, 80, 2, 100) {
+		s.Insert(i, p)
+	}
+	s.Resolve()
+	pts, div, st := s.Diverse()
+	if st.Seq != 1 || len(pts) != 3 || div <= 0 || math.IsInf(div, 1) {
+		t.Fatalf("Diverse = (%d pts, %v, %+v)", len(pts), div, st)
+	}
+	if got := metric.Diversity(metric.L2{}, pts); got != div {
+		t.Fatalf("reported diversity %v != recomputed %v", div, got)
+	}
+}
+
+// TestParityWithLastSolve is the acceptance-criteria consistency test:
+// under an interleaving of inserts, deletes and queries with async
+// re-solves enabled, every answer must be byte-consistent with the
+// recorded solution carrying the same Seq — never a blend of two
+// solves, never state no solve produced.
+func TestParityWithLastSolve(t *testing.T) {
+	var mu sync.Mutex
+	recorded := map[uint64]*Solution{}
+	s := newTestService(t, Config{
+		K: 3, Shards: 3, StalenessOps: 10, Seed: 11,
+		OnSolve: func(sol *Solution) {
+			mu.Lock()
+			recorded[sol.Seq] = sol
+			mu.Unlock()
+		},
+	})
+	r := rng.New(9)
+	pts := workload.GaussianMixture(r, 400, 2, 4, 8, 0.5)
+	checked := 0
+	for i, p := range pts {
+		s.Insert(i, p)
+		if i%3 == 0 && i > 50 {
+			s.Delete(i - 50)
+		}
+		if i%40 == 0 && i > 0 {
+			// Force a completed solve into the interleaving: async solves
+			// alone may be slower than this loop, and the property under
+			// test is answer/solution consistency, not solver latency
+			// (race_test.go covers the fully asynchronous interleaving).
+			s.Resolve()
+		}
+		if i%5 != 0 {
+			continue
+		}
+		q := pts[(i*7)%len(pts)]
+		a := s.Assign(q)
+		if a.Staleness.Seq == 0 {
+			continue // no solve completed yet; vacuous answer is the contract
+		}
+		mu.Lock()
+		sol := recorded[a.Staleness.Seq]
+		mu.Unlock()
+		if sol == nil {
+			t.Fatalf("answer cites seq %d which OnSolve never recorded", a.Staleness.Seq)
+		}
+		wi, wd := metric.Nearest(metric.L2{}, q, sol.Centers)
+		if a.Center != wi || a.Dist != wd {
+			t.Fatalf("Assign = (%d, %v) inconsistent with recorded solve %d (%d, %v)",
+				a.Center, a.Dist, a.Staleness.Seq, wi, wd)
+		}
+		checked++
+	}
+	s.Close()
+	if s.Err() != nil {
+		t.Fatalf("solve error: %v", s.Err())
+	}
+	if checked == 0 {
+		t.Fatal("no query ever observed a completed solve; interleaving too short")
+	}
+}
+
+func TestCloseStopsTriggersButNotQueries(t *testing.T) {
+	s := New(Config{Space: metric.L2{}, K: 2, Shards: 2, StalenessOps: 4})
+	for i := 0; i < 8; i++ {
+		s.Insert(i, metric.Point{float64(i)})
+	}
+	s.Close()
+	solves := s.Stats().Solves
+	for i := 8; i < 40; i++ {
+		s.Insert(i, metric.Point{float64(i)}) // accepted, but never spawns a solve
+	}
+	if got := s.Stats().Solves; got != solves {
+		t.Fatalf("Solves grew %d -> %d after Close", solves, got)
+	}
+	if a := s.Assign(metric.Point{1}); a.Staleness.OpsBehind == 0 && s.Stats().Solves > 0 {
+		// Queries still answer; just sanity-check they don't panic.
+		_ = a
+	}
+}
+
+func TestInsertCopiesPoint(t *testing.T) {
+	s := newTestService(t, Config{K: 1, Shards: 1, StalenessOps: 1 << 30})
+	p := metric.Point{1, 2}
+	s.Insert(0, p)
+	p[0] = 99 // caller reuses the buffer; the service must not see it
+	sol := s.Resolve()
+	if len(sol.Centers) != 1 || sol.Centers[0][0] != 1 {
+		t.Fatalf("centers %v observed caller mutation", sol.Centers)
+	}
+}

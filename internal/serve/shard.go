@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"parclust/internal/metric"
+	"parclust/internal/streaming"
+)
+
+// shard is one partition of the live point set together with its
+// streaming summary. The doubling sketch (streaming.Stream) is
+// insert-only, so deletions decay instead of applying immediately: the
+// deleted point stays summarized until enough deletions accumulate
+// (Config.RebuildFraction) and the sketch is rebuilt from the surviving
+// points in their original insertion order. Between rebuilds a deleted
+// point can still pull a coreset center — that is part of the staleness
+// the Solution reports, not an error.
+//
+// A shard's fields are guarded by mu; streaming.Stream is not
+// goroutine-safe, so every stream touch happens under it.
+type shard struct {
+	space       metric.Space
+	k           int
+	rebuildFrac float64
+
+	// All fields below are guarded by the Service's per-shard lock.
+	live     map[int]metric.Point
+	order    []int // live + decayed ids in insertion order; compacted on rebuild
+	stream   *streaming.Stream
+	decayed  int // points fed to the stream that have since been deleted/replaced
+	rebuilds int
+}
+
+func newShard(space metric.Space, k int, rebuildFrac float64) *shard {
+	return &shard{
+		space:       space,
+		k:           k,
+		rebuildFrac: rebuildFrac,
+		live:        make(map[int]metric.Point),
+		stream:      streaming.New(space, k),
+	}
+}
+
+// insert adds or replaces id. A replacement decays the old point
+// exactly like a deletion: the sketch keeps summarizing it until the
+// next rebuild.
+func (sh *shard) insert(id int, p metric.Point) {
+	if _, ok := sh.live[id]; ok {
+		sh.decayed++
+	}
+	sh.live[id] = p
+	sh.order = append(sh.order, id)
+	sh.stream.Add(p)
+	sh.maybeRebuild()
+}
+
+// remove deletes id, reporting whether it was live. The point decays
+// out of the sketch at the next rebuild.
+func (sh *shard) remove(id int) bool {
+	if _, ok := sh.live[id]; !ok {
+		return false
+	}
+	delete(sh.live, id)
+	sh.decayed++
+	sh.maybeRebuild()
+	return true
+}
+
+// maybeRebuild rebuilds the sketch once decayed points make up at least
+// rebuildFrac of everything it has summarized. The threshold amortizes:
+// a rebuild costs O(live · k) distance evaluations but buys at least
+// rebuildFrac·summarized deletions of slack, so the per-deletion cost
+// stays O(k / rebuildFrac).
+func (sh *shard) maybeRebuild() {
+	total := len(sh.live) + sh.decayed
+	if sh.decayed == 0 || float64(sh.decayed) < sh.rebuildFrac*float64(total) {
+		return
+	}
+	sh.rebuild()
+}
+
+func (sh *shard) rebuild() {
+	sh.stream = streaming.New(sh.space, sh.k)
+	compact := sh.order[:0]
+	seen := make(map[int]bool, len(sh.live))
+	// Keep the LAST occurrence of each live id: a replacement re-appended
+	// the id, and the latest point is the live one. Walk backwards, then
+	// reverse to restore insertion order.
+	for i := len(sh.order) - 1; i >= 0; i-- {
+		id := sh.order[i]
+		if _, ok := sh.live[id]; ok && !seen[id] {
+			seen[id] = true
+			compact = append(compact, id)
+		}
+	}
+	for i, j := 0, len(compact)-1; i < j; i, j = i+1, j-1 {
+		compact[i], compact[j] = compact[j], compact[i]
+	}
+	sh.order = compact
+	for _, id := range sh.order {
+		sh.stream.Add(sh.live[id])
+	}
+	sh.decayed = 0
+	sh.rebuilds++
+}
+
+// summary returns the shard's coreset contribution: a copy of the
+// sketch centers and the coverage slack — every point the sketch has
+// summarized (live or decayed) lies within slack of some returned
+// center (streaming invariant (3): slack = 8·r).
+func (sh *shard) summary() (centers []metric.Point, slack float64) {
+	return sh.stream.Centers(), sh.stream.RadiusBound()
+}

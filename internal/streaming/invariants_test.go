@@ -1,0 +1,177 @@
+package streaming
+
+// The per-Add invariant property suite: the type docs promise invariants
+// (1)–(4) hold *between Add calls*, i.e. after every single Add, not
+// just at stream end. The serving layer snapshots a shard's centers at
+// arbitrary mutation boundaries, so the per-Add form is the one it
+// actually leans on. Streams here are adversarially mixed: fresh random
+// points, exact duplicates of earlier points, near-duplicates (earlier
+// points plus sub-R jitter), and float32-exact points produced by the
+// same rounding as instance.Round32 (the f32-lane workloads).
+
+import (
+	"math"
+	"testing"
+
+	"parclust/internal/instance"
+	"parclust/internal/metric"
+	"parclust/internal/rng"
+	"parclust/internal/seq"
+	"parclust/internal/workload"
+)
+
+// round32Point mirrors instance.Round32's coordinate rounding for a
+// single point (float64 → float32 → float64, exactly representable).
+func round32Point(p metric.Point) metric.Point {
+	q := make(metric.Point, len(p))
+	for i, x := range p {
+		q[i] = float64(float32(x))
+	}
+	return q
+}
+
+// mixedStream draws n points: 50% fresh uniform, 20% exact duplicates of
+// an earlier point, 20% near-duplicates (earlier point + tiny jitter),
+// 10% Round32-rounded fresh points. The first point is always fresh.
+func mixedStream(r *rng.RNG, n, dim int, side float64) []metric.Point {
+	pts := make([]metric.Point, 0, n)
+	fresh := func() metric.Point {
+		p := make(metric.Point, dim)
+		for j := range p {
+			p[j] = side * r.Float64()
+		}
+		return p
+	}
+	for len(pts) < n {
+		var p metric.Point
+		switch roll := r.Float64(); {
+		case len(pts) == 0 || roll < 0.5:
+			p = fresh()
+		case roll < 0.7: // exact duplicate
+			p = pts[r.Intn(len(pts))].Clone()
+		case roll < 0.9: // near-duplicate: jitter far below the point scale
+			p = pts[r.Intn(len(pts))].Clone()
+			for j := range p {
+				p[j] += 1e-9 * side * (r.Float64() - 0.5)
+			}
+		default: // float32-exact, as instance.Round32 would produce
+			p = round32Point(fresh())
+		}
+		pts = append(pts, p)
+	}
+	return pts
+}
+
+// assertInvariants checks invariants (1)–(3) exactly and (4) against the
+// exact optimum when the prefix is small enough to brute-force.
+func assertInvariants(t *testing.T, space metric.Space, s *Stream, prefix []metric.Point, step int) {
+	t.Helper()
+	cs := s.Centers()
+	rr := s.R()
+	bound := s.RadiusBound()
+	if rr > 0 {
+		// Invariant (1): post-bootstrap, at most k centers.
+		if len(cs) > s.k {
+			t.Fatalf("add %d: invariant (1): %d centers > k=%d", step, len(cs), s.k)
+		}
+	}
+	// Invariant (2): pairwise separation > 4R. In bootstrap R = 0 and the
+	// invariant degenerates to distinct positions (pairwise > 0), which
+	// the distinct-position bootstrap guarantees.
+	for i := 0; i < len(cs); i++ {
+		for j := i + 1; j < len(cs); j++ {
+			if d := space.Dist(cs[i], cs[j]); d <= 4*rr {
+				t.Fatalf("add %d: invariant (2): centers %d,%d at distance %v <= 4R=%v",
+					step, i, j, d, 4*rr)
+			}
+		}
+	}
+	// Invariant (3): every point seen so far within 8R of a center
+	// (within 0 during bootstrap, where centers are the distinct
+	// positions themselves).
+	for _, p := range prefix {
+		if d := metric.DistToSet(space, p, cs); d > bound+1e-9 {
+			t.Fatalf("add %d: invariant (3): point at distance %v > 8R=%v", step, d, bound)
+		}
+	}
+	// Invariant (4): R never exceeds the optimal k-center radius of the
+	// prefix. Exact optimum is exponential in k, so only small prefixes
+	// are brute-forced — the streams below keep (n, k) inside that range
+	// for dedicated runs.
+	if len(prefix) <= 12 && s.k <= 3 {
+		if opt, _ := seq.ExactKCenter(space, prefix, s.k); rr > opt+1e-9 {
+			t.Fatalf("add %d: invariant (4): R=%v > opt=%v", step, rr, opt)
+		}
+	}
+}
+
+// TestInvariantsAfterEveryAdd drives randomized mixed streams and checks
+// the full invariant set after every single Add.
+func TestInvariantsAfterEveryAdd(t *testing.T) {
+	space := metric.L2{}
+	for trial := 0; trial < 30; trial++ {
+		r := rng.New(uint64(1000 + trial))
+		k := 1 + r.Intn(5)
+		n := 20 + r.Intn(80)
+		pts := mixedStream(r, n, 1+r.Intn(3), 100)
+		s := New(space, k)
+		for i, p := range pts {
+			s.Add(p)
+			assertInvariants(t, space, s, pts[:i+1], i)
+		}
+		if s.Seen() != n {
+			t.Fatalf("trial %d: Seen=%d, want %d", trial, s.Seen(), n)
+		}
+	}
+}
+
+// TestInvariantFourExactSmall pins invariant (4) — R ≤ opt — after every
+// Add on streams small enough to compare against the exact optimum the
+// whole way through, including all-duplicate and near-duplicate mixes.
+func TestInvariantFourExactSmall(t *testing.T) {
+	space := metric.L2{}
+	for trial := 0; trial < 40; trial++ {
+		r := rng.New(uint64(7000 + trial))
+		k := 1 + r.Intn(3)
+		pts := mixedStream(r, 12, 2, 50)
+		s := New(space, k)
+		for i, p := range pts {
+			s.Add(p)
+			assertInvariants(t, space, s, pts[:i+1], i)
+		}
+	}
+}
+
+// TestInvariantsRound32Exact feeds a stream whose every coordinate is
+// float32-exact (the f32 kernel-lane regime, via the same rounding as
+// instance.Round32) and checks the per-Add invariants; rounding
+// collisions produce extra exact duplicates by construction.
+func TestInvariantsRound32Exact(t *testing.T) {
+	space := metric.L2{}
+	r := rng.New(42)
+	raw := workload.UniformCube(r, 150, 2, 1)
+	pts := make([]metric.Point, len(raw))
+	for i, p := range raw {
+		pts[i] = round32Point(p)
+	}
+	// Route a few through an actual instance.Round32 round-trip so the
+	// test exercises the exported path, not just the local mirror.
+	in := instance.New(space, [][]metric.Point{pts[:10]}).Round32()
+	copy(pts[:10], in.Parts[0])
+
+	s := New(space, 4)
+	for i, p := range pts {
+		s.Add(p)
+		assertInvariants(t, space, s, pts[:i+1], i)
+		for _, c := range s.Centers() {
+			for _, x := range c {
+				if x != float64(float32(x)) {
+					t.Fatalf("add %d: center coordinate %v not float32-exact", i, x)
+				}
+			}
+		}
+	}
+	if math.IsNaN(s.R()) || s.R() < 0 {
+		t.Fatalf("R = %v", s.R())
+	}
+}

@@ -15,10 +15,13 @@ import (
 )
 
 // Stream is an incremental k-center clusterer. Create one with New, feed
-// points with Add, and read Centers/R at any time. Once more than k
-// distinct positions have been seen (streams with fewer stay in
-// bootstrap, holding each distinct position as a radius-0 center), the
-// following invariants hold between Add calls:
+// points with Add, and read Centers/R at any time. A Stream is not
+// goroutine-safe: callers that share one across goroutines (the serving
+// layer's shards) must serialize every method call, reads included,
+// behind their own lock. Once more than k distinct positions have been
+// seen (streams with fewer stay in bootstrap, holding each distinct
+// position as a radius-0 center), the following invariants hold between
+// Add calls:
 //
 //  1. at most k centers are stored;
 //  2. centers are pairwise further than 4R apart;
@@ -117,9 +120,22 @@ func (s *Stream) closestPair() float64 {
 	return best
 }
 
-// Centers returns the current centers (at most k once more than k points
-// have been seen). The returned slice is owned by the stream.
-func (s *Stream) Centers() []metric.Point { return s.centers }
+// Centers returns a copy of the current centers (at most k once more
+// than k distinct positions have been seen). The copy is the caller's to
+// keep: merge() replaces the internal slice on a later Add, so handing
+// out the live slice would silently invalidate — or alias future
+// mutations into — any cached result, exactly the hazard a serving
+// layer caching coresets between re-solves cannot tolerate. The center
+// points themselves are never mutated after insertion (Add clones), so
+// copying the slice header contents is enough.
+func (s *Stream) Centers() []metric.Point {
+	out := make([]metric.Point, len(s.centers))
+	copy(out, s.centers)
+	return out
+}
+
+// NumCenters returns the current center count without copying.
+func (s *Stream) NumCenters() int { return len(s.centers) }
 
 // R returns the current phase radius; every point seen is within 8R of a
 // center and R ≤ opt (see type docs).

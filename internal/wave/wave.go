@@ -360,6 +360,11 @@ func RunOpts(c *mpc.Cluster, lo, hi, width int, up bool, body Body, opts Options
 // endpoint probe doubles as the calibration run the model needs.
 func runAdaptive(c *mpc.Cluster, lo, hi int, up bool, body Body, algo string, s *sched.Scheduler) (Result, error) {
 	sess := s.Session(algo, hi-lo)
+	// Close withdraws the session's deadline bid (WithDeadline views) so
+	// a finished search stops outbidding later-deadline requests; merge
+	// has already waited out every probe goroutine by the time the
+	// deferred Close runs, so no Acquire can race it.
+	defer sess.Close()
 	endpoint := hi
 	if up {
 		endpoint = lo
